@@ -1,0 +1,119 @@
+// Ablation: the contribution of each OMeGa component, stacked.
+//
+// DESIGN.md calls out the design choices; this harness quantifies each one by
+// building the stack up from the unoptimized baseline (CSR + static rows +
+// Interleaved placement on DRAM+PM) to full OMeGa:
+//   base        CSR, static equal-row chunks, Interleaved, no prefetch
+//   +CSDB/EaTA  entropy-aware allocation on the CSDB format
+//   +WoFP       workload feature-aware prefetching
+//   +NaDP       NUMA-aware data placement
+// and, end-to-end, +ASL (streaming overlap).
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "linalg/random_matrix.h"
+#include "numa/nadp.h"
+#include "omega/baselines.h"
+#include "stream/asl.h"
+#include "sparse/csdb_ops.h"
+
+int main() {
+  using namespace omega;
+  bench::Env env = bench::MakeEnv(36);
+  engine::PrintExperimentHeader("Ablation",
+                                "per-component SpMM gains, stacked (LJ)");
+
+  const graph::Graph g = bench::LoadGraphOrDie("LJ");
+  const graph::CsdbMatrix a = graph::CsdbMatrix::FromGraph(g);
+  const auto csr = sparse::ToCsr(a).value();
+  const linalg::DenseMatrix b = linalg::GaussianMatrix(a.num_cols(), 32, 53);
+  linalg::DenseMatrix c(a.num_rows(), 32);
+
+  engine::TablePrinter table({"configuration", "SpMM time", "vs base", "step gain"});
+  std::vector<std::pair<std::string, double>> rows;
+
+  // Base: CSR, static chunks, interleaved placements (no NUMA awareness).
+  {
+    sparse::SpmmPlacements pl;
+    pl.index = {memsim::Tier::kPm, memsim::Placement::kInterleaved};
+    pl.sparse = {memsim::Tier::kPm, memsim::Placement::kInterleaved};
+    pl.dense = {memsim::Tier::kPm, memsim::Placement::kInterleaved};
+    pl.result = {memsim::Tier::kDram, memsim::Placement::kInterleaved};
+    const auto r = engine::StaticCsrSpmm(csr, b, &c, env.threads, pl, env.ms.get(),
+                                         env.pool.get());
+    rows.emplace_back("CSR + static rows + Interleaved", r.phase_seconds);
+  }
+
+  auto run_nadp = [&](sched::AllocatorKind alloc, bool wofp, bool nadp) {
+    numa::NadpOptions opts;
+    opts.num_threads = env.threads;
+    opts.allocator = alloc;
+    opts.use_wofp = wofp;
+    opts.enabled = nadp;
+    return numa::NadpSpmm(a, b, &c, opts, env.ms.get(), env.pool.get())
+        .phase_seconds;
+  };
+  rows.emplace_back("+ CSDB + EaTA",
+                    run_nadp(sched::AllocatorKind::kEntropyAware, false, false));
+  rows.emplace_back("+ WoFP",
+                    run_nadp(sched::AllocatorKind::kEntropyAware, true, false));
+  rows.emplace_back("+ NaDP (full OMeGa SpMM)",
+                    run_nadp(sched::AllocatorKind::kEntropyAware, true, true));
+
+  const double base = rows[0].second;
+  double prev = base;
+  for (const auto& [name, seconds] : rows) {
+    table.AddRow({name, HumanSeconds(seconds), bench::Ratio(base, seconds),
+                  bench::Ratio(prev, seconds)});
+    prev = seconds;
+  }
+  table.Print();
+
+  // End-to-end ASL contribution on a graph whose dense working set exceeds
+  // the DRAM window (the FR analogue).
+  engine::PrintExperimentHeader("Ablation (ASL)",
+                                "end-to-end with and without streaming overlap");
+  const graph::Graph fr = bench::LoadGraphOrDie("FR");
+  auto with_asl = bench::DefaultOptions(engine::SystemKind::kOmega, env.threads);
+  auto without_asl = with_asl;
+  without_asl.features.use_asl = false;
+  const auto r_with =
+      engine::RunEmbedding(fr, "FR", with_asl, env.ms.get(), env.pool.get());
+  const auto r_without =
+      engine::RunEmbedding(fr, "FR", without_asl, env.ms.get(), env.pool.get());
+  engine::TablePrinter asl_table({"configuration", "total", "gain"});
+  asl_table.AddRow({"OMeGa w/o ASL",
+                    HumanSeconds(r_without.value().total_seconds), "-"});
+  asl_table.AddRow({"OMeGa (ASL)", HumanSeconds(r_with.value().total_seconds),
+                    bench::Ratio(r_without.value().total_seconds,
+                                 r_with.value().total_seconds)});
+  asl_table.Print();
+  std::printf(
+      "\nnote: ASL hides the PM->DRAM staging behind compute; its end-to-end\n"
+      "gain is bounded by the staging:compute ratio, which shrinks at the\n"
+      "analogue scale. The streamer itself hides the loads effectively:\n");
+
+  // Direct measurement of the double-buffering pipeline on a staging-heavy
+  // configuration (load comparable to compute).
+  stream::AslConfig cfg;
+  cfg.dense_rows = fr.num_nodes();
+  cfg.dense_cols = 32;
+  cfg.sparse_bytes = engine::SparseBytes(fr.num_arcs());
+  cfg.dram_budget = cfg.sparse_bytes +
+                    2 * cfg.dense_rows * cfg.dense_cols * sizeof(float) +
+                    (12ULL << 20);
+  stream::AslStreamer streamer(
+      env.ms.get(), cfg, {memsim::Tier::kPm, memsim::Placement::kInterleaved},
+      {memsim::Tier::kDram, memsim::Placement::kInterleaved});
+  const auto probe = streamer.Run([&](size_t k, size_t b2, size_t e2) {
+    // A compute phase of the same order as one partition load.
+    return streamer.LoadSeconds(b2, e2) * (k % 2 == 0 ? 0.8 : 1.2);
+  });
+  if (probe.ok()) {
+    std::printf("  pipelined %s vs serial %s: %.0f%% of the load time hidden\n",
+                HumanSeconds(probe.value().total_seconds).c_str(),
+                HumanSeconds(probe.value().serial_seconds).c_str(),
+                probe.value().OverlapEfficiency() * 100.0);
+  }
+  return 0;
+}

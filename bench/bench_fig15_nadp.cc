@@ -1,0 +1,89 @@
+// Fig. 15 reproduction: the effect of NaDP.
+//   (a) overall embedding runtime: OMeGa vs OMeGa-w/o-NaDP (OS Interleave)
+//       vs the OMeGa-DRAM ideal, on the five graphs the paper plots;
+//   (b) single-SpMM runtime for the same three configurations.
+//
+// Shapes to check: NaDP accelerates consistently (paper: 1.95x overall,
+// 2.42-3.59x on SpMM) and narrows the gap to the DRAM ideal.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "linalg/random_matrix.h"
+#include "numa/nadp.h"
+
+int main() {
+  using namespace omega;
+  using bench::Ratio;
+  bench::Env env = bench::MakeEnv(36);
+  const std::vector<std::string> graphs = {"PK", "LJ", "OR", "TW", "TW-2010"};
+
+  // --- (a) overall -----------------------------------------------------------
+  engine::PrintExperimentHeader(
+      "Fig. 15a", "overall runtime: OMeGa vs w/o-NaDP vs DRAM ideal");
+  engine::TablePrinter overall({"Graph", "OMeGa-w/o-NaDP", "OMeGa", "OMeGa-DRAM",
+                                "NaDP speedup"});
+  std::vector<double> overall_speedups;
+  for (const std::string& name : graphs) {
+    const graph::Graph g = bench::LoadGraphOrDie(name);
+    auto omega_opts = bench::DefaultOptions(engine::SystemKind::kOmega, env.threads);
+    auto no_nadp_opts = omega_opts;
+    no_nadp_opts.features.use_nadp = false;
+    auto dram_opts =
+        bench::DefaultOptions(engine::SystemKind::kOmegaDram, env.threads);
+
+    const auto with =
+        engine::RunEmbedding(g, name, omega_opts, env.ms.get(), env.pool.get());
+    const auto without =
+        engine::RunEmbedding(g, name, no_nadp_opts, env.ms.get(), env.pool.get());
+    const auto dram =
+        engine::RunEmbedding(g, name, dram_opts, env.ms.get(), env.pool.get());
+    const double t_with = with.value().total_seconds;
+    const double t_without = without.value().total_seconds;
+    overall_speedups.push_back(t_without / t_with);
+    overall.AddRow({name, HumanSeconds(t_without), HumanSeconds(t_with),
+                    dram.ok() ? HumanSeconds(dram.value().total_seconds)
+                              : std::string("OOM"),
+                    Ratio(t_without, t_with)});
+  }
+  overall.Print();
+  std::printf("geomean NaDP overall speedup: %.2fx (paper: 1.95x)\n",
+              engine::GeometricMean(overall_speedups));
+
+  // --- (b) single SpMM -------------------------------------------------------
+  engine::PrintExperimentHeader("Fig. 15b",
+                                "single SpMM: OMeGa vs w/o-NaDP vs DRAM ideal");
+  engine::TablePrinter spmm({"Graph", "w/o-NaDP", "OMeGa", "DRAM", "NaDP speedup",
+                             "gap to DRAM"});
+  std::vector<double> spmm_speedups;
+  for (const std::string& name : graphs) {
+    const graph::Graph g = bench::LoadGraphOrDie(name);
+    const graph::CsdbMatrix a = graph::CsdbMatrix::FromGraph(g);
+    const linalg::DenseMatrix b = linalg::GaussianMatrix(a.num_cols(), 32, 29);
+    linalg::DenseMatrix c(a.num_rows(), 32);
+
+    numa::NadpOptions on;
+    on.num_threads = env.threads;
+    numa::NadpOptions off = on;
+    off.enabled = false;
+    numa::NadpOptions dram = on;
+    dram.sparse_tier = memsim::Tier::kDram;
+    dram.dense_tier = memsim::Tier::kDram;
+
+    const double t_on =
+        numa::NadpSpmm(a, b, &c, on, env.ms.get(), env.pool.get()).phase_seconds;
+    const double t_off =
+        numa::NadpSpmm(a, b, &c, off, env.ms.get(), env.pool.get()).phase_seconds;
+    const double t_dram =
+        numa::NadpSpmm(a, b, &c, dram, env.ms.get(), env.pool.get()).phase_seconds;
+    spmm_speedups.push_back(t_off / t_on);
+    spmm.AddRow({name, HumanSeconds(t_off), HumanSeconds(t_on),
+                 HumanSeconds(t_dram), Ratio(t_off, t_on),
+                 FormatDouble(100.0 * (t_on - t_dram) / t_dram, 1) + "%"});
+  }
+  spmm.Print();
+  std::printf(
+      "geomean NaDP SpMM speedup: %.2fx (paper: 2.42-3.59x; gap to DRAM "
+      "40.17%% average)\n",
+      engine::GeometricMean(spmm_speedups));
+  return 0;
+}

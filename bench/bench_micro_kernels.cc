@@ -1,0 +1,171 @@
+// Micro benchmarks (google-benchmark) of the hot kernels and data
+// structures: CSDB traversal and indexing, SpMM host kernels, the thread
+// allocators, the top-M store, the entropy accumulator, and R-MAT generation.
+// These measure real host time (not simulated time) — they are about the
+// library's own efficiency.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/rmat.h"
+#include "sched/entropy.h"
+#include "linalg/random_matrix.h"
+#include "prefetch/topm_store.h"
+#include "prefetch/wofp.h"
+#include "sched/allocators.h"
+#include "sparse/csdb_ops.h"
+#include "sparse/spmm.h"
+
+namespace {
+
+using namespace omega;
+
+const graph::Graph& TestGraph() {
+  static const graph::Graph kGraph = [] {
+    graph::RmatParams params;
+    params.scale = 13;
+    params.num_edges = 200000;
+    return graph::GenerateRmat(params).value();
+  }();
+  return kGraph;
+}
+
+const graph::CsdbMatrix& TestMatrix() {
+  static const graph::CsdbMatrix kMatrix = graph::CsdbMatrix::FromGraph(TestGraph());
+  return kMatrix;
+}
+
+void BM_CsdbFromGraph(benchmark::State& state) {
+  const graph::Graph& g = TestGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::CsdbMatrix::FromGraph(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_CsdbFromGraph);
+
+void BM_CsdbCursorTraversal(benchmark::State& state) {
+  const graph::CsdbMatrix& m = TestMatrix();
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (auto cur = m.Rows(0); !cur.AtEnd(); cur.Next()) sum += cur.degree();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_rows());
+}
+BENCHMARK(BM_CsdbCursorTraversal);
+
+void BM_CsdbRandomRowPtr(benchmark::State& state) {
+  const graph::CsdbMatrix& m = TestMatrix();
+  uint32_t r = 12345;
+  for (auto _ : state) {
+    r = r * 1103515245 + 12345;
+    benchmark::DoNotOptimize(m.RowPtr(r % m.num_rows()));
+  }
+}
+BENCHMARK(BM_CsdbRandomRowPtr);
+
+void BM_ReferenceSpmm(benchmark::State& state) {
+  const graph::CsdbMatrix& m = TestMatrix();
+  const linalg::DenseMatrix b =
+      linalg::GaussianMatrix(m.num_cols(), state.range(0), 3);
+  linalg::DenseMatrix c;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::ReferenceSpmm(m, b, &c));
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz() * state.range(0));
+}
+BENCHMARK(BM_ReferenceSpmm)->Arg(8)->Arg(32);
+
+void BM_AllocatorEata(benchmark::State& state) {
+  const graph::CsdbMatrix& m = TestMatrix();
+  sched::AllocatorOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::Allocate(m, sched::AllocatorKind::kEntropyAware, opts));
+  }
+}
+BENCHMARK(BM_AllocatorEata)->Arg(8)->Arg(36);
+
+void BM_AllocatorWata(benchmark::State& state) {
+  const graph::CsdbMatrix& m = TestMatrix();
+  sched::AllocatorOptions opts;
+  opts.num_threads = 36;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::Allocate(m, sched::AllocatorKind::kWorkloadBalanced, opts));
+  }
+}
+BENCHMARK(BM_AllocatorWata);
+
+void BM_EntropyAccumulator(benchmark::State& state) {
+  for (auto _ : state) {
+    sched::EntropyAccumulator acc;
+    for (uint32_t d = 1; d <= 4096; ++d) acc.AddRow(d & 1023);
+    benchmark::DoNotOptimize(acc.Entropy());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_EntropyAccumulator);
+
+void BM_TopMBuild(benchmark::State& state) {
+  std::vector<prefetch::ScoredKey> candidates;
+  Rng rng(9);
+  for (int i = 0; i < 50000; ++i) {
+    candidates.push_back(
+        {static_cast<graph::NodeId>(i), rng.Next() % 100000});
+  }
+  for (auto _ : state) {
+    auto copy = candidates;
+    benchmark::DoNotOptimize(
+        prefetch::TopMStore::Build(std::move(copy), 5000, 60000));
+  }
+  state.SetItemsProcessed(state.iterations() * candidates.size());
+}
+BENCHMARK(BM_TopMBuild);
+
+void BM_TopMLookup(benchmark::State& state) {
+  std::vector<prefetch::ScoredKey> candidates;
+  for (int i = 0; i < 10000; ++i) {
+    candidates.push_back({static_cast<graph::NodeId>(i * 3), uint64_t(i)});
+  }
+  const auto store = prefetch::TopMStore::Build(candidates, 4000, 40000);
+  uint32_t key = 1;
+  for (auto _ : state) {
+    key = key * 1103515245 + 12345;
+    benchmark::DoNotOptimize(store.Contains(key % 40000));
+  }
+}
+BENCHMARK(BM_TopMLookup);
+
+void BM_RmatGeneration(benchmark::State& state) {
+  graph::RmatParams params;
+  params.scale = 12;
+  params.num_edges = 50000;
+  for (auto _ : state) {
+    params.seed++;
+    benchmark::DoNotOptimize(graph::GenerateRmat(params));
+  }
+  state.SetItemsProcessed(state.iterations() * params.num_edges);
+}
+BENCHMARK(BM_RmatGeneration);
+
+void BM_WofpBuild(benchmark::State& state) {
+  const graph::CsdbMatrix& m = TestMatrix();
+  auto ms = memsim::MemorySystem::CreateDefault();
+  const auto in_degrees = prefetch::ComputeInDegrees(m);
+  sched::Workload w;
+  w.ranges.push_back(sched::RowRange{0, m.num_rows()});
+  sched::RefreshCounts(m, &w);
+  prefetch::WofpOptions opts;
+  opts.charge_build = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        prefetch::WofpPrefetcher::Build(m, w, in_degrees, opts, ms.get(), nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_WofpBuild);
+
+}  // namespace

@@ -1,0 +1,34 @@
+// Table I reproduction: dataset statistics.
+//
+// Prints the paper's reported statistics for each real-world graph alongside
+// the generated ~1/1000-scale R-MAT analogue actually used by the harnesses.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "graph/stats.h"
+
+int main() {
+  using namespace omega;
+  engine::PrintExperimentHeader("Table I", "dataset statistics");
+
+  engine::TablePrinter table({"Graph", "paper #nodes", "paper #edges",
+                              "paper #degrees", "analogue #nodes",
+                              "analogue #arcs", "analogue #degrees",
+                              "max degree", "norm. entropy"});
+  for (const auto& spec : graph::AllDatasets()) {
+    const graph::Graph g = graph::LoadDataset(spec).value();
+    const graph::DegreeStats stats = graph::ComputeDegreeStats(g);
+    table.AddRow({spec.name, HumanCount(spec.paper_nodes),
+                  HumanCount(spec.paper_edges), std::to_string(spec.paper_degrees),
+                  HumanCount(stats.num_nodes), HumanCount(stats.num_arcs),
+                  std::to_string(stats.distinct_degrees),
+                  std::to_string(stats.max_degree),
+                  FormatDouble(stats.normalized_entropy, 3)});
+  }
+  table.Print();
+  std::printf(
+      "\n'#degrees' is the number of distinct degree values (the CSDB index\n"
+      "size, O(|Degree|) vs CSR's O(|V|)). The analogues keep each graph's\n"
+      "node:edge ratio and skew at ~1/1000 of the paper's scale.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Traffic profile analysis — the reproduction of the paper's §III-D VTune
+// measurement: "the portion of the average remote access is more than 43%"
+// for the EaTA+WoFP configuration without NaDP, which motivates NaDP.
+//
+// For each configuration, one SpMM runs on every evaluated graph and the
+// DRAM/PM byte counters are broken down by locality and tier.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "linalg/random_matrix.h"
+#include "numa/nadp.h"
+
+int main() {
+  using namespace omega;
+  using memsim::Locality;
+  using memsim::Tier;
+  bench::Env env = bench::MakeEnv(30);
+  engine::PrintExperimentHeader(
+      "Traffic analysis (VTune analogue, SpMM, 30 threads)",
+      "remote-access fraction with and without NaDP");
+
+  engine::TablePrinter table({"Graph", "config", "remote %", "DRAM bytes",
+                              "PM bytes", "simulated time"});
+  std::vector<double> remote_without;
+  std::vector<double> remote_with;
+  for (const std::string& name : {std::string("PK"), std::string("LJ"),
+                                  std::string("OR"), std::string("TW"),
+                                  std::string("TW-2010")}) {
+    const graph::Graph g = bench::LoadGraphOrDie(name);
+    const graph::CsdbMatrix a = graph::CsdbMatrix::FromGraph(g);
+    const linalg::DenseMatrix b = linalg::GaussianMatrix(a.num_cols(), 32, 59);
+    for (bool nadp : {false, true}) {
+      numa::NadpOptions opts;
+      opts.num_threads = 30;
+      opts.enabled = nadp;
+      linalg::DenseMatrix c(a.num_rows(), 32);
+      env.ms->ResetTraffic();
+      const auto result =
+          numa::NadpSpmm(a, b, &c, opts, env.ms.get(), env.pool.get());
+      const auto traffic = env.ms->Traffic();
+      const double remote = traffic.RemoteFraction() * 100.0;
+      (nadp ? remote_with : remote_without).push_back(remote);
+      table.AddRow({name, nadp ? "OMeGa (NaDP)" : "OMeGa-w/o-NaDP",
+                    FormatDouble(remote, 1) + "%",
+                    HumanBytes(traffic.TierBytes(Tier::kDram)),
+                    HumanBytes(traffic.TierBytes(Tier::kPm)),
+                    HumanSeconds(result.phase_seconds)});
+    }
+  }
+  table.Print();
+
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s / v.size();
+  };
+  std::printf(
+      "\naverage remote fraction: %.1f%% without NaDP (paper: >43%%), "
+      "%.1f%% with NaDP\n",
+      mean(remote_without), mean(remote_with));
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace omega::bench {
+
+Env MakeEnv(int threads) {
+  Env env;
+  env.ms = memsim::MemorySystem::CreateDefault();
+  env.pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+  env.threads = threads;
+  return env;
+}
+
+const std::vector<std::string>& AllGraphNames() {
+  static const std::vector<std::string> kNames = {"PK", "LJ", "OR",
+                                                  "TW", "TW-2010", "FR"};
+  return kNames;
+}
+
+graph::Graph LoadGraphOrDie(const std::string& name) {
+  auto g = graph::LoadDatasetByName(name);
+  if (!g.ok()) {
+    std::fprintf(stderr, "failed to load dataset %s: %s\n", name.c_str(),
+                 g.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(g).value();
+}
+
+engine::EngineOptions DefaultOptions(engine::SystemKind system, int threads) {
+  engine::EngineOptions options;
+  options.system = system;
+  options.num_threads = threads;
+  options.prone.dim = 32;
+  options.prone.oversample = 8;
+  options.prone.chebyshev_order = 8;
+  return options;
+}
+
+std::string Ratio(double a, double b) {
+  if (b <= 0.0) return "-";
+  return FormatDouble(a / b, 2) + "x";
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double idx = p / 100.0 * (values.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(values.size() - 1, lo + 1);
+  const double frac = idx - lo;
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  return std::sqrt(var / values.size());
+}
+
+const std::vector<TableTwoRef>& PaperTableTwo() {
+  static const std::vector<TableTwoRef> kRefs = {
+      {"PK", 16.23, 3.76, 2.16},      {"LJ", 36.52, 10.15, 7.12},
+      {"OR", 77.60, 24.27, 18.91},    {"TW", 40.17, 7.43, 7.17},
+      {"TW-2010", 1565.38, 316.95, 295.29}, {"FR", 16566.25, 2530.97, 2432.11},
+  };
+  return kRefs;
+}
+
+}  // namespace omega::bench

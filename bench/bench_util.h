@@ -1,0 +1,55 @@
+// Shared plumbing for the per-table/figure benchmark harnesses.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/csdb.h"
+#include "graph/datasets.h"
+#include "memsim/memory_system.h"
+#include "omega/engine.h"
+#include "omega/report.h"
+
+namespace omega::bench {
+
+/// Simulated machine + worker pool for one harness run.
+struct Env {
+  std::unique_ptr<memsim::MemorySystem> ms;
+  std::unique_ptr<ThreadPool> pool;
+  int threads = 36;
+};
+
+/// Default environment: the paper's 36-thread two-socket testbed.
+Env MakeEnv(int threads = 36);
+
+/// The six Table I dataset short names, in paper order.
+const std::vector<std::string>& AllGraphNames();
+
+/// Loads a dataset analogue; aborts with a message on failure.
+graph::Graph LoadGraphOrDie(const std::string& name);
+
+/// Engine options matching the harness defaults (d = 32).
+engine::EngineOptions DefaultOptions(engine::SystemKind system, int threads);
+
+/// "3.45x" (ratio of a over b); "-" if b is 0.
+std::string Ratio(double a, double b);
+
+/// p in [0, 100]; linear interpolation.
+double Percentile(std::vector<double> values, double p);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& values);
+
+/// Paper-reported Table II runtimes (seconds) for comparison columns.
+struct TableTwoRef {
+  const char* graph;
+  double rr;
+  double wata;
+  double eata;
+};
+const std::vector<TableTwoRef>& PaperTableTwo();
+
+}  // namespace omega::bench

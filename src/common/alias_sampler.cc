@@ -1,0 +1,48 @@
+#include "common/alias_sampler.h"
+
+namespace omega {
+
+void AliasSampler::Build(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  prob_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  if (n == 0) return;
+
+  double total = 0.0;
+  for (double w : weights) total += w > 0.0 ? w : 0.0;
+  if (total <= 0.0) {
+    // Degenerate: uniform over index 0.
+    for (size_t i = 0; i < n; ++i) alias_[i] = 0;
+    return;
+  }
+
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = (weights[i] > 0.0 ? weights[i] : 0.0) * n / total;
+  }
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+size_t AliasSampler::Sample(Rng* rng) const {
+  if (prob_.empty()) return 0;
+  const size_t slot = rng->NextBounded(prob_.size());
+  return rng->NextDouble() < prob_[slot] ? slot : alias_[slot];
+}
+
+}  // namespace omega

@@ -1,0 +1,36 @@
+// Walker's alias method: O(1) sampling from a fixed discrete distribution
+// after O(n) preprocessing. Used by the random-walk engine for degree-biased
+// and unigram^0.75 negative sampling.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace omega {
+
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+
+  /// Builds the table from (unnormalized, non-negative) weights. Empty or
+  /// all-zero weights produce a sampler that always returns 0.
+  explicit AliasSampler(const std::vector<double>& weights) { Build(weights); }
+
+  void Build(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// weight.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace omega

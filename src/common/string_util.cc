@@ -1,0 +1,55 @@
+#include "common/string_util.h"
+
+#include <cstdio>
+
+namespace omega {
+
+std::vector<std::string_view> SplitTokens(std::string_view s, std::string_view delims) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (start < s.size()) {
+    const size_t end = s.find_first_of(delims, start);
+    if (end == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    if (end > start) out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string HumanCount(uint64_t n) {
+  if (n >= 1000000000ULL) return FormatDouble(n / 1e9, 2) + " B";
+  if (n >= 1000000ULL) return FormatDouble(n / 1e6, 2) + " M";
+  if (n >= 10000ULL) return FormatDouble(n / 1e3, 2) + " K";
+  return std::to_string(n);
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  constexpr uint64_t kKiB = 1024;
+  constexpr uint64_t kMiB = kKiB * 1024;
+  constexpr uint64_t kGiB = kMiB * 1024;
+  if (bytes >= kGiB) return FormatDouble(static_cast<double>(bytes) / kGiB, 2) + " GiB";
+  if (bytes >= kMiB) return FormatDouble(static_cast<double>(bytes) / kMiB, 2) + " MiB";
+  if (bytes >= kKiB) return FormatDouble(static_cast<double>(bytes) / kKiB, 2) + " KiB";
+  return std::to_string(bytes) + " B";
+}
+
+std::string HumanSeconds(double seconds) {
+  if (seconds >= 1.0) return FormatDouble(seconds, 2) + " s";
+  if (seconds >= 1e-3) return FormatDouble(seconds * 1e3, 2) + " ms";
+  return FormatDouble(seconds * 1e6, 2) + " us";
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace omega

@@ -1,0 +1,31 @@
+// Small string formatting/parsing helpers shared across modules.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omega {
+
+/// Splits `s` on any character in `delims`, dropping empty tokens.
+std::vector<std::string_view> SplitTokens(std::string_view s, std::string_view delims);
+
+/// "1.63 M", "2.41 B", "803" — human-readable counts as in the paper's Table I.
+std::string HumanCount(uint64_t n);
+
+/// "512.0 MiB", "1.5 GiB" — human-readable byte sizes.
+std::string HumanBytes(uint64_t bytes);
+
+/// Fixed-point formatting with `digits` decimals (e.g. FormatDouble(3.14159, 2)
+/// == "3.14").
+std::string FormatDouble(double v, int digits);
+
+/// "12.34 s" / "123.4 ms" / "56.7 us" — adaptive duration formatting.
+std::string HumanSeconds(double seconds);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace omega

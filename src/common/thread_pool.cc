@@ -1,0 +1,64 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace omega {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  OMEGA_CHECK(num_threads > 0) << "thread pool must have at least one thread";
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::RunOnAll(const std::function<void(size_t)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  pending_ = threads_.size();
+  ++epoch_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t, size_t)>& fn) {
+  const size_t workers = threads_.size();
+  const size_t chunk = (n + workers - 1) / workers;
+  RunOnAll([&](size_t w) {
+    const size_t begin = std::min(n, w * chunk);
+    const size_t end = std::min(n, begin + chunk);
+    if (begin < end) fn(w, begin, end);
+  });
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    (*job)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace omega

@@ -1,0 +1,50 @@
+// A small fixed-size thread pool used by every parallel kernel in omega.
+//
+// Kernels submit `ParallelFor`-style jobs where worker i receives its thread
+// index; thread indices are stable so that memsim can maintain one simulated
+// clock per worker and the NUMA layer can "bind" workers to sockets.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace omega {
+
+/// Fixed-size pool with stable worker indices [0, size).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Runs `fn(worker_index)` once on every worker and blocks until all
+  /// workers have finished. Safe to call repeatedly; not reentrant.
+  void RunOnAll(const std::function<void(size_t)>& fn);
+
+  /// Splits [0, n) into `size()` contiguous chunks and runs
+  /// `fn(worker, begin, end)` on each worker. Blocks until done.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop(size_t index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(size_t)>* job_ = nullptr;
+  uint64_t epoch_ = 0;
+  size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace omega

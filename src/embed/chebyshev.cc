@@ -1,0 +1,72 @@
+#include "embed/chebyshev.h"
+
+#include <cmath>
+
+namespace omega::embed {
+
+SpectralFilter ProneBandPass(double mu, double theta) {
+  return [mu, theta](double lambda) {
+    const double centered = lambda - mu;
+    return std::exp(-0.5 * theta * (centered * centered - 1.0));
+  };
+}
+
+std::vector<double> ChebyshevCoefficients(const SpectralFilter& filter, int order,
+                                          int quad_points) {
+  std::vector<double> coeffs(order, 0.0);
+  const double pi = 3.14159265358979323846;
+  for (int j = 0; j < quad_points; ++j) {
+    const double theta = pi * (j + 0.5) / quad_points;
+    const double x = std::cos(theta);
+    const double hx = filter(x + 1.0);  // lambda = x + 1 in [0, 2]
+    for (int k = 0; k < order; ++k) {
+      coeffs[k] += hx * std::cos(k * theta);
+    }
+  }
+  for (int k = 0; k < order; ++k) {
+    coeffs[k] *= (k == 0 ? 1.0 : 2.0) / quad_points;
+  }
+  return coeffs;
+}
+
+Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
+                                    const std::vector<double>& coefficients,
+                                    const linalg::DenseMatrix& r,
+                                    linalg::DenseMatrix* out,
+                                    const SpmmExecutor& spmm) {
+  if (coefficients.empty()) return Status::InvalidArgument("no coefficients");
+  const size_t n = r.rows();
+  const size_t d = r.cols();
+  double sim_seconds = 0.0;
+
+  // L - I = -S, so T_1 = -S R and T_{k+1} = -2 S T_k - T_{k-1}.
+  *out = linalg::DenseMatrix(n, d);
+  OMEGA_RETURN_NOT_OK(out->AddScaled(r, static_cast<float>(coefficients[0])));
+
+  linalg::DenseMatrix t_prev = r;  // T_0
+  linalg::DenseMatrix t_cur(n, d);
+  linalg::DenseMatrix tmp(n, d);
+  if (coefficients.size() > 1) {
+    OMEGA_ASSIGN_OR_RETURN(double secs, spmm(propagation, r, &tmp));
+    sim_seconds += secs;
+    t_cur = tmp;
+    t_cur.Scale(-1.0f);
+    OMEGA_RETURN_NOT_OK(out->AddScaled(t_cur, static_cast<float>(coefficients[1])));
+  }
+
+  for (size_t k = 2; k < coefficients.size(); ++k) {
+    OMEGA_ASSIGN_OR_RETURN(double secs, spmm(propagation, t_cur, &tmp));
+    sim_seconds += secs;
+    // T_k = -2 S T_{k-1} - T_{k-2}.
+    linalg::DenseMatrix t_next(n, d);
+    OMEGA_RETURN_NOT_OK(t_next.AddScaled(tmp, -2.0f));
+    OMEGA_RETURN_NOT_OK(t_next.AddScaled(t_prev, -1.0f));
+    OMEGA_RETURN_NOT_OK(
+        out->AddScaled(t_next, static_cast<float>(coefficients[k])));
+    t_prev = std::move(t_cur);
+    t_cur = std::move(t_next);
+  }
+  return sim_seconds;
+}
+
+}  // namespace omega::embed

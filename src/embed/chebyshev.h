@@ -1,0 +1,42 @@
+// Chebyshev approximation of spectral graph filters (§II-A).
+//
+// ProNE's stage 2 applies a band-pass filter g of the normalized Laplacian
+// L = I - S (S = D^-1/2 A D^-1/2, spec(L) in [0, 2]) to the embedding block.
+// With x = lambda - 1 in [-1, 1], h(x) = g(x + 1) expands as
+//   h(x) ~= sum_{k=0}^{K-1} c_k T_k(x),
+// whose coefficients come from Chebyshev-Gauss quadrature, and T_k(L - I) R
+// follows the three-term recurrence — one SpMM with S per term, which is the
+// dominant cost the paper optimizes.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "embed/prone.h"
+
+namespace omega::embed {
+
+/// Scalar filter of the Laplacian eigenvalue lambda in [0, 2].
+using SpectralFilter = std::function<double(double)>;
+
+/// ProNE's modulated Gaussian band-pass g(lambda) = exp(-theta/2 *
+/// ((lambda - mu)^2 - 1)).
+SpectralFilter ProneBandPass(double mu, double theta);
+
+/// First `order` Chebyshev coefficients of h(x) = filter(x + 1) on [-1, 1]
+/// via quadrature with `quad_points` nodes.
+std::vector<double> ChebyshevCoefficients(const SpectralFilter& filter, int order,
+                                          int quad_points = 256);
+
+/// Computes out = sum_k c_k T_k(L - I) r, where L = I - S and `propagation`
+/// is S in CSDB form. Each recurrence step issues one SpMM through `spmm`.
+/// Returns the accumulated simulated seconds of all SpMMs.
+Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
+                                    const std::vector<double>& coefficients,
+                                    const linalg::DenseMatrix& r,
+                                    linalg::DenseMatrix* out,
+                                    const SpmmExecutor& spmm);
+
+}  // namespace omega::embed

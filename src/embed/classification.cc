@@ -1,0 +1,84 @@
+#include "embed/classification.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace omega::embed {
+
+Result<ClassificationResult> EvaluateClassification(
+    const linalg::DenseMatrix& vectors, const std::vector<uint32_t>& labels,
+    const ClassificationOptions& options) {
+  if (vectors.rows() != labels.size()) {
+    return Status::InvalidArgument("one label per embedding row required");
+  }
+  if (vectors.rows() < 4) {
+    return Status::InvalidArgument("too few nodes to split");
+  }
+  if (options.train_fraction <= 0.0 || options.train_fraction >= 1.0) {
+    return Status::InvalidArgument("train_fraction must be in (0, 1)");
+  }
+  const size_t n = vectors.rows();
+  const size_t d = vectors.cols();
+  const uint32_t num_classes = *std::max_element(labels.begin(), labels.end()) + 1;
+
+  // Deterministic shuffled split.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(options.seed);
+  for (size_t i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.NextBounded(i + 1)]);
+  }
+  const size_t train_size =
+      std::max<size_t>(1, static_cast<size_t>(n * options.train_fraction));
+
+  // Class centroids from the training rows.
+  std::vector<std::vector<double>> centroids(num_classes,
+                                             std::vector<double>(d, 0.0));
+  std::vector<size_t> class_counts(num_classes, 0);
+  for (size_t i = 0; i < train_size; ++i) {
+    const uint32_t node = order[i];
+    const uint32_t label = labels[node];
+    for (size_t c = 0; c < d; ++c) centroids[label][c] += vectors.At(node, c);
+    class_counts[label]++;
+  }
+  for (uint32_t k = 0; k < num_classes; ++k) {
+    if (class_counts[k] == 0) continue;
+    double norm2 = 0.0;
+    for (double v : centroids[k]) norm2 += v * v;
+    const double inv = norm2 > 0.0 ? 1.0 / std::sqrt(norm2) : 0.0;
+    for (double& v : centroids[k]) v *= inv;
+  }
+
+  // Nearest-centroid (cosine) classification of the test rows.
+  size_t correct = 0;
+  size_t tested = 0;
+  for (size_t i = train_size; i < n; ++i) {
+    const uint32_t node = order[i];
+    double best_score = -1e300;
+    uint32_t best_class = 0;
+    for (uint32_t k = 0; k < num_classes; ++k) {
+      if (class_counts[k] == 0) continue;
+      double score = 0.0;
+      for (size_t c = 0; c < d; ++c) score += centroids[k][c] * vectors.At(node, c);
+      if (score > best_score) {
+        best_score = score;
+        best_class = k;
+      }
+    }
+    correct += best_class == labels[node];
+    ++tested;
+  }
+  if (tested == 0) return Status::Internal("empty test split");
+
+  ClassificationResult result;
+  result.micro_f1 = static_cast<double>(correct) / tested;
+  result.train_size = train_size;
+  result.test_size = tested;
+  result.num_classes = num_classes;
+  return result;
+}
+
+}  // namespace omega::embed

@@ -1,0 +1,38 @@
+// Node-classification evaluation — the second downstream task the paper's
+// introduction motivates ("link prediction and classification tasks", §I).
+//
+// Protocol: a labeled train split defines one centroid per class in
+// embedding space; test nodes are classified by nearest centroid (cosine).
+// Micro-F1 (= accuracy in the single-label case) is the usual metric of the
+// embedding literature the paper builds on.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace omega::embed {
+
+struct ClassificationOptions {
+  double train_fraction = 0.5;
+  uint64_t seed = 13;
+};
+
+struct ClassificationResult {
+  double micro_f1 = 0.0;  ///< == accuracy for single-label classification
+  size_t train_size = 0;
+  size_t test_size = 0;
+  uint32_t num_classes = 0;
+};
+
+/// Evaluates `vectors` (one row per node, original order) against the
+/// ground-truth `labels` with a nearest-centroid classifier on a random
+/// train/test split.
+Result<ClassificationResult> EvaluateClassification(
+    const linalg::DenseMatrix& vectors, const std::vector<uint32_t>& labels,
+    const ClassificationOptions& options = {});
+
+}  // namespace omega::embed

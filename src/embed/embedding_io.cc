@@ -1,0 +1,62 @@
+#include "embed/embedding_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace omega::embed {
+
+namespace {
+constexpr uint64_t kEmbeddingMagic = 0x4F4D4547412D4531ULL;  // "OMEGA-E1"
+}
+
+Status SaveEmbeddingTsv(const linalg::DenseMatrix& vectors,
+                        const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path + " for writing");
+  for (size_t r = 0; r < vectors.rows(); ++r) {
+    std::fprintf(f, "%zu", r);
+    for (size_t c = 0; c < vectors.cols(); ++c) {
+      std::fprintf(f, "\t%.6g", vectors.At(r, c));
+    }
+    std::fputc('\n', f);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Status SaveEmbeddingBinary(const linalg::DenseMatrix& vectors,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  const uint64_t magic = kEmbeddingMagic;
+  const uint64_t rows = vectors.rows();
+  const uint64_t cols = vectors.cols();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(vectors.data()),
+            static_cast<std::streamsize>(vectors.size() * sizeof(float)));
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<linalg::DenseMatrix> LoadEmbeddingBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  uint64_t magic = 0;
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in || magic != kEmbeddingMagic) {
+    return Status::IOError(path + ": not an omega embedding file");
+  }
+  linalg::DenseMatrix m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(float)));
+  if (!in) return Status::IOError(path + ": truncated embedding file");
+  return m;
+}
+
+}  // namespace omega::embed

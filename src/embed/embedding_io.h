@@ -1,0 +1,22 @@
+// Persistence for embedding matrices: TSV (interoperable with downstream ML
+// tooling, one "node dim0 dim1 ..." row per node) and a compact binary format.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace omega::embed {
+
+/// Writes one line per node: "<node_id>\t<v0>\t<v1>...". Node ids are row
+/// indices, so pass a matrix in original node order.
+Status SaveEmbeddingTsv(const linalg::DenseMatrix& vectors, const std::string& path);
+
+/// Binary round-trip format: magic + dims + float payload.
+Status SaveEmbeddingBinary(const linalg::DenseMatrix& vectors,
+                           const std::string& path);
+Result<linalg::DenseMatrix> LoadEmbeddingBinary(const std::string& path);
+
+}  // namespace omega::embed

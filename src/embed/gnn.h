@@ -1,0 +1,47 @@
+// GNN-style message-passing forward pass on the charged SpMM kernels.
+//
+// The paper positions SpMM as the shared kernel of all three embedding
+// families — "PageRank calculation in random walks, message aggregation in
+// GNN, and matrix operations ubiquitous in MF" (§II-A) — and argues OMeGa's
+// optimizations are model-agnostic (§VI). This module demonstrates that: a
+// GraphSAGE-like mean-aggregation network whose per-layer aggregation
+//   H^{l+1} = act( S H^l W_agg + H^l W_self )
+// (S = D^-1 A) runs through the same SpmmExecutor hook as ProNE, so every
+// OMeGa optimization (EaTA/WoFP/NaDP/ASL) applies unchanged.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "embed/prone.h"
+#include "graph/csdb.h"
+#include "linalg/dense_matrix.h"
+
+namespace omega::embed {
+
+struct GnnOptions {
+  int num_layers = 2;
+  size_t input_dim = 32;   ///< used when no feature matrix is supplied
+  size_t hidden_dim = 32;
+  size_t output_dim = 32;
+  uint64_t seed = 11;
+  bool l2_normalize_rows = true;
+};
+
+struct GnnResult {
+  linalg::DenseMatrix embeddings;  ///< |V| x output_dim, CSDB id space
+  double spmm_seconds = 0.0;       ///< simulated aggregation time
+  double dense_seconds = 0.0;      ///< simulated weight-multiply time (host est.)
+};
+
+/// Runs the forward pass. `features` supplies H^0 (|V| x input_dim); pass an
+/// empty matrix to use deterministic random features. All sparse
+/// aggregations go through `spmm`; weight multiplies are estimated at the
+/// simulated CPU rate.
+Result<GnnResult> GnnForward(const graph::CsdbMatrix& adjacency,
+                             const linalg::DenseMatrix& features,
+                             const GnnOptions& options, const SpmmExecutor& spmm,
+                             double cpu_ops_per_second = 4.0e9);
+
+}  // namespace omega::embed

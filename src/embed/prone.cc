@@ -1,0 +1,132 @@
+#include "embed/prone.h"
+
+#include <cmath>
+
+#include "embed/chebyshev.h"
+#include "linalg/randomized_svd.h"
+#include "sparse/csdb_ops.h"
+
+namespace omega::embed {
+
+linalg::DenseMatrix EmbeddingResult::ToOriginalOrder() const {
+  if (perm.empty()) return vectors;
+  linalg::DenseMatrix out(vectors.rows(), vectors.cols());
+  for (size_t c = 0; c < vectors.cols(); ++c) {
+    const float* src = vectors.ColData(c);
+    float* dst = out.ColData(c);
+    for (size_t r = 0; r < vectors.rows(); ++r) dst[perm[r]] = src[r];
+  }
+  return out;
+}
+
+graph::CsdbMatrix BuildTargetMatrix(const graph::CsdbMatrix& adjacency,
+                                    double neg_lambda) {
+  graph::CsdbMatrix target = adjacency;
+  // Structural degrees (entry counts per row) and the ProNE negative-sampling
+  // distribution P_D(j) ~ d_j^0.75.
+  std::vector<double> degrees(target.num_rows(), 0.0);
+  double pd_norm = 0.0;
+  for (auto cur = target.Rows(0); !cur.AtEnd(); cur.Next()) {
+    degrees[cur.row()] = cur.degree();
+    pd_norm += std::pow(static_cast<double>(cur.degree()), 0.75);
+  }
+  if (pd_norm <= 0.0) pd_norm = 1.0;
+
+  sparse::ApplyElementwise(&target, [&](uint32_t row, graph::NodeId col, float v) {
+    const double di = std::max(1.0, degrees[row]);
+    const double dj = std::max(1.0, degrees[col]);
+    const double p = static_cast<double>(v) / std::sqrt(di * dj);
+    // Symmetrized negative-sampling shift sqrt(P_D(i) P_D(j)) so that the
+    // target stays symmetric (apply == apply^T in the tSVD; see header).
+    const double pd =
+        std::sqrt(std::pow(di, 0.75) * std::pow(dj, 0.75)) / pd_norm;
+    const double val = std::log(std::max(p, 1e-12)) -
+                       std::log(std::max(neg_lambda * pd, 1e-12));
+    // Shifted-PPMI truncation keeps the factorized matrix non-negative.
+    return static_cast<float>(std::max(val, 0.0));
+  });
+  return target;
+}
+
+graph::CsdbMatrix BuildPropagationMatrix(const graph::CsdbMatrix& adjacency) {
+  graph::CsdbMatrix s = adjacency;
+  sparse::SymmetricNormalize(&s);
+  return s;
+}
+
+Result<EmbeddingResult> ProneEmbed(const graph::CsdbMatrix& adjacency,
+                                   const ProneOptions& options,
+                                   const SpmmExecutor& spmm) {
+  if (options.dim == 0) return Status::InvalidArgument("embedding dim must be > 0");
+  if (adjacency.num_rows() != adjacency.num_cols()) {
+    return Status::InvalidArgument("adjacency must be square");
+  }
+  const size_t n = adjacency.num_rows();
+  if (options.dim + options.oversample > n) {
+    return Status::InvalidArgument("dim + oversample exceeds node count");
+  }
+
+  EmbeddingResult result;
+  result.perm = adjacency.perm();
+
+  // ----- Stage 1: sparse matrix factorization via randomized tSVD. ---------
+  // Scoped so the target matrix is freed before stage 2 builds the
+  // propagation matrix (peak: adjacency + one derived sparse matrix).
+  linalg::DenseMatrix r0;
+  {
+    const graph::CsdbMatrix target =
+        BuildTargetMatrix(adjacency, options.neg_lambda);
+    double factorize_seconds = 0.0;
+    linalg::MatMulFn apply = [&](const linalg::DenseMatrix& in,
+                                 linalg::DenseMatrix* out) -> Status {
+      auto res = spmm(target, in, out);
+      if (!res.ok()) return res.status();
+      factorize_seconds += res.value();
+      return Status::OK();
+    };
+    // Symmetric target: apply == apply^T (see header).
+    linalg::RandomizedSvdOptions svd_opts;
+    svd_opts.rank = options.dim;
+    svd_opts.oversample = options.oversample;
+    svd_opts.power_iterations = options.power_iterations;
+    svd_opts.seed = options.seed;
+    OMEGA_ASSIGN_OR_RETURN(linalg::SvdResult svd,
+                           linalg::RandomizedSvd(n, n, apply, apply, svd_opts));
+
+    // R = U * sqrt(Sigma).
+    r0 = std::move(svd.u);
+    for (size_t c = 0; c < options.dim; ++c) {
+      const float scale =
+          static_cast<float>(std::sqrt(std::max(0.0, svd.singular[c])));
+      float* col = r0.ColData(c);
+      for (size_t i = 0; i < n; ++i) col[i] *= scale;
+    }
+    result.factorize_seconds = factorize_seconds;
+  }
+
+  // ----- Stage 2: Chebyshev spectral propagation. ---------------------------
+  const graph::CsdbMatrix propagation = BuildPropagationMatrix(adjacency);
+  const std::vector<double> coeffs = ChebyshevCoefficients(
+      ProneBandPass(options.mu, options.theta), options.chebyshev_order);
+  OMEGA_ASSIGN_OR_RETURN(
+      double propagate_seconds,
+      ChebyshevFilterApply(propagation, coeffs, r0, &result.vectors, spmm));
+  result.propagate_seconds = propagate_seconds;
+  result.total_seconds = result.factorize_seconds + result.propagate_seconds;
+
+  if (options.l2_normalize_rows) {
+    for (size_t i = 0; i < n; ++i) {
+      double norm2 = 0.0;
+      for (size_t c = 0; c < options.dim; ++c) {
+        const double v = result.vectors.At(i, c);
+        norm2 += v * v;
+      }
+      const float inv =
+          norm2 > 0.0 ? static_cast<float>(1.0 / std::sqrt(norm2)) : 0.0f;
+      for (size_t c = 0; c < options.dim; ++c) result.vectors.At(i, c) *= inv;
+    }
+  }
+  return result;
+}
+
+}  // namespace omega::embed

@@ -1,0 +1,72 @@
+// ProNE (Zhang et al., IJCAI'19) — the matrix-factorization embedding model
+// OMeGa uses as its prototype (§II-A, §IV-A).
+//
+// Stage 1 (SMF): factorize a shifted-PMI-style target matrix built from the
+// adjacency structure with a randomized truncated SVD; the embedding is
+// U_d * sqrt(Sigma_d).
+// Stage 2 (spectral propagation): smooth the embedding with a band-pass
+// Chebyshev filter of the normalized graph Laplacian (embed/chebyshev.h);
+// every Chebyshev term is one SpMM — this is where ~70% of the paper's total
+// runtime goes and where all of OMeGa's optimizations apply.
+//
+// Deviation from upstream ProNE (documented in DESIGN.md): the target matrix
+// is symmetrized (ln(a_ij / sqrt(d_i d_j)) - ln(lambda * P_D(j)) with the
+// symmetric normalizer) so that apply == apply^T in the tSVD; upstream uses
+// the row-normalized asymmetric variant. The spectral behaviour is the same.
+
+#pragma once
+
+#include <functional>
+
+#include "common/status.h"
+#include "graph/csdb.h"
+#include "graph/graph.h"
+#include "linalg/dense_matrix.h"
+
+namespace omega::embed {
+
+/// Executes one full-width SpMM out = m * in on behalf of the embedder and
+/// returns its *simulated* seconds. Engines inject their charged kernels
+/// (EaTA/WoFP/NaDP/ASL or any baseline) through this hook.
+using SpmmExecutor = std::function<Result<double>(
+    const graph::CsdbMatrix& m, const linalg::DenseMatrix& in,
+    linalg::DenseMatrix* out)>;
+
+struct ProneOptions {
+  size_t dim = 32;            ///< embedding dimension d
+  size_t oversample = 8;      ///< tSVD oversampling
+  int power_iterations = 1;   ///< tSVD subspace iterations
+  int chebyshev_order = 8;    ///< number of Chebyshev terms (SpMMs) in stage 2
+  double mu = 0.2;            ///< band-pass center (ProNE default)
+  double theta = 0.5;         ///< band-pass width (ProNE default)
+  double neg_lambda = 1.0;    ///< negative-sampling shift of the target matrix
+  uint64_t seed = 7;
+  bool l2_normalize_rows = true;  ///< cosine-ready output rows
+};
+
+/// Result of an embedding run. Vectors are in the CSDB (degree-sorted) id
+/// space; row i embeds original node perm[i].
+struct EmbeddingResult {
+  linalg::DenseMatrix vectors;        ///< |V| x dim
+  std::vector<graph::NodeId> perm;    ///< CSDB row -> original node id
+  double factorize_seconds = 0.0;     ///< simulated, stage 1
+  double propagate_seconds = 0.0;     ///< simulated, stage 2
+  double total_seconds = 0.0;         ///< simulated end-to-end model time
+
+  /// Rearranges the rows into original node-id order (row v = node v).
+  linalg::DenseMatrix ToOriginalOrder() const;
+};
+
+/// Builds the (symmetrized) target matrix of stage 1 from the adjacency.
+graph::CsdbMatrix BuildTargetMatrix(const graph::CsdbMatrix& adjacency,
+                                    double neg_lambda);
+
+/// Builds the symmetric-normalized propagation matrix D^-1/2 A D^-1/2.
+graph::CsdbMatrix BuildPropagationMatrix(const graph::CsdbMatrix& adjacency);
+
+/// Runs both ProNE stages using `spmm` for all sparse products.
+Result<EmbeddingResult> ProneEmbed(const graph::CsdbMatrix& adjacency,
+                                   const ProneOptions& options,
+                                   const SpmmExecutor& spmm);
+
+}  // namespace omega::embed

@@ -1,0 +1,86 @@
+#include "embed/quality.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace omega::embed {
+
+double EmbeddingScore(const linalg::DenseMatrix& vectors, graph::NodeId u,
+                      graph::NodeId v) {
+  double score = 0.0;
+  for (size_t c = 0; c < vectors.cols(); ++c) {
+    score += static_cast<double>(vectors.At(u, c)) * vectors.At(v, c);
+  }
+  return score;
+}
+
+Result<double> LinkPredictionAuc(const graph::Graph& g,
+                                 const linalg::DenseMatrix& vectors,
+                                 size_t num_samples, uint64_t seed) {
+  if (vectors.rows() != g.num_nodes()) {
+    return Status::InvalidArgument("embedding rows != node count");
+  }
+  if (g.num_arcs() == 0) return Status::InvalidArgument("graph has no edges");
+  Rng rng(seed);
+
+  auto has_edge = [&](graph::NodeId u, graph::NodeId v) {
+    const graph::NodeId* begin = g.neighbors(u);
+    const graph::NodeId* end = begin + g.degree(u);
+    return std::binary_search(begin, end, v);
+  };
+
+  std::vector<double> pos_scores;
+  std::vector<double> neg_scores;
+  pos_scores.reserve(num_samples);
+  neg_scores.reserve(num_samples);
+
+  while (pos_scores.size() < num_samples) {
+    // Sample a random arc: random node weighted by presence of neighbors.
+    const graph::NodeId u = static_cast<graph::NodeId>(rng.NextBounded(g.num_nodes()));
+    if (g.degree(u) == 0) continue;
+    const graph::NodeId v = g.neighbors(u)[rng.NextBounded(g.degree(u))];
+    pos_scores.push_back(EmbeddingScore(vectors, u, v));
+  }
+  size_t guard = 0;
+  while (neg_scores.size() < num_samples && guard < num_samples * 100) {
+    ++guard;
+    const graph::NodeId u = static_cast<graph::NodeId>(rng.NextBounded(g.num_nodes()));
+    const graph::NodeId v = static_cast<graph::NodeId>(rng.NextBounded(g.num_nodes()));
+    if (u == v || has_edge(u, v)) continue;
+    neg_scores.push_back(EmbeddingScore(vectors, u, v));
+  }
+  if (neg_scores.empty()) return Status::Internal("could not sample non-edges");
+
+  // Pairwise comparison estimate of the AUC.
+  uint64_t wins = 0;
+  uint64_t ties = 0;
+  for (size_t i = 0; i < pos_scores.size(); ++i) {
+    const double neg = neg_scores[i % neg_scores.size()];
+    if (pos_scores[i] > neg) {
+      ++wins;
+    } else if (pos_scores[i] == neg) {
+      ++ties;
+    }
+  }
+  return (wins + 0.5 * ties) / static_cast<double>(pos_scores.size());
+}
+
+std::vector<graph::NodeId> TopKSimilar(const linalg::DenseMatrix& vectors,
+                                       graph::NodeId query, size_t k) {
+  std::vector<std::pair<double, graph::NodeId>> scored;
+  scored.reserve(vectors.rows());
+  for (graph::NodeId v = 0; v < vectors.rows(); ++v) {
+    if (v == query) continue;
+    scored.emplace_back(EmbeddingScore(vectors, query, v), v);
+  }
+  k = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<graph::NodeId> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+}  // namespace omega::embed

@@ -1,0 +1,34 @@
+// Embedding quality checks: link-prediction AUC and nearest-neighbor queries.
+//
+// OMeGa is a systems contribution — it reuses ProNE's model, so quality must
+// match a ProNE run on the same graph (§IV-B: "it maintains the effectiveness
+// of graph representation of ProNE"). These utilities let tests and examples
+// verify the embeddings actually carry structure.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "linalg/dense_matrix.h"
+
+namespace omega::embed {
+
+/// AUC of dot-product scores separating `num_samples` existing edges from
+/// `num_samples` random non-edges. `vectors` must be in original node order.
+/// ~0.5 is random; structure-carrying embeddings score well above.
+Result<double> LinkPredictionAuc(const graph::Graph& g,
+                                 const linalg::DenseMatrix& vectors,
+                                 size_t num_samples, uint64_t seed);
+
+/// Top-k most similar nodes to `query` by dot product (excluding `query`).
+std::vector<graph::NodeId> TopKSimilar(const linalg::DenseMatrix& vectors,
+                                       graph::NodeId query, size_t k);
+
+/// Dot product of two embedding rows.
+double EmbeddingScore(const linalg::DenseMatrix& vectors, graph::NodeId u,
+                      graph::NodeId v);
+
+}  // namespace omega::embed

@@ -1,0 +1,210 @@
+#include "embed/random_walk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/alias_sampler.h"
+#include "common/rng.h"
+
+namespace omega::embed {
+
+namespace {
+
+// Second-order (node2vec) transition: pick a neighbor of `cur` biased by the
+// previous node. Weights: back to prev -> 1/p, distance-1 from prev -> 1,
+// distance-2 -> 1/q. Computed on the fly (graphs here are small); DeepWalk's
+// uniform case short-circuits.
+graph::NodeId NextStep(const graph::Graph& g, graph::NodeId prev, graph::NodeId cur,
+                       double p, double q, Rng* rng) {
+  const uint32_t deg = g.degree(cur);
+  const graph::NodeId* nbrs = g.neighbors(cur);
+  if (p == 1.0 && q == 1.0) {
+    return nbrs[rng->NextBounded(deg)];
+  }
+  const graph::NodeId* prev_nbrs = g.neighbors(prev);
+  const graph::NodeId* prev_end = prev_nbrs + g.degree(prev);
+  // Rejection sampling against the max weight avoids building per-step
+  // distributions.
+  const double w_return = 1.0 / p;
+  const double w_out = 1.0 / q;
+  const double w_max = std::max({w_return, 1.0, w_out});
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const graph::NodeId candidate = nbrs[rng->NextBounded(deg)];
+    double w;
+    if (candidate == prev) {
+      w = w_return;
+    } else if (std::binary_search(prev_nbrs, prev_end, candidate)) {
+      w = 1.0;
+    } else {
+      w = w_out;
+    }
+    if (rng->NextDouble() * w_max <= w) return candidate;
+  }
+  return nbrs[rng->NextBounded(deg)];
+}
+
+inline float Sigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+}  // namespace
+
+Result<WalkCorpus> GenerateWalks(const graph::Graph& g, const WalkOptions& options) {
+  if (options.walk_length < 2) {
+    return Status::InvalidArgument("walk_length must be at least 2");
+  }
+  if (options.walks_per_node == 0) {
+    return Status::InvalidArgument("walks_per_node must be positive");
+  }
+  if (options.p <= 0.0 || options.q <= 0.0) {
+    return Status::InvalidArgument("node2vec p and q must be positive");
+  }
+  WalkCorpus corpus;
+  corpus.walk_length = options.walk_length;
+  corpus.nodes.reserve(static_cast<size_t>(g.num_nodes()) *
+                       options.walks_per_node * options.walk_length);
+
+  for (uint32_t round = 0; round < options.walks_per_node; ++round) {
+    for (graph::NodeId start = 0; start < g.num_nodes(); ++start) {
+      if (g.degree(start) == 0) continue;
+      // Per-walk deterministic stream, independent of iteration order.
+      Rng rng(SplitMix64(options.seed ^ (uint64_t{round} << 32 | start)));
+      graph::NodeId prev = start;
+      graph::NodeId cur = g.neighbors(start)[rng.NextBounded(g.degree(start))];
+      corpus.nodes.push_back(start);
+      corpus.nodes.push_back(cur);
+      for (uint32_t step = 2; step < options.walk_length; ++step) {
+        const graph::NodeId next =
+            NextStep(g, prev, cur, options.p, options.q, &rng);
+        corpus.nodes.push_back(next);
+        prev = cur;
+        cur = next;
+      }
+    }
+  }
+  return corpus;
+}
+
+Result<SgnsResult> TrainSgns(const graph::Graph& g, const WalkCorpus& corpus,
+                             const SgnsOptions& options, memsim::MemorySystem* ms,
+                             memsim::Placement placement, int threads) {
+  if (options.dim == 0) return Status::InvalidArgument("dim must be positive");
+  if (corpus.walk_length == 0 || corpus.nodes.empty()) {
+    return Status::InvalidArgument("empty walk corpus");
+  }
+  const size_t n = g.num_nodes();
+  const size_t d = options.dim;
+
+  // Input and output embedding tables, small random init.
+  linalg::DenseMatrix in_table(n, d);
+  linalg::DenseMatrix out_table(n, d);
+  {
+    Rng rng(options.seed);
+    for (size_t c = 0; c < d; ++c) {
+      float* col = in_table.ColData(c);
+      for (size_t r = 0; r < n; ++r) {
+        col[r] = static_cast<float>((rng.NextDouble() - 0.5) / d);
+      }
+    }
+  }
+
+  // Negative sampling from the unigram^0.75 degree distribution.
+  std::vector<double> neg_weights(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    neg_weights[v] = std::pow(static_cast<double>(g.degree(v)), 0.75);
+  }
+  const AliasSampler negatives(neg_weights);
+
+  Rng rng(SplitMix64(options.seed * 2654435761u + 1));
+  SgnsResult result;
+  std::vector<float> grad(d);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const float lr = static_cast<float>(options.learning_rate /
+                                        (1.0 + 0.5 * epoch));
+    for (size_t w = 0; w < corpus.num_walks(); ++w) {
+      const graph::NodeId* walk = corpus.nodes.data() + w * corpus.walk_length;
+      for (uint32_t i = 0; i < corpus.walk_length; ++i) {
+        const graph::NodeId center = walk[i];
+        const uint32_t lo = i >= options.window ? i - options.window : 0;
+        const uint32_t hi =
+            std::min<uint32_t>(corpus.walk_length - 1, i + options.window);
+        for (uint32_t j = lo; j <= hi; ++j) {
+          if (j == i) continue;
+          const graph::NodeId context = walk[j];
+          std::fill(grad.begin(), grad.end(), 0.0f);
+          // One positive + `negatives` sampled negative updates.
+          for (uint32_t s = 0; s <= options.negatives; ++s) {
+            const graph::NodeId target =
+                s == 0 ? context
+                       : static_cast<graph::NodeId>(negatives.Sample(&rng));
+            const float label = s == 0 ? 1.0f : 0.0f;
+            float dot = 0.0f;
+            for (size_t c = 0; c < d; ++c) {
+              dot += in_table.At(center, c) * out_table.At(target, c);
+            }
+            const float delta = lr * (label - Sigmoid(dot));
+            for (size_t c = 0; c < d; ++c) {
+              grad[c] += delta * out_table.At(target, c);
+              out_table.At(target, c) += delta * in_table.At(center, c);
+            }
+          }
+          for (size_t c = 0; c < d; ++c) in_table.At(center, c) += grad[c];
+          ++result.updates;
+        }
+      }
+    }
+  }
+
+  // Simulated cost: each positive update touches 2 + negatives embedding
+  // rows (read + write of d floats each) at the table's placement, split
+  // over `threads` trainers (DistGER-style sharding).
+  if (ms != nullptr) {
+    const uint64_t row_touches = result.updates * (2 + options.negatives) * 2;
+    const uint64_t bytes = row_touches * d * sizeof(float);
+    memsim::SimClock clock;
+    memsim::WorkerCtx ctx;
+    ctx.clock = &clock;
+    ctx.cpu_socket = std::max(0, placement.socket);
+    ctx.active_threads = threads;
+    ms->ChargeAccess(&ctx, placement, memsim::MemOp::kRead,
+                     memsim::Pattern::kRandom, bytes / threads / 2,
+                     row_touches / threads / 2);
+    ms->ChargeAccess(&ctx, placement, memsim::MemOp::kWrite,
+                     memsim::Pattern::kRandom, bytes / threads / 2,
+                     row_touches / threads / 2);
+    ms->ChargeCompute(&ctx, result.updates * (2 + options.negatives) * d * 4 /
+                                threads);
+    result.simulated_seconds = clock.seconds();
+  }
+
+  result.vectors = std::move(in_table);
+  return result;
+}
+
+Result<SgnsResult> DeepWalkEmbed(const graph::Graph& g, const WalkOptions& walks,
+                                 const SgnsOptions& sgns, memsim::MemorySystem* ms,
+                                 memsim::Placement placement, int threads) {
+  OMEGA_ASSIGN_OR_RETURN(WalkCorpus corpus, GenerateWalks(g, walks));
+  OMEGA_ASSIGN_OR_RETURN(SgnsResult result,
+                         TrainSgns(g, corpus, sgns, ms, placement, threads));
+  // Charge walk generation: each step is a handful of random adjacency
+  // probes.
+  if (ms != nullptr) {
+    const uint64_t steps = corpus.nodes.size();
+    memsim::SimClock clock;
+    memsim::WorkerCtx ctx;
+    ctx.clock = &clock;
+    ctx.cpu_socket = std::max(0, placement.socket);
+    ctx.active_threads = threads;
+    ms->ChargeAccess(&ctx, placement, memsim::MemOp::kRead,
+                     memsim::Pattern::kRandom, steps * 64 / threads,
+                     steps / threads);
+    result.simulated_seconds += clock.seconds();
+  }
+  return result;
+}
+
+}  // namespace omega::embed

@@ -1,0 +1,80 @@
+// Random-walk embedding family (DeepWalk / node2vec; §II-A's first
+// category): walk-corpus generation with optional node2vec (p, q) biasing,
+// and a skip-gram-with-negative-sampling (SGNS) trainer over the corpus.
+//
+// This is the family the paper contrasts ProNE against ("it would take
+// weeks for LINE and months for DeepWalk/node2vec to learn embeddings for a
+// graph with 100 million nodes") and the workload class DistGER
+// distributes. On the simulated machine, walk generation charges random
+// adjacency probes and SGNS charges its embedding-row updates, so the
+// DRAM/PM placement trade-offs apply to this family exactly as to SpMM.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "linalg/dense_matrix.h"
+#include "memsim/memory_system.h"
+
+namespace omega::embed {
+
+struct WalkOptions {
+  uint32_t walks_per_node = 10;
+  uint32_t walk_length = 40;
+  /// node2vec return parameter p and in-out parameter q; p = q = 1 gives
+  /// uniform DeepWalk walks.
+  double p = 1.0;
+  double q = 1.0;
+  uint64_t seed = 17;
+};
+
+/// A walk corpus: flattened walks with uniform stride walk_length.
+struct WalkCorpus {
+  std::vector<graph::NodeId> nodes;  ///< size = #walks * walk_length
+  uint32_t walk_length = 0;
+
+  size_t num_walks() const {
+    return walk_length == 0 ? 0 : nodes.size() / walk_length;
+  }
+};
+
+/// Generates walks from every node. Isolated nodes produce no walks.
+Result<WalkCorpus> GenerateWalks(const graph::Graph& g, const WalkOptions& options);
+
+struct SgnsOptions {
+  size_t dim = 32;
+  uint32_t window = 5;
+  uint32_t negatives = 5;
+  double learning_rate = 0.025;
+  int epochs = 1;
+  uint64_t seed = 23;
+};
+
+struct SgnsResult {
+  linalg::DenseMatrix vectors;  ///< |V| x dim, original node order
+  double simulated_seconds = 0.0;
+  uint64_t updates = 0;  ///< positive-pair gradient updates applied
+};
+
+/// Trains SGNS over the corpus. When `ms` is non-null, walk-table probes and
+/// per-update embedding-row traffic are charged against the simulated
+/// machine at `placement` (the embedding tables' home) and the result's
+/// simulated_seconds reflects `threads`-way parallel training.
+Result<SgnsResult> TrainSgns(const graph::Graph& g, const WalkCorpus& corpus,
+                             const SgnsOptions& options,
+                             memsim::MemorySystem* ms = nullptr,
+                             memsim::Placement placement = {memsim::Tier::kDram, 0},
+                             int threads = 1);
+
+/// Convenience: GenerateWalks + TrainSgns (the DeepWalk/node2vec pipeline).
+Result<SgnsResult> DeepWalkEmbed(const graph::Graph& g, const WalkOptions& walks,
+                                 const SgnsOptions& sgns,
+                                 memsim::MemorySystem* ms = nullptr,
+                                 memsim::Placement placement = {memsim::Tier::kDram,
+                                                                0},
+                                 int threads = 1);
+
+}  // namespace omega::embed

@@ -1,0 +1,31 @@
+#include "graph/community.h"
+
+#include "common/rng.h"
+
+namespace omega::graph {
+
+Result<SbmGraph> GenerateSbm(const SbmParams& params) {
+  if (params.p_in < 0.0 || params.p_in > 1.0 || params.p_out < 0.0 ||
+      params.p_out > 1.0) {
+    return Status::InvalidArgument("SBM probabilities must be in [0, 1]");
+  }
+  if (params.nodes_per_block == 0 || params.blocks == 0) {
+    return Status::InvalidArgument("SBM needs at least one node and block");
+  }
+  const NodeId n = params.nodes_per_block * params.blocks;
+  Rng rng(params.seed);
+  std::vector<Edge> edges;
+  std::vector<uint32_t> labels(n);
+  for (NodeId v = 0; v < n; ++v) labels[v] = v / params.nodes_per_block;
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double p = labels[u] == labels[v] ? params.p_in : params.p_out;
+      if (rng.NextDouble() < p) edges.push_back(Edge{u, v, 1.0f});
+    }
+  }
+  OMEGA_ASSIGN_OR_RETURN(Graph g, Graph::FromEdges(n, edges, true));
+  return SbmGraph{std::move(g), std::move(labels)};
+}
+
+}  // namespace omega::graph

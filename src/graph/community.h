@@ -1,0 +1,35 @@
+// Planted-partition (stochastic block model) generator.
+//
+// R-MAT reproduces degree skew but not community structure; the paper's
+// downstream tasks — classification, clustering, recommendation (§I) — need
+// graphs whose embeddings have something to learn. The SBM plants `blocks`
+// communities with intra-probability p_in >> inter-probability p_out and
+// returns the ground-truth labels for evaluation.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace omega::graph {
+
+struct SbmParams {
+  NodeId nodes_per_block = 64;
+  uint32_t blocks = 4;
+  double p_in = 0.2;    ///< edge probability within a block
+  double p_out = 0.01;  ///< edge probability across blocks
+  uint64_t seed = 77;
+};
+
+struct SbmGraph {
+  Graph graph;
+  std::vector<uint32_t> labels;  ///< ground-truth block of each node
+};
+
+/// Generates a planted-partition graph. Fails on invalid probabilities.
+Result<SbmGraph> GenerateSbm(const SbmParams& params);
+
+}  // namespace omega::graph

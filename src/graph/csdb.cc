@@ -1,0 +1,141 @@
+#include "graph/csdb.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace omega::graph {
+
+namespace {
+
+// Builds the block metadata from a non-increasing per-row degree sequence.
+void BuildBlocks(const std::vector<uint32_t>& row_degrees, CsdbMatrix* out,
+                 std::vector<uint32_t>* deg_list, std::vector<uint32_t>* deg_ind,
+                 std::vector<uint64_t>* block_ptr) {
+  (void)out;
+  deg_list->clear();
+  deg_ind->clear();
+  block_ptr->clear();
+  uint64_t ptr = 0;
+  for (uint32_t r = 0; r < row_degrees.size(); ++r) {
+    if (deg_list->empty() || row_degrees[r] != deg_list->back()) {
+      deg_list->push_back(row_degrees[r]);
+      deg_ind->push_back(r);
+      block_ptr->push_back(ptr);
+    }
+    ptr += row_degrees[r];
+  }
+  deg_ind->push_back(static_cast<uint32_t>(row_degrees.size()));
+  block_ptr->push_back(ptr);
+}
+
+}  // namespace
+
+CsdbMatrix CsdbMatrix::FromGraph(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  const std::vector<NodeId> order = g.DegreeDescendingOrder();
+  std::vector<NodeId> inverse(n);
+  for (NodeId i = 0; i < n; ++i) inverse[order[i]] = i;
+
+  CsdbMatrix m;
+  m.num_rows_ = n;
+  m.num_cols_ = n;
+  m.perm_ = order;
+  m.col_list_.reserve(g.num_arcs());
+  m.nnz_list_.reserve(g.num_arcs());
+
+  std::vector<uint32_t> row_degrees(n);
+  std::vector<std::pair<NodeId, float>> row;
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId old_v = order[i];
+    const uint32_t deg = g.degree(old_v);
+    row_degrees[i] = deg;
+    row.clear();
+    const NodeId* nbrs = g.neighbors(old_v);
+    const float* wts = g.weights(old_v);
+    for (uint32_t k = 0; k < deg; ++k) {
+      row.emplace_back(inverse[nbrs[k]], wts[k]);
+    }
+    std::sort(row.begin(), row.end());
+    for (const auto& [c, w] : row) {
+      m.col_list_.push_back(c);
+      m.nnz_list_.push_back(w);
+    }
+  }
+
+  BuildBlocks(row_degrees, &m, &m.deg_list_, &m.deg_ind_, &m.block_ptr_);
+  return m;
+}
+
+Result<CsdbMatrix> CsdbMatrix::FromParts(uint32_t num_rows, uint32_t num_cols,
+                                         const std::vector<uint32_t>& row_degrees,
+                                         std::vector<NodeId> col_list,
+                                         std::vector<float> nnz_list,
+                                         std::vector<NodeId> perm) {
+  if (row_degrees.size() != num_rows) {
+    return Status::InvalidArgument("row_degrees must have num_rows entries");
+  }
+  uint64_t total = 0;
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    if (r > 0 && row_degrees[r] > row_degrees[r - 1]) {
+      return Status::InvalidArgument("row degrees must be non-increasing for CSDB");
+    }
+    total += row_degrees[r];
+  }
+  if (total != col_list.size() || col_list.size() != nnz_list.size()) {
+    return Status::InvalidArgument("col_list/nnz_list size mismatch with degrees");
+  }
+  for (NodeId c : col_list) {
+    if (c >= num_cols) return Status::OutOfRange("column index out of range");
+  }
+  if (!perm.empty() && perm.size() != num_rows) {
+    return Status::InvalidArgument("perm must be empty or num_rows long");
+  }
+  CsdbMatrix m;
+  m.num_rows_ = num_rows;
+  m.num_cols_ = num_cols;
+  m.col_list_ = std::move(col_list);
+  m.nnz_list_ = std::move(nnz_list);
+  m.perm_ = std::move(perm);
+  BuildBlocks(row_degrees, &m, &m.deg_list_, &m.deg_ind_, &m.block_ptr_);
+  return m;
+}
+
+uint32_t CsdbMatrix::BlockOfRow(uint32_t row) const {
+  OMEGA_DCHECK(row < num_rows_);
+  // Last block whose first row is <= row.
+  const auto it = std::upper_bound(deg_ind_.begin(), deg_ind_.end(), row);
+  return static_cast<uint32_t>(it - deg_ind_.begin()) - 1;
+}
+
+uint64_t CsdbMatrix::RowPtr(uint32_t row) const {
+  const uint32_t b = BlockOfRow(row);
+  return block_ptr_[b] +
+         static_cast<uint64_t>(row - deg_ind_[b]) * static_cast<uint64_t>(deg_list_[b]);
+}
+
+CsdbMatrix::RowCursor::RowCursor(const CsdbMatrix& m, uint32_t start_row)
+    : m_(&m), row_(start_row) {
+  if (AtEnd()) {
+    block_ = m.num_blocks();
+    degree_ = 0;
+    ptr_ = m.nnz();
+    return;
+  }
+  block_ = m.BlockOfRow(start_row);
+  degree_ = m.deg_list_[block_];
+  ptr_ = m.block_ptr_[block_] +
+         static_cast<uint64_t>(start_row - m.deg_ind_[block_]) * degree_;
+}
+
+void CsdbMatrix::RowCursor::Next() {
+  ptr_ += degree_;
+  ++row_;
+  if (AtEnd()) return;
+  if (row_ >= m_->deg_ind_[block_ + 1]) {
+    ++block_;
+    degree_ = m_->deg_list_[block_];
+  }
+}
+
+}  // namespace omega::graph

@@ -1,0 +1,42 @@
+#include "graph/csr.h"
+
+namespace omega::graph {
+
+CsrMatrix CsrMatrix::FromGraph(const Graph& g) {
+  CsrMatrix m;
+  m.num_rows_ = g.num_nodes();
+  m.num_cols_ = g.num_nodes();
+  m.row_ptr_ = g.offsets();
+  m.col_idx_ = g.neighbor_array();
+  m.values_ = g.weight_array();
+  return m;
+}
+
+Result<CsrMatrix> CsrMatrix::FromParts(uint32_t num_rows, uint32_t num_cols,
+                                       std::vector<uint64_t> row_ptr,
+                                       std::vector<NodeId> col_idx,
+                                       std::vector<float> values) {
+  if (row_ptr.size() != static_cast<size_t>(num_rows) + 1) {
+    return Status::InvalidArgument("row_ptr must have num_rows+1 entries");
+  }
+  if (col_idx.size() != values.size() || row_ptr.back() != col_idx.size()) {
+    return Status::InvalidArgument("col_idx/values size mismatch with row_ptr");
+  }
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) {
+      return Status::InvalidArgument("row_ptr must be non-decreasing");
+    }
+  }
+  for (NodeId c : col_idx) {
+    if (c >= num_cols) return Status::OutOfRange("column index out of range");
+  }
+  CsrMatrix m;
+  m.num_rows_ = num_rows;
+  m.num_cols_ = num_cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+}  // namespace omega::graph

@@ -1,0 +1,61 @@
+#include "graph/datasets.h"
+
+namespace omega::graph {
+
+namespace {
+
+std::vector<DatasetSpec> MakeRegistry() {
+  // Scaled-down analogues: node scale chosen as the nearest power of two to
+  // paper_nodes/1000, edge budget = paper_edges/1000. Heavier-tailed graphs
+  // (the Twitter family) use a larger R-MAT `a` for stronger skew.
+  std::vector<DatasetSpec> specs;
+
+  specs.push_back(DatasetSpec{
+      "PK", "soc-Pokec", 1630000, 44600000, 803,
+      RmatParams{/*scale=*/11, /*num_edges=*/44600, 0.57, 0.19, 0.19, 0.05,
+                 /*seed=*/1001, /*noise=*/0.1}});
+  specs.push_back(DatasetSpec{
+      "LJ", "soc-LiveJournal", 4850000, 85700000, 1641,
+      RmatParams{/*scale=*/12, /*num_edges=*/85700, 0.57, 0.19, 0.19, 0.05,
+                 /*seed=*/1002, /*noise=*/0.1}});
+  specs.push_back(DatasetSpec{
+      "OR", "com-Orkut", 3070000, 234470000, 2863,
+      RmatParams{/*scale=*/12, /*num_edges=*/234470, 0.55, 0.19, 0.19, 0.07,
+                 /*seed=*/1003, /*noise=*/0.1}});
+  specs.push_back(DatasetSpec{
+      "TW", "Twitter", 11320000, 127110000, 5373,
+      RmatParams{/*scale=*/13, /*num_edges=*/127110, 0.63, 0.17, 0.15, 0.05,
+                 /*seed=*/1004, /*noise=*/0.1}});
+  specs.push_back(DatasetSpec{
+      "TW-2010", "Twitter-2010", 41650000, 2410000000ULL, 15760,
+      RmatParams{/*scale=*/15, /*num_edges=*/2410000, 0.63, 0.17, 0.15, 0.05,
+                 /*seed=*/1005, /*noise=*/0.1}});
+  specs.push_back(DatasetSpec{
+      "FR", "com-Friendster", 65610000, 3610000000ULL, 3148,
+      RmatParams{/*scale=*/16, /*num_edges=*/3610000, 0.55, 0.19, 0.19, 0.07,
+                 /*seed=*/1006, /*noise=*/0.1}});
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec> kRegistry = MakeRegistry();
+  return kRegistry;
+}
+
+Result<DatasetSpec> FindDataset(const std::string& name) {
+  for (const DatasetSpec& spec : AllDatasets()) {
+    if (spec.name == name || spec.full_name == name) return spec;
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+Result<Graph> LoadDataset(const DatasetSpec& spec) { return GenerateRmat(spec.rmat); }
+
+Result<Graph> LoadDatasetByName(const std::string& name) {
+  OMEGA_ASSIGN_OR_RETURN(DatasetSpec spec, FindDataset(name));
+  return LoadDataset(spec);
+}
+
+}  // namespace omega::graph

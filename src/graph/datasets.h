@@ -1,0 +1,44 @@
+// Registry of the paper's evaluation datasets (Table I), synthesized at
+// ~1/1000 scale.
+//
+// The real graphs (soc-Pokec, soc-LiveJournal, com-Orkut, Twitter,
+// Twitter-2010, com-Friendster) are multi-GB downloads that are unavailable
+// offline; each is replaced by an R-MAT analogue with the same node:edge
+// ratio and comparable degree skew. The simulated machine's capacities are
+// scaled by the same factor (see memsim/topology.h), so capacity-driven
+// behaviour (e.g. DRAM-only OOM on TW-2010/FR) is preserved.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/rmat.h"
+
+namespace omega::graph {
+
+/// Descriptor of one registered dataset analogue.
+struct DatasetSpec {
+  std::string name;          ///< paper's short name, e.g. "LJ"
+  std::string full_name;     ///< e.g. "soc-LiveJournal"
+  uint64_t paper_nodes;      ///< |V| of the real graph
+  uint64_t paper_edges;      ///< |E| of the real graph
+  uint32_t paper_degrees;    ///< "#degrees" column of Table I
+  RmatParams rmat;           ///< generator for the scaled analogue
+};
+
+/// All six datasets of Table I, ordered as in the paper.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Spec lookup by short name ("PK", "LJ", "OR", "TW", "TW-2010", "FR").
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Generates the scaled analogue graph for `spec`.
+Result<Graph> LoadDataset(const DatasetSpec& spec);
+
+/// Convenience: FindDataset + LoadDataset.
+Result<Graph> LoadDatasetByName(const std::string& name);
+
+}  // namespace omega::graph

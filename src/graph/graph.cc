@@ -1,0 +1,91 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace omega::graph {
+
+Result<Graph> Graph::FromEdges(NodeId num_nodes, const std::vector<Edge>& edges,
+                               bool undirected) {
+  if (num_nodes == 0) {
+    return Status::InvalidArgument("graph must have at least one node");
+  }
+  std::vector<Edge> arcs;
+  arcs.reserve(edges.size() * (undirected ? 2 : 1));
+  for (const Edge& e : edges) {
+    if (e.src >= num_nodes || e.dst >= num_nodes) {
+      return Status::OutOfRange("edge endpoint out of range: " +
+                                std::to_string(e.src) + "->" + std::to_string(e.dst));
+    }
+    if (e.src == e.dst) continue;  // drop self-loops
+    arcs.push_back(e);
+    if (undirected) arcs.push_back(Edge{e.dst, e.src, e.weight});
+  }
+
+  std::sort(arcs.begin(), arcs.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.offsets_.assign(num_nodes + 1, 0);
+  g.neighbors_.reserve(arcs.size());
+  g.weights_.reserve(arcs.size());
+
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    if (i > 0 && arcs[i].src == arcs[i - 1].src && arcs[i].dst == arcs[i - 1].dst) {
+      g.weights_.back() += arcs[i].weight;  // merge duplicates
+      continue;
+    }
+    g.neighbors_.push_back(arcs[i].dst);
+    g.weights_.push_back(arcs[i].weight);
+    g.offsets_[arcs[i].src + 1]++;
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) g.offsets_[v + 1] += g.offsets_[v];
+
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    g.max_degree_ = std::max(g.max_degree_, g.degree(v));
+  }
+  return g;
+}
+
+uint32_t Graph::num_distinct_degrees() const {
+  std::unordered_set<uint32_t> seen;
+  for (NodeId v = 0; v < num_nodes_; ++v) seen.insert(degree(v));
+  return static_cast<uint32_t>(seen.size());
+}
+
+Result<Graph> Graph::Relabel(const std::vector<NodeId>& perm) const {
+  if (perm.size() != num_nodes_) {
+    return Status::InvalidArgument("permutation size mismatch");
+  }
+  std::vector<NodeId> inverse(num_nodes_, num_nodes_);
+  for (NodeId i = 0; i < num_nodes_; ++i) {
+    if (perm[i] >= num_nodes_ || inverse[perm[i]] != num_nodes_) {
+      return Status::InvalidArgument("perm is not a permutation of [0, num_nodes)");
+    }
+    inverse[perm[i]] = i;
+  }
+  std::vector<Edge> edges;
+  edges.reserve(num_arcs());
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    const NodeId new_src = inverse[v];
+    for (uint64_t i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+      edges.push_back(Edge{new_src, inverse[neighbors_[i]], weights_[i]});
+    }
+  }
+  // Arcs are already symmetric, so insert them directed.
+  return FromEdges(num_nodes_, edges, /*undirected=*/false);
+}
+
+std::vector<NodeId> Graph::DegreeDescendingOrder() const {
+  std::vector<NodeId> order(num_nodes_);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](NodeId a, NodeId b) {
+    return degree(a) > degree(b);
+  });
+  return order;
+}
+
+}  // namespace omega::graph

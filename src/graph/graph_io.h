@@ -1,0 +1,31 @@
+// Graph loading and saving: whitespace-separated edge-list text files (the
+// SNAP convention the paper's datasets ship in) and a compact binary format.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace omega::graph {
+
+/// Parses a text edge list: one "src dst [weight]" per line; lines starting
+/// with '#' or '%' are comments. Node ids may be arbitrary (non-contiguous);
+/// they are densified in first-appearance order.
+Result<Graph> LoadEdgeListText(const std::string& path, bool undirected = true);
+
+/// Writes one "src dst weight" line per stored arc.
+Status SaveEdgeListText(const Graph& g, const std::string& path);
+
+/// Binary round-trip format: header + offsets + neighbors + weights.
+Status SaveBinary(const Graph& g, const std::string& path);
+Result<Graph> LoadBinary(const std::string& path);
+
+/// MatrixMarket coordinate format (the sparse-matrix community's exchange
+/// format; SuiteSparse etc.). Reads `%%MatrixMarket matrix coordinate
+/// (real|pattern) (general|symmetric)` headers; 1-based indices.
+Result<Graph> LoadMatrixMarket(const std::string& path);
+Status SaveMatrixMarket(const Graph& g, const std::string& path);
+
+}  // namespace omega::graph

@@ -1,0 +1,50 @@
+#include "graph/rmat.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace omega::graph {
+
+Result<Graph> GenerateRmat(const RmatParams& params) {
+  const double sum = params.a + params.b + params.c + params.d;
+  if (std::abs(sum - 1.0) > 1e-6) {
+    return Status::InvalidArgument("R-MAT probabilities must sum to 1");
+  }
+  if (params.scale == 0 || params.scale > 30) {
+    return Status::InvalidArgument("R-MAT scale must be in [1, 30]");
+  }
+  const NodeId n = NodeId{1} << params.scale;
+  Rng rng(params.seed);
+
+  std::vector<Edge> edges;
+  edges.reserve(params.num_edges);
+  for (uint64_t e = 0; e < params.num_edges; ++e) {
+    NodeId row = 0;
+    NodeId col = 0;
+    for (uint32_t level = 0; level < params.scale; ++level) {
+      // Jitter the quadrant probabilities to smooth the degree distribution.
+      const double na = params.a * (1.0 + params.noise * (rng.NextDouble() - 0.5));
+      const double nb = params.b * (1.0 + params.noise * (rng.NextDouble() - 0.5));
+      const double nc = params.c * (1.0 + params.noise * (rng.NextDouble() - 0.5));
+      const double nd = params.d * (1.0 + params.noise * (rng.NextDouble() - 0.5));
+      const double total = na + nb + nc + nd;
+      const double r = rng.NextDouble() * total;
+      const NodeId half = NodeId{1} << (params.scale - level - 1);
+      if (r < na) {
+        // top-left: nothing to add
+      } else if (r < na + nb) {
+        col += half;
+      } else if (r < na + nb + nc) {
+        row += half;
+      } else {
+        row += half;
+        col += half;
+      }
+    }
+    if (row != col) edges.push_back(Edge{row, col, 1.0f});
+  }
+  return Graph::FromEdges(n, edges, /*undirected=*/true);
+}
+
+}  // namespace omega::graph

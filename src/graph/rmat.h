@@ -1,0 +1,34 @@
+// R-MAT synthetic graph generator (Chakrabarti, Zhan, Faloutsos; SDM'04).
+//
+// Used both for the paper's scalability study (Fig. 17b) and, with tuned
+// skew, to synthesize scaled-down analogues of the real-world datasets
+// (Table I) that are unavailable here.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace omega::graph {
+
+/// Parameters of one R-MAT recursion. a+b+c+d must be ~1; larger `a` gives
+/// heavier degree skew.
+struct RmatParams {
+  uint32_t scale = 14;        ///< nodes = 2^scale
+  uint64_t num_edges = 1 << 18;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  uint64_t seed = 42;
+  /// Jitter applied to the quadrant probabilities per recursion level, which
+  /// avoids the artificial degree ties a noiseless R-MAT produces.
+  double noise = 0.1;
+};
+
+/// Generates an undirected graph (duplicate edges merged, self-loops dropped).
+Result<Graph> GenerateRmat(const RmatParams& params);
+
+}  // namespace omega::graph

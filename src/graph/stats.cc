@@ -1,0 +1,36 @@
+#include "graph/stats.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace omega::graph {
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_arcs = g.num_arcs();
+  s.max_degree = g.max_degree();
+  s.distinct_degrees = g.num_distinct_degrees();
+  if (s.num_nodes > 0) {
+    s.mean_degree = static_cast<double>(s.num_arcs) / static_cast<double>(s.num_nodes);
+  }
+  if (s.num_arcs > 0) {
+    double h = 0.0;
+    const double total = static_cast<double>(s.num_arcs);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const double p = g.degree(v) / total;
+      if (p > 0.0) h -= p * std::log(p);
+    }
+    s.degree_entropy = h;
+    if (s.num_nodes > 1) s.normalized_entropy = h / std::log(s.num_nodes);
+  }
+  return s;
+}
+
+std::vector<uint64_t> DegreeHistogram(const Graph& g) {
+  std::vector<uint64_t> hist(g.max_degree() + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) hist[g.degree(v)]++;
+  return hist;
+}
+
+}  // namespace omega::graph

@@ -1,0 +1,32 @@
+// Degree-distribution statistics used by Table I, EaTA's entropy measures,
+// and the dataset analogues' skew validation.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace omega::graph {
+
+/// Summary statistics of a graph's degree distribution.
+struct DegreeStats {
+  uint64_t num_nodes = 0;
+  uint64_t num_arcs = 0;
+  uint32_t max_degree = 0;
+  uint32_t distinct_degrees = 0;
+  double mean_degree = 0.0;
+  /// Shannon entropy of the degree-share distribution p_v = deg(v)/num_arcs,
+  /// in nats. log(|V|) for a regular graph; lower means more skew.
+  double degree_entropy = 0.0;
+  /// degree_entropy / log(num_nodes) in [0, 1].
+  double normalized_entropy = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const Graph& g);
+
+/// histogram[d] = number of nodes with degree d (d <= max_degree).
+std::vector<uint64_t> DegreeHistogram(const Graph& g);
+
+}  // namespace omega::graph

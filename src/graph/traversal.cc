@@ -1,0 +1,109 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+namespace omega::graph {
+
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source) {
+  std::vector<uint32_t> dist(g.num_nodes(), UINT32_MAX);
+  if (source >= g.num_nodes()) return dist;
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    const NodeId* nbrs = g.neighbors(v);
+    for (uint32_t i = 0; i < g.degree(v); ++i) {
+      if (dist[nbrs[i]] == UINT32_MAX) {
+        dist[nbrs[i]] = dist[v] + 1;
+        queue.push_back(nbrs[i]);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> ConnectedComponents(const Graph& g) {
+  std::vector<NodeId> label(g.num_nodes(), g.num_nodes());
+  std::deque<NodeId> queue;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (label[start] != g.num_nodes()) continue;
+    label[start] = start;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      const NodeId* nbrs = g.neighbors(v);
+      for (uint32_t i = 0; i < g.degree(v); ++i) {
+        if (label[nbrs[i]] == g.num_nodes()) {
+          label[nbrs[i]] = start;
+          queue.push_back(nbrs[i]);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+uint32_t CountComponents(const Graph& g) {
+  const auto labels = ConnectedComponents(g);
+  uint32_t count = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) count += labels[v] == v;
+  return count;
+}
+
+Result<PageRankResult> PageRank(const Graph& g, const PageRankOptions& options) {
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in [0, 1)");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  const NodeId n = g.num_nodes();
+  PageRankResult result;
+  result.scores.assign(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // Dangling mass redistributes uniformly.
+    double dangling = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (g.degree(v) == 0) dangling += result.scores[v];
+    }
+    const double base = (1.0 - options.damping) / n +
+                        options.damping * dangling / n;
+    std::fill(next.begin(), next.end(), base);
+    for (NodeId v = 0; v < n; ++v) {
+      const uint32_t deg = g.degree(v);
+      if (deg == 0) continue;
+      const double share = options.damping * result.scores[v] / deg;
+      const NodeId* nbrs = g.neighbors(v);
+      for (uint32_t i = 0; i < deg; ++i) next[nbrs[i]] += share;
+    }
+    double delta = 0.0;
+    for (NodeId v = 0; v < n; ++v) delta += std::abs(next[v] - result.scores[v]);
+    result.scores.swap(next);
+    result.iterations = it + 1;
+    result.final_delta = delta;
+    if (delta < options.tolerance) break;
+  }
+  return result;
+}
+
+std::vector<NodeId> TopPageRankNodes(const PageRankResult& result, size_t k) {
+  std::vector<NodeId> order(result.scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](NodeId a, NodeId b) {
+                      return result.scores[a] > result.scores[b];
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace omega::graph

@@ -1,0 +1,49 @@
+// Graph analytics utilities: BFS, connected components, and PageRank.
+//
+// PageRank is the paper's example of SpMM/SpMV being "fundamental and
+// essential for various computations ... such as PageRank calculation in
+// random walks" (§II-A); it runs as repeated SpMV over the row-normalized
+// transition matrix. BFS/components support dataset sanity checks and the
+// examples.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csdb.h"
+#include "graph/graph.h"
+
+namespace omega::graph {
+
+/// BFS distances from `source`; unreachable nodes get UINT32_MAX.
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source);
+
+/// Connected-component label per node (labels are the smallest node id in
+/// the component).
+std::vector<NodeId> ConnectedComponents(const Graph& g);
+
+/// Number of distinct connected components.
+uint32_t CountComponents(const Graph& g);
+
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 100;
+  double tolerance = 1e-8;  ///< L1 change per iteration to declare converged
+};
+
+struct PageRankResult {
+  std::vector<double> scores;  ///< sums to ~1
+  int iterations = 0;
+  double final_delta = 0.0;
+};
+
+/// Power-iteration PageRank over the out-degree-normalized transition
+/// matrix. Dangling nodes redistribute uniformly.
+Result<PageRankResult> PageRank(const Graph& g, const PageRankOptions& options = {});
+
+/// Top-k nodes by PageRank score, descending.
+std::vector<NodeId> TopPageRankNodes(const PageRankResult& result, size_t k);
+
+}  // namespace omega::graph

@@ -1,0 +1,64 @@
+// Column-major dense matrix.
+//
+// Column-major is load-bearing for the reproduction: the paper's SpMM
+// (Algorithm 1) iterates "for column t in B", relying on the dense operand
+// and the result matrix being stored column-major so result writes are
+// sequential (§III-B, operation 5).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace omega::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(size_t rows, size_t cols) : rows_(rows), cols_(cols) {
+    data_.assign(rows * cols, 0.0f);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  size_t bytes() const { return data_.size() * sizeof(float); }
+
+  float& At(size_t r, size_t c) { return data_[c * rows_ + r]; }
+  float At(size_t r, size_t c) const { return data_[c * rows_ + r]; }
+
+  float* ColData(size_t c) { return data_.data() + c * rows_; }
+  const float* ColData(size_t c) const { return data_.data() + c * rows_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Fill(float v) { data_.assign(data_.size(), v); }
+
+  /// this += alpha * other (same shape required).
+  Status AddScaled(const DenseMatrix& other, float alpha);
+
+  /// this *= alpha.
+  void Scale(float alpha);
+
+  double FrobeniusNorm() const;
+
+  /// Sub-view copy of columns [col_begin, col_end).
+  DenseMatrix SliceCols(size_t col_begin, size_t col_end) const;
+
+  /// Returns the transpose (cols x rows).
+  DenseMatrix Transposed() const;
+
+  /// Max |a_ij - b_ij|; returns infinity on shape mismatch.
+  static double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace omega::linalg

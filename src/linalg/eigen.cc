@@ -1,0 +1,92 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace omega::linalg {
+
+Result<EigenResult> SymmetricEigen(const DenseMatrix& a, double tol, int max_sweeps) {
+  const size_t k = a.rows();
+  if (a.cols() != k) return Status::InvalidArgument("SymmetricEigen: not square");
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      if (std::abs(a.At(i, j) - a.At(j, i)) > 1e-3 * (1.0 + std::abs(a.At(i, j)))) {
+        return Status::InvalidArgument("SymmetricEigen: matrix is not symmetric");
+      }
+    }
+  }
+
+  std::vector<double> m(k * k);
+  for (size_t c = 0; c < k; ++c)
+    for (size_t r = 0; r < k; ++r) m[c * k + r] = 0.5 * (a.At(r, c) + a.At(c, r));
+
+  std::vector<double> v(k * k, 0.0);
+  for (size_t i = 0; i < k; ++i) v[i * k + i] = 1.0;
+
+  auto off_diag_norm = [&]() {
+    double s = 0.0;
+    for (size_t c = 0; c < k; ++c)
+      for (size_t r = 0; r < k; ++r)
+        if (r != c) s += m[c * k + r] * m[c * k + r];
+    return std::sqrt(s);
+  };
+
+  const double scale = std::max(1.0, off_diag_norm());
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() <= tol * scale) break;
+    for (size_t p = 0; p + 1 < k; ++p) {
+      for (size_t q = p + 1; q < k; ++q) {
+        const double apq = m[q * k + p];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = m[p * k + p];
+        const double aqq = m[q * k + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/cols p and q of m.
+        for (size_t i = 0; i < k; ++i) {
+          const double mip = m[p * k + i];
+          const double miq = m[q * k + i];
+          m[p * k + i] = c * mip - s * miq;
+          m[q * k + i] = s * mip + c * miq;
+        }
+        for (size_t i = 0; i < k; ++i) {
+          const double mpi = m[i * k + p];
+          const double mqi = m[i * k + q];
+          m[i * k + p] = c * mpi - s * mqi;
+          m[i * k + q] = s * mpi + c * mqi;
+        }
+        // Accumulate eigenvectors.
+        for (size_t i = 0; i < k; ++i) {
+          const double vip = v[p * k + i];
+          const double viq = v[q * k + i];
+          v[p * k + i] = c * vip - s * viq;
+          v[q * k + i] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Sort by non-increasing eigenvalue.
+  std::vector<size_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return m[x * k + x] > m[y * k + y]; });
+
+  EigenResult result;
+  result.eigenvalues.resize(k);
+  result.eigenvectors = DenseMatrix(k, k);
+  for (size_t c = 0; c < k; ++c) {
+    const size_t src = order[c];
+    result.eigenvalues[c] = m[src * k + src];
+    for (size_t r = 0; r < k; ++r) {
+      result.eigenvectors.At(r, c) = static_cast<float>(v[src * k + r]);
+    }
+  }
+  return result;
+}
+
+}  // namespace omega::linalg

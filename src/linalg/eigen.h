@@ -1,0 +1,23 @@
+// Symmetric eigendecomposition of small matrices via the cyclic Jacobi
+// method — the inner solver of the randomized truncated SVD.
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace omega::linalg {
+
+/// Eigendecomposition of a symmetric k x k matrix: A = V diag(w) V^T.
+struct EigenResult {
+  std::vector<double> eigenvalues;  ///< sorted non-increasing
+  DenseMatrix eigenvectors;         ///< k x k; column i pairs eigenvalues[i]
+};
+
+/// Cyclic Jacobi. `a` must be symmetric; tolerance is on off-diagonal mass.
+Result<EigenResult> SymmetricEigen(const DenseMatrix& a, double tol = 1e-12,
+                                   int max_sweeps = 64);
+
+}  // namespace omega::linalg

@@ -1,0 +1,56 @@
+#include "linalg/gemm.h"
+
+namespace omega::linalg {
+
+Status Gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c) {
+  if (a.cols() != b.rows()) return Status::InvalidArgument("Gemm: inner dim mismatch");
+  *c = DenseMatrix(a.rows(), b.cols());
+  for (size_t j = 0; j < b.cols(); ++j) {
+    const float* bj = b.ColData(j);
+    float* cj = c->ColData(j);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const float bkj = bj[k];
+      if (bkj == 0.0f) continue;
+      const float* ak = a.ColData(k);
+      for (size_t i = 0; i < a.rows(); ++i) cj[i] += ak[i] * bkj;
+    }
+  }
+  return Status::OK();
+}
+
+Status GemmTransA(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c) {
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("GemmTransA: row dim mismatch");
+  }
+  *c = DenseMatrix(a.cols(), b.cols());
+  for (size_t j = 0; j < b.cols(); ++j) {
+    const float* bj = b.ColData(j);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const float* ai = a.ColData(i);
+      double acc = 0.0;
+      for (size_t r = 0; r < a.rows(); ++r) acc += static_cast<double>(ai[r]) * bj[r];
+      c->At(i, j) = static_cast<float>(acc);
+    }
+  }
+  return Status::OK();
+}
+
+Status GemmTransB(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c) {
+  if (a.cols() != b.cols()) {
+    return Status::InvalidArgument("GemmTransB: col dim mismatch");
+  }
+  *c = DenseMatrix(a.rows(), b.rows());
+  for (size_t k = 0; k < a.cols(); ++k) {
+    const float* ak = a.ColData(k);
+    const float* bk = b.ColData(k);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const float bjk = bk[j];
+      if (bjk == 0.0f) continue;
+      float* cj = c->ColData(j);
+      for (size_t i = 0; i < a.rows(); ++i) cj[i] += ak[i] * bjk;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace omega::linalg

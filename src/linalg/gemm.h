@@ -1,0 +1,21 @@
+// Dense matrix products used by the tSVD pipeline. These operate on small or
+// skinny matrices (n x k with k <= ~160), so straightforward loops with
+// double accumulation suffice.
+
+#pragma once
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace omega::linalg {
+
+/// C = A * B.
+Status Gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c);
+
+/// C = A^T * B (A is n x k, B is n x m, C is k x m); accumulates in double.
+Status GemmTransA(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c);
+
+/// C = A * B^T.
+Status GemmTransB(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c);
+
+}  // namespace omega::linalg

@@ -1,0 +1,86 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <vector>
+
+namespace omega::linalg {
+
+Status ReducedQr(const DenseMatrix& a, DenseMatrix* q, DenseMatrix* r) {
+  const size_t n = a.rows();
+  const size_t k = a.cols();
+  if (n < k) return Status::InvalidArgument("ReducedQr requires rows >= cols");
+  if (k == 0) return Status::InvalidArgument("ReducedQr on empty matrix");
+
+  // Work in double for numerical robustness on float inputs.
+  std::vector<double> work(n * k);
+  for (size_t c = 0; c < k; ++c) {
+    const float* col = a.ColData(c);
+    for (size_t i = 0; i < n; ++i) work[c * n + i] = col[i];
+  }
+
+  // Householder vectors stored below the diagonal of `work`; betas separate.
+  std::vector<double> betas(k, 0.0);
+  std::vector<double> rmat(k * k, 0.0);
+
+  for (size_t j = 0; j < k; ++j) {
+    double* colj = work.data() + j * n;
+    double norm = 0.0;
+    for (size_t i = j; i < n; ++i) norm += colj[i] * colj[i];
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      // Rank-deficient column: leave the zero reflector; R gets a zero.
+      rmat[j * k + j] = 0.0;
+      continue;
+    }
+    const double alpha = colj[j] >= 0 ? -norm : norm;
+    const double v0 = colj[j] - alpha;
+    colj[j] = v0;
+    double vnorm2 = 0.0;
+    for (size_t i = j; i < n; ++i) vnorm2 += colj[i] * colj[i];
+    betas[j] = vnorm2 > 0.0 ? 2.0 / vnorm2 : 0.0;
+    rmat[j * k + j] = alpha;
+
+    // Apply the reflector to the remaining columns.
+    for (size_t c = j + 1; c < k; ++c) {
+      double* colc = work.data() + c * n;
+      double dot = 0.0;
+      for (size_t i = j; i < n; ++i) dot += colj[i] * colc[i];
+      const double scale = betas[j] * dot;
+      for (size_t i = j; i < n; ++i) colc[i] -= scale * colj[i];
+      rmat[c * k + j] = colc[j];
+    }
+  }
+  // Upper part of R above diagonal was collected during elimination; collect
+  // the remaining entries (columns already reduced).
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t i = 0; i < c; ++i) rmat[c * k + i] = work[c * n + i];
+  }
+
+  // Form Q by applying reflectors to the first k columns of the identity.
+  *q = DenseMatrix(n, k);
+  std::vector<double> e(n);
+  for (size_t c = 0; c < k; ++c) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[c] = 1.0;
+    for (size_t j = k; j-- > 0;) {
+      if (betas[j] == 0.0) continue;
+      const double* vj = work.data() + j * n;
+      double dot = 0.0;
+      for (size_t i = j; i < n; ++i) dot += vj[i] * e[i];
+      const double scale = betas[j] * dot;
+      for (size_t i = j; i < n; ++i) e[i] -= scale * vj[i];
+    }
+    float* qc = q->ColData(c);
+    for (size_t i = 0; i < n; ++i) qc[i] = static_cast<float>(e[i]);
+  }
+
+  if (r != nullptr) {
+    *r = DenseMatrix(k, k);
+    for (size_t c = 0; c < k; ++c) {
+      for (size_t i = 0; i <= c; ++i) r->At(i, c) = static_cast<float>(rmat[c * k + i]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace omega::linalg

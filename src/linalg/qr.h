@@ -1,0 +1,15 @@
+// Reduced (thin) QR factorization of tall-skinny matrices via Householder
+// reflections — the orthonormalization step of the randomized range finder.
+
+#pragma once
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace omega::linalg {
+
+/// Computes A = Q * R with Q (n x k) having orthonormal columns and R (k x k)
+/// upper triangular. Requires n >= k. `r` may be nullptr if not needed.
+Status ReducedQr(const DenseMatrix& a, DenseMatrix* q, DenseMatrix* r);
+
+}  // namespace omega::linalg

@@ -1,0 +1,29 @@
+#include "linalg/random_matrix.h"
+
+#include "common/rng.h"
+
+namespace omega::linalg {
+
+DenseMatrix GaussianMatrix(size_t rows, size_t cols, uint64_t seed) {
+  DenseMatrix m(rows, cols);
+  for (size_t c = 0; c < cols; ++c) {
+    Rng rng(SplitMix64(seed ^ (0x9e3779b9ULL * (c + 1))));
+    float* col = m.ColData(c);
+    for (size_t r = 0; r < rows; ++r) col[r] = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+DenseMatrix UniformMatrix(size_t rows, size_t cols, uint64_t seed, float lo, float hi) {
+  DenseMatrix m(rows, cols);
+  for (size_t c = 0; c < cols; ++c) {
+    Rng rng(SplitMix64(seed ^ (0x517cc1b7ULL * (c + 1))));
+    float* col = m.ColData(c);
+    for (size_t r = 0; r < rows; ++r) {
+      col[r] = lo + static_cast<float>(rng.NextDouble()) * (hi - lo);
+    }
+  }
+  return m;
+}
+
+}  // namespace omega::linalg

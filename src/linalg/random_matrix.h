@@ -1,0 +1,19 @@
+// Deterministic random test/projection matrices.
+
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/dense_matrix.h"
+
+namespace omega::linalg {
+
+/// i.i.d. standard-normal entries; each column is seeded independently so the
+/// result is identical regardless of generation order or thread count.
+DenseMatrix GaussianMatrix(size_t rows, size_t cols, uint64_t seed);
+
+/// Uniform [lo, hi) entries, same per-column seeding scheme.
+DenseMatrix UniformMatrix(size_t rows, size_t cols, uint64_t seed, float lo = 0.0f,
+                          float hi = 1.0f);
+
+}  // namespace omega::linalg

@@ -1,0 +1,37 @@
+// Bandwidth microbenchmark over the simulated machine — the reproduction of
+// the paper's Fig. 9 (FIO/NUMACTL measurements of local/remote PM bandwidth).
+//
+// The probe replays a synthetic access stream of the requested class through
+// the charging path and reports the aggregate bandwidth the simulated device
+// delivered, verifying that the cost model reproduces the published curves.
+
+#pragma once
+
+#include <vector>
+
+#include "memsim/memory_system.h"
+
+namespace omega::memsim {
+
+/// One measured point of the probe.
+struct BandwidthSample {
+  Tier tier;
+  MemOp op;
+  Pattern pattern;
+  Locality locality;
+  int threads;
+  double gbps;  ///< aggregate bandwidth across all threads
+};
+
+/// Replays `bytes_per_thread` of classified traffic on `threads` simulated
+/// workers and returns the delivered aggregate bandwidth in GB/s.
+BandwidthSample ProbeBandwidth(MemorySystem* ms, Tier tier, MemOp op, Pattern pat,
+                               Locality loc, int threads, size_t bytes_per_thread);
+
+/// Full Fig. 9 sweep: every (op, pattern, locality) combination of `tier` for
+/// each thread count in `thread_counts`.
+std::vector<BandwidthSample> ProbeTier(MemorySystem* ms, Tier tier,
+                                       const std::vector<int>& thread_counts,
+                                       size_t bytes_per_thread);
+
+}  // namespace omega::memsim

@@ -1,0 +1,20 @@
+#include "memsim/cost_model.h"
+
+#include <algorithm>
+
+namespace omega::memsim {
+
+double CostModel::AccessSeconds(Tier t, const AccessRun& run,
+                                int active_threads) const {
+  if (run.bytes == 0 && run.accesses == 0) return 0.0;
+  const DeviceProfile& dev = profiles_.Get(t);
+  const BandwidthCurve& curve = dev.Curve(run.op, run.pattern, run.locality);
+  const double gbps = curve.PerThreadGbps(active_threads);
+  const double bw_seconds = static_cast<double>(run.bytes) / (gbps * 1e9);
+  const double mlp = run.locality == Locality::kLocal ? kMlpLocal : kMlpRemote;
+  const double lat_seconds =
+      static_cast<double>(run.accesses) * dev.LatencyNs(run.locality) * 1e-9 / mlp;
+  return std::max(bw_seconds, lat_seconds);
+}
+
+}  // namespace omega::memsim

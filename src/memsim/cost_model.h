@@ -1,0 +1,57 @@
+// Translates classified memory traffic and arithmetic into simulated seconds.
+
+#pragma once
+
+#include <cstddef>
+
+#include "memsim/device_profile.h"
+#include "memsim/types.h"
+
+namespace omega::memsim {
+
+/// Description of one bulk charge: `bytes` moved in `accesses` separate
+/// access runs (for random traffic, `accesses` is the number of independent
+/// random touches; for sequential traffic it is the number of streams, which
+/// amortizes latency away).
+struct AccessRun {
+  MemOp op = MemOp::kRead;
+  Pattern pattern = Pattern::kSequential;
+  Locality locality = Locality::kLocal;
+  size_t bytes = 0;
+  size_t accesses = 1;
+};
+
+/// Stateless converter from access runs to simulated seconds.
+class CostModel {
+ public:
+  explicit CostModel(ProfileSet profiles) : profiles_(profiles) {}
+
+  const ProfileSet& profiles() const { return profiles_; }
+
+  /// Simulated seconds for one worker (out of `active_threads` concurrently
+  /// hammering the same tier) to complete `run` against tier `t`.
+  ///
+  /// cost = max(bytes / per_thread_bandwidth, accesses * latency / MLP)
+  /// where MLP models memory-level parallelism (outstanding requests) that
+  /// overlaps access latencies. Remote accesses sustain far fewer outstanding
+  /// requests (inter-socket link queue limits), which is the per-thread NUMA
+  /// random-access penalty NaDP exploits: at saturation the paper's Fig. 9
+  /// peaks show local ~= remote for random reads, but per-access a remote
+  /// gather costs latency/3 vs latency/8 overlapped.
+  double AccessSeconds(Tier t, const AccessRun& run, int active_threads) const;
+
+  /// Simulated seconds for `ops` scalar multiply-accumulate operations on one
+  /// core (the paper's W_i / BW_CPU term in Eq. 2).
+  double ComputeSeconds(size_t ops) const {
+    return static_cast<double>(ops) / profiles_.cpu_ops_per_second;
+  }
+
+  /// Memory-level parallelism depth used to overlap access latency.
+  static constexpr double kMlpLocal = 8.0;
+  static constexpr double kMlpRemote = 3.0;
+
+ private:
+  ProfileSet profiles_;
+};
+
+}  // namespace omega::memsim

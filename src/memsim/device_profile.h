@@ -1,0 +1,80 @@
+// Calibrated device performance profiles for the simulated DRAM/PM/SSD/network
+// tiers.
+//
+// The numbers are calibrated to the measurements reported in the OMeGa paper
+// (§I, §III-D Fig. 9) and the Optane characterization literature it cites
+// (Izraelevitz et al., Yang et al. FAST'20):
+//   * PM read bandwidth  ~= 1/3 of DRAM, PM write bandwidth ~= 1/6 of DRAM.
+//   * PM local sequential read ~= remote sequential read (global sequential
+//     reads are cheap), but 2.41x / 2.45x higher than local / remote random
+//     reads.
+//   * PM local sequential write is 3.23x remote sequential write and 4.99x
+//     remote random write; remote write peak is ~69% of local.
+//   * PM local / remote read latency is 4.2x / 3.3x the DRAM baseline.
+//   * Bandwidth saturates as threads are added (Fig. 9's flattening curves).
+
+#pragma once
+
+#include <array>
+
+#include "memsim/types.h"
+
+namespace omega::memsim {
+
+/// Saturating bandwidth curve for one (op, pattern, locality) combination.
+///
+/// With `t` active threads on the device the aggregate bandwidth is
+/// min(t * per_thread_gbps, peak_gbps); each thread receives an equal share.
+struct BandwidthCurve {
+  double per_thread_gbps = 0.0;
+  double peak_gbps = 0.0;
+
+  /// Aggregate GB/s delivered to `active_threads` concurrent streams.
+  double AggregateGbps(int active_threads) const;
+
+  /// GB/s available to one of `active_threads` concurrent streams.
+  double PerThreadGbps(int active_threads) const;
+};
+
+/// Full performance description of one device tier.
+struct DeviceProfile {
+  Tier tier = Tier::kDram;
+
+  /// Indexed by [op][pattern][locality].
+  std::array<std::array<std::array<BandwidthCurve, 2>, 2>, 2> curves;
+
+  /// Access latency in nanoseconds for [locality].
+  std::array<double, 2> latency_ns = {0.0, 0.0};
+
+  const BandwidthCurve& Curve(MemOp op, Pattern pat, Locality loc) const {
+    return curves[static_cast<int>(op)][static_cast<int>(pat)][static_cast<int>(loc)];
+  }
+  BandwidthCurve& Curve(MemOp op, Pattern pat, Locality loc) {
+    return curves[static_cast<int>(op)][static_cast<int>(pat)][static_cast<int>(loc)];
+  }
+  double LatencyNs(Locality loc) const { return latency_ns[static_cast<int>(loc)]; }
+};
+
+/// Profiles for all tiers plus the simulated CPU arithmetic throughput.
+struct ProfileSet {
+  std::array<DeviceProfile, kNumTiers> tiers;
+
+  /// Simulated scalar multiply-accumulate throughput per core (ops/s); models
+  /// the BW_CPU term of the paper's Eq. 2 cost analysis.
+  double cpu_ops_per_second = 4.0e9;
+
+  const DeviceProfile& Get(Tier t) const { return tiers[static_cast<int>(t)]; }
+  DeviceProfile& Get(Tier t) { return tiers[static_cast<int>(t)]; }
+};
+
+/// Returns the calibrated default profiles described in the file comment.
+ProfileSet DefaultProfiles();
+
+/// Profiles for a CXL-attached memory expander in place of Optane PM — the
+/// paper's stated future direction (§VI: "The rise of CXL enables the
+/// integration of PM into scalable memory architectures"). CXL.mem DDR
+/// expanders deliver near-DRAM bandwidth at added (~2.5x DRAM) latency with
+/// no read/write asymmetry and no NUMA-socket penalty beyond the link.
+ProfileSet CxlProfiles();
+
+}  // namespace omega::memsim

@@ -1,0 +1,123 @@
+// MemorySystem: the central heterogeneous-memory simulator object.
+//
+// It combines the machine topology, calibrated device profiles, per-tier
+// capacity accounting, and traffic statistics. Kernels execute their real
+// computation on host memory and *charge* the traffic they would have
+// generated on the simulated machine; MemorySystem converts each charge into
+// simulated seconds on the worker's SimClock and tallies global counters
+// (the simulated equivalent of the paper's VTune local/remote profiling).
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "memsim/cost_model.h"
+#include "memsim/sim_clock.h"
+#include "memsim/topology.h"
+
+namespace omega::memsim {
+
+/// Where a buffer lives on the simulated machine.
+///
+/// socket == kInterleaved models the OS "Interleaved" NUMA policy the paper
+/// uses as the no-NaDP baseline (§III-D): pages round-robin across sockets,
+/// so capacity is drawn evenly from all sockets and every access stream is
+/// half local / half remote on a two-socket machine.
+struct Placement {
+  Tier tier = Tier::kDram;
+  int socket = 0;
+
+  static constexpr int kInterleaved = -1;
+
+  bool interleaved() const { return socket == kInterleaved; }
+
+  bool operator==(const Placement& other) const {
+    return tier == other.tier && socket == other.socket;
+  }
+};
+
+/// Immutable snapshot of traffic counters, in bytes.
+struct TrafficSnapshot {
+  /// Indexed by [tier][op][pattern][locality].
+  uint64_t bytes[kNumTiers][2][2][2] = {};
+
+  uint64_t TotalBytes() const;
+  uint64_t TierBytes(Tier t) const;
+  uint64_t LocalityBytes(Locality loc) const;
+  /// Fraction of DRAM+PM traffic that was remote; the paper reports >43%
+  /// remote without NaDP.
+  double RemoteFraction() const;
+};
+
+/// Execution context of one simulated worker thread within a parallel phase.
+struct WorkerCtx {
+  int worker = 0;          ///< stable worker index within the pool
+  int cpu_socket = 0;      ///< socket this worker is bound to
+  int active_threads = 1;  ///< number of workers concurrently using memory
+  SimClock* clock = nullptr;
+};
+
+/// The simulated heterogeneous-memory machine.
+class MemorySystem {
+ public:
+  MemorySystem(TopologyConfig topo, ProfileSet profiles);
+
+  /// Convenience: default topology + calibrated default profiles.
+  static std::unique_ptr<MemorySystem> CreateDefault();
+
+  const Topology& topology() const { return topology_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  // --- Capacity accounting -------------------------------------------------
+
+  /// Reserves `bytes` on (tier, socket); fails with CapacityExceeded when the
+  /// simulated device is full. This is how "cannot run DRAM-only on
+  /// billion-scale graphs" manifests.
+  Status Reserve(Placement p, size_t bytes);
+  void Release(Placement p, size_t bytes);
+
+  size_t UsedBytes(Tier tier, int socket) const;
+  size_t CapacityBytes(Tier tier) const {
+    return topology_.config().TierCapacityPerSocket(tier);
+  }
+  /// Free bytes on the given device, saturating at 0.
+  size_t AvailableBytes(Tier tier, int socket) const;
+
+  // --- Charging ------------------------------------------------------------
+
+  /// Computes simulated seconds for a classified access from `cpu_socket` to
+  /// data placed at `p`, updates traffic counters, and returns the cost.
+  double AccessSeconds(Placement p, int cpu_socket, MemOp op, Pattern pat,
+                       size_t bytes, size_t accesses, int active_threads);
+
+  /// Charges an access run against the worker's clock.
+  void ChargeAccess(WorkerCtx* ctx, Placement p, MemOp op, Pattern pat, size_t bytes,
+                    size_t accesses = 1);
+
+  /// Charges `ops` multiply-accumulate operations against the worker's clock.
+  void ChargeCompute(WorkerCtx* ctx, size_t ops);
+
+  // --- Statistics ----------------------------------------------------------
+
+  void ResetTraffic();
+  TrafficSnapshot Traffic() const;
+
+ private:
+  Topology topology_;
+  CostModel cost_model_;
+
+  mutable std::mutex capacity_mu_;
+  // used_[tier][socket]
+  std::vector<std::array<size_t, kNumTiers>> used_by_socket_;
+
+  // traffic_[tier][op][pattern][locality]
+  std::atomic<uint64_t> traffic_[kNumTiers][2][2][2] = {};
+};
+
+}  // namespace omega::memsim

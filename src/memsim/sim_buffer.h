@@ -1,0 +1,83 @@
+// SimBuffer<T>: a typed array that lives "on" the simulated machine.
+//
+// The contents are ordinary host memory (kernels compute on them directly);
+// the buffer additionally carries its simulated Placement (tier + socket) and
+// reserves capacity from the MemorySystem, so allocating past a device's
+// capacity fails exactly as it would on the real machine.
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "memsim/memory_system.h"
+
+namespace omega::memsim {
+
+template <typename T>
+class SimBuffer {
+ public:
+  SimBuffer() = default;
+
+  /// Allocates `n` elements of T placed at (tier, socket).
+  static Result<SimBuffer<T>> Create(MemorySystem* ms, size_t n, Tier tier,
+                                     int socket) {
+    Placement p{tier, socket};
+    OMEGA_RETURN_NOT_OK(ms->Reserve(p, n * sizeof(T)));
+    SimBuffer<T> buf;
+    buf.ms_ = ms;
+    buf.placement_ = p;
+    buf.data_.resize(n);
+    return buf;
+  }
+
+  ~SimBuffer() { ReleaseReservation(); }
+
+  SimBuffer(const SimBuffer&) = delete;
+  SimBuffer& operator=(const SimBuffer&) = delete;
+
+  SimBuffer(SimBuffer&& other) noexcept { MoveFrom(&other); }
+  SimBuffer& operator=(SimBuffer&& other) noexcept {
+    if (this != &other) {
+      ReleaseReservation();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  size_t bytes() const { return data_.size() * sizeof(T); }
+
+  const Placement& placement() const { return placement_; }
+  MemorySystem* memory_system() const { return ms_; }
+
+ private:
+  void ReleaseReservation() {
+    if (ms_ != nullptr && !data_.empty()) {
+      ms_->Release(placement_, data_.size() * sizeof(T));
+    }
+    ms_ = nullptr;
+    data_.clear();
+  }
+
+  void MoveFrom(SimBuffer* other) {
+    ms_ = other->ms_;
+    placement_ = other->placement_;
+    data_ = std::move(other->data_);
+    other->ms_ = nullptr;
+    other->data_.clear();
+  }
+
+  MemorySystem* ms_ = nullptr;
+  Placement placement_;
+  std::vector<T> data_;
+};
+
+}  // namespace omega::memsim

@@ -1,0 +1,16 @@
+#include "memsim/topology.h"
+
+namespace omega::memsim {
+
+int Topology::SocketOfWorker(int worker, int total_workers) const {
+  const int sockets = config_.num_sockets;
+  if (total_workers <= 0) return 0;
+  if (worker < 0) worker = 0;
+  if (worker >= total_workers) worker = total_workers - 1;
+  const int per_socket = (total_workers + sockets - 1) / sockets;
+  int socket = worker / per_socket;
+  if (socket >= sockets) socket = sockets - 1;
+  return socket;
+}
+
+}  // namespace omega::memsim

@@ -1,0 +1,62 @@
+// Simulated machine topology: sockets, cores, and per-socket DRAM/PM capacity.
+//
+// The default configuration mirrors the paper's testbed (two sockets, 18
+// cores, 96 GB DRAM + 768 GB PM per socket) scaled down ~4000x — 1000x for
+// the dataset analogues' node/edge counts times 4x for the reduced embedding
+// dimension (32 vs 128) — so capacity-driven behaviour (which systems OOM on
+// which graphs) matches the paper: 24 MB DRAM and 192 MB PM per socket.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "memsim/types.h"
+
+namespace omega::memsim {
+
+/// Static description of the simulated machine.
+struct TopologyConfig {
+  int num_sockets = 2;
+  int cores_per_socket = 18;
+
+  /// Per-socket capacities in bytes. SSD/network capacities are unbounded.
+  size_t dram_bytes_per_socket = 24ULL << 20;  // 24 MB (paper: 96 GB, /4000)
+  size_t pm_bytes_per_socket = 192ULL << 20;   // 192 MB (paper: 768 GB, /4000)
+
+  int TotalCores() const { return num_sockets * cores_per_socket; }
+  size_t TierCapacityPerSocket(Tier t) const {
+    switch (t) {
+      case Tier::kDram:
+        return dram_bytes_per_socket;
+      case Tier::kPm:
+        return pm_bytes_per_socket;
+      default:
+        return SIZE_MAX;
+    }
+  }
+};
+
+/// Maps worker threads to sockets and answers locality queries.
+class Topology {
+ public:
+  explicit Topology(TopologyConfig config) : config_(config) {}
+
+  const TopologyConfig& config() const { return config_; }
+  int num_sockets() const { return config_.num_sockets; }
+
+  /// Socket a worker is bound to under block assignment: with W workers,
+  /// workers [0, W/S) go to socket 0, the next W/S to socket 1, and so on.
+  /// This mirrors NaDP's CPU-binding-based computing (§III-D).
+  int SocketOfWorker(int worker, int total_workers) const;
+
+  /// Locality of an access from `cpu_socket` to data on `data_socket`.
+  Locality LocalityOf(int cpu_socket, int data_socket) const {
+    return cpu_socket == data_socket ? Locality::kLocal : Locality::kRemote;
+  }
+
+ private:
+  TopologyConfig config_;
+};
+
+}  // namespace omega::memsim

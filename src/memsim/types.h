@@ -1,0 +1,50 @@
+// Core enums describing a memory access in the heterogeneous-memory simulator.
+//
+// Every charge against the simulated clock is classified along four axes:
+// which device tier served it, whether it read or wrote, whether the stream
+// was sequential or random, and whether the accessing core was on the same
+// NUMA socket as the data. These four axes are exactly the distinctions the
+// OMeGa paper's mechanisms (EaTA/WoFP/NaDP/ASL) act upon.
+
+#pragma once
+
+namespace omega::memsim {
+
+/// Device tier of a placed buffer.
+enum class Tier { kDram = 0, kPm = 1, kSsd = 2, kNetwork = 3 };
+inline constexpr int kNumTiers = 4;
+
+/// Direction of an access.
+enum class MemOp { kRead = 0, kWrite = 1 };
+
+/// Stream shape of an access run.
+enum class Pattern { kSequential = 0, kRandom = 1 };
+
+/// NUMA relation between the accessing core and the data's socket.
+enum class Locality { kLocal = 0, kRemote = 1 };
+
+inline const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kDram:
+      return "DRAM";
+    case Tier::kPm:
+      return "PM";
+    case Tier::kSsd:
+      return "SSD";
+    case Tier::kNetwork:
+      return "NET";
+  }
+  return "?";
+}
+
+inline const char* MemOpName(MemOp op) { return op == MemOp::kRead ? "read" : "write"; }
+
+inline const char* PatternName(Pattern p) {
+  return p == Pattern::kSequential ? "seq" : "rand";
+}
+
+inline const char* LocalityName(Locality l) {
+  return l == Locality::kLocal ? "local" : "remote";
+}
+
+}  // namespace omega::memsim

@@ -1,0 +1,186 @@
+#include "numa/nadp.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+#include "numa/partition.h"
+
+namespace omega::numa {
+
+namespace {
+
+// Workers are assigned to sockets in contiguous blocks, mirroring
+// Topology::SocketOfWorker.
+struct WorkerLayout {
+  int per_socket = 0;
+
+  int SocketOf(int worker, int sockets) const {
+    return std::min(worker / per_socket, sockets - 1);
+  }
+  int LocalIndex(int worker, int socket) const { return worker - socket * per_socket; }
+  int ThreadsOnSocket(int socket, int total, int sockets) const {
+    const int begin = socket * per_socket;
+    const int end = socket == sockets - 1 ? total
+                                          : std::min(total, begin + per_socket);
+    return std::max(0, end - begin);
+  }
+};
+
+}  // namespace
+
+NadpResult NadpSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
+                    linalg::DenseMatrix* c, const NadpOptions& options,
+                    memsim::MemorySystem* ms, ThreadPool* pool, size_t col_begin,
+                    size_t col_end) {
+  const int threads = options.num_threads;
+  OMEGA_CHECK(threads > 0);
+  OMEGA_CHECK(pool->size() >= static_cast<size_t>(threads));
+  OMEGA_CHECK(c->rows() == a.num_rows() && c->cols() == b.cols());
+  col_end = std::min(col_end, b.cols());
+  OMEGA_CHECK(col_begin <= col_end);
+
+  const int sockets = ms->topology().num_sockets();
+  sched::AllocatorOptions alloc_opts;
+  alloc_opts.beta = options.beta;
+
+  NadpResult result;
+  result.thread_seconds.assign(threads, 0.0);
+  result.nnz_processed = a.nnz();
+  memsim::ClockGroup clocks(threads);
+  std::vector<sparse::SpmmCostBreakdown> breakdowns(threads);
+  std::vector<std::unique_ptr<prefetch::WofpPrefetcher>> caches(threads);
+  const std::vector<uint32_t> in_degrees =
+      options.use_wofp ? prefetch::ComputeInDegrees(a) : std::vector<uint32_t>{};
+
+  if (!options.enabled) {
+    // OS Interleaved baseline: one global allocation; every stream pays the
+    // interleaved local/remote mix.
+    alloc_opts.num_threads = threads;
+    const std::vector<sched::Workload> workloads =
+        sched::Allocate(a, options.allocator, alloc_opts);
+    sparse::SpmmPlacements pl;
+    pl.index = {memsim::Tier::kDram, memsim::Placement::kInterleaved};
+    pl.sparse = {options.sparse_tier, memsim::Placement::kInterleaved};
+    pl.dense = {options.dense_tier, memsim::Placement::kInterleaved};
+    pl.result = {options.result_tier, memsim::Placement::kInterleaved};
+
+    pool->RunOnAll([&](size_t worker) {
+      if (worker >= static_cast<size_t>(threads)) return;
+      memsim::WorkerCtx ctx;
+      ctx.worker = static_cast<int>(worker);
+      ctx.cpu_socket = ms->topology().SocketOfWorker(static_cast<int>(worker), threads);
+      ctx.active_threads = threads;
+      ctx.clock = &clocks.clock(worker);
+      const sparse::DenseCacheView* cache = nullptr;
+      if (options.use_wofp) {
+        prefetch::WofpOptions wofp = options.wofp;
+        // Keep the configured cache tier; only the placement policy changes.
+        wofp.cache_placement.socket = memsim::Placement::kInterleaved;
+        caches[worker] = prefetch::WofpPrefetcher::Build(a, workloads[worker],
+                                                         in_degrees, wofp, ms, &ctx);
+        cache = caches[worker].get();
+      }
+      breakdowns[worker] = sparse::ExecuteWorkloadCsdb(
+          a, b, c, workloads[worker], pl, ms, &ctx, cache, col_begin, col_end);
+    });
+  } else {
+    // NaDP (Fig. 10): socket s's threads compute C[:, cols_s] = A * B[:,
+    // cols_s], reading each sparse row block from its owning socket. The
+    // column blocks partition [col_begin, col_end). With fewer threads than
+    // sockets, only the sockets that have a thread receive a column block
+    // (the data partition across sockets is unchanged).
+    const int active_sockets = std::min(sockets, threads);
+    SocketPartition part = MakeSocketPartition(a, col_end - col_begin, sockets);
+    {
+      const SocketPartition cols =
+          MakeSocketPartition(a, col_end - col_begin, active_sockets);
+      for (int s = 0; s < sockets; ++s) {
+        part.col_blocks[s] = s < active_sockets
+                                 ? cols.col_blocks[s]
+                                 : std::pair<size_t, size_t>{0, 0};
+        part.col_blocks[s].first += col_begin;
+        part.col_blocks[s].second += col_begin;
+      }
+    }
+    WorkerLayout layout;
+    layout.per_socket = (threads + active_sockets - 1) / active_sockets;
+
+    // Per-socket thread allocations (identical when threads % sockets == 0).
+    std::vector<std::vector<sched::Workload>> per_socket_workloads(sockets);
+    for (int s = 0; s < active_sockets; ++s) {
+      const int ws = layout.ThreadsOnSocket(s, threads, active_sockets);
+      if (ws <= 0) continue;
+      alloc_opts.num_threads = ws;
+      per_socket_workloads[s] = sched::Allocate(a, options.allocator, alloc_opts);
+    }
+
+    pool->RunOnAll([&](size_t worker) {
+      if (worker >= static_cast<size_t>(threads)) return;
+      const int w = static_cast<int>(worker);
+      const int s = layout.SocketOf(w, active_sockets);
+      const int wi = layout.LocalIndex(w, s);
+      if (wi >= static_cast<int>(per_socket_workloads[s].size())) return;
+      const sched::Workload& workload = per_socket_workloads[s][wi];
+      const auto [col_begin, col_end] = part.col_blocks[s];
+
+      memsim::WorkerCtx ctx;
+      ctx.worker = w;
+      ctx.cpu_socket = s;
+      // NaDP's point: each socket's thread group contends only for its own
+      // socket's devices (local dense block, local intermediates), so the
+      // per-device concurrency is the socket group, not the whole pool. The
+      // Interleaved baseline spreads every thread across all devices and is
+      // charged at full-pool contention.
+      ctx.active_threads = layout.ThreadsOnSocket(s, threads, active_sockets);
+      ctx.clock = &clocks.clock(worker);
+
+      const sparse::DenseCacheView* cache = nullptr;
+      if (options.use_wofp) {
+        prefetch::WofpOptions wofp = options.wofp;
+        // Pin each worker's cache on its own socket, keeping the tier.
+        wofp.cache_placement.socket = s;
+        caches[worker] =
+            prefetch::WofpPrefetcher::Build(a, workload, in_degrees, wofp, ms, &ctx);
+        cache = caches[worker].get();
+      }
+
+      uint64_t rows_processed = 0;
+      for (int block = 0; block < sockets; ++block) {
+        const sched::Workload sub = IntersectWorkload(workload, part.row_blocks[block]);
+        if (sub.ranges.empty()) continue;
+        sparse::SpmmPlacements pl;
+        pl.index = {memsim::Tier::kDram, s};          // CSDB metadata: tiny, local
+        pl.sparse = {options.sparse_tier, block};     // sequential, local or remote
+        pl.dense = {options.dense_tier, s};           // socket-local dense block
+        pl.result = {options.result_tier, s};         // local intermediate writes
+        breakdowns[worker] += sparse::ExecuteWorkloadCsdb(a, b, c, sub, pl, ms, &ctx,
+                                                          cache, col_begin, col_end);
+        for (const sched::RowRange& range : sub.ranges) rows_processed += range.size();
+      }
+
+      // Merge: copy the local intermediate into the assembled result. Reads
+      // are local; the destination is page-interleaved, so a fraction of the
+      // writes is remote — the "few remote accesses" of Fig. 10 step 4.
+      const uint64_t merge_bytes =
+          rows_processed * (col_end - col_begin) * sizeof(float);
+      if (merge_bytes > 0) {
+        ms->ChargeAccess(&ctx, {options.result_tier, s}, memsim::MemOp::kRead,
+                         memsim::Pattern::kSequential, merge_bytes, 1);
+        ms->ChargeAccess(&ctx,
+                         {options.result_tier, memsim::Placement::kInterleaved},
+                         memsim::MemOp::kWrite, memsim::Pattern::kSequential,
+                         merge_bytes, 1);
+      }
+    });
+  }
+
+  for (int t = 0; t < threads; ++t) {
+    result.thread_seconds[t] = clocks.clock(t).seconds();
+    result.breakdown += breakdowns[t];
+  }
+  result.phase_seconds = clocks.MaxSeconds();
+  return result;
+}
+
+}  // namespace omega::numa

@@ -1,0 +1,59 @@
+#include "numa/partition.h"
+
+#include <algorithm>
+
+namespace omega::numa {
+
+int SocketPartition::SocketOfRow(uint32_t r) const {
+  for (int s = 0; s < num_sockets(); ++s) {
+    if (r >= row_blocks[s].begin && r < row_blocks[s].end) return s;
+  }
+  return num_sockets() - 1;
+}
+
+SocketPartition MakeSocketPartition(const graph::CsdbMatrix& a, size_t dense_cols,
+                                    int num_sockets) {
+  SocketPartition part;
+  part.row_blocks.resize(num_sockets);
+  part.col_blocks.resize(num_sockets);
+
+  // nnz-balanced contiguous row blocks.
+  const uint64_t total = a.nnz();
+  auto cursor = a.Rows(0);
+  for (int s = 0; s < num_sockets; ++s) {
+    const uint64_t budget =
+        std::max<uint64_t>(1, total / static_cast<uint64_t>(num_sockets));
+    const uint32_t begin = cursor.row();
+    uint64_t taken = 0;
+    while (!cursor.AtEnd() &&
+           (s == num_sockets - 1 || taken < budget || taken == 0)) {
+      taken += cursor.degree();
+      cursor.Next();
+    }
+    part.row_blocks[s] = sched::RowRange{begin, cursor.row()};
+  }
+  // Last block absorbs any unconsumed tail rows.
+  part.row_blocks[num_sockets - 1].end = a.num_rows();
+
+  // Equal-count dense column blocks.
+  const size_t per = (dense_cols + num_sockets - 1) / num_sockets;
+  for (int s = 0; s < num_sockets; ++s) {
+    const size_t begin = std::min(dense_cols, static_cast<size_t>(s) * per);
+    const size_t end = std::min(dense_cols, begin + per);
+    part.col_blocks[s] = {begin, end};
+  }
+  return part;
+}
+
+sched::Workload IntersectWorkload(const sched::Workload& w,
+                                  const sched::RowRange& block) {
+  sched::Workload out;
+  for (const sched::RowRange& range : w.ranges) {
+    const uint32_t begin = std::max(range.begin, block.begin);
+    const uint32_t end = std::min(range.end, block.end);
+    if (begin < end) out.ranges.push_back(sched::RowRange{begin, end});
+  }
+  return out;
+}
+
+}  // namespace omega::numa

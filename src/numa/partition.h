@@ -1,0 +1,41 @@
+// Socket-level partitioning of the SpMM operands (§III-D, Fig. 10).
+//
+// NaDP splits the sparse matrix M into per-socket row blocks (balanced by
+// nnz) and the dense matrix L into per-socket column blocks. Socket s owns
+// L_s and computes C[:, cols_s] = M x L_s: its threads read every sparse row
+// block sequentially (local or remote — global sequential read) and write the
+// per-socket intermediates locally (local write).
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/csdb.h"
+#include "sched/workload.h"
+
+namespace omega::numa {
+
+struct SocketPartition {
+  /// Per-socket sparse row block (contiguous, nnz-balanced).
+  std::vector<sched::RowRange> row_blocks;
+  /// Per-socket dense column block [begin, end).
+  std::vector<std::pair<size_t, size_t>> col_blocks;
+
+  int num_sockets() const { return static_cast<int>(row_blocks.size()); }
+
+  /// Socket owning sparse row `r`.
+  int SocketOfRow(uint32_t r) const;
+};
+
+/// Builds the partition for `num_sockets` sockets over an a (CSDB) x B SpMM
+/// with `dense_cols` dense columns.
+SocketPartition MakeSocketPartition(const graph::CsdbMatrix& a, size_t dense_cols,
+                                    int num_sockets);
+
+/// Clips a workload to one row block; ranges outside the block are dropped.
+sched::Workload IntersectWorkload(const sched::Workload& w,
+                                  const sched::RowRange& block);
+
+}  // namespace omega::numa

@@ -1,0 +1,43 @@
+// Baseline engines of Fig. 12: the ProNE family (CSR, no HM awareness) and
+// the SSD-based out-of-core family (Ginex / MariusGNN analogues).
+//
+// Substitution note (DESIGN.md): Ginex and MariusGNN are GNN training systems
+// with GPUs; what the paper's Fig. 12 compares is end-to-end embedding
+// generation time, dominated in both by SSD I/O on large graphs. The
+// analogues here run the same ProNE pipeline with each system's I/O
+// discipline — Ginex-style neighbor-cached gathers with random-page misses,
+// Marius-style partition-ordered I/O with sequential misses — and a GPU-class
+// arithmetic rate, which preserves exactly the bottleneck structure the paper
+// attributes to them.
+
+#pragma once
+
+#include "common/thread_pool.h"
+#include "graph/csr.h"
+#include "memsim/memory_system.h"
+#include "omega/engine.h"
+#include "sparse/spmm.h"
+
+namespace omega::engine {
+
+/// ProNE-DRAM / ProNE-HM (§IV-A): CSR storage, OpenMP-static equal-row
+/// chunking, no EaTA/WoFP/NaDP/ASL.
+Result<RunReport> RunProneFamily(const graph::Graph& g, const std::string& dataset,
+                                 const EngineOptions& options,
+                                 memsim::MemorySystem* ms, ThreadPool* pool);
+
+/// Ginex / MariusGNN analogues (see file comment).
+Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
+                                     const std::string& dataset,
+                                     const EngineOptions& options,
+                                     memsim::MemorySystem* ms, ThreadPool* pool);
+
+/// Charged parallel CSR SpMM with equal-row static chunking — the baseline
+/// execution style of the ProNE family. Exposed for tests and benches.
+sparse::ParallelSpmmResult StaticCsrSpmm(const graph::CsrMatrix& a,
+                                         const linalg::DenseMatrix& b,
+                                         linalg::DenseMatrix* c, int threads,
+                                         const sparse::SpmmPlacements& placements,
+                                         memsim::MemorySystem* ms, ThreadPool* pool);
+
+}  // namespace omega::engine

@@ -1,0 +1,111 @@
+#include "omega/distributed_sim.h"
+
+#include <algorithm>
+
+namespace omega::engine {
+
+namespace {
+
+using memsim::MemOp;
+using memsim::Pattern;
+using memsim::Placement;
+using memsim::Tier;
+
+// Per-machine phase time for memory traffic split evenly over the machine's
+// threads (every machine is identical, so one machine's time is the phase).
+double PhaseSeconds(memsim::MemorySystem* ms, Placement p, MemOp op, Pattern pat,
+                    double total_bytes, double total_accesses, int threads) {
+  const size_t per_thread_bytes = static_cast<size_t>(total_bytes / threads);
+  const size_t per_thread_accesses =
+      static_cast<size_t>(std::max(1.0, total_accesses / threads));
+  return ms->AccessSeconds(p, 0, op, pat, per_thread_bytes, per_thread_accesses,
+                           threads);
+}
+
+}  // namespace
+
+Result<RunReport> RunDistributedFamily(const graph::Graph& g,
+                                       const std::string& dataset,
+                                       const EngineOptions& options,
+                                       memsim::MemorySystem* ms,
+                                       const DistParams& params) {
+  ms->ResetTraffic();
+  RunReport report;
+  report.system = SystemName(options.system);
+  report.dataset = dataset;
+
+  const double n = g.num_nodes();
+  const double arcs = g.num_arcs();
+  const double d = options.prone.dim;
+  const int machines = params.machines;
+  const int threads = params.threads_per_machine;
+
+  const Placement dram{Tier::kDram, Placement::kInterleaved};
+  const Placement net{Tier::kNetwork, 0};
+  const Placement ssd{Tier::kSsd, 0};
+
+  // Every machine loads its graph partition from disk.
+  report.read_seconds = PhaseSeconds(ms, ssd, MemOp::kRead, Pattern::kSequential,
+                                     arcs * 16 / machines, 1, threads);
+
+  if (options.system == SystemKind::kDistGer) {
+    // Walk generation: each step issues a handful of random adjacency probes
+    // (alias table, degree lookup, neighbor fetch, corpus buffering).
+    const double steps =
+        n * params.ger_walks_per_node * params.ger_walk_length / machines;
+    const double walk_touches = steps * params.ger_walk_touches_per_step;
+    const double walk_seconds = PhaseSeconds(ms, dram, MemOp::kRead, Pattern::kRandom,
+                                             walk_touches * 64, walk_touches,
+                                             threads);
+    // Distributed SGNS: per step, `window` positive updates each touching two
+    // embedding rows (read + write of d floats) — this traffic dominates.
+    const double updates = steps * params.ger_window * 2.0;
+    const double train_traffic = updates * d * 4 * 2;  // read + write
+    double train_seconds = PhaseSeconds(ms, dram, MemOp::kRead, Pattern::kRandom,
+                                        train_traffic / 2, updates, threads);
+    train_seconds += PhaseSeconds(ms, dram, MemOp::kWrite, Pattern::kRandom,
+                                  train_traffic / 2, updates, threads);
+    train_seconds +=
+        ms->cost_model().ComputeSeconds(static_cast<size_t>(updates * d * 4)) /
+        threads;
+    // Embedding synchronization between machines (information-oriented walks
+    // keep this small — DistGER's advantage).
+    const double sync_bytes = params.ger_sync_rounds * (n / machines) * d * 4;
+    const double comm_seconds = PhaseSeconds(ms, net, MemOp::kWrite,
+                                             Pattern::kSequential, sync_bytes, 1,
+                                             std::max(1, machines));
+    report.factorize_seconds = walk_seconds;         // corpus generation
+    report.propagate_seconds = train_seconds + comm_seconds;
+  } else {
+    // DistDGL: mini-batch sampling dominates (~80% of runtime per the paper).
+    const double samples = n * params.dgl_fanout * params.dgl_epochs / machines;
+    const double local = samples * (1.0 - params.dgl_remote_sample_fraction);
+    const double remote = samples * params.dgl_remote_sample_fraction;
+    double sample_seconds = PhaseSeconds(ms, dram, MemOp::kRead, Pattern::kRandom,
+                                         local * 64, local, threads);
+    // Remote samples are small messages over the interconnect.
+    sample_seconds += PhaseSeconds(ms, net, MemOp::kRead, Pattern::kRandom,
+                                   remote * 256, remote, threads);
+    // Feature gathering (one d-float row per sample) + GNN compute.
+    double gather_seconds = PhaseSeconds(ms, dram, MemOp::kRead, Pattern::kRandom,
+                                         samples * d * 4, samples, threads);
+    const double train_seconds =
+        ms->cost_model().ComputeSeconds(
+            static_cast<size_t>(samples * params.dgl_train_ops_per_sample)) /
+        threads;
+    // Gradient synchronization per mini-batch round.
+    const double sync_bytes = params.dgl_sync_rounds * (n / machines) * d * 4;
+    const double comm_seconds = PhaseSeconds(ms, net, MemOp::kWrite,
+                                             Pattern::kSequential, sync_bytes, 1,
+                                             std::max(1, machines));
+    report.factorize_seconds = sample_seconds;       // sampling phase
+    report.propagate_seconds = gather_seconds + train_seconds + comm_seconds;
+  }
+
+  report.embed_seconds = report.factorize_seconds + report.propagate_seconds;
+  report.total_seconds = report.read_seconds + report.embed_seconds;
+  report.remote_fraction = 0.0;
+  return report;
+}
+
+}  // namespace omega::engine

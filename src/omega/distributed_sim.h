@@ -1,0 +1,49 @@
+// Distributed-system analogues for Fig. 18a: DistGER (information-oriented
+// random walks) and DistDGL (distributed GNN training) on a 4-machine
+// cluster.
+//
+// Substitution note (DESIGN.md): the paper compares wall-clock embedding
+// time, attributing DistDGL's gap to sampling (~80% of runtime) and gradient
+// synchronization, and DistGER's competitiveness to its communication-
+// efficient walks. The analogues reproduce exactly that cost structure
+// through the simulated cost model — per-machine memory-bound work in DRAM
+// plus message volume on the network tier — without implementing the full
+// training loops. They return no embedding.
+
+#pragma once
+
+#include "graph/graph.h"
+#include "memsim/memory_system.h"
+#include "omega/engine.h"
+
+namespace omega::engine {
+
+/// Tunables of the distributed analogues, with the defaults used by the
+/// benches. Exposed for the parameter-sensitivity tests.
+struct DistParams {
+  int machines = 4;
+  int threads_per_machine = 36;
+
+  // DistGER: information-oriented random walks + distributed SGNS.
+  double ger_walks_per_node = 10.0;
+  double ger_walk_length = 80.0;
+  double ger_walk_touches_per_step = 4.0;  // alias/degree/neighbor/buffer probes
+  double ger_window = 5.0;                 // effective SGNS context window
+  double ger_sync_rounds = 4.0;
+
+  // DistDGL: mini-batch GNN training.
+  double dgl_epochs = 4.0;
+  double dgl_fanout = 250.0;  // sampled neighborhood per node per epoch (2 hops)
+  double dgl_remote_sample_fraction = 0.45;  // cut edges hit remote stores
+  double dgl_train_ops_per_sample = 512.0;
+  double dgl_sync_rounds = 24.0;     // gradient syncs
+};
+
+/// Analytic simulated runtime of one distributed system on `g`.
+Result<RunReport> RunDistributedFamily(const graph::Graph& g,
+                                       const std::string& dataset,
+                                       const EngineOptions& options,
+                                       memsim::MemorySystem* ms,
+                                       const DistParams& params = DistParams());
+
+}  // namespace omega::engine

@@ -1,0 +1,328 @@
+#include "omega/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "embed/quality.h"
+#include "numa/nadp.h"
+#include "omega/baselines.h"
+#include "omega/distributed_sim.h"
+#include "stream/asl.h"
+
+namespace omega::engine {
+
+namespace internal {
+
+Reservation::~Reservation() {
+  if (ms_ != nullptr && bytes_ > 0) ms_->Release(placement_, bytes_);
+}
+
+Result<Reservation> Reservation::Make(memsim::MemorySystem* ms,
+                                      memsim::Placement placement, size_t bytes) {
+  OMEGA_RETURN_NOT_OK(ms->Reserve(placement, bytes));
+  Reservation r;
+  r.ms_ = ms;
+  r.placement_ = placement;
+  r.bytes_ = bytes;
+  return r;
+}
+
+}  // namespace internal
+
+size_t SparseBytes(uint64_t num_arcs) {
+  // col_list (4B) + nnz_list (4B) per stored element.
+  return static_cast<size_t>(num_arcs) * 8;
+}
+
+size_t DenseWorkingSetBytes(uint64_t num_nodes, const embed::ProneOptions& prone) {
+  // tSVD peak: Omega, Y, Q, B^T — four n x (dim+oversample) blocks.
+  // Chebyshev peak: r0, T_{k-1}, T_k, T_{k+1}, the SpMM temporary, and the
+  // accumulating output — six n x dim blocks live at once.
+  const size_t l = prone.dim + prone.oversample;
+  const size_t tsvd = 4 * num_nodes * l * sizeof(float);
+  const size_t cheb = 6 * num_nodes * prone.dim * sizeof(float);
+  return std::max(tsvd, cheb);
+}
+
+DenseStageModel EstimateDenseStage(uint64_t num_nodes,
+                                   const embed::ProneOptions& prone) {
+  const uint64_t n = num_nodes;
+  const uint64_t l = prone.dim + prone.oversample;
+  const uint64_t d = prone.dim;
+  // Householder QR on an n x l block streams ~n*l^2 values; one QR per range
+  // find plus two per power iteration, plus the B^T/GEMM passes (~2 more
+  // n*l*l-ish passes).
+  const uint64_t qr_passes = 2 + 2 * static_cast<uint64_t>(prone.power_iterations);
+  DenseStageModel model;
+  model.tsvd_bytes = (qr_passes + 2) * n * l * l * sizeof(float);
+  model.tsvd_flops = (qr_passes + 2) * 2 * n * l * l;
+  // Chebyshev recurrence: per term ~6 full passes over the n x d block
+  // (zeroing, two AXPYs into T_next, the output AXPY, and operand reads).
+  const uint64_t order = static_cast<uint64_t>(prone.chebyshev_order);
+  model.cheb_bytes = order * 6 * n * d * sizeof(float);
+  model.cheb_flops = order * 6 * n * d;
+  return model;
+}
+
+double DenseStageSeconds(memsim::MemorySystem* ms, memsim::Placement p,
+                         uint64_t bytes, uint64_t flops, int threads,
+                         double flops_rate_multiplier) {
+  const uint64_t per_thread_bytes = bytes / std::max(1, threads);
+  const double read = ms->AccessSeconds(p, 0, memsim::MemOp::kRead,
+                                        memsim::Pattern::kSequential,
+                                        per_thread_bytes / 2, 1, threads);
+  const double write = ms->AccessSeconds(p, 0, memsim::MemOp::kWrite,
+                                         memsim::Pattern::kSequential,
+                                         per_thread_bytes / 2, 1, threads);
+  const double compute =
+      ms->cost_model().ComputeSeconds(flops / std::max(1, threads)) /
+      flops_rate_multiplier;
+  return read + write + compute;
+}
+
+double SimulatedGraphReadSeconds(memsim::MemorySystem* ms, GraphFormat format,
+                                 uint64_t num_arcs, uint64_t num_nodes,
+                                 int threads) {
+  // Parse: the edge-list file (about 16 text bytes per arc) streams from SSD.
+  // Build: both formats write the col/val payload sequentially; CSR
+  // additionally scatters per-row counters across its O(|V|) row-pointer
+  // array while bucketing edges, whereas CSDB's block metadata is
+  // O(|degrees|) and stays cache-resident. This is the Fig. 19a difference.
+  const memsim::Placement ssd{memsim::Tier::kSsd, 0};
+  const memsim::Placement pm{memsim::Tier::kPm, memsim::Placement::kInterleaved};
+  const memsim::Placement dram{memsim::Tier::kDram, memsim::Placement::kInterleaved};
+
+  const uint64_t arcs_per_thread = (num_arcs + threads - 1) / threads;
+  double seconds = 0.0;
+  seconds += ms->AccessSeconds(ssd, 0, memsim::MemOp::kRead,
+                               memsim::Pattern::kSequential, arcs_per_thread * 16, 1,
+                               threads);
+  seconds += ms->AccessSeconds(pm, 0, memsim::MemOp::kWrite,
+                               memsim::Pattern::kSequential, arcs_per_thread * 8, 1,
+                               threads);
+  // Sorting/bucketing arithmetic.
+  seconds += ms->cost_model().ComputeSeconds(arcs_per_thread * 24);
+  if (format == GraphFormat::kCsr) {
+    // Row-pointer scatter (one 64B-line touch per arc) plus the O(|V|)
+    // pointer array write.
+    seconds += ms->AccessSeconds(dram, 0, memsim::MemOp::kWrite,
+                                 memsim::Pattern::kRandom, arcs_per_thread * 64,
+                                 arcs_per_thread, threads);
+    seconds +=
+        ms->AccessSeconds(pm, 0, memsim::MemOp::kWrite, memsim::Pattern::kSequential,
+                          (num_nodes / threads + 1) * 8, 1, threads);
+  } else {
+    // Degree-sort pass plus the O(|degrees|) block metadata (negligible I/O).
+    seconds += ms->cost_model().ComputeSeconds((num_nodes / threads + 1) * 32);
+  }
+  return seconds;
+}
+
+namespace {
+
+// OMeGa / OMeGa-DRAM / OMeGa-PM share one implementation parameterized by
+// where data lives.
+Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& dataset,
+                                 const EngineOptions& options,
+                                 memsim::MemorySystem* ms, ThreadPool* pool) {
+  using memsim::Placement;
+  using memsim::Tier;
+  const int threads = options.num_threads;
+  ms->ResetTraffic();
+
+  RunReport report;
+  report.system = SystemName(options.system);
+  report.dataset = dataset;
+
+  const graph::CsdbMatrix adjacency = graph::CsdbMatrix::FromGraph(g);
+  report.read_seconds = SimulatedGraphReadSeconds(ms, GraphFormat::kCsdb,
+                                                  g.num_arcs(), g.num_nodes(),
+                                                  threads);
+
+  // --- Placement decisions + capacity reservations ---------------------------
+  // Two sparse structures are live at peak: the adjacency plus either the
+  // stage-1 target matrix or the stage-2 propagation matrix (same pattern).
+  const size_t sparse_bytes = 2 * SparseBytes(g.num_arcs());
+  const size_t dense_bytes = DenseWorkingSetBytes(g.num_nodes(), options.prone);
+  const Placement interleave_dram{Tier::kDram, Placement::kInterleaved};
+  const Placement interleave_pm{Tier::kPm, Placement::kInterleaved};
+
+  std::vector<internal::Reservation> reservations;
+  numa::NadpOptions nadp;
+  nadp.num_threads = threads;
+  nadp.allocator = options.features.allocator;
+  nadp.beta = options.beta;
+  nadp.enabled = options.features.use_nadp;
+  nadp.use_wofp = options.features.use_wofp;
+  nadp.wofp = options.features.wofp;
+
+  bool stream_dense = false;  // ASL engaged?
+  size_t asl_dram_budget = 0;
+
+  switch (options.system) {
+    case SystemKind::kOmegaDram: {
+      // Everything in DRAM; fails outright when it does not fit (Fig. 12's
+      // missing TW-2010/FR bars).
+      OMEGA_ASSIGN_OR_RETURN(
+          auto r1, internal::Reservation::Make(ms, interleave_dram, sparse_bytes));
+      OMEGA_ASSIGN_OR_RETURN(
+          auto r2, internal::Reservation::Make(ms, interleave_dram, dense_bytes));
+      reservations.push_back(std::move(r1));
+      reservations.push_back(std::move(r2));
+      nadp.sparse_tier = Tier::kDram;
+      nadp.dense_tier = Tier::kDram;
+      nadp.result_tier = Tier::kDram;
+      break;
+    }
+    case SystemKind::kOmegaPm: {
+      // Worst baseline: every data path on PM, including the WoFP store (so
+      // prefetch hits buy nothing).
+      OMEGA_ASSIGN_OR_RETURN(
+          auto r1, internal::Reservation::Make(ms, interleave_pm,
+                                               sparse_bytes + dense_bytes));
+      reservations.push_back(std::move(r1));
+      nadp.sparse_tier = Tier::kPm;
+      nadp.dense_tier = Tier::kPm;
+      nadp.result_tier = Tier::kPm;
+      nadp.wofp.cache_placement = {Tier::kPm, 0};
+      break;
+    }
+    case SystemKind::kOmega:
+    default: {
+      // Heterogeneous: sparse matrix and dense working set live on PM (the
+      // App-directed data home); DRAM is a managed window holding the WoFP
+      // stores, socket-local intermediates, and — when the working set
+      // exceeds it — the ASL staging buffers whose PM<->DRAM transfers
+      // overlap with compute. Gathers therefore hit PM unless WoFP
+      // intercepted the row, which is exactly §III-C's design.
+      OMEGA_ASSIGN_OR_RETURN(
+          auto r1, internal::Reservation::Make(ms, interleave_pm,
+                                               sparse_bytes + dense_bytes));
+      reservations.push_back(std::move(r1));
+      const size_t dram_free =
+          ms->AvailableBytes(Tier::kDram, 0) + ms->AvailableBytes(Tier::kDram, 1);
+      if (dense_bytes > dram_free / 2) {
+        // The dense working set exceeds the DRAM window: blocks must be
+        // staged PM <-> DRAM regardless; use_asl decides whether the
+        // staging overlaps with compute (§III-E) or runs synchronously.
+        stream_dense = true;
+        asl_dram_budget = dram_free / 2;
+      }
+      nadp.sparse_tier = Tier::kPm;
+      nadp.dense_tier = Tier::kPm;
+      nadp.result_tier = Tier::kDram;
+      break;
+    }
+  }
+
+  // --- The charged SpMM executor handed to the embedder ----------------------
+  embed::SpmmExecutor executor =
+      [&](const graph::CsdbMatrix& m, const linalg::DenseMatrix& in,
+          linalg::DenseMatrix* out) -> Result<double> {
+    *out = linalg::DenseMatrix(m.num_rows(), in.cols());
+    if (!stream_dense) {
+      const numa::NadpResult r = numa::NadpSpmm(m, in, out, nadp, ms, pool);
+      return r.phase_seconds;
+    }
+    // ASL: stream the dense operand's column partitions PM -> DRAM and
+    // overlap each load with the previous partition's SpMM (§III-E).
+    stream::AslConfig cfg;
+    cfg.dense_rows = m.num_rows();
+    cfg.dense_cols = in.cols();
+    cfg.element_bytes = sizeof(float);
+    cfg.sparse_bytes = sparse_bytes;
+    cfg.dram_budget = asl_dram_budget + sparse_bytes +
+                      2 * cfg.dense_rows * cfg.dense_cols * sizeof(float);
+    stream::AslStreamer streamer(ms, cfg, interleave_pm, interleave_dram);
+    auto run = streamer.Run([&](size_t, size_t col_begin, size_t col_end) {
+      const numa::NadpResult r =
+          numa::NadpSpmm(m, in, out, nadp, ms, pool, col_begin, col_end);
+      return r.phase_seconds;
+    });
+    if (!run.ok()) return run.status();
+    // Without ASL the same partition loads happen synchronously: nothing is
+    // hidden behind compute.
+    return options.features.use_asl ? run.value().total_seconds
+                                    : run.value().serial_seconds;
+  };
+
+  OMEGA_ASSIGN_OR_RETURN(embed::EmbeddingResult emb,
+                         embed::ProneEmbed(adjacency, options.prone, executor));
+
+  // Dense-algebra stages run where the dense working set lives: DRAM for the
+  // ideal, PM for the worst baseline, and the staged DRAM window (plus the
+  // PM streams feeding it) for heterogeneous OMeGa.
+  const DenseStageModel dense_model =
+      EstimateDenseStage(g.num_nodes(), options.prone);
+  double dense_tsvd = 0.0;
+  double dense_cheb = 0.0;
+  if (options.system == SystemKind::kOmegaPm) {
+    dense_tsvd = DenseStageSeconds(ms, interleave_pm, dense_model.tsvd_bytes,
+                                   dense_model.tsvd_flops, threads);
+    dense_cheb = DenseStageSeconds(ms, interleave_pm, dense_model.cheb_bytes,
+                                   dense_model.cheb_flops, threads);
+  } else if (options.system == SystemKind::kOmegaDram) {
+    dense_tsvd = DenseStageSeconds(ms, interleave_dram, dense_model.tsvd_bytes,
+                                   dense_model.tsvd_flops, threads);
+    dense_cheb = DenseStageSeconds(ms, interleave_dram, dense_model.cheb_bytes,
+                                   dense_model.cheb_flops, threads);
+  } else {
+    // kOmega: ops on the DRAM window + one PM stream in/out of each block.
+    const uint64_t l = options.prone.dim + options.prone.oversample;
+    const uint64_t stage_tsvd =
+        2 * g.num_nodes() * l * sizeof(float) *
+        (2 + 2 * static_cast<uint64_t>(options.prone.power_iterations));
+    const uint64_t stage_cheb = 2 * g.num_nodes() * options.prone.dim *
+                                sizeof(float) *
+                                static_cast<uint64_t>(options.prone.chebyshev_order);
+    dense_tsvd = DenseStageSeconds(ms, interleave_dram, dense_model.tsvd_bytes,
+                                   dense_model.tsvd_flops, threads) +
+                 DenseStageSeconds(ms, interleave_pm, stage_tsvd, 0, threads);
+    dense_cheb = DenseStageSeconds(ms, interleave_dram, dense_model.cheb_bytes,
+                                   dense_model.cheb_flops, threads) +
+                 DenseStageSeconds(ms, interleave_pm, stage_cheb, 0, threads);
+  }
+
+  report.factorize_seconds = emb.factorize_seconds + dense_tsvd;
+  report.propagate_seconds = emb.propagate_seconds + dense_cheb;
+  report.embed_seconds = report.factorize_seconds + report.propagate_seconds;
+  report.total_seconds = report.read_seconds + report.embed_seconds;
+  report.remote_fraction = ms->Traffic().RemoteFraction();
+  report.embedding = emb.ToOriginalOrder();
+
+  if (options.evaluate_quality) {
+    OMEGA_ASSIGN_OR_RETURN(double auc,
+                           embed::LinkPredictionAuc(g, report.embedding,
+                                                    options.quality_samples,
+                                                    options.prone.seed));
+    report.link_auc = auc;
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<RunReport> RunEmbedding(const graph::Graph& g, const std::string& dataset,
+                               const EngineOptions& options,
+                               memsim::MemorySystem* ms, ThreadPool* pool) {
+  OMEGA_CHECK(pool->size() >= static_cast<size_t>(options.num_threads))
+      << "thread pool too small for engine options";
+  switch (options.system) {
+    case SystemKind::kOmega:
+    case SystemKind::kOmegaDram:
+    case SystemKind::kOmegaPm:
+      return RunOmegaFamily(g, dataset, options, ms, pool);
+    case SystemKind::kProneDram:
+    case SystemKind::kProneHm:
+      return RunProneFamily(g, dataset, options, ms, pool);
+    case SystemKind::kGinex:
+    case SystemKind::kMariusGnn:
+      return RunOutOfCoreFamily(g, dataset, options, ms, pool);
+    case SystemKind::kDistGer:
+    case SystemKind::kDistDgl:
+      return RunDistributedFamily(g, dataset, options, ms);
+  }
+  return Status::InvalidArgument("unknown system kind");
+}
+
+}  // namespace omega::engine

@@ -1,0 +1,117 @@
+// End-to-end embedding engines over the simulated heterogeneous machine.
+//
+// RunEmbedding executes the full pipeline the paper times in Fig. 12: graph
+// reading (format construction) + embedding generation (ProNE's two stages),
+// under the placement/kernels of the selected system. Simulated seconds are
+// returned in a RunReport; systems that exceed their tier's capacity fail
+// with CapacityExceeded, mirroring the paper's "fails to run / does not
+// terminate" entries.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "graph/graph.h"
+#include "memsim/memory_system.h"
+#include "omega/options.h"
+
+namespace omega::engine {
+
+namespace internal {
+
+/// RAII capacity reservation on the simulated machine; releases on scope
+/// exit. Used by the engines to model their resident working sets.
+class Reservation {
+ public:
+  static Result<Reservation> Make(memsim::MemorySystem* ms,
+                                  memsim::Placement placement, size_t bytes);
+
+  Reservation() = default;
+  ~Reservation();
+
+  Reservation(const Reservation&) = delete;
+  Reservation& operator=(const Reservation&) = delete;
+  Reservation(Reservation&& other) noexcept { *this = std::move(other); }
+  Reservation& operator=(Reservation&& other) noexcept {
+    if (this != &other) {
+      this->~Reservation();
+      ms_ = other.ms_;
+      placement_ = other.placement_;
+      bytes_ = other.bytes_;
+      other.ms_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+ private:
+  memsim::MemorySystem* ms_ = nullptr;
+  memsim::Placement placement_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace internal
+
+/// Outcome of one end-to-end run.
+struct RunReport {
+  std::string system;
+  std::string dataset;
+
+  double read_seconds = 0.0;       ///< simulated graph reading / format build
+  double factorize_seconds = 0.0;  ///< simulated tSVD stage
+  double propagate_seconds = 0.0;  ///< simulated Chebyshev stage
+  double embed_seconds = 0.0;      ///< factorize + propagate
+  double total_seconds = 0.0;      ///< read + embed
+
+  double remote_fraction = 0.0;    ///< of DRAM+PM traffic (VTune analogue)
+  std::optional<double> link_auc;  ///< when options.evaluate_quality
+
+  linalg::DenseMatrix embedding;   ///< original node order; empty for the
+                                   ///< distributed analogues
+};
+
+/// Runs `options.system` on `g`. The MemorySystem's capacity accounting and
+/// traffic counters are used (and reset) by the run; the pool must have at
+/// least options.num_threads workers.
+Result<RunReport> RunEmbedding(const graph::Graph& g, const std::string& dataset,
+                               const EngineOptions& options,
+                               memsim::MemorySystem* ms, ThreadPool* pool);
+
+/// Simulated seconds to parse an edge list and construct the given format —
+/// the "graph reading procedure" of Fig. 19a.
+enum class GraphFormat { kCsr, kCsdb };
+double SimulatedGraphReadSeconds(memsim::MemorySystem* ms, GraphFormat format,
+                                 uint64_t num_arcs, uint64_t num_nodes,
+                                 int threads);
+
+/// Estimated peak dense-matrix working set of the ProNE pipeline in bytes
+/// (tSVD temporaries vs Chebyshev recurrence, whichever is larger).
+size_t DenseWorkingSetBytes(uint64_t num_nodes, const embed::ProneOptions& prone);
+
+/// Sparse (CSDB/CSR payload) bytes for capacity accounting.
+size_t SparseBytes(uint64_t num_arcs);
+
+/// Traffic/arithmetic of the dense-algebra work surrounding the SpMMs: the
+/// tSVD's Householder QRs and small GEMMs (stage 1) and the Chebyshev
+/// recurrence's AXPY passes (stage 2). These run on whichever tier holds the
+/// dense working set, which is what separates the PM-only configuration.
+struct DenseStageModel {
+  uint64_t tsvd_bytes = 0;
+  uint64_t tsvd_flops = 0;
+  uint64_t cheb_bytes = 0;
+  uint64_t cheb_flops = 0;
+};
+DenseStageModel EstimateDenseStage(uint64_t num_nodes,
+                                   const embed::ProneOptions& prone);
+
+/// Simulated seconds for `bytes` of streaming dense-op traffic (half read,
+/// half write) plus `flops`, spread over `threads` cores against tier `p`.
+/// `flops_rate_multiplier` models accelerator arithmetic (GPU baselines).
+double DenseStageSeconds(memsim::MemorySystem* ms, memsim::Placement p,
+                         uint64_t bytes, uint64_t flops, int threads,
+                         double flops_rate_multiplier = 1.0);
+
+}  // namespace omega::engine

@@ -1,0 +1,29 @@
+#include "omega/options.h"
+
+namespace omega::engine {
+
+const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kOmega:
+      return "OMeGa";
+    case SystemKind::kOmegaDram:
+      return "OMeGa-DRAM";
+    case SystemKind::kOmegaPm:
+      return "OMeGa-PM";
+    case SystemKind::kProneDram:
+      return "ProNE-DRAM";
+    case SystemKind::kProneHm:
+      return "ProNE-HM";
+    case SystemKind::kGinex:
+      return "Ginex";
+    case SystemKind::kMariusGnn:
+      return "MariusGNN";
+    case SystemKind::kDistGer:
+      return "DistGER";
+    case SystemKind::kDistDgl:
+      return "DistDGL";
+  }
+  return "?";
+}
+
+}  // namespace omega::engine

@@ -1,0 +1,50 @@
+// System configurations evaluated in the paper (§IV-A "Baselines").
+
+#pragma once
+
+#include <string>
+
+#include "embed/prone.h"
+#include "prefetch/wofp.h"
+#include "sched/allocators.h"
+
+namespace omega::engine {
+
+/// Every system compared in Figs. 12 and 18.
+enum class SystemKind {
+  kOmega = 0,   ///< full OMeGa: CSDB + EaTA + WoFP + NaDP + ASL on DRAM+PM
+  kOmegaDram,   ///< OMeGa optimizations, all data in DRAM (ideal baseline)
+  kOmegaPm,     ///< OMeGa data paths entirely on PM (worst baseline)
+  kProneDram,   ///< upstream-style ProNE: CSR + static row chunks, DRAM only
+  kProneHm,     ///< ProNE on DRAM+PM without any HM-aware optimization
+  kGinex,       ///< SSD-based out-of-core analogue (neighbor-cached gathers)
+  kMariusGnn,   ///< SSD-based out-of-core analogue (partition-ordered I/O)
+  kDistGer,     ///< distributed random-walk system analogue (4 machines)
+  kDistDgl,     ///< distributed GNN system analogue (4 machines)
+};
+
+const char* SystemName(SystemKind kind);
+
+/// Feature toggles of the OMeGa configurations (used by the ablation figures:
+/// Fig. 14 turns WoFP off, Fig. 15 turns NaDP off, Table II swaps allocators).
+struct OmegaFeatures {
+  sched::AllocatorKind allocator = sched::AllocatorKind::kEntropyAware;
+  bool use_wofp = true;
+  bool use_nadp = true;  ///< false => OS Interleaved placement
+  bool use_asl = true;
+  prefetch::WofpOptions wofp;
+};
+
+struct EngineOptions {
+  SystemKind system = SystemKind::kOmega;
+  int num_threads = 36;
+  embed::ProneOptions prone;
+  OmegaFeatures features;
+  /// beta = BW_rand/BW_seq used by EaTA; defaults to the PM profile's ratio.
+  double beta = 0.415;
+  /// Compute link-prediction AUC on the produced embedding (adds host time).
+  bool evaluate_quality = false;
+  uint64_t quality_samples = 2000;
+};
+
+}  // namespace omega::engine

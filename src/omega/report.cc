@@ -1,0 +1,69 @@
+#include "omega/report.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace omega::engine {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  size_t rule = 0;
+  for (size_t c = 0; c < widths.size(); ++c) rule += widths[c] + 2;
+  out.append(rule > 2 ? rule - 2 : rule, '-');
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string RuntimeCell(double seconds, bool failed) {
+  if (failed) return "OOM";
+  if (seconds >= 86400.0) return "> 1 day";
+  return HumanSeconds(seconds);
+}
+
+void PrintExperimentHeader(const std::string& id, const std::string& description) {
+  std::printf("\n=== %s: %s ===\n", id.c_str(), description.c_str());
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  size_t count = 0;
+  for (double v : values) {
+    if (v > 0.0) {
+      log_sum += std::log(v);
+      ++count;
+    }
+  }
+  return count > 0 ? std::exp(log_sum / count) : 0.0;
+}
+
+}  // namespace omega::engine

@@ -1,0 +1,36 @@
+// Paper-style text reporting: aligned tables and series for the bench
+// harnesses that regenerate each table/figure.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace omega::engine {
+
+/// Minimal aligned-column table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule, columns padded to content width.
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.34 s", "OOM", "> 1 day" style formatting for runtime cells.
+std::string RuntimeCell(double seconds, bool failed = false);
+
+/// Prints a banner naming the experiment being regenerated.
+void PrintExperimentHeader(const std::string& id, const std::string& description);
+
+/// Geometric mean of positive ratios (used for "average speedup" claims).
+double GeometricMean(const std::vector<double>& values);
+
+}  // namespace omega::engine

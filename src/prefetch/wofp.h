@@ -1,0 +1,114 @@
+// WoFP — the Workload Feature-aware Prefetcher (§III-C).
+//
+// For each workload allocated by EaTA, WoFP pins the most valuable rows of
+// the dense operand in DRAM so the SpMM gather stream hits DRAM instead of
+// PM. The prefetcher type is chosen per workload by the paper's rule
+//     W_i / Rows_i >= |V| * eta  ->  frequency-based (count column-index
+//                                    occurrences within the workload),
+//     otherwise                  ->  degree-based (use the vertex in-degree
+//                                    as a static popularity proxy),
+// and its capacity is M = W_i * sigma entries.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/csdb.h"
+#include "memsim/memory_system.h"
+#include "prefetch/topm_store.h"
+#include "sched/workload.h"
+#include "sparse/spmm.h"
+
+namespace omega::prefetch {
+
+enum class PrefetcherType { kFrequencyBased, kDegreeBased };
+
+const char* PrefetcherTypeName(PrefetcherType type);
+
+struct WofpOptions {
+  /// eta: prefetcher-type selection threshold (Fig. 19b). The workload is
+  /// "dense enough" for frequency counting when avg nnz/row >= |V| * eta.
+  double eta = 2e-3;
+  /// sigma: prefetch capacity fraction, M = W_i * sigma (Fig. 19c).
+  double sigma = 0.10;
+  /// Where cached entries live (per-socket DRAM under NaDP).
+  memsim::Placement cache_placement{memsim::Tier::kDram, 0};
+  /// Charge the build scan / store construction to the worker clock.
+  bool charge_build = true;
+};
+
+/// A built prefetcher for one workload; implements the gather-intercept
+/// interface consumed by the SpMM kernels.
+class WofpPrefetcher final : public sparse::DenseCacheView {
+ public:
+  /// Builds the prefetcher for workload `w` of matrix `a`.
+  ///
+  /// `in_degrees[c]` is the in-degree of column c (for symmetric adjacency
+  /// matrices this equals the row degree; see ComputeInDegrees). Build cost —
+  /// the workload scan and the store writes — is charged to `ctx` when
+  /// options.charge_build is set. If DRAM cannot hold M entries the capacity
+  /// is halved until the reservation fits (possibly 0 entries).
+  static std::unique_ptr<WofpPrefetcher> Build(const graph::CsdbMatrix& a,
+                                               const sched::Workload& w,
+                                               const std::vector<uint32_t>& in_degrees,
+                                               const WofpOptions& options,
+                                               memsim::MemorySystem* ms,
+                                               memsim::WorkerCtx* ctx);
+
+  ~WofpPrefetcher() override;
+
+  WofpPrefetcher(const WofpPrefetcher&) = delete;
+  WofpPrefetcher& operator=(const WofpPrefetcher&) = delete;
+
+  bool Contains(graph::NodeId col) const override { return store_.Contains(col); }
+  memsim::Placement placement() const override { return placement_; }
+
+  /// Hit cost grows with store size: small stores stay CPU-cache resident,
+  /// oversized ones pay full DRAM lines plus hashmap probing.
+  uint64_t BytesPerHit() const override;
+
+  PrefetcherType type() const { return type_; }
+  const TopMStore& store() const { return store_; }
+
+ private:
+  WofpPrefetcher() = default;
+
+  TopMStore store_;
+  PrefetcherType type_ = PrefetcherType::kDegreeBased;
+  memsim::Placement placement_{memsim::Tier::kDram, 0};
+  memsim::MemorySystem* ms_ = nullptr;
+  size_t reserved_bytes_ = 0;
+};
+
+/// In-degree of every column of `a` (number of stored entries per column).
+std::vector<uint32_t> ComputeInDegrees(const graph::CsdbMatrix& a);
+
+/// Decides the prefetcher type for a workload by the paper's eta rule.
+PrefetcherType SelectPrefetcherType(const sched::Workload& w, uint32_t num_nodes,
+                                    double eta);
+
+/// Owns one prefetcher per workload and exposes the CacheFactory the parallel
+/// SpMM driver consumes. Thread-safe: slot w is only touched by worker w.
+class WofpCacheSet {
+ public:
+  WofpCacheSet(const graph::CsdbMatrix& a, std::vector<sched::Workload> workloads,
+               WofpOptions options, memsim::MemorySystem* ms);
+
+  /// Factory for sparse::ParallelSpmm. Builds lazily on the worker thread so
+  /// construction cost lands on the right simulated clock.
+  sparse::CacheFactory Factory();
+
+  /// Prefetcher built for worker `w` (nullptr before the phase ran).
+  const WofpPrefetcher* Get(size_t worker) const { return caches_[worker].get(); }
+
+ private:
+  const graph::CsdbMatrix& a_;
+  std::vector<sched::Workload> workloads_;
+  WofpOptions options_;
+  memsim::MemorySystem* ms_;
+  std::vector<uint32_t> in_degrees_;
+  std::vector<std::unique_ptr<WofpPrefetcher>> caches_;
+};
+
+}  // namespace omega::prefetch

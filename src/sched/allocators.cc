@@ -1,0 +1,178 @@
+#include "sched/allocators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "sched/entropy.h"
+
+namespace omega::sched {
+
+const char* AllocatorName(AllocatorKind kind) {
+  switch (kind) {
+    case AllocatorKind::kRoundRobin:
+      return "RR";
+    case AllocatorKind::kWorkloadBalanced:
+      return "WaTA";
+    case AllocatorKind::kEntropyAware:
+      return "EaTA";
+  }
+  return "?";
+}
+
+namespace {
+
+void AnnotateAll(const graph::CsdbMatrix& a, double beta,
+                 std::vector<Workload>* workloads) {
+  for (Workload& w : *workloads) AnnotateWorkload(a, beta, &w);
+}
+
+}  // namespace
+
+std::vector<Workload> AllocateRoundRobin(const graph::CsdbMatrix& a,
+                                         const AllocatorOptions& options) {
+  // The parallel-kit default (Fig. 6a): rows are dealt to threads in equal-
+  // count contiguous chunks with no regard for nnz, so on a skewed matrix the
+  // chunk holding the high-degree rows dwarfs the others.
+  const uint32_t threads = static_cast<uint32_t>(options.num_threads);
+  std::vector<Workload> out(threads);
+  const uint32_t rows = a.num_rows();
+  const uint32_t chunk = (rows + threads - 1) / threads;
+  for (uint32_t t = 0; t < threads; ++t) {
+    const uint32_t begin = std::min(rows, t * chunk);
+    const uint32_t end = std::min(rows, begin + chunk);
+    if (begin < end) out[t].ranges.push_back(RowRange{begin, end});
+  }
+  AnnotateAll(a, options.beta, &out);
+  return out;
+}
+
+std::vector<Workload> AllocateWata(const graph::CsdbMatrix& a,
+                                   const AllocatorOptions& options) {
+  const int threads = options.num_threads;
+  std::vector<Workload> out(threads);
+  const uint64_t total = a.nnz();
+  auto cursor = a.Rows(0);
+  uint64_t allocated = 0;
+  for (int t = 0; t < threads && !cursor.AtEnd(); ++t) {
+    // Dynamic re-balancing: divide what remains among the remaining threads,
+    // which absorbs rounding drift from giant rows.
+    const uint64_t budget =
+        std::max<uint64_t>(1, (total - allocated) / static_cast<uint64_t>(threads - t));
+    const uint32_t begin = cursor.row();
+    uint64_t taken = 0;
+    while (!cursor.AtEnd() && (taken < budget || taken == 0)) {
+      taken += cursor.degree();
+      cursor.Next();
+    }
+    if (t == threads - 1) {  // last thread takes the tail
+      while (!cursor.AtEnd()) {
+        taken += cursor.degree();
+        cursor.Next();
+      }
+    }
+    out[t].ranges.push_back(RowRange{begin, cursor.row()});
+    allocated += taken;
+  }
+  AnnotateAll(a, options.beta, &out);
+  return out;
+}
+
+std::vector<Workload> AllocateEata(const graph::CsdbMatrix& a,
+                                   const AllocatorOptions& options) {
+  // Algorithm 2 implemented as a two-pass variant. A strictly streaming
+  // single pass pushes every budget correction onto the residual of the final
+  // thread — which on a degree-sorted matrix is exactly the most scattered
+  // (slowest-per-nnz) workload, re-creating the tail latency EaTA is meant to
+  // remove. Instead:
+  //   pass 1 (lines 2-4): estimate each thread's workload entropy H_i from
+  //     the plain workload-balancing split;
+  //   pass 2 (lines 5-12): apply Eq. 7 under the common-deadline reading of
+  //     Eq. 4 — every thread finishes at the same T* when its budget scales
+  //     with its scatter factor, W_i^p ∝ W_sca(H_i) = 1 - Z(H_i) + β Z(H_i) —
+  //     renormalized so the budgets sum exactly to the total workload, then
+  //     carve contiguous ranges with those budgets.
+  const int threads = options.num_threads;
+  const double beta = options.beta;
+  const uint32_t num_nodes = a.num_cols();
+  std::vector<Workload> out(threads);
+  const uint64_t total = a.nnz();
+  if (total == 0 || a.num_rows() == 0) {
+    AnnotateAll(a, beta, &out);
+    return out;
+  }
+
+  // Pass 1: per-thread entropy estimates from the WaTA split.
+  const std::vector<Workload> wata = AllocateWata(a, options);
+
+  // The paper's breakdown (Fig. 7a) puts ~70% of SpMM time in the scatter-
+  // sensitive get_dense_nnz gather; the rest streams sequentially and scales
+  // with plain nnz. The per-nnz time of a workload is therefore
+  //   c_i ~ (1 - gamma) + gamma / W_sca(H_i),
+  // and equal finish times require budgets W_i^p ~ 1 / c_i.
+  constexpr double kGatherShare = 0.7;
+
+  // Refine twice: budgets shift the chunk boundaries, which shifts each
+  // chunk's entropy; a second pass re-estimates on the adjusted chunks.
+  std::vector<double> speed(threads, 1.0);  // 1 / c_i
+  for (const int pass : {0, 1}) {
+    const std::vector<Workload>& estimate = (pass == 0) ? wata : out;
+    double speed_sum = 0.0;
+    for (int t = 0; t < threads; ++t) {
+      if (estimate[t].empty()) {
+        speed[t] = 0.0;
+        continue;
+      }
+      const double w_sca = ScatterFactor(estimate[t].entropy, num_nodes, beta);
+      speed[t] = 1.0 / ((1.0 - kGatherShare) + kGatherShare / w_sca);
+      speed_sum += speed[t];
+    }
+    if (speed_sum <= 0.0) break;
+
+    // Pass 2: carve contiguous ranges with carry-corrected budgets so the
+    // rounding overshoot of earlier threads never piles onto the tail.
+    for (auto& w : out) w = Workload{};
+    auto cursor = a.Rows(0);
+    uint64_t allocated = 0;
+    double cumulative_target = 0.0;
+    for (int t = 0; t < threads && !cursor.AtEnd(); ++t) {
+      const uint32_t begin = cursor.row();
+      if (t == threads - 1) {
+        while (!cursor.AtEnd()) cursor.Next();
+        out[t].ranges.push_back(RowRange{begin, cursor.row()});
+        break;
+      }
+      cumulative_target += static_cast<double>(total) * speed[t] / speed_sum;
+      const uint64_t budget = std::max<uint64_t>(
+          1, cumulative_target > static_cast<double>(allocated)
+                 ? static_cast<uint64_t>(cumulative_target - allocated)
+                 : 1);
+      uint64_t taken = 0;
+      while (!cursor.AtEnd() && (taken < budget || taken == 0) &&
+             allocated + taken < total) {
+        taken += cursor.degree();
+        cursor.Next();
+      }
+      out[t].ranges.push_back(RowRange{begin, cursor.row()});
+      allocated += taken;
+    }
+    AnnotateAll(a, beta, &out);
+  }
+  return out;
+}
+
+std::vector<Workload> Allocate(const graph::CsdbMatrix& a, AllocatorKind kind,
+                               const AllocatorOptions& options) {
+  OMEGA_CHECK(options.num_threads > 0) << "allocator needs at least one thread";
+  switch (kind) {
+    case AllocatorKind::kRoundRobin:
+      return AllocateRoundRobin(a, options);
+    case AllocatorKind::kWorkloadBalanced:
+      return AllocateWata(a, options);
+    case AllocatorKind::kEntropyAware:
+      return AllocateEata(a, options);
+  }
+  return {};
+}
+
+}  // namespace omega::sched

@@ -1,0 +1,47 @@
+// Thread-allocation schemes for parallel SpMM (§III-B, Table II):
+//   RR   — round-robin row dealing (the threads-library default);
+//   WaTA — workload-balancing: equal nnz per thread;
+//   EaTA — entropy-aware (Algorithm 2): adjusts each thread's nnz budget by
+//          the entropy-derived efficiency of its workload (Eq. 7) so that
+//          scattered (slow) workloads receive less work, balancing *time*
+//          rather than element count.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/csdb.h"
+#include "sched/workload.h"
+
+namespace omega::sched {
+
+enum class AllocatorKind { kRoundRobin, kWorkloadBalanced, kEntropyAware };
+
+const char* AllocatorName(AllocatorKind kind);
+
+struct AllocatorOptions {
+  int num_threads = 8;
+  /// beta = BW_read_random / BW_read_sequential of the tier holding the dense
+  /// matrix (Eq. 5); the PM default from the calibrated profiles.
+  double beta = 0.415;
+};
+
+/// Round-robin: row r goes to thread r % num_threads.
+std::vector<Workload> AllocateRoundRobin(const graph::CsdbMatrix& a,
+                                         const AllocatorOptions& options);
+
+/// WaTA: contiguous row ranges with ~equal nnz (total_workload / #threads).
+std::vector<Workload> AllocateWata(const graph::CsdbMatrix& a,
+                                   const AllocatorOptions& options);
+
+/// EaTA, Algorithm 2. Contiguous row ranges whose nnz budgets are scaled by
+/// Eq. 7 against the running average entropy target.
+std::vector<Workload> AllocateEata(const graph::CsdbMatrix& a,
+                                   const AllocatorOptions& options);
+
+/// Dispatch by kind. Every returned vector has exactly options.num_threads
+/// entries (possibly-empty workloads) with entropy/scatter annotated.
+std::vector<Workload> Allocate(const graph::CsdbMatrix& a, AllocatorKind kind,
+                               const AllocatorOptions& options);
+
+}  // namespace omega::sched

@@ -1,0 +1,17 @@
+#include "sched/workload.h"
+
+namespace omega::sched {
+
+void RefreshCounts(const graph::CsdbMatrix& a, Workload* w) {
+  w->nnz = 0;
+  w->num_rows = 0;
+  for (const RowRange& range : w->ranges) {
+    w->num_rows += range.size();
+    if (range.size() == 0) continue;
+    // Sum of degrees over [begin, end) via the O(1) row-pointer arithmetic.
+    w->nnz += a.RowPtr(range.end - 1) + a.RowDegree(range.end - 1) -
+              a.RowPtr(range.begin);
+  }
+}
+
+}  // namespace omega::sched

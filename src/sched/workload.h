@@ -1,0 +1,41 @@
+// Workload descriptors for parallel SpMM thread allocation (§III-B).
+//
+// A workload is the set of sparse-matrix rows assigned to one thread. The
+// round-robin allocator produces strided singleton ranges; WaTA and EaTA
+// produce contiguous ranges, so a workload is a list of [begin, end) row
+// intervals plus the derived statistics EaTA reasons about.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csdb.h"
+
+namespace omega::sched {
+
+/// Half-open row interval.
+struct RowRange {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  uint32_t size() const { return end - begin; }
+};
+
+/// Rows assigned to one thread.
+struct Workload {
+  std::vector<RowRange> ranges;
+
+  uint64_t nnz = 0;        ///< total non-zeros across the ranges (the paper's W_i)
+  uint32_t num_rows = 0;   ///< total rows (the paper's Rows_i)
+  double entropy = 0.0;    ///< H_i per Eq. 3
+  double scatter = 0.0;    ///< W_sca^i per Eq. 5
+
+  bool empty() const { return nnz == 0; }
+};
+
+/// Recomputes nnz/num_rows from `ranges` against `a` (entropy/scatter are
+/// filled by sched::AnnotateWorkload).
+void RefreshCounts(const graph::CsdbMatrix& a, Workload* w);
+
+}  // namespace omega::sched

@@ -1,0 +1,222 @@
+#include "sparse/csdb_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace omega::sparse {
+
+namespace {
+
+// Rebuilds a CSDB matrix from per-row (col, val) lists given in a shared row
+// id space, sorting rows into degree-descending order.
+Result<graph::CsdbMatrix> FromRowLists(
+    uint32_t num_rows, uint32_t num_cols,
+    std::vector<std::vector<std::pair<graph::NodeId, float>>> rows) {
+  std::vector<graph::NodeId> order(num_rows);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](graph::NodeId x, graph::NodeId y) {
+    return rows[x].size() > rows[y].size();
+  });
+
+  std::vector<uint32_t> degrees(num_rows);
+  std::vector<graph::NodeId> col_list;
+  std::vector<float> nnz_list;
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    auto& row = rows[order[i]];
+    std::sort(row.begin(), row.end());
+    degrees[i] = static_cast<uint32_t>(row.size());
+    for (const auto& [c, v] : row) {
+      col_list.push_back(c);
+      nnz_list.push_back(v);
+    }
+  }
+  return graph::CsdbMatrix::FromParts(num_rows, num_cols, degrees,
+                                      std::move(col_list), std::move(nnz_list),
+                                      std::move(order));
+}
+
+// Expands a CSDB matrix into per-row lists in its own row id space.
+std::vector<std::vector<std::pair<graph::NodeId, float>>> ToRowLists(
+    const graph::CsdbMatrix& a) {
+  std::vector<std::vector<std::pair<graph::NodeId, float>>> rows(a.num_rows());
+  const auto& cols = a.col_list();
+  const auto& vals = a.nnz_list();
+  for (auto cur = a.Rows(0); !cur.AtEnd(); cur.Next()) {
+    auto& row = rows[cur.row()];
+    row.reserve(cur.degree());
+    for (uint32_t k = 0; k < cur.degree(); ++k) {
+      row.emplace_back(cols[cur.ptr() + k], vals[cur.ptr() + k]);
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<graph::CsdbMatrix> Add(const graph::CsdbMatrix& a, const graph::CsdbMatrix& b,
+                              float alpha, float beta) {
+  if (a.num_rows() != b.num_rows() || a.num_cols() != b.num_cols()) {
+    return Status::InvalidArgument("Add: shape mismatch");
+  }
+  auto rows_a = ToRowLists(a);
+  auto rows_b = ToRowLists(b);
+  std::vector<std::vector<std::pair<graph::NodeId, float>>> merged(a.num_rows());
+  for (uint32_t r = 0; r < a.num_rows(); ++r) {
+    auto& ra = rows_a[r];
+    auto& rb = rows_b[r];
+    std::sort(ra.begin(), ra.end());
+    std::sort(rb.begin(), rb.end());
+    auto& out = merged[r];
+    size_t i = 0;
+    size_t j = 0;
+    while (i < ra.size() || j < rb.size()) {
+      if (j >= rb.size() || (i < ra.size() && ra[i].first < rb[j].first)) {
+        out.emplace_back(ra[i].first, alpha * ra[i].second);
+        ++i;
+      } else if (i >= ra.size() || rb[j].first < ra[i].first) {
+        out.emplace_back(rb[j].first, beta * rb[j].second);
+        ++j;
+      } else {
+        const float v = alpha * ra[i].second + beta * rb[j].second;
+        if (v != 0.0f) out.emplace_back(ra[i].first, v);
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return FromRowLists(a.num_rows(), a.num_cols(), std::move(merged));
+}
+
+Result<graph::CsdbMatrix> Subtract(const graph::CsdbMatrix& a,
+                                   const graph::CsdbMatrix& b) {
+  return Add(a, b, 1.0f, -1.0f);
+}
+
+Result<graph::CsdbMatrix> Transpose(const graph::CsdbMatrix& a) {
+  std::vector<std::vector<std::pair<graph::NodeId, float>>> rows(a.num_cols());
+  const auto& cols = a.col_list();
+  const auto& vals = a.nnz_list();
+  for (auto cur = a.Rows(0); !cur.AtEnd(); cur.Next()) {
+    for (uint32_t k = 0; k < cur.degree(); ++k) {
+      rows[cols[cur.ptr() + k]].emplace_back(cur.row(), vals[cur.ptr() + k]);
+    }
+  }
+  return FromRowLists(a.num_cols(), a.num_rows(), std::move(rows));
+}
+
+void ScaleValues(graph::CsdbMatrix* a, float alpha) {
+  for (float& v : a->mutable_nnz_list()) v *= alpha;
+}
+
+void ApplyElementwise(graph::CsdbMatrix* a,
+                      const std::function<float(uint32_t, graph::NodeId, float)>& fn) {
+  auto& vals = a->mutable_nnz_list();
+  const auto& cols = a->col_list();
+  for (auto cur = a->Rows(0); !cur.AtEnd(); cur.Next()) {
+    for (uint32_t k = 0; k < cur.degree(); ++k) {
+      const uint64_t idx = cur.ptr() + k;
+      vals[idx] = fn(cur.row(), cols[idx], vals[idx]);
+    }
+  }
+}
+
+std::vector<double> RowSums(const graph::CsdbMatrix& a) {
+  std::vector<double> sums(a.num_rows(), 0.0);
+  const auto& vals = a.nnz_list();
+  for (auto cur = a.Rows(0); !cur.AtEnd(); cur.Next()) {
+    double s = 0.0;
+    for (uint32_t k = 0; k < cur.degree(); ++k) s += vals[cur.ptr() + k];
+    sums[cur.row()] = s;
+  }
+  return sums;
+}
+
+void RowNormalize(graph::CsdbMatrix* a) {
+  const std::vector<double> sums = RowSums(*a);
+  auto& vals = a->mutable_nnz_list();
+  for (auto cur = a->Rows(0); !cur.AtEnd(); cur.Next()) {
+    const double s = sums[cur.row()];
+    if (s == 0.0) continue;
+    for (uint32_t k = 0; k < cur.degree(); ++k) {
+      vals[cur.ptr() + k] = static_cast<float>(vals[cur.ptr() + k] / s);
+    }
+  }
+}
+
+void SymmetricNormalize(graph::CsdbMatrix* a) {
+  const std::vector<double> sums = RowSums(*a);
+  auto& vals = a->mutable_nnz_list();
+  const auto& cols = a->col_list();
+  for (auto cur = a->Rows(0); !cur.AtEnd(); cur.Next()) {
+    const double sr = sums[cur.row()];
+    for (uint32_t k = 0; k < cur.degree(); ++k) {
+      const double sc = sums[cols[cur.ptr() + k]];
+      const double denom = std::sqrt(sr * sc);
+      if (denom > 0.0) {
+        vals[cur.ptr() + k] = static_cast<float>(vals[cur.ptr() + k] / denom);
+      }
+    }
+  }
+}
+
+Status SpMV(const graph::CsdbMatrix& a, const std::vector<float>& x,
+            std::vector<float>* y) {
+  if (x.size() != a.num_cols()) return Status::InvalidArgument("SpMV: dim mismatch");
+  y->assign(a.num_rows(), 0.0f);
+  const auto& cols = a.col_list();
+  const auto& vals = a.nnz_list();
+  for (auto cur = a.Rows(0); !cur.AtEnd(); cur.Next()) {
+    float acc = 0.0f;
+    for (uint32_t k = 0; k < cur.degree(); ++k) {
+      acc += vals[cur.ptr() + k] * x[cols[cur.ptr() + k]];
+    }
+    (*y)[cur.row()] = acc;
+  }
+  return Status::OK();
+}
+
+linalg::DenseMatrix ToDense(const graph::CsdbMatrix& a) {
+  linalg::DenseMatrix m(a.num_rows(), a.num_cols());
+  const auto& cols = a.col_list();
+  const auto& vals = a.nnz_list();
+  for (auto cur = a.Rows(0); !cur.AtEnd(); cur.Next()) {
+    for (uint32_t k = 0; k < cur.degree(); ++k) {
+      m.At(cur.row(), cols[cur.ptr() + k]) += vals[cur.ptr() + k];
+    }
+  }
+  return m;
+}
+
+Result<graph::CsrMatrix> ToCsr(const graph::CsdbMatrix& a) {
+  std::vector<uint64_t> row_ptr(a.num_rows() + 1, 0);
+  for (auto cur = a.Rows(0); !cur.AtEnd(); cur.Next()) {
+    row_ptr[cur.row() + 1] = row_ptr[cur.row()] + cur.degree();
+  }
+  return graph::CsrMatrix::FromParts(a.num_rows(), a.num_cols(), std::move(row_ptr),
+                                     a.col_list(), a.nnz_list());
+}
+
+Status ReferenceSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
+                     linalg::DenseMatrix* c) {
+  if (b.rows() != a.num_cols()) {
+    return Status::InvalidArgument("ReferenceSpmm: dim mismatch");
+  }
+  *c = linalg::DenseMatrix(a.num_rows(), b.cols());
+  const auto& cols = a.col_list();
+  const auto& vals = a.nnz_list();
+  for (size_t t = 0; t < b.cols(); ++t) {
+    const float* bt = b.ColData(t);
+    float* ct = c->ColData(t);
+    for (auto cur = a.Rows(0); !cur.AtEnd(); cur.Next()) {
+      float acc = 0.0f;
+      for (uint32_t k = 0; k < cur.degree(); ++k) {
+        acc += vals[cur.ptr() + k] * bt[cols[cur.ptr() + k]];
+      }
+      ct[cur.row()] = acc;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace omega::sparse

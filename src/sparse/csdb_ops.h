@@ -1,0 +1,67 @@
+// Matrix operators over the CSDB format (§III-A: "multiplication, addition,
+// subtraction, and transposition"), plus the value transforms the ProNE
+// pipeline needs. Multiplication with a dense operand is in sparse/spmm.h.
+//
+// Operators that change the sparsity pattern (Add/Subtract of different
+// patterns, Transpose of a non-symmetric matrix) re-sort the result's rows
+// into degree-descending order as CSDB requires; the result's perm() maps its
+// rows back to the operands' shared row-id space.
+
+#pragma once
+
+#include <functional>
+
+#include "common/status.h"
+#include "graph/csdb.h"
+#include "graph/csr.h"
+#include "linalg/dense_matrix.h"
+
+namespace omega::sparse {
+
+/// result = alpha * a + beta * b. Operands must share the same shape and be
+/// indexed in the same id space.
+Result<graph::CsdbMatrix> Add(const graph::CsdbMatrix& a, const graph::CsdbMatrix& b,
+                              float alpha = 1.0f, float beta = 1.0f);
+
+/// result = a - b.
+Result<graph::CsdbMatrix> Subtract(const graph::CsdbMatrix& a,
+                                   const graph::CsdbMatrix& b);
+
+/// Transpose. Columns stay in the input's id space; rows are re-sorted into
+/// degree-descending order (see file comment).
+Result<graph::CsdbMatrix> Transpose(const graph::CsdbMatrix& a);
+
+/// In-place value scaling: a *= alpha.
+void ScaleValues(graph::CsdbMatrix* a, float alpha);
+
+/// In-place elementwise transform v' = fn(row, col, v) over stored entries.
+void ApplyElementwise(graph::CsdbMatrix* a,
+                      const std::function<float(uint32_t, graph::NodeId, float)>& fn);
+
+/// Row degree-sum vector d_r = sum_c a(r, c) of the stored values.
+std::vector<double> RowSums(const graph::CsdbMatrix& a);
+
+/// In-place row normalization a(r, c) /= row_sum(r)  (the D^-1 A operator).
+/// Zero rows are left untouched.
+void RowNormalize(graph::CsdbMatrix* a);
+
+/// In-place symmetric normalization a(r, c) /= sqrt(rs(r) * rs(c)), where rs
+/// is the row-sum vector (the D^-1/2 A D^-1/2 operator of spectral methods).
+void SymmetricNormalize(graph::CsdbMatrix* a);
+
+/// y = a * x (SpMV; no memsim charging — used by tests and small utilities).
+Status SpMV(const graph::CsdbMatrix& a, const std::vector<float>& x,
+            std::vector<float>* y);
+
+/// Densifies (tests / reference checks only).
+linalg::DenseMatrix ToDense(const graph::CsdbMatrix& a);
+
+/// Converts to CSR, preserving the CSDB row order (used by the CSR-based
+/// baseline engines).
+Result<graph::CsrMatrix> ToCsr(const graph::CsdbMatrix& a);
+
+/// Reference (uncharged, single-threaded) SpMM for correctness checks.
+Status ReferenceSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
+                     linalg::DenseMatrix* c);
+
+}  // namespace omega::sparse

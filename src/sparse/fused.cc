@@ -1,0 +1,123 @@
+#include "sparse/fused.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+#include "sched/entropy.h"
+
+namespace omega::sparse {
+
+namespace {
+constexpr uint64_t kLineBytes = 64;
+}  // namespace
+
+Result<ParallelSpmmResult> FusedMmSpmm(const graph::CsrMatrix& a,
+                                       const linalg::DenseMatrix& b,
+                                       linalg::DenseMatrix* c,
+                                       const FusedMmOptions& options,
+                                       memsim::MemorySystem* ms, ThreadPool* pool) {
+  const int threads = options.num_threads;
+  OMEGA_CHECK(pool->size() >= static_cast<size_t>(threads));
+  if (c->rows() != a.num_rows() || c->cols() != b.cols()) {
+    return Status::InvalidArgument("FusedMmSpmm: result shape mismatch");
+  }
+
+  // In-memory only: the whole working set must fit in DRAM. The fused
+  // embedding kernel holds both endpoint feature matrices, the output, and a
+  // gradient/workspace block alongside the CSR structure.
+  const size_t working_set =
+      a.nnz() * 8 + a.IndexBytes() + 2 * b.bytes() + 2 * c->bytes();
+  const size_t total_dram = ms->CapacityBytes(memsim::Tier::kDram) *
+                            static_cast<size_t>(ms->topology().num_sockets());
+  if (working_set > total_dram) {
+    return Status::CapacityExceeded("FusedMM working set exceeds DRAM: " +
+                                    std::to_string(working_set >> 20) + " MiB");
+  }
+
+  // OpenMP-static style equal-row chunks (nnz-oblivious).
+  const uint32_t rows_total = a.num_rows();
+  const uint32_t chunk = (rows_total + threads - 1) / threads;
+
+  const memsim::Placement dram{memsim::Tier::kDram, 0};
+  ParallelSpmmResult result;
+  result.thread_seconds.assign(threads, 0.0);
+  result.thread_breakdowns.assign(threads, SpmmCostBreakdown{});
+  memsim::ClockGroup clocks(threads);
+  const size_t d = b.cols();
+
+  pool->RunOnAll([&](size_t worker) {
+    if (worker >= static_cast<size_t>(threads)) return;
+    const uint32_t row_begin = std::min<uint32_t>(rows_total, worker * chunk);
+    const uint32_t row_end = std::min<uint32_t>(rows_total, row_begin + chunk);
+    memsim::WorkerCtx ctx;
+    ctx.worker = static_cast<int>(worker);
+    ctx.cpu_socket = ms->topology().SocketOfWorker(static_cast<int>(worker), threads);
+    ctx.active_threads = threads;
+    ctx.clock = &clocks.clock(worker);
+    SpmmCostBreakdown& bd = result.thread_breakdowns[worker];
+
+    const graph::NodeId* cols = a.col_idx().data();
+    const float* vals = a.values().data();
+    uint64_t nnz = 0;
+    sched::EntropyAccumulator entropy;
+    for (uint32_t j = row_begin; j < row_end; ++j) {
+      const uint64_t start = a.RowBegin(j);
+      const uint32_t deg = a.RowDegree(j);
+      nnz += deg;
+      entropy.AddRow(deg);
+      for (size_t t = 0; t < d; ++t) {
+        const float* bt = b.ColData(t);
+        float acc = 0.0f;
+        for (uint32_t k = 0; k < deg; ++k) {
+          acc += vals[start + k] * bt[cols[start + k]];
+        }
+        c->ColData(t)[j] = acc;
+      }
+    }
+
+    auto charge = [&](SpmmOp op, memsim::MemOp mop, memsim::Pattern pat,
+                      uint64_t bytes, uint64_t accesses) {
+      const double s = ms->AccessSeconds(dram, ctx.cpu_socket, mop, pat, bytes,
+                                         accesses, ctx.active_threads);
+      ctx.clock->Advance(s);
+      bd.seconds[static_cast<int>(op)] += s;
+    };
+
+    const uint64_t rows = row_end - row_begin;
+    // Fused pass: sparse streamed once; per element, all d dense values of
+    // the gathered row are consumed (ceil(d*4/64) lines per distinct line
+    // visit), result written row-by-row.
+    charge(SpmmOp::kReadIndex, memsim::MemOp::kRead, memsim::Pattern::kSequential,
+           rows * 8, 1);
+    charge(SpmmOp::kGetSparseNnz, memsim::MemOp::kRead, memsim::Pattern::kSequential,
+           nnz * 8, 1);
+    // FusedMM's unified kernel evaluates SDDMM ⊙ A then SpMM in one pass:
+    // per element it gathers the d-float feature rows of BOTH endpoints and
+    // performs the semiring op + scaling + accumulation (~3 passes of
+    // arithmetic).
+    const uint64_t lines_per_gather =
+        2 * ((d * sizeof(float) + kLineBytes - 1) / kLineBytes);
+    const double z = sched::NormalizedEntropy(entropy.Entropy(), a.num_cols());
+    const double gather_seconds =
+        GatherSeconds(ms, ctx.cpu_socket, dram, z, nnz * lines_per_gather,
+                      ctx.active_threads);
+    ctx.clock->Advance(gather_seconds);
+    bd.seconds[static_cast<int>(SpmmOp::kGetDenseNnz)] += gather_seconds;
+    const double compute = ms->cost_model().ComputeSeconds(d * nnz * 6);
+    ctx.clock->Advance(compute);
+    bd.seconds[static_cast<int>(SpmmOp::kAccumulate)] += compute;
+    charge(SpmmOp::kWriteResult, memsim::MemOp::kWrite, memsim::Pattern::kSequential,
+           rows * d * sizeof(float), 1);
+  });
+
+  for (int t = 0; t < threads; ++t) {
+    result.thread_seconds[t] = clocks.clock(t).seconds();
+    result.total_breakdown += result.thread_breakdowns[t];
+  }
+  result.nnz_processed = a.nnz();
+  result.phase_seconds = clocks.MaxSeconds();
+  return result;
+}
+
+}  // namespace omega::sparse

@@ -1,0 +1,34 @@
+// FusedMM baseline (Rahman, Sujon, Azad; IPDPS'21; the paper's §IV-H
+// competitor): an in-memory CSR kernel that fuses the SDDMM/SpMM pipeline
+// into a single row-major pass.
+//
+// Everything lives in DRAM, the sparse matrix is streamed once per SpMM, and
+// rows are split in equal-count chunks across threads (OpenMP-static style),
+// so it is fast on small graphs but (a) cannot run once the operands exceed
+// DRAM and (b) suffers stragglers on skewed graphs — the two effects the
+// paper reports (OOM on TW-2010; 2.11-3.26x behind OMeGa).
+
+#pragma once
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "graph/csr.h"
+#include "linalg/dense_matrix.h"
+#include "memsim/memory_system.h"
+#include "sparse/spmm.h"
+
+namespace omega::sparse {
+
+struct FusedMmOptions {
+  int num_threads = 8;
+};
+
+/// Runs C = A * B with the FusedMM strategy. Fails with CapacityExceeded when
+/// sparse + dense + result do not fit in the simulated machine's total DRAM.
+Result<ParallelSpmmResult> FusedMmSpmm(const graph::CsrMatrix& a,
+                                       const linalg::DenseMatrix& b,
+                                       linalg::DenseMatrix* c,
+                                       const FusedMmOptions& options,
+                                       memsim::MemorySystem* ms, ThreadPool* pool);
+
+}  // namespace omega::sparse

@@ -1,0 +1,141 @@
+#include "sparse/semi_external.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+#include "sched/entropy.h"
+
+namespace omega::sparse {
+
+namespace {
+constexpr uint64_t kSsdPageBytes = 4096;
+}  // namespace
+
+ParallelSpmmResult SemiExternalSpmm(const graph::CsrMatrix& a,
+                                    const linalg::DenseMatrix& b,
+                                    linalg::DenseMatrix* c,
+                                    const SemiExternalOptions& options,
+                                    memsim::MemorySystem* ms, ThreadPool* pool) {
+  const int threads = options.num_threads;
+  OMEGA_CHECK(pool->size() >= static_cast<size_t>(threads));
+  OMEGA_CHECK(c->rows() == a.num_rows() && c->cols() == b.cols());
+
+  // Fraction of dense gathers that miss the DRAM-resident portion.
+  const size_t dense_bytes = b.bytes() + c->bytes();
+  double spill = 0.0;
+  if (dense_bytes > options.dram_budget_bytes) {
+    spill = 1.0 - static_cast<double>(options.dram_budget_bytes) / dense_bytes;
+    spill = std::clamp(spill, 0.0, 0.95);
+  }
+
+  // Equal-nnz row partitions.
+  std::vector<std::pair<uint32_t, uint32_t>> parts(threads, {0, 0});
+  {
+    const uint64_t per = std::max<uint64_t>(1, a.nnz() / threads);
+    uint32_t row = 0;
+    for (int t = 0; t < threads; ++t) {
+      const uint32_t begin = row;
+      uint64_t taken = 0;
+      while (row < a.num_rows() && (taken < per || taken == 0)) {
+        taken += a.RowDegree(row);
+        ++row;
+      }
+      if (t == threads - 1) row = a.num_rows();
+      parts[t] = {begin, row};
+    }
+  }
+
+  const memsim::Placement ssd{memsim::Tier::kSsd, 0};
+  const memsim::Placement dram{memsim::Tier::kDram, 0};
+
+  ParallelSpmmResult result;
+  result.thread_seconds.assign(threads, 0.0);
+  result.thread_breakdowns.assign(threads, SpmmCostBreakdown{});
+  memsim::ClockGroup clocks(threads);
+  const size_t d = b.cols();
+
+  pool->RunOnAll([&](size_t worker) {
+    if (worker >= static_cast<size_t>(threads)) return;
+    const auto [row_begin, row_end] = parts[worker];
+    memsim::WorkerCtx ctx;
+    ctx.worker = static_cast<int>(worker);
+    ctx.cpu_socket = ms->topology().SocketOfWorker(static_cast<int>(worker), threads);
+    ctx.active_threads = threads;
+    ctx.clock = &clocks.clock(worker);
+    SpmmCostBreakdown& bd = result.thread_breakdowns[worker];
+
+    const graph::NodeId* cols = a.col_idx().data();
+    const float* vals = a.values().data();
+
+    uint64_t nnz = 0;
+    sched::EntropyAccumulator entropy;
+    // Row-major pass: real compute for all d columns per row; the sparse row
+    // is streamed once (the semi-external optimization).
+    for (uint32_t j = row_begin; j < row_end; ++j) {
+      const uint64_t start = a.RowBegin(j);
+      const uint32_t deg = a.RowDegree(j);
+      nnz += deg;
+      entropy.AddRow(deg);
+      for (size_t t = 0; t < d; ++t) {
+        const float* bt = b.ColData(t);
+        float acc = 0.0f;
+        for (uint32_t k = 0; k < deg; ++k) {
+          acc += vals[start + k] * bt[cols[start + k]];
+        }
+        c->ColData(t)[j] = acc;
+      }
+    }
+
+    const uint64_t rows = row_end - row_begin;
+    auto charge = [&](SpmmOp op, memsim::Placement p, memsim::MemOp mop,
+                      memsim::Pattern pat, uint64_t bytes, uint64_t accesses) {
+      const double s = ms->AccessSeconds(p, ctx.cpu_socket, mop, pat, bytes, accesses,
+                                         ctx.active_threads);
+      ctx.clock->Advance(s);
+      bd.seconds[static_cast<int>(op)] += s;
+    };
+
+    // Sparse stream from SSD: SEM-SpMM processes the dense operand in
+    // column blocks (16 columns per pass to bound its in-memory working
+    // set), re-streaming the sparse matrix and its row pointers per block.
+    const uint64_t column_passes = (d + 15) / 16;
+    charge(SpmmOp::kReadIndex, ssd, memsim::MemOp::kRead,
+           memsim::Pattern::kSequential, column_passes * rows * 8, column_passes);
+    charge(SpmmOp::kGetSparseNnz, ssd, memsim::MemOp::kRead,
+           memsim::Pattern::kSequential, column_passes * nnz * 8, column_passes);
+    // Dense gathers: Z-blended DRAM traffic for the resident fraction; the
+    // spilled fraction pays SSD 4 KB page reads.
+    const uint64_t total_gathers = nnz * d;
+    const uint64_t spilled = static_cast<uint64_t>(spill * total_gathers);
+    const uint64_t in_dram = total_gathers - spilled;
+    const double z =
+        sched::NormalizedEntropy(entropy.Entropy(), a.num_cols());
+    const double gather_seconds =
+        GatherSeconds(ms, ctx.cpu_socket, dram, z, in_dram, ctx.active_threads);
+    ctx.clock->Advance(gather_seconds);
+    bd.seconds[static_cast<int>(SpmmOp::kGetDenseNnz)] += gather_seconds;
+    if (spilled > 0) {
+      charge(SpmmOp::kGetDenseNnz, ssd, memsim::MemOp::kRead, memsim::Pattern::kRandom,
+             spilled * kSsdPageBytes, spilled);
+    }
+    ctx.clock->Advance(ms->cost_model().ComputeSeconds(d * nnz * 2));
+    bd.seconds[static_cast<int>(SpmmOp::kAccumulate)] +=
+        ms->cost_model().ComputeSeconds(d * nnz * 2);
+    charge(SpmmOp::kWriteResult, dram, memsim::MemOp::kWrite,
+           memsim::Pattern::kSequential, rows * d * sizeof(float), 1);
+  });
+
+  uint64_t total_nnz = 0;
+  for (int t = 0; t < threads; ++t) {
+    result.thread_seconds[t] = clocks.clock(t).seconds();
+    result.total_breakdown += result.thread_breakdowns[t];
+    const auto [rb, re] = parts[t];
+    if (re > rb) total_nnz += a.RowEnd(re - 1) - a.RowBegin(rb);
+  }
+  result.nnz_processed = total_nnz;
+  result.phase_seconds = clocks.MaxSeconds();
+  return result;
+}
+
+}  // namespace omega::sparse

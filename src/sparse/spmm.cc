@@ -1,0 +1,272 @@
+#include "sparse/spmm.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sched/entropy.h"
+
+namespace omega::sparse {
+
+const char* SpmmOpName(SpmmOp op) {
+  switch (op) {
+    case SpmmOp::kReadIndex:
+      return "read_index";
+    case SpmmOp::kGetSparseNnz:
+      return "get_sparse_nnz";
+    case SpmmOp::kGetDenseNnz:
+      return "get_dense_nnz";
+    case SpmmOp::kAccumulate:
+      return "accumulation";
+    case SpmmOp::kWriteResult:
+      return "write_result";
+  }
+  return "?";
+}
+
+double SpmmCostBreakdown::Total() const {
+  double t = 0.0;
+  for (double s : seconds) t += s;
+  return t;
+}
+
+SpmmCostBreakdown& SpmmCostBreakdown::operator+=(const SpmmCostBreakdown& other) {
+  for (int i = 0; i < kNumSpmmOps; ++i) seconds[i] += other.seconds[i];
+  return *this;
+}
+
+namespace {
+
+constexpr uint64_t kLineBytes = 64;
+
+// Charges an access and attributes it to one breakdown component.
+void Charge(memsim::MemorySystem* ms, memsim::WorkerCtx* ctx,
+            SpmmCostBreakdown* breakdown, SpmmOp op, memsim::Placement p,
+            memsim::MemOp mem_op, memsim::Pattern pat, uint64_t bytes,
+            uint64_t accesses) {
+  if (bytes == 0 && accesses == 0) return;
+  const double seconds = ms->AccessSeconds(p, ctx->cpu_socket, mem_op, pat, bytes,
+                                           accesses, ctx->active_threads);
+  ctx->clock->Advance(seconds);
+  breakdown->seconds[static_cast<int>(op)] += seconds;
+}
+
+void ChargeCompute(memsim::MemorySystem* ms, memsim::WorkerCtx* ctx,
+                   SpmmCostBreakdown* breakdown, uint64_t ops) {
+  const double seconds = ms->cost_model().ComputeSeconds(ops);
+  ctx->clock->Advance(seconds);
+  breakdown->seconds[static_cast<int>(SpmmOp::kAccumulate)] += seconds;
+}
+
+// Traffic counted on the first column pass (identical on every pass).
+struct GatherCounts {
+  uint64_t misses = 0;      // gathers served by the dense operand's tier
+  uint64_t cache_hits = 0;  // gathers served by the DenseCacheView
+  sched::EntropyAccumulator entropy;
+};
+
+// Shared cost-charging for both formats once traffic has been counted.
+// `index_bytes_per_row` differs: CSDB's block metadata amortizes to ~4 bytes
+// per row from its (DRAM) index placement, CSR reads 8-byte row pointers.
+void ChargeWorkloadCosts(memsim::MemorySystem* ms, memsim::WorkerCtx* ctx,
+                         const SpmmPlacements& pl, const DenseCacheView* cache,
+                         uint64_t rows, uint64_t nnz, uint64_t dense_cols,
+                         const GatherCounts& counts, uint64_t index_bytes_per_row,
+                         uint32_t num_nodes, SpmmCostBreakdown* breakdown) {
+  if (rows == 0 && nnz == 0) return;  // empty workload: nothing was touched
+  const uint64_t d = dense_cols;
+  // 1 read_index: row metadata is re-consulted on every column pass.
+  Charge(ms, ctx, breakdown, SpmmOp::kReadIndex, pl.index, memsim::MemOp::kRead,
+         memsim::Pattern::kSequential, d * rows * index_bytes_per_row, d);
+  // 2 get_sparse_nnz: col_list (4B) + nnz_list (4B) per element, sequential,
+  // re-streamed for every dense column (Algorithm 1's loop nesting).
+  Charge(ms, ctx, breakdown, SpmmOp::kGetSparseNnz, pl.sparse, memsim::MemOp::kRead,
+         memsim::Pattern::kSequential, d * nnz * 8, d);
+  // 3 get_dense_nnz: Z(H)-blended gathers (Eqs. 4-5); hits go to the cache's
+  // (DRAM) placement at random-access cost, which is still far cheaper.
+  const double z =
+      sched::NormalizedEntropy(counts.entropy.Entropy(), num_nodes);
+  const double gather = GatherSeconds(ms, ctx->cpu_socket, pl.dense, z,
+                                      d * counts.misses, ctx->active_threads);
+  ctx->clock->Advance(gather);
+  breakdown->seconds[static_cast<int>(SpmmOp::kGetDenseNnz)] += gather;
+  if (cache != nullptr && counts.cache_hits > 0) {
+    Charge(ms, ctx, breakdown, SpmmOp::kGetDenseNnz, cache->placement(),
+           memsim::MemOp::kRead, memsim::Pattern::kRandom,
+           d * counts.cache_hits * cache->BytesPerHit(), d * counts.cache_hits);
+  }
+  // 4 accumulation: one multiply + one add per element per column.
+  ChargeCompute(ms, ctx, breakdown, d * nnz * 2);
+  // 5 write_result: column-major C rows are written sequentially.
+  Charge(ms, ctx, breakdown, SpmmOp::kWriteResult, pl.result, memsim::MemOp::kWrite,
+         memsim::Pattern::kSequential, d * rows * sizeof(float), d);
+}
+
+}  // namespace
+
+double GatherSeconds(memsim::MemorySystem* ms, int cpu_socket,
+                     memsim::Placement dense, double z, uint64_t touches,
+                     int active_threads) {
+  if (touches == 0) return 0.0;
+  const uint64_t bytes = touches * kLineBytes;
+  // Split the stream into its random and sequential shares (the cost model is
+  // linear in bytes/accesses, so this equals the Z-weighted blend while
+  // keeping the traffic counters exact).
+  const auto random_bytes = static_cast<uint64_t>(z * bytes);
+  const auto random_touches = static_cast<uint64_t>(z * touches);
+  double seconds = 0.0;
+  if (random_bytes > 0) {
+    seconds += ms->AccessSeconds(dense, cpu_socket, memsim::MemOp::kRead,
+                                 memsim::Pattern::kRandom, random_bytes,
+                                 random_touches, active_threads);
+  }
+  if (bytes > random_bytes) {
+    seconds += ms->AccessSeconds(dense, cpu_socket, memsim::MemOp::kRead,
+                                 memsim::Pattern::kSequential, bytes - random_bytes,
+                                 1, active_threads);
+  }
+  return seconds;
+}
+
+SpmmCostBreakdown ExecuteWorkloadCsdb(const graph::CsdbMatrix& a,
+                                      const linalg::DenseMatrix& b,
+                                      linalg::DenseMatrix* c,
+                                      const sched::Workload& w,
+                                      const SpmmPlacements& placements,
+                                      memsim::MemorySystem* ms,
+                                      memsim::WorkerCtx* ctx,
+                                      const DenseCacheView* cache, size_t col_begin,
+                                      size_t col_end) {
+  OMEGA_DCHECK(c->rows() == a.num_rows() && c->cols() == b.cols());
+  col_end = std::min(col_end, b.cols());
+  OMEGA_DCHECK(col_begin <= col_end);
+  SpmmCostBreakdown breakdown;
+  const size_t d = col_end - col_begin;
+  const graph::NodeId* cols = a.col_list().data();
+  const float* vals = a.nnz_list().data();
+
+  GatherCounts counts;
+  uint64_t rows = 0;
+  uint64_t nnz = 0;
+
+  // Real computation, column-major outer loop as in Algorithm 1.
+  for (size_t t = col_begin; t < col_end; ++t) {
+    const float* bt = b.ColData(t);
+    float* ct = c->ColData(t);
+    for (const sched::RowRange& range : w.ranges) {
+      if (range.size() == 0) continue;
+      for (auto cur = a.Rows(range.begin); cur.row() < range.end; cur.Next()) {
+        const uint64_t start = cur.ptr();
+        const uint32_t deg = cur.degree();
+        float acc = 0.0f;
+        for (uint32_t k = 0; k < deg; ++k) {
+          acc += vals[start + k] * bt[cols[start + k]];
+        }
+        ct[cur.row()] = acc;
+        if (t == col_begin) {
+          // Traffic is identical for every column pass; count it once.
+          counts.entropy.AddRow(deg);
+          if (cache != nullptr) {
+            for (uint32_t k = 0; k < deg; ++k) {
+              if (cache->Contains(cols[start + k])) {
+                ++counts.cache_hits;
+              } else {
+                ++counts.misses;
+              }
+            }
+          } else {
+            counts.misses += deg;
+          }
+          ++rows;
+          nnz += deg;
+        }
+      }
+    }
+  }
+
+  ChargeWorkloadCosts(ms, ctx, placements, cache, rows, nnz, d, counts,
+                      /*index_bytes_per_row=*/4, a.num_cols(), &breakdown);
+  return breakdown;
+}
+
+SpmmCostBreakdown ExecuteWorkloadCsr(const graph::CsrMatrix& a,
+                                     const linalg::DenseMatrix& b,
+                                     linalg::DenseMatrix* c, uint32_t row_begin,
+                                     uint32_t row_end,
+                                     const SpmmPlacements& placements,
+                                     memsim::MemorySystem* ms,
+                                     memsim::WorkerCtx* ctx) {
+  OMEGA_DCHECK(c->rows() == a.num_rows() && c->cols() == b.cols());
+  SpmmCostBreakdown breakdown;
+  const size_t d = b.cols();
+  const graph::NodeId* cols = a.col_idx().data();
+  const float* vals = a.values().data();
+
+  GatherCounts counts;
+  uint64_t nnz = 0;
+
+  for (size_t t = 0; t < d; ++t) {
+    const float* bt = b.ColData(t);
+    float* ct = c->ColData(t);
+    for (uint32_t j = row_begin; j < row_end; ++j) {
+      const uint64_t start = a.RowBegin(j);
+      const uint32_t deg = a.RowDegree(j);
+      float acc = 0.0f;
+      for (uint32_t k = 0; k < deg; ++k) {
+        acc += vals[start + k] * bt[cols[start + k]];
+      }
+      ct[j] = acc;
+      if (t == 0) {
+        counts.entropy.AddRow(deg);
+        counts.misses += deg;
+        nnz += deg;
+      }
+    }
+  }
+
+  ChargeWorkloadCosts(ms, ctx, placements, /*cache=*/nullptr, row_end - row_begin,
+                      nnz, d, counts, /*index_bytes_per_row=*/8, a.num_cols(),
+                      &breakdown);
+  return breakdown;
+}
+
+ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
+                                const linalg::DenseMatrix& b,
+                                linalg::DenseMatrix* c,
+                                const std::vector<sched::Workload>& workloads,
+                                const SpmmPlacements& placements,
+                                memsim::MemorySystem* ms, ThreadPool* pool,
+                                const CacheFactory& cache_factory) {
+  const size_t n = workloads.size();
+  OMEGA_CHECK(pool->size() >= n) << "thread pool smaller than workload count";
+
+  ParallelSpmmResult result;
+  result.thread_seconds.assign(n, 0.0);
+  result.thread_breakdowns.assign(n, SpmmCostBreakdown{});
+
+  memsim::ClockGroup clocks(n);
+  const int total_workers = static_cast<int>(n);
+
+  pool->RunOnAll([&](size_t worker) {
+    if (worker >= n) return;
+    const sched::Workload& w = workloads[worker];
+    memsim::WorkerCtx ctx;
+    ctx.worker = static_cast<int>(worker);
+    ctx.cpu_socket =
+        ms->topology().SocketOfWorker(static_cast<int>(worker), total_workers);
+    ctx.active_threads = total_workers;
+    ctx.clock = &clocks.clock(worker);
+    const DenseCacheView* cache = cache_factory ? cache_factory(&ctx, w) : nullptr;
+    result.thread_breakdowns[worker] =
+        ExecuteWorkloadCsdb(a, b, c, w, placements, ms, &ctx, cache);
+  });
+
+  for (size_t i = 0; i < n; ++i) {
+    result.thread_seconds[i] = clocks.clock(i).seconds();
+    result.total_breakdown += result.thread_breakdowns[i];
+    result.nnz_processed += workloads[i].nnz;
+  }
+  result.phase_seconds = clocks.MaxSeconds();
+  return result;
+}
+
+}  // namespace omega::sparse

@@ -1,0 +1,143 @@
+// Parallel SpMM — Algorithm 1 of the paper, executed for real on host memory
+// while charging the simulated heterogeneous-memory machine.
+//
+// The per-thread cost decomposes into the paper's five operations (Fig. 7a):
+//   1 read_index     — sequential reads of the row metadata;
+//   2 get_sparse_nnz — sequential reads of col_list/nnz_list;
+//   3 get_dense_nnz  — the dominant term: gathers from the dense operand at
+//                      rows A.col_list[k]. Per the paper's cost model (Eqs.
+//                      4-5), a workload's gather stream achieves a bandwidth
+//                      between sequential and random in proportion to its
+//                      normalized entropy Z(H): cost is the Z-weighted blend
+//                      of the random-access and sequential-access charges.
+//                      This is how the W_sca effect (Fig. 7b) enters the
+//                      simulation;
+//   4 accumulation   — multiply-accumulate arithmetic (the BW_CPU term);
+//   5 write_result   — sequential writes of the column-major result.
+//
+// A DenseCacheView (implemented by WoFP) can intercept gathers: cached
+// columns are charged against the cache's (DRAM) placement instead of the
+// dense operand's (PM) placement.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/csdb.h"
+#include "graph/csr.h"
+#include "linalg/dense_matrix.h"
+#include "memsim/memory_system.h"
+#include "sched/workload.h"
+
+namespace omega::sparse {
+
+/// The five cost components of Algorithm 1.
+enum class SpmmOp {
+  kReadIndex = 0,
+  kGetSparseNnz = 1,
+  kGetDenseNnz = 2,
+  kAccumulate = 3,
+  kWriteResult = 4,
+};
+inline constexpr int kNumSpmmOps = 5;
+
+const char* SpmmOpName(SpmmOp op);
+
+/// Simulated seconds attributed to each component.
+struct SpmmCostBreakdown {
+  double seconds[kNumSpmmOps] = {};
+
+  double Total() const;
+  SpmmCostBreakdown& operator+=(const SpmmCostBreakdown& other);
+};
+
+/// Where each operand of the SpMM lives on the simulated machine.
+struct SpmmPlacements {
+  memsim::Placement index{memsim::Tier::kDram, 0};   ///< CSDB/CSR row metadata
+  memsim::Placement sparse{memsim::Tier::kPm, 0};    ///< col_list / nnz_list
+  memsim::Placement dense{memsim::Tier::kPm, 0};     ///< dense operand B
+  memsim::Placement result{memsim::Tier::kDram, 0};  ///< result matrix C
+};
+
+/// Read-only view of a software prefetch cache over the dense operand's rows
+/// (WoFP, §III-C). Gathers whose column is Contained are charged against
+/// `placement()` instead of the dense operand's placement.
+class DenseCacheView {
+ public:
+  virtual ~DenseCacheView() = default;
+  virtual bool Contains(graph::NodeId col) const = 0;
+  virtual memsim::Placement placement() const = 0;
+  /// Simulated bytes charged per served gather. Small stores are effectively
+  /// CPU-cache-resident; large ones pay full DRAM lines plus hash overhead.
+  virtual uint64_t BytesPerHit() const { return 64; }
+};
+
+/// Executes one thread's workload of A (CSDB) x B -> C and charges `ctx`.
+/// C must be pre-sized to a.num_rows() x b.cols(); only rows in `w` and
+/// columns in [col_begin, min(col_end, b.cols())) are written (NaDP assigns
+/// each socket a column block). Returns the per-component simulated cost.
+SpmmCostBreakdown ExecuteWorkloadCsdb(const graph::CsdbMatrix& a,
+                                      const linalg::DenseMatrix& b,
+                                      linalg::DenseMatrix* c,
+                                      const sched::Workload& w,
+                                      const SpmmPlacements& placements,
+                                      memsim::MemorySystem* ms,
+                                      memsim::WorkerCtx* ctx,
+                                      const DenseCacheView* cache = nullptr,
+                                      size_t col_begin = 0, size_t col_end = SIZE_MAX);
+
+/// Simulated seconds for `touches` dense-operand gathers (64 bytes each)
+/// whose stream has normalized workload entropy `z` in [0, 1]: the Z-weighted
+/// blend of the random and sequential access charges (Eqs. 4-5). Updates the
+/// traffic counters; the caller advances the worker clock.
+double GatherSeconds(memsim::MemorySystem* ms, int cpu_socket,
+                     memsim::Placement dense, double z, uint64_t touches,
+                     int active_threads);
+
+/// CSR flavor of the same kernel (used by the ProNE/CSR baselines). CSR pays
+/// O(|V|) row-pointer reads from the sparse tier where CSDB's O(|degrees|)
+/// metadata is DRAM-resident.
+SpmmCostBreakdown ExecuteWorkloadCsr(const graph::CsrMatrix& a,
+                                     const linalg::DenseMatrix& b,
+                                     linalg::DenseMatrix* c, uint32_t row_begin,
+                                     uint32_t row_end,
+                                     const SpmmPlacements& placements,
+                                     memsim::MemorySystem* ms,
+                                     memsim::WorkerCtx* ctx);
+
+/// Outcome of a parallel SpMM phase.
+struct ParallelSpmmResult {
+  std::vector<double> thread_seconds;    ///< simulated time per worker
+  std::vector<SpmmCostBreakdown> thread_breakdowns;
+  SpmmCostBreakdown total_breakdown;     ///< summed across workers
+  double phase_seconds = 0.0;            ///< max over workers (the straggler)
+  uint64_t nnz_processed = 0;
+
+  /// nnz fetched per simulated second — the paper's SpMM throughput metric
+  /// (Fig. 16).
+  double ThroughputNnzPerSec() const {
+    return phase_seconds > 0.0 ? static_cast<double>(nnz_processed) / phase_seconds
+                               : 0.0;
+  }
+};
+
+/// Builds (or reuses) a per-workload dense-row cache; return nullptr for no
+/// prefetching. The returned view must stay alive for the duration of the
+/// workload's execution (the factory owns it). The factory runs on the worker
+/// and may charge its build cost against `ctx`.
+using CacheFactory = std::function<const DenseCacheView*(memsim::WorkerCtx* ctx,
+                                                         const sched::Workload& w)>;
+
+/// Runs one SpMM A (CSDB) x B -> C with one worker per workload. Worker w is
+/// bound to the socket given by the machine topology's block assignment.
+ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
+                                const linalg::DenseMatrix& b,
+                                linalg::DenseMatrix* c,
+                                const std::vector<sched::Workload>& workloads,
+                                const SpmmPlacements& placements,
+                                memsim::MemorySystem* ms, ThreadPool* pool,
+                                const CacheFactory& cache_factory = nullptr);
+
+}  // namespace omega::sparse

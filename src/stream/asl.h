@@ -1,0 +1,85 @@
+// ASL — Asynchronous Adaptive Streaming Loading (§III-E, Fig. 11).
+//
+// The dense matrices of the embedding pipeline exceed DRAM, so they are kept
+// on PM and streamed into DRAM in column partitions. ASL sizes the partition
+// count n from the peak-memory model
+//   M_l + M_al + M_s + M_r + M_ri + M_li <= M_total              (Eq. 8)
+// which with M_l = M_al = M_li = (d/n)|V|s and M_r = M_ri = d|V|s solves to
+//   n >= 3 d |V| s / (M_total - M_s - 2 d |V| s)                 (Eq. 9)
+// and overlaps each partition's PM->DRAM load with the previous partition's
+// compute (double buffering): the pipeline's simulated duration is
+//   load_0 + sum_k max(compute_k, load_{k+1}) + compute_{n-1}.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "memsim/memory_system.h"
+
+namespace omega::stream {
+
+/// Inputs of the Eq. 8/9 sizing model.
+struct AslConfig {
+  size_t dense_rows = 0;     ///< |V|
+  size_t dense_cols = 0;     ///< d (embedding dimension)
+  size_t element_bytes = 4;  ///< size(type)
+  size_t sparse_bytes = 0;   ///< M_s: CSDB footprint
+  size_t dram_budget = 0;    ///< M_total: DRAM available to the pipeline
+};
+
+/// Eq. 9. Fails with CapacityExceeded when even maximal partitioning cannot
+/// fit (denominator <= 0). The result is clamped to [1, dense_cols].
+Result<size_t> OptimalPartitions(const AslConfig& config);
+
+/// Column range of partition `k` out of `n` over `cols` columns.
+std::pair<size_t, size_t> PartitionColumns(size_t cols, size_t n, size_t k);
+
+/// Per-partition record of one streaming pass.
+struct AslPartitionTrace {
+  size_t col_begin = 0;
+  size_t col_end = 0;
+  double load_seconds = 0.0;
+  double compute_seconds = 0.0;
+};
+
+/// Outcome of one streaming pass.
+struct AslRunResult {
+  double total_seconds = 0.0;        ///< pipelined duration
+  double serial_seconds = 0.0;       ///< non-overlapped (sum) duration
+  std::vector<AslPartitionTrace> partitions;
+
+  /// Fraction of load time hidden behind compute.
+  double OverlapEfficiency() const {
+    return serial_seconds > 0.0 ? 1.0 - total_seconds / serial_seconds : 0.0;
+  }
+};
+
+/// Double-buffered streaming executor over the simulated machine.
+class AslStreamer {
+ public:
+  /// Streams from `pm_home` to `dram_home`; the loader runs on one simulated
+  /// background thread per pass.
+  AslStreamer(memsim::MemorySystem* ms, AslConfig config, memsim::Placement pm_home,
+              memsim::Placement dram_home)
+      : ms_(ms), config_(config), pm_home_(pm_home), dram_home_(dram_home) {}
+
+  /// Simulated seconds to copy one partition PM -> DRAM.
+  double LoadSeconds(size_t col_begin, size_t col_end) const;
+
+  /// Runs `compute_fn(partition, col_begin, col_end)` for every partition;
+  /// the callback performs the real computation and returns its *simulated*
+  /// duration. Loads overlap the previous partition's compute.
+  Result<AslRunResult> Run(
+      const std::function<double(size_t, size_t, size_t)>& compute_fn);
+
+ private:
+  memsim::MemorySystem* ms_;
+  AslConfig config_;
+  memsim::Placement pm_home_;
+  memsim::Placement dram_home_;
+};
+
+}  // namespace omega::stream

@@ -1,0 +1,190 @@
+// Unit tests for the common runtime: Status/Result, RNG, string utilities,
+// and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace omega {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arg");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad arg");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arg");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+Result<int> Doubled(Result<int> in) {
+  OMEGA_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_TRUE(Doubled(Status::Internal("boom")).status().code() ==
+              StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(RngTest, GaussianHasReasonableMoments) {
+  Rng rng(99);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(SplitMixTest, HashesDistinctInputsApart) {
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+  EXPECT_NE(SplitMix64(0), 0u);
+}
+
+TEST(StringUtilTest, SplitTokens) {
+  const auto tokens = SplitTokens("a b\tc  d", " \t");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[3], "d");
+  EXPECT_TRUE(SplitTokens("", " ").empty());
+  EXPECT_TRUE(SplitTokens("   ", " ").empty());
+}
+
+TEST(StringUtilTest, HumanCountMatchesPaperStyle) {
+  EXPECT_EQ(HumanCount(803), "803");
+  EXPECT_EQ(HumanCount(1630000), "1.63 M");
+  EXPECT_EQ(HumanCount(2410000000ULL), "2.41 B");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1024), "1.00 KiB");
+  EXPECT_EQ(HumanBytes(96ULL << 20), "96.00 MiB");
+}
+
+TEST(StringUtilTest, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(12.345), "12.35 s");
+  EXPECT_EQ(HumanSeconds(0.01234), "12.34 ms");
+  EXPECT_EQ(HumanSeconds(0.0000123), "12.30 us");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("omega", "om"));
+  EXPECT_FALSE(StartsWith("om", "omega"));
+}
+
+TEST(ThreadPoolTest, RunsOnEveryWorkerExactlyOnce) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.size(), 8u);
+  std::vector<std::atomic<int>> hits(8);
+  pool.RunOnAll([&](size_t w) { hits[w]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, RepeatedPhases) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.RunOnAll([&](size_t) { counter++; });
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeDisjointly) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> touched(100);
+  pool.ParallelFor(100, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) touched[i]++;
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallerThanPool) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  pool.ParallelFor(3, [&](size_t, size_t begin, size_t end) {
+    total += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,307 @@
+// Unit tests for the ProNE embedding model: Chebyshev coefficients and filter
+// application against dense references, target/propagation matrix
+// construction, the end-to-end embedding, and quality checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "embed/chebyshev.h"
+#include "embed/prone.h"
+#include "embed/quality.h"
+#include "graph/rmat.h"
+#include "linalg/gemm.h"
+#include "linalg/random_matrix.h"
+#include "sparse/csdb_ops.h"
+
+namespace omega::embed {
+namespace {
+
+using graph::CsdbMatrix;
+using graph::Edge;
+using graph::Graph;
+using linalg::DenseMatrix;
+
+// Uncharged executor over the reference kernel.
+SpmmExecutor PlainExecutor() {
+  return [](const CsdbMatrix& m, const DenseMatrix& in,
+            DenseMatrix* out) -> Result<double> {
+    OMEGA_RETURN_NOT_OK(sparse::ReferenceSpmm(m, in, out));
+    return 0.001;
+  };
+}
+
+Graph CommunityGraph() {
+  // Two dense communities of 16 nodes plus a weak bridge: embeddings must
+  // separate them.
+  std::vector<Edge> edges;
+  omega::Rng rng(5);
+  auto add_clique_ish = [&](graph::NodeId base) {
+    for (graph::NodeId i = 0; i < 16; ++i) {
+      for (graph::NodeId j = i + 1; j < 16; ++j) {
+        if (rng.NextDouble() < 0.55) {
+          edges.push_back(Edge{base + i, base + j, 1.0f});
+        }
+      }
+    }
+  };
+  add_clique_ish(0);
+  add_clique_ish(16);
+  edges.push_back(Edge{0, 16, 1.0f});
+  return Graph::FromEdges(32, edges, true).value();
+}
+
+TEST(ChebyshevTest, BandPassFilterShape) {
+  const SpectralFilter g = ProneBandPass(0.2, 0.5);
+  // Peak near mu, decaying away from it.
+  EXPECT_GT(g(0.2), g(1.0));
+  EXPECT_GT(g(0.2), g(2.0));
+  EXPECT_GT(g(0.0), 0.0);
+}
+
+TEST(ChebyshevTest, CoefficientsReproduceFilterPointwise) {
+  const SpectralFilter g = ProneBandPass(0.2, 0.5);
+  const auto coeffs = ChebyshevCoefficients(g, 16);
+  ASSERT_EQ(coeffs.size(), 16u);
+  // Evaluate the expansion at sample eigenvalues and compare with g.
+  for (double lambda : {0.05, 0.3, 0.9, 1.4, 1.9}) {
+    const double x = lambda - 1.0;
+    double t_prev = 1.0;
+    double t_cur = x;
+    double sum = coeffs[0] * t_prev + coeffs[1] * t_cur;
+    for (size_t k = 2; k < coeffs.size(); ++k) {
+      const double t_next = 2.0 * x * t_cur - t_prev;
+      sum += coeffs[k] * t_next;
+      t_prev = t_cur;
+      t_cur = t_next;
+    }
+    EXPECT_NEAR(sum, g(lambda), 1e-6) << "lambda=" << lambda;
+  }
+}
+
+TEST(ChebyshevTest, ConstantFilterIsIdentity) {
+  // g == 1 => coefficients [1, 0, 0, ...] and the filter output equals the
+  // input block.
+  const auto coeffs = ChebyshevCoefficients([](double) { return 1.0; }, 8);
+  EXPECT_NEAR(coeffs[0], 1.0, 1e-12);
+  for (size_t k = 1; k < coeffs.size(); ++k) EXPECT_NEAR(coeffs[k], 0.0, 1e-12);
+
+  const CsdbMatrix s = BuildPropagationMatrix(
+      CsdbMatrix::FromGraph(CommunityGraph()));
+  const DenseMatrix r = linalg::GaussianMatrix(s.num_rows(), 4, 9);
+  DenseMatrix out;
+  auto secs = ChebyshevFilterApply(s, coeffs, r, &out, PlainExecutor());
+  ASSERT_TRUE(secs.ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(out, r), 1e-5);
+}
+
+TEST(ChebyshevTest, FilterApplyMatchesDenseSpectralComputation) {
+  // Compare T_k recurrence output against explicitly computing
+  // sum c_k T_k(-S) R with dense matrix powers.
+  const CsdbMatrix s_sparse =
+      BuildPropagationMatrix(CsdbMatrix::FromGraph(CommunityGraph()));
+  const DenseMatrix s = sparse::ToDense(s_sparse);
+  const size_t n = s.rows();
+  const DenseMatrix r = linalg::GaussianMatrix(n, 3, 4);
+  const auto coeffs = ChebyshevCoefficients(ProneBandPass(0.2, 0.5), 6);
+
+  DenseMatrix out;
+  ASSERT_TRUE(
+      ChebyshevFilterApply(s_sparse, coeffs, r, &out, PlainExecutor()).ok());
+
+  // Dense reference: T_0 = R, T_1 = -S R, T_{k+1} = -2 S T_k - T_{k-1}.
+  DenseMatrix t_prev = r;
+  DenseMatrix t_cur;
+  {
+    DenseMatrix sr;
+    ASSERT_TRUE(linalg::Gemm(s, r, &sr).ok());
+    sr.Scale(-1.0f);
+    t_cur = sr;
+  }
+  DenseMatrix expect(n, 3);
+  ASSERT_TRUE(expect.AddScaled(t_prev, static_cast<float>(coeffs[0])).ok());
+  ASSERT_TRUE(expect.AddScaled(t_cur, static_cast<float>(coeffs[1])).ok());
+  for (size_t k = 2; k < coeffs.size(); ++k) {
+    DenseMatrix st;
+    ASSERT_TRUE(linalg::Gemm(s, t_cur, &st).ok());
+    DenseMatrix t_next(n, 3);
+    ASSERT_TRUE(t_next.AddScaled(st, -2.0f).ok());
+    ASSERT_TRUE(t_next.AddScaled(t_prev, -1.0f).ok());
+    ASSERT_TRUE(expect.AddScaled(t_next, static_cast<float>(coeffs[k])).ok());
+    t_prev = t_cur;
+    t_cur = t_next;
+  }
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(out, expect), 1e-3);
+}
+
+TEST(ProneMatrixTest, TargetMatrixIsNonNegativeAndSymmetricPattern) {
+  const CsdbMatrix adj = CsdbMatrix::FromGraph(CommunityGraph());
+  const CsdbMatrix target = BuildTargetMatrix(adj, 1.0);
+  EXPECT_EQ(target.nnz(), adj.nnz());
+  for (float v : target.nnz_list()) EXPECT_GE(v, 0.0f);
+  // Symmetry of values (needed for apply == apply^T in the tSVD).
+  const DenseMatrix d = sparse::ToDense(target);
+  for (size_t i = 0; i < d.rows(); ++i) {
+    for (size_t j = 0; j < d.cols(); ++j) {
+      EXPECT_NEAR(d.At(i, j), d.At(j, i), 1e-5);
+    }
+  }
+}
+
+TEST(ProneMatrixTest, HigherLambdaShrinksTarget) {
+  const CsdbMatrix adj = CsdbMatrix::FromGraph(CommunityGraph());
+  const CsdbMatrix t1 = BuildTargetMatrix(adj, 1.0);
+  const CsdbMatrix t5 = BuildTargetMatrix(adj, 5.0);
+  double sum1 = 0.0;
+  double sum5 = 0.0;
+  for (float v : t1.nnz_list()) sum1 += v;
+  for (float v : t5.nnz_list()) sum5 += v;
+  EXPECT_LT(sum5, sum1);
+}
+
+TEST(ProneMatrixTest, PropagationMatrixSpectralRadiusAtMostOne) {
+  const CsdbMatrix s = BuildPropagationMatrix(
+      CsdbMatrix::FromGraph(CommunityGraph()));
+  // Power iteration estimate of the spectral radius.
+  std::vector<float> x(s.num_rows(), 1.0f);
+  std::vector<float> y;
+  double norm = 0.0;
+  for (int it = 0; it < 50; ++it) {
+    ASSERT_TRUE(sparse::SpMV(s, x, &y).ok());
+    norm = 0.0;
+    for (float v : y) norm += static_cast<double>(v) * v;
+    norm = std::sqrt(norm);
+    for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(y[i] / norm);
+  }
+  EXPECT_LE(norm, 1.0 + 1e-3);
+}
+
+TEST(ProneTest, EndToEndProducesStructuredEmbedding) {
+  const Graph g = CommunityGraph();
+  const CsdbMatrix adj = CsdbMatrix::FromGraph(g);
+  ProneOptions opts;
+  opts.dim = 8;
+  opts.oversample = 4;
+  auto result = ProneEmbed(adj, opts, PlainExecutor());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& emb = result.value();
+  EXPECT_EQ(emb.vectors.rows(), 32u);
+  EXPECT_EQ(emb.vectors.cols(), 8u);
+  EXPECT_GT(emb.factorize_seconds, 0.0);
+  EXPECT_GT(emb.propagate_seconds, 0.0);
+  EXPECT_NEAR(emb.total_seconds, emb.factorize_seconds + emb.propagate_seconds,
+              1e-12);
+
+  // Rows are L2-normalized.
+  for (size_t r = 0; r < 32; ++r) {
+    double norm = 0.0;
+    for (size_t c = 0; c < 8; ++c) {
+      norm += static_cast<double>(emb.vectors.At(r, c)) * emb.vectors.At(r, c);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-3) << "row " << r;
+  }
+
+  // Same-community pairs score higher than cross-community pairs on average.
+  const DenseMatrix original = emb.ToOriginalOrder();
+  double same = 0.0;
+  double cross = 0.0;
+  int same_n = 0;
+  int cross_n = 0;
+  for (graph::NodeId u = 0; u < 16; ++u) {
+    for (graph::NodeId v = u + 1; v < 16; ++v) {
+      same += EmbeddingScore(original, u, v);
+      ++same_n;
+      cross += EmbeddingScore(original, u, v + 16);
+      ++cross_n;
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n + 0.1);
+}
+
+TEST(ProneTest, ToOriginalOrderInvertsPerm) {
+  const Graph g = CommunityGraph();
+  const CsdbMatrix adj = CsdbMatrix::FromGraph(g);
+  ProneOptions opts;
+  opts.dim = 4;
+  opts.oversample = 2;
+  auto result = ProneEmbed(adj, opts, PlainExecutor());
+  ASSERT_TRUE(result.ok());
+  const DenseMatrix original = result.value().ToOriginalOrder();
+  for (uint32_t r = 0; r < adj.num_rows(); ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(original.At(adj.perm()[r], c), result.value().vectors.At(r, c));
+    }
+  }
+}
+
+TEST(ProneTest, ValidatesOptions) {
+  const CsdbMatrix adj = CsdbMatrix::FromGraph(CommunityGraph());
+  ProneOptions opts;
+  opts.dim = 0;
+  EXPECT_FALSE(ProneEmbed(adj, opts, PlainExecutor()).ok());
+  opts.dim = 40;  // dim + oversample > 32 nodes
+  EXPECT_FALSE(ProneEmbed(adj, opts, PlainExecutor()).ok());
+}
+
+TEST(ProneTest, SimulatedSecondsAccumulateAcrossSpmms) {
+  const CsdbMatrix adj = CsdbMatrix::FromGraph(CommunityGraph());
+  ProneOptions opts;
+  opts.dim = 4;
+  opts.oversample = 2;
+  opts.chebyshev_order = 6;
+  int calls = 0;
+  SpmmExecutor counting = [&](const CsdbMatrix& m, const DenseMatrix& in,
+                              DenseMatrix* out) -> Result<double> {
+    OMEGA_RETURN_NOT_OK(sparse::ReferenceSpmm(m, in, out));
+    ++calls;
+    return 1.0;
+  };
+  auto result = ProneEmbed(adj, opts, counting);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().total_seconds, static_cast<double>(calls));
+  // Chebyshev of order 6 issues exactly 5 SpMMs (orders 1..5).
+  EXPECT_EQ(result.value().propagate_seconds, 5.0);
+}
+
+TEST(QualityTest, AucSeparatesStructureFromRandom) {
+  const Graph g = CommunityGraph();
+  const CsdbMatrix adj = CsdbMatrix::FromGraph(g);
+  ProneOptions opts;
+  opts.dim = 8;
+  opts.oversample = 4;
+  auto emb = ProneEmbed(adj, opts, PlainExecutor());
+  ASSERT_TRUE(emb.ok());
+  auto auc = LinkPredictionAuc(g, emb.value().ToOriginalOrder(), 500, 3);
+  ASSERT_TRUE(auc.ok()) << auc.status().ToString();
+  EXPECT_GT(auc.value(), 0.65);
+
+  // A random embedding scores near 0.5.
+  const DenseMatrix random = linalg::GaussianMatrix(g.num_nodes(), 8, 1);
+  auto random_auc = LinkPredictionAuc(g, random, 500, 3);
+  ASSERT_TRUE(random_auc.ok());
+  EXPECT_NEAR(random_auc.value(), 0.5, 0.15);
+  EXPECT_GT(auc.value(), random_auc.value());
+}
+
+TEST(QualityTest, ValidatesInput) {
+  const Graph g = CommunityGraph();
+  const DenseMatrix wrong = linalg::GaussianMatrix(5, 4, 1);
+  EXPECT_FALSE(LinkPredictionAuc(g, wrong, 10, 1).ok());
+}
+
+TEST(QualityTest, TopKSimilarExcludesQueryAndRanks) {
+  DenseMatrix emb(4, 2);
+  emb.At(0, 0) = 1.0f;
+  emb.At(1, 0) = 0.9f;
+  emb.At(2, 0) = -1.0f;
+  emb.At(3, 0) = 0.5f;
+  const auto top = TopKSimilar(emb, 0, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(TopKSimilar(emb, 0, 99).size(), 3u);
+}
+
+}  // namespace
+}  // namespace omega::embed

@@ -1,0 +1,220 @@
+// Unit tests for the end-to-end engines: every system runs on a small graph,
+// capacity failures surface as in the paper, and the headline orderings
+// (OMeGa between DRAM-only and PM-only; OMeGa >> ProNE-HM) hold.
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/rmat.h"
+#include "omega/baselines.h"
+#include "omega/distributed_sim.h"
+#include "omega/engine.h"
+#include "omega/report.h"
+
+namespace omega::engine {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph::RmatParams params;
+    params.scale = 9;
+    params.num_edges = 6000;
+    g_ = std::make_unique<graph::Graph>(graph::GenerateRmat(params).value());
+    ms_ = memsim::MemorySystem::CreateDefault();
+    pool_ = std::make_unique<ThreadPool>(8);
+  }
+
+  EngineOptions Options(SystemKind kind) {
+    EngineOptions opts;
+    opts.system = kind;
+    opts.num_threads = 8;
+    opts.prone.dim = 8;
+    opts.prone.oversample = 4;
+    opts.prone.chebyshev_order = 4;
+    return opts;
+  }
+
+  Result<RunReport> Run(SystemKind kind) {
+    return RunEmbedding(*g_, "test", Options(kind), ms_.get(), pool_.get());
+  }
+
+  std::unique_ptr<graph::Graph> g_;
+  std::unique_ptr<memsim::MemorySystem> ms_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+TEST_F(EngineTest, EverySystemRunsOnSmallGraph) {
+  for (SystemKind kind :
+       {SystemKind::kOmega, SystemKind::kOmegaDram, SystemKind::kOmegaPm,
+        SystemKind::kProneDram, SystemKind::kProneHm, SystemKind::kGinex,
+        SystemKind::kMariusGnn, SystemKind::kDistGer, SystemKind::kDistDgl}) {
+    auto report = Run(kind);
+    ASSERT_TRUE(report.ok()) << SystemName(kind) << ": "
+                             << report.status().ToString();
+    EXPECT_GT(report.value().total_seconds, 0.0) << SystemName(kind);
+    EXPECT_GT(report.value().read_seconds, 0.0) << SystemName(kind);
+    EXPECT_EQ(report.value().system, SystemName(kind));
+  }
+}
+
+TEST_F(EngineTest, EmbeddingSystemsProduceEmbeddings) {
+  for (SystemKind kind : {SystemKind::kOmega, SystemKind::kProneDram,
+                          SystemKind::kGinex}) {
+    auto report = Run(kind);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report.value().embedding.rows(), g_->num_nodes()) << SystemName(kind);
+    EXPECT_EQ(report.value().embedding.cols(), 8u);
+  }
+}
+
+TEST_F(EngineTest, OmegaAndProneProduceIdenticalEmbeddings) {
+  // OMeGa is a systems contribution: the model output must match the ProNE
+  // baseline bit-for-bit modulo kernel ordering (same seeds, same math).
+  auto omega = Run(SystemKind::kOmega);
+  auto prone = Run(SystemKind::kProneDram);
+  ASSERT_TRUE(omega.ok());
+  ASSERT_TRUE(prone.ok());
+  EXPECT_LT(linalg::DenseMatrix::MaxAbsDiff(omega.value().embedding,
+                                            prone.value().embedding),
+            1e-3);
+}
+
+TEST_F(EngineTest, DramIsIdealPmIsWorstOmegaInBetween) {
+  // Fig. 12's internal ordering on graphs where all three run.
+  const double t_dram = Run(SystemKind::kOmegaDram).value().embed_seconds;
+  const double t_omega = Run(SystemKind::kOmega).value().embed_seconds;
+  const double t_pm = Run(SystemKind::kOmegaPm).value().embed_seconds;
+  EXPECT_LE(t_dram, t_omega * 1.05);
+  EXPECT_GT(t_pm, t_omega);
+}
+
+TEST_F(EngineTest, OmegaBeatsProneHmByALargeFactor) {
+  const double t_omega = Run(SystemKind::kOmega).value().embed_seconds;
+  const double t_hm = Run(SystemKind::kProneHm).value().embed_seconds;
+  EXPECT_GT(t_hm / t_omega, 3.0);  // paper reports 33.65x on real scale
+}
+
+TEST_F(EngineTest, OmegaDramBeatsProneDram) {
+  const double t_omega = Run(SystemKind::kOmegaDram).value().embed_seconds;
+  const double t_prone = Run(SystemKind::kProneDram).value().embed_seconds;
+  EXPECT_GT(t_prone / t_omega, 1.5);  // paper reports 4.99x
+}
+
+TEST_F(EngineTest, QualityEvaluationProducesAuc) {
+  EngineOptions opts = Options(SystemKind::kOmega);
+  opts.evaluate_quality = true;
+  opts.quality_samples = 300;
+  auto report = RunEmbedding(*g_, "test", opts, ms_.get(), pool_.get());
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report.value().link_auc.has_value());
+  EXPECT_GT(*report.value().link_auc, 0.55);
+}
+
+TEST_F(EngineTest, DramOnlySystemsOomOnLargeGraphs) {
+  // A graph whose working set exceeds the simulated 48 MB of total DRAM.
+  graph::RmatParams params;
+  params.scale = 15;
+  params.num_edges = 2400000;
+  const graph::Graph big = graph::GenerateRmat(params).value();
+  EngineOptions opts = Options(SystemKind::kOmegaDram);
+  opts.prone.dim = 32;
+  opts.prone.oversample = 8;
+  auto dram = RunEmbedding(big, "big", opts, ms_.get(), pool_.get());
+  ASSERT_FALSE(dram.ok());
+  EXPECT_TRUE(dram.status().IsCapacityExceeded());
+
+  opts.system = SystemKind::kProneDram;
+  auto prone = RunEmbedding(big, "big", opts, ms_.get(), pool_.get());
+  ASSERT_FALSE(prone.ok());
+  EXPECT_TRUE(prone.status().IsCapacityExceeded());
+}
+
+TEST_F(EngineTest, ReservationsAreReleasedAfterRuns) {
+  ASSERT_TRUE(Run(SystemKind::kOmega).ok());
+  ASSERT_TRUE(Run(SystemKind::kOmegaDram).ok());
+  for (int socket = 0; socket < 2; ++socket) {
+    EXPECT_EQ(ms_->UsedBytes(memsim::Tier::kDram, socket), 0u);
+    EXPECT_EQ(ms_->UsedBytes(memsim::Tier::kPm, socket), 0u);
+  }
+}
+
+TEST_F(EngineTest, FeatureTogglesChangeRuntime) {
+  EngineOptions base = Options(SystemKind::kOmega);
+  EngineOptions no_wofp = base;
+  no_wofp.features.use_wofp = false;
+  EngineOptions no_nadp = base;
+  no_nadp.features.use_nadp = false;
+  const double t_full =
+      RunEmbedding(*g_, "t", base, ms_.get(), pool_.get()).value().embed_seconds;
+  const double t_no_wofp =
+      RunEmbedding(*g_, "t", no_wofp, ms_.get(), pool_.get()).value().embed_seconds;
+  const double t_no_nadp =
+      RunEmbedding(*g_, "t", no_nadp, ms_.get(), pool_.get()).value().embed_seconds;
+  EXPECT_GT(t_no_wofp, t_full);  // Fig. 14
+  EXPECT_GT(t_no_nadp, t_full);  // Fig. 15
+}
+
+TEST_F(EngineTest, DistributedAnaloguesOrdering) {
+  // Fig. 18a: DistGER outperforms DistDGL.
+  const double t_ger = Run(SystemKind::kDistGer).value().total_seconds;
+  const double t_dgl = Run(SystemKind::kDistDgl).value().total_seconds;
+  EXPECT_GT(t_dgl, t_ger);
+}
+
+TEST_F(EngineTest, SsdSystemsSlowerThanOmega) {
+  const double t_omega = Run(SystemKind::kOmega).value().total_seconds;
+  const double t_ginex = Run(SystemKind::kGinex).value().total_seconds;
+  const double t_marius = Run(SystemKind::kMariusGnn).value().total_seconds;
+  EXPECT_GT(t_ginex, t_omega);
+  EXPECT_GT(t_marius, t_omega);
+  EXPECT_GT(t_ginex, t_marius);  // paper: 5.49x vs 2.07x behind OMeGa
+}
+
+TEST(GraphReadCostTest, CsdbReadsFasterThanCsr) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  const double csr =
+      SimulatedGraphReadSeconds(ms.get(), GraphFormat::kCsr, 200000, 4096, 8);
+  const double csdb =
+      SimulatedGraphReadSeconds(ms.get(), GraphFormat::kCsdb, 200000, 4096, 8);
+  // Fig. 19a: CSDB accelerates reading by ~1.35x.
+  EXPECT_GT(csr / csdb, 1.1);
+  EXPECT_LT(csr / csdb, 2.5);
+}
+
+TEST(WorkingSetTest, GrowsWithDimAndNodes) {
+  embed::ProneOptions prone;
+  prone.dim = 32;
+  prone.oversample = 8;
+  const size_t small = DenseWorkingSetBytes(1000, prone);
+  const size_t big = DenseWorkingSetBytes(10000, prone);
+  EXPECT_EQ(big, 10 * small);
+  prone.dim = 64;
+  EXPECT_GT(DenseWorkingSetBytes(1000, prone), small);
+  EXPECT_EQ(SparseBytes(1000), 8000u);
+}
+
+TEST(ReportTest, TablePrinterAlignsColumns) {
+  TablePrinter table({"Graph", "Time"});
+  table.AddRow({"PK", "1.00 s"});
+  table.AddRow({"LongName", "2.00 s"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("Graph"), std::string::npos);
+  EXPECT_NE(out.find("LongName"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ReportTest, RuntimeCellFormats) {
+  EXPECT_EQ(RuntimeCell(1.5), "1.50 s");
+  EXPECT_EQ(RuntimeCell(0.0, true), "OOM");
+  EXPECT_EQ(RuntimeCell(100000.0), "> 1 day");
+}
+
+TEST(ReportTest, GeometricMean) {
+  EXPECT_NEAR(GeometricMean({2.0, 8.0}), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+  EXPECT_NEAR(GeometricMean({5.0, 0.0, -1.0}), 5.0, 1e-9);  // non-positive skipped
+}
+
+}  // namespace
+}  // namespace omega::engine

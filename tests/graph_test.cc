@@ -1,0 +1,298 @@
+// Unit tests for the graph substrate: construction, relabeling, R-MAT, the
+// dataset registry, text/binary I/O, and degree statistics.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/datasets.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+#include "graph/rmat.h"
+#include "graph/stats.h"
+
+namespace omega::graph {
+namespace {
+
+// The example graph of the paper's Fig. 5: |V|=7, |E|=11, degrees 4,4,4,3,3,2,2.
+std::vector<Edge> PaperExampleEdges() {
+  return {
+      {0, 1, 1.0f}, {0, 2, 1.0f}, {0, 3, 1.0f}, {0, 4, 1.0f},
+      {1, 3, 1.0f}, {1, 4, 1.0f}, {1, 6, 1.0f},
+      {2, 4, 1.0f}, {2, 5, 1.0f}, {2, 6, 1.0f},
+      {3, 5, 1.0f},
+  };
+}
+
+Graph MakePaperGraph() {
+  auto g = Graph::FromEdges(7, PaperExampleEdges(), /*undirected=*/true);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+TEST(GraphTest, FromEdgesBuildsSymmetricAdjacency) {
+  const Graph g = MakePaperGraph();
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_arcs(), 22u);  // 11 undirected edges
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(g.degree(1), 4u);
+  EXPECT_EQ(g.degree(2), 4u);
+  EXPECT_EQ(g.degree(3), 3u);
+  EXPECT_EQ(g.degree(4), 3u);
+  EXPECT_EQ(g.degree(5), 2u);
+  EXPECT_EQ(g.degree(6), 2u);
+  EXPECT_EQ(g.max_degree(), 4u);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  const Graph g = MakePaperGraph();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId* nbrs = g.neighbors(v);
+    for (uint32_t i = 1; i < g.degree(v); ++i) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+  }
+}
+
+TEST(GraphTest, SelfLoopsDropped) {
+  auto g = Graph::FromEdges(3, {{0, 0, 1.0f}, {0, 1, 1.0f}}, true);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_arcs(), 2u);
+}
+
+TEST(GraphTest, DuplicateEdgesMergeWeights) {
+  auto g = Graph::FromEdges(2, {{0, 1, 1.0f}, {0, 1, 2.5f}}, true);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_arcs(), 2u);
+  EXPECT_FLOAT_EQ(g.value().weights(0)[0], 3.5f);
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoints) {
+  auto g = Graph::FromEdges(2, {{0, 5, 1.0f}}, true);
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsOutOfRange());
+}
+
+TEST(GraphTest, RejectsEmptyGraph) {
+  auto g = Graph::FromEdges(0, {}, true);
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GraphTest, DistinctDegreesMatchesPaperExample) {
+  const Graph g = MakePaperGraph();
+  EXPECT_EQ(g.num_distinct_degrees(), 3u);  // degrees {4, 3, 2}
+}
+
+TEST(GraphTest, DegreeDescendingOrderIsSortedAndStable) {
+  const Graph g = MakePaperGraph();
+  const auto order = g.DegreeDescendingOrder();
+  ASSERT_EQ(order.size(), 7u);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(g.degree(order[i - 1]), g.degree(order[i]));
+  }
+  // Stability: equal-degree nodes keep original relative order.
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 2u);
+}
+
+TEST(GraphTest, RelabelPreservesStructure) {
+  const Graph g = MakePaperGraph();
+  const auto order = g.DegreeDescendingOrder();
+  auto relabeled = g.Relabel(order);
+  ASSERT_TRUE(relabeled.ok());
+  const Graph& r = relabeled.value();
+  EXPECT_EQ(r.num_arcs(), g.num_arcs());
+  // New node i is old node order[i] and keeps its degree.
+  for (NodeId i = 0; i < r.num_nodes(); ++i) {
+    EXPECT_EQ(r.degree(i), g.degree(order[i]));
+  }
+}
+
+TEST(GraphTest, RelabelRejectsNonPermutation) {
+  const Graph g = MakePaperGraph();
+  EXPECT_FALSE(g.Relabel({0, 0, 1, 2, 3, 4, 5}).ok());
+  EXPECT_FALSE(g.Relabel({0, 1}).ok());
+}
+
+TEST(RmatTest, GeneratesRequestedScale) {
+  RmatParams params;
+  params.scale = 10;
+  params.num_edges = 8000;
+  auto g = GenerateRmat(params);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 1024u);
+  EXPECT_GT(g.value().num_arcs(), 8000u);       // most edges kept, doubled
+  EXPECT_LE(g.value().num_arcs(), 16000u);      // bounded by 2x requested
+}
+
+TEST(RmatTest, DeterministicForSeed) {
+  RmatParams params;
+  params.scale = 9;
+  params.num_edges = 4000;
+  auto g1 = GenerateRmat(params);
+  auto g2 = GenerateRmat(params);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1.value().num_arcs(), g2.value().num_arcs());
+  EXPECT_EQ(g1.value().neighbor_array(), g2.value().neighbor_array());
+}
+
+TEST(RmatTest, SkewedParametersProduceSkew) {
+  RmatParams skewed;
+  skewed.scale = 11;
+  skewed.num_edges = 30000;
+  skewed.a = 0.7;
+  skewed.b = 0.15;
+  skewed.c = 0.1;
+  skewed.d = 0.05;
+  RmatParams uniform = skewed;
+  uniform.a = uniform.b = uniform.c = uniform.d = 0.25;
+  auto gs = GenerateRmat(skewed);
+  auto gu = GenerateRmat(uniform);
+  ASSERT_TRUE(gs.ok());
+  ASSERT_TRUE(gu.ok());
+  EXPECT_GT(gs.value().max_degree(), 2 * gu.value().max_degree());
+  EXPECT_LT(ComputeDegreeStats(gs.value()).normalized_entropy,
+            ComputeDegreeStats(gu.value()).normalized_entropy);
+}
+
+TEST(RmatTest, RejectsBadProbabilities) {
+  RmatParams params;
+  params.a = 0.9;  // sums to > 1
+  EXPECT_FALSE(GenerateRmat(params).ok());
+}
+
+TEST(DatasetsTest, RegistryHasAllSixPaperDatasets) {
+  const auto& all = AllDatasets();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "PK");
+  EXPECT_EQ(all[5].name, "FR");
+  EXPECT_EQ(all[4].paper_edges, 2410000000ULL);  // Table I: TW-2010, 2.41 B
+}
+
+TEST(DatasetsTest, FindByShortAndFullName) {
+  EXPECT_TRUE(FindDataset("LJ").ok());
+  EXPECT_TRUE(FindDataset("soc-LiveJournal").ok());
+  EXPECT_FALSE(FindDataset("nope").ok());
+}
+
+TEST(DatasetsTest, AnaloguesScaleRoughlyOneThousandth) {
+  for (const auto& spec : AllDatasets()) {
+    auto g = LoadDataset(spec);
+    ASSERT_TRUE(g.ok()) << spec.name;
+    const double node_ratio =
+        static_cast<double>(spec.paper_nodes) / g.value().num_nodes();
+    EXPECT_GT(node_ratio, 200.0) << spec.name;
+    EXPECT_LT(node_ratio, 5000.0) << spec.name;
+    // Undirected arc count within 2x of the scaled edge budget.
+    EXPECT_GT(g.value().num_arcs(), spec.rmat.num_edges / 2) << spec.name;
+  }
+}
+
+TEST(DatasetsTest, LoadByName) {
+  auto g = LoadDatasetByName("PK");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 2048u);
+}
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "omega_graph_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(GraphIoTest, TextRoundTrip) {
+  const Graph g = MakePaperGraph();
+  ASSERT_TRUE(SaveEdgeListText(g, Path("g.txt")).ok());
+  auto loaded = LoadEdgeListText(Path("g.txt"), /*undirected=*/false);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.value().num_arcs(), g.num_arcs());
+}
+
+TEST_F(GraphIoTest, TextParserHandlesCommentsAndWeights) {
+  {
+    std::FILE* f = std::fopen(Path("w.txt").c_str(), "w");
+    std::fputs("# comment\n% also comment\n10 20 2.5\n20 30\n", f);
+    std::fclose(f);
+  }
+  auto g = LoadEdgeListText(Path("w.txt"));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_nodes(), 3u);  // densified ids
+  EXPECT_EQ(g.value().num_arcs(), 4u);
+  EXPECT_FLOAT_EQ(g.value().weights(0)[0], 2.5f);
+}
+
+TEST_F(GraphIoTest, TextParserRejectsGarbage) {
+  {
+    std::FILE* f = std::fopen(Path("bad.txt").c_str(), "w");
+    std::fputs("hello world again\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadEdgeListText(Path("bad.txt")).ok());
+  EXPECT_FALSE(LoadEdgeListText(Path("missing.txt")).ok());
+}
+
+TEST_F(GraphIoTest, BinaryRoundTrip) {
+  RmatParams params;
+  params.scale = 9;
+  params.num_edges = 3000;
+  const Graph g = GenerateRmat(params).value();
+  ASSERT_TRUE(SaveBinary(g, Path("g.bin")).ok());
+  auto loaded = LoadBinary(Path("g.bin"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.value().num_arcs(), g.num_arcs());
+  EXPECT_EQ(loaded.value().neighbor_array(), g.neighbor_array());
+}
+
+TEST_F(GraphIoTest, BinaryRejectsWrongMagic) {
+  {
+    std::FILE* f = std::fopen(Path("junk.bin").c_str(), "wb");
+    const char junk[64] = {1, 2, 3};
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadBinary(Path("junk.bin")).ok());
+}
+
+TEST(StatsTest, DegreeStatsOnPaperExample) {
+  const Graph g = MakePaperGraph();
+  const DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_EQ(s.num_nodes, 7u);
+  EXPECT_EQ(s.num_arcs, 22u);
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_EQ(s.distinct_degrees, 3u);
+  EXPECT_NEAR(s.mean_degree, 22.0 / 7.0, 1e-9);
+  EXPECT_GT(s.degree_entropy, 0.0);
+  EXPECT_LE(s.normalized_entropy, 1.0);
+}
+
+TEST(StatsTest, RegularGraphHasMaximalEntropy) {
+  // A cycle: every node degree 2 -> entropy = log |V|.
+  std::vector<Edge> edges;
+  const NodeId n = 64;
+  for (NodeId v = 0; v < n; ++v) edges.push_back({v, (v + 1u) % n, 1.0f});
+  const Graph g = Graph::FromEdges(n, edges, true).value();
+  const DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_NEAR(s.normalized_entropy, 1.0, 1e-9);
+}
+
+TEST(StatsTest, DegreeHistogramSumsToNodeCount) {
+  const Graph g = MakePaperGraph();
+  const auto hist = DegreeHistogram(g);
+  uint64_t total = 0;
+  for (uint64_t c : hist) total += c;
+  EXPECT_EQ(total, g.num_nodes());
+  EXPECT_EQ(hist[4], 3u);
+  EXPECT_EQ(hist[3], 2u);
+  EXPECT_EQ(hist[2], 2u);
+}
+
+}  // namespace
+}  // namespace omega::graph

@@ -1,0 +1,163 @@
+// Integration tests: the full pipeline on dataset analogues, determinism,
+// Table II's allocator ordering on real SpMM executions, and the composed
+// optimization stack (EaTA + WoFP + NaDP together).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/datasets.h"
+#include "linalg/random_matrix.h"
+#include "numa/nadp.h"
+#include "omega/engine.h"
+#include "sparse/csdb_ops.h"
+#include "sparse/spmm.h"
+
+namespace omega {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = std::make_unique<graph::Graph>(graph::LoadDatasetByName("PK").value());
+    a_ = graph::CsdbMatrix::FromGraph(*g_);
+    ms_ = memsim::MemorySystem::CreateDefault();
+    pool_ = std::make_unique<ThreadPool>(12);
+  }
+
+  std::unique_ptr<graph::Graph> g_;
+  graph::CsdbMatrix a_;
+  std::unique_ptr<memsim::MemorySystem> ms_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+TEST_F(IntegrationTest, TableTwoOrderingOnRealSpmm) {
+  // Table II: EaTA <= WaTA < RR for one SpMM on a real dataset analogue.
+  const linalg::DenseMatrix b = linalg::GaussianMatrix(a_.num_cols(), 16, 1);
+  linalg::DenseMatrix c(a_.num_rows(), 16);
+  sched::AllocatorOptions opts;
+  opts.num_threads = 12;
+  auto run = [&](sched::AllocatorKind kind) {
+    const auto workloads = sched::Allocate(a_, kind, opts);
+    return sparse::ParallelSpmm(a_, b, &c, workloads, sparse::SpmmPlacements{},
+                                ms_.get(), pool_.get())
+        .phase_seconds;
+  };
+  const double rr = run(sched::AllocatorKind::kRoundRobin);
+  const double wata = run(sched::AllocatorKind::kWorkloadBalanced);
+  const double eata = run(sched::AllocatorKind::kEntropyAware);
+  EXPECT_GT(rr, wata * 1.5) << "RR should trail WaTA badly on skewed graphs";
+  EXPECT_LE(eata, wata * 1.02) << "EaTA should not lose to WaTA";
+}
+
+TEST_F(IntegrationTest, Figure13TailLatencyShape) {
+  // EaTA's thread-time distribution is tighter than WaTA's.
+  const linalg::DenseMatrix b = linalg::GaussianMatrix(a_.num_cols(), 16, 2);
+  linalg::DenseMatrix c(a_.num_rows(), 16);
+  sched::AllocatorOptions opts;
+  opts.num_threads = 12;
+  auto stddev = [&](sched::AllocatorKind kind) {
+    const auto workloads = sched::Allocate(a_, kind, opts);
+    const auto result = sparse::ParallelSpmm(a_, b, &c, workloads,
+                                             sparse::SpmmPlacements{}, ms_.get(),
+                                             pool_.get());
+    double mean = 0.0;
+    for (double s : result.thread_seconds) mean += s;
+    mean /= result.thread_seconds.size();
+    double var = 0.0;
+    for (double s : result.thread_seconds) var += (s - mean) * (s - mean);
+    return std::sqrt(var / result.thread_seconds.size()) / mean;
+  };
+  EXPECT_LT(stddev(sched::AllocatorKind::kEntropyAware),
+            stddev(sched::AllocatorKind::kWorkloadBalanced) + 1e-9);
+}
+
+TEST_F(IntegrationTest, FullStackBeatsEachAblation) {
+  const linalg::DenseMatrix b = linalg::GaussianMatrix(a_.num_cols(), 16, 3);
+  linalg::DenseMatrix c(a_.num_rows(), 16);
+  numa::NadpOptions full;
+  full.num_threads = 12;
+  full.use_wofp = true;
+  auto time_of = [&](const numa::NadpOptions& o) {
+    return numa::NadpSpmm(a_, b, &c, o, ms_.get(), pool_.get()).phase_seconds;
+  };
+  numa::NadpOptions no_wofp = full;
+  no_wofp.use_wofp = false;
+  numa::NadpOptions no_nadp = full;
+  no_nadp.enabled = false;
+  numa::NadpOptions rr = full;
+  rr.allocator = sched::AllocatorKind::kRoundRobin;
+  const double t_full = time_of(full);
+  EXPECT_LT(t_full, time_of(no_wofp));
+  EXPECT_LT(t_full, time_of(no_nadp));
+  EXPECT_LT(t_full, time_of(rr));
+}
+
+TEST_F(IntegrationTest, SimulatedTimeIsDeterministic) {
+  engine::EngineOptions opts;
+  opts.system = engine::SystemKind::kOmega;
+  opts.num_threads = 8;
+  opts.prone.dim = 8;
+  opts.prone.oversample = 4;
+  opts.prone.chebyshev_order = 4;
+  auto r1 = engine::RunEmbedding(*g_, "PK", opts, ms_.get(), pool_.get());
+  auto r2 = engine::RunEmbedding(*g_, "PK", opts, ms_.get(), pool_.get());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r1.value().embed_seconds, r2.value().embed_seconds);
+  EXPECT_EQ(linalg::DenseMatrix::MaxAbsDiff(r1.value().embedding,
+                                            r2.value().embedding),
+            0.0);
+}
+
+TEST_F(IntegrationTest, ThreadScalingIsMonotone) {
+  // Fig. 17a: runtime decreases with thread count.
+  const linalg::DenseMatrix b = linalg::GaussianMatrix(a_.num_cols(), 16, 4);
+  linalg::DenseMatrix c(a_.num_rows(), 16);
+  double prev = 1e30;
+  for (int threads : {2, 4, 8}) {
+    numa::NadpOptions opts;
+    opts.num_threads = threads;
+    opts.use_wofp = false;
+    const double t =
+        numa::NadpSpmm(a_, b, &c, opts, ms_.get(), pool_.get()).phase_seconds;
+    EXPECT_LT(t, prev) << threads << " threads";
+    prev = t;
+  }
+}
+
+TEST_F(IntegrationTest, EmbeddingQualityOnDatasetAnalogue) {
+  engine::EngineOptions opts;
+  opts.system = engine::SystemKind::kOmega;
+  opts.num_threads = 8;
+  opts.prone.dim = 16;
+  opts.prone.oversample = 8;
+  opts.evaluate_quality = true;
+  opts.quality_samples = 1000;
+  auto report = engine::RunEmbedding(*g_, "PK", opts, ms_.get(), pool_.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report.value().link_auc.has_value());
+  // Structure-carrying embedding on a real analogue graph.
+  EXPECT_GT(*report.value().link_auc, 0.6);
+}
+
+TEST_F(IntegrationTest, AllDatasetAnaloguesEmbedUnderOmega) {
+  // Smallest three analogues run end-to-end quickly; asserts no capacity or
+  // numeric failures across dataset shapes.
+  ThreadPool pool(8);
+  for (const char* name : {"PK", "LJ", "OR"}) {
+    const graph::Graph g = graph::LoadDatasetByName(name).value();
+    engine::EngineOptions opts;
+    opts.system = engine::SystemKind::kOmega;
+    opts.num_threads = 8;
+    opts.prone.dim = 8;
+    opts.prone.oversample = 4;
+    opts.prone.chebyshev_order = 4;
+    auto report = engine::RunEmbedding(g, name, opts, ms_.get(), &pool);
+    ASSERT_TRUE(report.ok()) << name << ": " << report.status().ToString();
+    EXPECT_GT(report.value().embed_seconds, 0.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,284 @@
+// Unit tests for the dense linear algebra stack: matrix ops, GEMM variants,
+// Householder QR, Jacobi eigendecomposition, and the randomized tSVD.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/eigen.h"
+#include "linalg/gemm.h"
+#include "linalg/qr.h"
+#include "linalg/random_matrix.h"
+#include "linalg/randomized_svd.h"
+
+namespace omega::linalg {
+namespace {
+
+TEST(DenseMatrixTest, ColumnMajorLayout) {
+  DenseMatrix m(3, 2);
+  m.At(0, 0) = 1;
+  m.At(2, 1) = 5;
+  EXPECT_EQ(m.data()[0], 1);
+  EXPECT_EQ(m.data()[5], 5);  // col 1, row 2 => index 1*3+2
+  EXPECT_EQ(m.ColData(1)[2], 5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.bytes(), 24u);
+}
+
+TEST(DenseMatrixTest, AddScaledAndScale) {
+  DenseMatrix a(2, 2);
+  DenseMatrix b(2, 2);
+  a.Fill(1.0f);
+  b.Fill(2.0f);
+  ASSERT_TRUE(a.AddScaled(b, 0.5f).ok());
+  EXPECT_FLOAT_EQ(a.At(1, 1), 2.0f);
+  a.Scale(2.0f);
+  EXPECT_FLOAT_EQ(a.At(0, 0), 4.0f);
+  DenseMatrix wrong(3, 2);
+  EXPECT_FALSE(a.AddScaled(wrong, 1.0f).ok());
+}
+
+TEST(DenseMatrixTest, FrobeniusNorm) {
+  DenseMatrix m(2, 2);
+  m.At(0, 0) = 3;
+  m.At(1, 1) = 4;
+  EXPECT_NEAR(m.FrobeniusNorm(), 5.0, 1e-9);
+}
+
+TEST(DenseMatrixTest, SliceColsAndTranspose) {
+  DenseMatrix m(2, 3);
+  for (size_t c = 0; c < 3; ++c)
+    for (size_t r = 0; r < 2; ++r) m.At(r, c) = static_cast<float>(10 * r + c);
+  const DenseMatrix slice = m.SliceCols(1, 3);
+  EXPECT_EQ(slice.cols(), 2u);
+  EXPECT_FLOAT_EQ(slice.At(1, 0), 11.0f);
+  const DenseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_FLOAT_EQ(t.At(2, 1), m.At(1, 2));
+}
+
+TEST(DenseMatrixTest, MaxAbsDiff) {
+  DenseMatrix a(2, 2);
+  DenseMatrix b(2, 2);
+  b.At(1, 0) = 0.25f;
+  EXPECT_NEAR(DenseMatrix::MaxAbsDiff(a, b), 0.25, 1e-9);
+  DenseMatrix c(3, 2);
+  EXPECT_TRUE(std::isinf(DenseMatrix::MaxAbsDiff(a, c)));
+}
+
+TEST(GemmTest, MatchesHandComputedProduct) {
+  DenseMatrix a(2, 3);
+  DenseMatrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+  const float av[] = {1, 2, 3, 4, 5, 6};
+  const float bv[] = {7, 8, 9, 10, 11, 12};
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t c = 0; c < 3; ++c) a.At(r, c) = av[r * 3 + c];
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 2; ++c) b.At(r, c) = bv[r * 2 + c];
+  DenseMatrix c;
+  ASSERT_TRUE(Gemm(a, b, &c).ok());
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+  EXPECT_FALSE(Gemm(a, a, &c).ok());  // inner dim mismatch
+}
+
+TEST(GemmTest, TransposedVariantsAgreeWithExplicitTranspose) {
+  const DenseMatrix a = GaussianMatrix(7, 4, 1);
+  const DenseMatrix b = GaussianMatrix(7, 5, 2);
+  DenseMatrix at_b;
+  ASSERT_TRUE(GemmTransA(a, b, &at_b).ok());
+  DenseMatrix reference;
+  ASSERT_TRUE(Gemm(a.Transposed(), b, &reference).ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(at_b, reference), 1e-4);
+
+  const DenseMatrix c = GaussianMatrix(6, 4, 3);
+  DenseMatrix a_ct;
+  ASSERT_TRUE(GemmTransB(a, c, &a_ct).ok());
+  DenseMatrix reference2;
+  ASSERT_TRUE(Gemm(a, c.Transposed(), &reference2).ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(a_ct, reference2), 1e-4);
+}
+
+TEST(RandomMatrixTest, DeterministicAndOrderIndependent) {
+  const DenseMatrix a = GaussianMatrix(100, 8, 42);
+  const DenseMatrix b = GaussianMatrix(100, 8, 42);
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(a, b), 0.0);
+  const DenseMatrix c = GaussianMatrix(100, 8, 43);
+  EXPECT_GT(DenseMatrix::MaxAbsDiff(a, c), 0.1);
+}
+
+TEST(RandomMatrixTest, UniformRespectsBounds) {
+  const DenseMatrix u = UniformMatrix(50, 4, 7, -2.0f, 3.0f);
+  for (size_t c = 0; c < u.cols(); ++c) {
+    for (size_t r = 0; r < u.rows(); ++r) {
+      EXPECT_GE(u.At(r, c), -2.0f);
+      EXPECT_LT(u.At(r, c), 3.0f);
+    }
+  }
+}
+
+TEST(QrTest, ReconstructsAndOrthonormal) {
+  const DenseMatrix a = GaussianMatrix(50, 6, 11);
+  DenseMatrix q;
+  DenseMatrix r;
+  ASSERT_TRUE(ReducedQr(a, &q, &r).ok());
+  ASSERT_EQ(q.rows(), 50u);
+  ASSERT_EQ(q.cols(), 6u);
+  // Q^T Q = I.
+  DenseMatrix qtq;
+  ASSERT_TRUE(GemmTransA(q, q, &qtq).ok());
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(qtq.At(i, j), i == j ? 1.0 : 0.0, 1e-4) << i << "," << j;
+    }
+  }
+  // QR = A.
+  DenseMatrix qr;
+  ASSERT_TRUE(Gemm(q, r, &qr).ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(qr, a), 1e-3);
+  // R upper triangular.
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < i; ++j) EXPECT_FLOAT_EQ(r.At(i, j), 0.0f);
+  }
+}
+
+TEST(QrTest, RejectsWideMatrix) {
+  const DenseMatrix a = GaussianMatrix(3, 5, 1);
+  DenseMatrix q;
+  EXPECT_FALSE(ReducedQr(a, &q, nullptr).ok());
+}
+
+TEST(QrTest, HandlesRankDeficiency) {
+  // Two identical columns: QR must not blow up.
+  DenseMatrix a(10, 2);
+  for (size_t r = 0; r < 10; ++r) {
+    a.At(r, 0) = static_cast<float>(r + 1);
+    a.At(r, 1) = static_cast<float>(r + 1);
+  }
+  DenseMatrix q;
+  DenseMatrix r;
+  ASSERT_TRUE(ReducedQr(a, &q, &r).ok());
+  DenseMatrix qr;
+  ASSERT_TRUE(Gemm(q, r, &qr).ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(qr, a), 1e-3);
+}
+
+TEST(EigenTest, DiagonalizesKnownMatrix) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 2;
+  a.At(0, 1) = 1;
+  a.At(1, 0) = 1;
+  a.At(1, 1) = 2;
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig.value().eigenvalues[0], 3.0, 1e-9);
+  EXPECT_NEAR(eig.value().eigenvalues[1], 1.0, 1e-9);
+}
+
+TEST(EigenTest, ReconstructsRandomSymmetricMatrix) {
+  const size_t k = 12;
+  const DenseMatrix g = GaussianMatrix(k, k, 5);
+  DenseMatrix a;
+  ASSERT_TRUE(GemmTransA(g, g, &a).ok());  // symmetric PSD
+  auto eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  const auto& vals = eig.value().eigenvalues;
+  for (size_t i = 1; i < k; ++i) EXPECT_LE(vals[i], vals[i - 1] + 1e-9);
+  // V diag(w) V^T == A.
+  DenseMatrix scaled = eig.value().eigenvectors;
+  for (size_t c = 0; c < k; ++c) {
+    for (size_t r = 0; r < k; ++r) {
+      scaled.At(r, c) *= static_cast<float>(vals[c]);
+    }
+  }
+  DenseMatrix recon;
+  ASSERT_TRUE(GemmTransB(scaled, eig.value().eigenvectors, &recon).ok());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(recon, a), 1e-2);
+}
+
+TEST(EigenTest, RejectsAsymmetric) {
+  DenseMatrix a(2, 2);
+  a.At(0, 1) = 5;
+  EXPECT_FALSE(SymmetricEigen(a).ok());
+  DenseMatrix rect(2, 3);
+  EXPECT_FALSE(SymmetricEigen(rect).ok());
+}
+
+// Builds a dense operator with known singular values via U diag(s) V^T.
+class SvdFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const size_t n = 60;
+    const size_t m = 40;
+    DenseMatrix qu;
+    DenseMatrix qv;
+    ASSERT_TRUE(ReducedQr(GaussianMatrix(n, 10, 1), &qu, nullptr).ok());
+    ASSERT_TRUE(ReducedQr(GaussianMatrix(m, 10, 2), &qv, nullptr).ok());
+    singular_ = {50, 40, 30, 20, 10, 5, 2, 1, 0.5, 0.1};
+    DenseMatrix scaled = qu;
+    for (size_t c = 0; c < 10; ++c) {
+      for (size_t r = 0; r < n; ++r) {
+        scaled.At(r, c) *= static_cast<float>(singular_[c]);
+      }
+    }
+    ASSERT_TRUE(GemmTransB(scaled, qv, &a_).ok());  // n x m
+  }
+
+  std::vector<double> singular_;
+  DenseMatrix a_;
+};
+
+TEST_F(SvdFixture, RecoversLeadingSingularValues) {
+  MatMulFn apply = [&](const DenseMatrix& in, DenseMatrix* out) {
+    return Gemm(a_, in, out);
+  };
+  MatMulFn apply_t = [&](const DenseMatrix& in, DenseMatrix* out) {
+    return GemmTransA(a_, in, out);
+  };
+  RandomizedSvdOptions opts;
+  opts.rank = 5;
+  opts.oversample = 6;
+  opts.power_iterations = 2;
+  auto svd = RandomizedSvd(a_.rows(), a_.cols(), apply, apply_t, opts);
+  ASSERT_TRUE(svd.ok()) << svd.status().ToString();
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(svd.value().singular[i], singular_[i], singular_[i] * 0.02 + 0.05)
+        << "sigma_" << i;
+  }
+  // U and V columns orthonormal.
+  DenseMatrix utu;
+  ASSERT_TRUE(GemmTransA(svd.value().u, svd.value().u, &utu).ok());
+  for (size_t i = 0; i < 5; ++i) EXPECT_NEAR(utu.At(i, i), 1.0, 1e-3);
+  // Rank-5 reconstruction error is bounded by sigma_6.
+  DenseMatrix us = svd.value().u;
+  for (size_t c = 0; c < 5; ++c) {
+    for (size_t r = 0; r < us.rows(); ++r) {
+      us.At(r, c) *= static_cast<float>(svd.value().singular[c]);
+    }
+  }
+  DenseMatrix recon;
+  ASSERT_TRUE(GemmTransB(us, svd.value().v, &recon).ok());
+  ASSERT_TRUE(recon.AddScaled(a_, -1.0f).ok());
+  EXPECT_LT(recon.FrobeniusNorm(), 3.0 * singular_[5] + 1.0);
+}
+
+TEST_F(SvdFixture, ValidatesOptions) {
+  MatMulFn apply = [&](const DenseMatrix& in, DenseMatrix* out) {
+    return Gemm(a_, in, out);
+  };
+  RandomizedSvdOptions opts;
+  opts.rank = 0;
+  EXPECT_FALSE(RandomizedSvd(60, 40, apply, apply, opts).ok());
+  opts.rank = 39;
+  opts.oversample = 8;  // exceeds m
+  EXPECT_FALSE(RandomizedSvd(60, 40, apply, apply, opts).ok());
+}
+
+}  // namespace
+}  // namespace omega::linalg

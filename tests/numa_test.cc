@@ -1,0 +1,189 @@
+// Unit tests for NaDP (§III-D): socket partitioning, workload clipping, the
+// interleaved baseline, numerical correctness, and the Fig. 15 speedup shape.
+
+#include <gtest/gtest.h>
+
+#include "graph/rmat.h"
+#include "linalg/random_matrix.h"
+#include "numa/nadp.h"
+#include "numa/partition.h"
+#include "sparse/csdb_ops.h"
+
+namespace omega::numa {
+namespace {
+
+using graph::CsdbMatrix;
+using linalg::DenseMatrix;
+
+CsdbMatrix TestMatrix(uint32_t scale = 10, uint64_t edges = 15000) {
+  graph::RmatParams params;
+  params.scale = scale;
+  params.num_edges = edges;
+  return CsdbMatrix::FromGraph(graph::GenerateRmat(params).value());
+}
+
+TEST(PartitionTest, RowBlocksCoverAndBalanceNnz) {
+  const CsdbMatrix a = TestMatrix();
+  const SocketPartition part = MakeSocketPartition(a, 8, 2);
+  ASSERT_EQ(part.num_sockets(), 2);
+  EXPECT_EQ(part.row_blocks[0].begin, 0u);
+  EXPECT_EQ(part.row_blocks[0].end, part.row_blocks[1].begin);
+  EXPECT_EQ(part.row_blocks[1].end, a.num_rows());
+  // nnz balance within 2x.
+  uint64_t nnz0 = 0;
+  uint64_t nnz1 = 0;
+  for (auto cur = a.Rows(0); !cur.AtEnd(); cur.Next()) {
+    (cur.row() < part.row_blocks[0].end ? nnz0 : nnz1) += cur.degree();
+  }
+  EXPECT_LT(std::max(nnz0, nnz1), 2 * std::min(nnz0, nnz1) + 64);
+}
+
+TEST(PartitionTest, ColumnBlocksSplitEvenly) {
+  const CsdbMatrix a = TestMatrix(8, 1000);
+  const SocketPartition part = MakeSocketPartition(a, 7, 2);
+  EXPECT_EQ(part.col_blocks[0], (std::pair<size_t, size_t>{0, 4}));
+  EXPECT_EQ(part.col_blocks[1], (std::pair<size_t, size_t>{4, 7}));
+}
+
+TEST(PartitionTest, SocketOfRow) {
+  const CsdbMatrix a = TestMatrix();
+  const SocketPartition part = MakeSocketPartition(a, 8, 2);
+  EXPECT_EQ(part.SocketOfRow(0), 0);
+  EXPECT_EQ(part.SocketOfRow(a.num_rows() - 1), 1);
+}
+
+TEST(PartitionTest, IntersectWorkloadClips) {
+  sched::Workload w;
+  w.ranges.push_back(sched::RowRange{0, 10});
+  w.ranges.push_back(sched::RowRange{20, 30});
+  const sched::Workload clipped = IntersectWorkload(w, sched::RowRange{5, 25});
+  ASSERT_EQ(clipped.ranges.size(), 2u);
+  EXPECT_EQ(clipped.ranges[0].begin, 5u);
+  EXPECT_EQ(clipped.ranges[0].end, 10u);
+  EXPECT_EQ(clipped.ranges[1].begin, 20u);
+  EXPECT_EQ(clipped.ranges[1].end, 25u);
+  EXPECT_TRUE(IntersectWorkload(w, sched::RowRange{50, 60}).ranges.empty());
+}
+
+class NadpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = TestMatrix();
+    b_ = linalg::GaussianMatrix(a_.num_cols(), 8, 5);
+    ms_ = memsim::MemorySystem::CreateDefault();
+    pool_ = std::make_unique<ThreadPool>(8);
+    ASSERT_TRUE(sparse::ReferenceSpmm(a_, b_, &expected_).ok());
+  }
+
+  NadpOptions BaseOptions() {
+    NadpOptions opts;
+    opts.num_threads = 8;
+    opts.use_wofp = false;
+    return opts;
+  }
+
+  CsdbMatrix a_;
+  DenseMatrix b_;
+  DenseMatrix expected_;
+  std::unique_ptr<memsim::MemorySystem> ms_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+TEST_F(NadpTest, EnabledComputesCorrectResult) {
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  const NadpResult r = NadpSpmm(a_, b_, &c, BaseOptions(), ms_.get(), pool_.get());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
+  EXPECT_GT(r.phase_seconds, 0.0);
+  EXPECT_EQ(r.nnz_processed, a_.nnz());
+  EXPECT_EQ(r.thread_seconds.size(), 8u);
+}
+
+TEST_F(NadpTest, DisabledInterleavedComputesCorrectResult) {
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  NadpOptions opts = BaseOptions();
+  opts.enabled = false;
+  const NadpResult r = NadpSpmm(a_, b_, &c, opts, ms_.get(), pool_.get());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
+  EXPECT_GT(r.phase_seconds, 0.0);
+}
+
+TEST_F(NadpTest, NadpBeatsInterleaved) {
+  // Fig. 15: NaDP accelerates SpMM by ~2.4-3.6x over the Interleave policy.
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  NadpOptions on = BaseOptions();
+  NadpOptions off = BaseOptions();
+  off.enabled = false;
+  const double t_on = NadpSpmm(a_, b_, &c, on, ms_.get(), pool_.get()).phase_seconds;
+  const double t_off =
+      NadpSpmm(a_, b_, &c, off, ms_.get(), pool_.get()).phase_seconds;
+  EXPECT_GT(t_off / t_on, 1.3);
+}
+
+TEST_F(NadpTest, RemoteTrafficFractionDropsWithNadp) {
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  NadpOptions off = BaseOptions();
+  off.enabled = false;
+  ms_->ResetTraffic();
+  NadpSpmm(a_, b_, &c, off, ms_.get(), pool_.get());
+  const double remote_off = ms_->Traffic().RemoteFraction();
+  ms_->ResetTraffic();
+  NadpSpmm(a_, b_, &c, BaseOptions(), ms_.get(), pool_.get());
+  const double remote_on = ms_->Traffic().RemoteFraction();
+  // Paper: >43% remote without NaDP; NaDP's local-write discipline cuts it.
+  EXPECT_GT(remote_off, 0.4);
+  EXPECT_LT(remote_on, remote_off);
+}
+
+TEST_F(NadpTest, ColumnRangeRestrictsWork) {
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  const NadpResult full =
+      NadpSpmm(a_, b_, &c, BaseOptions(), ms_.get(), pool_.get());
+  DenseMatrix c2(a_.num_rows(), b_.cols());
+  const NadpResult half =
+      NadpSpmm(a_, b_, &c2, BaseOptions(), ms_.get(), pool_.get(), 0, 4);
+  EXPECT_LT(half.phase_seconds, full.phase_seconds);
+  for (size_t t = 0; t < 4; ++t) {
+    for (size_t r = 0; r < c2.rows(); ++r) {
+      EXPECT_NEAR(c2.At(r, t), expected_.At(r, t), 1e-4);
+    }
+  }
+  for (size_t r = 0; r < c2.rows(); ++r) EXPECT_EQ(c2.At(r, 6), 0.0f);
+}
+
+TEST_F(NadpTest, WofpComposesWithNadp) {
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  NadpOptions with = BaseOptions();
+  with.use_wofp = true;
+  with.wofp.sigma = 0.15;
+  const double t_with =
+      NadpSpmm(a_, b_, &c, with, ms_.get(), pool_.get()).phase_seconds;
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
+  const double t_without =
+      NadpSpmm(a_, b_, &c, BaseOptions(), ms_.get(), pool_.get()).phase_seconds;
+  EXPECT_LT(t_with, t_without);
+}
+
+TEST_F(NadpTest, AllAllocatorsProduceCorrectResults) {
+  for (auto kind :
+       {sched::AllocatorKind::kRoundRobin, sched::AllocatorKind::kWorkloadBalanced,
+        sched::AllocatorKind::kEntropyAware}) {
+    DenseMatrix c(a_.num_rows(), b_.cols());
+    NadpOptions opts = BaseOptions();
+    opts.allocator = kind;
+    NadpSpmm(a_, b_, &c, opts, ms_.get(), pool_.get());
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4)
+        << sched::AllocatorName(kind);
+  }
+}
+
+TEST_F(NadpTest, OddThreadCountWorks) {
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  NadpOptions opts = BaseOptions();
+  opts.num_threads = 7;
+  const NadpResult r = NadpSpmm(a_, b_, &c, opts, ms_.get(), pool_.get());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
+  EXPECT_EQ(r.thread_seconds.size(), 7u);
+}
+
+}  // namespace
+}  // namespace omega::numa

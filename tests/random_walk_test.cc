@@ -1,0 +1,188 @@
+// Tests for the random-walk embedding family: the alias sampler, walk
+// generation (DeepWalk and node2vec biasing), and the SGNS trainer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/alias_sampler.h"
+#include "embed/quality.h"
+#include "embed/random_walk.h"
+#include "graph/rmat.h"
+
+namespace omega {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+TEST(AliasSamplerTest, MatchesDistribution) {
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  AliasSampler sampler(weights);
+  Rng rng(1);
+  std::map<size_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[sampler.Sample(&rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(AliasSamplerTest, HandlesZeroWeightsAndEmpty) {
+  Rng rng(2);
+  AliasSampler empty;
+  EXPECT_EQ(empty.Sample(&rng), 0u);
+  EXPECT_TRUE(empty.empty());
+
+  AliasSampler zeros(std::vector<double>{0.0, 0.0});
+  EXPECT_EQ(zeros.Sample(&rng), 0u);
+
+  // Entries with zero weight are never drawn.
+  AliasSampler mixed(std::vector<double>{0.0, 1.0, 0.0, 1.0});
+  for (int i = 0; i < 1000; ++i) {
+    const size_t s = mixed.Sample(&rng);
+    EXPECT_TRUE(s == 1 || s == 3) << s;
+  }
+}
+
+TEST(AliasSamplerTest, SingleElement) {
+  AliasSampler one(std::vector<double>{42.0});
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(one.Sample(&rng), 0u);
+}
+
+class WalkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph::RmatParams params;
+    params.scale = 8;
+    params.num_edges = 2000;
+    g_ = std::make_unique<Graph>(graph::GenerateRmat(params).value());
+  }
+  std::unique_ptr<Graph> g_;
+};
+
+TEST_F(WalkTest, WalksAreValidPaths) {
+  embed::WalkOptions opts;
+  opts.walks_per_node = 2;
+  opts.walk_length = 10;
+  auto corpus = embed::GenerateWalks(*g_, opts);
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_GT(corpus.value().num_walks(), 0u);
+  for (size_t w = 0; w < corpus.value().num_walks(); ++w) {
+    const graph::NodeId* walk = corpus.value().nodes.data() + w * 10;
+    for (uint32_t i = 1; i < 10; ++i) {
+      const graph::NodeId* nbrs = g_->neighbors(walk[i - 1]);
+      ASSERT_TRUE(std::binary_search(nbrs, nbrs + g_->degree(walk[i - 1]), walk[i]))
+          << "walk " << w << " step " << i << " is not an edge";
+    }
+  }
+}
+
+TEST_F(WalkTest, DeterministicAndSeedSensitive) {
+  embed::WalkOptions opts;
+  opts.walks_per_node = 1;
+  opts.walk_length = 8;
+  const auto a = embed::GenerateWalks(*g_, opts).value();
+  const auto b = embed::GenerateWalks(*g_, opts).value();
+  EXPECT_EQ(a.nodes, b.nodes);
+  opts.seed = 99;
+  const auto c = embed::GenerateWalks(*g_, opts).value();
+  EXPECT_NE(a.nodes, c.nodes);
+}
+
+TEST_F(WalkTest, IsolatedNodesSkipped) {
+  std::vector<Edge> edges = {{0, 1, 1.0f}};
+  const Graph g = Graph::FromEdges(5, edges, true).value();
+  embed::WalkOptions opts;
+  opts.walks_per_node = 3;
+  opts.walk_length = 4;
+  const auto corpus = embed::GenerateWalks(g, opts).value();
+  EXPECT_EQ(corpus.num_walks(), 6u);  // only nodes 0 and 1 walk
+  for (graph::NodeId v : corpus.nodes) EXPECT_LE(v, 1u);
+}
+
+TEST_F(WalkTest, Node2vecReturnBiasControlsBacktracking) {
+  // Low p => frequent returns to the previous node; high p suppresses them.
+  auto backtrack_rate = [&](double p) {
+    embed::WalkOptions opts;
+    opts.walks_per_node = 4;
+    opts.walk_length = 20;
+    opts.p = p;
+    opts.q = 1.0;
+    const auto corpus = embed::GenerateWalks(*g_, opts).value();
+    uint64_t backtracks = 0;
+    uint64_t steps = 0;
+    for (size_t w = 0; w < corpus.num_walks(); ++w) {
+      const graph::NodeId* walk = corpus.nodes.data() + w * 20;
+      for (uint32_t i = 2; i < 20; ++i) {
+        backtracks += walk[i] == walk[i - 2];
+        ++steps;
+      }
+    }
+    return static_cast<double>(backtracks) / steps;
+  };
+  EXPECT_GT(backtrack_rate(0.1), 2.0 * backtrack_rate(10.0));
+}
+
+TEST_F(WalkTest, ValidatesOptions) {
+  embed::WalkOptions opts;
+  opts.walk_length = 1;
+  EXPECT_FALSE(embed::GenerateWalks(*g_, opts).ok());
+  opts.walk_length = 10;
+  opts.walks_per_node = 0;
+  EXPECT_FALSE(embed::GenerateWalks(*g_, opts).ok());
+  opts.walks_per_node = 1;
+  opts.p = 0.0;
+  EXPECT_FALSE(embed::GenerateWalks(*g_, opts).ok());
+}
+
+TEST_F(WalkTest, SgnsLearnsStructure) {
+  embed::WalkOptions walks;
+  walks.walks_per_node = 6;
+  walks.walk_length = 20;
+  embed::SgnsOptions sgns;
+  sgns.dim = 16;
+  sgns.epochs = 2;
+  auto result = embed::DeepWalkEmbed(*g_, walks, sgns);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().vectors.rows(), g_->num_nodes());
+  EXPECT_GT(result.value().updates, 0u);
+  auto auc = embed::LinkPredictionAuc(*g_, result.value().vectors, 500, 7);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(auc.value(), 0.6);
+}
+
+TEST_F(WalkTest, SgnsChargesSimulatedMachine) {
+  embed::WalkOptions walks;
+  walks.walks_per_node = 2;
+  walks.walk_length = 10;
+  embed::SgnsOptions sgns;
+  sgns.dim = 8;
+  auto ms = memsim::MemorySystem::CreateDefault();
+  auto on_dram = embed::DeepWalkEmbed(*g_, walks, sgns, ms.get(),
+                                      {memsim::Tier::kDram, 0}, 8);
+  auto on_pm = embed::DeepWalkEmbed(*g_, walks, sgns, ms.get(),
+                                    {memsim::Tier::kPm, 0}, 8);
+  ASSERT_TRUE(on_dram.ok());
+  ASSERT_TRUE(on_pm.ok());
+  EXPECT_GT(on_dram.value().simulated_seconds, 0.0);
+  // The random-walk family is hurt by PM exactly like SpMM's gathers.
+  EXPECT_GT(on_pm.value().simulated_seconds,
+            1.5 * on_dram.value().simulated_seconds);
+}
+
+TEST_F(WalkTest, SgnsValidatesInput) {
+  embed::SgnsOptions sgns;
+  embed::WalkCorpus empty;
+  EXPECT_FALSE(embed::TrainSgns(*g_, empty, sgns).ok());
+  embed::WalkCorpus corpus;
+  corpus.walk_length = 4;
+  corpus.nodes = {0, 1, 0, 1};
+  sgns.dim = 0;
+  EXPECT_FALSE(embed::TrainSgns(*g_, corpus, sgns).ok());
+}
+
+}  // namespace
+}  // namespace omega

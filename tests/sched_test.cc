@@ -1,0 +1,252 @@
+// Unit tests for thread allocation (§III-B): the entropy accumulator (Eq. 3),
+// scatter factor (Eq. 5), and the RR/WaTA/EaTA allocators (Algorithm 2) —
+// including the coverage/disjointness invariants and the load-balance
+// properties Table II and Fig. 13 rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/rmat.h"
+#include "sched/allocators.h"
+#include "sched/entropy.h"
+
+namespace omega::sched {
+namespace {
+
+using graph::CsdbMatrix;
+using graph::Graph;
+
+CsdbMatrix SkewedMatrix(uint32_t scale = 11, uint64_t edges = 30000) {
+  graph::RmatParams params;
+  params.scale = scale;
+  params.num_edges = edges;
+  params.a = 0.65;
+  params.b = 0.15;
+  params.c = 0.15;
+  params.d = 0.05;
+  return CsdbMatrix::FromGraph(graph::GenerateRmat(params).value());
+}
+
+TEST(EntropyAccumulatorTest, MatchesDirectFormula) {
+  // Rows with degrees 4, 3, 1: H = sum -(d/8) log(d/8).
+  EntropyAccumulator acc;
+  acc.AddRow(4);
+  acc.AddRow(3);
+  acc.AddRow(1);
+  const double w = 8.0;
+  double expect = 0.0;
+  for (double d : {4.0, 3.0, 1.0}) expect += -(d / w) * std::log(d / w);
+  EXPECT_NEAR(acc.Entropy(), expect, 1e-12);
+  EXPECT_EQ(acc.nnz(), 8u);
+  EXPECT_EQ(acc.rows(), 3u);
+}
+
+TEST(EntropyAccumulatorTest, RemoveUndoesAdd) {
+  EntropyAccumulator acc;
+  acc.AddRow(5);
+  acc.AddRow(2);
+  const double h2 = acc.Entropy();
+  acc.AddRow(9);
+  acc.RemoveRow(9);
+  EXPECT_NEAR(acc.Entropy(), h2, 1e-12);
+}
+
+TEST(EntropyAccumulatorTest, UniformRowsMaximizeEntropy) {
+  // k equal rows give H = log k, the maximum for k rows.
+  EntropyAccumulator uniform;
+  for (int i = 0; i < 16; ++i) uniform.AddRow(3);
+  EXPECT_NEAR(uniform.Entropy(), std::log(16.0), 1e-12);
+  EntropyAccumulator skewed;
+  skewed.AddRow(33);
+  for (int i = 0; i < 15; ++i) skewed.AddRow(1);
+  EXPECT_LT(skewed.Entropy(), uniform.Entropy());
+}
+
+TEST(EntropyAccumulatorTest, EmptyAndZeroDegreeRows) {
+  EntropyAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.Entropy(), 0.0);
+  acc.AddRow(0);
+  EXPECT_DOUBLE_EQ(acc.Entropy(), 0.0);
+  EXPECT_EQ(acc.rows(), 1u);
+  EXPECT_EQ(acc.nnz(), 0u);
+}
+
+TEST(ScatterFactorTest, EquationFiveEndpoints) {
+  const uint32_t v = 1024;
+  const double beta = 0.4;
+  // Z = 0 (fully sequential): W_sca = 1.
+  EXPECT_NEAR(ScatterFactor(0.0, v, beta), 1.0, 1e-12);
+  // Z = 1 (fully random): W_sca = beta.
+  EXPECT_NEAR(ScatterFactor(std::log(static_cast<double>(v)), v, beta), beta, 1e-12);
+  // Monotone decreasing in entropy for beta < 1.
+  EXPECT_GT(ScatterFactor(1.0, v, beta), ScatterFactor(2.0, v, beta));
+}
+
+TEST(ScatterFactorTest, NormalizedEntropyClamped) {
+  EXPECT_DOUBLE_EQ(NormalizedEntropy(100.0, 8), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedEntropy(-1.0, 8), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEntropy(1.0, 1), 0.0);
+}
+
+class AllocatorInvariants : public ::testing::TestWithParam<AllocatorKind> {};
+
+TEST_P(AllocatorInvariants, CoversEveryRowExactlyOnce) {
+  const CsdbMatrix a = SkewedMatrix();
+  AllocatorOptions opts;
+  opts.num_threads = 7;
+  const auto workloads = Allocate(a, GetParam(), opts);
+  ASSERT_EQ(workloads.size(), 7u);
+  std::vector<int> covered(a.num_rows(), 0);
+  uint64_t total_nnz = 0;
+  for (const Workload& w : workloads) {
+    for (const RowRange& range : w.ranges) {
+      for (uint32_t r = range.begin; r < range.end; ++r) covered[r]++;
+    }
+    total_nnz += w.nnz;
+  }
+  for (uint32_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(covered[r], 1) << "row " << r << " under "
+                             << AllocatorName(GetParam());
+  }
+  EXPECT_EQ(total_nnz, a.nnz());
+}
+
+TEST_P(AllocatorInvariants, AnnotationsArePopulated) {
+  const CsdbMatrix a = SkewedMatrix();
+  AllocatorOptions opts;
+  opts.num_threads = 4;
+  for (const Workload& w : Allocate(a, GetParam(), opts)) {
+    if (w.empty()) continue;
+    EXPECT_GT(w.entropy, 0.0);
+    EXPECT_GT(w.scatter, 0.0);
+    EXPECT_LE(w.scatter, 1.0);
+    EXPECT_GT(w.num_rows, 0u);
+  }
+}
+
+TEST_P(AllocatorInvariants, SingleThreadGetsEverything) {
+  const CsdbMatrix a = SkewedMatrix(9, 3000);
+  AllocatorOptions opts;
+  opts.num_threads = 1;
+  const auto workloads = Allocate(a, GetParam(), opts);
+  ASSERT_EQ(workloads.size(), 1u);
+  EXPECT_EQ(workloads[0].nnz, a.nnz());
+  EXPECT_EQ(workloads[0].num_rows, a.num_rows());
+}
+
+TEST_P(AllocatorInvariants, MoreThreadsThanRows) {
+  // 8-node graph, 32 threads: no crashes, full coverage, empties allowed.
+  graph::RmatParams params;
+  params.scale = 3;
+  params.num_edges = 20;
+  const CsdbMatrix a =
+      CsdbMatrix::FromGraph(graph::GenerateRmat(params).value());
+  AllocatorOptions opts;
+  opts.num_threads = 32;
+  const auto workloads = Allocate(a, GetParam(), opts);
+  ASSERT_EQ(workloads.size(), 32u);
+  uint64_t nnz = 0;
+  for (const Workload& w : workloads) nnz += w.nnz;
+  EXPECT_EQ(nnz, a.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAllocators, AllocatorInvariants,
+                         ::testing::Values(AllocatorKind::kRoundRobin,
+                                           AllocatorKind::kWorkloadBalanced,
+                                           AllocatorKind::kEntropyAware),
+                         [](const auto& info) {
+                           return std::string(AllocatorName(info.param));
+                         });
+
+double MaxNnz(const std::vector<Workload>& ws) {
+  uint64_t mx = 0;
+  for (const auto& w : ws) mx = std::max(mx, w.nnz);
+  return static_cast<double>(mx);
+}
+
+TEST(AllocatorComparisonTest, RoundRobinIsImbalancedOnSkewedGraphs) {
+  // Degree-sorted rows + equal-row chunks => the first chunk dwarfs the rest.
+  const CsdbMatrix a = SkewedMatrix();
+  AllocatorOptions opts;
+  opts.num_threads = 8;
+  const auto rr = AllocateRoundRobin(a, opts);
+  const auto wata = AllocateWata(a, opts);
+  const double fair = static_cast<double>(a.nnz()) / 8.0;
+  EXPECT_GT(MaxNnz(rr), 2.0 * fair);
+  EXPECT_LT(MaxNnz(wata), 1.5 * fair);
+}
+
+TEST(AllocatorComparisonTest, WataBalancesNnz) {
+  const CsdbMatrix a = SkewedMatrix();
+  AllocatorOptions opts;
+  opts.num_threads = 6;
+  const auto wata = AllocateWata(a, opts);
+  const double fair = static_cast<double>(a.nnz()) / 6.0;
+  for (const Workload& w : wata) {
+    if (w.empty()) continue;
+    EXPECT_LT(static_cast<double>(w.nnz), 2.0 * fair);
+  }
+}
+
+TEST(AllocatorComparisonTest, EataReducesTimeModelSpread) {
+  // Under the paper's cost model T_i ~ W_i / W_sca_i (Eq. 4), EaTA's
+  // adjusted budgets must spread less than WaTA's equal budgets.
+  const CsdbMatrix a = SkewedMatrix(12, 80000);
+  AllocatorOptions opts;
+  opts.num_threads = 12;
+  const auto wata = AllocateWata(a, opts);
+  const auto eata = AllocateEata(a, opts);
+  auto model_spread = [&](const std::vector<Workload>& ws) {
+    std::vector<double> t;
+    for (const Workload& w : ws) {
+      if (!w.empty()) t.push_back(static_cast<double>(w.nnz) / w.scatter);
+    }
+    double mean = 0.0;
+    for (double v : t) mean += v;
+    mean /= t.size();
+    double var = 0.0;
+    for (double v : t) var += (v - mean) * (v - mean);
+    return std::sqrt(var / t.size()) / mean;  // coefficient of variation
+  };
+  EXPECT_LE(model_spread(eata), model_spread(wata) * 1.05);
+}
+
+TEST(AllocatorComparisonTest, EataKeepsContiguousRanges) {
+  const CsdbMatrix a = SkewedMatrix();
+  AllocatorOptions opts;
+  opts.num_threads = 5;
+  uint32_t next = 0;
+  for (const Workload& w : AllocateEata(a, opts)) {
+    for (const RowRange& range : w.ranges) {
+      EXPECT_EQ(range.begin, next);
+      next = range.end;
+    }
+  }
+  EXPECT_EQ(next, a.num_rows());
+}
+
+TEST(WorkloadTest, RefreshCountsSumsRanges) {
+  const CsdbMatrix a = SkewedMatrix(8, 1000);
+  Workload w;
+  w.ranges.push_back(RowRange{0, 10});
+  w.ranges.push_back(RowRange{20, 25});
+  RefreshCounts(a, &w);
+  EXPECT_EQ(w.num_rows, 15u);
+  uint64_t expect = 0;
+  for (uint32_t r = 0; r < 10; ++r) expect += a.RowDegree(r);
+  for (uint32_t r = 20; r < 25; ++r) expect += a.RowDegree(r);
+  EXPECT_EQ(w.nnz, expect);
+}
+
+TEST(WorkloadTest, EmptyRangeHandled) {
+  const CsdbMatrix a = SkewedMatrix(8, 1000);
+  Workload w;
+  w.ranges.push_back(RowRange{5, 5});
+  RefreshCounts(a, &w);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.num_rows, 0u);
+}
+
+}  // namespace
+}  // namespace omega::sched

@@ -1,0 +1,283 @@
+// Unit tests for the charged SpMM kernels (Algorithm 1): numerical
+// correctness against the reference kernel, cost-breakdown structure, cache
+// interception, column ranges, and the CSR/SEM/FusedMM variants.
+
+#include <gtest/gtest.h>
+
+#include "graph/rmat.h"
+#include "linalg/random_matrix.h"
+#include "sched/allocators.h"
+#include "sparse/csdb_ops.h"
+#include "sparse/fused.h"
+#include "sparse/semi_external.h"
+#include "sparse/spmm.h"
+
+namespace omega::sparse {
+namespace {
+
+using graph::CsdbMatrix;
+using graph::Graph;
+using linalg::DenseMatrix;
+
+class SpmmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph::RmatParams params;
+    params.scale = 9;
+    params.num_edges = 4000;
+    graph_ = std::make_unique<Graph>(graph::GenerateRmat(params).value());
+    a_ = CsdbMatrix::FromGraph(*graph_);
+    b_ = linalg::GaussianMatrix(a_.num_cols(), 8, 77);
+    ms_ = memsim::MemorySystem::CreateDefault();
+    ASSERT_TRUE(ReferenceSpmm(a_, b_, &expected_).ok());
+  }
+
+  sched::Workload FullWorkload() const {
+    sched::Workload w;
+    w.ranges.push_back(sched::RowRange{0, a_.num_rows()});
+    sched::RefreshCounts(a_, &w);
+    return w;
+  }
+
+  std::unique_ptr<Graph> graph_;
+  CsdbMatrix a_;
+  DenseMatrix b_;
+  DenseMatrix expected_;
+  std::unique_ptr<memsim::MemorySystem> ms_;
+};
+
+TEST_F(SpmmTest, SingleWorkloadMatchesReference) {
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  memsim::SimClock clock;
+  memsim::WorkerCtx ctx{0, 0, 1, &clock};
+  const SpmmCostBreakdown bd =
+      ExecuteWorkloadCsdb(a_, b_, &c, FullWorkload(), SpmmPlacements{}, ms_.get(),
+                          &ctx);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
+  EXPECT_GT(bd.Total(), 0.0);
+  EXPECT_NEAR(clock.seconds(), bd.Total(), 1e-12);
+}
+
+TEST_F(SpmmTest, BreakdownHasAllComponentsAndGatherDominates) {
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  memsim::SimClock clock;
+  memsim::WorkerCtx ctx{0, 0, 1, &clock};
+  const SpmmCostBreakdown bd =
+      ExecuteWorkloadCsdb(a_, b_, &c, FullWorkload(), SpmmPlacements{}, ms_.get(),
+                          &ctx);
+  for (int i = 0; i < kNumSpmmOps; ++i) {
+    EXPECT_GT(bd.seconds[i], 0.0) << SpmmOpName(static_cast<SpmmOp>(i));
+  }
+  // Fig. 7a: get_dense_nnz dominates the execution time on PM.
+  const double gather = bd.seconds[static_cast<int>(SpmmOp::kGetDenseNnz)];
+  for (int i = 0; i < kNumSpmmOps; ++i) {
+    if (i == static_cast<int>(SpmmOp::kGetDenseNnz)) continue;
+    EXPECT_GT(gather, bd.seconds[i]) << SpmmOpName(static_cast<SpmmOp>(i));
+  }
+}
+
+TEST_F(SpmmTest, DramPlacementIsFasterThanPm) {
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  SpmmPlacements pm;  // defaults: sparse+dense on PM
+  SpmmPlacements dram;
+  dram.sparse = {memsim::Tier::kDram, 0};
+  dram.dense = {memsim::Tier::kDram, 0};
+  memsim::SimClock clock_pm;
+  memsim::SimClock clock_dram;
+  memsim::WorkerCtx ctx_pm{0, 0, 1, &clock_pm};
+  memsim::WorkerCtx ctx_dram{0, 0, 1, &clock_dram};
+  ExecuteWorkloadCsdb(a_, b_, &c, FullWorkload(), pm, ms_.get(), &ctx_pm);
+  ExecuteWorkloadCsdb(a_, b_, &c, FullWorkload(), dram, ms_.get(), &ctx_dram);
+  EXPECT_GT(clock_pm.seconds(), 1.5 * clock_dram.seconds());
+}
+
+TEST_F(SpmmTest, RemoteDensePlacementCostsMore) {
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  SpmmPlacements local;
+  SpmmPlacements remote = local;
+  remote.dense = {memsim::Tier::kPm, 1};  // ctx runs on socket 0
+  memsim::SimClock cl;
+  memsim::SimClock cr;
+  memsim::WorkerCtx ctx_l{0, 0, 1, &cl};
+  memsim::WorkerCtx ctx_r{0, 0, 1, &cr};
+  ExecuteWorkloadCsdb(a_, b_, &c, FullWorkload(), local, ms_.get(), &ctx_l);
+  ExecuteWorkloadCsdb(a_, b_, &c, FullWorkload(), remote, ms_.get(), &ctx_r);
+  EXPECT_GT(cr.seconds(), cl.seconds());
+}
+
+// A cache that claims to hold everything: all gathers must hit DRAM.
+class AllCache : public DenseCacheView {
+ public:
+  bool Contains(graph::NodeId) const override { return true; }
+  memsim::Placement placement() const override {
+    return {memsim::Tier::kDram, 0};
+  }
+};
+
+TEST_F(SpmmTest, CacheInterceptsGathersAndSpeedsUp) {
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  AllCache cache;
+  memsim::SimClock with;
+  memsim::SimClock without;
+  memsim::WorkerCtx ctx_w{0, 0, 1, &with};
+  memsim::WorkerCtx ctx_wo{0, 0, 1, &without};
+  ExecuteWorkloadCsdb(a_, b_, &c, FullWorkload(), SpmmPlacements{}, ms_.get(),
+                      &ctx_w, &cache);
+  ExecuteWorkloadCsdb(a_, b_, &c, FullWorkload(), SpmmPlacements{}, ms_.get(),
+                      &ctx_wo, nullptr);
+  EXPECT_LT(with.seconds(), without.seconds());
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
+}
+
+TEST_F(SpmmTest, ColumnRangeComputesOnlyThatRange) {
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  memsim::SimClock clock;
+  memsim::WorkerCtx ctx{0, 0, 1, &clock};
+  ExecuteWorkloadCsdb(a_, b_, &c, FullWorkload(), SpmmPlacements{}, ms_.get(), &ctx,
+                      nullptr, 2, 5);
+  for (size_t t = 2; t < 5; ++t) {
+    for (size_t r = 0; r < c.rows(); ++r) {
+      EXPECT_NEAR(c.At(r, t), expected_.At(r, t), 1e-4);
+    }
+  }
+  // Untouched columns stay zero.
+  for (size_t r = 0; r < c.rows(); ++r) {
+    EXPECT_EQ(c.At(r, 0), 0.0f);
+    EXPECT_EQ(c.At(r, 7), 0.0f);
+  }
+}
+
+TEST_F(SpmmTest, CostScalesWithColumnCount) {
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  memsim::SimClock narrow;
+  memsim::SimClock wide;
+  memsim::WorkerCtx ctx_n{0, 0, 1, &narrow};
+  memsim::WorkerCtx ctx_w{0, 0, 1, &wide};
+  ExecuteWorkloadCsdb(a_, b_, &c, FullWorkload(), SpmmPlacements{}, ms_.get(),
+                      &ctx_n, nullptr, 0, 2);
+  ExecuteWorkloadCsdb(a_, b_, &c, FullWorkload(), SpmmPlacements{}, ms_.get(),
+                      &ctx_w, nullptr, 0, 8);
+  EXPECT_NEAR(wide.seconds() / narrow.seconds(), 4.0, 0.5);
+}
+
+TEST_F(SpmmTest, ParallelSpmmMatchesReferenceAcrossAllocators) {
+  ThreadPool pool(8);
+  for (auto kind :
+       {sched::AllocatorKind::kRoundRobin, sched::AllocatorKind::kWorkloadBalanced,
+        sched::AllocatorKind::kEntropyAware}) {
+    sched::AllocatorOptions opts;
+    opts.num_threads = 8;
+    const auto workloads = sched::Allocate(a_, kind, opts);
+    DenseMatrix c(a_.num_rows(), b_.cols());
+    const ParallelSpmmResult result =
+        ParallelSpmm(a_, b_, &c, workloads, SpmmPlacements{}, ms_.get(), &pool);
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4)
+        << sched::AllocatorName(kind);
+    EXPECT_EQ(result.nnz_processed, a_.nnz());
+    EXPECT_GT(result.phase_seconds, 0.0);
+    EXPECT_EQ(result.thread_seconds.size(), 8u);
+    // Phase time is the straggler.
+    double mx = 0.0;
+    for (double s : result.thread_seconds) mx = std::max(mx, s);
+    EXPECT_DOUBLE_EQ(result.phase_seconds, mx);
+    EXPECT_GT(result.ThroughputNnzPerSec(), 0.0);
+  }
+}
+
+TEST_F(SpmmTest, MoreThreadsReducePhaseTime) {
+  ThreadPool pool(16);
+  sched::AllocatorOptions opts;
+  opts.num_threads = 2;
+  auto w2 = sched::Allocate(a_, sched::AllocatorKind::kEntropyAware, opts);
+  opts.num_threads = 16;
+  auto w16 = sched::Allocate(a_, sched::AllocatorKind::kEntropyAware, opts);
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  const double t2 =
+      ParallelSpmm(a_, b_, &c, w2, SpmmPlacements{}, ms_.get(), &pool).phase_seconds;
+  const double t16 =
+      ParallelSpmm(a_, b_, &c, w16, SpmmPlacements{}, ms_.get(), &pool).phase_seconds;
+  EXPECT_GT(t2, 2.0 * t16);
+}
+
+TEST_F(SpmmTest, CsrKernelMatchesReference) {
+  const auto csr = ToCsr(a_).value();
+  DenseMatrix c(a_.num_rows(), b_.cols());
+  memsim::SimClock clock;
+  memsim::WorkerCtx ctx{0, 0, 1, &clock};
+  ExecuteWorkloadCsr(csr, b_, &c, 0, csr.num_rows(), SpmmPlacements{}, ms_.get(),
+                     &ctx);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
+  EXPECT_GT(clock.seconds(), 0.0);
+}
+
+TEST_F(SpmmTest, SemiExternalMatchesReferenceAndChargesSsd) {
+  const auto csr = ToCsr(a_).value();
+  ThreadPool pool(4);
+  SemiExternalOptions opts;
+  opts.num_threads = 4;
+  opts.dram_budget_bytes = 1ULL << 30;  // everything fits: no spill
+  DenseMatrix c(csr.num_rows(), b_.cols());
+  ms_->ResetTraffic();
+  const auto result = SemiExternalSpmm(csr, b_, &c, opts, ms_.get(), &pool);
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
+  EXPECT_GT(result.phase_seconds, 0.0);
+  EXPECT_GT(ms_->Traffic().TierBytes(memsim::Tier::kSsd), 0u);
+}
+
+TEST_F(SpmmTest, SemiExternalSpillsMakeItSlower) {
+  const auto csr = ToCsr(a_).value();
+  ThreadPool pool(4);
+  SemiExternalOptions fit;
+  fit.num_threads = 4;
+  fit.dram_budget_bytes = 1ULL << 30;
+  SemiExternalOptions spill = fit;
+  spill.dram_budget_bytes = b_.bytes() / 4;  // force spilling
+  DenseMatrix c(csr.num_rows(), b_.cols());
+  const double t_fit =
+      SemiExternalSpmm(csr, b_, &c, fit, ms_.get(), &pool).phase_seconds;
+  const double t_spill =
+      SemiExternalSpmm(csr, b_, &c, spill, ms_.get(), &pool).phase_seconds;
+  EXPECT_GT(t_spill, 2.0 * t_fit);
+}
+
+TEST_F(SpmmTest, FusedMmMatchesReferenceInDram) {
+  const auto csr = ToCsr(a_).value();
+  ThreadPool pool(4);
+  FusedMmOptions opts;
+  opts.num_threads = 4;
+  DenseMatrix c(csr.num_rows(), b_.cols());
+  auto result = FusedMmSpmm(csr, b_, &c, opts, ms_.get(), &pool);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
+  EXPECT_GT(result.value().phase_seconds, 0.0);
+}
+
+TEST_F(SpmmTest, FusedMmFailsPastDramCapacity) {
+  // Shrink the simulated DRAM below the working set.
+  memsim::TopologyConfig topo;
+  topo.dram_bytes_per_socket = 1 << 10;
+  memsim::MemorySystem tiny(topo, memsim::DefaultProfiles());
+  const auto csr = ToCsr(a_).value();
+  ThreadPool pool(2);
+  FusedMmOptions opts;
+  opts.num_threads = 2;
+  DenseMatrix c(csr.num_rows(), b_.cols());
+  auto result = FusedMmSpmm(csr, b_, &c, opts, &tiny, &pool);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCapacityExceeded());
+}
+
+TEST(SpmmBreakdownTest, AccumulateAndName) {
+  SpmmCostBreakdown a;
+  a.seconds[0] = 1.0;
+  SpmmCostBreakdown b;
+  b.seconds[0] = 2.0;
+  b.seconds[4] = 3.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.seconds[0], 3.0);
+  EXPECT_DOUBLE_EQ(a.Total(), 6.0);
+  EXPECT_STREQ(SpmmOpName(SpmmOp::kGetDenseNnz), "get_dense_nnz");
+}
+
+}  // namespace
+}  // namespace omega::sparse

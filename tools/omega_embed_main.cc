@@ -1,0 +1,182 @@
+// omega_embed — command-line embedding driver.
+//
+// Embeds a graph (edge-list file or a Table I dataset analogue) with any of
+// the paper's systems on the simulated heterogeneous-memory machine, and
+// optionally writes the embedding to disk.
+//
+// Usage:
+//   omega_embed [options]
+//     --graph <path|name>   edge-list file, or PK/LJ/OR/TW/TW-2010/FR
+//     --system <name>       omega (default) | omega-dram | omega-pm |
+//                           prone-dram | prone-hm | ginex | marius
+//     --threads <n>         worker threads (default 36)
+//     --dim <d>             embedding dimension (default 32)
+//     --cheb <k>            Chebyshev order (default 8)
+//     --no-wofp / --no-nadp / --no-asl  feature ablations
+//     --allocator <name>    eata (default) | wata | rr
+//     --cxl                 use the CXL device profiles for the capacity tier
+//     --out <path>          write embedding (.tsv or binary by extension)
+//     --auc                 evaluate link-prediction AUC
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/string_util.h"
+#include "embed/embedding_io.h"
+#include "graph/datasets.h"
+#include "graph/graph_io.h"
+#include "omega/engine.h"
+
+namespace {
+
+using namespace omega;
+
+struct CliOptions {
+  std::string graph = "PK";
+  std::string system = "omega";
+  std::string allocator = "eata";
+  std::string out;
+  int threads = 36;
+  size_t dim = 32;
+  int cheb = 8;
+  bool wofp = true;
+  bool nadp = true;
+  bool asl = true;
+  bool cxl = false;
+  bool auc = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--graph <path|name>] [--system <name>] "
+               "[--threads n] [--dim d] [--cheb k] [--allocator eata|wata|rr] "
+               "[--no-wofp] [--no-nadp] [--no-asl] [--cxl] [--out path] "
+               "[--auc]\n",
+               argv0);
+  return 2;
+}
+
+Result<engine::SystemKind> ParseSystem(const std::string& name) {
+  static const std::map<std::string, engine::SystemKind> kSystems = {
+      {"omega", engine::SystemKind::kOmega},
+      {"omega-dram", engine::SystemKind::kOmegaDram},
+      {"omega-pm", engine::SystemKind::kOmegaPm},
+      {"prone-dram", engine::SystemKind::kProneDram},
+      {"prone-hm", engine::SystemKind::kProneHm},
+      {"ginex", engine::SystemKind::kGinex},
+      {"marius", engine::SystemKind::kMariusGnn},
+  };
+  const auto it = kSystems.find(name);
+  if (it == kSystems.end()) return Status::InvalidArgument("unknown system " + name);
+  return it->second;
+}
+
+Result<sched::AllocatorKind> ParseAllocator(const std::string& name) {
+  if (name == "eata") return sched::AllocatorKind::kEntropyAware;
+  if (name == "wata") return sched::AllocatorKind::kWorkloadBalanced;
+  if (name == "rr") return sched::AllocatorKind::kRoundRobin;
+  return Status::InvalidArgument("unknown allocator " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--graph" && next()) {
+      cli.graph = argv[i];
+    } else if (arg == "--system" && i + 1 < argc) {
+      cli.system = argv[++i];
+    } else if (arg == "--allocator" && i + 1 < argc) {
+      cli.allocator = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      cli.threads = std::atoi(argv[++i]);
+    } else if (arg == "--dim" && i + 1 < argc) {
+      cli.dim = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--cheb" && i + 1 < argc) {
+      cli.cheb = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      cli.out = argv[++i];
+    } else if (arg == "--no-wofp") {
+      cli.wofp = false;
+    } else if (arg == "--no-nadp") {
+      cli.nadp = false;
+    } else if (arg == "--no-asl") {
+      cli.asl = false;
+    } else if (arg == "--cxl") {
+      cli.cxl = true;
+    } else if (arg == "--auc") {
+      cli.auc = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (cli.threads <= 0 || cli.dim == 0 || cli.cheb <= 0) return Usage(argv[0]);
+
+  // Load the graph: dataset name first, then as a file path.
+  Result<graph::Graph> loaded = graph::LoadDatasetByName(cli.graph);
+  if (!loaded.ok()) loaded = graph::LoadEdgeListText(cli.graph);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load graph '%s': %s\n", cli.graph.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const graph::Graph& g = loaded.value();
+  std::printf("graph %s: %u nodes, %llu arcs\n", cli.graph.c_str(), g.num_nodes(),
+              static_cast<unsigned long long>(g.num_arcs()));
+
+  auto system = ParseSystem(cli.system);
+  auto allocator = ParseAllocator(cli.allocator);
+  if (!system.ok() || !allocator.ok()) return Usage(argv[0]);
+
+  auto ms = std::make_unique<memsim::MemorySystem>(
+      memsim::TopologyConfig{},
+      cli.cxl ? memsim::CxlProfiles() : memsim::DefaultProfiles());
+  ThreadPool pool(static_cast<size_t>(cli.threads));
+
+  engine::EngineOptions options;
+  options.system = system.value();
+  options.num_threads = cli.threads;
+  options.prone.dim = cli.dim;
+  options.prone.chebyshev_order = cli.cheb;
+  options.features.allocator = allocator.value();
+  options.features.use_wofp = cli.wofp;
+  options.features.use_nadp = cli.nadp;
+  options.features.use_asl = cli.asl;
+  options.evaluate_quality = cli.auc;
+
+  auto report = engine::RunEmbedding(g, cli.graph, options, ms.get(), &pool);
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  const engine::RunReport& r = report.value();
+  std::printf("system %s on %s memory profiles:\n", r.system.c_str(),
+              cli.cxl ? "CXL" : "DRAM+PM");
+  std::printf("  read      %s\n", HumanSeconds(r.read_seconds).c_str());
+  std::printf("  factorize %s\n", HumanSeconds(r.factorize_seconds).c_str());
+  std::printf("  propagate %s\n", HumanSeconds(r.propagate_seconds).c_str());
+  std::printf("  total     %s (simulated)\n", HumanSeconds(r.total_seconds).c_str());
+  std::printf("  remote DRAM/PM traffic: %.1f%%\n", r.remote_fraction * 100.0);
+  if (r.link_auc.has_value()) std::printf("  link AUC  %.3f\n", *r.link_auc);
+
+  if (!cli.out.empty() && r.embedding.rows() > 0) {
+    const bool tsv = cli.out.size() > 4 &&
+                     cli.out.compare(cli.out.size() - 4, 4, ".tsv") == 0;
+    const Status st = tsv ? embed::SaveEmbeddingTsv(r.embedding, cli.out)
+                          : embed::SaveEmbeddingBinary(r.embedding, cli.out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "failed to save embedding: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("embedding written to %s (%zu x %zu)\n", cli.out.c_str(),
+                r.embedding.rows(), r.embedding.cols());
+  }
+  return 0;
+}
