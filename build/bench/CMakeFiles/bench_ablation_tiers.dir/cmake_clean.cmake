@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tiers.dir/bench_ablation_tiers.cc.o"
+  "CMakeFiles/bench_ablation_tiers.dir/bench_ablation_tiers.cc.o.d"
+  "bench_ablation_tiers"
+  "bench_ablation_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_wofp.dir/bench_fig14_wofp.cc.o"
+  "CMakeFiles/bench_fig14_wofp.dir/bench_fig14_wofp.cc.o.d"
+  "bench_fig14_wofp"
+  "bench_fig14_wofp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_wofp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_nadp.dir/bench_fig15_nadp.cc.o"
+  "CMakeFiles/bench_fig15_nadp.dir/bench_fig15_nadp.cc.o.d"
+  "bench_fig15_nadp"
+  "bench_fig15_nadp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_nadp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

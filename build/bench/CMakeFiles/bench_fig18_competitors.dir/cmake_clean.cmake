@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_competitors.dir/bench_fig18_competitors.cc.o"
+  "CMakeFiles/bench_fig18_competitors.dir/bench_fig18_competitors.cc.o.d"
+  "bench_fig18_competitors"
+  "bench_fig18_competitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_competitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/omega_bench_util.dir/bench_util.cc.o.d"
+  "libomega_bench_util.a"
+  "libomega_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_families.dir/embedding_families.cpp.o"
+  "CMakeFiles/embedding_families.dir/embedding_families.cpp.o.d"
+  "embedding_families"
+  "embedding_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_inference.dir/gnn_inference.cpp.o"
+  "CMakeFiles/gnn_inference.dir/gnn_inference.cpp.o.d"
+  "gnn_inference"
+  "gnn_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

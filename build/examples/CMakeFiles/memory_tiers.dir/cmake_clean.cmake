@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_tiers.dir/memory_tiers.cpp.o"
+  "CMakeFiles/memory_tiers.dir/memory_tiers.cpp.o.d"
+  "memory_tiers"
+  "memory_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_common.dir/common/alias_sampler.cc.o"
+  "CMakeFiles/omega_common.dir/common/alias_sampler.cc.o.d"
+  "CMakeFiles/omega_common.dir/common/logging.cc.o"
+  "CMakeFiles/omega_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/omega_common.dir/common/status.cc.o"
+  "CMakeFiles/omega_common.dir/common/status.cc.o.d"
+  "CMakeFiles/omega_common.dir/common/string_util.cc.o"
+  "CMakeFiles/omega_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/omega_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/omega_common.dir/common/thread_pool.cc.o.d"
+  "libomega_common.a"
+  "libomega_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/chebyshev.cc" "src/CMakeFiles/omega_embed.dir/embed/chebyshev.cc.o" "gcc" "src/CMakeFiles/omega_embed.dir/embed/chebyshev.cc.o.d"
+  "/root/repo/src/embed/classification.cc" "src/CMakeFiles/omega_embed.dir/embed/classification.cc.o" "gcc" "src/CMakeFiles/omega_embed.dir/embed/classification.cc.o.d"
+  "/root/repo/src/embed/embedding_io.cc" "src/CMakeFiles/omega_embed.dir/embed/embedding_io.cc.o" "gcc" "src/CMakeFiles/omega_embed.dir/embed/embedding_io.cc.o.d"
+  "/root/repo/src/embed/gnn.cc" "src/CMakeFiles/omega_embed.dir/embed/gnn.cc.o" "gcc" "src/CMakeFiles/omega_embed.dir/embed/gnn.cc.o.d"
+  "/root/repo/src/embed/prone.cc" "src/CMakeFiles/omega_embed.dir/embed/prone.cc.o" "gcc" "src/CMakeFiles/omega_embed.dir/embed/prone.cc.o.d"
+  "/root/repo/src/embed/quality.cc" "src/CMakeFiles/omega_embed.dir/embed/quality.cc.o" "gcc" "src/CMakeFiles/omega_embed.dir/embed/quality.cc.o.d"
+  "/root/repo/src/embed/random_walk.cc" "src/CMakeFiles/omega_embed.dir/embed/random_walk.cc.o" "gcc" "src/CMakeFiles/omega_embed.dir/embed/random_walk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omega_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_embed.dir/embed/chebyshev.cc.o"
+  "CMakeFiles/omega_embed.dir/embed/chebyshev.cc.o.d"
+  "CMakeFiles/omega_embed.dir/embed/classification.cc.o"
+  "CMakeFiles/omega_embed.dir/embed/classification.cc.o.d"
+  "CMakeFiles/omega_embed.dir/embed/embedding_io.cc.o"
+  "CMakeFiles/omega_embed.dir/embed/embedding_io.cc.o.d"
+  "CMakeFiles/omega_embed.dir/embed/gnn.cc.o"
+  "CMakeFiles/omega_embed.dir/embed/gnn.cc.o.d"
+  "CMakeFiles/omega_embed.dir/embed/prone.cc.o"
+  "CMakeFiles/omega_embed.dir/embed/prone.cc.o.d"
+  "CMakeFiles/omega_embed.dir/embed/quality.cc.o"
+  "CMakeFiles/omega_embed.dir/embed/quality.cc.o.d"
+  "CMakeFiles/omega_embed.dir/embed/random_walk.cc.o"
+  "CMakeFiles/omega_embed.dir/embed/random_walk.cc.o.d"
+  "libomega_embed.a"
+  "libomega_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_engine.dir/omega/baselines.cc.o"
+  "CMakeFiles/omega_engine.dir/omega/baselines.cc.o.d"
+  "CMakeFiles/omega_engine.dir/omega/distributed_sim.cc.o"
+  "CMakeFiles/omega_engine.dir/omega/distributed_sim.cc.o.d"
+  "CMakeFiles/omega_engine.dir/omega/engine.cc.o"
+  "CMakeFiles/omega_engine.dir/omega/engine.cc.o.d"
+  "CMakeFiles/omega_engine.dir/omega/options.cc.o"
+  "CMakeFiles/omega_engine.dir/omega/options.cc.o.d"
+  "CMakeFiles/omega_engine.dir/omega/report.cc.o"
+  "CMakeFiles/omega_engine.dir/omega/report.cc.o.d"
+  "libomega_engine.a"
+  "libomega_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

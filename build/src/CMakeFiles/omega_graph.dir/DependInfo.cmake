@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/community.cc" "src/CMakeFiles/omega_graph.dir/graph/community.cc.o" "gcc" "src/CMakeFiles/omega_graph.dir/graph/community.cc.o.d"
+  "/root/repo/src/graph/csdb.cc" "src/CMakeFiles/omega_graph.dir/graph/csdb.cc.o" "gcc" "src/CMakeFiles/omega_graph.dir/graph/csdb.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/CMakeFiles/omega_graph.dir/graph/csr.cc.o" "gcc" "src/CMakeFiles/omega_graph.dir/graph/csr.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "src/CMakeFiles/omega_graph.dir/graph/datasets.cc.o" "gcc" "src/CMakeFiles/omega_graph.dir/graph/datasets.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/omega_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/omega_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/omega_graph.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/omega_graph.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/rmat.cc" "src/CMakeFiles/omega_graph.dir/graph/rmat.cc.o" "gcc" "src/CMakeFiles/omega_graph.dir/graph/rmat.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/CMakeFiles/omega_graph.dir/graph/stats.cc.o" "gcc" "src/CMakeFiles/omega_graph.dir/graph/stats.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/CMakeFiles/omega_graph.dir/graph/traversal.cc.o" "gcc" "src/CMakeFiles/omega_graph.dir/graph/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omega_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_graph.dir/graph/community.cc.o"
+  "CMakeFiles/omega_graph.dir/graph/community.cc.o.d"
+  "CMakeFiles/omega_graph.dir/graph/csdb.cc.o"
+  "CMakeFiles/omega_graph.dir/graph/csdb.cc.o.d"
+  "CMakeFiles/omega_graph.dir/graph/csr.cc.o"
+  "CMakeFiles/omega_graph.dir/graph/csr.cc.o.d"
+  "CMakeFiles/omega_graph.dir/graph/datasets.cc.o"
+  "CMakeFiles/omega_graph.dir/graph/datasets.cc.o.d"
+  "CMakeFiles/omega_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/omega_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/omega_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/omega_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/omega_graph.dir/graph/rmat.cc.o"
+  "CMakeFiles/omega_graph.dir/graph/rmat.cc.o.d"
+  "CMakeFiles/omega_graph.dir/graph/stats.cc.o"
+  "CMakeFiles/omega_graph.dir/graph/stats.cc.o.d"
+  "CMakeFiles/omega_graph.dir/graph/traversal.cc.o"
+  "CMakeFiles/omega_graph.dir/graph/traversal.cc.o.d"
+  "libomega_graph.a"
+  "libomega_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

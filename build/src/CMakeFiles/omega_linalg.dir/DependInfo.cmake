@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/dense_matrix.cc" "src/CMakeFiles/omega_linalg.dir/linalg/dense_matrix.cc.o" "gcc" "src/CMakeFiles/omega_linalg.dir/linalg/dense_matrix.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/CMakeFiles/omega_linalg.dir/linalg/eigen.cc.o" "gcc" "src/CMakeFiles/omega_linalg.dir/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/gemm.cc" "src/CMakeFiles/omega_linalg.dir/linalg/gemm.cc.o" "gcc" "src/CMakeFiles/omega_linalg.dir/linalg/gemm.cc.o.d"
+  "/root/repo/src/linalg/qr.cc" "src/CMakeFiles/omega_linalg.dir/linalg/qr.cc.o" "gcc" "src/CMakeFiles/omega_linalg.dir/linalg/qr.cc.o.d"
+  "/root/repo/src/linalg/random_matrix.cc" "src/CMakeFiles/omega_linalg.dir/linalg/random_matrix.cc.o" "gcc" "src/CMakeFiles/omega_linalg.dir/linalg/random_matrix.cc.o.d"
+  "/root/repo/src/linalg/randomized_svd.cc" "src/CMakeFiles/omega_linalg.dir/linalg/randomized_svd.cc.o" "gcc" "src/CMakeFiles/omega_linalg.dir/linalg/randomized_svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omega_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_linalg.dir/linalg/dense_matrix.cc.o"
+  "CMakeFiles/omega_linalg.dir/linalg/dense_matrix.cc.o.d"
+  "CMakeFiles/omega_linalg.dir/linalg/eigen.cc.o"
+  "CMakeFiles/omega_linalg.dir/linalg/eigen.cc.o.d"
+  "CMakeFiles/omega_linalg.dir/linalg/gemm.cc.o"
+  "CMakeFiles/omega_linalg.dir/linalg/gemm.cc.o.d"
+  "CMakeFiles/omega_linalg.dir/linalg/qr.cc.o"
+  "CMakeFiles/omega_linalg.dir/linalg/qr.cc.o.d"
+  "CMakeFiles/omega_linalg.dir/linalg/random_matrix.cc.o"
+  "CMakeFiles/omega_linalg.dir/linalg/random_matrix.cc.o.d"
+  "CMakeFiles/omega_linalg.dir/linalg/randomized_svd.cc.o"
+  "CMakeFiles/omega_linalg.dir/linalg/randomized_svd.cc.o.d"
+  "libomega_linalg.a"
+  "libomega_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/bandwidth_probe.cc" "src/CMakeFiles/omega_memsim.dir/memsim/bandwidth_probe.cc.o" "gcc" "src/CMakeFiles/omega_memsim.dir/memsim/bandwidth_probe.cc.o.d"
+  "/root/repo/src/memsim/cost_model.cc" "src/CMakeFiles/omega_memsim.dir/memsim/cost_model.cc.o" "gcc" "src/CMakeFiles/omega_memsim.dir/memsim/cost_model.cc.o.d"
+  "/root/repo/src/memsim/device_profile.cc" "src/CMakeFiles/omega_memsim.dir/memsim/device_profile.cc.o" "gcc" "src/CMakeFiles/omega_memsim.dir/memsim/device_profile.cc.o.d"
+  "/root/repo/src/memsim/memory_system.cc" "src/CMakeFiles/omega_memsim.dir/memsim/memory_system.cc.o" "gcc" "src/CMakeFiles/omega_memsim.dir/memsim/memory_system.cc.o.d"
+  "/root/repo/src/memsim/topology.cc" "src/CMakeFiles/omega_memsim.dir/memsim/topology.cc.o" "gcc" "src/CMakeFiles/omega_memsim.dir/memsim/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omega_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

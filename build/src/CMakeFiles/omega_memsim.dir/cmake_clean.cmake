@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_memsim.dir/memsim/bandwidth_probe.cc.o"
+  "CMakeFiles/omega_memsim.dir/memsim/bandwidth_probe.cc.o.d"
+  "CMakeFiles/omega_memsim.dir/memsim/cost_model.cc.o"
+  "CMakeFiles/omega_memsim.dir/memsim/cost_model.cc.o.d"
+  "CMakeFiles/omega_memsim.dir/memsim/device_profile.cc.o"
+  "CMakeFiles/omega_memsim.dir/memsim/device_profile.cc.o.d"
+  "CMakeFiles/omega_memsim.dir/memsim/memory_system.cc.o"
+  "CMakeFiles/omega_memsim.dir/memsim/memory_system.cc.o.d"
+  "CMakeFiles/omega_memsim.dir/memsim/topology.cc.o"
+  "CMakeFiles/omega_memsim.dir/memsim/topology.cc.o.d"
+  "libomega_memsim.a"
+  "libomega_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numa/nadp.cc" "src/CMakeFiles/omega_numa.dir/numa/nadp.cc.o" "gcc" "src/CMakeFiles/omega_numa.dir/numa/nadp.cc.o.d"
+  "/root/repo/src/numa/partition.cc" "src/CMakeFiles/omega_numa.dir/numa/partition.cc.o" "gcc" "src/CMakeFiles/omega_numa.dir/numa/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omega_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_numa.dir/numa/nadp.cc.o"
+  "CMakeFiles/omega_numa.dir/numa/nadp.cc.o.d"
+  "CMakeFiles/omega_numa.dir/numa/partition.cc.o"
+  "CMakeFiles/omega_numa.dir/numa/partition.cc.o.d"
+  "libomega_numa.a"
+  "libomega_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/topm_store.cc" "src/CMakeFiles/omega_prefetch.dir/prefetch/topm_store.cc.o" "gcc" "src/CMakeFiles/omega_prefetch.dir/prefetch/topm_store.cc.o.d"
+  "/root/repo/src/prefetch/wofp.cc" "src/CMakeFiles/omega_prefetch.dir/prefetch/wofp.cc.o" "gcc" "src/CMakeFiles/omega_prefetch.dir/prefetch/wofp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omega_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

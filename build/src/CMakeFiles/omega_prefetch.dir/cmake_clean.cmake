@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_prefetch.dir/prefetch/topm_store.cc.o"
+  "CMakeFiles/omega_prefetch.dir/prefetch/topm_store.cc.o.d"
+  "CMakeFiles/omega_prefetch.dir/prefetch/wofp.cc.o"
+  "CMakeFiles/omega_prefetch.dir/prefetch/wofp.cc.o.d"
+  "libomega_prefetch.a"
+  "libomega_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

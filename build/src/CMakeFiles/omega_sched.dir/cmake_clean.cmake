@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_sched.dir/sched/allocators.cc.o"
+  "CMakeFiles/omega_sched.dir/sched/allocators.cc.o.d"
+  "CMakeFiles/omega_sched.dir/sched/entropy.cc.o"
+  "CMakeFiles/omega_sched.dir/sched/entropy.cc.o.d"
+  "CMakeFiles/omega_sched.dir/sched/workload.cc.o"
+  "CMakeFiles/omega_sched.dir/sched/workload.cc.o.d"
+  "libomega_sched.a"
+  "libomega_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

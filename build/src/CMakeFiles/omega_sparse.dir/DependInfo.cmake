@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/csdb_ops.cc" "src/CMakeFiles/omega_sparse.dir/sparse/csdb_ops.cc.o" "gcc" "src/CMakeFiles/omega_sparse.dir/sparse/csdb_ops.cc.o.d"
+  "/root/repo/src/sparse/fused.cc" "src/CMakeFiles/omega_sparse.dir/sparse/fused.cc.o" "gcc" "src/CMakeFiles/omega_sparse.dir/sparse/fused.cc.o.d"
+  "/root/repo/src/sparse/semi_external.cc" "src/CMakeFiles/omega_sparse.dir/sparse/semi_external.cc.o" "gcc" "src/CMakeFiles/omega_sparse.dir/sparse/semi_external.cc.o.d"
+  "/root/repo/src/sparse/spmm.cc" "src/CMakeFiles/omega_sparse.dir/sparse/spmm.cc.o" "gcc" "src/CMakeFiles/omega_sparse.dir/sparse/spmm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omega_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_sparse.dir/sparse/csdb_ops.cc.o"
+  "CMakeFiles/omega_sparse.dir/sparse/csdb_ops.cc.o.d"
+  "CMakeFiles/omega_sparse.dir/sparse/fused.cc.o"
+  "CMakeFiles/omega_sparse.dir/sparse/fused.cc.o.d"
+  "CMakeFiles/omega_sparse.dir/sparse/semi_external.cc.o"
+  "CMakeFiles/omega_sparse.dir/sparse/semi_external.cc.o.d"
+  "CMakeFiles/omega_sparse.dir/sparse/spmm.cc.o"
+  "CMakeFiles/omega_sparse.dir/sparse/spmm.cc.o.d"
+  "libomega_sparse.a"
+  "libomega_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_stream.dir/stream/asl.cc.o"
+  "CMakeFiles/omega_stream.dir/stream/asl.cc.o.d"
+  "libomega_stream.a"
+  "libomega_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

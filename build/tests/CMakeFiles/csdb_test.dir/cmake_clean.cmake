@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdb_test.dir/csdb_test.cc.o"
+  "CMakeFiles/csdb_test.dir/csdb_test.cc.o.d"
+  "csdb_test"
+  "csdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multisocket_test.dir/multisocket_test.cc.o"
+  "CMakeFiles/multisocket_test.dir/multisocket_test.cc.o.d"
+  "multisocket_test"
+  "multisocket_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multisocket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/systems_test.cc" "tests/CMakeFiles/systems_test.dir/systems_test.cc.o" "gcc" "tests/CMakeFiles/systems_test.dir/systems_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/omega_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/omega_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_embed_cli.dir/omega_embed_main.cc.o"
+  "CMakeFiles/omega_embed_cli.dir/omega_embed_main.cc.o.d"
+  "omega_embed"
+  "omega_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_embed_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
