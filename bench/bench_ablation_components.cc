@@ -39,8 +39,7 @@ int main() {
     pl.sparse = {memsim::Tier::kPm, memsim::Placement::kInterleaved};
     pl.dense = {memsim::Tier::kPm, memsim::Placement::kInterleaved};
     pl.result = {memsim::Tier::kDram, memsim::Placement::kInterleaved};
-    const auto r = engine::StaticCsrSpmm(csr, b, &c, env.threads, pl, env.ms.get(),
-                                         env.pool.get());
+    const auto r = engine::StaticCsrSpmm(csr, b, &c, pl, env.Context());
     rows.emplace_back("CSR + static rows + Interleaved", r.phase_seconds);
   }
 
@@ -50,7 +49,7 @@ int main() {
     opts.allocator = alloc;
     opts.use_wofp = wofp;
     opts.enabled = nadp;
-    return numa::NadpSpmm(a, b, &c, opts, env.ms.get(), env.pool.get())
+    return numa::NadpSpmm(a, b, &c, opts, env.Context())
         .phase_seconds;
   };
   rows.emplace_back("+ CSDB + EaTA",
@@ -78,9 +77,9 @@ int main() {
   auto without_asl = with_asl;
   without_asl.features.use_asl = false;
   const auto r_with =
-      engine::RunEmbedding(fr, "FR", with_asl, env.ms.get(), env.pool.get());
+      engine::RunEmbedding(fr, "FR", with_asl, env.Context());
   const auto r_without =
-      engine::RunEmbedding(fr, "FR", without_asl, env.ms.get(), env.pool.get());
+      engine::RunEmbedding(fr, "FR", without_asl, env.Context());
   engine::TablePrinter asl_table({"configuration", "total", "gain"});
   asl_table.AddRow({"OMeGa w/o ASL",
                     HumanSeconds(r_without.value().total_seconds), "-"});
@@ -103,7 +102,7 @@ int main() {
                     2 * cfg.dense_rows * cfg.dense_cols * sizeof(float) +
                     (12ULL << 20);
   stream::AslStreamer streamer(
-      env.ms.get(), cfg, {memsim::Tier::kPm, memsim::Placement::kInterleaved},
+      env.Context(), cfg, {memsim::Tier::kPm, memsim::Placement::kInterleaved},
       {memsim::Tier::kDram, memsim::Placement::kInterleaved});
   const auto probe = streamer.Run([&](size_t k, size_t b2, size_t e2) {
     // A compute phase of the same order as one partition load.

@@ -36,19 +36,19 @@ int main() {
         bench::DefaultOptions(engine::SystemKind::kOmegaDram, 36);
 
     const double on_pm =
-        engine::RunEmbedding(g, name, options, pm_machine.get(), &pool)
+        engine::RunEmbedding(g, name, options, exec::Context(pm_machine.get(), &pool))
             .value()
             .total_seconds;
     const double on_cxl =
-        engine::RunEmbedding(g, name, options, cxl_machine.get(), &pool)
+        engine::RunEmbedding(g, name, options, exec::Context(cxl_machine.get(), &pool))
             .value()
             .total_seconds;
     const double on_cxl_no_opt =
-        engine::RunEmbedding(g, name, no_opt, cxl_machine.get(), &pool)
+        engine::RunEmbedding(g, name, no_opt, exec::Context(cxl_machine.get(), &pool))
             .value()
             .total_seconds;
     const double on_dram =
-        engine::RunEmbedding(g, name, dram_options, pm_machine.get(), &pool)
+        engine::RunEmbedding(g, name, dram_options, exec::Context(pm_machine.get(), &pool))
             .value()
             .total_seconds;
     table.AddRow({name, HumanSeconds(on_pm), HumanSeconds(on_cxl),

@@ -36,14 +36,14 @@ int main() {
     double omega_seconds = 0.0;
     for (auto system : systems) {
       const auto options = bench::DefaultOptions(system, env.threads);
-      auto report = engine::RunEmbedding(g, name, options, env.ms.get(),
-                                         env.pool.get());
+      auto report = engine::RunEmbedding(g, name, options, env.Context());
       if (!report.ok()) {
         row.push_back(report.status().IsCapacityExceeded() ? "OOM" : "ERR");
         continue;
       }
       const double seconds = report.value().total_seconds;
       row.push_back(HumanSeconds(seconds));
+      if (bench::PhaseTraceEnabled()) bench::PrintPhaseTable(report.value());
       if (system == engine::SystemKind::kOmega) {
         omega_seconds = seconds;
       } else if (system != engine::SystemKind::kOmegaDram && omega_seconds > 0) {

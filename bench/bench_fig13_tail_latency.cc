@@ -30,7 +30,7 @@ int main() {
     opts.num_threads = env.threads;
     const auto workloads = sched::Allocate(a, kinds[k], opts);
     times[k] = sparse::ParallelSpmm(a, b, &c, workloads, sparse::SpmmPlacements{},
-                                    env.ms.get(), env.pool.get())
+                                    env.Context())
                    .thread_seconds;
   }
 

@@ -33,9 +33,9 @@ int main() {
     without.use_wofp = false;
 
     const double t_with =
-        numa::NadpSpmm(a, b, &c, with, env.ms.get(), env.pool.get()).phase_seconds;
+        numa::NadpSpmm(a, b, &c, with, env.Context()).phase_seconds;
     const double t_without =
-        numa::NadpSpmm(a, b, &c, without, env.ms.get(), env.pool.get())
+        numa::NadpSpmm(a, b, &c, without, env.Context())
             .phase_seconds;
     const double improvement = 100.0 * (1.0 - t_with / t_without);
     improvements.push_back(improvement);

@@ -32,11 +32,11 @@ int main() {
         bench::DefaultOptions(engine::SystemKind::kOmegaDram, env.threads);
 
     const auto with =
-        engine::RunEmbedding(g, name, omega_opts, env.ms.get(), env.pool.get());
+        engine::RunEmbedding(g, name, omega_opts, env.Context());
     const auto without =
-        engine::RunEmbedding(g, name, no_nadp_opts, env.ms.get(), env.pool.get());
+        engine::RunEmbedding(g, name, no_nadp_opts, env.Context());
     const auto dram =
-        engine::RunEmbedding(g, name, dram_opts, env.ms.get(), env.pool.get());
+        engine::RunEmbedding(g, name, dram_opts, env.Context());
     const double t_with = with.value().total_seconds;
     const double t_without = without.value().total_seconds;
     overall_speedups.push_back(t_without / t_with);
@@ -70,11 +70,11 @@ int main() {
     dram.dense_tier = memsim::Tier::kDram;
 
     const double t_on =
-        numa::NadpSpmm(a, b, &c, on, env.ms.get(), env.pool.get()).phase_seconds;
+        numa::NadpSpmm(a, b, &c, on, env.Context()).phase_seconds;
     const double t_off =
-        numa::NadpSpmm(a, b, &c, off, env.ms.get(), env.pool.get()).phase_seconds;
+        numa::NadpSpmm(a, b, &c, off, env.Context()).phase_seconds;
     const double t_dram =
-        numa::NadpSpmm(a, b, &c, dram, env.ms.get(), env.pool.get()).phase_seconds;
+        numa::NadpSpmm(a, b, &c, dram, env.Context()).phase_seconds;
     spmm_speedups.push_back(t_off / t_on);
     spmm.AddRow({name, HumanSeconds(t_off), HumanSeconds(t_on),
                  HumanSeconds(t_dram), Ratio(t_off, t_on),

@@ -20,7 +20,7 @@ double ThroughputMnnz(const omega::graph::CsdbMatrix& a,
   opts.num_threads = threads;
   opts.enabled = nadp;
   const auto result =
-      omega::numa::NadpSpmm(a, b, &c, opts, env->ms.get(), env->pool.get());
+      omega::numa::NadpSpmm(a, b, &c, opts, env->Context());
   return result.ThroughputNnzPerSec() / 1e6;
 }
 

@@ -28,12 +28,12 @@ int main() {
   for (int threads : {4, 8, 12, 18, 24, 30, 36}) {
     auto options = bench::DefaultOptions(engine::SystemKind::kOmega, threads);
     const auto report =
-        engine::RunEmbedding(lj, "LJ", options, env.ms.get(), env.pool.get());
+        engine::RunEmbedding(lj, "LJ", options, env.Context());
     linalg::DenseMatrix c(a.num_rows(), 32);
     numa::NadpOptions nadp;
     nadp.num_threads = threads;
     const double spmm =
-        numa::NadpSpmm(a, b, &c, nadp, env.ms.get(), env.pool.get()).phase_seconds;
+        numa::NadpSpmm(a, b, &c, nadp, env.Context()).phase_seconds;
     const double overall = report.value().total_seconds;
     if (threads == 4) base_overall = overall;
     threads_table.AddRow({std::to_string(threads), HumanSeconds(overall),
@@ -54,15 +54,14 @@ int main() {
     const graph::Graph g = graph::GenerateRmat(params).value();
     auto options = bench::DefaultOptions(engine::SystemKind::kOmega, 30);
     const auto report =
-        engine::RunEmbedding(g, "rmat", options, env.ms.get(), env.pool.get());
+        engine::RunEmbedding(g, "rmat", options, env.Context());
     const graph::CsdbMatrix m = graph::CsdbMatrix::FromGraph(g);
     const linalg::DenseMatrix dense =
         linalg::GaussianMatrix(m.num_cols(), 32, scale);
     linalg::DenseMatrix c(m.num_rows(), 32);
     numa::NadpOptions nadp;
     nadp.num_threads = 30;
-    const double spmm = numa::NadpSpmm(m, dense, &c, nadp, env.ms.get(),
-                                       env.pool.get())
+    const double spmm = numa::NadpSpmm(m, dense, &c, nadp, env.Context())
                             .phase_seconds;
     size_table.AddRow({std::to_string(g.num_nodes()),
                        std::to_string(g.num_arcs()),

@@ -32,13 +32,13 @@ int main() {
     const graph::Graph g = bench::LoadGraphOrDie(name);
     const auto omega_report = engine::RunEmbedding(
         g, name, bench::DefaultOptions(engine::SystemKind::kOmega, env.threads),
-        env.ms.get(), env.pool.get());
+        env.Context());
     const auto ger_report = engine::RunEmbedding(
         g, name, bench::DefaultOptions(engine::SystemKind::kDistGer, env.threads),
-        env.ms.get(), env.pool.get());
+        env.Context());
     const auto dgl_report = engine::RunEmbedding(
         g, name, bench::DefaultOptions(engine::SystemKind::kDistDgl, env.threads),
-        env.ms.get(), env.pool.get());
+        env.Context());
     const double t_omega = omega_report.value().total_seconds;
     const double t_ger = ger_report.value().total_seconds;
     const double t_dgl = dgl_report.value().total_seconds;
@@ -68,7 +68,7 @@ int main() {
     numa::NadpOptions omega_opts;
     omega_opts.num_threads = env.threads;
     const double t_omega =
-        numa::NadpSpmm(a, b, &c, omega_opts, env.ms.get(), env.pool.get())
+        numa::NadpSpmm(a, b, &c, omega_opts, env.Context())
             .phase_seconds;
 
     sparse::SemiExternalOptions sem_opts;
@@ -76,14 +76,13 @@ int main() {
     sem_opts.dram_budget_bytes =
         env.ms->CapacityBytes(memsim::Tier::kDram) * 2 * 3 / 4;
     const double t_sem =
-        sparse::SemiExternalSpmm(csr, b, &c, sem_opts, env.ms.get(),
-                                 env.pool.get())
+        sparse::SemiExternalSpmm(csr, b, &c, sem_opts, env.Context())
             .phase_seconds;
 
     sparse::FusedMmOptions fused_opts;
     fused_opts.num_threads = env.threads;
     const auto fused =
-        sparse::FusedMmSpmm(csr, b, &c, fused_opts, env.ms.get(), env.pool.get());
+        sparse::FusedMmSpmm(csr, b, &c, fused_opts, env.Context());
 
     sem_speedups.push_back(t_sem / t_omega);
     std::string fused_cell = "OOM";

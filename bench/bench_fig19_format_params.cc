@@ -23,11 +23,9 @@ int main() {
   for (const std::string& name : bench::AllGraphNames()) {
     const graph::Graph g = bench::LoadGraphOrDie(name);
     const double csr = engine::SimulatedGraphReadSeconds(
-        env.ms.get(), engine::GraphFormat::kCsr, g.num_arcs(), g.num_nodes(),
-        env.threads);
+        env.Context(), engine::GraphFormat::kCsr, g.num_arcs(), g.num_nodes());
     const double csdb = engine::SimulatedGraphReadSeconds(
-        env.ms.get(), engine::GraphFormat::kCsdb, g.num_arcs(), g.num_nodes(),
-        env.threads);
+        env.Context(), engine::GraphFormat::kCsdb, g.num_arcs(), g.num_nodes());
     read_speedups.push_back(csr / csdb);
     reading.AddRow({name, HumanSeconds(csr), HumanSeconds(csdb),
                     bench::Ratio(csr, csdb)});
@@ -46,7 +44,7 @@ int main() {
     opts.num_threads = env.threads;
     opts.wofp.eta = eta;
     opts.wofp.sigma = sigma;
-    return numa::NadpSpmm(a, b, &c, opts, env.ms.get(), env.pool.get())
+    return numa::NadpSpmm(a, b, &c, opts, env.Context())
         .phase_seconds;
   };
 

@@ -26,8 +26,7 @@ int main() {
   const auto workloads =
       sched::Allocate(a, sched::AllocatorKind::kWorkloadBalanced, opts);
   const auto result = sparse::ParallelSpmm(a, b, &c, workloads,
-                                           sparse::SpmmPlacements{}, env.ms.get(),
-                                           env.pool.get());
+                                           sparse::SpmmPlacements{}, env.Context());
 
   // --- (a) breakdown ---------------------------------------------------------
   engine::PrintExperimentHeader("Fig. 7a",

@@ -48,8 +48,7 @@ int main() {
   for (auto system : {engine::SystemKind::kOmega, engine::SystemKind::kProneDram}) {
     auto options = bench::DefaultOptions(system, env.threads);
     options.prone.dim = 32;
-    auto report = engine::RunEmbedding(g, "sbm", options, env.ms.get(),
-                                       env.pool.get());
+    auto report = engine::RunEmbedding(g, "sbm", options, env.Context());
     if (!report.ok()) continue;
     add_row(engine::SystemName(system), report.value().embed_seconds,
             report.value().embedding);

@@ -37,8 +37,7 @@ int main() {
       opts.num_threads = env.threads;
       const auto workloads = sched::Allocate(a, kinds[k], opts);
       seconds[k] = sparse::ParallelSpmm(a, b, &c, workloads,
-                                        sparse::SpmmPlacements{}, env.ms.get(),
-                                        env.pool.get())
+                                        sparse::SpmmPlacements{}, env.Context())
                        .phase_seconds;
     }
     table.AddRow({ref.graph, HumanSeconds(seconds[0]), HumanSeconds(seconds[1]),

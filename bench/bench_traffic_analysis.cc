@@ -36,7 +36,7 @@ int main() {
       linalg::DenseMatrix c(a.num_rows(), 32);
       env.ms->ResetTraffic();
       const auto result =
-          numa::NadpSpmm(a, b, &c, opts, env.ms.get(), env.pool.get());
+          numa::NadpSpmm(a, b, &c, opts, env.Context());
       const auto traffic = env.ms->Traffic();
       const double remote = traffic.RemoteFraction() * 100.0;
       (nadp ? remote_with : remote_without).push_back(remote);
@@ -58,5 +58,16 @@ int main() {
       "\naverage remote fraction: %.1f%% without NaDP (paper: >43%%), "
       "%.1f%% with NaDP\n",
       mean(remote_without), mean(remote_with));
+
+  // Per-phase attribution of a full OMeGa run: where the bytes and the
+  // simulated seconds go, end to end, on one mid-size graph.
+  const graph::Graph tw = bench::LoadGraphOrDie("TW");
+  env.ms->ResetTraffic();
+  const auto options = bench::DefaultOptions(engine::SystemKind::kOmega, 30);
+  auto report = engine::RunEmbedding(tw, "TW", options, env.TracedContext());
+  if (report.ok()) {
+    std::printf("\nper-phase attribution (OMeGa end-to-end on TW):\n");
+    bench::PrintPhaseTable(report.value());
+  }
   return 0;
 }

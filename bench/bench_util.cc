@@ -13,6 +13,7 @@ Env MakeEnv(int threads) {
   Env env;
   env.ms = memsim::MemorySystem::CreateDefault();
   env.pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+  env.trace = std::make_unique<exec::TraceRecorder>();
   env.threads = threads;
   return env;
 }
@@ -66,6 +67,29 @@ double StdDev(const std::vector<double>& values) {
   double var = 0.0;
   for (double v : values) var += (v - mean) * (v - mean);
   return std::sqrt(var / values.size());
+}
+
+void PrintPhaseTable(const engine::RunReport& report) {
+  if (report.phases.empty()) return;
+  engine::TablePrinter table({"phase", "sim s", "DRAM", "PM", "SSD", "NET",
+                              "remote %"});
+  for (const exec::PhaseRecord& p : report.phases) {
+    table.AddRow({p.aux ? p.name + " (aux)" : p.name,
+                  FormatDouble(p.sim_seconds, 3),
+                  HumanBytes(p.TierBytes(memsim::Tier::kDram)),
+                  HumanBytes(p.TierBytes(memsim::Tier::kPm)),
+                  HumanBytes(p.TierBytes(memsim::Tier::kSsd)),
+                  HumanBytes(p.TierBytes(memsim::Tier::kNetwork)),
+                  FormatDouble(p.remote_fraction * 100.0, 1)});
+  }
+  std::printf("  phases of %s on %s:\n", report.system.c_str(),
+              report.dataset.c_str());
+  table.Print();
+}
+
+bool PhaseTraceEnabled() {
+  const char* v = std::getenv("OMEGA_PHASE_TRACE");
+  return v != nullptr && v[0] == '1';
 }
 
 const std::vector<TableTwoRef>& PaperTableTwo() {

@@ -11,6 +11,7 @@
 #include "graph/datasets.h"
 #include "memsim/memory_system.h"
 #include "omega/engine.h"
+#include "omega/exec_context.h"
 #include "omega/report.h"
 
 namespace omega::bench {
@@ -19,7 +20,17 @@ namespace omega::bench {
 struct Env {
   std::unique_ptr<memsim::MemorySystem> ms;
   std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<exec::TraceRecorder> trace;
   int threads = 36;
+
+  /// Bundled plumbing for the engine entry points (trace not attached; the
+  /// engines record phases into their RunReport regardless).
+  exec::Context Context() const {
+    return exec::Context(ms.get(), pool.get(), threads);
+  }
+
+  /// Same plumbing with the env's recorder attached as the trace sink.
+  exec::Context TracedContext() const { return Context().WithTrace(trace.get()); }
 };
 
 /// Default environment: the paper's 36-thread two-socket testbed.
@@ -42,6 +53,15 @@ double Percentile(std::vector<double> values, double p);
 
 /// Population standard deviation.
 double StdDev(const std::vector<double>& values);
+
+/// Prints the per-phase attribution table of one run: phase name, simulated
+/// seconds, per-tier byte counts, and remote fraction. No-op when the report
+/// carries no phases.
+void PrintPhaseTable(const engine::RunReport& report);
+
+/// True when OMEGA_PHASE_TRACE=1 in the environment: the engine harnesses
+/// print PrintPhaseTable after each run.
+bool PhaseTraceEnabled();
 
 /// Paper-reported Table II runtimes (seconds) for comparison columns.
 struct TableTwoRef {

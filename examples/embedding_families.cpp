@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     options.system = engine::SystemKind::kOmega;
     options.num_threads = 16;
     options.prone.dim = dim;
-    auto report = engine::RunEmbedding(g, dataset, options, ms.get(), &pool);
+    auto report = engine::RunEmbedding(g, dataset, options, exec::Context(ms.get(), &pool));
     if (report.ok()) {
       report_row("matrix factorization (OMeGa)", report.value().embed_seconds,
                  report.value().embedding);
@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
       *out = linalg::DenseMatrix(m.num_rows(), in.cols());
       numa::NadpOptions opts;
       opts.num_threads = 16;
-      return numa::NadpSpmm(m, in, out, opts, ms.get(), &pool).phase_seconds;
+      return numa::NadpSpmm(m, in, out, opts, exec::Context(ms.get(), &pool)).phase_seconds;
     };
     embed::GnnOptions gnn;
     gnn.output_dim = dim;

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
       opts.allocator = config.allocator;
       opts.use_wofp = config.wofp;
       opts.enabled = config.nadp;
-      return numa::NadpSpmm(m, in, out, opts, ms.get(), &pool).phase_seconds;
+      return numa::NadpSpmm(m, in, out, opts, exec::Context(ms.get(), &pool)).phase_seconds;
     };
     auto result =
         embed::GnnForward(adjacency, linalg::DenseMatrix(), gnn, executor);

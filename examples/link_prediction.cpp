@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   // node-popularity signal alongside the structural directions.
   options.prone.l2_normalize_rows = false;
   auto report =
-      engine::RunEmbedding(split.train, dataset, options, ms.get(), &pool);
+      engine::RunEmbedding(split.train, dataset, options, exec::Context(ms.get(), &pool));
   if (!report.ok()) {
     std::fprintf(stderr, "embedding failed: %s\n",
                  report.status().ToString().c_str());

@@ -75,7 +75,7 @@ int main() {
         "in %zu column partitions\n",
         HumanBytes(cfg.dense_rows * cfg.dense_cols * 4).c_str(),
         HumanBytes(cfg.dram_budget).c_str(), parts.value());
-    stream::AslStreamer streamer(ms.get(), cfg,
+    stream::AslStreamer streamer(exec::Context(ms.get()), cfg,
                                  {Tier::kPm, Placement::kInterleaved},
                                  {Tier::kDram, Placement::kInterleaved});
     auto run = streamer.Run([](size_t, size_t, size_t) { return 0.004; });

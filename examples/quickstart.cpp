@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   options.prone.dim = 32;
   options.evaluate_quality = true;
 
-  auto report = engine::RunEmbedding(g, "quickstart", options, ms.get(), &pool);
+  auto report = engine::RunEmbedding(g, "quickstart", options, exec::Context(ms.get(), &pool));
   if (!report.ok()) {
     std::fprintf(stderr, "embedding failed: %s\n",
                  report.status().ToString().c_str());

@@ -64,8 +64,7 @@ int main() {
   options.system = engine::SystemKind::kOmega;
   options.num_threads = 16;
   options.prone.dim = 32;
-  auto report = engine::RunEmbedding(g, "alibaba-analogue", options, ms.get(),
-                                     &pool);
+  auto report = engine::RunEmbedding(g, "alibaba-analogue", options, exec::Context(ms.get(), &pool));
   if (!report.ok()) {
     std::fprintf(stderr, "embedding failed: %s\n",
                  report.status().ToString().c_str());

@@ -74,6 +74,7 @@ Result<EmbeddingResult> ProneEmbed(const graph::CsdbMatrix& adjacency,
   // propagation matrix (peak: adjacency + one derived sparse matrix).
   linalg::DenseMatrix r0;
   {
+    if (options.stage_notifier) options.stage_notifier("factorize");
     const graph::CsdbMatrix target =
         BuildTargetMatrix(adjacency, options.neg_lambda);
     double factorize_seconds = 0.0;
@@ -105,6 +106,7 @@ Result<EmbeddingResult> ProneEmbed(const graph::CsdbMatrix& adjacency,
   }
 
   // ----- Stage 2: Chebyshev spectral propagation. ---------------------------
+  if (options.stage_notifier) options.stage_notifier("propagate");
   const graph::CsdbMatrix propagation = BuildPropagationMatrix(adjacency);
   const std::vector<double> coeffs = ChebyshevCoefficients(
       ProneBandPass(options.mu, options.theta), options.chebyshev_order);

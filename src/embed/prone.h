@@ -42,6 +42,11 @@ struct ProneOptions {
   double neg_lambda = 1.0;    ///< negative-sampling shift of the target matrix
   uint64_t seed = 7;
   bool l2_normalize_rows = true;  ///< cosine-ready output rows
+
+  /// Optional: invoked when a pipeline stage begins ("factorize" before the
+  /// tSVD's first SpMM, "propagate" before the Chebyshev recurrence). The
+  /// engines use this to label their per-SpMM trace spans by stage.
+  std::function<void(const char* stage)> stage_notifier;
 };
 
 /// Result of an embedding run. Vectors are in the CSDB (degree-sorted) id

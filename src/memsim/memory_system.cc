@@ -33,6 +33,37 @@ uint64_t TrafficSnapshot::LocalityBytes(Locality loc) const {
   return total;
 }
 
+TrafficSnapshot TrafficSnapshot::operator-(const TrafficSnapshot& other) const {
+  TrafficSnapshot out;
+  for (int t = 0; t < kNumTiers; ++t)
+    for (int o = 0; o < 2; ++o)
+      for (int p = 0; p < 2; ++p)
+        for (int l = 0; l < 2; ++l) {
+          const uint64_t before = other.bytes[t][o][p][l];
+          const uint64_t after = bytes[t][o][p][l];
+          out.bytes[t][o][p][l] = after >= before ? after - before : 0;
+        }
+  return out;
+}
+
+TrafficSnapshot& TrafficSnapshot::operator+=(const TrafficSnapshot& other) {
+  for (int t = 0; t < kNumTiers; ++t)
+    for (int o = 0; o < 2; ++o)
+      for (int p = 0; p < 2; ++p)
+        for (int l = 0; l < 2; ++l) bytes[t][o][p][l] += other.bytes[t][o][p][l];
+  return *this;
+}
+
+bool TrafficSnapshot::operator==(const TrafficSnapshot& other) const {
+  for (int t = 0; t < kNumTiers; ++t)
+    for (int o = 0; o < 2; ++o)
+      for (int p = 0; p < 2; ++p)
+        for (int l = 0; l < 2; ++l) {
+          if (bytes[t][o][p][l] != other.bytes[t][o][p][l]) return false;
+        }
+  return true;
+}
+
 double TrafficSnapshot::RemoteFraction() const {
   const uint64_t local = LocalityBytes(Locality::kLocal);
   const uint64_t remote = LocalityBytes(Locality::kRemote);

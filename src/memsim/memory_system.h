@@ -51,8 +51,16 @@ struct TrafficSnapshot {
   uint64_t TierBytes(Tier t) const;
   uint64_t LocalityBytes(Locality loc) const;
   /// Fraction of DRAM+PM traffic that was remote; the paper reports >43%
-  /// remote without NaDP.
+  /// remote without NaDP. Returns 0.0 when no DRAM/PM bytes moved (a phase
+  /// that only touched SSD/network, or an empty phase).
   double RemoteFraction() const;
+
+  /// Counter-wise arithmetic: counters are monotonic, so subtracting an
+  /// earlier snapshot from a later one yields the traffic of the interval
+  /// (this is what PhaseSpan records per phase).
+  TrafficSnapshot operator-(const TrafficSnapshot& other) const;
+  TrafficSnapshot& operator+=(const TrafficSnapshot& other);
+  bool operator==(const TrafficSnapshot& other) const;
 };
 
 /// Execution context of one simulated worker thread within a parallel phase.

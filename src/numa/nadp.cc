@@ -31,11 +31,13 @@ struct WorkerLayout {
 
 NadpResult NadpSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
                     linalg::DenseMatrix* c, const NadpOptions& options,
-                    memsim::MemorySystem* ms, ThreadPool* pool, size_t col_begin,
+                    const exec::Context& exec_ctx, size_t col_begin,
                     size_t col_end) {
+  memsim::MemorySystem* ms = exec_ctx.ms();
+  ThreadPool* pool = exec_ctx.pool();
   const int threads = options.num_threads;
   OMEGA_CHECK(threads > 0);
-  OMEGA_CHECK(pool->size() >= static_cast<size_t>(threads));
+  OMEGA_CHECK(pool != nullptr && pool->size() >= static_cast<size_t>(threads));
   OMEGA_CHECK(c->rows() == a.num_rows() && c->cols() == b.cols());
   col_end = std::min(col_end, b.cols());
   OMEGA_CHECK(col_begin <= col_end);
@@ -50,6 +52,7 @@ NadpResult NadpSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
   memsim::ClockGroup clocks(threads);
   std::vector<sparse::SpmmCostBreakdown> breakdowns(threads);
   std::vector<std::unique_ptr<prefetch::WofpPrefetcher>> caches(threads);
+  std::vector<double> wofp_build(threads, 0.0);
   const std::vector<uint32_t> in_degrees =
       options.use_wofp ? prefetch::ComputeInDegrees(a) : std::vector<uint32_t>{};
 
@@ -77,8 +80,10 @@ NadpResult NadpSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
         prefetch::WofpOptions wofp = options.wofp;
         // Keep the configured cache tier; only the placement policy changes.
         wofp.cache_placement.socket = memsim::Placement::kInterleaved;
+        const double before = ctx.clock->seconds();
         caches[worker] = prefetch::WofpPrefetcher::Build(a, workloads[worker],
                                                          in_degrees, wofp, ms, &ctx);
+        wofp_build[worker] = ctx.clock->seconds() - before;
         cache = caches[worker].get();
       }
       breakdowns[worker] = sparse::ExecuteWorkloadCsdb(
@@ -140,8 +145,10 @@ NadpResult NadpSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
         prefetch::WofpOptions wofp = options.wofp;
         // Pin each worker's cache on its own socket, keeping the tier.
         wofp.cache_placement.socket = s;
+        const double before = ctx.clock->seconds();
         caches[worker] =
             prefetch::WofpPrefetcher::Build(a, workload, in_degrees, wofp, ms, &ctx);
+        wofp_build[worker] = ctx.clock->seconds() - before;
         cache = caches[worker].get();
       }
 
@@ -178,6 +185,7 @@ NadpResult NadpSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
   for (int t = 0; t < threads; ++t) {
     result.thread_seconds[t] = clocks.clock(t).seconds();
     result.breakdown += breakdowns[t];
+    result.wofp_build_seconds = std::max(result.wofp_build_seconds, wofp_build[t]);
   }
   result.phase_seconds = clocks.MaxSeconds();
   return result;

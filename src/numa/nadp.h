@@ -16,10 +16,9 @@
 
 #include <vector>
 
-#include "common/thread_pool.h"
 #include "graph/csdb.h"
 #include "linalg/dense_matrix.h"
-#include "memsim/memory_system.h"
+#include "omega/exec_context.h"
 #include "prefetch/wofp.h"
 #include "sched/allocators.h"
 #include "sparse/spmm.h"
@@ -45,6 +44,9 @@ struct NadpResult {
   std::vector<double> thread_seconds;
   sparse::SpmmCostBreakdown breakdown;
   uint64_t nnz_processed = 0;
+  /// Simulated seconds the straggler spent building its WoFP store (contained
+  /// in phase_seconds; the engines surface it as an aux trace phase).
+  double wofp_build_seconds = 0.0;
 
   double ThroughputNnzPerSec() const {
     return phase_seconds > 0.0 ? static_cast<double>(nnz_processed) / phase_seconds
@@ -59,7 +61,7 @@ struct NadpResult {
 /// is the full width (ASL passes one partition at a time).
 NadpResult NadpSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
                     linalg::DenseMatrix* c, const NadpOptions& options,
-                    memsim::MemorySystem* ms, ThreadPool* pool,
-                    size_t col_begin = 0, size_t col_end = SIZE_MAX);
+                    const exec::Context& ctx, size_t col_begin = 0,
+                    size_t col_end = SIZE_MAX);
 
 }  // namespace omega::numa

@@ -66,10 +66,13 @@ class CsrCache {
 
 sparse::ParallelSpmmResult StaticCsrSpmm(const graph::CsrMatrix& a,
                                          const linalg::DenseMatrix& b,
-                                         linalg::DenseMatrix* c, int threads,
+                                         linalg::DenseMatrix* c,
                                          const sparse::SpmmPlacements& placements,
-                                         memsim::MemorySystem* ms, ThreadPool* pool) {
-  OMEGA_CHECK(pool->size() >= static_cast<size_t>(threads));
+                                         const exec::Context& exec_ctx) {
+  memsim::MemorySystem* ms = exec_ctx.ms();
+  ThreadPool* pool = exec_ctx.pool();
+  const int threads = exec_ctx.threads();
+  OMEGA_CHECK(pool != nullptr && pool->size() >= static_cast<size_t>(threads));
   sparse::ParallelSpmmResult result;
   result.thread_seconds.assign(threads, 0.0);
   result.thread_breakdowns.assign(threads, sparse::SpmmCostBreakdown{});
@@ -101,16 +104,24 @@ sparse::ParallelSpmmResult StaticCsrSpmm(const graph::CsrMatrix& a,
 
 Result<RunReport> RunProneFamily(const graph::Graph& g, const std::string& dataset,
                                  const EngineOptions& options,
-                                 memsim::MemorySystem* ms, ThreadPool* pool) {
-  const int threads = options.num_threads;
+                                 const exec::Context& outer_ctx) {
+  memsim::MemorySystem* ms = outer_ctx.ms();
   ms->ResetTraffic();
+
+  exec::TraceRecorder recorder;
+  const exec::Context ctx =
+      outer_ctx.WithThreads(options.num_threads).WithTrace(&recorder);
+  const int threads = ctx.threads();
 
   RunReport report;
   report.system = SystemName(options.system);
   report.dataset = dataset;
-  report.read_seconds = SimulatedGraphReadSeconds(ms, GraphFormat::kCsr,
-                                                  g.num_arcs(), g.num_nodes(),
-                                                  threads);
+  {
+    exec::PhaseSpan read_span(ctx, "read");
+    report.read_seconds = SimulatedGraphReadSeconds(ctx, GraphFormat::kCsr,
+                                                    g.num_arcs(), g.num_nodes());
+    read_span.AddSimSeconds(report.read_seconds);
+  }
 
   // Adjacency plus one derived matrix live at peak (as in the OMeGa family),
   // in CSR form with its O(|V|) row pointers.
@@ -147,14 +158,17 @@ Result<RunReport> RunProneFamily(const graph::Graph& g, const std::string& datas
 
   const graph::CsdbMatrix adjacency = graph::CsdbMatrix::FromGraph(g);
   CsrCache csr_cache;
+  embed::ProneOptions prone = options.prone;
+  internal::StageTracker stages;
+  stages.Attach(&prone);
 
   embed::SpmmExecutor executor =
       [&](const graph::CsdbMatrix& m, const linalg::DenseMatrix& in,
           linalg::DenseMatrix* out) -> Result<double> {
+    exec::PhaseSpan span(ctx, stages.NextSpmmName());
     *out = linalg::DenseMatrix(m.num_rows(), in.cols());
     const graph::CsrMatrix& csr = csr_cache.Get(m);
-    const sparse::ParallelSpmmResult r =
-        StaticCsrSpmm(csr, in, out, threads, pl, ms, pool);
+    const sparse::ParallelSpmmResult r = StaticCsrSpmm(csr, in, out, pl, ctx);
     double seconds = r.phase_seconds;
     if (hm) {
       // Synchronous dense staging PM -> DRAM before and DRAM -> PM after each
@@ -165,28 +179,38 @@ Result<RunReport> RunProneFamily(const graph::Graph& g, const std::string& datas
       seconds += ms->AccessSeconds(interleave_pm, 0, memsim::MemOp::kWrite,
                                    memsim::Pattern::kSequential, out->bytes(), 1, 1);
     }
+    span.AddSimSeconds(seconds);
     return seconds;
   };
 
   OMEGA_ASSIGN_OR_RETURN(embed::EmbeddingResult emb,
-                         embed::ProneEmbed(adjacency, options.prone, executor));
+                         embed::ProneEmbed(adjacency, prone, executor));
   // ProNE runs its dense algebra in DRAM (ProNE-HM stages operands there; the
   // per-SpMM staging charge above covers the PM transfers).
   const DenseStageModel dense_model =
       EstimateDenseStage(g.num_nodes(), options.prone);
   const Placement dense_home = interleave_dram;
-  report.factorize_seconds =
-      emb.factorize_seconds + DenseStageSeconds(ms, dense_home,
-                                                dense_model.tsvd_bytes,
-                                                dense_model.tsvd_flops, threads);
-  report.propagate_seconds =
-      emb.propagate_seconds + DenseStageSeconds(ms, dense_home,
-                                                dense_model.cheb_bytes,
-                                                dense_model.cheb_flops, threads);
+  double dense_tsvd = 0.0;
+  double dense_cheb = 0.0;
+  {
+    exec::PhaseSpan tsvd_span(ctx, "factorize.dense");
+    dense_tsvd = DenseStageSeconds(ctx, dense_home, dense_model.tsvd_bytes,
+                                   dense_model.tsvd_flops);
+    tsvd_span.AddSimSeconds(dense_tsvd);
+  }
+  {
+    exec::PhaseSpan cheb_span(ctx, "propagate.dense");
+    dense_cheb = DenseStageSeconds(ctx, dense_home, dense_model.cheb_bytes,
+                                   dense_model.cheb_flops);
+    cheb_span.AddSimSeconds(dense_cheb);
+  }
+  report.factorize_seconds = emb.factorize_seconds + dense_tsvd;
+  report.propagate_seconds = emb.propagate_seconds + dense_cheb;
   report.embed_seconds = report.factorize_seconds + report.propagate_seconds;
   report.total_seconds = report.read_seconds + report.embed_seconds;
   report.remote_fraction = ms->Traffic().RemoteFraction();
   report.embedding = emb.ToOriginalOrder();
+  report.phases = recorder.TakeRecords();
   if (options.evaluate_quality) {
     OMEGA_ASSIGN_OR_RETURN(double auc,
                            embed::LinkPredictionAuc(g, report.embedding,
@@ -237,9 +261,15 @@ OutOfCoreProfile MariusProfile() {
 Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
                                      const std::string& dataset,
                                      const EngineOptions& options,
-                                     memsim::MemorySystem* ms, ThreadPool* pool) {
-  const int threads = options.num_threads;
+                                     const exec::Context& outer_ctx) {
+  memsim::MemorySystem* ms = outer_ctx.ms();
   ms->ResetTraffic();
+
+  exec::TraceRecorder recorder;
+  const exec::Context ctx =
+      outer_ctx.WithThreads(options.num_threads).WithTrace(&recorder);
+  ThreadPool* pool = ctx.pool();
+  const int threads = ctx.threads();
   const OutOfCoreProfile profile = options.system == SystemKind::kGinex
                                        ? GinexProfile()
                                        : MariusProfile();
@@ -248,9 +278,12 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
   report.system = SystemName(options.system);
   report.dataset = dataset;
   // Graph preprocessed into the system's on-SSD format.
-  report.read_seconds = SimulatedGraphReadSeconds(ms, GraphFormat::kCsr,
-                                                  g.num_arcs(), g.num_nodes(),
-                                                  threads);
+  {
+    exec::PhaseSpan read_span(ctx, "read");
+    report.read_seconds = SimulatedGraphReadSeconds(ctx, GraphFormat::kCsr,
+                                                    g.num_arcs(), g.num_nodes());
+    read_span.AddSimSeconds(report.read_seconds);
+  }
 
   const size_t dense_bytes = DenseWorkingSetBytes(g.num_nodes(), options.prone);
   const size_t dram_total =
@@ -263,10 +296,14 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
   CsrCache csr_cache;
   const Placement ssd{Tier::kSsd, 0};
   const Placement dram{Tier::kDram, Placement::kInterleaved};
+  embed::ProneOptions prone = options.prone;
+  internal::StageTracker stages;
+  stages.Attach(&prone);
 
   embed::SpmmExecutor executor =
       [&](const graph::CsdbMatrix& m, const linalg::DenseMatrix& in,
           linalg::DenseMatrix* out) -> Result<double> {
+    exec::PhaseSpan span(ctx, stages.NextSpmmName());
     *out = linalg::DenseMatrix(m.num_rows(), in.cols());
     const graph::CsrMatrix& csr = csr_cache.Get(m);
     const size_t d = in.cols();
@@ -293,12 +330,12 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
     pool->RunOnAll([&](size_t worker) {
       if (worker >= static_cast<size_t>(threads)) return;
       const auto [begin, end] = parts[worker];
-      memsim::WorkerCtx ctx;
-      ctx.worker = static_cast<int>(worker);
-      ctx.cpu_socket =
+      memsim::WorkerCtx wctx;
+      wctx.worker = static_cast<int>(worker);
+      wctx.cpu_socket =
           ms->topology().SocketOfWorker(static_cast<int>(worker), threads);
-      ctx.active_threads = threads;
-      ctx.clock = &clocks.clock(worker);
+      wctx.active_threads = threads;
+      wctx.clock = &clocks.clock(worker);
 
       const graph::NodeId* cols = csr.col_idx().data();
       const float* vals = csr.values().data();
@@ -320,7 +357,7 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
       }
 
       // Sparse structure streams from SSD once per pass.
-      ctx.clock->Advance(ms->AccessSeconds(ssd, ctx.cpu_socket, memsim::MemOp::kRead,
+      wctx.clock->Advance(ms->AccessSeconds(ssd, wctx.cpu_socket, memsim::MemOp::kRead,
                                            memsim::Pattern::kSequential,
                                            (end - begin) * 8 + nnz * 8, 1, threads));
       // Feature gathers: hits in the DRAM cache, misses on SSD pages. The
@@ -332,42 +369,55 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
           (gathers - hits) * profile.miss_scale);
       const double z =
           sched::NormalizedEntropy(entropy.Entropy(), csr.num_cols());
-      ctx.clock->Advance(sparse::GatherSeconds(ms, ctx.cpu_socket, dram, z, hits,
+      wctx.clock->Advance(sparse::GatherSeconds(ms, wctx.cpu_socket, dram, z, hits,
                                                threads));
       if (misses > 0) {
-        ctx.clock->Advance(ms->AccessSeconds(
-            ssd, ctx.cpu_socket, memsim::MemOp::kRead, profile.miss_pattern,
+        wctx.clock->Advance(ms->AccessSeconds(
+            ssd, wctx.cpu_socket, memsim::MemOp::kRead, profile.miss_pattern,
             misses * profile.miss_bytes, misses, threads));
       }
       // GPU-class arithmetic.
-      ctx.clock->Advance(ms->cost_model().ComputeSeconds(d * nnz * 2) /
+      wctx.clock->Advance(ms->cost_model().ComputeSeconds(d * nnz * 2) /
                          profile.compute_rate_multiplier);
       // Result written back to host memory.
-      ctx.clock->Advance(ms->AccessSeconds(dram, ctx.cpu_socket, memsim::MemOp::kWrite,
+      wctx.clock->Advance(ms->AccessSeconds(dram, wctx.cpu_socket, memsim::MemOp::kWrite,
                                            memsim::Pattern::kSequential,
                                            (end - begin) * d * sizeof(float), 1,
                                            threads));
     });
-    return clocks.MaxSeconds();
+    const double seconds = clocks.MaxSeconds();
+    span.AddSimSeconds(seconds);
+    return seconds;
   };
 
   OMEGA_ASSIGN_OR_RETURN(embed::EmbeddingResult emb,
-                         embed::ProneEmbed(adjacency, options.prone, executor));
+                         embed::ProneEmbed(adjacency, prone, executor));
   // Dense algebra runs on the accelerator over host memory.
   const DenseStageModel dense_model =
       EstimateDenseStage(g.num_nodes(), options.prone);
-  report.factorize_seconds =
-      emb.factorize_seconds +
-      DenseStageSeconds(ms, dram, dense_model.tsvd_bytes, dense_model.tsvd_flops,
-                        threads, profile.compute_rate_multiplier);
-  report.propagate_seconds =
-      emb.propagate_seconds +
-      DenseStageSeconds(ms, dram, dense_model.cheb_bytes, dense_model.cheb_flops,
-                        threads, profile.compute_rate_multiplier);
+  double dense_tsvd = 0.0;
+  double dense_cheb = 0.0;
+  {
+    exec::PhaseSpan tsvd_span(ctx, "factorize.dense");
+    dense_tsvd = DenseStageSeconds(ctx, dram, dense_model.tsvd_bytes,
+                                   dense_model.tsvd_flops,
+                                   profile.compute_rate_multiplier);
+    tsvd_span.AddSimSeconds(dense_tsvd);
+  }
+  {
+    exec::PhaseSpan cheb_span(ctx, "propagate.dense");
+    dense_cheb = DenseStageSeconds(ctx, dram, dense_model.cheb_bytes,
+                                   dense_model.cheb_flops,
+                                   profile.compute_rate_multiplier);
+    cheb_span.AddSimSeconds(dense_cheb);
+  }
+  report.factorize_seconds = emb.factorize_seconds + dense_tsvd;
+  report.propagate_seconds = emb.propagate_seconds + dense_cheb;
   report.embed_seconds = report.factorize_seconds + report.propagate_seconds;
   report.total_seconds = report.read_seconds + report.embed_seconds;
   report.remote_fraction = ms->Traffic().RemoteFraction();
   report.embedding = emb.ToOriginalOrder();
+  report.phases = recorder.TakeRecords();
   if (options.evaluate_quality) {
     OMEGA_ASSIGN_OR_RETURN(double auc,
                            embed::LinkPredictionAuc(g, report.embedding,

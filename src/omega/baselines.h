@@ -12,10 +12,10 @@
 
 #pragma once
 
-#include "common/thread_pool.h"
 #include "graph/csr.h"
 #include "memsim/memory_system.h"
 #include "omega/engine.h"
+#include "omega/exec_context.h"
 #include "sparse/spmm.h"
 
 namespace omega::engine {
@@ -24,20 +24,21 @@ namespace omega::engine {
 /// chunking, no EaTA/WoFP/NaDP/ASL.
 Result<RunReport> RunProneFamily(const graph::Graph& g, const std::string& dataset,
                                  const EngineOptions& options,
-                                 memsim::MemorySystem* ms, ThreadPool* pool);
+                                 const exec::Context& ctx);
 
 /// Ginex / MariusGNN analogues (see file comment).
 Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
                                      const std::string& dataset,
                                      const EngineOptions& options,
-                                     memsim::MemorySystem* ms, ThreadPool* pool);
+                                     const exec::Context& ctx);
 
 /// Charged parallel CSR SpMM with equal-row static chunking — the baseline
-/// execution style of the ProNE family. Exposed for tests and benches.
+/// execution style of the ProNE family. Uses ctx.threads() workers. Exposed
+/// for tests and benches.
 sparse::ParallelSpmmResult StaticCsrSpmm(const graph::CsrMatrix& a,
                                          const linalg::DenseMatrix& b,
-                                         linalg::DenseMatrix* c, int threads,
+                                         linalg::DenseMatrix* c,
                                          const sparse::SpmmPlacements& placements,
-                                         memsim::MemorySystem* ms, ThreadPool* pool);
+                                         const exec::Context& ctx);
 
 }  // namespace omega::engine

@@ -27,9 +27,14 @@ double PhaseSeconds(memsim::MemorySystem* ms, Placement p, MemOp op, Pattern pat
 Result<RunReport> RunDistributedFamily(const graph::Graph& g,
                                        const std::string& dataset,
                                        const EngineOptions& options,
-                                       memsim::MemorySystem* ms,
+                                       const exec::Context& outer_ctx,
                                        const DistParams& params) {
+  memsim::MemorySystem* ms = outer_ctx.ms();
   ms->ResetTraffic();
+
+  exec::TraceRecorder recorder;
+  const exec::Context ctx = outer_ctx.WithTrace(&recorder);
+
   RunReport report;
   report.system = SystemName(options.system);
   report.dataset = dataset;
@@ -45,8 +50,12 @@ Result<RunReport> RunDistributedFamily(const graph::Graph& g,
   const Placement ssd{Tier::kSsd, 0};
 
   // Every machine loads its graph partition from disk.
-  report.read_seconds = PhaseSeconds(ms, ssd, MemOp::kRead, Pattern::kSequential,
-                                     arcs * 16 / machines, 1, threads);
+  {
+    exec::PhaseSpan read_span(ctx, "read");
+    report.read_seconds = PhaseSeconds(ms, ssd, MemOp::kRead, Pattern::kSequential,
+                                       arcs * 16 / machines, 1, threads);
+    read_span.AddSimSeconds(report.read_seconds);
+  }
 
   if (options.system == SystemKind::kDistGer) {
     // Walk generation: each step issues a handful of random adjacency probes
@@ -54,26 +63,39 @@ Result<RunReport> RunDistributedFamily(const graph::Graph& g,
     const double steps =
         n * params.ger_walks_per_node * params.ger_walk_length / machines;
     const double walk_touches = steps * params.ger_walk_touches_per_step;
-    const double walk_seconds = PhaseSeconds(ms, dram, MemOp::kRead, Pattern::kRandom,
-                                             walk_touches * 64, walk_touches,
-                                             threads);
+    double walk_seconds = 0.0;
+    {
+      exec::PhaseSpan walk_span(ctx, "walks");
+      walk_seconds = PhaseSeconds(ms, dram, MemOp::kRead, Pattern::kRandom,
+                                  walk_touches * 64, walk_touches, threads);
+      walk_span.AddSimSeconds(walk_seconds);
+    }
     // Distributed SGNS: per step, `window` positive updates each touching two
     // embedding rows (read + write of d floats) — this traffic dominates.
     const double updates = steps * params.ger_window * 2.0;
     const double train_traffic = updates * d * 4 * 2;  // read + write
-    double train_seconds = PhaseSeconds(ms, dram, MemOp::kRead, Pattern::kRandom,
-                                        train_traffic / 2, updates, threads);
-    train_seconds += PhaseSeconds(ms, dram, MemOp::kWrite, Pattern::kRandom,
-                                  train_traffic / 2, updates, threads);
-    train_seconds +=
-        ms->cost_model().ComputeSeconds(static_cast<size_t>(updates * d * 4)) /
-        threads;
+    double train_seconds = 0.0;
+    {
+      exec::PhaseSpan train_span(ctx, "train");
+      train_seconds = PhaseSeconds(ms, dram, MemOp::kRead, Pattern::kRandom,
+                                   train_traffic / 2, updates, threads);
+      train_seconds += PhaseSeconds(ms, dram, MemOp::kWrite, Pattern::kRandom,
+                                    train_traffic / 2, updates, threads);
+      train_seconds +=
+          ms->cost_model().ComputeSeconds(static_cast<size_t>(updates * d * 4)) /
+          threads;
+      train_span.AddSimSeconds(train_seconds);
+    }
     // Embedding synchronization between machines (information-oriented walks
     // keep this small — DistGER's advantage).
     const double sync_bytes = params.ger_sync_rounds * (n / machines) * d * 4;
-    const double comm_seconds = PhaseSeconds(ms, net, MemOp::kWrite,
-                                             Pattern::kSequential, sync_bytes, 1,
-                                             std::max(1, machines));
+    double comm_seconds = 0.0;
+    {
+      exec::PhaseSpan sync_span(ctx, "sync");
+      comm_seconds = PhaseSeconds(ms, net, MemOp::kWrite, Pattern::kSequential,
+                                  sync_bytes, 1, std::max(1, machines));
+      sync_span.AddSimSeconds(comm_seconds);
+    }
     report.factorize_seconds = walk_seconds;         // corpus generation
     report.propagate_seconds = train_seconds + comm_seconds;
   } else {
@@ -81,23 +103,38 @@ Result<RunReport> RunDistributedFamily(const graph::Graph& g,
     const double samples = n * params.dgl_fanout * params.dgl_epochs / machines;
     const double local = samples * (1.0 - params.dgl_remote_sample_fraction);
     const double remote = samples * params.dgl_remote_sample_fraction;
-    double sample_seconds = PhaseSeconds(ms, dram, MemOp::kRead, Pattern::kRandom,
-                                         local * 64, local, threads);
-    // Remote samples are small messages over the interconnect.
-    sample_seconds += PhaseSeconds(ms, net, MemOp::kRead, Pattern::kRandom,
-                                   remote * 256, remote, threads);
+    double sample_seconds = 0.0;
+    {
+      exec::PhaseSpan sample_span(ctx, "sampling");
+      sample_seconds = PhaseSeconds(ms, dram, MemOp::kRead, Pattern::kRandom,
+                                    local * 64, local, threads);
+      // Remote samples are small messages over the interconnect.
+      sample_seconds += PhaseSeconds(ms, net, MemOp::kRead, Pattern::kRandom,
+                                     remote * 256, remote, threads);
+      sample_span.AddSimSeconds(sample_seconds);
+    }
     // Feature gathering (one d-float row per sample) + GNN compute.
-    double gather_seconds = PhaseSeconds(ms, dram, MemOp::kRead, Pattern::kRandom,
-                                         samples * d * 4, samples, threads);
-    const double train_seconds =
-        ms->cost_model().ComputeSeconds(
-            static_cast<size_t>(samples * params.dgl_train_ops_per_sample)) /
-        threads;
+    double gather_seconds = 0.0;
+    double train_seconds = 0.0;
+    {
+      exec::PhaseSpan train_span(ctx, "train");
+      gather_seconds = PhaseSeconds(ms, dram, MemOp::kRead, Pattern::kRandom,
+                                    samples * d * 4, samples, threads);
+      train_seconds =
+          ms->cost_model().ComputeSeconds(
+              static_cast<size_t>(samples * params.dgl_train_ops_per_sample)) /
+          threads;
+      train_span.AddSimSeconds(gather_seconds + train_seconds);
+    }
     // Gradient synchronization per mini-batch round.
     const double sync_bytes = params.dgl_sync_rounds * (n / machines) * d * 4;
-    const double comm_seconds = PhaseSeconds(ms, net, MemOp::kWrite,
-                                             Pattern::kSequential, sync_bytes, 1,
-                                             std::max(1, machines));
+    double comm_seconds = 0.0;
+    {
+      exec::PhaseSpan sync_span(ctx, "sync");
+      comm_seconds = PhaseSeconds(ms, net, MemOp::kWrite, Pattern::kSequential,
+                                  sync_bytes, 1, std::max(1, machines));
+      sync_span.AddSimSeconds(comm_seconds);
+    }
     report.factorize_seconds = sample_seconds;       // sampling phase
     report.propagate_seconds = gather_seconds + train_seconds + comm_seconds;
   }
@@ -105,6 +142,7 @@ Result<RunReport> RunDistributedFamily(const graph::Graph& g,
   report.embed_seconds = report.factorize_seconds + report.propagate_seconds;
   report.total_seconds = report.read_seconds + report.embed_seconds;
   report.remote_fraction = 0.0;
+  report.phases = recorder.TakeRecords();
   return report;
 }
 

@@ -39,11 +39,12 @@ struct DistParams {
   double dgl_sync_rounds = 24.0;     // gradient syncs
 };
 
-/// Analytic simulated runtime of one distributed system on `g`.
+/// Analytic simulated runtime of one distributed system on `g`. Only
+/// ctx.ms() is used (the machines are analytic, not pooled workers).
 Result<RunReport> RunDistributedFamily(const graph::Graph& g,
                                        const std::string& dataset,
                                        const EngineOptions& options,
-                                       memsim::MemorySystem* ms,
+                                       const exec::Context& ctx,
                                        const DistParams& params = DistParams());
 
 }  // namespace omega::engine

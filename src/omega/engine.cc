@@ -13,8 +13,10 @@ namespace omega::engine {
 
 namespace internal {
 
-Reservation::~Reservation() {
+void Reservation::Release() {
   if (ms_ != nullptr && bytes_ > 0) ms_->Release(placement_, bytes_);
+  ms_ = nullptr;
+  bytes_ = 0;
 }
 
 Result<Reservation> Reservation::Make(memsim::MemorySystem* ms,
@@ -28,6 +30,16 @@ Result<Reservation> Reservation::Make(memsim::MemorySystem* ms,
 }
 
 }  // namespace internal
+
+RunReport FailedReport(SystemKind system, const std::string& dataset,
+                       const Status& status) {
+  RunReport report;
+  report.system = SystemName(system);
+  report.dataset = dataset;
+  report.failed = true;
+  report.failure = status.ToString();
+  return report;
+}
 
 size_t SparseBytes(uint64_t num_arcs) {
   // col_list (4B) + nnz_list (4B) per stored element.
@@ -64,9 +76,11 @@ DenseStageModel EstimateDenseStage(uint64_t num_nodes,
   return model;
 }
 
-double DenseStageSeconds(memsim::MemorySystem* ms, memsim::Placement p,
-                         uint64_t bytes, uint64_t flops, int threads,
+double DenseStageSeconds(const exec::Context& ctx, memsim::Placement p,
+                         uint64_t bytes, uint64_t flops,
                          double flops_rate_multiplier) {
+  memsim::MemorySystem* ms = ctx.ms();
+  const int threads = ctx.threads();
   const uint64_t per_thread_bytes = bytes / std::max(1, threads);
   const double read = ms->AccessSeconds(p, 0, memsim::MemOp::kRead,
                                         memsim::Pattern::kSequential,
@@ -80,14 +94,15 @@ double DenseStageSeconds(memsim::MemorySystem* ms, memsim::Placement p,
   return read + write + compute;
 }
 
-double SimulatedGraphReadSeconds(memsim::MemorySystem* ms, GraphFormat format,
-                                 uint64_t num_arcs, uint64_t num_nodes,
-                                 int threads) {
+double SimulatedGraphReadSeconds(const exec::Context& ctx, GraphFormat format,
+                                 uint64_t num_arcs, uint64_t num_nodes) {
   // Parse: the edge-list file (about 16 text bytes per arc) streams from SSD.
   // Build: both formats write the col/val payload sequentially; CSR
   // additionally scatters per-row counters across its O(|V|) row-pointer
   // array while bucketing edges, whereas CSDB's block metadata is
   // O(|degrees|) and stays cache-resident. This is the Fig. 19a difference.
+  memsim::MemorySystem* ms = ctx.ms();
+  const int threads = ctx.threads();
   const memsim::Placement ssd{memsim::Tier::kSsd, 0};
   const memsim::Placement pm{memsim::Tier::kPm, memsim::Placement::kInterleaved};
   const memsim::Placement dram{memsim::Tier::kDram, memsim::Placement::kInterleaved};
@@ -124,20 +139,31 @@ namespace {
 // where data lives.
 Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& dataset,
                                  const EngineOptions& options,
-                                 memsim::MemorySystem* ms, ThreadPool* pool) {
+                                 const exec::Context& outer_ctx) {
   using memsim::Placement;
   using memsim::Tier;
-  const int threads = options.num_threads;
+  memsim::MemorySystem* ms = outer_ctx.ms();
   ms->ResetTraffic();
+
+  // The run records its phases into a local recorder that becomes
+  // report.phases; RunEmbedding forwards them to any outer recorder.
+  exec::TraceRecorder recorder;
+  const exec::Context ctx =
+      outer_ctx.WithThreads(options.num_threads).WithTrace(&recorder);
+  const int threads = ctx.threads();
 
   RunReport report;
   report.system = SystemName(options.system);
   report.dataset = dataset;
 
   const graph::CsdbMatrix adjacency = graph::CsdbMatrix::FromGraph(g);
-  report.read_seconds = SimulatedGraphReadSeconds(ms, GraphFormat::kCsdb,
-                                                  g.num_arcs(), g.num_nodes(),
-                                                  threads);
+  {
+    exec::PhaseSpan read_span(ctx, "read");
+    report.read_seconds =
+        SimulatedGraphReadSeconds(ctx, GraphFormat::kCsdb, g.num_arcs(),
+                                  g.num_nodes());
+    read_span.AddSimSeconds(report.read_seconds);
+  }
 
   // --- Placement decisions + capacity reservations ---------------------------
   // Two sparse structures are live at peak: the adjacency plus either the
@@ -216,12 +242,20 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
   }
 
   // --- The charged SpMM executor handed to the embedder ----------------------
+  embed::ProneOptions prone = options.prone;
+  internal::StageTracker stages;
+  stages.Attach(&prone);
+  double wofp_build_seconds = 0.0;
+
   embed::SpmmExecutor executor =
       [&](const graph::CsdbMatrix& m, const linalg::DenseMatrix& in,
           linalg::DenseMatrix* out) -> Result<double> {
+    exec::PhaseSpan span(ctx, stages.NextSpmmName());
     *out = linalg::DenseMatrix(m.num_rows(), in.cols());
     if (!stream_dense) {
-      const numa::NadpResult r = numa::NadpSpmm(m, in, out, nadp, ms, pool);
+      const numa::NadpResult r = numa::NadpSpmm(m, in, out, nadp, ctx);
+      wofp_build_seconds += r.wofp_build_seconds;
+      span.AddSimSeconds(r.phase_seconds);
       return r.phase_seconds;
     }
     // ASL: stream the dense operand's column partitions PM -> DRAM and
@@ -233,21 +267,35 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
     cfg.sparse_bytes = sparse_bytes;
     cfg.dram_budget = asl_dram_budget + sparse_bytes +
                       2 * cfg.dense_rows * cfg.dense_cols * sizeof(float);
-    stream::AslStreamer streamer(ms, cfg, interleave_pm, interleave_dram);
+    stream::AslStreamer streamer(ctx, cfg, interleave_pm, interleave_dram);
     auto run = streamer.Run([&](size_t, size_t col_begin, size_t col_end) {
       const numa::NadpResult r =
-          numa::NadpSpmm(m, in, out, nadp, ms, pool, col_begin, col_end);
+          numa::NadpSpmm(m, in, out, nadp, ctx, col_begin, col_end);
+      wofp_build_seconds += r.wofp_build_seconds;
       return r.phase_seconds;
     });
     if (!run.ok()) return run.status();
     // Without ASL the same partition loads happen synchronously: nothing is
     // hidden behind compute.
-    return options.features.use_asl ? run.value().total_seconds
-                                    : run.value().serial_seconds;
+    const double seconds = options.features.use_asl
+                               ? run.value().total_seconds
+                               : run.value().serial_seconds;
+    span.AddSimSeconds(seconds);
+    return seconds;
   };
 
   OMEGA_ASSIGN_OR_RETURN(embed::EmbeddingResult emb,
-                         embed::ProneEmbed(adjacency, options.prone, executor));
+                         embed::ProneEmbed(adjacency, prone, executor));
+
+  // WoFP warm-up runs concurrently inside each SpMM's workers; its straggler
+  // seconds are already contained in the SpMM phases, so it is an aux record.
+  if (wofp_build_seconds > 0.0) {
+    exec::PhaseRecord warmup;
+    warmup.name = "wofp_build";
+    warmup.sim_seconds = wofp_build_seconds;
+    warmup.aux = true;
+    recorder.Record(std::move(warmup));
+  }
 
   // Dense-algebra stages run where the dense working set lives: DRAM for the
   // ideal, PM for the worst baseline, and the staged DRAM window (plus the
@@ -256,31 +304,43 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
       EstimateDenseStage(g.num_nodes(), options.prone);
   double dense_tsvd = 0.0;
   double dense_cheb = 0.0;
-  if (options.system == SystemKind::kOmegaPm) {
-    dense_tsvd = DenseStageSeconds(ms, interleave_pm, dense_model.tsvd_bytes,
-                                   dense_model.tsvd_flops, threads);
-    dense_cheb = DenseStageSeconds(ms, interleave_pm, dense_model.cheb_bytes,
-                                   dense_model.cheb_flops, threads);
-  } else if (options.system == SystemKind::kOmegaDram) {
-    dense_tsvd = DenseStageSeconds(ms, interleave_dram, dense_model.tsvd_bytes,
-                                   dense_model.tsvd_flops, threads);
-    dense_cheb = DenseStageSeconds(ms, interleave_dram, dense_model.cheb_bytes,
-                                   dense_model.cheb_flops, threads);
-  } else {
-    // kOmega: ops on the DRAM window + one PM stream in/out of each block.
-    const uint64_t l = options.prone.dim + options.prone.oversample;
-    const uint64_t stage_tsvd =
-        2 * g.num_nodes() * l * sizeof(float) *
-        (2 + 2 * static_cast<uint64_t>(options.prone.power_iterations));
-    const uint64_t stage_cheb = 2 * g.num_nodes() * options.prone.dim *
-                                sizeof(float) *
-                                static_cast<uint64_t>(options.prone.chebyshev_order);
-    dense_tsvd = DenseStageSeconds(ms, interleave_dram, dense_model.tsvd_bytes,
-                                   dense_model.tsvd_flops, threads) +
-                 DenseStageSeconds(ms, interleave_pm, stage_tsvd, 0, threads);
-    dense_cheb = DenseStageSeconds(ms, interleave_dram, dense_model.cheb_bytes,
-                                   dense_model.cheb_flops, threads) +
-                 DenseStageSeconds(ms, interleave_pm, stage_cheb, 0, threads);
+  {
+    exec::PhaseSpan tsvd_span(ctx, "factorize.dense");
+    if (options.system == SystemKind::kOmegaPm) {
+      dense_tsvd = DenseStageSeconds(ctx, interleave_pm, dense_model.tsvd_bytes,
+                                     dense_model.tsvd_flops);
+    } else if (options.system == SystemKind::kOmegaDram) {
+      dense_tsvd = DenseStageSeconds(ctx, interleave_dram, dense_model.tsvd_bytes,
+                                     dense_model.tsvd_flops);
+    } else {
+      // kOmega: ops on the DRAM window + one PM stream in/out of each block.
+      const uint64_t l = options.prone.dim + options.prone.oversample;
+      const uint64_t stage_tsvd =
+          2 * g.num_nodes() * l * sizeof(float) *
+          (2 + 2 * static_cast<uint64_t>(options.prone.power_iterations));
+      dense_tsvd = DenseStageSeconds(ctx, interleave_dram, dense_model.tsvd_bytes,
+                                     dense_model.tsvd_flops) +
+                   DenseStageSeconds(ctx, interleave_pm, stage_tsvd, 0);
+    }
+    tsvd_span.AddSimSeconds(dense_tsvd);
+  }
+  {
+    exec::PhaseSpan cheb_span(ctx, "propagate.dense");
+    if (options.system == SystemKind::kOmegaPm) {
+      dense_cheb = DenseStageSeconds(ctx, interleave_pm, dense_model.cheb_bytes,
+                                     dense_model.cheb_flops);
+    } else if (options.system == SystemKind::kOmegaDram) {
+      dense_cheb = DenseStageSeconds(ctx, interleave_dram, dense_model.cheb_bytes,
+                                     dense_model.cheb_flops);
+    } else {
+      const uint64_t stage_cheb =
+          2 * g.num_nodes() * options.prone.dim * sizeof(float) *
+          static_cast<uint64_t>(options.prone.chebyshev_order);
+      dense_cheb = DenseStageSeconds(ctx, interleave_dram, dense_model.cheb_bytes,
+                                     dense_model.cheb_flops) +
+                   DenseStageSeconds(ctx, interleave_pm, stage_cheb, 0);
+    }
+    cheb_span.AddSimSeconds(dense_cheb);
   }
 
   report.factorize_seconds = emb.factorize_seconds + dense_tsvd;
@@ -289,6 +349,7 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
   report.total_seconds = report.read_seconds + report.embed_seconds;
   report.remote_fraction = ms->Traffic().RemoteFraction();
   report.embedding = emb.ToOriginalOrder();
+  report.phases = recorder.TakeRecords();
 
   if (options.evaluate_quality) {
     OMEGA_ASSIGN_OR_RETURN(double auc,
@@ -304,25 +365,36 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
 
 Result<RunReport> RunEmbedding(const graph::Graph& g, const std::string& dataset,
                                const EngineOptions& options,
-                               memsim::MemorySystem* ms, ThreadPool* pool) {
-  OMEGA_CHECK(pool->size() >= static_cast<size_t>(options.num_threads))
+                               const exec::Context& ctx) {
+  OMEGA_CHECK(ctx.pool() == nullptr ||
+              ctx.pool()->size() >= static_cast<size_t>(options.num_threads))
       << "thread pool too small for engine options";
-  switch (options.system) {
-    case SystemKind::kOmega:
-    case SystemKind::kOmegaDram:
-    case SystemKind::kOmegaPm:
-      return RunOmegaFamily(g, dataset, options, ms, pool);
-    case SystemKind::kProneDram:
-    case SystemKind::kProneHm:
-      return RunProneFamily(g, dataset, options, ms, pool);
-    case SystemKind::kGinex:
-    case SystemKind::kMariusGnn:
-      return RunOutOfCoreFamily(g, dataset, options, ms, pool);
-    case SystemKind::kDistGer:
-    case SystemKind::kDistDgl:
-      return RunDistributedFamily(g, dataset, options, ms);
+  auto run = [&]() -> Result<RunReport> {
+    switch (options.system) {
+      case SystemKind::kOmega:
+      case SystemKind::kOmegaDram:
+      case SystemKind::kOmegaPm:
+        return RunOmegaFamily(g, dataset, options, ctx);
+      case SystemKind::kProneDram:
+      case SystemKind::kProneHm:
+        return RunProneFamily(g, dataset, options, ctx);
+      case SystemKind::kGinex:
+      case SystemKind::kMariusGnn:
+        return RunOutOfCoreFamily(g, dataset, options, ctx);
+      case SystemKind::kDistGer:
+      case SystemKind::kDistDgl:
+        return RunDistributedFamily(g, dataset, options, ctx);
+    }
+    return Status::InvalidArgument("unknown system kind");
+  };
+  Result<RunReport> result = run();
+  // Forward the run's phases to any recorder attached by the caller.
+  if (result.ok() && ctx.trace() != nullptr) {
+    for (const exec::PhaseRecord& r : result.value().phases) {
+      ctx.trace()->Record(r);
+    }
   }
-  return Status::InvalidArgument("unknown system kind");
+  return result;
 }
 
 }  // namespace omega::engine

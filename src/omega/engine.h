@@ -11,11 +11,12 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
-#include "common/thread_pool.h"
 #include "graph/graph.h"
 #include "memsim/memory_system.h"
+#include "omega/exec_context.h"
 #include "omega/options.h"
 
 namespace omega::engine {
@@ -30,14 +31,14 @@ class Reservation {
                                   memsim::Placement placement, size_t bytes);
 
   Reservation() = default;
-  ~Reservation();
+  ~Reservation() { Release(); }
 
   Reservation(const Reservation&) = delete;
   Reservation& operator=(const Reservation&) = delete;
   Reservation(Reservation&& other) noexcept { *this = std::move(other); }
   Reservation& operator=(Reservation&& other) noexcept {
     if (this != &other) {
-      this->~Reservation();
+      Release();
       ms_ = other.ms_;
       placement_ = other.placement_;
       bytes_ = other.bytes_;
@@ -48,9 +49,35 @@ class Reservation {
   }
 
  private:
+  /// Returns the reserved capacity and resets to the empty state.
+  void Release();
+
   memsim::MemorySystem* ms_ = nullptr;
   memsim::Placement placement_;
   size_t bytes_ = 0;
+};
+
+/// Labels the engines' per-SpMM trace spans "<stage>.spmm.<k>" by listening
+/// to ProneEmbed's stage notifications. Must outlive the ProneEmbed call.
+class StageTracker {
+ public:
+  /// Installs this tracker as `prone->stage_notifier`.
+  void Attach(embed::ProneOptions* prone) {
+    prone->stage_notifier = [this](const char* stage) {
+      stage_ = stage;
+      index_ = 0;
+    };
+  }
+
+  std::string NextSpmmName() {
+    return stage_ + ".spmm." + std::to_string(index_++);
+  }
+
+  const std::string& stage() const { return stage_; }
+
+ private:
+  std::string stage_ = "factorize";
+  int index_ = 0;
 };
 
 }  // namespace internal
@@ -69,23 +96,38 @@ struct RunReport {
   double remote_fraction = 0.0;    ///< of DRAM+PM traffic (VTune analogue)
   std::optional<double> link_auc;  ///< when options.evaluate_quality
 
+  /// Failed runs (OOM / "does not terminate" cells): set by the harnesses
+  /// when RunEmbedding returns a non-OK status, so tables and JSON can carry
+  /// the cell through.
+  bool failed = false;
+  std::string failure;
+
+  /// Per-phase attribution (see exec::PhaseSpan). Non-aux phase sim_seconds
+  /// sum to total_seconds; the scalar fields above are the per-stage sums of
+  /// these records.
+  std::vector<exec::PhaseRecord> phases;
+
   linalg::DenseMatrix embedding;   ///< original node order; empty for the
                                    ///< distributed analogues
 };
 
+/// A report carrying a failed cell (the run itself produced no timings).
+RunReport FailedReport(SystemKind system, const std::string& dataset,
+                       const Status& status);
+
 /// Runs `options.system` on `g`. The MemorySystem's capacity accounting and
-/// traffic counters are used (and reset) by the run; the pool must have at
-/// least options.num_threads workers.
+/// traffic counters are used (and reset) by the run; the context's pool must
+/// have at least options.num_threads workers. The run's phases are recorded
+/// into report.phases (and also into ctx.trace() if one is attached).
 Result<RunReport> RunEmbedding(const graph::Graph& g, const std::string& dataset,
                                const EngineOptions& options,
-                               memsim::MemorySystem* ms, ThreadPool* pool);
+                               const exec::Context& ctx);
 
 /// Simulated seconds to parse an edge list and construct the given format —
-/// the "graph reading procedure" of Fig. 19a.
+/// the "graph reading procedure" of Fig. 19a. Uses ctx.threads() workers.
 enum class GraphFormat { kCsr, kCsdb };
-double SimulatedGraphReadSeconds(memsim::MemorySystem* ms, GraphFormat format,
-                                 uint64_t num_arcs, uint64_t num_nodes,
-                                 int threads);
+double SimulatedGraphReadSeconds(const exec::Context& ctx, GraphFormat format,
+                                 uint64_t num_arcs, uint64_t num_nodes);
 
 /// Estimated peak dense-matrix working set of the ProNE pipeline in bytes
 /// (tSVD temporaries vs Chebyshev recurrence, whichever is larger).
@@ -108,10 +150,10 @@ DenseStageModel EstimateDenseStage(uint64_t num_nodes,
                                    const embed::ProneOptions& prone);
 
 /// Simulated seconds for `bytes` of streaming dense-op traffic (half read,
-/// half write) plus `flops`, spread over `threads` cores against tier `p`.
+/// half write) plus `flops`, spread over ctx.threads() cores against tier `p`.
 /// `flops_rate_multiplier` models accelerator arithmetic (GPU baselines).
-double DenseStageSeconds(memsim::MemorySystem* ms, memsim::Placement p,
-                         uint64_t bytes, uint64_t flops, int threads,
+double DenseStageSeconds(const exec::Context& ctx, memsim::Placement p,
+                         uint64_t bytes, uint64_t flops,
                          double flops_rate_multiplier = 1.0);
 
 }  // namespace omega::engine

@@ -1,0 +1,124 @@
+// Execution context + per-phase trace/attribution layer.
+//
+// Every engine and parallel-kernel entry point used to hand-thread the same
+// (MemorySystem*, ThreadPool*, int threads) triple. exec::Context bundles the
+// three — plus an optional TraceRecorder sink — so a call chain carries one
+// object, and any layer can open a PhaseSpan to attribute the simulated
+// seconds and per-tier traffic of the code it brackets.
+//
+// PhaseSpan is the RAII tracer: construction snapshots the MemorySystem's
+// global traffic counters and the wall clock; destruction (or Finish())
+// subtracts the snapshots and appends a PhaseRecord{name, sim seconds,
+// traffic delta, remote fraction} to the recorder. Simulated seconds cannot
+// be observed from a global clock (each phase computes them analytically or
+// as a straggler max), so the code inside the span reports them via
+// AddSimSeconds().
+//
+// Span semantics:
+//  - Spans may nest; an outer span's traffic delta includes its inner spans'.
+//  - `aux` records mark phases whose simulated time is already contained in a
+//    sibling/parent phase (e.g. WoFP store construction inside an SpMM);
+//    consumers summing phase times to a total must skip them.
+//  - Sibling spans that together bracket all charged code partition the
+//    global traffic: the sum of their deltas equals the global snapshot.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "memsim/memory_system.h"
+
+namespace omega::exec {
+
+/// One attributed phase of a run.
+struct PhaseRecord {
+  std::string name;
+  double sim_seconds = 0.0;   ///< simulated duration reported by the phase
+  double wall_seconds = 0.0;  ///< host wall time spent inside the span
+  bool aux = false;           ///< time already contained in another phase
+
+  memsim::TrafficSnapshot traffic;  ///< counter delta over the span
+  double remote_fraction = 0.0;     ///< RemoteFraction() of the delta
+
+  uint64_t TierBytes(memsim::Tier t) const { return traffic.TierBytes(t); }
+  uint64_t TotalBytes() const { return traffic.TotalBytes(); }
+};
+
+/// Thread-safe append-only sink of PhaseRecords for one run.
+class TraceRecorder {
+ public:
+  void Record(PhaseRecord record);
+
+  /// Moves the accumulated records out, leaving the recorder empty.
+  std::vector<PhaseRecord> TakeRecords();
+
+  /// Copy of the records accumulated so far.
+  std::vector<PhaseRecord> Records() const;
+
+  void Clear();
+
+  /// Sum of non-aux phase seconds (aux phases are contained in other phases).
+  double TotalSimSeconds() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PhaseRecord> records_;
+};
+
+/// Bundled execution plumbing: the simulated machine, the worker pool, the
+/// resolved thread count, and the trace sink. Cheap to copy (four pointers).
+class Context {
+ public:
+  /// `threads` <= 0 resolves to the pool's size (or 1 without a pool).
+  /// `pool` may be null for call chains that only charge analytic costs.
+  Context(memsim::MemorySystem* ms, ThreadPool* pool = nullptr, int threads = 0,
+          TraceRecorder* trace = nullptr);
+
+  memsim::MemorySystem* ms() const { return ms_; }
+  ThreadPool* pool() const { return pool_; }
+  int threads() const { return threads_; }
+  TraceRecorder* trace() const { return trace_; }
+
+  /// Same plumbing with a different resolved thread count / trace sink.
+  Context WithThreads(int threads) const;
+  Context WithTrace(TraceRecorder* trace) const;
+
+ private:
+  memsim::MemorySystem* ms_;
+  ThreadPool* pool_;
+  int threads_;
+  TraceRecorder* trace_;
+};
+
+/// Scoped phase tracer (see file comment). With a null recorder the span is
+/// inert apart from accumulating sim seconds.
+class PhaseSpan {
+ public:
+  PhaseSpan(const Context& ctx, std::string name, bool aux = false);
+  ~PhaseSpan();
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  /// Accumulates simulated seconds attributed to this phase.
+  void AddSimSeconds(double seconds) { sim_seconds_ += seconds; }
+  double sim_seconds() const { return sim_seconds_; }
+
+  /// Records the phase now (the destructor then does nothing).
+  void Finish();
+
+ private:
+  const Context ctx_;
+  std::string name_;
+  bool aux_;
+  bool finished_ = false;
+  double sim_seconds_ = 0.0;
+  double wall_start_ = 0.0;
+  memsim::TrafficSnapshot traffic_start_;
+};
+
+}  // namespace omega::exec

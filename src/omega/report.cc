@@ -66,4 +66,104 @@ double GeometricMean(const std::vector<double>& values) {
   return count > 0 ? std::exp(log_sum / count) : 0.0;
 }
 
+namespace {
+
+// Minimal JSON building blocks. Only what RunReport needs: escaped strings,
+// round-trippable doubles, bools, u64, and manual object/array punctuation.
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JsonU64(uint64_t v) { return std::to_string(v); }
+
+std::string PhaseToJson(const exec::PhaseRecord& p, const std::string& indent) {
+  using memsim::Locality;
+  using memsim::Tier;
+  std::string out = indent + "{\n";
+  const std::string in = indent + "  ";
+  out += in + "\"name\": " + JsonString(p.name) + ",\n";
+  out += in + "\"sim_seconds\": " + JsonDouble(p.sim_seconds) + ",\n";
+  out += in + "\"wall_seconds\": " + JsonDouble(p.wall_seconds) + ",\n";
+  out += in + "\"aux\": " + (p.aux ? "true" : "false") + ",\n";
+  out += in + "\"bytes\": {";
+  for (int t = 0; t < memsim::kNumTiers; ++t) {
+    const Tier tier = static_cast<Tier>(t);
+    out += std::string(t == 0 ? "" : ", ") + JsonString(TierName(tier)) + ": " +
+           JsonU64(p.TierBytes(tier));
+  }
+  out += "},\n";
+  out += in + "\"total_bytes\": " + JsonU64(p.TotalBytes()) + ",\n";
+  out += in + "\"local_bytes\": " +
+         JsonU64(p.traffic.LocalityBytes(Locality::kLocal)) + ",\n";
+  out += in + "\"remote_bytes\": " +
+         JsonU64(p.traffic.LocalityBytes(Locality::kRemote)) + ",\n";
+  out += in + "\"remote_fraction\": " + JsonDouble(p.remote_fraction) + "\n";
+  out += indent + "}";
+  return out;
+}
+
+}  // namespace
+
+std::string ReportToJson(const RunReport& report) {
+  std::string out = "{\n";
+  out += "  \"system\": " + JsonString(report.system) + ",\n";
+  out += "  \"dataset\": " + JsonString(report.dataset) + ",\n";
+  out += "  \"failed\": " + std::string(report.failed ? "true" : "false") + ",\n";
+  if (report.failed) {
+    out += "  \"failure\": " + JsonString(report.failure) + ",\n";
+  }
+  out += "  \"read_seconds\": " + JsonDouble(report.read_seconds) + ",\n";
+  out += "  \"factorize_seconds\": " + JsonDouble(report.factorize_seconds) + ",\n";
+  out += "  \"propagate_seconds\": " + JsonDouble(report.propagate_seconds) + ",\n";
+  out += "  \"embed_seconds\": " + JsonDouble(report.embed_seconds) + ",\n";
+  out += "  \"total_seconds\": " + JsonDouble(report.total_seconds) + ",\n";
+  out += "  \"remote_fraction\": " + JsonDouble(report.remote_fraction) + ",\n";
+  out += "  \"link_auc\": " +
+         (report.link_auc.has_value() ? JsonDouble(*report.link_auc)
+                                      : std::string("null")) +
+         ",\n";
+  out += "  \"phases\": [";
+  for (size_t i = 0; i < report.phases.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n") + PhaseToJson(report.phases[i], "    ");
+  }
+  out += report.phases.empty() ? "]\n" : "\n  ]\n";
+  out += "}";
+  return out;
+}
+
+std::string ReportsToJson(const std::vector<RunReport>& reports) {
+  std::string out = "[";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n") + ReportToJson(reports[i]);
+  }
+  out += reports.empty() ? "]" : "\n]";
+  return out;
+}
+
 }  // namespace omega::engine

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "omega/engine.h"
+
 namespace omega::engine {
 
 /// Minimal aligned-column table printer.
@@ -32,5 +34,14 @@ void PrintExperimentHeader(const std::string& id, const std::string& description
 
 /// Geometric mean of positive ratios (used for "average speedup" claims).
 double GeometricMean(const std::vector<double>& values);
+
+/// Dependency-free JSON serialization of one RunReport: scalar timings,
+/// remote fraction, link AUC (null when absent), failed/failure, and the
+/// phases array with per-tier byte counts and per-phase remote fractions.
+/// Doubles are emitted with %.17g so the values round-trip exactly.
+std::string ReportToJson(const RunReport& report);
+
+/// JSON array of reports (one run per element).
+std::string ReportsToJson(const std::vector<RunReport>& reports);
 
 }  // namespace omega::engine

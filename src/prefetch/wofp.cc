@@ -123,11 +123,11 @@ WofpPrefetcher::~WofpPrefetcher() {
 
 WofpCacheSet::WofpCacheSet(const graph::CsdbMatrix& a,
                            std::vector<sched::Workload> workloads,
-                           WofpOptions options, memsim::MemorySystem* ms)
+                           WofpOptions options, const exec::Context& ctx)
     : a_(a),
       workloads_(std::move(workloads)),
       options_(options),
-      ms_(ms),
+      ms_(ctx.ms()),
       in_degrees_(ComputeInDegrees(a)),
       caches_(workloads_.size()) {}
 

@@ -16,6 +16,7 @@
 
 #include "graph/csdb.h"
 #include "memsim/memory_system.h"
+#include "omega/exec_context.h"
 #include "prefetch/topm_store.h"
 #include "sched/workload.h"
 #include "sparse/spmm.h"
@@ -93,7 +94,7 @@ PrefetcherType SelectPrefetcherType(const sched::Workload& w, uint32_t num_nodes
 class WofpCacheSet {
  public:
   WofpCacheSet(const graph::CsdbMatrix& a, std::vector<sched::Workload> workloads,
-               WofpOptions options, memsim::MemorySystem* ms);
+               WofpOptions options, const exec::Context& ctx);
 
   /// Factory for sparse::ParallelSpmm. Builds lazily on the worker thread so
   /// construction cost lands on the right simulated clock.

@@ -11,10 +11,9 @@
 #pragma once
 
 #include "common/status.h"
-#include "common/thread_pool.h"
 #include "graph/csr.h"
 #include "linalg/dense_matrix.h"
-#include "memsim/memory_system.h"
+#include "omega/exec_context.h"
 #include "sparse/spmm.h"
 
 namespace omega::sparse {
@@ -29,6 +28,6 @@ Result<ParallelSpmmResult> FusedMmSpmm(const graph::CsrMatrix& a,
                                        const linalg::DenseMatrix& b,
                                        linalg::DenseMatrix* c,
                                        const FusedMmOptions& options,
-                                       memsim::MemorySystem* ms, ThreadPool* pool);
+                                       const exec::Context& ctx);
 
 }  // namespace omega::sparse

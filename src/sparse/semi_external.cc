@@ -16,9 +16,11 @@ ParallelSpmmResult SemiExternalSpmm(const graph::CsrMatrix& a,
                                     const linalg::DenseMatrix& b,
                                     linalg::DenseMatrix* c,
                                     const SemiExternalOptions& options,
-                                    memsim::MemorySystem* ms, ThreadPool* pool) {
+                                    const exec::Context& ctx_in) {
+  memsim::MemorySystem* ms = ctx_in.ms();
+  ThreadPool* pool = ctx_in.pool();
   const int threads = options.num_threads;
-  OMEGA_CHECK(pool->size() >= static_cast<size_t>(threads));
+  OMEGA_CHECK(pool != nullptr && pool->size() >= static_cast<size_t>(threads));
   OMEGA_CHECK(c->rows() == a.num_rows() && c->cols() == b.cols());
 
   // Fraction of dense gathers that miss the DRAM-resident portion.

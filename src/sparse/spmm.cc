@@ -234,10 +234,13 @@ ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
                                 linalg::DenseMatrix* c,
                                 const std::vector<sched::Workload>& workloads,
                                 const SpmmPlacements& placements,
-                                memsim::MemorySystem* ms, ThreadPool* pool,
+                                const exec::Context& ctx,
                                 const CacheFactory& cache_factory) {
+  memsim::MemorySystem* ms = ctx.ms();
+  ThreadPool* pool = ctx.pool();
   const size_t n = workloads.size();
-  OMEGA_CHECK(pool->size() >= n) << "thread pool smaller than workload count";
+  OMEGA_CHECK(pool != nullptr && pool->size() >= n)
+      << "thread pool smaller than workload count";
 
   ParallelSpmmResult result;
   result.thread_seconds.assign(n, 0.0);

@@ -29,6 +29,7 @@
 #include "graph/csr.h"
 #include "linalg/dense_matrix.h"
 #include "memsim/memory_system.h"
+#include "omega/exec_context.h"
 #include "sched/workload.h"
 
 namespace omega::sparse {
@@ -131,13 +132,14 @@ using CacheFactory = std::function<const DenseCacheView*(memsim::WorkerCtx* ctx,
                                                          const sched::Workload& w)>;
 
 /// Runs one SpMM A (CSDB) x B -> C with one worker per workload. Worker w is
-/// bound to the socket given by the machine topology's block assignment.
+/// bound to the socket given by the machine topology's block assignment. The
+/// context must carry a pool with at least workloads.size() workers.
 ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
                                 const linalg::DenseMatrix& b,
                                 linalg::DenseMatrix* c,
                                 const std::vector<sched::Workload>& workloads,
                                 const SpmmPlacements& placements,
-                                memsim::MemorySystem* ms, ThreadPool* pool,
+                                const exec::Context& ctx,
                                 const CacheFactory& cache_factory = nullptr);
 
 }  // namespace omega::sparse

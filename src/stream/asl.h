@@ -18,6 +18,7 @@
 
 #include "common/status.h"
 #include "memsim/memory_system.h"
+#include "omega/exec_context.h"
 
 namespace omega::stream {
 
@@ -61,10 +62,12 @@ struct AslRunResult {
 class AslStreamer {
  public:
   /// Streams from `pm_home` to `dram_home`; the loader runs on one simulated
-  /// background thread per pass.
-  AslStreamer(memsim::MemorySystem* ms, AslConfig config, memsim::Placement pm_home,
+  /// background thread per pass. When the context carries a TraceRecorder,
+  /// Run() records an aux "asl.load" phase for the staging traffic (its
+  /// pipelined time is contained in the caller's SpMM phase).
+  AslStreamer(const exec::Context& ctx, AslConfig config, memsim::Placement pm_home,
               memsim::Placement dram_home)
-      : ms_(ms), config_(config), pm_home_(pm_home), dram_home_(dram_home) {}
+      : ctx_(ctx), config_(config), pm_home_(pm_home), dram_home_(dram_home) {}
 
   /// Simulated seconds to copy one partition PM -> DRAM.
   double LoadSeconds(size_t col_begin, size_t col_end) const;
@@ -76,7 +79,7 @@ class AslStreamer {
       const std::function<double(size_t, size_t, size_t)>& compute_fn);
 
  private:
-  memsim::MemorySystem* ms_;
+  exec::Context ctx_;
   AslConfig config_;
   memsim::Placement pm_home_;
   memsim::Placement dram_home_;

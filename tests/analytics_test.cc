@@ -206,7 +206,7 @@ TEST_F(GnnTest, RunsOnChargedOmegaKernels) {
     *out = linalg::DenseMatrix(m.num_rows(), in.cols());
     numa::NadpOptions opts;
     opts.num_threads = 4;
-    return numa::NadpSpmm(m, in, out, opts, ms.get(), &pool).phase_seconds;
+    return numa::NadpSpmm(m, in, out, opts, exec::Context(ms.get(), &pool)).phase_seconds;
   };
   embed::GnnOptions opts;
   auto charged_result =

@@ -91,7 +91,7 @@ TEST_P(ShapeTest, SpmmCorrectUnderEveryAllocator) {
     opts.num_threads = 4;
     linalg::DenseMatrix c(m.num_rows(), 4);
     sparse::ParallelSpmm(m, b, &c, sched::Allocate(m, kind, opts),
-                         sparse::SpmmPlacements{}, ms.get(), &pool);
+                         sparse::SpmmPlacements{}, exec::Context(ms.get(), &pool));
     ASSERT_LT(linalg::DenseMatrix::MaxAbsDiff(c, expected), 1e-4)
         << GetParam() << "/" << sched::AllocatorName(kind);
   }
@@ -194,7 +194,7 @@ TEST(TinyGraphTest, EngineRejectsDimLargerThanGraph) {
   opts.system = engine::SystemKind::kOmega;
   opts.num_threads = 2;
   opts.prone.dim = 16;  // dim + oversample > 8 nodes
-  const auto report = engine::RunEmbedding(g, "tiny", opts, ms.get(), &pool);
+  const auto report = engine::RunEmbedding(g, "tiny", opts, exec::Context(ms.get(), &pool));
   ASSERT_FALSE(report.ok());
   EXPECT_TRUE(report.status().IsInvalidArgument());
 }
@@ -250,7 +250,7 @@ TEST(CapacityPressureTest, EngineFailsCleanlyAndReleasesOnPartialReserve) {
   opts.num_threads = 4;
   opts.prone.dim = 8;
   opts.prone.oversample = 4;
-  const auto report = engine::RunEmbedding(g, "full", opts, ms.get(), &pool);
+  const auto report = engine::RunEmbedding(g, "full", opts, exec::Context(ms.get(), &pool));
   ASSERT_FALSE(report.ok());
   EXPECT_TRUE(report.status().IsCapacityExceeded());
   EXPECT_EQ(ms->UsedBytes(memsim::Tier::kPm, 0), cap - 1024);
@@ -271,7 +271,8 @@ TEST(AslEdgeTest, SinglePartitionWhenBudgetIsHuge) {
   const auto n = stream::OptimalPartitions(cfg);
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(n.value(), 1u);
-  stream::AslStreamer streamer(ms.get(), cfg, {memsim::Tier::kPm, 0},
+  stream::AslStreamer streamer(exec::Context(ms.get()), cfg,
+                               {memsim::Tier::kPm, 0},
                                {memsim::Tier::kDram, 0});
   int calls = 0;
   auto run = streamer.Run([&](size_t, size_t b, size_t e) {
@@ -309,7 +310,7 @@ TEST(NadpEdgeTest, SingleThreadSingleSocketStillCorrect) {
   numa::NadpOptions opts;
   opts.num_threads = 1;
   linalg::DenseMatrix c(m.num_rows(), 4);
-  numa::NadpSpmm(m, b, &c, opts, &one_socket, &pool);
+  numa::NadpSpmm(m, b, &c, opts, exec::Context(&one_socket, &pool));
   EXPECT_LT(linalg::DenseMatrix::MaxAbsDiff(c, expected), 1e-4);
 }
 

@@ -36,7 +36,7 @@ class EngineTest : public ::testing::Test {
   }
 
   Result<RunReport> Run(SystemKind kind) {
-    return RunEmbedding(*g_, "test", Options(kind), ms_.get(), pool_.get());
+    return RunEmbedding(*g_, "test", Options(kind), exec::Context(ms_.get(), pool_.get()));
   }
 
   std::unique_ptr<graph::Graph> g_;
@@ -105,7 +105,7 @@ TEST_F(EngineTest, QualityEvaluationProducesAuc) {
   EngineOptions opts = Options(SystemKind::kOmega);
   opts.evaluate_quality = true;
   opts.quality_samples = 300;
-  auto report = RunEmbedding(*g_, "test", opts, ms_.get(), pool_.get());
+  auto report = RunEmbedding(*g_, "test", opts, exec::Context(ms_.get(), pool_.get()));
   ASSERT_TRUE(report.ok());
   ASSERT_TRUE(report.value().link_auc.has_value());
   EXPECT_GT(*report.value().link_auc, 0.55);
@@ -120,12 +120,12 @@ TEST_F(EngineTest, DramOnlySystemsOomOnLargeGraphs) {
   EngineOptions opts = Options(SystemKind::kOmegaDram);
   opts.prone.dim = 32;
   opts.prone.oversample = 8;
-  auto dram = RunEmbedding(big, "big", opts, ms_.get(), pool_.get());
+  auto dram = RunEmbedding(big, "big", opts, exec::Context(ms_.get(), pool_.get()));
   ASSERT_FALSE(dram.ok());
   EXPECT_TRUE(dram.status().IsCapacityExceeded());
 
   opts.system = SystemKind::kProneDram;
-  auto prone = RunEmbedding(big, "big", opts, ms_.get(), pool_.get());
+  auto prone = RunEmbedding(big, "big", opts, exec::Context(ms_.get(), pool_.get()));
   ASSERT_FALSE(prone.ok());
   EXPECT_TRUE(prone.status().IsCapacityExceeded());
 }
@@ -146,11 +146,11 @@ TEST_F(EngineTest, FeatureTogglesChangeRuntime) {
   EngineOptions no_nadp = base;
   no_nadp.features.use_nadp = false;
   const double t_full =
-      RunEmbedding(*g_, "t", base, ms_.get(), pool_.get()).value().embed_seconds;
+      RunEmbedding(*g_, "t", base, exec::Context(ms_.get(), pool_.get())).value().embed_seconds;
   const double t_no_wofp =
-      RunEmbedding(*g_, "t", no_wofp, ms_.get(), pool_.get()).value().embed_seconds;
+      RunEmbedding(*g_, "t", no_wofp, exec::Context(ms_.get(), pool_.get())).value().embed_seconds;
   const double t_no_nadp =
-      RunEmbedding(*g_, "t", no_nadp, ms_.get(), pool_.get()).value().embed_seconds;
+      RunEmbedding(*g_, "t", no_nadp, exec::Context(ms_.get(), pool_.get())).value().embed_seconds;
   EXPECT_GT(t_no_wofp, t_full);  // Fig. 14
   EXPECT_GT(t_no_nadp, t_full);  // Fig. 15
 }
@@ -173,10 +173,11 @@ TEST_F(EngineTest, SsdSystemsSlowerThanOmega) {
 
 TEST(GraphReadCostTest, CsdbReadsFasterThanCsr) {
   auto ms = memsim::MemorySystem::CreateDefault();
+  const exec::Context ctx(ms.get(), nullptr, 8);
   const double csr =
-      SimulatedGraphReadSeconds(ms.get(), GraphFormat::kCsr, 200000, 4096, 8);
+      SimulatedGraphReadSeconds(ctx, GraphFormat::kCsr, 200000, 4096);
   const double csdb =
-      SimulatedGraphReadSeconds(ms.get(), GraphFormat::kCsdb, 200000, 4096, 8);
+      SimulatedGraphReadSeconds(ctx, GraphFormat::kCsdb, 200000, 4096);
   // Fig. 19a: CSDB accelerates reading by ~1.35x.
   EXPECT_GT(csr / csdb, 1.1);
   EXPECT_LT(csr / csdb, 2.5);

@@ -40,7 +40,7 @@ TEST_F(IntegrationTest, TableTwoOrderingOnRealSpmm) {
   auto run = [&](sched::AllocatorKind kind) {
     const auto workloads = sched::Allocate(a_, kind, opts);
     return sparse::ParallelSpmm(a_, b, &c, workloads, sparse::SpmmPlacements{},
-                                ms_.get(), pool_.get())
+                                exec::Context(ms_.get(), pool_.get()))
         .phase_seconds;
   };
   const double rr = run(sched::AllocatorKind::kRoundRobin);
@@ -59,8 +59,7 @@ TEST_F(IntegrationTest, Figure13TailLatencyShape) {
   auto stddev = [&](sched::AllocatorKind kind) {
     const auto workloads = sched::Allocate(a_, kind, opts);
     const auto result = sparse::ParallelSpmm(a_, b, &c, workloads,
-                                             sparse::SpmmPlacements{}, ms_.get(),
-                                             pool_.get());
+                                             sparse::SpmmPlacements{}, exec::Context(ms_.get(), pool_.get()));
     double mean = 0.0;
     for (double s : result.thread_seconds) mean += s;
     mean /= result.thread_seconds.size();
@@ -79,7 +78,7 @@ TEST_F(IntegrationTest, FullStackBeatsEachAblation) {
   full.num_threads = 12;
   full.use_wofp = true;
   auto time_of = [&](const numa::NadpOptions& o) {
-    return numa::NadpSpmm(a_, b, &c, o, ms_.get(), pool_.get()).phase_seconds;
+    return numa::NadpSpmm(a_, b, &c, o, exec::Context(ms_.get(), pool_.get())).phase_seconds;
   };
   numa::NadpOptions no_wofp = full;
   no_wofp.use_wofp = false;
@@ -100,8 +99,8 @@ TEST_F(IntegrationTest, SimulatedTimeIsDeterministic) {
   opts.prone.dim = 8;
   opts.prone.oversample = 4;
   opts.prone.chebyshev_order = 4;
-  auto r1 = engine::RunEmbedding(*g_, "PK", opts, ms_.get(), pool_.get());
-  auto r2 = engine::RunEmbedding(*g_, "PK", opts, ms_.get(), pool_.get());
+  auto r1 = engine::RunEmbedding(*g_, "PK", opts, exec::Context(ms_.get(), pool_.get()));
+  auto r2 = engine::RunEmbedding(*g_, "PK", opts, exec::Context(ms_.get(), pool_.get()));
   ASSERT_TRUE(r1.ok());
   ASSERT_TRUE(r2.ok());
   EXPECT_DOUBLE_EQ(r1.value().embed_seconds, r2.value().embed_seconds);
@@ -120,7 +119,7 @@ TEST_F(IntegrationTest, ThreadScalingIsMonotone) {
     opts.num_threads = threads;
     opts.use_wofp = false;
     const double t =
-        numa::NadpSpmm(a_, b, &c, opts, ms_.get(), pool_.get()).phase_seconds;
+        numa::NadpSpmm(a_, b, &c, opts, exec::Context(ms_.get(), pool_.get())).phase_seconds;
     EXPECT_LT(t, prev) << threads << " threads";
     prev = t;
   }
@@ -134,7 +133,7 @@ TEST_F(IntegrationTest, EmbeddingQualityOnDatasetAnalogue) {
   opts.prone.oversample = 8;
   opts.evaluate_quality = true;
   opts.quality_samples = 1000;
-  auto report = engine::RunEmbedding(*g_, "PK", opts, ms_.get(), pool_.get());
+  auto report = engine::RunEmbedding(*g_, "PK", opts, exec::Context(ms_.get(), pool_.get()));
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   ASSERT_TRUE(report.value().link_auc.has_value());
   // Structure-carrying embedding on a real analogue graph.
@@ -153,7 +152,7 @@ TEST_F(IntegrationTest, AllDatasetAnaloguesEmbedUnderOmega) {
     opts.prone.dim = 8;
     opts.prone.oversample = 4;
     opts.prone.chebyshev_order = 4;
-    auto report = engine::RunEmbedding(g, name, opts, ms_.get(), &pool);
+    auto report = engine::RunEmbedding(g, name, opts, exec::Context(ms_.get(), &pool));
     ASSERT_TRUE(report.ok()) << name << ": " << report.status().ToString();
     EXPECT_GT(report.value().embed_seconds, 0.0) << name;
   }

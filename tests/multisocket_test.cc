@@ -62,7 +62,7 @@ TEST_P(SocketSweep, NadpSpmmCorrectOnAnySocketCount) {
     opts.num_threads = 8;
     opts.enabled = enabled;
     linalg::DenseMatrix c(a.num_rows(), 8);
-    numa::NadpSpmm(a, b, &c, opts, &machine, &pool);
+    numa::NadpSpmm(a, b, &c, opts, exec::Context(&machine, &pool));
     ASSERT_LT(linalg::DenseMatrix::MaxAbsDiff(c, expected), 1e-4)
         << sockets << " sockets, nadp=" << enabled;
   }
@@ -81,7 +81,7 @@ TEST_P(SocketSweep, EndToEndEngineRuns) {
   opts.num_threads = 8;
   opts.prone.dim = 8;
   opts.prone.oversample = 4;
-  auto report = engine::RunEmbedding(g, "t", opts, &machine, &pool);
+  auto report = engine::RunEmbedding(g, "t", opts, exec::Context(&machine, &pool));
   ASSERT_TRUE(report.ok()) << sockets << " sockets: "
                            << report.status().ToString();
   EXPECT_GT(report.value().embed_seconds, 0.0);
@@ -107,9 +107,9 @@ TEST(MultiSocketTest, InterleavedPenaltyGrowsWithSockets) {
     numa::NadpOptions off = on;
     off.enabled = false;
     const double t_on =
-        numa::NadpSpmm(a, b, &c, on, &machine, &pool).phase_seconds;
+        numa::NadpSpmm(a, b, &c, on, exec::Context(&machine, &pool)).phase_seconds;
     const double t_off =
-        numa::NadpSpmm(a, b, &c, off, &machine, &pool).phase_seconds;
+        numa::NadpSpmm(a, b, &c, off, exec::Context(&machine, &pool)).phase_seconds;
     return t_off / t_on;
   };
   EXPECT_GE(gain(4), 0.9 * gain(2));
@@ -128,7 +128,7 @@ TEST(MultiSocketTest, SingleSocketNadpIsNoOpInLocality) {
   numa::NadpOptions off = on;
   off.enabled = false;
   machine.ResetTraffic();
-  numa::NadpSpmm(a, b, &c, off, &machine, &pool);
+  numa::NadpSpmm(a, b, &c, off, exec::Context(&machine, &pool));
   EXPECT_DOUBLE_EQ(machine.Traffic().RemoteFraction(), 0.0);
 }
 

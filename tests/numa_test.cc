@@ -91,7 +91,7 @@ class NadpTest : public ::testing::Test {
 
 TEST_F(NadpTest, EnabledComputesCorrectResult) {
   DenseMatrix c(a_.num_rows(), b_.cols());
-  const NadpResult r = NadpSpmm(a_, b_, &c, BaseOptions(), ms_.get(), pool_.get());
+  const NadpResult r = NadpSpmm(a_, b_, &c, BaseOptions(), exec::Context(ms_.get(), pool_.get()));
   EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
   EXPECT_GT(r.phase_seconds, 0.0);
   EXPECT_EQ(r.nnz_processed, a_.nnz());
@@ -102,7 +102,7 @@ TEST_F(NadpTest, DisabledInterleavedComputesCorrectResult) {
   DenseMatrix c(a_.num_rows(), b_.cols());
   NadpOptions opts = BaseOptions();
   opts.enabled = false;
-  const NadpResult r = NadpSpmm(a_, b_, &c, opts, ms_.get(), pool_.get());
+  const NadpResult r = NadpSpmm(a_, b_, &c, opts, exec::Context(ms_.get(), pool_.get()));
   EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
   EXPECT_GT(r.phase_seconds, 0.0);
 }
@@ -113,9 +113,9 @@ TEST_F(NadpTest, NadpBeatsInterleaved) {
   NadpOptions on = BaseOptions();
   NadpOptions off = BaseOptions();
   off.enabled = false;
-  const double t_on = NadpSpmm(a_, b_, &c, on, ms_.get(), pool_.get()).phase_seconds;
+  const double t_on = NadpSpmm(a_, b_, &c, on, exec::Context(ms_.get(), pool_.get())).phase_seconds;
   const double t_off =
-      NadpSpmm(a_, b_, &c, off, ms_.get(), pool_.get()).phase_seconds;
+      NadpSpmm(a_, b_, &c, off, exec::Context(ms_.get(), pool_.get())).phase_seconds;
   EXPECT_GT(t_off / t_on, 1.3);
 }
 
@@ -124,10 +124,10 @@ TEST_F(NadpTest, RemoteTrafficFractionDropsWithNadp) {
   NadpOptions off = BaseOptions();
   off.enabled = false;
   ms_->ResetTraffic();
-  NadpSpmm(a_, b_, &c, off, ms_.get(), pool_.get());
+  NadpSpmm(a_, b_, &c, off, exec::Context(ms_.get(), pool_.get()));
   const double remote_off = ms_->Traffic().RemoteFraction();
   ms_->ResetTraffic();
-  NadpSpmm(a_, b_, &c, BaseOptions(), ms_.get(), pool_.get());
+  NadpSpmm(a_, b_, &c, BaseOptions(), exec::Context(ms_.get(), pool_.get()));
   const double remote_on = ms_->Traffic().RemoteFraction();
   // Paper: >43% remote without NaDP; NaDP's local-write discipline cuts it.
   EXPECT_GT(remote_off, 0.4);
@@ -137,10 +137,10 @@ TEST_F(NadpTest, RemoteTrafficFractionDropsWithNadp) {
 TEST_F(NadpTest, ColumnRangeRestrictsWork) {
   DenseMatrix c(a_.num_rows(), b_.cols());
   const NadpResult full =
-      NadpSpmm(a_, b_, &c, BaseOptions(), ms_.get(), pool_.get());
+      NadpSpmm(a_, b_, &c, BaseOptions(), exec::Context(ms_.get(), pool_.get()));
   DenseMatrix c2(a_.num_rows(), b_.cols());
   const NadpResult half =
-      NadpSpmm(a_, b_, &c2, BaseOptions(), ms_.get(), pool_.get(), 0, 4);
+      NadpSpmm(a_, b_, &c2, BaseOptions(), exec::Context(ms_.get(), pool_.get()), 0, 4);
   EXPECT_LT(half.phase_seconds, full.phase_seconds);
   for (size_t t = 0; t < 4; ++t) {
     for (size_t r = 0; r < c2.rows(); ++r) {
@@ -156,10 +156,10 @@ TEST_F(NadpTest, WofpComposesWithNadp) {
   with.use_wofp = true;
   with.wofp.sigma = 0.15;
   const double t_with =
-      NadpSpmm(a_, b_, &c, with, ms_.get(), pool_.get()).phase_seconds;
+      NadpSpmm(a_, b_, &c, with, exec::Context(ms_.get(), pool_.get())).phase_seconds;
   EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
   const double t_without =
-      NadpSpmm(a_, b_, &c, BaseOptions(), ms_.get(), pool_.get()).phase_seconds;
+      NadpSpmm(a_, b_, &c, BaseOptions(), exec::Context(ms_.get(), pool_.get())).phase_seconds;
   EXPECT_LT(t_with, t_without);
 }
 
@@ -170,7 +170,7 @@ TEST_F(NadpTest, AllAllocatorsProduceCorrectResults) {
     DenseMatrix c(a_.num_rows(), b_.cols());
     NadpOptions opts = BaseOptions();
     opts.allocator = kind;
-    NadpSpmm(a_, b_, &c, opts, ms_.get(), pool_.get());
+    NadpSpmm(a_, b_, &c, opts, exec::Context(ms_.get(), pool_.get()));
     EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4)
         << sched::AllocatorName(kind);
   }
@@ -180,7 +180,7 @@ TEST_F(NadpTest, OddThreadCountWorks) {
   DenseMatrix c(a_.num_rows(), b_.cols());
   NadpOptions opts = BaseOptions();
   opts.num_threads = 7;
-  const NadpResult r = NadpSpmm(a_, b_, &c, opts, ms_.get(), pool_.get());
+  const NadpResult r = NadpSpmm(a_, b_, &c, opts, exec::Context(ms_.get(), pool_.get()));
   EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
   EXPECT_EQ(r.thread_seconds.size(), 7u);
 }

@@ -231,17 +231,16 @@ TEST_F(WofpTest, CacheSetBuildsPerWorkerAndSpeedsUpSpmm) {
   linalg::DenseMatrix c(a_.num_rows(), 4);
   WofpOptions wopts;
   wopts.sigma = 0.15;
-  WofpCacheSet cache_set(a_, workloads, wopts, ms_.get());
+  WofpCacheSet cache_set(a_, workloads, wopts, exec::Context(ms_.get()));
   const auto with = sparse::ParallelSpmm(a_, b, &c, workloads,
-                                         sparse::SpmmPlacements{}, ms_.get(), &pool,
+                                         sparse::SpmmPlacements{}, exec::Context(ms_.get(), &pool),
                                          cache_set.Factory());
   EXPECT_LT(linalg::DenseMatrix::MaxAbsDiff(c, expected), 1e-4);
   for (size_t w = 0; w < 4; ++w) EXPECT_NE(cache_set.Get(w), nullptr);
 
   linalg::DenseMatrix c2(a_.num_rows(), 4);
   const auto without = sparse::ParallelSpmm(a_, b, &c2, workloads,
-                                            sparse::SpmmPlacements{}, ms_.get(),
-                                            &pool);
+                                            sparse::SpmmPlacements{}, exec::Context(ms_.get(), &pool));
   // Fig. 14: WoFP reduces SpMM time (build overhead included).
   EXPECT_LT(with.phase_seconds, without.phase_seconds);
 }

@@ -81,8 +81,7 @@ TEST_P(CsdbInvariants, SpmmMatchesReferenceUnderAllAllocators) {
     opts.num_threads = 6;
     const auto workloads = sched::Allocate(m, kind, opts);
     linalg::DenseMatrix c(m.num_rows(), 4);
-    sparse::ParallelSpmm(m, b, &c, workloads, sparse::SpmmPlacements{}, ms.get(),
-                         &pool);
+    sparse::ParallelSpmm(m, b, &c, workloads, sparse::SpmmPlacements{}, exec::Context(ms.get(), &pool));
     ASSERT_LT(linalg::DenseMatrix::MaxAbsDiff(c, expected), 1e-4)
         << sched::AllocatorName(kind);
   }
@@ -183,7 +182,7 @@ TEST_P(NadpSweep, MatchesReference) {
     opts.enabled = enabled;
     opts.use_wofp = (dim % 2 == 0);  // exercise both cache paths
     linalg::DenseMatrix c(a.num_rows(), dim);
-    numa::NadpSpmm(a, b, &c, opts, ms.get(), &pool);
+    numa::NadpSpmm(a, b, &c, opts, exec::Context(ms.get(), &pool));
     ASSERT_LT(linalg::DenseMatrix::MaxAbsDiff(c, expected), 1e-4)
         << "threads=" << threads << " dim=" << dim << " nadp=" << enabled;
   }

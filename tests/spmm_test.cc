@@ -170,7 +170,7 @@ TEST_F(SpmmTest, ParallelSpmmMatchesReferenceAcrossAllocators) {
     const auto workloads = sched::Allocate(a_, kind, opts);
     DenseMatrix c(a_.num_rows(), b_.cols());
     const ParallelSpmmResult result =
-        ParallelSpmm(a_, b_, &c, workloads, SpmmPlacements{}, ms_.get(), &pool);
+        ParallelSpmm(a_, b_, &c, workloads, SpmmPlacements{}, exec::Context(ms_.get(), &pool));
     EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4)
         << sched::AllocatorName(kind);
     EXPECT_EQ(result.nnz_processed, a_.nnz());
@@ -193,9 +193,9 @@ TEST_F(SpmmTest, MoreThreadsReducePhaseTime) {
   auto w16 = sched::Allocate(a_, sched::AllocatorKind::kEntropyAware, opts);
   DenseMatrix c(a_.num_rows(), b_.cols());
   const double t2 =
-      ParallelSpmm(a_, b_, &c, w2, SpmmPlacements{}, ms_.get(), &pool).phase_seconds;
+      ParallelSpmm(a_, b_, &c, w2, SpmmPlacements{}, exec::Context(ms_.get(), &pool)).phase_seconds;
   const double t16 =
-      ParallelSpmm(a_, b_, &c, w16, SpmmPlacements{}, ms_.get(), &pool).phase_seconds;
+      ParallelSpmm(a_, b_, &c, w16, SpmmPlacements{}, exec::Context(ms_.get(), &pool)).phase_seconds;
   EXPECT_GT(t2, 2.0 * t16);
 }
 
@@ -218,7 +218,7 @@ TEST_F(SpmmTest, SemiExternalMatchesReferenceAndChargesSsd) {
   opts.dram_budget_bytes = 1ULL << 30;  // everything fits: no spill
   DenseMatrix c(csr.num_rows(), b_.cols());
   ms_->ResetTraffic();
-  const auto result = SemiExternalSpmm(csr, b_, &c, opts, ms_.get(), &pool);
+  const auto result = SemiExternalSpmm(csr, b_, &c, opts, exec::Context(ms_.get(), &pool));
   EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
   EXPECT_GT(result.phase_seconds, 0.0);
   EXPECT_GT(ms_->Traffic().TierBytes(memsim::Tier::kSsd), 0u);
@@ -234,9 +234,9 @@ TEST_F(SpmmTest, SemiExternalSpillsMakeItSlower) {
   spill.dram_budget_bytes = b_.bytes() / 4;  // force spilling
   DenseMatrix c(csr.num_rows(), b_.cols());
   const double t_fit =
-      SemiExternalSpmm(csr, b_, &c, fit, ms_.get(), &pool).phase_seconds;
+      SemiExternalSpmm(csr, b_, &c, fit, exec::Context(ms_.get(), &pool)).phase_seconds;
   const double t_spill =
-      SemiExternalSpmm(csr, b_, &c, spill, ms_.get(), &pool).phase_seconds;
+      SemiExternalSpmm(csr, b_, &c, spill, exec::Context(ms_.get(), &pool)).phase_seconds;
   EXPECT_GT(t_spill, 2.0 * t_fit);
 }
 
@@ -246,7 +246,7 @@ TEST_F(SpmmTest, FusedMmMatchesReferenceInDram) {
   FusedMmOptions opts;
   opts.num_threads = 4;
   DenseMatrix c(csr.num_rows(), b_.cols());
-  auto result = FusedMmSpmm(csr, b_, &c, opts, ms_.get(), &pool);
+  auto result = FusedMmSpmm(csr, b_, &c, opts, exec::Context(ms_.get(), &pool));
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected_), 1e-4);
   EXPECT_GT(result.value().phase_seconds, 0.0);
@@ -262,7 +262,7 @@ TEST_F(SpmmTest, FusedMmFailsPastDramCapacity) {
   FusedMmOptions opts;
   opts.num_threads = 2;
   DenseMatrix c(csr.num_rows(), b_.cols());
-  auto result = FusedMmSpmm(csr, b_, &c, opts, &tiny, &pool);
+  auto result = FusedMmSpmm(csr, b_, &c, opts, exec::Context(&tiny, &pool));
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsCapacityExceeded());
 }

@@ -65,7 +65,7 @@ class AslTest : public ::testing::Test {
   }
 
   AslStreamer MakeStreamer() {
-    return AslStreamer(ms_.get(), cfg_,
+    return AslStreamer(exec::Context(ms_.get()), cfg_,
                        {memsim::Tier::kPm, memsim::Placement::kInterleaved},
                        {memsim::Tier::kDram, memsim::Placement::kInterleaved});
   }

@@ -104,9 +104,9 @@ TEST(CxlProfilesTest, OmegaRunsFasterOnCxlThanPm) {
   opts.prone.dim = 8;
   opts.prone.oversample = 4;
   const double on_pm =
-      engine::RunEmbedding(g, "t", opts, &pm_machine, &pool).value().embed_seconds;
+      engine::RunEmbedding(g, "t", opts, exec::Context(&pm_machine, &pool)).value().embed_seconds;
   const double on_cxl =
-      engine::RunEmbedding(g, "t", opts, &cxl_machine, &pool).value().embed_seconds;
+      engine::RunEmbedding(g, "t", opts, exec::Context(&cxl_machine, &pool)).value().embed_seconds;
   EXPECT_LT(on_cxl, on_pm);
 }
 
@@ -122,7 +122,8 @@ class DistributedTest : public ::testing::Test {
     opts.system = kind;
     opts.num_threads = 8;
     opts.prone.dim = 16;
-    return engine::RunDistributedFamily(g, "t", opts, ms_.get(), params);
+    return engine::RunDistributedFamily(g, "t", opts, exec::Context(ms_.get()),
+                                        params);
   }
 
   std::unique_ptr<memsim::MemorySystem> ms_;
@@ -180,8 +181,8 @@ TEST(StaticCsrSpmmTest, MatchesReference) {
   auto ms = memsim::MemorySystem::CreateDefault();
   ThreadPool pool(4);
   linalg::DenseMatrix c(a.num_rows(), 6);
-  const auto r = engine::StaticCsrSpmm(csr, b, &c, 4, sparse::SpmmPlacements{},
-                                       ms.get(), &pool);
+  const auto r = engine::StaticCsrSpmm(csr, b, &c, sparse::SpmmPlacements{},
+                                       exec::Context(ms.get(), &pool, 4));
   EXPECT_LT(linalg::DenseMatrix::MaxAbsDiff(c, expected), 1e-4);
   EXPECT_EQ(r.nnz_processed, csr.nnz());
   EXPECT_GT(r.phase_seconds, 0.0);
@@ -203,8 +204,8 @@ TEST(StaticCsrSpmmTest, SuffersStragglersOnSkew) {
   auto ms = memsim::MemorySystem::CreateDefault();
   ThreadPool pool(8);
   linalg::DenseMatrix c(a.num_rows(), 8);
-  const auto r = engine::StaticCsrSpmm(csr, b, &c, 8, sparse::SpmmPlacements{},
-                                       ms.get(), &pool);
+  const auto r = engine::StaticCsrSpmm(csr, b, &c, sparse::SpmmPlacements{},
+                                       exec::Context(ms.get(), &pool, 8));
   double mx = 0.0;
   double sum = 0.0;
   for (double s : r.thread_seconds) {
@@ -224,10 +225,10 @@ TEST(OutOfCoreTest, GinexSlowerThanMariusOnSameGraph) {
   opts.prone.oversample = 4;
   opts.system = engine::SystemKind::kGinex;
   const double ginex =
-      engine::RunEmbedding(g, "t", opts, ms.get(), &pool).value().total_seconds;
+      engine::RunEmbedding(g, "t", opts, exec::Context(ms.get(), &pool)).value().total_seconds;
   opts.system = engine::SystemKind::kMariusGnn;
   const double marius =
-      engine::RunEmbedding(g, "t", opts, ms.get(), &pool).value().total_seconds;
+      engine::RunEmbedding(g, "t", opts, exec::Context(ms.get(), &pool)).value().total_seconds;
   EXPECT_GT(ginex, marius);
 }
 
@@ -249,20 +250,21 @@ TEST(DenseStageTest, ScalesWithNodesAndOrder) {
 TEST(DenseStageTest, PmCostsMoreThanDram) {
   auto ms = memsim::MemorySystem::CreateDefault();
   const uint64_t bytes = 64 << 20;
+  const exec::Context ctx(ms.get(), nullptr, 8);
   const double dram = engine::DenseStageSeconds(
-      ms.get(), {memsim::Tier::kDram, memsim::Placement::kInterleaved}, bytes,
-      1 << 20, 8);
+      ctx, {memsim::Tier::kDram, memsim::Placement::kInterleaved}, bytes,
+      1 << 20);
   const double pm = engine::DenseStageSeconds(
-      ms.get(), {memsim::Tier::kPm, memsim::Placement::kInterleaved}, bytes,
-      1 << 20, 8);
+      ctx, {memsim::Tier::kPm, memsim::Placement::kInterleaved}, bytes,
+      1 << 20);
   EXPECT_GT(pm, 2.0 * dram);
   // Accelerated arithmetic shrinks the compute portion.
   const double gpu = engine::DenseStageSeconds(
-      ms.get(), {memsim::Tier::kDram, memsim::Placement::kInterleaved}, 0,
-      1ULL << 32, 8, 40.0);
+      ctx, {memsim::Tier::kDram, memsim::Placement::kInterleaved}, 0,
+      1ULL << 32, 40.0);
   const double cpu = engine::DenseStageSeconds(
-      ms.get(), {memsim::Tier::kDram, memsim::Placement::kInterleaved}, 0,
-      1ULL << 32, 8, 1.0);
+      ctx, {memsim::Tier::kDram, memsim::Placement::kInterleaved}, 0,
+      1ULL << 32, 1.0);
   EXPECT_NEAR(cpu / gpu, 40.0, 1e-6);
 }
 
@@ -328,9 +330,9 @@ TEST(AslEngineTest, StreamingGraphBenefitsFromOverlap) {
   auto without = with;
   without.features.use_asl = false;
   const double t_with =
-      engine::RunEmbedding(g, "t", with, ms.get(), &pool).value().embed_seconds;
+      engine::RunEmbedding(g, "t", with, exec::Context(ms.get(), &pool)).value().embed_seconds;
   const double t_without =
-      engine::RunEmbedding(g, "t", without, ms.get(), &pool).value().embed_seconds;
+      engine::RunEmbedding(g, "t", without, exec::Context(ms.get(), &pool)).value().embed_seconds;
   EXPECT_LE(t_with, t_without);
 }
 

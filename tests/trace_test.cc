@@ -1,0 +1,212 @@
+// Tests of the exec::Context / PhaseSpan trace layer: traffic partitioning
+// across sibling spans, the phase-sum-equals-total invariant of RunReport,
+// and the JSON writer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "graph/rmat.h"
+#include "memsim/memory_system.h"
+#include "omega/engine.h"
+#include "omega/exec_context.h"
+#include "omega/report.h"
+
+namespace omega {
+namespace {
+
+using memsim::MemOp;
+using memsim::Pattern;
+using memsim::Placement;
+using memsim::Tier;
+
+graph::Graph TestGraph() {
+  graph::RmatParams params;
+  params.scale = 10;
+  params.num_edges = 12000;
+  auto g = graph::GenerateRmat(params);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(TrafficSnapshotTest, RemoteFractionZeroWhenNoDramPmTraffic) {
+  memsim::TrafficSnapshot empty;
+  EXPECT_EQ(empty.RemoteFraction(), 0.0);
+
+  // SSD/network traffic alone must not divide by zero either: locality only
+  // counts DRAM and PM bytes.
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ms->AccessSeconds({Tier::kSsd, 0}, 0, MemOp::kRead, Pattern::kSequential,
+                    1 << 20, 1, 1);
+  EXPECT_EQ(ms->Traffic().RemoteFraction(), 0.0);
+}
+
+TEST(PhaseSpanTest, SiblingSpanDeltasSumToGlobalSnapshot) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  exec::TraceRecorder recorder;
+  const exec::Context ctx(ms.get(), nullptr, 1, &recorder);
+
+  {
+    exec::PhaseSpan a(ctx, "a");
+    ms->AccessSeconds({Tier::kDram, 0}, 0, MemOp::kRead, Pattern::kSequential,
+                      1 << 20, 1, 1);
+    ms->AccessSeconds({Tier::kPm, 1}, 0, MemOp::kWrite, Pattern::kRandom,
+                      1 << 16, 64, 1);
+  }
+  {
+    exec::PhaseSpan b(ctx, "b");
+    ms->AccessSeconds({Tier::kSsd, 0}, 0, MemOp::kRead, Pattern::kSequential,
+                      1 << 18, 1, 1);
+    {
+      // Nested span: its traffic is contained in b's delta.
+      exec::PhaseSpan inner(ctx, "b.inner", /*aux=*/true);
+      ms->AccessSeconds({Tier::kDram, 1}, 0, MemOp::kWrite, Pattern::kSequential,
+                        1 << 12, 1, 1);
+    }
+  }
+
+  const auto records = recorder.Records();
+  ASSERT_EQ(records.size(), 3u);  // a, b.inner, b (inner finishes before b)
+
+  memsim::TrafficSnapshot sibling_sum;
+  for (const auto& r : records) {
+    if (r.name == "a" || r.name == "b") sibling_sum += r.traffic;
+  }
+  EXPECT_TRUE(sibling_sum == ms->Traffic());
+
+  // The nested delta is a subset of its parent's.
+  const auto& inner =
+      records[0].name == "b.inner" ? records[0]
+                                   : (records[1].name == "b.inner" ? records[1]
+                                                                   : records[2]);
+  const auto& outer_b =
+      records[0].name == "b" ? records[0]
+                             : (records[1].name == "b" ? records[1] : records[2]);
+  EXPECT_TRUE(inner.aux);
+  EXPECT_LE(inner.TotalBytes(), outer_b.TotalBytes());
+  EXPECT_GT(inner.TierBytes(Tier::kDram), 0u);
+}
+
+TEST(RunReportPhasesTest, NonAuxPhaseSecondsSumToTotal) {
+  const graph::Graph g = TestGraph();
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ThreadPool pool(4);
+  const exec::Context ctx(ms.get(), &pool, 4);
+
+  for (const engine::SystemKind kind :
+       {engine::SystemKind::kOmega, engine::SystemKind::kProneDram,
+        engine::SystemKind::kGinex, engine::SystemKind::kDistGer}) {
+    engine::EngineOptions options;
+    options.system = kind;
+    options.num_threads = 4;
+    options.prone.dim = 8;
+    options.prone.oversample = 4;
+    options.prone.chebyshev_order = 4;
+    const auto report = engine::RunEmbedding(g, "rmat", options, ctx);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const engine::RunReport& r = report.value();
+    EXPECT_GE(r.phases.size(), 4u) << r.system;
+
+    double non_aux = 0.0;
+    for (const exec::PhaseRecord& p : r.phases) {
+      if (!p.aux) non_aux += p.sim_seconds;
+    }
+    EXPECT_NEAR(non_aux, r.total_seconds, 1e-9) << r.system;
+
+    // The scalar stage fields are per-stage sums of the phases.
+    double factorize = 0.0;
+    for (const exec::PhaseRecord& p : r.phases) {
+      if (!p.aux && p.name.rfind("factorize", 0) == 0) factorize += p.sim_seconds;
+    }
+    if (kind != engine::SystemKind::kDistGer) {
+      EXPECT_NEAR(factorize, r.factorize_seconds, 1e-9) << r.system;
+    }
+  }
+}
+
+TEST(RunReportPhasesTest, OuterRecorderReceivesForwardedPhases) {
+  const graph::Graph g = TestGraph();
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ThreadPool pool(2);
+  exec::TraceRecorder outer;
+  const exec::Context ctx(ms.get(), &pool, 2, &outer);
+
+  engine::EngineOptions options;
+  options.num_threads = 2;
+  options.prone.dim = 8;
+  options.prone.oversample = 4;
+  options.prone.chebyshev_order = 3;
+  const auto report = engine::RunEmbedding(g, "rmat", options, ctx);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(outer.Records().size(), report.value().phases.size());
+}
+
+TEST(ReportJsonTest, RoundTripsScalarsPhasesAndFailedCells) {
+  engine::RunReport report;
+  report.system = "omega";
+  report.dataset = "it has \"quotes\"\nand newlines";
+  report.read_seconds = 1.5;
+  report.factorize_seconds = 2.25;
+  report.propagate_seconds = 4.0;
+  report.embed_seconds = 6.25;
+  report.total_seconds = 7.75;
+  report.remote_fraction = 0.123456789012345678;
+  exec::PhaseRecord phase;
+  phase.name = "read";
+  phase.sim_seconds = 1.5;
+  phase.traffic.bytes[0][0][0][0] = 111;  // DRAM read/seq/local
+  phase.traffic.bytes[1][1][1][1] = 222;  // PM write/rand/remote
+  phase.remote_fraction = 222.0 / 333.0;
+  report.phases.push_back(phase);
+  exec::PhaseRecord aux;
+  aux.name = "wofp_build";
+  aux.aux = true;
+  aux.sim_seconds = 0.25;
+  report.phases.push_back(aux);
+
+  const std::string json = engine::ReportToJson(report);
+  EXPECT_NE(json.find("\"system\": \"omega\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quotes\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"failed\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"link_auc\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"read\""), std::string::npos);
+  EXPECT_NE(json.find("\"DRAM\": 111"), std::string::npos);
+  EXPECT_NE(json.find("\"PM\": 222"), std::string::npos);
+  EXPECT_NE(json.find("\"aux\": true"), std::string::npos);
+  // %.17g round-trips the remote fraction bit-exactly.
+  const std::string key = "\"remote_fraction\": ";
+  const size_t pos = json.find(key);
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(std::stod(json.substr(pos + key.size())), report.remote_fraction);
+
+  // Failed (OOM) cells carry the failure string and no timings.
+  const engine::RunReport failed = engine::FailedReport(
+      engine::SystemKind::kOmegaDram, "FR",
+      Status::CapacityExceeded("DRAM full"));
+  const std::string failed_json = engine::ReportToJson(failed);
+  EXPECT_NE(failed_json.find("\"failed\": true"), std::string::npos);
+  EXPECT_NE(failed_json.find("DRAM full"), std::string::npos);
+  EXPECT_NE(failed_json.find("\"phases\": []"), std::string::npos);
+
+  // Array form wraps both.
+  const std::string arr = engine::ReportsToJson({report, failed});
+  EXPECT_EQ(arr.front(), '[');
+  EXPECT_EQ(arr.back(), ']');
+}
+
+TEST(ContextTest, ResolvesThreadsAndRebinds) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ThreadPool pool(6);
+  const exec::Context from_pool(ms.get(), &pool);
+  EXPECT_EQ(from_pool.threads(), 6);
+  const exec::Context bare(ms.get());
+  EXPECT_EQ(bare.threads(), 1);
+  EXPECT_EQ(from_pool.WithThreads(3).threads(), 3);
+  exec::TraceRecorder rec;
+  EXPECT_EQ(from_pool.WithTrace(&rec).trace(), &rec);
+  EXPECT_EQ(from_pool.trace(), nullptr);
+}
+
+}  // namespace
+}  // namespace omega

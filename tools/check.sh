@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite, then
+# (optionally) repeat the build+tests under ASan+UBSan.
+#
+# Usage:
+#   tools/check.sh            # release-with-asserts build + ctest
+#   tools/check.sh --sanitize # additionally build/test with -DOMEGA_SANITIZE=ON
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE=0
+for arg in "$@"; do
+  case "$arg" in
+    --sanitize) SANITIZE=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+}
+
+echo "== tier-1: build + ctest =="
+run_suite build
+
+if [[ "$SANITIZE" == 1 ]]; then
+  echo "== sanitizers: ASan + UBSan build + ctest =="
+  run_suite build-asan -DOMEGA_SANITIZE=ON
+fi
+
+echo "OK"

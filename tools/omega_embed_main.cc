@@ -17,6 +17,7 @@
 //     --cxl                 use the CXL device profiles for the capacity tier
 //     --out <path>          write embedding (.tsv or binary by extension)
 //     --auc                 evaluate link-prediction AUC
+//     --trace-json <path>   write the per-phase trace (RunReport JSON)
 
 #include <cstdio>
 #include <cstring>
@@ -28,6 +29,9 @@
 #include "graph/datasets.h"
 #include "graph/graph_io.h"
 #include "omega/engine.h"
+#include "omega/report.h"
+
+#include <fstream>
 
 namespace {
 
@@ -38,6 +42,7 @@ struct CliOptions {
   std::string system = "omega";
   std::string allocator = "eata";
   std::string out;
+  std::string trace_json;
   int threads = 36;
   size_t dim = 32;
   int cheb = 8;
@@ -53,7 +58,7 @@ int Usage(const char* argv0) {
                "usage: %s [--graph <path|name>] [--system <name>] "
                "[--threads n] [--dim d] [--cheb k] [--allocator eata|wata|rr] "
                "[--no-wofp] [--no-nadp] [--no-asl] [--cxl] [--out path] "
-               "[--auc]\n",
+               "[--auc] [--trace-json path]\n",
                argv0);
   return 2;
 }
@@ -103,6 +108,11 @@ int main(int argc, char** argv) {
       cli.cheb = std::atoi(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       cli.out = argv[++i];
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      cli.trace_json = argv[++i];
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      cli.trace_json = arg.substr(std::strlen("--trace-json="));
+      if (cli.trace_json.empty()) return Usage(argv[0]);
     } else if (arg == "--no-wofp") {
       cli.wofp = false;
     } else if (arg == "--no-nadp") {
@@ -151,9 +161,17 @@ int main(int argc, char** argv) {
   options.features.use_asl = cli.asl;
   options.evaluate_quality = cli.auc;
 
-  auto report = engine::RunEmbedding(g, cli.graph, options, ms.get(), &pool);
+  const exec::Context ctx(ms.get(), &pool, cli.threads);
+  auto report = engine::RunEmbedding(g, cli.graph, options, ctx);
   if (!report.ok()) {
     std::fprintf(stderr, "run failed: %s\n", report.status().ToString().c_str());
+    if (!cli.trace_json.empty()) {
+      // Emit the failed cell so downstream tooling still sees the run.
+      const engine::RunReport failed =
+          engine::FailedReport(options.system, cli.graph, report.status());
+      std::ofstream f(cli.trace_json);
+      f << engine::ReportToJson(failed) << "\n";
+    }
     return 1;
   }
   const engine::RunReport& r = report.value();
@@ -165,6 +183,17 @@ int main(int argc, char** argv) {
   std::printf("  total     %s (simulated)\n", HumanSeconds(r.total_seconds).c_str());
   std::printf("  remote DRAM/PM traffic: %.1f%%\n", r.remote_fraction * 100.0);
   if (r.link_auc.has_value()) std::printf("  link AUC  %.3f\n", *r.link_auc);
+
+  if (!cli.trace_json.empty()) {
+    std::ofstream f(cli.trace_json);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", cli.trace_json.c_str());
+      return 1;
+    }
+    f << engine::ReportToJson(r) << "\n";
+    std::printf("trace written to %s (%zu phases)\n", cli.trace_json.c_str(),
+                r.phases.size());
+  }
 
   if (!cli.out.empty() && r.embedding.rows() > 0) {
     const bool tsv = cli.out.size() > 4 &&
