@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 #include "common/string_util.h"
 
@@ -71,11 +73,12 @@ double StdDev(const std::vector<double>& values) {
 
 void PrintPhaseTable(const engine::RunReport& report) {
   if (report.phases.empty()) return;
-  engine::TablePrinter table({"phase", "sim s", "DRAM", "PM", "SSD", "NET",
-                              "remote %"});
+  engine::TablePrinter table({"phase", "sim s", "wall s", "DRAM", "PM", "SSD",
+                              "NET", "remote %"});
   for (const exec::PhaseRecord& p : report.phases) {
     table.AddRow({p.aux ? p.name + " (aux)" : p.name,
                   FormatDouble(p.sim_seconds, 3),
+                  FormatDouble(p.wall_seconds, 3),
                   HumanBytes(p.TierBytes(memsim::Tier::kDram)),
                   HumanBytes(p.TierBytes(memsim::Tier::kPm)),
                   HumanBytes(p.TierBytes(memsim::Tier::kSsd)),
@@ -85,6 +88,53 @@ void PrintPhaseTable(const engine::RunReport& report) {
   std::printf("  phases of %s on %s:\n", report.system.c_str(),
               report.dataset.c_str());
   table.Print();
+}
+
+void BenchJson::Add(const std::string& entry, const std::string& metric,
+                    double value) {
+  for (auto& [name, metrics] : entries_) {
+    if (name == entry) {
+      metrics.emplace_back(metric, value);
+      return;
+    }
+  }
+  entries_.push_back({entry, {{metric, value}}});
+}
+
+bool BenchJson::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write bench json to %s\n", path.c_str());
+    return false;
+  }
+  out << "{\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const auto& [name, metrics] = entries_[i];
+    out << "  \"" << name << "\": {";
+    for (size_t j = 0; j < metrics.size(); ++j) {
+      out << "\"" << metrics[j].first << "\": " << metrics[j].second;
+      if (j + 1 < metrics.size()) out << ", ";
+    }
+    out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+std::string BenchJsonPathFromArgs(int* argc, char** argv) {
+  constexpr const char* kPrefix = "--bench-json=";
+  const size_t prefix_len = std::strlen(kPrefix);
+  std::string path;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], kPrefix, prefix_len) == 0) {
+      path = argv[i] + prefix_len;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  return path;
 }
 
 bool PhaseTraceEnabled() {

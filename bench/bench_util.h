@@ -2,8 +2,10 @@
 
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -62,6 +64,46 @@ void PrintPhaseTable(const engine::RunReport& report);
 /// True when OMEGA_PHASE_TRACE=1 in the environment: the engine harnesses
 /// print PrintPhaseTable after each run.
 bool PhaseTraceEnabled();
+
+/// Host wall-clock stopwatch (steady_clock). Measures the harness's real
+/// time, as opposed to the memsim-simulated seconds the tables report.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates named host-side measurements and writes them as one JSON
+/// object (entry name -> {metric: value}) — the BENCH_*.json files CI and the
+/// perf-tracking scripts consume.
+class BenchJson {
+ public:
+  void Add(const std::string& entry, const std::string& metric, double value);
+
+  bool empty() const { return entries_.empty(); }
+
+  /// Writes the collected entries to `path`. Returns false (with a message on
+  /// stderr) when the file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  // Insertion-ordered: (entry, [(metric, value)...]).
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, double>>>> entries_;
+};
+
+/// Extracts `--bench-json=<path>` from argv (compacting argv in place) so a
+/// harness can accept it alongside other flags. Returns the path or "".
+std::string BenchJsonPathFromArgs(int* argc, char** argv);
 
 /// Paper-reported Table II runtimes (seconds) for comparison columns.
 struct TableTwoRef {

@@ -1,5 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+
 #include "common/logging.h"
 
 namespace omega {
@@ -39,6 +42,24 @@ void ThreadPool::ParallelFor(size_t n,
     const size_t begin = std::min(n, w * chunk);
     const size_t end = std::min(n, begin + chunk);
     if (begin < end) fn(w, begin, end);
+  });
+}
+
+void ThreadPool::ParallelForDynamic(
+    size_t n, size_t chunk_size,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  OMEGA_CHECK(chunk_size > 0) << "chunk size must be positive";
+  if (n == 0) return;
+  std::atomic<size_t> next_chunk{0};
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  RunOnAll([&](size_t w) {
+    while (true) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const size_t begin = c * chunk_size;
+      const size_t end = std::min(n, begin + chunk_size);
+      fn(w, begin, end);
+    }
   });
 }
 

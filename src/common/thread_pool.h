@@ -31,8 +31,20 @@ class ThreadPool {
   void RunOnAll(const std::function<void(size_t)>& fn);
 
   /// Splits [0, n) into `size()` contiguous chunks and runs
-  /// `fn(worker, begin, end)` on each worker. Blocks until done.
+  /// `fn(worker, begin, end)` on each worker. Blocks until done. Static
+  /// scheduling: the split depends only on n and size(), so a kernel whose
+  /// per-index work is uniform pays no scheduling overhead.
   void ParallelFor(size_t n, const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// Dynamic counterpart: splits [0, n) into fixed-size chunks of
+  /// `chunk_size` indices and lets workers grab chunks from a shared atomic
+  /// counter until none remain. Worker indices stay stable (worker w only
+  /// ever runs on pool thread w), so per-worker state — simulated clocks,
+  /// NUMA socket binding — keeps working; only the *amount* of work a worker
+  /// ends up with varies. Use for skewed workloads (e.g. degree-sorted row
+  /// blocks) where static chunking leaves stragglers. Blocks until done.
+  void ParallelForDynamic(size_t n, size_t chunk_size,
+                          const std::function<void(size_t, size_t, size_t)>& fn);
 
  private:
   void WorkerLoop(size_t index);

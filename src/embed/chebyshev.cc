@@ -33,7 +33,7 @@ Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
                                     const std::vector<double>& coefficients,
                                     const linalg::DenseMatrix& r,
                                     linalg::DenseMatrix* out,
-                                    const SpmmExecutor& spmm) {
+                                    const SpmmExecutor& spmm, ThreadPool* pool) {
   if (coefficients.empty()) return Status::InvalidArgument("no coefficients");
   const size_t n = r.rows();
   const size_t d = r.cols();
@@ -41,7 +41,7 @@ Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
 
   // L - I = -S, so T_1 = -S R and T_{k+1} = -2 S T_k - T_{k-1}.
   *out = linalg::DenseMatrix(n, d);
-  OMEGA_RETURN_NOT_OK(out->AddScaled(r, static_cast<float>(coefficients[0])));
+  OMEGA_RETURN_NOT_OK(out->AddScaled(r, static_cast<float>(coefficients[0]), pool));
 
   linalg::DenseMatrix t_prev = r;  // T_0
   linalg::DenseMatrix t_cur(n, d);
@@ -50,8 +50,9 @@ Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
     OMEGA_ASSIGN_OR_RETURN(double secs, spmm(propagation, r, &tmp));
     sim_seconds += secs;
     t_cur = tmp;
-    t_cur.Scale(-1.0f);
-    OMEGA_RETURN_NOT_OK(out->AddScaled(t_cur, static_cast<float>(coefficients[1])));
+    t_cur.Scale(-1.0f, pool);
+    OMEGA_RETURN_NOT_OK(
+        out->AddScaled(t_cur, static_cast<float>(coefficients[1]), pool));
   }
 
   for (size_t k = 2; k < coefficients.size(); ++k) {
@@ -59,10 +60,10 @@ Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
     sim_seconds += secs;
     // T_k = -2 S T_{k-1} - T_{k-2}.
     linalg::DenseMatrix t_next(n, d);
-    OMEGA_RETURN_NOT_OK(t_next.AddScaled(tmp, -2.0f));
-    OMEGA_RETURN_NOT_OK(t_next.AddScaled(t_prev, -1.0f));
+    OMEGA_RETURN_NOT_OK(t_next.AddScaled(tmp, -2.0f, pool));
+    OMEGA_RETURN_NOT_OK(t_next.AddScaled(t_prev, -1.0f, pool));
     OMEGA_RETURN_NOT_OK(
-        out->AddScaled(t_next, static_cast<float>(coefficients[k])));
+        out->AddScaled(t_next, static_cast<float>(coefficients[k]), pool));
     t_prev = std::move(t_cur);
     t_cur = std::move(t_next);
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "embed/prone.h"
 
 namespace omega::embed {
@@ -33,10 +34,15 @@ std::vector<double> ChebyshevCoefficients(const SpectralFilter& filter, int orde
 /// Computes out = sum_k c_k T_k(L - I) r, where L = I - S and `propagation`
 /// is S in CSDB form. Each recurrence step issues one SpMM through `spmm`.
 /// Returns the accumulated simulated seconds of all SpMMs.
+///
+/// `pool` parallelizes the dense AXPY/scale passes of the recurrence on the
+/// host; it does not change the simulated charging (that happens inside
+/// `spmm`) and the output is bit-identical at any thread count.
 Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
                                     const std::vector<double>& coefficients,
                                     const linalg::DenseMatrix& r,
                                     linalg::DenseMatrix* out,
-                                    const SpmmExecutor& spmm);
+                                    const SpmmExecutor& spmm,
+                                    ThreadPool* pool = nullptr);
 
 }  // namespace omega::embed

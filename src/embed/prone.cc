@@ -91,6 +91,7 @@ Result<EmbeddingResult> ProneEmbed(const graph::CsdbMatrix& adjacency,
     svd_opts.oversample = options.oversample;
     svd_opts.power_iterations = options.power_iterations;
     svd_opts.seed = options.seed;
+    svd_opts.pool = options.pool;
     OMEGA_ASSIGN_OR_RETURN(linalg::SvdResult svd,
                            linalg::RandomizedSvd(n, n, apply, apply, svd_opts));
 
@@ -112,20 +113,31 @@ Result<EmbeddingResult> ProneEmbed(const graph::CsdbMatrix& adjacency,
       ProneBandPass(options.mu, options.theta), options.chebyshev_order);
   OMEGA_ASSIGN_OR_RETURN(
       double propagate_seconds,
-      ChebyshevFilterApply(propagation, coeffs, r0, &result.vectors, spmm));
+      ChebyshevFilterApply(propagation, coeffs, r0, &result.vectors, spmm,
+                           options.pool));
   result.propagate_seconds = propagate_seconds;
   result.total_seconds = result.factorize_seconds + result.propagate_seconds;
 
   if (options.l2_normalize_rows) {
-    for (size_t i = 0; i < n; ++i) {
-      double norm2 = 0.0;
-      for (size_t c = 0; c < options.dim; ++c) {
-        const double v = result.vectors.At(i, c);
-        norm2 += v * v;
+    // Per-row normalization is independent work; fan rows out when a pool is
+    // available (identical arithmetic per row, so bit-identical output).
+    auto normalize_rows = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        double norm2 = 0.0;
+        for (size_t c = 0; c < options.dim; ++c) {
+          const double v = result.vectors.At(i, c);
+          norm2 += v * v;
+        }
+        const float inv =
+            norm2 > 0.0 ? static_cast<float>(1.0 / std::sqrt(norm2)) : 0.0f;
+        for (size_t c = 0; c < options.dim; ++c) result.vectors.At(i, c) *= inv;
       }
-      const float inv =
-          norm2 > 0.0 ? static_cast<float>(1.0 / std::sqrt(norm2)) : 0.0f;
-      for (size_t c = 0; c < options.dim; ++c) result.vectors.At(i, c) *= inv;
+    };
+    if (options.pool != nullptr && options.pool->size() > 1 && n >= 4096) {
+      options.pool->ParallelFor(
+          n, [&](size_t, size_t begin, size_t end) { normalize_rows(begin, end); });
+    } else {
+      normalize_rows(0, n);
     }
   }
   return result;

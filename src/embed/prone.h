@@ -43,6 +43,12 @@ struct ProneOptions {
   uint64_t seed = 7;
   bool l2_normalize_rows = true;  ///< cosine-ready output rows
 
+  /// Optional worker pool for the host-side dense stages (tSVD QR/GEMM, the
+  /// Chebyshev recurrence's AXPYs, row normalization). Pure wall-clock
+  /// parallelism: simulated seconds and embedding bytes are unchanged by it
+  /// (fixed-order reductions; see gemm.h).
+  ThreadPool* pool = nullptr;
+
   /// Optional: invoked when a pipeline stage begins ("factorize" before the
   /// tSVD's first SpMM, "propagate" before the Chebyshev recurrence). The
   /// engines use this to label their per-SpMM trace spans by stage.

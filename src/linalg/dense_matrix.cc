@@ -3,18 +3,46 @@
 #include <cmath>
 #include <limits>
 
+#include "common/thread_pool.h"
+
 namespace omega::linalg {
 
-Status DenseMatrix::AddScaled(const DenseMatrix& other, float alpha) {
+namespace {
+
+// Elementwise kernels are worth a parallel dispatch only past ~L2-sized
+// blocks; below that the RunOnAll rendezvous costs more than the loop.
+constexpr size_t kParallelElementThreshold = 1 << 15;
+
+}  // namespace
+
+Status DenseMatrix::AddScaled(const DenseMatrix& other, float alpha,
+                              ThreadPool* pool) {
   if (other.rows_ != rows_ || other.cols_ != cols_) {
     return Status::InvalidArgument("AddScaled shape mismatch");
   }
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  const float* src = other.data_.data();
+  float* dst = data_.data();
+  if (pool != nullptr && pool->size() > 1 &&
+      data_.size() >= kParallelElementThreshold) {
+    pool->ParallelFor(data_.size(), [&](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) dst[i] += alpha * src[i];
+    });
+  } else {
+    for (size_t i = 0; i < data_.size(); ++i) dst[i] += alpha * src[i];
+  }
   return Status::OK();
 }
 
-void DenseMatrix::Scale(float alpha) {
-  for (float& v : data_) v *= alpha;
+void DenseMatrix::Scale(float alpha, ThreadPool* pool) {
+  float* dst = data_.data();
+  if (pool != nullptr && pool->size() > 1 &&
+      data_.size() >= kParallelElementThreshold) {
+    pool->ParallelFor(data_.size(), [&](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) dst[i] *= alpha;
+    });
+  } else {
+    for (float& v : data_) v *= alpha;
+  }
 }
 
 double DenseMatrix::FrobeniusNorm() const {

@@ -5,11 +5,22 @@
 
 namespace omega::linalg {
 
-Status ReducedQr(const DenseMatrix& a, DenseMatrix* q, DenseMatrix* r) {
+namespace {
+
+// Per-column work below this many scalar ops is not worth a pool dispatch.
+constexpr size_t kParallelWorkThreshold = 1 << 15;
+
+}  // namespace
+
+Status ReducedQr(const DenseMatrix& a, DenseMatrix* q, DenseMatrix* r,
+                 ThreadPool* pool) {
   const size_t n = a.rows();
   const size_t k = a.cols();
   if (n < k) return Status::InvalidArgument("ReducedQr requires rows >= cols");
   if (k == 0) return Status::InvalidArgument("ReducedQr on empty matrix");
+
+  const bool parallel = pool != nullptr && pool->size() > 1 && k >= 2 &&
+                        n * k >= kParallelWorkThreshold;
 
   // Work in double for numerical robustness on float inputs.
   std::vector<double> work(n * k);
@@ -40,14 +51,23 @@ Status ReducedQr(const DenseMatrix& a, DenseMatrix* q, DenseMatrix* r) {
     betas[j] = vnorm2 > 0.0 ? 2.0 / vnorm2 : 0.0;
     rmat[j * k + j] = alpha;
 
-    // Apply the reflector to the remaining columns.
-    for (size_t c = j + 1; c < k; ++c) {
+    // Apply the reflector to the remaining columns; each trailing column is
+    // an independent dot + axpy, so the loop fans out across the pool.
+    auto apply_to = [&](size_t c) {
       double* colc = work.data() + c * n;
       double dot = 0.0;
       for (size_t i = j; i < n; ++i) dot += colj[i] * colc[i];
       const double scale = betas[j] * dot;
       for (size_t i = j; i < n; ++i) colc[i] -= scale * colj[i];
       rmat[c * k + j] = colc[j];
+    };
+    const size_t trailing = k - j - 1;
+    if (parallel && trailing >= 2) {
+      pool->ParallelFor(trailing, [&](size_t, size_t begin, size_t end) {
+        for (size_t t = begin; t < end; ++t) apply_to(j + 1 + t);
+      });
+    } else {
+      for (size_t c = j + 1; c < k; ++c) apply_to(c);
     }
   }
   // Upper part of R above diagonal was collected during elimination; collect
@@ -57,9 +77,10 @@ Status ReducedQr(const DenseMatrix& a, DenseMatrix* q, DenseMatrix* r) {
   }
 
   // Form Q by applying reflectors to the first k columns of the identity.
+  // Columns are independent; each parallel worker gets its own unit-vector
+  // scratch buffer.
   *q = DenseMatrix(n, k);
-  std::vector<double> e(n);
-  for (size_t c = 0; c < k; ++c) {
+  auto form_column = [&](size_t c, std::vector<double>& e) {
     std::fill(e.begin(), e.end(), 0.0);
     e[c] = 1.0;
     for (size_t j = k; j-- > 0;) {
@@ -72,6 +93,15 @@ Status ReducedQr(const DenseMatrix& a, DenseMatrix* q, DenseMatrix* r) {
     }
     float* qc = q->ColData(c);
     for (size_t i = 0; i < n; ++i) qc[i] = static_cast<float>(e[i]);
+  };
+  if (parallel) {
+    pool->ParallelFor(k, [&](size_t, size_t begin, size_t end) {
+      std::vector<double> e(n);
+      for (size_t c = begin; c < end; ++c) form_column(c, e);
+    });
+  } else {
+    std::vector<double> e(n);
+    for (size_t c = 0; c < k; ++c) form_column(c, e);
   }
 
   if (r != nullptr) {

@@ -13,6 +13,7 @@ Result<SvdResult> RandomizedSvd(size_t n, size_t m, const MatMulFn& apply,
                                 const MatMulFn& apply_t,
                                 const RandomizedSvdOptions& options) {
   const size_t l = options.rank + options.oversample;
+  ThreadPool* pool = options.pool;
   if (options.rank == 0) return Status::InvalidArgument("rank must be positive");
   if (l > n || l > m) {
     return Status::InvalidArgument("rank + oversample exceeds matrix dimensions");
@@ -24,17 +25,17 @@ Result<SvdResult> RandomizedSvd(size_t n, size_t m, const MatMulFn& apply,
   OMEGA_RETURN_NOT_OK(apply(omega_mat, &y));
 
   DenseMatrix q;
-  OMEGA_RETURN_NOT_OK(ReducedQr(y, &q, nullptr));
+  OMEGA_RETURN_NOT_OK(ReducedQr(y, &q, nullptr, pool));
 
   // Power iterations with re-orthonormalization: Q <- qr(A * qr(A^T Q)).
   for (int it = 0; it < options.power_iterations; ++it) {
     DenseMatrix z(m, l);
     OMEGA_RETURN_NOT_OK(apply_t(q, &z));
     DenseMatrix qz;
-    OMEGA_RETURN_NOT_OK(ReducedQr(z, &qz, nullptr));
+    OMEGA_RETURN_NOT_OK(ReducedQr(z, &qz, nullptr, pool));
     DenseMatrix y2(n, l);
     OMEGA_RETURN_NOT_OK(apply(qz, &y2));
-    OMEGA_RETURN_NOT_OK(ReducedQr(y2, &q, nullptr));
+    OMEGA_RETURN_NOT_OK(ReducedQr(y2, &q, nullptr, pool));
   }
 
   // Stage B: B^T = A^T * Q  (m x l). Then B = Q^T A and
@@ -43,7 +44,7 @@ Result<SvdResult> RandomizedSvd(size_t n, size_t m, const MatMulFn& apply,
   OMEGA_RETURN_NOT_OK(apply_t(q, &bt));
 
   DenseMatrix bbt;
-  OMEGA_RETURN_NOT_OK(GemmTransA(bt, bt, &bbt));  // (l x l) = bt^T * bt
+  OMEGA_RETURN_NOT_OK(GemmTransA(bt, bt, &bbt, pool));  // (l x l) = bt^T * bt
 
   OMEGA_ASSIGN_OR_RETURN(EigenResult eig, SymmetricEigen(bbt));
 
@@ -57,11 +58,11 @@ Result<SvdResult> RandomizedSvd(size_t n, size_t m, const MatMulFn& apply,
 
   // U = Q * W_k  (n x k).
   DenseMatrix wk = eig.eigenvectors.SliceCols(0, k);
-  OMEGA_RETURN_NOT_OK(Gemm(q, wk, &result.u));
+  OMEGA_RETURN_NOT_OK(Gemm(q, wk, &result.u, pool));
 
   // V = B^T * W_k * Sigma^{-1}  (m x k).
   DenseMatrix v_unscaled;
-  OMEGA_RETURN_NOT_OK(Gemm(bt, wk, &v_unscaled));
+  OMEGA_RETURN_NOT_OK(Gemm(bt, wk, &v_unscaled, pool));
   result.v = DenseMatrix(m, k);
   for (size_t c = 0; c < k; ++c) {
     const double s = result.singular[c];

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "linalg/dense_matrix.h"
 
 namespace omega::linalg {
@@ -25,6 +26,11 @@ struct RandomizedSvdOptions {
   size_t oversample = 8;    ///< extra random directions for accuracy
   int power_iterations = 1; ///< subspace iterations (improves spectral decay)
   uint64_t seed = 7;
+
+  /// Optional worker pool for the dense stages (QR, GEMM). Host-side
+  /// parallelism only: results are bit-identical with or without it (the
+  /// dense kernels reduce in fixed order; see gemm.h).
+  ThreadPool* pool = nullptr;
 };
 
 struct SvdResult {

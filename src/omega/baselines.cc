@@ -159,6 +159,7 @@ Result<RunReport> RunProneFamily(const graph::Graph& g, const std::string& datas
   const graph::CsdbMatrix adjacency = graph::CsdbMatrix::FromGraph(g);
   CsrCache csr_cache;
   embed::ProneOptions prone = options.prone;
+  prone.pool = ctx.pool();  // host-side dense parallelism; sim-invariant
   internal::StageTracker stages;
   stages.Attach(&prone);
 
@@ -297,6 +298,7 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
   const Placement ssd{Tier::kSsd, 0};
   const Placement dram{Tier::kDram, Placement::kInterleaved};
   embed::ProneOptions prone = options.prone;
+  prone.pool = ctx.pool();  // host-side dense parallelism; sim-invariant
   internal::StageTracker stages;
   stages.Attach(&prone);
 

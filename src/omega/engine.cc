@@ -243,6 +243,7 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
 
   // --- The charged SpMM executor handed to the embedder ----------------------
   embed::ProneOptions prone = options.prone;
+  prone.pool = ctx.pool();  // host-side dense parallelism; sim-invariant
   internal::StageTracker stages;
   stages.Attach(&prone);
   double wofp_build_seconds = 0.0;

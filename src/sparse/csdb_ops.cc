@@ -198,23 +198,34 @@ Result<graph::CsrMatrix> ToCsr(const graph::CsdbMatrix& a) {
 }
 
 Status ReferenceSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
-                     linalg::DenseMatrix* c) {
+                     linalg::DenseMatrix* c, ThreadPool* pool) {
   if (b.rows() != a.num_cols()) {
     return Status::InvalidArgument("ReferenceSpmm: dim mismatch");
   }
   *c = linalg::DenseMatrix(a.num_rows(), b.cols());
   const auto& cols = a.col_list();
   const auto& vals = a.nnz_list();
-  for (size_t t = 0; t < b.cols(); ++t) {
-    const float* bt = b.ColData(t);
-    float* ct = c->ColData(t);
-    for (auto cur = a.Rows(0); !cur.AtEnd(); cur.Next()) {
-      float acc = 0.0f;
-      for (uint32_t k = 0; k < cur.degree(); ++k) {
-        acc += vals[cur.ptr() + k] * bt[cols[cur.ptr() + k]];
+  auto compute_rows = [&](uint32_t row_begin, uint32_t row_end) {
+    for (size_t t = 0; t < b.cols(); ++t) {
+      const float* bt = b.ColData(t);
+      float* ct = c->ColData(t);
+      for (auto cur = a.Rows(row_begin); cur.row() < row_end; cur.Next()) {
+        float acc = 0.0f;
+        for (uint32_t k = 0; k < cur.degree(); ++k) {
+          acc += vals[cur.ptr() + k] * bt[cols[cur.ptr() + k]];
+        }
+        ct[cur.row()] = acc;
       }
-      ct[cur.row()] = acc;
     }
+  };
+  if (pool != nullptr && pool->size() > 1 && a.num_rows() >= 2048) {
+    pool->ParallelForDynamic(a.num_rows(), /*chunk_size=*/1024,
+                             [&](size_t, size_t begin, size_t end) {
+                               compute_rows(static_cast<uint32_t>(begin),
+                                            static_cast<uint32_t>(end));
+                             });
+  } else {
+    compute_rows(0, a.num_rows());
   }
   return Status::OK();
 }

@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "graph/csdb.h"
 #include "graph/csr.h"
 #include "linalg/dense_matrix.h"
@@ -60,8 +61,10 @@ linalg::DenseMatrix ToDense(const graph::CsdbMatrix& a);
 /// baseline engines).
 Result<graph::CsrMatrix> ToCsr(const graph::CsdbMatrix& a);
 
-/// Reference (uncharged, single-threaded) SpMM for correctness checks.
+/// Reference (uncharged) SpMM for correctness checks. A pool parallelizes the
+/// row loop on the host via dynamic row blocks; each element's reduction
+/// order is fixed, so the result is bit-identical at any thread count.
 Status ReferenceSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
-                     linalg::DenseMatrix* c);
+                     linalg::DenseMatrix* c, ThreadPool* pool = nullptr);
 
 }  // namespace omega::sparse

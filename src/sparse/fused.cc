@@ -48,6 +48,36 @@ Result<ParallelSpmmResult> FusedMmSpmm(const graph::CsrMatrix& a,
   memsim::ClockGroup clocks(threads);
   const size_t d = b.cols();
 
+  // Host compute under dynamic row-block scheduling: any worker may grab any
+  // block (power-law rows make static chunks skewed), and each element's
+  // ascending-k reduction is unchanged, so the result is bit-identical to the
+  // old static loop. No memsim state is touched in this phase.
+  {
+    constexpr uint32_t kComputeRowBlock = 1024;
+    const graph::NodeId* cols = a.col_idx().data();
+    const float* vals = a.values().data();
+    pool->ParallelForDynamic(
+        rows_total, kComputeRowBlock,
+        [&](size_t, size_t row_begin, size_t row_end) {
+          for (uint32_t j = static_cast<uint32_t>(row_begin);
+               j < static_cast<uint32_t>(row_end); ++j) {
+            const uint64_t start = a.RowBegin(j);
+            const uint32_t deg = a.RowDegree(j);
+            for (size_t t = 0; t < d; ++t) {
+              const float* bt = b.ColData(t);
+              float acc = 0.0f;
+              for (uint32_t k = 0; k < deg; ++k) {
+                acc += vals[start + k] * bt[cols[start + k]];
+              }
+              c->ColData(t)[j] = acc;
+            }
+          }
+        });
+  }
+
+  // Simulated charging: one worker per static chunk as before; the metadata
+  // walk rebuilds nnz/entropy in the same ascending-row order the fused loop
+  // used, so every charge is byte-identical.
   pool->RunOnAll([&](size_t worker) {
     if (worker >= static_cast<size_t>(threads)) return;
     const uint32_t row_begin = std::min<uint32_t>(rows_total, worker * chunk);
@@ -59,23 +89,12 @@ Result<ParallelSpmmResult> FusedMmSpmm(const graph::CsrMatrix& a,
     ctx.clock = &clocks.clock(worker);
     SpmmCostBreakdown& bd = result.thread_breakdowns[worker];
 
-    const graph::NodeId* cols = a.col_idx().data();
-    const float* vals = a.values().data();
     uint64_t nnz = 0;
     sched::EntropyAccumulator entropy;
     for (uint32_t j = row_begin; j < row_end; ++j) {
-      const uint64_t start = a.RowBegin(j);
       const uint32_t deg = a.RowDegree(j);
       nnz += deg;
       entropy.AddRow(deg);
-      for (size_t t = 0; t < d; ++t) {
-        const float* bt = b.ColData(t);
-        float acc = 0.0f;
-        for (uint32_t k = 0; k < deg; ++k) {
-          acc += vals[start + k] * bt[cols[start + k]];
-        }
-        c->ColData(t)[j] = acc;
-      }
     }
 
     auto charge = [&](SpmmOp op, memsim::MemOp mop, memsim::Pattern pat,

@@ -57,6 +57,35 @@ ParallelSpmmResult SemiExternalSpmm(const graph::CsrMatrix& a,
   memsim::ClockGroup clocks(threads);
   const size_t d = b.cols();
 
+  // Host compute under dynamic row-block scheduling (no memsim state; each
+  // element's ascending-k reduction is fixed, so the result is bit-identical
+  // to the old per-part loop at any host thread count).
+  {
+    constexpr uint32_t kComputeRowBlock = 1024;
+    const graph::NodeId* cols = a.col_idx().data();
+    const float* vals = a.values().data();
+    pool->ParallelForDynamic(
+        a.num_rows(), kComputeRowBlock,
+        [&](size_t, size_t row_begin, size_t row_end) {
+          for (uint32_t j = static_cast<uint32_t>(row_begin);
+               j < static_cast<uint32_t>(row_end); ++j) {
+            const uint64_t start = a.RowBegin(j);
+            const uint32_t deg = a.RowDegree(j);
+            for (size_t t = 0; t < d; ++t) {
+              const float* bt = b.ColData(t);
+              float acc = 0.0f;
+              for (uint32_t k = 0; k < deg; ++k) {
+                acc += vals[start + k] * bt[cols[start + k]];
+              }
+              c->ColData(t)[j] = acc;
+            }
+          }
+        });
+  }
+
+  // Simulated charging: one worker per equal-nnz part as before; the
+  // metadata walk rebuilds nnz/entropy in the same ascending-row order the
+  // fused loop used, so every charge is byte-identical.
   pool->RunOnAll([&](size_t worker) {
     if (worker >= static_cast<size_t>(threads)) return;
     const auto [row_begin, row_end] = parts[worker];
@@ -67,26 +96,12 @@ ParallelSpmmResult SemiExternalSpmm(const graph::CsrMatrix& a,
     ctx.clock = &clocks.clock(worker);
     SpmmCostBreakdown& bd = result.thread_breakdowns[worker];
 
-    const graph::NodeId* cols = a.col_idx().data();
-    const float* vals = a.values().data();
-
     uint64_t nnz = 0;
     sched::EntropyAccumulator entropy;
-    // Row-major pass: real compute for all d columns per row; the sparse row
-    // is streamed once (the semi-external optimization).
     for (uint32_t j = row_begin; j < row_end; ++j) {
-      const uint64_t start = a.RowBegin(j);
       const uint32_t deg = a.RowDegree(j);
       nnz += deg;
       entropy.AddRow(deg);
-      for (size_t t = 0; t < d; ++t) {
-        const float* bt = b.ColData(t);
-        float acc = 0.0f;
-        for (uint32_t k = 0; k < deg; ++k) {
-          acc += vals[start + k] * bt[cols[start + k]];
-        }
-        c->ColData(t)[j] = acc;
-      }
     }
 
     const uint64_t rows = row_end - row_begin;

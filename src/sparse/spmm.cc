@@ -127,28 +127,17 @@ double GatherSeconds(memsim::MemorySystem* ms, int cpu_socket,
   return seconds;
 }
 
-SpmmCostBreakdown ExecuteWorkloadCsdb(const graph::CsdbMatrix& a,
-                                      const linalg::DenseMatrix& b,
-                                      linalg::DenseMatrix* c,
-                                      const sched::Workload& w,
-                                      const SpmmPlacements& placements,
-                                      memsim::MemorySystem* ms,
-                                      memsim::WorkerCtx* ctx,
-                                      const DenseCacheView* cache, size_t col_begin,
-                                      size_t col_end) {
+void ComputeWorkloadCsdb(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
+                         linalg::DenseMatrix* c, const sched::Workload& w,
+                         size_t col_begin, size_t col_end) {
   OMEGA_DCHECK(c->rows() == a.num_rows() && c->cols() == b.cols());
   col_end = std::min(col_end, b.cols());
   OMEGA_DCHECK(col_begin <= col_end);
-  SpmmCostBreakdown breakdown;
-  const size_t d = col_end - col_begin;
   const graph::NodeId* cols = a.col_list().data();
   const float* vals = a.nnz_list().data();
 
-  GatherCounts counts;
-  uint64_t rows = 0;
-  uint64_t nnz = 0;
-
-  // Real computation, column-major outer loop as in Algorithm 1.
+  // Column-major outer loop as in Algorithm 1; each element reduces over its
+  // row's elements in ascending k.
   for (size_t t = col_begin; t < col_end; ++t) {
     const float* bt = b.ColData(t);
     float* ct = c->ColData(t);
@@ -162,30 +151,64 @@ SpmmCostBreakdown ExecuteWorkloadCsdb(const graph::CsdbMatrix& a,
           acc += vals[start + k] * bt[cols[start + k]];
         }
         ct[cur.row()] = acc;
-        if (t == col_begin) {
-          // Traffic is identical for every column pass; count it once.
-          counts.entropy.AddRow(deg);
-          if (cache != nullptr) {
-            for (uint32_t k = 0; k < deg; ++k) {
-              if (cache->Contains(cols[start + k])) {
-                ++counts.cache_hits;
-              } else {
-                ++counts.misses;
-              }
-            }
-          } else {
-            counts.misses += deg;
-          }
-          ++rows;
-          nnz += deg;
-        }
       }
     }
   }
+}
 
-  ChargeWorkloadCosts(ms, ctx, placements, cache, rows, nnz, d, counts,
+SpmmCostBreakdown ChargeWorkloadCsdb(const graph::CsdbMatrix& a,
+                                     uint64_t dense_cols, const sched::Workload& w,
+                                     const SpmmPlacements& placements,
+                                     memsim::MemorySystem* ms,
+                                     memsim::WorkerCtx* ctx,
+                                     const DenseCacheView* cache) {
+  SpmmCostBreakdown breakdown;
+  const graph::NodeId* cols = a.col_list().data();
+
+  // Metadata-only walk in the same row/element order as the fused kernel, so
+  // the gather counts (and hence every charge) match it exactly.
+  GatherCounts counts;
+  uint64_t rows = 0;
+  uint64_t nnz = 0;
+  for (const sched::RowRange& range : w.ranges) {
+    if (range.size() == 0) continue;
+    for (auto cur = a.Rows(range.begin); cur.row() < range.end; cur.Next()) {
+      const uint64_t start = cur.ptr();
+      const uint32_t deg = cur.degree();
+      counts.entropy.AddRow(deg);
+      if (cache != nullptr) {
+        for (uint32_t k = 0; k < deg; ++k) {
+          if (cache->Contains(cols[start + k])) {
+            ++counts.cache_hits;
+          } else {
+            ++counts.misses;
+          }
+        }
+      } else {
+        counts.misses += deg;
+      }
+      ++rows;
+      nnz += deg;
+    }
+  }
+
+  ChargeWorkloadCosts(ms, ctx, placements, cache, rows, nnz, dense_cols, counts,
                       /*index_bytes_per_row=*/4, a.num_cols(), &breakdown);
   return breakdown;
+}
+
+SpmmCostBreakdown ExecuteWorkloadCsdb(const graph::CsdbMatrix& a,
+                                      const linalg::DenseMatrix& b,
+                                      linalg::DenseMatrix* c,
+                                      const sched::Workload& w,
+                                      const SpmmPlacements& placements,
+                                      memsim::MemorySystem* ms,
+                                      memsim::WorkerCtx* ctx,
+                                      const DenseCacheView* cache, size_t col_begin,
+                                      size_t col_end) {
+  col_end = std::min(col_end, b.cols());
+  ComputeWorkloadCsdb(a, b, c, w, col_begin, col_end);
+  return ChargeWorkloadCsdb(a, col_end - col_begin, w, placements, ms, ctx, cache);
 }
 
 SpmmCostBreakdown ExecuteWorkloadCsr(const graph::CsrMatrix& a,
@@ -249,6 +272,35 @@ ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
   memsim::ClockGroup clocks(n);
   const int total_workers = static_cast<int>(n);
 
+  // Phase 1 — host compute under dynamic scheduling. The workloads' row
+  // ranges are flattened into fixed-size row blocks that any worker may grab,
+  // so a skewed (high-entropy) workload no longer serializes the host run on
+  // its owner. No memsim state is touched here, and each output element's
+  // reduction order is fixed, so this phase is invisible to the simulation
+  // and bit-stable across thread counts.
+  constexpr uint32_t kComputeRowBlock = 1024;
+  std::vector<sched::RowRange> blocks;
+  for (const sched::Workload& w : workloads) {
+    for (const sched::RowRange& range : w.ranges) {
+      for (uint32_t r = range.begin; r < range.end; r += kComputeRowBlock) {
+        blocks.push_back(
+            {r, std::min<uint32_t>(range.end, r + kComputeRowBlock)});
+      }
+    }
+  }
+  pool->ParallelForDynamic(
+      blocks.size(), /*chunk_size=*/1,
+      [&](size_t, size_t blk_begin, size_t blk_end) {
+        for (size_t i = blk_begin; i < blk_end; ++i) {
+          sched::Workload block;
+          block.ranges.push_back(blocks[i]);
+          ComputeWorkloadCsdb(a, b, c, block);
+        }
+      });
+
+  // Phase 2 — simulated charging, one worker per workload exactly as before:
+  // the cache build and every charge land on the same per-worker clock in the
+  // same order as the old fused kernel.
   pool->RunOnAll([&](size_t worker) {
     if (worker >= n) return;
     const sched::Workload& w = workloads[worker];
@@ -260,7 +312,7 @@ ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
     ctx.clock = &clocks.clock(worker);
     const DenseCacheView* cache = cache_factory ? cache_factory(&ctx, w) : nullptr;
     result.thread_breakdowns[worker] =
-        ExecuteWorkloadCsdb(a, b, c, w, placements, ms, &ctx, cache);
+        ChargeWorkloadCsdb(a, b.cols(), w, placements, ms, &ctx, cache);
   });
 
   for (size_t i = 0; i < n; ++i) {

@@ -89,6 +89,27 @@ SpmmCostBreakdown ExecuteWorkloadCsdb(const graph::CsdbMatrix& a,
                                       const DenseCacheView* cache = nullptr,
                                       size_t col_begin = 0, size_t col_end = SIZE_MAX);
 
+/// Host-only half of ExecuteWorkloadCsdb: computes C rows for the workload's
+/// ranges and columns [col_begin, col_end) with no memsim charging. Every
+/// output element is reduced in ascending-k order, so the result is
+/// bit-identical no matter how the rows are split across workers — safe for
+/// dynamic scheduling.
+void ComputeWorkloadCsdb(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
+                         linalg::DenseMatrix* c, const sched::Workload& w,
+                         size_t col_begin = 0, size_t col_end = SIZE_MAX);
+
+/// Charging-only half of ExecuteWorkloadCsdb: walks the workload's metadata
+/// (degrees + cache membership) in the same row/element order as the fused
+/// kernel and charges `ctx` exactly as ExecuteWorkloadCsdb would. Does not
+/// read or write any dense value, so simulated seconds cannot depend on how
+/// the host computed C.
+SpmmCostBreakdown ChargeWorkloadCsdb(const graph::CsdbMatrix& a,
+                                     uint64_t dense_cols, const sched::Workload& w,
+                                     const SpmmPlacements& placements,
+                                     memsim::MemorySystem* ms,
+                                     memsim::WorkerCtx* ctx,
+                                     const DenseCacheView* cache = nullptr);
+
 /// Simulated seconds for `touches` dense-operand gathers (64 bytes each)
 /// whose stream has normalized workload entropy `z` in [0, 1]: the Z-weighted
 /// blend of the random and sequential access charges (Eqs. 4-5). Updates the
@@ -134,6 +155,13 @@ using CacheFactory = std::function<const DenseCacheView*(memsim::WorkerCtx* ctx,
 /// Runs one SpMM A (CSDB) x B -> C with one worker per workload. Worker w is
 /// bound to the socket given by the machine topology's block assignment. The
 /// context must carry a pool with at least workloads.size() workers.
+///
+/// Internally two-phase: the host compute runs first under dynamic-chunk
+/// scheduling (ThreadPool::ParallelForDynamic over fixed-size row blocks, so
+/// a skewed workload no longer idles the other host threads), then the
+/// simulated charging replays each workload on its own worker in the original
+/// static order. Simulated seconds are therefore byte-identical to the old
+/// fused kernel at any host thread count.
 ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
                                 const linalg::DenseMatrix& b,
                                 linalg::DenseMatrix* c,

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -184,6 +186,66 @@ TEST(ThreadPoolTest, ParallelForSmallerThanPool) {
     total += static_cast<int>(end - begin);
   });
   EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicCoversRangeDisjointly) {
+  ThreadPool pool(4);
+  for (const size_t chunk : {1, 7, 64, 1000}) {
+    std::vector<std::atomic<int>> touched(257);
+    pool.ParallelForDynamic(257, chunk, [&](size_t, size_t begin, size_t end) {
+      EXPECT_LT(begin, end);
+      for (size_t i = begin; i < end; ++i) touched[i]++;
+    });
+    for (const auto& t : touched) EXPECT_EQ(t.load(), 1) << "chunk=" << chunk;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicEmptyAndAlignedRanges) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.ParallelForDynamic(0, 16, [&](size_t, size_t, size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+  // n an exact multiple of the chunk size: every chunk is full-width.
+  pool.ParallelForDynamic(48, 16, [&](size_t, size_t begin, size_t end) {
+    EXPECT_EQ(end - begin, 16u);
+    calls++;
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicWorkerIndicesAreStable) {
+  // Worker w must only ever run on pool thread w: record the thread id the
+  // pool reports for each worker index and check consistency across chunks.
+  ThreadPool pool(4);
+  std::vector<std::atomic<const void*>> seen(4);
+  for (auto& s : seen) s.store(nullptr);
+  std::atomic<bool> mismatch{false};
+  for (int round = 0; round < 8; ++round) {
+    pool.ParallelForDynamic(64, 1, [&](size_t w, size_t, size_t) {
+      ASSERT_LT(w, 4u);
+      thread_local int marker = 0;
+      const void* self = &marker;  // distinct per OS thread
+      const void* expected = nullptr;
+      if (!seen[w].compare_exchange_strong(expected, self) && expected != self) {
+        mismatch = true;
+      }
+    });
+  }
+  EXPECT_FALSE(mismatch.load());
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicSkewedWorkIsShared) {
+  // With single-index chunks and one slow index, the fast indices must still
+  // all be processed (dynamic draining), regardless of which worker is stuck.
+  ThreadPool pool(4);
+  std::atomic<int> processed{0};
+  pool.ParallelForDynamic(100, 1, [&](size_t, size_t begin, size_t) {
+    if (begin == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    processed++;
+  });
+  EXPECT_EQ(processed.load(), 100);
 }
 
 }  // namespace

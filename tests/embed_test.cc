@@ -219,6 +219,74 @@ TEST(ProneTest, EndToEndProducesStructuredEmbedding) {
   EXPECT_GT(same / same_n, cross / cross_n + 0.1);
 }
 
+// Host-side thread count must not change a single embedding bit: dense
+// stages reduce in fixed order (gemm.h) and the SpMM executor is per-row
+// deterministic. This is the contract DESIGN.md's "Host time vs simulated
+// time" section documents.
+TEST(ProneTest, EmbeddingBitIdenticalAcrossThreadCounts) {
+  graph::RmatParams params;
+  params.scale = 12;
+  params.num_edges = 40000;
+  params.seed = 3;
+  const Graph g = graph::GenerateRmat(params).value();
+  const CsdbMatrix adj = CsdbMatrix::FromGraph(g);
+
+  ProneOptions opts;
+  opts.dim = 16;
+  opts.oversample = 4;
+  opts.chebyshev_order = 6;
+
+  auto serial = ProneEmbed(adj, opts, PlainExecutor());
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  ThreadPool pool(8);
+  ProneOptions pooled_opts = opts;
+  pooled_opts.pool = &pool;
+  auto pooled = ProneEmbed(adj, pooled_opts, PlainExecutor());
+  ASSERT_TRUE(pooled.ok()) << pooled.status().ToString();
+
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(serial.value().vectors,
+                                    pooled.value().vectors),
+            0.0);
+
+  // One more thread count; and the pooled reference SpMM must agree too.
+  ThreadPool pool2(2);
+  ProneOptions pooled2_opts = opts;
+  pooled2_opts.pool = &pool2;
+  SpmmExecutor pooled_spmm = [&](const CsdbMatrix& m, const DenseMatrix& in,
+                                 DenseMatrix* out) -> Result<double> {
+    OMEGA_RETURN_NOT_OK(sparse::ReferenceSpmm(m, in, out, &pool2));
+    return 0.001;
+  };
+  auto pooled2 = ProneEmbed(adj, pooled2_opts, pooled_spmm);
+  ASSERT_TRUE(pooled2.ok());
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(serial.value().vectors,
+                                    pooled2.value().vectors),
+            0.0);
+}
+
+TEST(ChebyshevTest, FilterApplyBitIdenticalAcrossThreadCounts) {
+  graph::RmatParams params;
+  params.scale = 12;
+  params.num_edges = 30000;
+  params.seed = 9;
+  const Graph g = graph::GenerateRmat(params).value();
+  CsdbMatrix s = BuildPropagationMatrix(CsdbMatrix::FromGraph(g));
+  const DenseMatrix r = linalg::GaussianMatrix(s.num_rows(), 16, 7);
+  const auto coeffs = ChebyshevCoefficients(ProneBandPass(0.2, 0.5), 8);
+
+  DenseMatrix serial_out;
+  auto serial = ChebyshevFilterApply(s, coeffs, r, &serial_out, PlainExecutor());
+  ASSERT_TRUE(serial.ok());
+
+  ThreadPool pool(8);
+  DenseMatrix pooled_out;
+  auto pooled = ChebyshevFilterApply(s, coeffs, r, &pooled_out, PlainExecutor(),
+                                     &pool);
+  ASSERT_TRUE(pooled.ok());
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(serial_out, pooled_out), 0.0);
+}
+
 TEST(ProneTest, ToOriginalOrderInvertsPerm) {
   const Graph g = CommunityGraph();
   const CsdbMatrix adj = CsdbMatrix::FromGraph(g);

@@ -104,6 +104,139 @@ TEST(GemmTest, TransposedVariantsAgreeWithExplicitTranspose) {
   EXPECT_LT(DenseMatrix::MaxAbsDiff(a_ct, reference2), 1e-4);
 }
 
+// The blocked kernel must agree with the scalar reference bit-for-bit (same
+// ascending-k reduction chain) on shapes that exercise partial tiles.
+TEST(GemmTest, BlockedMatchesNaiveOnAwkwardShapes) {
+  struct Shape {
+    size_t m, k, n;
+  };
+  const Shape shapes[] = {
+      {1, 1, 1},       // single element
+      {129, 67, 33},   // prime-ish, none a tile multiple
+      {1000, 3, 5},    // tall-skinny
+      {63, 200, 2},    // k spans > 1 k-block, partial row tile
+      {64, 128, 8},    // exact tile/block multiples
+  };
+  for (const Shape& s : shapes) {
+    const DenseMatrix a = GaussianMatrix(s.m, s.k, 11);
+    const DenseMatrix b = GaussianMatrix(s.k, s.n, 12);
+    DenseMatrix blocked;
+    DenseMatrix naive;
+    ASSERT_TRUE(Gemm(a, b, &blocked).ok());
+    ASSERT_TRUE(GemmNaive(a, b, &naive).ok());
+    EXPECT_EQ(DenseMatrix::MaxAbsDiff(blocked, naive), 0.0)
+        << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(GemmTest, HandlesEmptyInnerDimension) {
+  // k = 0: the product is defined and all-zero.
+  const DenseMatrix a(4, 0);
+  const DenseMatrix b(0, 3);
+  DenseMatrix c;
+  ASSERT_TRUE(Gemm(a, b, &c).ok());
+  ASSERT_EQ(c.rows(), 4u);
+  ASSERT_EQ(c.cols(), 3u);
+  for (size_t j = 0; j < 3; ++j) {
+    for (size_t i = 0; i < 4; ++i) EXPECT_EQ(c.At(i, j), 0.0f);
+  }
+}
+
+// Regression: writing the output used to destroy an aliased input operand
+// (*c = DenseMatrix(...) frees the storage `a` still points to).
+TEST(GemmTest, InPlaceOutputAliasingIsSafe) {
+  const DenseMatrix a0 = GaussianMatrix(9, 9, 21);
+  const DenseMatrix b0 = GaussianMatrix(9, 9, 22);
+  DenseMatrix expected;
+  ASSERT_TRUE(Gemm(a0, b0, &expected).ok());
+
+  DenseMatrix a = a0;
+  ASSERT_TRUE(Gemm(a, b0, &a).ok());  // c aliases a
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(a, expected), 0.0);
+
+  DenseMatrix b = b0;
+  ASSERT_TRUE(Gemm(a0, b, &b).ok());  // c aliases b
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(b, expected), 0.0);
+
+  DenseMatrix expected_ata;
+  ASSERT_TRUE(GemmTransA(a0, a0, &expected_ata).ok());
+  DenseMatrix self = a0;
+  ASSERT_TRUE(GemmTransA(self, self, &self).ok());  // c aliases both operands
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(self, expected_ata), 0.0);
+
+  DenseMatrix expected_abt;
+  ASSERT_TRUE(GemmTransB(a0, b0, &expected_abt).ok());
+  DenseMatrix ab = a0;
+  ASSERT_TRUE(GemmTransB(ab, b0, &ab).ok());
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(ab, expected_abt), 0.0);
+}
+
+// Host-side parallelism must not change a single output bit (fixed-order
+// per-element reductions; see gemm.h).
+TEST(GemmTest, PooledResultsBitIdenticalToSerial) {
+  ThreadPool pool(8);
+  const DenseMatrix a = GaussianMatrix(300, 70, 31);
+  const DenseMatrix b = GaussianMatrix(70, 40, 32);
+  DenseMatrix serial;
+  DenseMatrix pooled;
+  ASSERT_TRUE(Gemm(a, b, &serial).ok());
+  ASSERT_TRUE(Gemm(a, b, &pooled, &pool).ok());
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(serial, pooled), 0.0);
+
+  const DenseMatrix tall = GaussianMatrix(300, 40, 33);
+  DenseMatrix serial_t;
+  DenseMatrix pooled_t;
+  ASSERT_TRUE(GemmTransA(a, tall, &serial_t).ok());
+  ASSERT_TRUE(GemmTransA(a, tall, &pooled_t, &pool).ok());
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(serial_t, pooled_t), 0.0);
+
+  const DenseMatrix wide = GaussianMatrix(40, 70, 34);
+  DenseMatrix serial_b;
+  DenseMatrix pooled_b;
+  ASSERT_TRUE(GemmTransB(a, wide, &serial_b).ok());
+  ASSERT_TRUE(GemmTransB(a, wide, &pooled_b, &pool).ok());
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(serial_b, pooled_b), 0.0);
+}
+
+TEST(QrTest, PooledResultsBitIdenticalToSerial) {
+  ThreadPool pool(8);
+  const DenseMatrix a = GaussianMatrix(500, 24, 41);
+  DenseMatrix q1, r1, q8, r8;
+  ASSERT_TRUE(ReducedQr(a, &q1, &r1).ok());
+  ASSERT_TRUE(ReducedQr(a, &q8, &r8, &pool).ok());
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(q1, q8), 0.0);
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(r1, r8), 0.0);
+}
+
+TEST(SvdTest, PooledResultsBitIdenticalToSerial) {
+  // Same operator, 1 worker vs 8 workers: identical embedding bytes.
+  const DenseMatrix op = GaussianMatrix(120, 120, 51);
+  MatMulFn apply = [&](const DenseMatrix& in, DenseMatrix* out) {
+    return Gemm(op, in, out);
+  };
+  MatMulFn apply_t = [&](const DenseMatrix& in, DenseMatrix* out) {
+    return GemmTransA(op, in, out);
+  };
+  RandomizedSvdOptions serial_opts;
+  serial_opts.rank = 8;
+  serial_opts.power_iterations = 2;
+  auto serial = RandomizedSvd(120, 120, apply, apply_t, serial_opts);
+  ASSERT_TRUE(serial.ok());
+
+  ThreadPool pool(8);
+  RandomizedSvdOptions pooled_opts = serial_opts;
+  pooled_opts.pool = &pool;
+  auto pooled = RandomizedSvd(120, 120, apply, apply_t, pooled_opts);
+  ASSERT_TRUE(pooled.ok());
+
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(serial.value().u, pooled.value().u), 0.0);
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(serial.value().v, pooled.value().v), 0.0);
+  ASSERT_EQ(serial.value().singular.size(), pooled.value().singular.size());
+  for (size_t i = 0; i < serial.value().singular.size(); ++i) {
+    EXPECT_EQ(serial.value().singular[i], pooled.value().singular[i]);
+  }
+}
+
 TEST(RandomMatrixTest, DeterministicAndOrderIndependent) {
   const DenseMatrix a = GaussianMatrix(100, 8, 42);
   const DenseMatrix b = GaussianMatrix(100, 8, 42);
