@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "common/logging.h"
 #include "numa/partition.h"
@@ -29,39 +30,123 @@ struct WorkerLayout {
 
 }  // namespace
 
-NadpResult NadpSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
-                    linalg::DenseMatrix* c, const NadpOptions& options,
-                    const exec::Context& exec_ctx, size_t col_begin,
-                    size_t col_end) {
+NadpPlan NadpPlan::Build(const graph::CsdbMatrix& a, const NadpOptions& options,
+                         const exec::Context& exec_ctx) {
   memsim::MemorySystem* ms = exec_ctx.ms();
   ThreadPool* pool = exec_ctx.pool();
   const int threads = options.num_threads;
   OMEGA_CHECK(threads > 0);
   OMEGA_CHECK(pool != nullptr && pool->size() >= static_cast<size_t>(threads));
+
+  NadpPlan plan;
+  plan.options_ = options;
+  plan.structure_ = sparse::StructureOf(a);
+  plan.threads_ = threads;
+  plan.sockets_ = ms->topology().num_sockets();
+  plan.caches_.resize(threads);
+  if (options.use_wofp) plan.in_degrees_ = sparse::ComputeInDegrees(a);
+
+  sched::AllocatorOptions alloc_opts;
+  alloc_opts.beta = options.beta;
+
+  if (!options.enabled) {
+    alloc_opts.num_threads = threads;
+    plan.flat_workloads_ = sched::Allocate(a, options.allocator, alloc_opts);
+    if (options.use_wofp) {
+      // Host-side store construction only (ctx = nullptr): the simulated
+      // warm-up is replayed on every NadpExecute so the clocks see the same
+      // charge sequence as per-call planning.
+      pool->RunOnAll([&](size_t worker) {
+        if (worker >= static_cast<size_t>(threads)) return;
+        prefetch::WofpOptions wofp = options.wofp;
+        wofp.cache_placement.socket = memsim::Placement::kInterleaved;
+        plan.caches_[worker] = prefetch::WofpPrefetcher::Build(
+            a, plan.flat_workloads_[worker], plan.in_degrees_, wofp, ms, nullptr);
+      });
+    }
+    return plan;
+  }
+
+  const int active_sockets = std::min(plan.sockets_, threads);
+  plan.active_sockets_ = active_sockets;
+  // The sparse row partition depends only on the matrix and socket count; the
+  // dense column partition depends on the execute call's column range and is
+  // recomputed there.
+  plan.row_blocks_ =
+      std::move(MakeSocketPartition(a, /*dense_cols=*/0, plan.sockets_).row_blocks);
+
+  WorkerLayout layout;
+  layout.per_socket = (threads + active_sockets - 1) / active_sockets;
+  plan.per_socket_ = layout.per_socket;
+
+  // Per-socket thread allocations (identical when threads % sockets == 0).
+  plan.per_socket_workloads_.resize(plan.sockets_);
+  for (int s = 0; s < active_sockets; ++s) {
+    const int ws = layout.ThreadsOnSocket(s, threads, active_sockets);
+    if (ws <= 0) continue;
+    alloc_opts.num_threads = ws;
+    plan.per_socket_workloads_[s] = sched::Allocate(a, options.allocator, alloc_opts);
+  }
+
+  if (options.use_wofp) {
+    pool->RunOnAll([&](size_t worker) {
+      if (worker >= static_cast<size_t>(threads)) return;
+      const int w = static_cast<int>(worker);
+      const int s = layout.SocketOf(w, active_sockets);
+      const int wi = layout.LocalIndex(w, s);
+      // Workers without a workload never build a cache (NadpSpmm's early
+      // exit); their slot stays null and NadpExecute skips them identically.
+      if (wi >= static_cast<int>(plan.per_socket_workloads_[s].size())) return;
+      prefetch::WofpOptions wofp = options.wofp;
+      wofp.cache_placement.socket = s;
+      plan.caches_[worker] = prefetch::WofpPrefetcher::Build(
+          a, plan.per_socket_workloads_[s][wi], plan.in_degrees_, wofp, ms,
+          nullptr);
+    });
+  }
+  return plan;
+}
+
+bool NadpPlan::Matches(const graph::CsdbMatrix& a,
+                       const NadpOptions& options) const {
+  if (!valid()) return false;
+  if (!(structure_ == sparse::StructureOf(a))) return false;
+  const NadpOptions& p = options_;
+  return p.num_threads == options.num_threads &&
+         p.allocator == options.allocator && p.beta == options.beta &&
+         p.enabled == options.enabled && p.use_wofp == options.use_wofp &&
+         p.wofp.eta == options.wofp.eta && p.wofp.sigma == options.wofp.sigma &&
+         p.wofp.cache_placement == options.wofp.cache_placement &&
+         p.wofp.charge_build == options.wofp.charge_build &&
+         p.sparse_tier == options.sparse_tier &&
+         p.dense_tier == options.dense_tier &&
+         p.result_tier == options.result_tier;
+}
+
+NadpResult NadpExecute(const NadpPlan& plan, const graph::CsdbMatrix& a,
+                       const linalg::DenseMatrix& b, linalg::DenseMatrix* c,
+                       const exec::Context& exec_ctx, size_t col_begin,
+                       size_t col_end) {
+  OMEGA_CHECK(plan.valid());
+  memsim::MemorySystem* ms = exec_ctx.ms();
+  ThreadPool* pool = exec_ctx.pool();
+  const NadpOptions& options = plan.options_;
+  const int threads = plan.threads_;
+  OMEGA_CHECK(pool != nullptr && pool->size() >= static_cast<size_t>(threads));
   OMEGA_CHECK(c->rows() == a.num_rows() && c->cols() == b.cols());
   col_end = std::min(col_end, b.cols());
   OMEGA_CHECK(col_begin <= col_end);
-
-  const int sockets = ms->topology().num_sockets();
-  sched::AllocatorOptions alloc_opts;
-  alloc_opts.beta = options.beta;
 
   NadpResult result;
   result.thread_seconds.assign(threads, 0.0);
   result.nnz_processed = a.nnz();
   memsim::ClockGroup clocks(threads);
   std::vector<sparse::SpmmCostBreakdown> breakdowns(threads);
-  std::vector<std::unique_ptr<prefetch::WofpPrefetcher>> caches(threads);
   std::vector<double> wofp_build(threads, 0.0);
-  const std::vector<uint32_t> in_degrees =
-      options.use_wofp ? prefetch::ComputeInDegrees(a) : std::vector<uint32_t>{};
 
   if (!options.enabled) {
     // OS Interleaved baseline: one global allocation; every stream pays the
     // interleaved local/remote mix.
-    alloc_opts.num_threads = threads;
-    const std::vector<sched::Workload> workloads =
-        sched::Allocate(a, options.allocator, alloc_opts);
     sparse::SpmmPlacements pl;
     pl.index = {memsim::Tier::kDram, memsim::Placement::kInterleaved};
     pl.sparse = {options.sparse_tier, memsim::Placement::kInterleaved};
@@ -77,17 +162,18 @@ NadpResult NadpSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
       ctx.clock = &clocks.clock(worker);
       const sparse::DenseCacheView* cache = nullptr;
       if (options.use_wofp) {
-        prefetch::WofpOptions wofp = options.wofp;
-        // Keep the configured cache tier; only the placement policy changes.
-        wofp.cache_placement.socket = memsim::Placement::kInterleaved;
+        // Replay the build warm-up at the exact point per-call planning paid
+        // it, so a reused plan is simulation-identical to rebuilding.
         const double before = ctx.clock->seconds();
-        caches[worker] = prefetch::WofpPrefetcher::Build(a, workloads[worker],
-                                                         in_degrees, wofp, ms, &ctx);
+        if (options.wofp.charge_build) {
+          plan.caches_[worker]->ReplayBuildCharges(&ctx);
+        }
         wofp_build[worker] = ctx.clock->seconds() - before;
-        cache = caches[worker].get();
+        cache = plan.caches_[worker].get();
       }
       breakdowns[worker] = sparse::ExecuteWorkloadCsdb(
-          a, b, c, workloads[worker], pl, ms, &ctx, cache, col_begin, col_end);
+          a, b, c, plan.flat_workloads_[worker], pl, ms, &ctx, cache, col_begin,
+          col_end);
     });
   } else {
     // NaDP (Fig. 10): socket s's threads compute C[:, cols_s] = A * B[:,
@@ -95,39 +181,35 @@ NadpResult NadpSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
     // column blocks partition [col_begin, col_end). With fewer threads than
     // sockets, only the sockets that have a thread receive a column block
     // (the data partition across sockets is unchanged).
-    const int active_sockets = std::min(sockets, threads);
-    SocketPartition part = MakeSocketPartition(a, col_end - col_begin, sockets);
+    const int active_sockets = plan.active_sockets_;
+    const int sockets = plan.sockets_;
+    std::vector<std::pair<size_t, size_t>> col_blocks(sockets);
     {
-      const SocketPartition cols =
-          MakeSocketPartition(a, col_end - col_begin, active_sockets);
+      // Same arithmetic as MakeSocketPartition's equal-count column split over
+      // active_sockets, shifted into [col_begin, col_end).
+      const size_t span = col_end - col_begin;
+      const size_t per = (span + active_sockets - 1) / active_sockets;
       for (int s = 0; s < sockets; ++s) {
-        part.col_blocks[s] = s < active_sockets
-                                 ? cols.col_blocks[s]
-                                 : std::pair<size_t, size_t>{0, 0};
-        part.col_blocks[s].first += col_begin;
-        part.col_blocks[s].second += col_begin;
+        if (s < active_sockets) {
+          const size_t begin = std::min(span, static_cast<size_t>(s) * per);
+          const size_t end = std::min(span, begin + per);
+          col_blocks[s] = {col_begin + begin, col_begin + end};
+        } else {
+          col_blocks[s] = {col_begin, col_begin};
+        }
       }
     }
     WorkerLayout layout;
-    layout.per_socket = (threads + active_sockets - 1) / active_sockets;
-
-    // Per-socket thread allocations (identical when threads % sockets == 0).
-    std::vector<std::vector<sched::Workload>> per_socket_workloads(sockets);
-    for (int s = 0; s < active_sockets; ++s) {
-      const int ws = layout.ThreadsOnSocket(s, threads, active_sockets);
-      if (ws <= 0) continue;
-      alloc_opts.num_threads = ws;
-      per_socket_workloads[s] = sched::Allocate(a, options.allocator, alloc_opts);
-    }
+    layout.per_socket = plan.per_socket_;
 
     pool->RunOnAll([&](size_t worker) {
       if (worker >= static_cast<size_t>(threads)) return;
       const int w = static_cast<int>(worker);
       const int s = layout.SocketOf(w, active_sockets);
       const int wi = layout.LocalIndex(w, s);
-      if (wi >= static_cast<int>(per_socket_workloads[s].size())) return;
-      const sched::Workload& workload = per_socket_workloads[s][wi];
-      const auto [col_begin, col_end] = part.col_blocks[s];
+      if (wi >= static_cast<int>(plan.per_socket_workloads_[s].size())) return;
+      const sched::Workload& workload = plan.per_socket_workloads_[s][wi];
+      const auto [col_begin, col_end] = col_blocks[s];
 
       memsim::WorkerCtx ctx;
       ctx.worker = w;
@@ -142,19 +224,18 @@ NadpResult NadpSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
 
       const sparse::DenseCacheView* cache = nullptr;
       if (options.use_wofp) {
-        prefetch::WofpOptions wofp = options.wofp;
-        // Pin each worker's cache on its own socket, keeping the tier.
-        wofp.cache_placement.socket = s;
         const double before = ctx.clock->seconds();
-        caches[worker] =
-            prefetch::WofpPrefetcher::Build(a, workload, in_degrees, wofp, ms, &ctx);
+        if (options.wofp.charge_build) {
+          plan.caches_[worker]->ReplayBuildCharges(&ctx);
+        }
         wofp_build[worker] = ctx.clock->seconds() - before;
-        cache = caches[worker].get();
+        cache = plan.caches_[worker].get();
       }
 
       uint64_t rows_processed = 0;
       for (int block = 0; block < sockets; ++block) {
-        const sched::Workload sub = IntersectWorkload(workload, part.row_blocks[block]);
+        const sched::Workload sub =
+            IntersectWorkload(workload, plan.row_blocks_[block]);
         if (sub.ranges.empty()) continue;
         sparse::SpmmPlacements pl;
         pl.index = {memsim::Tier::kDram, s};          // CSDB metadata: tiny, local
@@ -189,6 +270,14 @@ NadpResult NadpSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
   }
   result.phase_seconds = clocks.MaxSeconds();
   return result;
+}
+
+NadpResult NadpSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
+                    linalg::DenseMatrix* c, const NadpOptions& options,
+                    const exec::Context& exec_ctx, size_t col_begin,
+                    size_t col_end) {
+  const NadpPlan plan = NadpPlan::Build(a, options, exec_ctx);
+  return NadpExecute(plan, a, b, c, exec_ctx, col_begin, col_end);
 }
 
 }  // namespace omega::numa

@@ -68,11 +68,17 @@ sparse::ParallelSpmmResult StaticCsrSpmm(const graph::CsrMatrix& a,
                                          const linalg::DenseMatrix& b,
                                          linalg::DenseMatrix* c,
                                          const sparse::SpmmPlacements& placements,
-                                         const exec::Context& exec_ctx) {
+                                         const exec::Context& exec_ctx,
+                                         const sparse::CsrSpmmPlan* plan) {
   memsim::MemorySystem* ms = exec_ctx.ms();
   ThreadPool* pool = exec_ctx.pool();
   const int threads = exec_ctx.threads();
   OMEGA_CHECK(pool != nullptr && pool->size() >= static_cast<size_t>(threads));
+  if (plan != nullptr) {
+    OMEGA_CHECK(
+        plan->Matches(a, threads, sparse::CsrSpmmPlan::Split::kEqualRows))
+        << "StaticCsrSpmm: stale plan";
+  }
   sparse::ParallelSpmmResult result;
   result.thread_seconds.assign(threads, 0.0);
   result.thread_breakdowns.assign(threads, sparse::SpmmCostBreakdown{});
@@ -82,13 +88,22 @@ sparse::ParallelSpmmResult StaticCsrSpmm(const graph::CsrMatrix& a,
 
   pool->RunOnAll([&](size_t worker) {
     if (worker >= static_cast<size_t>(threads)) return;
-    const uint32_t begin = std::min<uint32_t>(rows, worker * chunk);
-    const uint32_t end = std::min<uint32_t>(rows, begin + chunk);
     memsim::WorkerCtx ctx;
     ctx.worker = static_cast<int>(worker);
     ctx.cpu_socket = ms->topology().SocketOfWorker(static_cast<int>(worker), threads);
     ctx.active_threads = threads;
     ctx.clock = &clocks.clock(worker);
+    if (plan != nullptr) {
+      // Plan path: same equal-row chunk, but nnz/entropy come pre-scanned.
+      const sparse::CsrPlanPart& part = plan->parts()[worker];
+      sparse::ComputeWorkloadCsr(a, b, c, part.row_begin, part.row_end);
+      result.thread_breakdowns[worker] = sparse::ChargeWorkloadCsr(
+          a, b.cols(), part.row_begin, part.row_end, part.nnz, part.entropy,
+          placements, ms, &ctx);
+      return;
+    }
+    const uint32_t begin = std::min<uint32_t>(rows, worker * chunk);
+    const uint32_t end = std::min<uint32_t>(rows, begin + chunk);
     result.thread_breakdowns[worker] =
         sparse::ExecuteWorkloadCsr(a, b, c, begin, end, placements, ms, &ctx);
   });
@@ -158,6 +173,7 @@ Result<RunReport> RunProneFamily(const graph::Graph& g, const std::string& datas
 
   const graph::CsdbMatrix adjacency = graph::CsdbMatrix::FromGraph(g);
   CsrCache csr_cache;
+  sparse::CsrSpmmPlan csr_plan;  // reused across the stage's SpMM calls
   embed::ProneOptions prone = options.prone;
   prone.pool = ctx.pool();  // host-side dense parallelism; sim-invariant
   internal::StageTracker stages;
@@ -169,7 +185,13 @@ Result<RunReport> RunProneFamily(const graph::Graph& g, const std::string& datas
     exec::PhaseSpan span(ctx, stages.NextSpmmName());
     *out = linalg::DenseMatrix(m.num_rows(), in.cols());
     const graph::CsrMatrix& csr = csr_cache.Get(m);
-    const sparse::ParallelSpmmResult r = StaticCsrSpmm(csr, in, out, pl, ctx);
+    if (!csr_plan.Matches(csr, threads, sparse::CsrSpmmPlan::Split::kEqualRows)) {
+      exec::PhaseSpan plan_span(ctx, "plan.build", /*aux=*/true);
+      csr_plan = sparse::CsrSpmmPlan::Build(
+          csr, threads, sparse::CsrSpmmPlan::Split::kEqualRows);
+    }
+    const sparse::ParallelSpmmResult r =
+        StaticCsrSpmm(csr, in, out, pl, ctx, &csr_plan);
     double seconds = r.phase_seconds;
     if (hm) {
       // Synchronous dense staging PM -> DRAM before and DRAM -> PM after each
@@ -295,6 +317,7 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
 
   const graph::CsdbMatrix adjacency = graph::CsdbMatrix::FromGraph(g);
   CsrCache csr_cache;
+  sparse::CsrSpmmPlan csr_plan;  // reused across the stage's SpMM calls
   const Placement ssd{Tier::kSsd, 0};
   const Placement dram{Tier::kDram, Placement::kInterleaved};
   embed::ProneOptions prone = options.prone;
@@ -311,27 +334,19 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
     const size_t d = in.cols();
 
     memsim::ClockGroup clocks(threads);
-    const uint32_t rows = csr.num_rows();
     // Both systems batch work by edges (sampled subgraphs / buffer
-    // partitions), so partition by nnz rather than rows.
-    std::vector<std::pair<uint32_t, uint32_t>> parts(threads, {rows, rows});
-    {
-      const uint64_t per = std::max<uint64_t>(1, csr.nnz() / threads);
-      uint32_t row = 0;
-      for (int t = 0; t < threads; ++t) {
-        const uint32_t part_begin = row;
-        uint64_t taken = 0;
-        while (row < rows && (taken < per || taken == 0)) {
-          taken += csr.RowDegree(row);
-          ++row;
-        }
-        if (t == threads - 1) row = rows;
-        parts[t] = {part_begin, row};
-      }
+    // partitions), so partition by nnz rather than rows; the parts and their
+    // nnz/entropy metadata live in the reusable plan.
+    if (!csr_plan.Matches(csr, threads, sparse::CsrSpmmPlan::Split::kEqualNnz)) {
+      exec::PhaseSpan plan_span(ctx, "plan.build", /*aux=*/true);
+      csr_plan = sparse::CsrSpmmPlan::Build(
+          csr, threads, sparse::CsrSpmmPlan::Split::kEqualNnz);
     }
     pool->RunOnAll([&](size_t worker) {
       if (worker >= static_cast<size_t>(threads)) return;
-      const auto [begin, end] = parts[worker];
+      const sparse::CsrPlanPart& part = csr_plan.parts()[worker];
+      const uint32_t begin = part.row_begin;
+      const uint32_t end = part.row_end;
       memsim::WorkerCtx wctx;
       wctx.worker = static_cast<int>(worker);
       wctx.cpu_socket =
@@ -339,24 +354,8 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
       wctx.active_threads = threads;
       wctx.clock = &clocks.clock(worker);
 
-      const graph::NodeId* cols = csr.col_idx().data();
-      const float* vals = csr.values().data();
-      uint64_t nnz = 0;
-      sched::EntropyAccumulator entropy;
-      for (uint32_t j = begin; j < end; ++j) {
-        const uint64_t start = csr.RowBegin(j);
-        const uint32_t deg = csr.RowDegree(j);
-        nnz += deg;
-        entropy.AddRow(deg);
-        for (size_t t = 0; t < d; ++t) {
-          const float* bt = in.ColData(t);
-          float acc = 0.0f;
-          for (uint32_t k = 0; k < deg; ++k) {
-            acc += vals[start + k] * bt[cols[start + k]];
-          }
-          out->ColData(t)[j] = acc;
-        }
-      }
+      sparse::ComputeWorkloadCsr(csr, in, out, begin, end);
+      const uint64_t nnz = part.nnz;
 
       // Sparse structure streams from SSD once per pass.
       wctx.clock->Advance(ms->AccessSeconds(ssd, wctx.cpu_socket, memsim::MemOp::kRead,
@@ -369,8 +368,7 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
       const uint64_t hits = static_cast<uint64_t>(gathers * hit_rate);
       const uint64_t misses = static_cast<uint64_t>(
           (gathers - hits) * profile.miss_scale);
-      const double z =
-          sched::NormalizedEntropy(entropy.Entropy(), csr.num_cols());
+      const double z = sched::NormalizedEntropy(part.entropy, csr.num_cols());
       wctx.clock->Advance(sparse::GatherSeconds(ms, wctx.cpu_socket, dram, z, hits,
                                                threads));
       if (misses > 0) {

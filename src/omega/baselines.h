@@ -17,6 +17,7 @@
 #include "omega/engine.h"
 #include "omega/exec_context.h"
 #include "sparse/spmm.h"
+#include "sparse/spmm_plan.h"
 
 namespace omega::engine {
 
@@ -34,11 +35,14 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
 
 /// Charged parallel CSR SpMM with equal-row static chunking — the baseline
 /// execution style of the ProNE family. Uses ctx.threads() workers. Exposed
-/// for tests and benches.
+/// for tests and benches. When `plan` is non-null it must match
+/// (a, ctx.threads(), kEqualRows); the per-part metadata then comes from the
+/// plan instead of a per-call rescan (identical simulated charges).
 sparse::ParallelSpmmResult StaticCsrSpmm(const graph::CsrMatrix& a,
                                          const linalg::DenseMatrix& b,
                                          linalg::DenseMatrix* c,
                                          const sparse::SpmmPlacements& placements,
-                                         const exec::Context& ctx);
+                                         const exec::Context& ctx,
+                                         const sparse::CsrSpmmPlan* plan = nullptr);
 
 }  // namespace omega::engine

@@ -248,13 +248,32 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
   stages.Attach(&prone);
   double wofp_build_seconds = 0.0;
 
+  // Plan/execute split: ProNE issues dozens of SpMMs against only two sparse
+  // structures (the stage-1 target and the stage-2 propagation matrix), so
+  // the inspector work — EaTA allocation, in-degree scan, WoFP stores, and
+  // the ASL Eq. 9 solve — is cached across calls. Plan reuse is host-side
+  // only; every simulated charge is replayed per call (two-clock contract).
+  numa::NadpPlanCache plan_cache;
+  struct AslPartitionCacheEntry {
+    size_t dense_rows = 0;
+    size_t dense_cols = 0;
+    size_t partitions = 0;
+  } asl_parts;
+
   embed::SpmmExecutor executor =
       [&](const graph::CsdbMatrix& m, const linalg::DenseMatrix& in,
           linalg::DenseMatrix* out) -> Result<double> {
     exec::PhaseSpan span(ctx, stages.NextSpmmName());
     *out = linalg::DenseMatrix(m.num_rows(), in.cols());
+    if (!plan_cache.Contains(m, nadp)) {
+      // Aux: plan building charges nothing, so its sim time is zero; the
+      // span still captures the host wall time the rebuild costs.
+      exec::PhaseSpan plan_span(ctx, "plan.build", /*aux=*/true);
+      plan_cache.Get(m, nadp, ctx);
+    }
+    const numa::NadpPlan& plan = plan_cache.Get(m, nadp, ctx);
     if (!stream_dense) {
-      const numa::NadpResult r = numa::NadpSpmm(m, in, out, nadp, ctx);
+      const numa::NadpResult r = numa::NadpExecute(plan, m, in, out, ctx);
       wofp_build_seconds += r.wofp_build_seconds;
       span.AddSimSeconds(r.phase_seconds);
       return r.phase_seconds;
@@ -268,10 +287,18 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
     cfg.sparse_bytes = sparse_bytes;
     cfg.dram_budget = asl_dram_budget + sparse_bytes +
                       2 * cfg.dense_rows * cfg.dense_cols * sizeof(float);
+    // Eq. 9 depends only on the dense shape (the budget terms are run
+    // constants), so the solve is cached alongside the NaDP plan.
+    if (asl_parts.partitions == 0 || asl_parts.dense_rows != cfg.dense_rows ||
+        asl_parts.dense_cols != cfg.dense_cols) {
+      OMEGA_ASSIGN_OR_RETURN(const size_t n, stream::OptimalPartitions(cfg));
+      asl_parts = {cfg.dense_rows, cfg.dense_cols, n};
+    }
+    cfg.fixed_partitions = asl_parts.partitions;
     stream::AslStreamer streamer(ctx, cfg, interleave_pm, interleave_dram);
     auto run = streamer.Run([&](size_t, size_t col_begin, size_t col_end) {
       const numa::NadpResult r =
-          numa::NadpSpmm(m, in, out, nadp, ctx, col_begin, col_end);
+          numa::NadpExecute(plan, m, in, out, ctx, col_begin, col_end);
       wofp_build_seconds += r.wofp_build_seconds;
       return r.phase_seconds;
     });

@@ -20,6 +20,7 @@
 #include "prefetch/topm_store.h"
 #include "sched/workload.h"
 #include "sparse/spmm.h"
+#include "sparse/spmm_plan.h"
 
 namespace omega::prefetch {
 
@@ -65,6 +66,15 @@ class WofpPrefetcher final : public sparse::DenseCacheView {
   bool Contains(graph::NodeId col) const override { return store_.Contains(col); }
   memsim::Placement placement() const override { return placement_; }
 
+  /// Re-issues the exact simulated charge sequence of the build — the
+  /// frequency scan (when applicable) followed by the store writes and PM
+  /// fetches — on `ctx`'s clock. Build() calls this once when charging is
+  /// enabled; a reused plan calls it per execute so that the simulated clock
+  /// pays the warm-up on every call exactly as per-call planning does, even
+  /// though the host-side store is built only once (DESIGN.md's two-clock
+  /// contract).
+  void ReplayBuildCharges(memsim::WorkerCtx* ctx) const;
+
   /// Hit cost grows with store size: small stores stay CPU-cache resident,
   /// oversized ones pay full DRAM lines plus hashmap probing.
   uint64_t BytesPerHit() const override;
@@ -80,24 +90,36 @@ class WofpPrefetcher final : public sparse::DenseCacheView {
   memsim::Placement placement_{memsim::Tier::kDram, 0};
   memsim::MemorySystem* ms_ = nullptr;
   size_t reserved_bytes_ = 0;
+  uint64_t workload_nnz_ = 0;  ///< W_i of the workload built for (for replay)
 };
 
-/// In-degree of every column of `a` (number of stored entries per column).
-std::vector<uint32_t> ComputeInDegrees(const graph::CsdbMatrix& a);
+/// In-degree of every column of `a`. Forwards to the canonical
+/// sparse::ComputeInDegrees — plans own the array; pass it by reference.
+inline std::vector<uint32_t> ComputeInDegrees(const graph::CsdbMatrix& a) {
+  return sparse::ComputeInDegrees(a);
+}
 
 /// Decides the prefetcher type for a workload by the paper's eta rule.
 PrefetcherType SelectPrefetcherType(const sched::Workload& w, uint32_t num_nodes,
                                     double eta);
 
 /// Owns one prefetcher per workload and exposes the CacheFactory the parallel
-/// SpMM driver consumes. Thread-safe: slot w is only touched by worker w.
+/// SpMM driver consumes. The workloads and in-degree array are borrowed from
+/// the plan (which must outlive the set). Each worker's prefetcher is built
+/// on its first factory call and reused on later SpMMs; the build charges are
+/// replayed on every call, so a reused set is simulation-identical to
+/// rebuilding per call. Thread-safe: slot w is only touched by worker w, and
+/// the SpMM driver's barrier orders calls across phases.
 class WofpCacheSet {
  public:
-  WofpCacheSet(const graph::CsdbMatrix& a, std::vector<sched::Workload> workloads,
+  /// `plan` must have been built with in-degrees (SpmmPlan::Build's
+  /// with_in_degrees) so degree-based prefetchers can rank columns.
+  WofpCacheSet(const graph::CsdbMatrix& a, const sparse::SpmmPlan& plan,
                WofpOptions options, const exec::Context& ctx);
 
-  /// Factory for sparse::ParallelSpmm. Builds lazily on the worker thread so
-  /// construction cost lands on the right simulated clock.
+  /// Factory for sparse::ParallelSpmm. Builds lazily on the worker thread
+  /// (host cost only), then replays the build charges per call so the
+  /// construction cost lands on the right simulated clock every time.
   sparse::CacheFactory Factory();
 
   /// Prefetcher built for worker `w` (nullptr before the phase ran).
@@ -105,10 +127,9 @@ class WofpCacheSet {
 
  private:
   const graph::CsdbMatrix& a_;
-  std::vector<sched::Workload> workloads_;
+  const sparse::SpmmPlan& plan_;
   WofpOptions options_;
   memsim::MemorySystem* ms_;
-  std::vector<uint32_t> in_degrees_;
   std::vector<std::unique_ptr<WofpPrefetcher>> caches_;
 };
 

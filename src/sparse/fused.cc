@@ -17,10 +17,23 @@ Result<ParallelSpmmResult> FusedMmSpmm(const graph::CsrMatrix& a,
                                        linalg::DenseMatrix* c,
                                        const FusedMmOptions& options,
                                        const exec::Context& ctx_in) {
+  const CsrSpmmPlan plan =
+      CsrSpmmPlan::Build(a, options.num_threads, CsrSpmmPlan::Split::kEqualRows);
+  return FusedMmSpmm(a, b, c, options, plan, ctx_in);
+}
+
+Result<ParallelSpmmResult> FusedMmSpmm(const graph::CsrMatrix& a,
+                                       const linalg::DenseMatrix& b,
+                                       linalg::DenseMatrix* c,
+                                       const FusedMmOptions& options,
+                                       const CsrSpmmPlan& plan,
+                                       const exec::Context& ctx_in) {
   memsim::MemorySystem* ms = ctx_in.ms();
   ThreadPool* pool = ctx_in.pool();
   const int threads = options.num_threads;
   OMEGA_CHECK(pool != nullptr && pool->size() >= static_cast<size_t>(threads));
+  OMEGA_CHECK(plan.Matches(a, threads, CsrSpmmPlan::Split::kEqualRows))
+      << "FusedMmSpmm: stale plan";
   if (c->rows() != a.num_rows() || c->cols() != b.cols()) {
     return Status::InvalidArgument("FusedMmSpmm: result shape mismatch");
   }
@@ -37,9 +50,9 @@ Result<ParallelSpmmResult> FusedMmSpmm(const graph::CsrMatrix& a,
                                     std::to_string(working_set >> 20) + " MiB");
   }
 
-  // OpenMP-static style equal-row chunks (nnz-oblivious).
+  // OpenMP-static style equal-row chunks (nnz-oblivious) — prebuilt in the
+  // plan, alongside each chunk's nnz/entropy metadata.
   const uint32_t rows_total = a.num_rows();
-  const uint32_t chunk = (rows_total + threads - 1) / threads;
 
   const memsim::Placement dram{memsim::Tier::kDram, 0};
   ParallelSpmmResult result;
@@ -75,13 +88,14 @@ Result<ParallelSpmmResult> FusedMmSpmm(const graph::CsrMatrix& a,
         });
   }
 
-  // Simulated charging: one worker per static chunk as before; the metadata
-  // walk rebuilds nnz/entropy in the same ascending-row order the fused loop
+  // Simulated charging: one worker per static chunk as before; the plan's
+  // metadata was scanned in the same ascending-row order the per-call walk
   // used, so every charge is byte-identical.
   pool->RunOnAll([&](size_t worker) {
     if (worker >= static_cast<size_t>(threads)) return;
-    const uint32_t row_begin = std::min<uint32_t>(rows_total, worker * chunk);
-    const uint32_t row_end = std::min<uint32_t>(rows_total, row_begin + chunk);
+    const CsrPlanPart& part = plan.parts()[worker];
+    const uint32_t row_begin = part.row_begin;
+    const uint32_t row_end = part.row_end;
     memsim::WorkerCtx ctx;
     ctx.worker = static_cast<int>(worker);
     ctx.cpu_socket = ms->topology().SocketOfWorker(static_cast<int>(worker), threads);
@@ -89,13 +103,7 @@ Result<ParallelSpmmResult> FusedMmSpmm(const graph::CsrMatrix& a,
     ctx.clock = &clocks.clock(worker);
     SpmmCostBreakdown& bd = result.thread_breakdowns[worker];
 
-    uint64_t nnz = 0;
-    sched::EntropyAccumulator entropy;
-    for (uint32_t j = row_begin; j < row_end; ++j) {
-      const uint32_t deg = a.RowDegree(j);
-      nnz += deg;
-      entropy.AddRow(deg);
-    }
+    const uint64_t nnz = part.nnz;
 
     auto charge = [&](SpmmOp op, memsim::MemOp mop, memsim::Pattern pat,
                       uint64_t bytes, uint64_t accesses) {
@@ -119,7 +127,7 @@ Result<ParallelSpmmResult> FusedMmSpmm(const graph::CsrMatrix& a,
     // arithmetic).
     const uint64_t lines_per_gather =
         2 * ((d * sizeof(float) + kLineBytes - 1) / kLineBytes);
-    const double z = sched::NormalizedEntropy(entropy.Entropy(), a.num_cols());
+    const double z = sched::NormalizedEntropy(part.entropy, a.num_cols());
     const double gather_seconds =
         GatherSeconds(ms, ctx.cpu_socket, dram, z, nnz * lines_per_gather,
                       ctx.active_threads);

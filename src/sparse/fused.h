@@ -15,6 +15,7 @@
 #include "linalg/dense_matrix.h"
 #include "omega/exec_context.h"
 #include "sparse/spmm.h"
+#include "sparse/spmm_plan.h"
 
 namespace omega::sparse {
 
@@ -24,10 +25,22 @@ struct FusedMmOptions {
 
 /// Runs C = A * B with the FusedMM strategy. Fails with CapacityExceeded when
 /// sparse + dense + result do not fit in the simulated machine's total DRAM.
+/// Builds the kEqualRows plan per call; repeated SpMMs on the same structure
+/// should build a CsrSpmmPlan once and use the overload below.
 Result<ParallelSpmmResult> FusedMmSpmm(const graph::CsrMatrix& a,
                                        const linalg::DenseMatrix& b,
                                        linalg::DenseMatrix* c,
                                        const FusedMmOptions& options,
+                                       const exec::Context& ctx);
+
+/// Plan-reusing variant: `plan` must match (a, options.num_threads,
+/// kEqualRows). The per-part nnz/entropy metadata comes from the plan instead
+/// of a per-call rescan; the simulated charges are identical either way.
+Result<ParallelSpmmResult> FusedMmSpmm(const graph::CsrMatrix& a,
+                                       const linalg::DenseMatrix& b,
+                                       linalg::DenseMatrix* c,
+                                       const FusedMmOptions& options,
+                                       const CsrSpmmPlan& plan,
                                        const exec::Context& ctx);
 
 }  // namespace omega::sparse

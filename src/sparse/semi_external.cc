@@ -17,11 +17,24 @@ ParallelSpmmResult SemiExternalSpmm(const graph::CsrMatrix& a,
                                     linalg::DenseMatrix* c,
                                     const SemiExternalOptions& options,
                                     const exec::Context& ctx_in) {
+  const CsrSpmmPlan plan =
+      CsrSpmmPlan::Build(a, options.num_threads, CsrSpmmPlan::Split::kEqualNnz);
+  return SemiExternalSpmm(a, b, c, options, plan, ctx_in);
+}
+
+ParallelSpmmResult SemiExternalSpmm(const graph::CsrMatrix& a,
+                                    const linalg::DenseMatrix& b,
+                                    linalg::DenseMatrix* c,
+                                    const SemiExternalOptions& options,
+                                    const CsrSpmmPlan& plan,
+                                    const exec::Context& ctx_in) {
   memsim::MemorySystem* ms = ctx_in.ms();
   ThreadPool* pool = ctx_in.pool();
   const int threads = options.num_threads;
   OMEGA_CHECK(pool != nullptr && pool->size() >= static_cast<size_t>(threads));
   OMEGA_CHECK(c->rows() == a.num_rows() && c->cols() == b.cols());
+  OMEGA_CHECK(plan.Matches(a, threads, CsrSpmmPlan::Split::kEqualNnz))
+      << "SemiExternalSpmm: stale plan";
 
   // Fraction of dense gathers that miss the DRAM-resident portion.
   const size_t dense_bytes = b.bytes() + c->bytes();
@@ -31,23 +44,8 @@ ParallelSpmmResult SemiExternalSpmm(const graph::CsrMatrix& a,
     spill = std::clamp(spill, 0.0, 0.95);
   }
 
-  // Equal-nnz row partitions.
-  std::vector<std::pair<uint32_t, uint32_t>> parts(threads, {0, 0});
-  {
-    const uint64_t per = std::max<uint64_t>(1, a.nnz() / threads);
-    uint32_t row = 0;
-    for (int t = 0; t < threads; ++t) {
-      const uint32_t begin = row;
-      uint64_t taken = 0;
-      while (row < a.num_rows() && (taken < per || taken == 0)) {
-        taken += a.RowDegree(row);
-        ++row;
-      }
-      if (t == threads - 1) row = a.num_rows();
-      parts[t] = {begin, row};
-    }
-  }
-
+  // Equal-nnz row partitions — prebuilt in the plan, alongside each part's
+  // nnz/entropy metadata.
   const memsim::Placement ssd{memsim::Tier::kSsd, 0};
   const memsim::Placement dram{memsim::Tier::kDram, 0};
 
@@ -83,12 +81,14 @@ ParallelSpmmResult SemiExternalSpmm(const graph::CsrMatrix& a,
         });
   }
 
-  // Simulated charging: one worker per equal-nnz part as before; the
-  // metadata walk rebuilds nnz/entropy in the same ascending-row order the
-  // fused loop used, so every charge is byte-identical.
+  // Simulated charging: one worker per equal-nnz part as before; the plan's
+  // metadata was scanned in the same ascending-row order the per-call walk
+  // used, so every charge is byte-identical.
   pool->RunOnAll([&](size_t worker) {
     if (worker >= static_cast<size_t>(threads)) return;
-    const auto [row_begin, row_end] = parts[worker];
+    const CsrPlanPart& part = plan.parts()[worker];
+    const uint32_t row_begin = part.row_begin;
+    const uint32_t row_end = part.row_end;
     memsim::WorkerCtx ctx;
     ctx.worker = static_cast<int>(worker);
     ctx.cpu_socket = ms->topology().SocketOfWorker(static_cast<int>(worker), threads);
@@ -96,14 +96,7 @@ ParallelSpmmResult SemiExternalSpmm(const graph::CsrMatrix& a,
     ctx.clock = &clocks.clock(worker);
     SpmmCostBreakdown& bd = result.thread_breakdowns[worker];
 
-    uint64_t nnz = 0;
-    sched::EntropyAccumulator entropy;
-    for (uint32_t j = row_begin; j < row_end; ++j) {
-      const uint32_t deg = a.RowDegree(j);
-      nnz += deg;
-      entropy.AddRow(deg);
-    }
-
+    const uint64_t nnz = part.nnz;
     const uint64_t rows = row_end - row_begin;
     auto charge = [&](SpmmOp op, memsim::Placement p, memsim::MemOp mop,
                       memsim::Pattern pat, uint64_t bytes, uint64_t accesses) {
@@ -126,8 +119,7 @@ ParallelSpmmResult SemiExternalSpmm(const graph::CsrMatrix& a,
     const uint64_t total_gathers = nnz * d;
     const uint64_t spilled = static_cast<uint64_t>(spill * total_gathers);
     const uint64_t in_dram = total_gathers - spilled;
-    const double z =
-        sched::NormalizedEntropy(entropy.Entropy(), a.num_cols());
+    const double z = sched::NormalizedEntropy(part.entropy, a.num_cols());
     const double gather_seconds =
         GatherSeconds(ms, ctx.cpu_socket, dram, z, in_dram, ctx.active_threads);
     ctx.clock->Advance(gather_seconds);
@@ -147,8 +139,10 @@ ParallelSpmmResult SemiExternalSpmm(const graph::CsrMatrix& a,
   for (int t = 0; t < threads; ++t) {
     result.thread_seconds[t] = clocks.clock(t).seconds();
     result.total_breakdown += result.thread_breakdowns[t];
-    const auto [rb, re] = parts[t];
-    if (re > rb) total_nnz += a.RowEnd(re - 1) - a.RowBegin(rb);
+    const CsrPlanPart& part = plan.parts()[t];
+    if (part.row_end > part.row_begin) {
+      total_nnz += a.RowEnd(part.row_end - 1) - a.RowBegin(part.row_begin);
+    }
   }
   result.nnz_processed = total_nnz;
   result.phase_seconds = clocks.MaxSeconds();

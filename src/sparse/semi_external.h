@@ -15,6 +15,7 @@
 #include "linalg/dense_matrix.h"
 #include "omega/exec_context.h"
 #include "sparse/spmm.h"
+#include "sparse/spmm_plan.h"
 
 namespace omega::sparse {
 
@@ -27,10 +28,22 @@ struct SemiExternalOptions {
 
 /// Runs C = A * B with the SEM-SpMM strategy; returns the simulated phase
 /// result (breakdowns attribute SSD traffic to the sparse/dense components).
+/// Builds the kEqualNnz plan per call; repeated SpMMs on the same structure
+/// should build a CsrSpmmPlan once and use the overload below.
 ParallelSpmmResult SemiExternalSpmm(const graph::CsrMatrix& a,
                                     const linalg::DenseMatrix& b,
                                     linalg::DenseMatrix* c,
                                     const SemiExternalOptions& options,
+                                    const exec::Context& ctx);
+
+/// Plan-reusing variant: `plan` must match (a, options.num_threads,
+/// kEqualNnz). The per-part nnz/entropy metadata comes from the plan instead
+/// of a per-call rescan; the simulated charges are identical either way.
+ParallelSpmmResult SemiExternalSpmm(const graph::CsrMatrix& a,
+                                    const linalg::DenseMatrix& b,
+                                    linalg::DenseMatrix* c,
+                                    const SemiExternalOptions& options,
+                                    const CsrSpmmPlan& plan,
                                     const exec::Context& ctx);
 
 }  // namespace omega::sparse

@@ -65,13 +65,17 @@ struct GatherCounts {
 };
 
 // Shared cost-charging for both formats once traffic has been counted.
-// `index_bytes_per_row` differs: CSDB's block metadata amortizes to ~4 bytes
-// per row from its (DRAM) index placement, CSR reads 8-byte row pointers.
+// `entropy_h` is the part's raw workload entropy H (Eq. 3, accumulated in
+// ascending-row order) — a plan may carry it precomputed; the Z-blend is
+// bit-identical either way. `index_bytes_per_row` differs: CSDB's block
+// metadata amortizes to ~4 bytes per row from its (DRAM) index placement,
+// CSR reads 8-byte row pointers.
 void ChargeWorkloadCosts(memsim::MemorySystem* ms, memsim::WorkerCtx* ctx,
                          const SpmmPlacements& pl, const DenseCacheView* cache,
                          uint64_t rows, uint64_t nnz, uint64_t dense_cols,
-                         const GatherCounts& counts, uint64_t index_bytes_per_row,
-                         uint32_t num_nodes, SpmmCostBreakdown* breakdown) {
+                         uint64_t misses, uint64_t cache_hits, double entropy_h,
+                         uint64_t index_bytes_per_row, uint32_t num_nodes,
+                         SpmmCostBreakdown* breakdown) {
   if (rows == 0 && nnz == 0) return;  // empty workload: nothing was touched
   const uint64_t d = dense_cols;
   // 1 read_index: row metadata is re-consulted on every column pass.
@@ -83,16 +87,15 @@ void ChargeWorkloadCosts(memsim::MemorySystem* ms, memsim::WorkerCtx* ctx,
          memsim::Pattern::kSequential, d * nnz * 8, d);
   // 3 get_dense_nnz: Z(H)-blended gathers (Eqs. 4-5); hits go to the cache's
   // (DRAM) placement at random-access cost, which is still far cheaper.
-  const double z =
-      sched::NormalizedEntropy(counts.entropy.Entropy(), num_nodes);
+  const double z = sched::NormalizedEntropy(entropy_h, num_nodes);
   const double gather = GatherSeconds(ms, ctx->cpu_socket, pl.dense, z,
-                                      d * counts.misses, ctx->active_threads);
+                                      d * misses, ctx->active_threads);
   ctx->clock->Advance(gather);
   breakdown->seconds[static_cast<int>(SpmmOp::kGetDenseNnz)] += gather;
-  if (cache != nullptr && counts.cache_hits > 0) {
+  if (cache != nullptr && cache_hits > 0) {
     Charge(ms, ctx, breakdown, SpmmOp::kGetDenseNnz, cache->placement(),
            memsim::MemOp::kRead, memsim::Pattern::kRandom,
-           d * counts.cache_hits * cache->BytesPerHit(), d * counts.cache_hits);
+           d * cache_hits * cache->BytesPerHit(), d * cache_hits);
   }
   // 4 accumulation: one multiply + one add per element per column.
   ChargeCompute(ms, ctx, breakdown, d * nnz * 2);
@@ -192,7 +195,8 @@ SpmmCostBreakdown ChargeWorkloadCsdb(const graph::CsdbMatrix& a,
     }
   }
 
-  ChargeWorkloadCosts(ms, ctx, placements, cache, rows, nnz, dense_cols, counts,
+  ChargeWorkloadCosts(ms, ctx, placements, cache, rows, nnz, dense_cols,
+                      counts.misses, counts.cache_hits, counts.entropy.Entropy(),
                       /*index_bytes_per_row=*/4, a.num_cols(), &breakdown);
   return breakdown;
 }
@@ -211,21 +215,13 @@ SpmmCostBreakdown ExecuteWorkloadCsdb(const graph::CsdbMatrix& a,
   return ChargeWorkloadCsdb(a, col_end - col_begin, w, placements, ms, ctx, cache);
 }
 
-SpmmCostBreakdown ExecuteWorkloadCsr(const graph::CsrMatrix& a,
-                                     const linalg::DenseMatrix& b,
-                                     linalg::DenseMatrix* c, uint32_t row_begin,
-                                     uint32_t row_end,
-                                     const SpmmPlacements& placements,
-                                     memsim::MemorySystem* ms,
-                                     memsim::WorkerCtx* ctx) {
+void ComputeWorkloadCsr(const graph::CsrMatrix& a, const linalg::DenseMatrix& b,
+                        linalg::DenseMatrix* c, uint32_t row_begin,
+                        uint32_t row_end) {
   OMEGA_DCHECK(c->rows() == a.num_rows() && c->cols() == b.cols());
-  SpmmCostBreakdown breakdown;
   const size_t d = b.cols();
   const graph::NodeId* cols = a.col_idx().data();
   const float* vals = a.values().data();
-
-  GatherCounts counts;
-  uint64_t nnz = 0;
 
   for (size_t t = 0; t < d; ++t) {
     const float* bt = b.ColData(t);
@@ -238,18 +234,42 @@ SpmmCostBreakdown ExecuteWorkloadCsr(const graph::CsrMatrix& a,
         acc += vals[start + k] * bt[cols[start + k]];
       }
       ct[j] = acc;
-      if (t == 0) {
-        counts.entropy.AddRow(deg);
-        counts.misses += deg;
-        nnz += deg;
-      }
     }
   }
+}
 
-  ChargeWorkloadCosts(ms, ctx, placements, /*cache=*/nullptr, row_end - row_begin,
-                      nnz, d, counts, /*index_bytes_per_row=*/8, a.num_cols(),
-                      &breakdown);
+SpmmCostBreakdown ChargeWorkloadCsr(const graph::CsrMatrix& a,
+                                    uint64_t dense_cols, uint32_t row_begin,
+                                    uint32_t row_end, uint64_t nnz,
+                                    double entropy_h,
+                                    const SpmmPlacements& placements,
+                                    memsim::MemorySystem* ms,
+                                    memsim::WorkerCtx* ctx) {
+  SpmmCostBreakdown breakdown;
+  ChargeWorkloadCosts(ms, ctx, placements, /*cache=*/nullptr,
+                      row_end - row_begin, nnz, dense_cols, /*misses=*/nnz,
+                      /*cache_hits=*/0, entropy_h, /*index_bytes_per_row=*/8,
+                      a.num_cols(), &breakdown);
   return breakdown;
+}
+
+SpmmCostBreakdown ExecuteWorkloadCsr(const graph::CsrMatrix& a,
+                                     const linalg::DenseMatrix& b,
+                                     linalg::DenseMatrix* c, uint32_t row_begin,
+                                     uint32_t row_end,
+                                     const SpmmPlacements& placements,
+                                     memsim::MemorySystem* ms,
+                                     memsim::WorkerCtx* ctx) {
+  ComputeWorkloadCsr(a, b, c, row_begin, row_end);
+  uint64_t nnz = 0;
+  sched::EntropyAccumulator entropy;
+  for (uint32_t j = row_begin; j < row_end; ++j) {
+    const uint32_t deg = a.RowDegree(j);
+    nnz += deg;
+    entropy.AddRow(deg);
+  }
+  return ChargeWorkloadCsr(a, b.cols(), row_begin, row_end, nnz,
+                           entropy.Entropy(), placements, ms, ctx);
 }
 
 ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,

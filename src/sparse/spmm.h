@@ -34,6 +34,16 @@
 
 namespace omega::sparse {
 
+class SpmmPlan;  // sparse/spmm_plan.h
+
+/// nnz fetched per simulated second — the paper's SpMM throughput metric
+/// (Fig. 16). Shared by every phase-result type that reports it.
+inline double ThroughputNnzPerSec(uint64_t nnz_processed, double phase_seconds) {
+  return phase_seconds > 0.0
+             ? static_cast<double>(nnz_processed) / phase_seconds
+             : 0.0;
+}
+
 /// The five cost components of Algorithm 1.
 enum class SpmmOp {
   kReadIndex = 0,
@@ -129,6 +139,24 @@ SpmmCostBreakdown ExecuteWorkloadCsr(const graph::CsrMatrix& a,
                                      memsim::MemorySystem* ms,
                                      memsim::WorkerCtx* ctx);
 
+/// Host-only half of ExecuteWorkloadCsr (no memsim charging; fixed
+/// ascending-k reduction order, so the result is bit-identical to the fused
+/// kernel).
+void ComputeWorkloadCsr(const graph::CsrMatrix& a, const linalg::DenseMatrix& b,
+                        linalg::DenseMatrix* c, uint32_t row_begin,
+                        uint32_t row_end);
+
+/// Charging-only half of ExecuteWorkloadCsr. `nnz` and `entropy_h` are the
+/// part's pre-scanned metadata (a CsrPlanPart carries them); passing the same
+/// values the per-call scan would produce yields byte-identical charges.
+SpmmCostBreakdown ChargeWorkloadCsr(const graph::CsrMatrix& a,
+                                    uint64_t dense_cols, uint32_t row_begin,
+                                    uint32_t row_end, uint64_t nnz,
+                                    double entropy_h,
+                                    const SpmmPlacements& placements,
+                                    memsim::MemorySystem* ms,
+                                    memsim::WorkerCtx* ctx);
+
 /// Outcome of a parallel SpMM phase.
 struct ParallelSpmmResult {
   std::vector<double> thread_seconds;    ///< simulated time per worker
@@ -137,11 +165,8 @@ struct ParallelSpmmResult {
   double phase_seconds = 0.0;            ///< max over workers (the straggler)
   uint64_t nnz_processed = 0;
 
-  /// nnz fetched per simulated second — the paper's SpMM throughput metric
-  /// (Fig. 16).
   double ThroughputNnzPerSec() const {
-    return phase_seconds > 0.0 ? static_cast<double>(nnz_processed) / phase_seconds
-                               : 0.0;
+    return sparse::ThroughputNnzPerSec(nnz_processed, phase_seconds);
   }
 };
 
@@ -166,6 +191,16 @@ ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
                                 const linalg::DenseMatrix& b,
                                 linalg::DenseMatrix* c,
                                 const std::vector<sched::Workload>& workloads,
+                                const SpmmPlacements& placements,
+                                const exec::Context& ctx,
+                                const CacheFactory& cache_factory = nullptr);
+
+/// Same, consuming a prebuilt SpmmPlan's workloads (defined with the plan in
+/// sparse/spmm_plan.cc). Simulated charges are identical to the per-call
+/// overload built from the same allocator inputs.
+ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
+                                const linalg::DenseMatrix& b,
+                                linalg::DenseMatrix* c, const SpmmPlan& plan,
                                 const SpmmPlacements& placements,
                                 const exec::Context& ctx,
                                 const CacheFactory& cache_factory = nullptr);

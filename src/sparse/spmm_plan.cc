@@ -1,0 +1,133 @@
+#include "sparse/spmm_plan.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sched/entropy.h"
+#include "sparse/spmm.h"
+
+namespace omega::sparse {
+
+std::vector<uint32_t> ComputeInDegrees(const graph::CsdbMatrix& a) {
+  std::vector<uint32_t> in_degrees(a.num_cols(), 0);
+  for (graph::NodeId c : a.col_list()) in_degrees[c]++;
+  return in_degrees;
+}
+
+namespace {
+
+SparseStructureKey MakeKey(const void* col_data, uint64_t nnz, uint32_t rows,
+                           uint32_t cols, const graph::NodeId* samples) {
+  SparseStructureKey key;
+  key.col_data = col_data;
+  key.nnz = nnz;
+  key.rows = rows;
+  key.cols = cols;
+  if (nnz > 0) {
+    key.first = samples[0];
+    key.mid = samples[nnz / 2];
+    key.last = samples[nnz - 1];
+  }
+  return key;
+}
+
+}  // namespace
+
+SparseStructureKey StructureOf(const graph::CsdbMatrix& a) {
+  return MakeKey(a.col_list().data(), a.nnz(), a.num_rows(), a.num_cols(),
+                 a.col_list().data());
+}
+
+SparseStructureKey StructureOf(const graph::CsrMatrix& a) {
+  return MakeKey(a.col_idx().data(), a.nnz(), a.num_rows(), a.num_cols(),
+                 a.col_idx().data());
+}
+
+SpmmPlan SpmmPlan::Build(const graph::CsdbMatrix& a, sched::AllocatorKind kind,
+                         const sched::AllocatorOptions& options,
+                         bool with_in_degrees) {
+  OMEGA_CHECK(options.num_threads > 0);
+  SpmmPlan plan;
+  plan.structure_ = StructureOf(a);
+  plan.kind_ = kind;
+  plan.threads_ = options.num_threads;
+  plan.beta_ = options.beta;
+  plan.has_in_degrees_ = with_in_degrees;
+  plan.workloads_ = sched::Allocate(a, kind, options);
+  if (with_in_degrees) plan.in_degrees_ = ComputeInDegrees(a);
+  return plan;
+}
+
+bool SpmmPlan::Matches(const graph::CsdbMatrix& a, sched::AllocatorKind kind,
+                       const sched::AllocatorOptions& options,
+                       bool with_in_degrees) const {
+  return valid() && kind_ == kind && threads_ == options.num_threads &&
+         beta_ == options.beta &&
+         (has_in_degrees_ || !with_in_degrees) && structure_ == StructureOf(a);
+}
+
+CsrSpmmPlan CsrSpmmPlan::Build(const graph::CsrMatrix& a, int threads,
+                               Split split) {
+  OMEGA_CHECK(threads > 0);
+  CsrSpmmPlan plan;
+  plan.structure_ = StructureOf(a);
+  plan.split_ = split;
+  plan.threads_ = threads;
+  plan.parts_.resize(threads);
+
+  const uint32_t rows = a.num_rows();
+  if (split == Split::kEqualRows) {
+    // OpenMP-static equal-row chunks (nnz-oblivious), as in FusedMmSpmm and
+    // the ProNE family's StaticCsrSpmm.
+    const uint32_t chunk = (rows + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      plan.parts_[t].row_begin = std::min<uint32_t>(rows, t * chunk);
+      plan.parts_[t].row_end =
+          std::min<uint32_t>(rows, plan.parts_[t].row_begin + chunk);
+    }
+  } else {
+    // Contiguous ~equal-nnz parts with sequential row consumption, as in
+    // SemiExternalSpmm and the out-of-core engines.
+    const uint64_t per = std::max<uint64_t>(1, a.nnz() / threads);
+    uint32_t row = 0;
+    for (int t = 0; t < threads; ++t) {
+      plan.parts_[t].row_begin = row;
+      uint64_t taken = 0;
+      while (row < rows && (taken < per || taken == 0)) {
+        taken += a.RowDegree(row);
+        ++row;
+      }
+      if (t == threads - 1) row = rows;
+      plan.parts_[t].row_end = row;
+    }
+  }
+
+  for (CsrPlanPart& part : plan.parts_) {
+    sched::EntropyAccumulator entropy;
+    for (uint32_t j = part.row_begin; j < part.row_end; ++j) {
+      const uint32_t deg = a.RowDegree(j);
+      part.nnz += deg;
+      entropy.AddRow(deg);
+    }
+    part.entropy = entropy.Entropy();
+  }
+  return plan;
+}
+
+bool CsrSpmmPlan::Matches(const graph::CsrMatrix& a, int threads,
+                          Split split) const {
+  return valid() && split_ == split && threads_ == threads &&
+         structure_ == StructureOf(a);
+}
+
+ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
+                                const linalg::DenseMatrix& b,
+                                linalg::DenseMatrix* c, const SpmmPlan& plan,
+                                const SpmmPlacements& placements,
+                                const exec::Context& ctx,
+                                const CacheFactory& cache_factory) {
+  OMEGA_CHECK(plan.valid());
+  return ParallelSpmm(a, b, c, plan.workloads(), placements, ctx, cache_factory);
+}
+
+}  // namespace omega::sparse

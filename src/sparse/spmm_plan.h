@@ -1,0 +1,127 @@
+// Plan/execute split for the SpMM kernels (inspector-executor).
+//
+// ProNE calls the same SpMM on the same sparse structure dozens of times
+// (tSVD power iterations + the Chebyshev recurrence). All of the inspector
+// work — the EaTA entropy scan behind sched::Allocate, the column in-degree
+// scan, the per-part nnz/entropy metadata of the CSR baselines — depends only
+// on the matrix *structure*, never on the dense values, so it can be built
+// once per (structure, thread count, allocator) and reused by every execute.
+//
+// Two-clock contract (DESIGN.md): a plan caches host-side structures only.
+// Every simulated charge is still issued per execute, in the same order and
+// with the same arguments as the per-call path, so reusing a plan changes
+// host wall-clock but not one byte of simulated output.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csdb.h"
+#include "graph/csr.h"
+#include "sched/allocators.h"
+#include "sched/workload.h"
+
+namespace omega::sparse {
+
+/// In-degree of every column of `a` (number of stored entries per column).
+/// Canonical implementation — the prefetch layer forwards here.
+std::vector<uint32_t> ComputeInDegrees(const graph::CsdbMatrix& a);
+
+/// Structural identity of a sparse matrix — the invalidation key of every
+/// plan. Pointer identity alone is unsafe (allocations are reused across the
+/// embedder's stage-1/stage-2 matrices), so the key adds shape and sampled
+/// column indices, mirroring the engine's CsrCache fingerprint. Two matrices
+/// with equal keys have (with the usual sampling caveat) the same sparsity
+/// structure, and plans depend on structure only.
+struct SparseStructureKey {
+  const void* col_data = nullptr;  ///< col_list / col_idx storage
+  uint64_t nnz = 0;
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  uint32_t first = 0;  ///< col sample at 0
+  uint32_t mid = 0;    ///< col sample at nnz/2
+  uint32_t last = 0;   ///< col sample at nnz-1
+
+  bool operator==(const SparseStructureKey& other) const = default;
+};
+
+SparseStructureKey StructureOf(const graph::CsdbMatrix& a);
+SparseStructureKey StructureOf(const graph::CsrMatrix& a);
+
+/// Reusable inspector state for the CSDB kernels: the allocator's workload
+/// vectors (with entropy/scatter annotations) and, optionally, the column
+/// in-degree array WoFP's degree-based prefetchers rank by.
+class SpmmPlan {
+ public:
+  SpmmPlan() = default;
+
+  static SpmmPlan Build(const graph::CsdbMatrix& a, sched::AllocatorKind kind,
+                        const sched::AllocatorOptions& options,
+                        bool with_in_degrees = false);
+
+  bool valid() const { return threads_ > 0; }
+
+  /// True when this plan was built for the same structure and planning
+  /// inputs; false plans (default-constructed included) never match.
+  bool Matches(const graph::CsdbMatrix& a, sched::AllocatorKind kind,
+               const sched::AllocatorOptions& options,
+               bool with_in_degrees = false) const;
+
+  const std::vector<sched::Workload>& workloads() const { return workloads_; }
+  const std::vector<uint32_t>& in_degrees() const { return in_degrees_; }
+  bool has_in_degrees() const { return has_in_degrees_; }
+  int num_threads() const { return threads_; }
+  sched::AllocatorKind allocator() const { return kind_; }
+
+ private:
+  SparseStructureKey structure_;
+  sched::AllocatorKind kind_ = sched::AllocatorKind::kEntropyAware;
+  int threads_ = 0;
+  double beta_ = 0.0;
+  bool has_in_degrees_ = false;
+  std::vector<sched::Workload> workloads_;
+  std::vector<uint32_t> in_degrees_;
+};
+
+/// One thread's contiguous CSR row part with the pre-scanned metadata its
+/// charges need: total nnz and the raw workload entropy H (Eq. 3, accumulated
+/// in ascending-row order — the same AddRow order as the per-call scan, so
+/// the Z-blended gather charge is bit-identical).
+struct CsrPlanPart {
+  uint32_t row_begin = 0;
+  uint32_t row_end = 0;
+  uint64_t nnz = 0;
+  double entropy = 0.0;
+};
+
+/// Reusable inspector state for the CSR baselines (FusedMM, SEM-SpMM, the
+/// ProNE/out-of-core engines): the static row partition plus per-part charge
+/// metadata.
+class CsrSpmmPlan {
+ public:
+  /// kEqualRows: OpenMP-static equal-count chunks. kEqualNnz: contiguous
+  /// parts of ~equal nnz (sequential row consumption, last part absorbs the
+  /// tail) — both exactly the partitions the per-call kernels produce.
+  enum class Split { kEqualRows, kEqualNnz };
+
+  CsrSpmmPlan() = default;
+
+  static CsrSpmmPlan Build(const graph::CsrMatrix& a, int threads, Split split);
+
+  bool valid() const { return threads_ > 0; }
+  bool Matches(const graph::CsrMatrix& a, int threads, Split split) const;
+
+  /// Exactly num_threads() entries (possibly empty parts).
+  const std::vector<CsrPlanPart>& parts() const { return parts_; }
+  int num_threads() const { return threads_; }
+  Split split() const { return split_; }
+
+ private:
+  SparseStructureKey structure_;
+  Split split_ = Split::kEqualRows;
+  int threads_ = 0;
+  std::vector<CsrPlanPart> parts_;
+};
+
+}  // namespace omega::sparse

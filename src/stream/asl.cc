@@ -55,7 +55,10 @@ double AslStreamer::LoadSeconds(size_t col_begin, size_t col_end) const {
 
 Result<AslRunResult> AslStreamer::Run(
     const std::function<double(size_t, size_t, size_t)>& compute_fn) {
-  OMEGA_ASSIGN_OR_RETURN(const size_t n, OptimalPartitions(config_));
+  size_t n = config_.fixed_partitions;
+  if (n == 0) {
+    OMEGA_ASSIGN_OR_RETURN(n, OptimalPartitions(config_));
+  }
 
   AslRunResult result;
   result.partitions.resize(n);

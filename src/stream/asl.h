@@ -29,6 +29,11 @@ struct AslConfig {
   size_t element_bytes = 4;  ///< size(type)
   size_t sparse_bytes = 0;   ///< M_s: CSDB footprint
   size_t dram_budget = 0;    ///< M_total: DRAM available to the pipeline
+  /// When > 0, Run() uses this partition count directly instead of solving
+  /// Eq. 9 — the plan layer caches the solve per (rows, cols) so repeated
+  /// passes skip it. Must come from OptimalPartitions for the same inputs;
+  /// 0 keeps the per-call solve.
+  size_t fixed_partitions = 0;
 };
 
 /// Eq. 9. Fails with CapacityExceeded when even maximal partitioning cannot

@@ -1,0 +1,303 @@
+// Plan/execute split tests: a reused plan must be *exactly* equivalent to
+// per-call planning — bit-identical embeddings and byte-identical simulated
+// seconds (DESIGN.md's two-clock contract) — across thread counts, NaDP
+// modes, WoFP on/off, and the CSR baseline kernels.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "graph/rmat.h"
+#include "linalg/random_matrix.h"
+#include "numa/nadp.h"
+#include "omega/baselines.h"
+#include "sparse/csdb_ops.h"
+#include "sparse/fused.h"
+#include "sparse/semi_external.h"
+#include "sparse/spmm_plan.h"
+
+namespace omega {
+namespace {
+
+using graph::CsdbMatrix;
+using graph::CsrMatrix;
+using linalg::DenseMatrix;
+using numa::NadpOptions;
+using numa::NadpResult;
+using sparse::CsrSpmmPlan;
+
+CsdbMatrix TestMatrix(uint32_t scale = 10, uint64_t edges = 15000) {
+  graph::RmatParams params;
+  params.scale = scale;
+  params.num_edges = edges;
+  return CsdbMatrix::FromGraph(graph::GenerateRmat(params).value());
+}
+
+bool BitIdentical(const DenseMatrix& x, const DenseMatrix& y) {
+  return x.rows() == y.rows() && x.cols() == y.cols() &&
+         std::memcmp(x.data(), y.data(), x.bytes()) == 0;
+}
+
+// Byte-exact equality of two NadpResults (EXPECT_EQ on doubles: the plan
+// path must replay the *same* charges, not approximately the same).
+void ExpectIdenticalResults(const NadpResult& a, const NadpResult& b) {
+  EXPECT_EQ(a.phase_seconds, b.phase_seconds);
+  EXPECT_EQ(a.wofp_build_seconds, b.wofp_build_seconds);
+  EXPECT_EQ(a.nnz_processed, b.nnz_processed);
+  ASSERT_EQ(a.thread_seconds.size(), b.thread_seconds.size());
+  for (size_t t = 0; t < a.thread_seconds.size(); ++t) {
+    EXPECT_EQ(a.thread_seconds[t], b.thread_seconds[t]) << "thread " << t;
+  }
+  for (int op = 0; op < sparse::kNumSpmmOps; ++op) {
+    EXPECT_EQ(a.breakdown.seconds[op], b.breakdown.seconds[op]) << "op " << op;
+  }
+}
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = TestMatrix();
+    b_ = linalg::GaussianMatrix(a_.num_cols(), 8, 5);
+    ms_ = memsim::MemorySystem::CreateDefault();
+    pool_ = std::make_unique<ThreadPool>(8);
+  }
+
+  exec::Context Ctx() { return exec::Context(ms_.get(), pool_.get()); }
+
+  CsdbMatrix a_;
+  DenseMatrix b_;
+  std::unique_ptr<memsim::MemorySystem> ms_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+TEST_F(PlanTest, NadpPlanReuseIsSimulationIdenticalAcrossModes) {
+  for (const int threads : {1, 2, 8}) {
+    for (const bool enabled : {false, true}) {
+      for (const bool use_wofp : {false, true}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " enabled=" + std::to_string(enabled) +
+                     " wofp=" + std::to_string(use_wofp));
+        NadpOptions opts;
+        opts.num_threads = threads;
+        opts.enabled = enabled;
+        opts.use_wofp = use_wofp;
+
+        DenseMatrix c_percall(a_.num_rows(), b_.cols());
+        const NadpResult r_percall = NadpSpmm(a_, b_, &c_percall, opts, Ctx());
+
+        const numa::NadpPlan plan = numa::NadpPlan::Build(a_, opts, Ctx());
+        ASSERT_TRUE(plan.valid());
+        DenseMatrix c_plan(a_.num_rows(), b_.cols());
+        const NadpResult r_plan = NadpExecute(plan, a_, b_, &c_plan, Ctx());
+        ExpectIdenticalResults(r_percall, r_plan);
+        EXPECT_TRUE(BitIdentical(c_percall, c_plan));
+
+        // Second execute through the same plan: still identical — the WoFP
+        // warm-up charges are replayed on every call, not just the first.
+        DenseMatrix c_again(a_.num_rows(), b_.cols());
+        const NadpResult r_again = NadpExecute(plan, a_, b_, &c_again, Ctx());
+        ExpectIdenticalResults(r_percall, r_again);
+        EXPECT_TRUE(BitIdentical(c_percall, c_again));
+      }
+    }
+  }
+}
+
+TEST_F(PlanTest, NadpPlanReuseIdenticalOnColumnRanges) {
+  // ASL hands NadpExecute one column partition at a time; the per-call
+  // recomputed column blocks must match per-call planning on every range.
+  NadpOptions opts;
+  opts.num_threads = 8;
+  opts.use_wofp = true;
+  const numa::NadpPlan plan = numa::NadpPlan::Build(a_, opts, Ctx());
+  for (const auto& [begin, end] :
+       std::vector<std::pair<size_t, size_t>>{{0, 4}, {4, 8}, {0, 8}, {3, 5}}) {
+    SCOPED_TRACE("cols=[" + std::to_string(begin) + "," + std::to_string(end) + ")");
+    DenseMatrix c_percall(a_.num_rows(), b_.cols());
+    const NadpResult r_percall =
+        NadpSpmm(a_, b_, &c_percall, opts, Ctx(), begin, end);
+    DenseMatrix c_plan(a_.num_rows(), b_.cols());
+    const NadpResult r_plan =
+        NadpExecute(plan, a_, b_, &c_plan, Ctx(), begin, end);
+    ExpectIdenticalResults(r_percall, r_plan);
+    EXPECT_TRUE(BitIdentical(c_percall, c_plan));
+  }
+}
+
+TEST_F(PlanTest, NadpPlanMatchesInvalidation) {
+  NadpOptions opts;
+  opts.num_threads = 8;
+  const numa::NadpPlan plan = numa::NadpPlan::Build(a_, opts, Ctx());
+  EXPECT_TRUE(plan.Matches(a_, opts));
+
+  NadpOptions changed = opts;
+  changed.beta = 0.5;
+  EXPECT_FALSE(plan.Matches(a_, changed));
+  changed = opts;
+  changed.num_threads = 4;
+  EXPECT_FALSE(plan.Matches(a_, changed));
+  changed = opts;
+  changed.use_wofp = !opts.use_wofp;
+  EXPECT_FALSE(plan.Matches(a_, changed));
+  changed = opts;
+  changed.wofp.sigma = 0.2;
+  EXPECT_FALSE(plan.Matches(a_, changed));
+
+  const CsdbMatrix other = TestMatrix(9, 9000);
+  EXPECT_FALSE(plan.Matches(other, opts));
+  EXPECT_FALSE(numa::NadpPlan().Matches(a_, opts));  // invalid plans never match
+
+  numa::NadpPlanCache cache;
+  EXPECT_FALSE(cache.Contains(a_, opts));
+  cache.Get(a_, opts, Ctx());
+  EXPECT_TRUE(cache.Contains(a_, opts));
+  EXPECT_FALSE(cache.Contains(a_, changed));
+}
+
+TEST_F(PlanTest, MoreThreadsThanRowsThroughPlanPath) {
+  // 8 simulated threads over a 4-row matrix: some workers get empty or no
+  // workloads; the plan path must mirror the per-call early exits exactly.
+  const CsdbMatrix tiny = TestMatrix(2, 12);
+  ASSERT_LT(tiny.num_rows(), 8u);
+  const DenseMatrix b = linalg::GaussianMatrix(tiny.num_cols(), 4, 7);
+  DenseMatrix expected;
+  ASSERT_TRUE(sparse::ReferenceSpmm(tiny, b, &expected).ok());
+
+  for (const bool enabled : {false, true}) {
+    for (const bool use_wofp : {false, true}) {
+      SCOPED_TRACE("enabled=" + std::to_string(enabled) +
+                   " wofp=" + std::to_string(use_wofp));
+      NadpOptions opts;
+      opts.num_threads = 8;
+      opts.enabled = enabled;
+      opts.use_wofp = use_wofp;
+      DenseMatrix c_percall(tiny.num_rows(), b.cols());
+      const NadpResult r_percall = NadpSpmm(tiny, b, &c_percall, opts, Ctx());
+      const numa::NadpPlan plan = numa::NadpPlan::Build(tiny, opts, Ctx());
+      DenseMatrix c_plan(tiny.num_rows(), b.cols());
+      const NadpResult r_plan = NadpExecute(plan, tiny, b, &c_plan, Ctx());
+      ExpectIdenticalResults(r_percall, r_plan);
+      EXPECT_TRUE(BitIdentical(c_percall, c_plan));
+      EXPECT_LT(DenseMatrix::MaxAbsDiff(c_plan, expected), 1e-4);
+    }
+  }
+}
+
+TEST_F(PlanTest, CsrSpmmPlanPartsCoverMatrix) {
+  const CsrMatrix csr = sparse::ToCsr(a_).value();
+  for (const auto split :
+       {CsrSpmmPlan::Split::kEqualRows, CsrSpmmPlan::Split::kEqualNnz}) {
+    const CsrSpmmPlan plan = CsrSpmmPlan::Build(csr, 8, split);
+    ASSERT_TRUE(plan.valid());
+    ASSERT_EQ(plan.parts().size(), 8u);
+    uint64_t nnz = 0;
+    uint32_t row = 0;
+    for (const sparse::CsrPlanPart& part : plan.parts()) {
+      EXPECT_EQ(part.row_begin, row);
+      row = part.row_end;
+      nnz += part.nnz;
+    }
+    EXPECT_EQ(row, csr.num_rows());
+    EXPECT_EQ(nnz, csr.nnz());
+  }
+  const CsrSpmmPlan rows_plan =
+      CsrSpmmPlan::Build(csr, 8, CsrSpmmPlan::Split::kEqualRows);
+  EXPECT_TRUE(rows_plan.Matches(csr, 8, CsrSpmmPlan::Split::kEqualRows));
+  EXPECT_FALSE(rows_plan.Matches(csr, 8, CsrSpmmPlan::Split::kEqualNnz));
+  EXPECT_FALSE(rows_plan.Matches(csr, 4, CsrSpmmPlan::Split::kEqualRows));
+}
+
+TEST_F(PlanTest, FusedMmPlanReuseMatchesPerCall) {
+  const CsrMatrix csr = sparse::ToCsr(a_).value();
+  sparse::FusedMmOptions opts;
+  opts.num_threads = 8;
+
+  DenseMatrix c_percall(csr.num_rows(), b_.cols());
+  const auto r_percall = FusedMmSpmm(csr, b_, &c_percall, opts, Ctx());
+  ASSERT_TRUE(r_percall.ok());
+
+  const CsrSpmmPlan plan =
+      CsrSpmmPlan::Build(csr, opts.num_threads, CsrSpmmPlan::Split::kEqualRows);
+  for (int pass = 0; pass < 2; ++pass) {
+    DenseMatrix c_plan(csr.num_rows(), b_.cols());
+    const auto r_plan = FusedMmSpmm(csr, b_, &c_plan, opts, plan, Ctx());
+    ASSERT_TRUE(r_plan.ok());
+    EXPECT_EQ(r_percall.value().phase_seconds, r_plan.value().phase_seconds);
+    for (int t = 0; t < opts.num_threads; ++t) {
+      EXPECT_EQ(r_percall.value().thread_seconds[t],
+                r_plan.value().thread_seconds[t]);
+    }
+    EXPECT_TRUE(BitIdentical(c_percall, c_plan));
+  }
+}
+
+TEST_F(PlanTest, SemiExternalPlanReuseMatchesPerCall) {
+  const CsrMatrix csr = sparse::ToCsr(a_).value();
+  sparse::SemiExternalOptions opts;
+  opts.num_threads = 8;
+  opts.dram_budget_bytes = 1ULL << 20;  // force a spill fraction
+
+  DenseMatrix c_percall(csr.num_rows(), b_.cols());
+  const auto r_percall = SemiExternalSpmm(csr, b_, &c_percall, opts, Ctx());
+
+  const CsrSpmmPlan plan =
+      CsrSpmmPlan::Build(csr, opts.num_threads, CsrSpmmPlan::Split::kEqualNnz);
+  for (int pass = 0; pass < 2; ++pass) {
+    DenseMatrix c_plan(csr.num_rows(), b_.cols());
+    const auto r_plan = SemiExternalSpmm(csr, b_, &c_plan, opts, plan, Ctx());
+    EXPECT_EQ(r_percall.phase_seconds, r_plan.phase_seconds);
+    EXPECT_EQ(r_percall.nnz_processed, r_plan.nnz_processed);
+    for (int t = 0; t < opts.num_threads; ++t) {
+      EXPECT_EQ(r_percall.thread_seconds[t], r_plan.thread_seconds[t]);
+    }
+    EXPECT_TRUE(BitIdentical(c_percall, c_plan));
+  }
+}
+
+TEST_F(PlanTest, StaticCsrSpmmPlanPathIdentical) {
+  const CsrMatrix csr = sparse::ToCsr(a_).value();
+  sparse::SpmmPlacements pl;
+  pl.index = {memsim::Tier::kDram, memsim::Placement::kInterleaved};
+  pl.sparse = {memsim::Tier::kDram, memsim::Placement::kInterleaved};
+  pl.dense = {memsim::Tier::kDram, memsim::Placement::kInterleaved};
+  pl.result = {memsim::Tier::kDram, memsim::Placement::kInterleaved};
+  const exec::Context ctx = Ctx().WithThreads(8);
+
+  DenseMatrix c_percall(csr.num_rows(), b_.cols());
+  const auto r_percall = engine::StaticCsrSpmm(csr, b_, &c_percall, pl, ctx);
+
+  const CsrSpmmPlan plan =
+      CsrSpmmPlan::Build(csr, 8, CsrSpmmPlan::Split::kEqualRows);
+  DenseMatrix c_plan(csr.num_rows(), b_.cols());
+  const auto r_plan = engine::StaticCsrSpmm(csr, b_, &c_plan, pl, ctx, &plan);
+  EXPECT_EQ(r_percall.phase_seconds, r_plan.phase_seconds);
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_EQ(r_percall.thread_seconds[t], r_plan.thread_seconds[t]);
+  }
+  EXPECT_TRUE(BitIdentical(c_percall, c_plan));
+}
+
+TEST_F(PlanTest, SpmmPlanReuseThroughParallelSpmm) {
+  sched::AllocatorOptions aopts;
+  aopts.num_threads = 8;
+  const sparse::SpmmPlan plan = sparse::SpmmPlan::Build(
+      a_, sched::AllocatorKind::kEntropyAware, aopts, /*with_in_degrees=*/true);
+  ASSERT_TRUE(plan.valid());
+  ASSERT_TRUE(plan.has_in_degrees());
+
+  sparse::SpmmPlacements pl;
+  DenseMatrix c_percall(a_.num_rows(), b_.cols());
+  const auto workloads =
+      sched::Allocate(a_, sched::AllocatorKind::kEntropyAware, aopts);
+  const auto r_percall =
+      sparse::ParallelSpmm(a_, b_, &c_percall, workloads, pl, Ctx());
+
+  DenseMatrix c_plan(a_.num_rows(), b_.cols());
+  const auto r_plan = sparse::ParallelSpmm(a_, b_, &c_plan, plan, pl, Ctx());
+  EXPECT_EQ(r_percall.phase_seconds, r_plan.phase_seconds);
+  EXPECT_EQ(r_percall.nnz_processed, r_plan.nnz_processed);
+  EXPECT_TRUE(BitIdentical(c_percall, c_plan));
+}
+
+}  // namespace
+}  // namespace omega

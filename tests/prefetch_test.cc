@@ -221,8 +221,8 @@ TEST_F(WofpTest, FrequencyAndDegreeProducersDiffer) {
 TEST_F(WofpTest, CacheSetBuildsPerWorkerAndSpeedsUpSpmm) {
   sched::AllocatorOptions aopts;
   aopts.num_threads = 4;
-  auto workloads =
-      sched::Allocate(a_, sched::AllocatorKind::kEntropyAware, aopts);
+  const sparse::SpmmPlan plan = sparse::SpmmPlan::Build(
+      a_, sched::AllocatorKind::kEntropyAware, aopts, /*with_in_degrees=*/true);
   const linalg::DenseMatrix b = linalg::GaussianMatrix(a_.num_cols(), 4, 3);
   linalg::DenseMatrix expected;
   ASSERT_TRUE(sparse::ReferenceSpmm(a_, b, &expected).ok());
@@ -231,18 +231,32 @@ TEST_F(WofpTest, CacheSetBuildsPerWorkerAndSpeedsUpSpmm) {
   linalg::DenseMatrix c(a_.num_rows(), 4);
   WofpOptions wopts;
   wopts.sigma = 0.15;
-  WofpCacheSet cache_set(a_, workloads, wopts, exec::Context(ms_.get()));
-  const auto with = sparse::ParallelSpmm(a_, b, &c, workloads,
+  WofpCacheSet cache_set(a_, plan, wopts, exec::Context(ms_.get()));
+  const auto with = sparse::ParallelSpmm(a_, b, &c, plan,
                                          sparse::SpmmPlacements{}, exec::Context(ms_.get(), &pool),
                                          cache_set.Factory());
   EXPECT_LT(linalg::DenseMatrix::MaxAbsDiff(c, expected), 1e-4);
   for (size_t w = 0; w < 4; ++w) EXPECT_NE(cache_set.Get(w), nullptr);
 
   linalg::DenseMatrix c2(a_.num_rows(), 4);
-  const auto without = sparse::ParallelSpmm(a_, b, &c2, workloads,
+  const auto without = sparse::ParallelSpmm(a_, b, &c2, plan.workloads(),
                                             sparse::SpmmPlacements{}, exec::Context(ms_.get(), &pool));
   // Fig. 14: WoFP reduces SpMM time (build overhead included).
   EXPECT_LT(with.phase_seconds, without.phase_seconds);
+
+  // Plan reuse: a second SpMM through the same cache set reuses the built
+  // stores (same pointers) yet pays the same simulated seconds — the build
+  // charges are replayed per call.
+  const WofpPrefetcher* first_worker0 = cache_set.Get(0);
+  linalg::DenseMatrix c3(a_.num_rows(), 4);
+  const auto again = sparse::ParallelSpmm(a_, b, &c3, plan,
+                                          sparse::SpmmPlacements{}, exec::Context(ms_.get(), &pool),
+                                          cache_set.Factory());
+  EXPECT_EQ(cache_set.Get(0), first_worker0);
+  EXPECT_EQ(again.phase_seconds, with.phase_seconds);
+  for (int i = 0; i < sparse::kNumSpmmOps; ++i) {
+    EXPECT_EQ(again.total_breakdown.seconds[i], with.total_breakdown.seconds[i]);
+  }
 }
 
 }  // namespace

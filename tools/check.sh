@@ -5,14 +5,17 @@
 # Usage:
 #   tools/check.sh            # release-with-asserts build + ctest
 #   tools/check.sh --sanitize # additionally build/test with -DOMEGA_SANITIZE=ON
+#   tools/check.sh --tsan     # additionally build/test with -DOMEGA_TSAN=ON
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
+TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
+    --tsan) TSAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -32,6 +35,16 @@ run_suite build
 if [[ "$SANITIZE" == 1 ]]; then
   echo "== sanitizers: ASan + UBSan build + ctest =="
   run_suite build-asan -DOMEGA_SANITIZE=ON
+fi
+
+if [[ "$TSAN" == 1 ]]; then
+  echo "== sanitizers: TSan build + threaded suites =="
+  # The threaded kernels (pool, SpMM, plan reuse incl. lazy WoFP slots) are
+  # what TSan is after; the full suite under TSan is prohibitively slow.
+  cmake -B build-tsan -S . -DOMEGA_TSAN=ON
+  cmake --build build-tsan -j "$JOBS" --target common_test spmm_test plan_test
+  ctest --test-dir build-tsan --output-on-failure \
+    -R '^(common_test|spmm_test|plan_test)$'
 fi
 
 echo "OK"
