@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/rng.h"
@@ -21,6 +22,7 @@
 #include "sched/allocators.h"
 #include "sparse/csdb_ops.h"
 #include "sparse/spmm.h"
+#include "sparse/spmm_kernels.h"
 
 namespace {
 
@@ -268,14 +270,105 @@ void RunGemmReport(const std::string& json_path) {
   }
 }
 
+// Timed SpMM section: the per-column oracle vs the scalar-panel and best
+// (possibly SIMD) column-panel kernels, for CSDB and CSR, on the bench R-MAT
+// graph. GFLOP/s counts 2*nnz*d flops; effective GB/s charges the panel
+// kernels' algorithmic traffic (one index+value load per nonzero, d dense
+// reads per nonzero, d writes per row) to every variant so the column is
+// comparable — the per-column loop actually re-reads the sparse side d times,
+// which is exactly the host cost the panels remove.
+void RunSpmmReport(const std::string& json_path, bool smoke) {
+  const graph::CsdbMatrix& m = TestMatrix();
+  const graph::CsrMatrix csr = sparse::ToCsr(m).value();
+  sched::Workload w;
+  w.ranges.push_back(sched::RowRange{0, m.num_rows()});
+  const int reps = smoke ? 1 : 3;
+  const std::vector<size_t> widths = smoke ? std::vector<size_t>{128}
+                                           : std::vector<size_t>{8, 32, 128};
+
+  bench::BenchJson json;
+  std::printf("\nSpMM host kernels, serial (best of %d, wall clock; simd=%s):\n",
+              reps, sparse::kernels::SpmmSimdEnabled() ? "on" : "off");
+  std::printf("%14s %12s %12s %12s %10s %10s\n", "kernel", "percol GF/s",
+              "scalar GF/s", "panel GF/s", "panel/pc", "eff GB/s");
+  for (const size_t d : widths) {
+    const linalg::DenseMatrix b = linalg::GaussianMatrix(m.num_cols(), d, 7);
+    linalg::DenseMatrix c(m.num_rows(), d);
+    const double flops = 2.0 * static_cast<double>(m.nnz()) * d;
+    const double bytes = 8.0 * m.nnz() + 4.0 * d * m.nnz() + 4.0 * d * m.num_rows();
+
+    const double csdb_percol_s = BestSeconds(
+        reps, [&] { sparse::ComputeWorkloadCsdbPerColumn(m, b, &c, w); });
+    const double csdb_scalar_s = BestSeconds(reps, [&] {
+      sparse::kernels::CsdbPanelSpmmScalar(m, b, &c, 0, m.num_rows(), 0, d);
+    });
+    const double csdb_panel_s = BestSeconds(reps, [&] {
+      sparse::kernels::CsdbPanelSpmm(m, b, &c, 0, m.num_rows(), 0, d);
+    });
+    const double csr_percol_s = BestSeconds(reps, [&] {
+      sparse::ComputeWorkloadCsrPerColumn(csr, b, &c, 0, csr.num_rows());
+    });
+    const double csr_panel_s = BestSeconds(reps, [&] {
+      sparse::kernels::CsrPanelSpmm(csr, b, &c, 0, csr.num_rows(), 0, d);
+    });
+
+    std::printf("%10s d=%-3zu %12.2f %12.2f %12.2f %9.2fx %10.1f\n", "csdb", d,
+                flops / csdb_percol_s / 1e9, flops / csdb_scalar_s / 1e9,
+                flops / csdb_panel_s / 1e9, csdb_percol_s / csdb_panel_s,
+                bytes / csdb_panel_s / 1e9);
+    std::printf("%10s d=%-3zu %12.2f %12s %12.2f %9.2fx %10.1f\n", "csr", d,
+                flops / csr_percol_s / 1e9, "-", flops / csr_panel_s / 1e9,
+                csr_percol_s / csr_panel_s, bytes / csr_panel_s / 1e9);
+
+    const std::string entry = "spmm_csdb_" + std::to_string(d);
+    json.Add(entry, "percol_gflops", flops / csdb_percol_s / 1e9);
+    json.Add(entry, "panel_scalar_gflops", flops / csdb_scalar_s / 1e9);
+    json.Add(entry, "panel_gflops", flops / csdb_panel_s / 1e9);
+    json.Add(entry, "speedup_panel", csdb_percol_s / csdb_panel_s);
+    json.Add(entry, "effective_gbs", bytes / csdb_panel_s / 1e9);
+    const std::string csr_entry = "spmm_csr_" + std::to_string(d);
+    json.Add(csr_entry, "percol_gflops", flops / csr_percol_s / 1e9);
+    json.Add(csr_entry, "panel_gflops", flops / csr_panel_s / 1e9);
+    json.Add(csr_entry, "speedup_panel", csr_percol_s / csr_panel_s);
+    json.Add(csr_entry, "effective_gbs", bytes / csr_panel_s / 1e9);
+  }
+  json.Add("spmm_build", "simd_enabled",
+           sparse::kernels::SpmmSimdEnabled() ? 1.0 : 0.0);
+  if (!json_path.empty() && json.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+}
+
+// Extracts `--spmm-json=<path>` and `--smoke` from argv (compacting argv in
+// place, mirroring BenchJsonPathFromArgs) before google-benchmark parses it.
+std::string SpmmArgsFromArgv(int* argc, char** argv, bool* smoke) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--spmm-json=", 0) == 0) {
+      path = arg.substr(std::string("--spmm-json=").size());
+    } else if (arg == "--smoke") {
+      *smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool smoke = false;
+  const std::string spmm_json = SpmmArgsFromArgv(&argc, argv, &smoke);
   const std::string json_path = omega::bench::BenchJsonPathFromArgs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   RunGemmReport(json_path);
+  RunSpmmReport(spmm_json, smoke);
   return 0;
 }

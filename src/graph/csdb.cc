@@ -128,6 +128,31 @@ CsdbMatrix::RowCursor::RowCursor(const CsdbMatrix& m, uint32_t start_row)
          static_cast<uint64_t>(start_row - m.deg_ind_[block_]) * degree_;
 }
 
+CsdbMatrix::BlockCursor::BlockCursor(const CsdbMatrix& m, uint32_t row_begin,
+                                     uint32_t row_end)
+    : m_(&m), end_(std::min(row_end, m.num_rows_)) {
+  if (row_begin >= end_) {
+    span_.row_begin = span_.row_end = end_;
+    block_ = m.num_blocks();
+    return;
+  }
+  block_ = m.BlockOfRow(row_begin);
+  span_.row_begin = row_begin;
+  span_.row_end = std::min(end_, m.deg_ind_[block_ + 1]);
+  span_.degree = m.deg_list_[block_];
+  span_.ptr = m.block_ptr_[block_] +
+              static_cast<uint64_t>(row_begin - m.deg_ind_[block_]) * span_.degree;
+}
+
+void CsdbMatrix::BlockCursor::Next() {
+  span_.row_begin = span_.row_end;
+  if (AtEnd()) return;
+  ++block_;
+  span_.row_end = std::min(end_, m_->deg_ind_[block_ + 1]);
+  span_.degree = m_->deg_list_[block_];
+  span_.ptr = m_->block_ptr_[block_];
+}
+
 void CsdbMatrix::RowCursor::Next() {
   ptr_ += degree_;
   ++row_;

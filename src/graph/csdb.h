@@ -92,6 +92,44 @@ class CsdbMatrix {
 
   RowCursor Rows(uint32_t start_row = 0) const { return RowCursor(*this, start_row); }
 
+  /// One maximal run of same-degree rows inside a queried row range: rows
+  /// [row_begin, row_end) all have degree `degree`, with row r's elements at
+  /// nnz offset ptr + (r - row_begin) * degree. Every row of a span shares the
+  /// same inner-loop trip count, which is what lets the SpMM panel kernels
+  /// specialize on the degree (§III-A's point: the degree-descending layout
+  /// turns short-row handling into a per-block, branch-predictable decision).
+  struct BlockSpan {
+    uint32_t row_begin = 0;
+    uint32_t row_end = 0;
+    uint32_t degree = 0;
+    uint64_t ptr = 0;  ///< first nnz offset of row_begin
+
+    uint32_t rows() const { return row_end - row_begin; }
+  };
+
+  /// Forward iterator over the degree blocks intersecting [row_begin,
+  /// row_end): each step yields the current block clamped to the range.
+  /// O(log blocks) to start, O(1) per step, same as RowCursor.
+  class BlockCursor {
+   public:
+    BlockCursor(const CsdbMatrix& m, uint32_t row_begin, uint32_t row_end);
+
+    bool AtEnd() const { return span_.row_begin >= end_; }
+    const BlockSpan& span() const { return span_; }
+    void Next();
+
+   private:
+    const CsdbMatrix* m_;
+    uint32_t end_;
+    uint32_t block_;
+    BlockSpan span_;
+  };
+
+  /// Degree blocks overlapping [row_begin, min(row_end, num_rows())).
+  BlockCursor BlocksInRange(uint32_t row_begin, uint32_t row_end) const {
+    return BlockCursor(*this, row_begin, row_end);
+  }
+
  private:
   uint32_t num_rows_ = 0;
   uint32_t num_cols_ = 0;

@@ -71,6 +71,10 @@ class DenseMatrix {
   float* ColData(size_t c) { return data_.data() + c * rows_; }
   const float* ColData(size_t c) const { return data_.data() + c * rows_; }
 
+  /// Element distance between consecutive columns — the panel kernels index a
+  /// multi-column panel as ColData(t0)[c + j * col_stride()].
+  size_t col_stride() const { return rows_; }
+
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
 

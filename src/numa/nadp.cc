@@ -52,6 +52,14 @@ NadpPlan NadpPlan::Build(const graph::CsdbMatrix& a, const NadpOptions& options,
   if (!options.enabled) {
     alloc_opts.num_threads = threads;
     plan.flat_workloads_ = sched::Allocate(a, options.allocator, alloc_opts);
+    if (!options.use_wofp) {
+      // Cache-less executes charge from hoisted metadata; scan it here in the
+      // same ascending-row order the per-call walk uses.
+      plan.flat_meta_.reserve(plan.flat_workloads_.size());
+      for (const sched::Workload& w : plan.flat_workloads_) {
+        plan.flat_meta_.push_back(sparse::ScanChargeMetaCsdb(a, w));
+      }
+    }
     if (options.use_wofp) {
       // Host-side store construction only (ctx = nullptr): the simulated
       // warm-up is replayed on every NadpExecute so the clocks see the same
@@ -86,6 +94,27 @@ NadpPlan NadpPlan::Build(const graph::CsdbMatrix& a, const NadpOptions& options,
     if (ws <= 0) continue;
     alloc_opts.num_threads = ws;
     plan.per_socket_workloads_[s] = sched::Allocate(a, options.allocator, alloc_opts);
+  }
+
+  // Hoist the per-(worker, socket-block) workload intersections out of the
+  // execute loop; for cache-less plans also pre-scan each piece's charge
+  // metadata (same ascending-row order as the per-call walk).
+  plan.sub_workloads_.resize(threads);
+  if (!options.use_wofp) plan.sub_meta_.resize(threads);
+  for (int w = 0; w < threads; ++w) {
+    const int s = layout.SocketOf(w, active_sockets);
+    const int wi = layout.LocalIndex(w, s);
+    if (wi >= static_cast<int>(plan.per_socket_workloads_[s].size())) continue;
+    const sched::Workload& workload = plan.per_socket_workloads_[s][wi];
+    plan.sub_workloads_[w].reserve(plan.sockets_);
+    for (int block = 0; block < plan.sockets_; ++block) {
+      plan.sub_workloads_[w].push_back(
+          IntersectWorkload(workload, plan.row_blocks_[block]));
+      if (!options.use_wofp) {
+        plan.sub_meta_[w].push_back(
+            sparse::ScanChargeMetaCsdb(a, plan.sub_workloads_[w].back()));
+      }
+    }
   }
 
   if (options.use_wofp) {
@@ -171,9 +200,18 @@ NadpResult NadpExecute(const NadpPlan& plan, const graph::CsdbMatrix& a,
         wofp_build[worker] = ctx.clock->seconds() - before;
         cache = plan.caches_[worker].get();
       }
-      breakdowns[worker] = sparse::ExecuteWorkloadCsdb(
-          a, b, c, plan.flat_workloads_[worker], pl, ms, &ctx, cache, col_begin,
-          col_end);
+      if (cache == nullptr && !plan.flat_meta_.empty()) {
+        // Cache-less: compute, then charge from the plan's hoisted metadata
+        // (byte-identical to the walking path; no per-execute scan).
+        sparse::ComputeWorkloadCsdb(a, b, c, plan.flat_workloads_[worker],
+                                    col_begin, col_end);
+        breakdowns[worker] = sparse::ChargeWorkloadCsdb(
+            a, col_end - col_begin, plan.flat_meta_[worker], pl, ms, &ctx);
+      } else {
+        breakdowns[worker] = sparse::ExecuteWorkloadCsdb(
+            a, b, c, plan.flat_workloads_[worker], pl, ms, &ctx, cache,
+            col_begin, col_end);
+      }
     });
   } else {
     // NaDP (Fig. 10): socket s's threads compute C[:, cols_s] = A * B[:,
@@ -208,7 +246,6 @@ NadpResult NadpExecute(const NadpPlan& plan, const graph::CsdbMatrix& a,
       const int s = layout.SocketOf(w, active_sockets);
       const int wi = layout.LocalIndex(w, s);
       if (wi >= static_cast<int>(plan.per_socket_workloads_[s].size())) return;
-      const sched::Workload& workload = plan.per_socket_workloads_[s][wi];
       const auto [col_begin, col_end] = col_blocks[s];
 
       memsim::WorkerCtx ctx;
@@ -234,16 +271,24 @@ NadpResult NadpExecute(const NadpPlan& plan, const graph::CsdbMatrix& a,
 
       uint64_t rows_processed = 0;
       for (int block = 0; block < sockets; ++block) {
-        const sched::Workload sub =
-            IntersectWorkload(workload, plan.row_blocks_[block]);
+        const sched::Workload& sub = plan.sub_workloads_[worker][block];
         if (sub.ranges.empty()) continue;
         sparse::SpmmPlacements pl;
         pl.index = {memsim::Tier::kDram, s};          // CSDB metadata: tiny, local
         pl.sparse = {options.sparse_tier, block};     // sequential, local or remote
         pl.dense = {options.dense_tier, s};           // socket-local dense block
         pl.result = {options.result_tier, s};         // local intermediate writes
-        breakdowns[worker] += sparse::ExecuteWorkloadCsdb(a, b, c, sub, pl, ms, &ctx,
-                                                          cache, col_begin, col_end);
+        if (cache == nullptr && !plan.sub_meta_.empty()) {
+          // Cache-less: charge from the hoisted per-piece metadata instead of
+          // re-walking the intersection on every execute.
+          sparse::ComputeWorkloadCsdb(a, b, c, sub, col_begin, col_end);
+          breakdowns[worker] += sparse::ChargeWorkloadCsdb(
+              a, col_end - col_begin, plan.sub_meta_[worker][block], pl, ms,
+              &ctx);
+        } else {
+          breakdowns[worker] += sparse::ExecuteWorkloadCsdb(
+              a, b, c, sub, pl, ms, &ctx, cache, col_begin, col_end);
+        }
         for (const sched::RowRange& range : sub.ranges) rows_processed += range.size();
       }
 

@@ -116,6 +116,15 @@ class NadpPlan {
   std::vector<sched::Workload> flat_workloads_;  ///< !enabled (interleaved)
   std::vector<std::vector<sched::Workload>> per_socket_workloads_;  ///< enabled
   std::vector<sched::RowRange> row_blocks_;                         ///< enabled
+  /// Each worker's workload intersected with every socket's row block,
+  /// hoisted from the execute loop (enabled mode; [worker][block]).
+  std::vector<std::vector<sched::Workload>> sub_workloads_;
+  /// Pre-scanned cache-less charge metadata (ScanChargeMetaCsdb), built only
+  /// when use_wofp is off: flat_meta_[worker] for the interleaved baseline,
+  /// sub_meta_[worker][block] for NaDP. Cache runs must keep the per-call
+  /// walk — hits depend on the cache's contents.
+  std::vector<sparse::CsdbChargeMeta> flat_meta_;
+  std::vector<std::vector<sparse::CsdbChargeMeta>> sub_meta_;
   /// Host-side WoFP stores, slot per worker (null where a worker has no
   /// workload or use_wofp is off). DRAM reservations are held for the plan's
   /// lifetime.

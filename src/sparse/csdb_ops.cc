@@ -164,14 +164,24 @@ Status SpMV(const graph::CsdbMatrix& a, const std::vector<float>& x,
             std::vector<float>* y) {
   if (x.size() != a.num_cols()) return Status::InvalidArgument("SpMV: dim mismatch");
   y->assign(a.num_rows(), 0.0f);
-  const auto& cols = a.col_list();
-  const auto& vals = a.nnz_list();
-  for (auto cur = a.Rows(0); !cur.AtEnd(); cur.Next()) {
-    float acc = 0.0f;
-    for (uint32_t k = 0; k < cur.degree(); ++k) {
-      acc += vals[cur.ptr() + k] * x[cols[cur.ptr() + k]];
+  const graph::NodeId* cols = a.col_list().data();
+  const float* vals = a.nnz_list().data();
+  const float* xv = x.data();
+  float* yv = y->data();
+  // Degree blocks give the inner reduction a per-block constant trip count —
+  // the same short-row specialization the panel SpMM kernels use; the
+  // ascending-k order (and hence the result) is unchanged.
+  for (auto blk = a.BlocksInRange(0, a.num_rows()); !blk.AtEnd(); blk.Next()) {
+    const graph::CsdbMatrix::BlockSpan& s = blk.span();
+    const uint32_t deg = s.degree;
+    uint64_t ptr = s.ptr;
+    for (uint32_t r = s.row_begin; r < s.row_end; ++r, ptr += deg) {
+      float acc = 0.0f;
+      for (uint32_t k = 0; k < deg; ++k) {
+        acc += vals[ptr + k] * xv[cols[ptr + k]];
+      }
+      yv[r] = acc;
     }
-    (*y)[cur.row()] = acc;
   }
   return Status::OK();
 }

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 
 #include "sched/entropy.h"
+#include "sparse/spmm_kernels.h"
 
 namespace omega::sparse {
 
@@ -63,28 +64,16 @@ Result<ParallelSpmmResult> FusedMmSpmm(const graph::CsrMatrix& a,
 
   // Host compute under dynamic row-block scheduling: any worker may grab any
   // block (power-law rows make static chunks skewed), and each element's
-  // ascending-k reduction is unchanged, so the result is bit-identical to the
-  // old static loop. No memsim state is touched in this phase.
+  // ascending-k reduction is fixed inside the panel kernel, so the result is
+  // bit-identical at any host thread count. No memsim state is touched in
+  // this phase.
   {
     constexpr uint32_t kComputeRowBlock = 1024;
-    const graph::NodeId* cols = a.col_idx().data();
-    const float* vals = a.values().data();
     pool->ParallelForDynamic(
         rows_total, kComputeRowBlock,
         [&](size_t, size_t row_begin, size_t row_end) {
-          for (uint32_t j = static_cast<uint32_t>(row_begin);
-               j < static_cast<uint32_t>(row_end); ++j) {
-            const uint64_t start = a.RowBegin(j);
-            const uint32_t deg = a.RowDegree(j);
-            for (size_t t = 0; t < d; ++t) {
-              const float* bt = b.ColData(t);
-              float acc = 0.0f;
-              for (uint32_t k = 0; k < deg; ++k) {
-                acc += vals[start + k] * bt[cols[start + k]];
-              }
-              c->ColData(t)[j] = acc;
-            }
-          }
+          kernels::CsrPanelSpmm(a, b, c, static_cast<uint32_t>(row_begin),
+                                static_cast<uint32_t>(row_end), 0, d);
         });
   }
 

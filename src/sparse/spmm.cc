@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "sched/entropy.h"
+#include "sparse/spmm_kernels.h"
+#include "sparse/spmm_plan.h"
 
 namespace omega::sparse {
 
@@ -135,7 +137,20 @@ void ComputeWorkloadCsdb(const graph::CsdbMatrix& a, const linalg::DenseMatrix& 
                          size_t col_begin, size_t col_end) {
   OMEGA_DCHECK(c->rows() == a.num_rows() && c->cols() == b.cols());
   col_end = std::min(col_end, b.cols());
-  OMEGA_DCHECK(col_begin <= col_end);
+  col_begin = std::min(col_begin, col_end);
+  for (const sched::RowRange& range : w.ranges) {
+    if (range.size() == 0) continue;
+    kernels::CsdbPanelSpmm(a, b, c, range.begin, range.end, col_begin, col_end);
+  }
+}
+
+void ComputeWorkloadCsdbPerColumn(const graph::CsdbMatrix& a,
+                                  const linalg::DenseMatrix& b,
+                                  linalg::DenseMatrix* c, const sched::Workload& w,
+                                  size_t col_begin, size_t col_end) {
+  OMEGA_DCHECK(c->rows() == a.num_rows() && c->cols() == b.cols());
+  col_end = std::min(col_end, b.cols());
+  col_begin = std::min(col_begin, col_end);
   const graph::NodeId* cols = a.col_list().data();
   const float* vals = a.nnz_list().data();
 
@@ -157,6 +172,25 @@ void ComputeWorkloadCsdb(const graph::CsdbMatrix& a, const linalg::DenseMatrix& 
       }
     }
   }
+}
+
+CsdbChargeMeta ScanChargeMetaCsdb(const graph::CsdbMatrix& a,
+                                  const sched::Workload& w) {
+  // Same walk, same ascending-row AddRow order as ChargeWorkloadCsdb's
+  // cache-less path — the accumulated entropy double is bit-identical.
+  CsdbChargeMeta meta;
+  sched::EntropyAccumulator entropy;
+  for (const sched::RowRange& range : w.ranges) {
+    if (range.size() == 0) continue;
+    for (auto cur = a.Rows(range.begin); cur.row() < range.end; cur.Next()) {
+      const uint32_t deg = cur.degree();
+      entropy.AddRow(deg);
+      ++meta.rows;
+      meta.nnz += deg;
+    }
+  }
+  meta.entropy_h = entropy.Entropy();
+  return meta;
 }
 
 SpmmCostBreakdown ChargeWorkloadCsdb(const graph::CsdbMatrix& a,
@@ -201,6 +235,23 @@ SpmmCostBreakdown ChargeWorkloadCsdb(const graph::CsdbMatrix& a,
   return breakdown;
 }
 
+SpmmCostBreakdown ChargeWorkloadCsdb(const graph::CsdbMatrix& a,
+                                     uint64_t dense_cols,
+                                     const CsdbChargeMeta& meta,
+                                     const SpmmPlacements& placements,
+                                     memsim::MemorySystem* ms,
+                                     memsim::WorkerCtx* ctx) {
+  // Cache-less walk summarized: every gather is a miss, hits are zero, and
+  // rows/nnz/entropy are the scan's values — ChargeWorkloadCosts receives
+  // exactly the arguments the walking overload would hand it.
+  SpmmCostBreakdown breakdown;
+  ChargeWorkloadCosts(ms, ctx, placements, /*cache=*/nullptr, meta.rows,
+                      meta.nnz, dense_cols, /*misses=*/meta.nnz,
+                      /*cache_hits=*/0, meta.entropy_h,
+                      /*index_bytes_per_row=*/4, a.num_cols(), &breakdown);
+  return breakdown;
+}
+
 SpmmCostBreakdown ExecuteWorkloadCsdb(const graph::CsdbMatrix& a,
                                       const linalg::DenseMatrix& b,
                                       linalg::DenseMatrix* c,
@@ -217,13 +268,25 @@ SpmmCostBreakdown ExecuteWorkloadCsdb(const graph::CsdbMatrix& a,
 
 void ComputeWorkloadCsr(const graph::CsrMatrix& a, const linalg::DenseMatrix& b,
                         linalg::DenseMatrix* c, uint32_t row_begin,
-                        uint32_t row_end) {
+                        uint32_t row_end, size_t col_begin, size_t col_end) {
   OMEGA_DCHECK(c->rows() == a.num_rows() && c->cols() == b.cols());
-  const size_t d = b.cols();
+  col_end = std::min(col_end, b.cols());
+  col_begin = std::min(col_begin, col_end);
+  kernels::CsrPanelSpmm(a, b, c, row_begin, row_end, col_begin, col_end);
+}
+
+void ComputeWorkloadCsrPerColumn(const graph::CsrMatrix& a,
+                                 const linalg::DenseMatrix& b,
+                                 linalg::DenseMatrix* c, uint32_t row_begin,
+                                 uint32_t row_end, size_t col_begin,
+                                 size_t col_end) {
+  OMEGA_DCHECK(c->rows() == a.num_rows() && c->cols() == b.cols());
+  col_end = std::min(col_end, b.cols());
+  col_begin = std::min(col_begin, col_end);
   const graph::NodeId* cols = a.col_idx().data();
   const float* vals = a.values().data();
 
-  for (size_t t = 0; t < d; ++t) {
+  for (size_t t = col_begin; t < col_end; ++t) {
     const float* bt = b.ColData(t);
     float* ct = c->ColData(t);
     for (uint32_t j = row_begin; j < row_end; ++j) {
@@ -259,8 +322,11 @@ SpmmCostBreakdown ExecuteWorkloadCsr(const graph::CsrMatrix& a,
                                      uint32_t row_end,
                                      const SpmmPlacements& placements,
                                      memsim::MemorySystem* ms,
-                                     memsim::WorkerCtx* ctx) {
-  ComputeWorkloadCsr(a, b, c, row_begin, row_end);
+                                     memsim::WorkerCtx* ctx, size_t col_begin,
+                                     size_t col_end) {
+  col_end = std::min(col_end, b.cols());
+  col_begin = std::min(col_begin, col_end);
+  ComputeWorkloadCsr(a, b, c, row_begin, row_end, col_begin, col_end);
   uint64_t nnz = 0;
   sched::EntropyAccumulator entropy;
   for (uint32_t j = row_begin; j < row_end; ++j) {
@@ -268,17 +334,24 @@ SpmmCostBreakdown ExecuteWorkloadCsr(const graph::CsrMatrix& a,
     nnz += deg;
     entropy.AddRow(deg);
   }
-  return ChargeWorkloadCsr(a, b.cols(), row_begin, row_end, nnz,
+  return ChargeWorkloadCsr(a, col_end - col_begin, row_begin, row_end, nnz,
                            entropy.Entropy(), placements, ms, ctx);
 }
 
-ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
-                                const linalg::DenseMatrix& b,
-                                linalg::DenseMatrix* c,
-                                const std::vector<sched::Workload>& workloads,
-                                const SpmmPlacements& placements,
-                                const exec::Context& ctx,
-                                const CacheFactory& cache_factory) {
+namespace {
+
+// Shared body of both ParallelSpmm overloads. `meta` is the plan's hoisted
+// per-workload charge metadata, or nullptr for the per-call path; it is only
+// consulted for cache-less workers (cache hits depend on cache contents), and
+// either way the charges land on the same clocks in the same order.
+ParallelSpmmResult ParallelSpmmImpl(const graph::CsdbMatrix& a,
+                                    const linalg::DenseMatrix& b,
+                                    linalg::DenseMatrix* c,
+                                    const std::vector<sched::Workload>& workloads,
+                                    const std::vector<CsdbChargeMeta>* meta,
+                                    const SpmmPlacements& placements,
+                                    const exec::Context& ctx,
+                                    const CacheFactory& cache_factory) {
   memsim::MemorySystem* ms = ctx.ms();
   ThreadPool* pool = ctx.pool();
   const size_t n = workloads.size();
@@ -312,9 +385,8 @@ ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
       blocks.size(), /*chunk_size=*/1,
       [&](size_t, size_t blk_begin, size_t blk_end) {
         for (size_t i = blk_begin; i < blk_end; ++i) {
-          sched::Workload block;
-          block.ranges.push_back(blocks[i]);
-          ComputeWorkloadCsdb(a, b, c, block);
+          kernels::CsdbPanelSpmm(a, b, c, blocks[i].begin, blocks[i].end, 0,
+                                 b.cols());
         }
       });
 
@@ -331,8 +403,13 @@ ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
     ctx.active_threads = total_workers;
     ctx.clock = &clocks.clock(worker);
     const DenseCacheView* cache = cache_factory ? cache_factory(&ctx, w) : nullptr;
-    result.thread_breakdowns[worker] =
-        ChargeWorkloadCsdb(a, b.cols(), w, placements, ms, &ctx, cache);
+    if (cache == nullptr && meta != nullptr) {
+      result.thread_breakdowns[worker] =
+          ChargeWorkloadCsdb(a, b.cols(), (*meta)[worker], placements, ms, &ctx);
+    } else {
+      result.thread_breakdowns[worker] =
+          ChargeWorkloadCsdb(a, b.cols(), w, placements, ms, &ctx, cache);
+    }
   });
 
   for (size_t i = 0; i < n; ++i) {
@@ -342,6 +419,30 @@ ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
   }
   result.phase_seconds = clocks.MaxSeconds();
   return result;
+}
+
+}  // namespace
+
+ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
+                                const linalg::DenseMatrix& b,
+                                linalg::DenseMatrix* c,
+                                const std::vector<sched::Workload>& workloads,
+                                const SpmmPlacements& placements,
+                                const exec::Context& ctx,
+                                const CacheFactory& cache_factory) {
+  return ParallelSpmmImpl(a, b, c, workloads, /*meta=*/nullptr, placements, ctx,
+                          cache_factory);
+}
+
+ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
+                                const linalg::DenseMatrix& b,
+                                linalg::DenseMatrix* c, const SpmmPlan& plan,
+                                const SpmmPlacements& placements,
+                                const exec::Context& ctx,
+                                const CacheFactory& cache_factory) {
+  OMEGA_CHECK(plan.valid());
+  return ParallelSpmmImpl(a, b, c, plan.workloads(), &plan.charge_meta(),
+                          placements, ctx, cache_factory);
 }
 
 }  // namespace omega::sparse

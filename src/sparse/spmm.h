@@ -100,13 +100,38 @@ SpmmCostBreakdown ExecuteWorkloadCsdb(const graph::CsdbMatrix& a,
                                       size_t col_begin = 0, size_t col_end = SIZE_MAX);
 
 /// Host-only half of ExecuteWorkloadCsdb: computes C rows for the workload's
-/// ranges and columns [col_begin, col_end) with no memsim charging. Every
-/// output element is reduced in ascending-k order, so the result is
-/// bit-identical no matter how the rows are split across workers — safe for
-/// dynamic scheduling.
+/// ranges and columns [col_begin, min(col_end, b.cols())) with no memsim
+/// charging (col_begin is clamped to the clamped col_end, so any range is
+/// safe). Dispatches to the column-panel kernels (sparse/spmm_kernels.h);
+/// every output element is reduced in ascending-k order with one accumulator,
+/// so the result is bit-identical no matter how the rows or columns are split
+/// across workers — safe for dynamic scheduling and NaDP column blocks.
 void ComputeWorkloadCsdb(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
                          linalg::DenseMatrix* c, const sched::Workload& w,
                          size_t col_begin = 0, size_t col_end = SIZE_MAX);
+
+/// The original per-column kernel (Algorithm 1's loop nesting verbatim), kept
+/// as the oracle the panel kernels are tested and benchmarked against. Same
+/// clamp and reduction order as ComputeWorkloadCsdb.
+void ComputeWorkloadCsdbPerColumn(const graph::CsdbMatrix& a,
+                                  const linalg::DenseMatrix& b,
+                                  linalg::DenseMatrix* c, const sched::Workload& w,
+                                  size_t col_begin = 0, size_t col_end = SIZE_MAX);
+
+/// Pre-scanned charge metadata for one CSDB workload — everything
+/// ChargeWorkloadCsdb derives from its per-call walk when no cache is
+/// attached. Plans hoist this scan out of the execute path; passing the
+/// values ScanChargeMetaCsdb produced yields byte-identical charges.
+struct CsdbChargeMeta {
+  uint64_t rows = 0;
+  uint64_t nnz = 0;
+  double entropy_h = 0.0;  ///< raw workload entropy H (Eq. 3), ascending rows
+};
+
+/// Walks the workload's row metadata in the same ascending-row order as
+/// ChargeWorkloadCsdb and returns the scan results.
+CsdbChargeMeta ScanChargeMetaCsdb(const graph::CsdbMatrix& a,
+                                  const sched::Workload& w);
 
 /// Charging-only half of ExecuteWorkloadCsdb: walks the workload's metadata
 /// (degrees + cache membership) in the same row/element order as the fused
@@ -119,6 +144,17 @@ SpmmCostBreakdown ChargeWorkloadCsdb(const graph::CsdbMatrix& a,
                                      memsim::MemorySystem* ms,
                                      memsim::WorkerCtx* ctx,
                                      const DenseCacheView* cache = nullptr);
+
+/// Cache-less ChargeWorkloadCsdb from pre-scanned metadata: no per-call walk.
+/// Charges are byte-identical to the walking overload with cache == nullptr
+/// when `meta` came from ScanChargeMetaCsdb on the same workload. Cache runs
+/// must keep walking — hits depend on the cache's current contents.
+SpmmCostBreakdown ChargeWorkloadCsdb(const graph::CsdbMatrix& a,
+                                     uint64_t dense_cols,
+                                     const CsdbChargeMeta& meta,
+                                     const SpmmPlacements& placements,
+                                     memsim::MemorySystem* ms,
+                                     memsim::WorkerCtx* ctx);
 
 /// Simulated seconds for `touches` dense-operand gathers (64 bytes each)
 /// whose stream has normalized workload entropy `z` in [0, 1]: the Z-weighted
@@ -137,14 +173,25 @@ SpmmCostBreakdown ExecuteWorkloadCsr(const graph::CsrMatrix& a,
                                      uint32_t row_end,
                                      const SpmmPlacements& placements,
                                      memsim::MemorySystem* ms,
-                                     memsim::WorkerCtx* ctx);
+                                     memsim::WorkerCtx* ctx,
+                                     size_t col_begin = 0,
+                                     size_t col_end = SIZE_MAX);
 
 /// Host-only half of ExecuteWorkloadCsr (no memsim charging; fixed
 /// ascending-k reduction order, so the result is bit-identical to the fused
-/// kernel).
+/// kernel). Column range and clamp semantics are unified with the CSDB
+/// kernel: col_end is clamped to b.cols(), then col_begin to col_end.
 void ComputeWorkloadCsr(const graph::CsrMatrix& a, const linalg::DenseMatrix& b,
                         linalg::DenseMatrix* c, uint32_t row_begin,
-                        uint32_t row_end);
+                        uint32_t row_end, size_t col_begin = 0,
+                        size_t col_end = SIZE_MAX);
+
+/// Per-column CSR oracle, mirroring ComputeWorkloadCsdbPerColumn.
+void ComputeWorkloadCsrPerColumn(const graph::CsrMatrix& a,
+                                 const linalg::DenseMatrix& b,
+                                 linalg::DenseMatrix* c, uint32_t row_begin,
+                                 uint32_t row_end, size_t col_begin = 0,
+                                 size_t col_end = SIZE_MAX);
 
 /// Charging-only half of ExecuteWorkloadCsr. `nnz` and `entropy_h` are the
 /// part's pre-scanned metadata (a CsrPlanPart carries them); passing the same

@@ -1,0 +1,332 @@
+// Column-panel SpMM kernels — see spmm_kernels.h for the contract.
+//
+// This translation unit is the SpMM analogue of linalg/gemm.cc's per-TU ISA
+// split: under OMEGA_SPMM_SIMD the build compiles it with -mavx2 -mfma (and
+// always with -ffp-contract=off), and the __AVX2__/__FMA__ macros select the
+// vector full-panel kernel plus explicit-FMA scalar paths. Without the
+// option the same sources compile to plain multiply-add scalar panels.
+
+#include "sparse/spmm_kernels.h"
+
+#include <algorithm>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define OMEGA_SPMM_SIMD_TU 1
+#else
+#define OMEGA_SPMM_SIMD_TU 0
+#endif
+
+namespace omega::sparse::kernels {
+
+namespace {
+
+// Single rounding policy for every scalar path in this TU (header comment):
+// fused when the vector kernel is fused, two roundings when it is not.
+inline float MulAdd(float v, float b, float acc) {
+#if OMEGA_SPMM_SIMD_TU
+  return __builtin_fmaf(v, b, acc);
+#else
+  return v * b + acc;
+#endif
+}
+
+// --- Scalar panel paths (also the tail/fallback paths of the SIMD build) ---
+
+// One row of a full kPanelCols-wide panel, degree known at compile time so
+// the k loop fully unrolls (the CSDB short-row path).
+template <uint32_t kDeg>
+inline void PanelRowFixed(const graph::NodeId* cols, const float* vals,
+                          const float* bp, size_t bstride, float* cp,
+                          size_t cstride, uint32_t r) {
+  float acc[kPanelCols] = {};
+  for (uint32_t k = 0; k < kDeg; ++k) {
+    const size_t col = cols[k];
+    const float v = vals[k];
+    for (size_t j = 0; j < kPanelCols; ++j) {
+      acc[j] = MulAdd(v, bp[col + j * bstride], acc[j]);
+    }
+  }
+  for (size_t j = 0; j < kPanelCols; ++j) cp[r + j * cstride] = acc[j];
+}
+
+// One row of a full panel, runtime degree.
+inline void PanelRow(const graph::NodeId* cols, const float* vals, uint32_t deg,
+                     const float* bp, size_t bstride, float* cp, size_t cstride,
+                     uint32_t r) {
+  float acc[kPanelCols] = {};
+  for (uint32_t k = 0; k < deg; ++k) {
+    const size_t col = cols[k];
+    const float v = vals[k];
+    for (size_t j = 0; j < kPanelCols; ++j) {
+      acc[j] = MulAdd(v, bp[col + j * bstride], acc[j]);
+    }
+  }
+  for (size_t j = 0; j < kPanelCols; ++j) cp[r + j * cstride] = acc[j];
+}
+
+// One row of a ragged tail panel (pw < kPanelCols columns).
+inline void PanelRowTail(const graph::NodeId* cols, const float* vals,
+                         uint32_t deg, const float* bp, size_t bstride,
+                         float* cp, size_t cstride, uint32_t r, size_t pw) {
+  float acc[kPanelCols] = {};
+  for (uint32_t k = 0; k < deg; ++k) {
+    const size_t col = cols[k];
+    const float v = vals[k];
+    for (size_t j = 0; j < pw; ++j) {
+      acc[j] = MulAdd(v, bp[col + j * bstride], acc[j]);
+    }
+  }
+  for (size_t j = 0; j < pw; ++j) cp[r + j * cstride] = acc[j];
+}
+
+// Full scalar panel over one CSDB degree span: constant-degree rows, deg <= 4
+// dispatched to the unrolled specializations.
+void CsdbSpanPanelScalar(const graph::CsdbMatrix::BlockSpan& s,
+                         const graph::NodeId* cols, const float* vals,
+                         const float* bp, size_t bstride, float* cp,
+                         size_t cstride) {
+  const uint32_t deg = s.degree;
+  uint64_t ptr = s.ptr;
+  switch (deg) {
+    case 0:
+      for (uint32_t r = s.row_begin; r < s.row_end; ++r) {
+        for (size_t j = 0; j < kPanelCols; ++j) cp[r + j * cstride] = 0.0f;
+      }
+      return;
+    case 1:
+      for (uint32_t r = s.row_begin; r < s.row_end; ++r, ptr += 1) {
+        PanelRowFixed<1>(cols + ptr, vals + ptr, bp, bstride, cp, cstride, r);
+      }
+      return;
+    case 2:
+      for (uint32_t r = s.row_begin; r < s.row_end; ++r, ptr += 2) {
+        PanelRowFixed<2>(cols + ptr, vals + ptr, bp, bstride, cp, cstride, r);
+      }
+      return;
+    case 3:
+      for (uint32_t r = s.row_begin; r < s.row_end; ++r, ptr += 3) {
+        PanelRowFixed<3>(cols + ptr, vals + ptr, bp, bstride, cp, cstride, r);
+      }
+      return;
+    case 4:
+      for (uint32_t r = s.row_begin; r < s.row_end; ++r, ptr += 4) {
+        PanelRowFixed<4>(cols + ptr, vals + ptr, bp, bstride, cp, cstride, r);
+      }
+      return;
+    default:
+      for (uint32_t r = s.row_begin; r < s.row_end; ++r, ptr += deg) {
+        PanelRow(cols + ptr, vals + ptr, deg, bp, bstride, cp, cstride, r);
+      }
+      return;
+  }
+}
+
+// Ragged tail panel over one CSDB degree span.
+void CsdbSpanPanelTail(const graph::CsdbMatrix::BlockSpan& s,
+                       const graph::NodeId* cols, const float* vals,
+                       const float* bp, size_t bstride, float* cp,
+                       size_t cstride, size_t pw) {
+  const uint32_t deg = s.degree;
+  uint64_t ptr = s.ptr;
+  for (uint32_t r = s.row_begin; r < s.row_end; ++r, ptr += deg) {
+    PanelRowTail(cols + ptr, vals + ptr, deg, bp, bstride, cp, cstride, r, pw);
+  }
+}
+
+#if OMEGA_SPMM_SIMD_TU
+
+// The strided-gather index vector {0, bstride, ..., 7*bstride} must fit in
+// int32; beyond this row count (no dataset analogue comes close) the kernel
+// falls back to the bit-identical scalar panels.
+constexpr size_t kMaxSimdStride = (size_t{1} << 31) / (kPanelCols - 1) - 1;
+
+// One row of a full panel: 8 column accumulators in one ymm, one
+// constant-stride gather + one FMA per nonzero, single ascending-k chain.
+inline void PanelRowSimd(const graph::NodeId* cols, const float* vals,
+                         uint32_t deg, const float* bp, __m256i vindex,
+                         float* cp, size_t cstride, uint32_t r) {
+  __m256 acc = _mm256_setzero_ps();
+  for (uint32_t k = 0; k < deg; ++k) {
+    const __m256 bv = _mm256_i32gather_ps(bp + cols[k], vindex, 4);
+    acc = _mm256_fmadd_ps(_mm256_set1_ps(vals[k]), bv, acc);
+  }
+  alignas(32) float out[kPanelCols];
+  _mm256_store_ps(out, acc);
+  for (size_t j = 0; j < kPanelCols; ++j) cp[r + j * cstride] = out[j];
+}
+
+template <uint32_t kDeg>
+inline void PanelRowSimdFixed(const graph::NodeId* cols, const float* vals,
+                              const float* bp, __m256i vindex, float* cp,
+                              size_t cstride, uint32_t r) {
+  __m256 acc = _mm256_setzero_ps();
+  for (uint32_t k = 0; k < kDeg; ++k) {
+    const __m256 bv = _mm256_i32gather_ps(bp + cols[k], vindex, 4);
+    acc = _mm256_fmadd_ps(_mm256_set1_ps(vals[k]), bv, acc);
+  }
+  alignas(32) float out[kPanelCols];
+  _mm256_store_ps(out, acc);
+  for (size_t j = 0; j < kPanelCols; ++j) cp[r + j * cstride] = out[j];
+}
+
+void CsdbSpanPanelSimd(const graph::CsdbMatrix::BlockSpan& s,
+                       const graph::NodeId* cols, const float* vals,
+                       const float* bp, __m256i vindex, float* cp,
+                       size_t cstride) {
+  const uint32_t deg = s.degree;
+  uint64_t ptr = s.ptr;
+  switch (deg) {
+    case 0:
+      for (uint32_t r = s.row_begin; r < s.row_end; ++r) {
+        for (size_t j = 0; j < kPanelCols; ++j) cp[r + j * cstride] = 0.0f;
+      }
+      return;
+    case 1:
+      for (uint32_t r = s.row_begin; r < s.row_end; ++r, ptr += 1) {
+        PanelRowSimdFixed<1>(cols + ptr, vals + ptr, bp, vindex, cp, cstride, r);
+      }
+      return;
+    case 2:
+      for (uint32_t r = s.row_begin; r < s.row_end; ++r, ptr += 2) {
+        PanelRowSimdFixed<2>(cols + ptr, vals + ptr, bp, vindex, cp, cstride, r);
+      }
+      return;
+    case 3:
+      for (uint32_t r = s.row_begin; r < s.row_end; ++r, ptr += 3) {
+        PanelRowSimdFixed<3>(cols + ptr, vals + ptr, bp, vindex, cp, cstride, r);
+      }
+      return;
+    case 4:
+      for (uint32_t r = s.row_begin; r < s.row_end; ++r, ptr += 4) {
+        PanelRowSimdFixed<4>(cols + ptr, vals + ptr, bp, vindex, cp, cstride, r);
+      }
+      return;
+    default:
+      for (uint32_t r = s.row_begin; r < s.row_end; ++r, ptr += deg) {
+        PanelRowSimd(cols + ptr, vals + ptr, deg, bp, vindex, cp, cstride, r);
+      }
+      return;
+  }
+}
+
+inline __m256i PanelIndex(size_t bstride) {
+  const int s = static_cast<int>(bstride);
+  return _mm256_setr_epi32(0, s, 2 * s, 3 * s, 4 * s, 5 * s, 6 * s, 7 * s);
+}
+
+#endif  // OMEGA_SPMM_SIMD_TU
+
+}  // namespace
+
+bool SpmmSimdEnabled() { return OMEGA_SPMM_SIMD_TU != 0; }
+
+void CsdbPanelSpmmScalar(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
+                         linalg::DenseMatrix* c, uint32_t row_begin,
+                         uint32_t row_end, size_t col_begin, size_t col_end) {
+  const graph::NodeId* cols = a.col_list().data();
+  const float* vals = a.nnz_list().data();
+  const size_t bstride = b.col_stride();
+  const size_t cstride = c->col_stride();
+  for (size_t t0 = col_begin; t0 < col_end; t0 += kPanelCols) {
+    const size_t pw = std::min(kPanelCols, col_end - t0);
+    const float* bp = b.ColData(t0);
+    float* cp = c->ColData(t0);
+    for (auto blk = a.BlocksInRange(row_begin, row_end); !blk.AtEnd();
+         blk.Next()) {
+      if (pw == kPanelCols) {
+        CsdbSpanPanelScalar(blk.span(), cols, vals, bp, bstride, cp, cstride);
+      } else {
+        CsdbSpanPanelTail(blk.span(), cols, vals, bp, bstride, cp, cstride, pw);
+      }
+    }
+  }
+}
+
+void CsdbPanelSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
+                   linalg::DenseMatrix* c, uint32_t row_begin, uint32_t row_end,
+                   size_t col_begin, size_t col_end) {
+#if OMEGA_SPMM_SIMD_TU
+  const size_t bstride = b.col_stride();
+  if (bstride <= kMaxSimdStride) {
+    const graph::NodeId* cols = a.col_list().data();
+    const float* vals = a.nnz_list().data();
+    const size_t cstride = c->col_stride();
+    const __m256i vindex = PanelIndex(bstride);
+    for (size_t t0 = col_begin; t0 < col_end; t0 += kPanelCols) {
+      const size_t pw = std::min(kPanelCols, col_end - t0);
+      const float* bp = b.ColData(t0);
+      float* cp = c->ColData(t0);
+      for (auto blk = a.BlocksInRange(row_begin, row_end); !blk.AtEnd();
+           blk.Next()) {
+        if (pw == kPanelCols) {
+          CsdbSpanPanelSimd(blk.span(), cols, vals, bp, vindex, cp, cstride);
+        } else {
+          CsdbSpanPanelTail(blk.span(), cols, vals, bp, bstride, cp, cstride,
+                            pw);
+        }
+      }
+    }
+    return;
+  }
+#endif
+  CsdbPanelSpmmScalar(a, b, c, row_begin, row_end, col_begin, col_end);
+}
+
+void CsrPanelSpmmScalar(const graph::CsrMatrix& a, const linalg::DenseMatrix& b,
+                        linalg::DenseMatrix* c, uint32_t row_begin,
+                        uint32_t row_end, size_t col_begin, size_t col_end) {
+  const graph::NodeId* cols = a.col_idx().data();
+  const float* vals = a.values().data();
+  const size_t bstride = b.col_stride();
+  const size_t cstride = c->col_stride();
+  for (size_t t0 = col_begin; t0 < col_end; t0 += kPanelCols) {
+    const size_t pw = std::min(kPanelCols, col_end - t0);
+    const float* bp = b.ColData(t0);
+    float* cp = c->ColData(t0);
+    for (uint32_t r = row_begin; r < row_end; ++r) {
+      const uint64_t start = a.RowBegin(r);
+      const uint32_t deg = a.RowDegree(r);
+      if (pw == kPanelCols) {
+        PanelRow(cols + start, vals + start, deg, bp, bstride, cp, cstride, r);
+      } else {
+        PanelRowTail(cols + start, vals + start, deg, bp, bstride, cp, cstride,
+                     r, pw);
+      }
+    }
+  }
+}
+
+void CsrPanelSpmm(const graph::CsrMatrix& a, const linalg::DenseMatrix& b,
+                  linalg::DenseMatrix* c, uint32_t row_begin, uint32_t row_end,
+                  size_t col_begin, size_t col_end) {
+#if OMEGA_SPMM_SIMD_TU
+  const size_t bstride = b.col_stride();
+  if (bstride <= kMaxSimdStride) {
+    const graph::NodeId* cols = a.col_idx().data();
+    const float* vals = a.values().data();
+    const size_t cstride = c->col_stride();
+    const __m256i vindex = PanelIndex(bstride);
+    for (size_t t0 = col_begin; t0 < col_end; t0 += kPanelCols) {
+      const size_t pw = std::min(kPanelCols, col_end - t0);
+      const float* bp = b.ColData(t0);
+      float* cp = c->ColData(t0);
+      for (uint32_t r = row_begin; r < row_end; ++r) {
+        const uint64_t start = a.RowBegin(r);
+        const uint32_t deg = a.RowDegree(r);
+        if (pw == kPanelCols) {
+          PanelRowSimd(cols + start, vals + start, deg, bp, vindex, cp, cstride,
+                       r);
+        } else {
+          PanelRowTail(cols + start, vals + start, deg, bp, bstride, cp,
+                       cstride, r, pw);
+        }
+      }
+    }
+    return;
+  }
+#endif
+  CsrPanelSpmmScalar(a, b, c, row_begin, row_end, col_begin, col_end);
+}
+
+}  // namespace omega::sparse::kernels

@@ -1,0 +1,70 @@
+// Column-panel SpMM compute kernels (host arithmetic only, no memsim).
+//
+// The per-column kernels in spmm.cc walk the whole sparse row list once per
+// dense column: every nonzero's (col, val) pair is re-loaded d times and pays
+// one scalar gather per load. The panel kernels here process the dense
+// operand in panels of kPanelCols columns instead: one index/value load per
+// nonzero is amortized across the panel's register-resident accumulators, so
+// the sparse stream shrinks by kPanelCols x and the gather feeds kPanelCols
+// FMAs. The CSDB variant additionally iterates degree blocks
+// (CsdbMatrix::BlocksInRange) so the inner trip count is a per-block constant
+// and short rows (deg <= 4) run fully unrolled — the branch-predictable
+// short-row path the degree-descending layout exists for (§III-A).
+//
+// Numerics policy (DESIGN.md "SpMM column-panel kernels"): every output
+// element C(r, t) is reduced over its row's nonzeros in ascending k with a
+// single accumulator, and all paths inside this translation unit — vector
+// full panel, scalar tail panel, degree-specialized unrolls — round
+// identically (explicit FMA everywhere when the TU is compiled with AVX2+FMA
+// under OMEGA_SPMM_SIMD, plain multiply-add everywhere otherwise; the TU is
+// built with -ffp-contract=off so the compiler cannot mix the two). An
+// element therefore lands on the same bits no matter how the column range is
+// sliced, which is what keeps embeddings bit-identical across thread counts
+// when NaDP/ASL shift panel boundaries.
+//
+// These kernels never touch the simulator: charging stays in spmm.cc's
+// ChargeWorkload* functions and is byte-identical to the per-column era.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/csdb.h"
+#include "graph/csr.h"
+#include "linalg/dense_matrix.h"
+
+namespace omega::sparse::kernels {
+
+/// Dense columns per panel: 8 register-resident accumulators — one AVX2
+/// vector in the SIMD variant, a compiler-unrolled float[8] in the scalar
+/// fallback.
+inline constexpr size_t kPanelCols = 8;
+
+/// True when this build compiled the panel TU with the AVX2+FMA variant
+/// (OMEGA_SPMM_SIMD on a supporting toolchain).
+bool SpmmSimdEnabled();
+
+/// C[r, t] = sum_k A(r, :) * B(:, t) for rows [row_begin, row_end) of the
+/// CSDB matrix and columns [col_begin, col_end) (caller pre-clamps both).
+/// Best available variant: SIMD when compiled in, scalar panels otherwise.
+void CsdbPanelSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
+                   linalg::DenseMatrix* c, uint32_t row_begin, uint32_t row_end,
+                   size_t col_begin, size_t col_end);
+
+/// Scalar-panel variant, always compiled — the fallback the SIMD path is
+/// tested against (bit-identical under this TU's rounding policy).
+void CsdbPanelSpmmScalar(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
+                         linalg::DenseMatrix* c, uint32_t row_begin,
+                         uint32_t row_end, size_t col_begin, size_t col_end);
+
+/// CSR flavors of the same panel kernels.
+void CsrPanelSpmm(const graph::CsrMatrix& a, const linalg::DenseMatrix& b,
+                  linalg::DenseMatrix* c, uint32_t row_begin, uint32_t row_end,
+                  size_t col_begin, size_t col_end);
+
+void CsrPanelSpmmScalar(const graph::CsrMatrix& a, const linalg::DenseMatrix& b,
+                        linalg::DenseMatrix* c, uint32_t row_begin,
+                        uint32_t row_end, size_t col_begin, size_t col_end);
+
+}  // namespace omega::sparse::kernels

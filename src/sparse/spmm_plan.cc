@@ -54,6 +54,10 @@ SpmmPlan SpmmPlan::Build(const graph::CsdbMatrix& a, sched::AllocatorKind kind,
   plan.beta_ = options.beta;
   plan.has_in_degrees_ = with_in_degrees;
   plan.workloads_ = sched::Allocate(a, kind, options);
+  plan.charge_meta_.reserve(plan.workloads_.size());
+  for (const sched::Workload& w : plan.workloads_) {
+    plan.charge_meta_.push_back(ScanChargeMetaCsdb(a, w));
+  }
   if (with_in_degrees) plan.in_degrees_ = ComputeInDegrees(a);
   return plan;
 }
@@ -118,16 +122,6 @@ bool CsrSpmmPlan::Matches(const graph::CsrMatrix& a, int threads,
                           Split split) const {
   return valid() && split_ == split && threads_ == threads &&
          structure_ == StructureOf(a);
-}
-
-ParallelSpmmResult ParallelSpmm(const graph::CsdbMatrix& a,
-                                const linalg::DenseMatrix& b,
-                                linalg::DenseMatrix* c, const SpmmPlan& plan,
-                                const SpmmPlacements& placements,
-                                const exec::Context& ctx,
-                                const CacheFactory& cache_factory) {
-  OMEGA_CHECK(plan.valid());
-  return ParallelSpmm(a, b, c, plan.workloads(), placements, ctx, cache_factory);
 }
 
 }  // namespace omega::sparse

@@ -21,6 +21,7 @@
 #include "graph/csr.h"
 #include "sched/allocators.h"
 #include "sched/workload.h"
+#include "sparse/spmm.h"
 
 namespace omega::sparse {
 
@@ -74,6 +75,12 @@ class SpmmPlan {
   int num_threads() const { return threads_; }
   sched::AllocatorKind allocator() const { return kind_; }
 
+  /// Per-workload cache-less charge metadata (the ChargeWorkloadCsdb walk,
+  /// hoisted; same ascending-row scan order, so charges built from it are
+  /// byte-identical). Cache-attached executes ignore it — hits depend on the
+  /// cache's contents, so they must still walk per call.
+  const std::vector<CsdbChargeMeta>& charge_meta() const { return charge_meta_; }
+
  private:
   SparseStructureKey structure_;
   sched::AllocatorKind kind_ = sched::AllocatorKind::kEntropyAware;
@@ -81,6 +88,7 @@ class SpmmPlan {
   double beta_ = 0.0;
   bool has_in_degrees_ = false;
   std::vector<sched::Workload> workloads_;
+  std::vector<CsdbChargeMeta> charge_meta_;
   std::vector<uint32_t> in_degrees_;
 };
 

@@ -1,0 +1,235 @@
+// Unit tests for the column-panel SpMM kernels (sparse/spmm_kernels.h):
+// panel-tail widths, zero-degree rows, single-row ranges, SIMD vs scalar
+// panel vs per-column oracle agreement, the fixed-reduction-order bit
+// guarantees, the hoisted charge metadata, and engine-level embedding
+// determinism across host thread counts.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/rmat.h"
+#include "linalg/random_matrix.h"
+#include "omega/engine.h"
+#include "sched/allocators.h"
+#include "sparse/csdb_ops.h"
+#include "sparse/spmm.h"
+#include "sparse/spmm_kernels.h"
+#include "sparse/spmm_plan.h"
+
+namespace omega::sparse {
+namespace {
+
+using graph::CsdbMatrix;
+using graph::CsrMatrix;
+using graph::Graph;
+using linalg::DenseMatrix;
+
+// Panel-tail coverage: below / at / above one panel, plus the bench width.
+const size_t kWidths[] = {1, 7, 8, 9, 128};
+
+class SpmmKernelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph::RmatParams params;
+    params.scale = 9;
+    params.num_edges = 4000;
+    graph_ = std::make_unique<Graph>(graph::GenerateRmat(params).value());
+    a_ = CsdbMatrix::FromGraph(*graph_);
+    csr_ = ToCsr(a_).value();
+  }
+
+  DenseMatrix Dense(size_t d) const {
+    return linalg::GaussianMatrix(a_.num_cols(), d, 101 + static_cast<int>(d));
+  }
+
+  DenseMatrix Oracle(const DenseMatrix& b) const {
+    sched::Workload w;
+    w.ranges.push_back(sched::RowRange{0, a_.num_rows()});
+    DenseMatrix c(a_.num_rows(), b.cols());
+    ComputeWorkloadCsdbPerColumn(a_, b, &c, w);
+    return c;
+  }
+
+  std::unique_ptr<Graph> graph_;
+  CsdbMatrix a_;
+  CsrMatrix csr_;
+};
+
+TEST_F(SpmmKernelsTest, CsdbPanelMatchesOracleAtEveryTailWidth) {
+  for (size_t d : kWidths) {
+    const DenseMatrix b = Dense(d);
+    const DenseMatrix expected = Oracle(b);
+    DenseMatrix c(a_.num_rows(), d);
+    kernels::CsdbPanelSpmm(a_, b, &c, 0, a_.num_rows(), 0, d);
+    // The panel path may fuse its multiply-adds (one rounding per nonzero
+    // where the oracle takes two), so agreement is tight but not bitwise.
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected), 1e-4) << "d=" << d;
+  }
+}
+
+TEST_F(SpmmKernelsTest, CsrPanelMatchesOracleAtEveryTailWidth) {
+  for (size_t d : kWidths) {
+    const DenseMatrix b = Dense(d);
+    DenseMatrix expected(a_.num_rows(), d);
+    ComputeWorkloadCsrPerColumn(csr_, b, &expected, 0, csr_.num_rows());
+    DenseMatrix c(a_.num_rows(), d);
+    kernels::CsrPanelSpmm(csr_, b, &c, 0, csr_.num_rows(), 0, d);
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected), 1e-4) << "d=" << d;
+  }
+}
+
+// The TU-wide rounding policy (explicit FMA everywhere or nowhere) makes the
+// vector and scalar panel paths land on identical bits, which is what the
+// SIMD-vs-scalar CI matrix relies on within one build.
+TEST_F(SpmmKernelsTest, SimdAndScalarPanelsAreBitIdentical) {
+  for (size_t d : kWidths) {
+    const DenseMatrix b = Dense(d);
+    DenseMatrix best(a_.num_rows(), d);
+    DenseMatrix scalar(a_.num_rows(), d);
+    kernels::CsdbPanelSpmm(a_, b, &best, 0, a_.num_rows(), 0, d);
+    kernels::CsdbPanelSpmmScalar(a_, b, &scalar, 0, a_.num_rows(), 0, d);
+    EXPECT_EQ(DenseMatrix::MaxAbsDiff(best, scalar), 0.0) << "csdb d=" << d;
+
+    DenseMatrix csr_best(a_.num_rows(), d);
+    DenseMatrix csr_scalar(a_.num_rows(), d);
+    kernels::CsrPanelSpmm(csr_, b, &csr_best, 0, csr_.num_rows(), 0, d);
+    kernels::CsrPanelSpmmScalar(csr_, b, &csr_scalar, 0, csr_.num_rows(), 0, d);
+    EXPECT_EQ(DenseMatrix::MaxAbsDiff(csr_best, csr_scalar), 0.0)
+        << "csr d=" << d;
+  }
+}
+
+// NaDP/ASL slice the column range at thread-dependent boundaries; an element
+// must not care which panel slicing computed it.
+TEST_F(SpmmKernelsTest, ColumnRangeSlicingIsBitIdentical) {
+  const size_t d = 19;
+  const DenseMatrix b = Dense(d);
+  DenseMatrix whole(a_.num_rows(), d);
+  kernels::CsdbPanelSpmm(a_, b, &whole, 0, a_.num_rows(), 0, d);
+
+  DenseMatrix sliced(a_.num_rows(), d);
+  const size_t cuts[] = {0, 3, 11, 12, d};
+  for (size_t i = 0; i + 1 < std::size(cuts); ++i) {
+    kernels::CsdbPanelSpmm(a_, b, &sliced, 0, a_.num_rows(), cuts[i],
+                           cuts[i + 1]);
+  }
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(whole, sliced), 0.0);
+}
+
+TEST_F(SpmmKernelsTest, SingleRowRangesReproduceTheFullResult) {
+  const size_t d = 9;
+  const DenseMatrix b = Dense(d);
+  DenseMatrix expected(a_.num_rows(), d);
+  kernels::CsdbPanelSpmm(a_, b, &expected, 0, a_.num_rows(), 0, d);
+  // Per-row invocations must land on the same bits as the full range: each
+  // element's reduction order is a property of its row, not of the slicing.
+  DenseMatrix c(a_.num_rows(), d);
+  for (uint32_t r = 0; r < a_.num_rows(); ++r) {
+    kernels::CsdbPanelSpmm(a_, b, &c, r, r + 1, 0, d);
+  }
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(c, expected), 0.0);
+}
+
+TEST_F(SpmmKernelsTest, ZeroDegreeRowsAreWrittenAsZero) {
+  // Trailing degree-0 block: 3 connected rows + 2 isolated ones.
+  const std::vector<uint32_t> degrees = {3, 2, 2, 0, 0};
+  const std::vector<graph::NodeId> cols = {0, 1, 4, 2, 3, 0, 2};
+  const std::vector<float> vals = {1.f, 2.f, 3.f, 4.f, 5.f, 6.f, 7.f};
+  const CsdbMatrix m =
+      CsdbMatrix::FromParts(5, 5, degrees, cols, vals).value();
+  const DenseMatrix b = linalg::GaussianMatrix(5, 9, 3);
+  for (size_t col_end : {size_t{8}, size_t{9}}) {  // full panel and tail
+    DenseMatrix c(5, 9);
+    c.Fill(123.0f);  // the kernel must overwrite, not accumulate
+    kernels::CsdbPanelSpmm(m, b, &c, 0, 5, 0, col_end);
+    sched::Workload w;
+    w.ranges.push_back(sched::RowRange{0, 5});
+    DenseMatrix expected(5, 9);
+    expected.Fill(123.0f);
+    ComputeWorkloadCsdbPerColumn(m, b, &expected, w, 0, col_end);
+    EXPECT_LT(DenseMatrix::MaxAbsDiff(c, expected), 1e-6);
+    for (uint32_t r = 3; r < 5; ++r) {
+      for (size_t t = 0; t < col_end; ++t) {
+        EXPECT_EQ(c.At(r, t), 0.0f) << "row " << r << " col " << t;
+      }
+    }
+  }
+}
+
+TEST_F(SpmmKernelsTest, EmptyAndClampedRangesAreSafe) {
+  const size_t d = 8;
+  const DenseMatrix b = Dense(d);
+  DenseMatrix c(a_.num_rows(), d);
+  // Empty row range, empty column range, row range past the end.
+  kernels::CsdbPanelSpmm(a_, b, &c, 5, 5, 0, d);
+  kernels::CsdbPanelSpmm(a_, b, &c, 0, a_.num_rows(), 3, 3);
+  kernels::CsdbPanelSpmm(a_, b, &c, a_.num_rows(), a_.num_rows() + 10, 0, d);
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(c, DenseMatrix(a_.num_rows(), d)), 0.0);
+
+  // ComputeWorkloadCsr's unified clamp: col_begin beyond b.cols() is a no-op.
+  DenseMatrix c2(a_.num_rows(), d);
+  ComputeWorkloadCsr(csr_, b, &c2, 0, csr_.num_rows(), d + 5, SIZE_MAX);
+  EXPECT_EQ(DenseMatrix::MaxAbsDiff(c2, DenseMatrix(a_.num_rows(), d)), 0.0);
+}
+
+// The hoisted charge metadata must reproduce the walking overload's charges
+// to the last bit (same clock advances, same breakdown).
+TEST_F(SpmmKernelsTest, ChargeMetaIsByteIdenticalToTheWalk) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  sched::AllocatorOptions opts;
+  opts.num_threads = 4;
+  const auto workloads =
+      sched::Allocate(a_, sched::AllocatorKind::kEntropyAware, opts);
+  for (const sched::Workload& w : workloads) {
+    const CsdbChargeMeta meta = ScanChargeMetaCsdb(a_, w);
+    memsim::SimClock walk_clock;
+    memsim::SimClock meta_clock;
+    memsim::WorkerCtx walk_ctx{0, 0, 4, &walk_clock};
+    memsim::WorkerCtx meta_ctx{0, 0, 4, &meta_clock};
+    const SpmmCostBreakdown walked = ChargeWorkloadCsdb(
+        a_, 8, w, SpmmPlacements{}, ms.get(), &walk_ctx, nullptr);
+    const SpmmCostBreakdown from_meta =
+        ChargeWorkloadCsdb(a_, 8, meta, SpmmPlacements{}, ms.get(), &meta_ctx);
+    EXPECT_EQ(walk_clock.seconds(), meta_clock.seconds());
+    for (int i = 0; i < kNumSpmmOps; ++i) {
+      EXPECT_EQ(walked.seconds[i], from_meta.seconds[i])
+          << SpmmOpName(static_cast<SpmmOp>(i));
+    }
+  }
+}
+
+// End-to-end: the engine's embedding (panel kernels under NaDP/WoFP column
+// slicing) must not change a single bit with the host thread count.
+TEST(SpmmKernelsEngineTest, EmbeddingBitIdenticalAcrossThreadCounts) {
+  graph::RmatParams params;
+  params.scale = 10;
+  params.num_edges = 8000;
+  params.seed = 11;
+  const Graph g = graph::GenerateRmat(params).value();
+
+  linalg::DenseMatrix reference;
+  for (int threads : {1, 2, 8}) {
+    auto ms = memsim::MemorySystem::CreateDefault();
+    ThreadPool pool(threads);
+    engine::EngineOptions opts;
+    opts.system = engine::SystemKind::kOmega;
+    opts.num_threads = threads;
+    opts.prone.dim = 8;
+    opts.prone.oversample = 4;
+    opts.prone.chebyshev_order = 4;
+    auto report =
+        engine::RunEmbedding(g, "det", opts, exec::Context(ms.get(), &pool));
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    if (threads == 1) {
+      reference = report.value().embedding;
+      continue;
+    }
+    EXPECT_EQ(
+        DenseMatrix::MaxAbsDiff(reference, report.value().embedding), 0.0)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace omega::sparse
