@@ -1,0 +1,82 @@
+// Fault-tolerance sweep: how each system family absorbs injected faults
+// across the memory hierarchy. For every named fault profile, the harness
+// runs a representative set of systems on PK and reports the simulated
+// runtime, the slowdown against the fault-free run, and the fault/recovery
+// accounting (injected = retried + degraded + surfaced).
+//
+// Shapes to check:
+//   * profile "none" matches the seed simulation exactly (no fault charges);
+//   * the pm profiles charge OMeGa and ProNE-HM only; ProNE-HM's staging
+//     read rides on bounded retries alone, so sustained PM media rates turn
+//     its cell into ERR (surfaced IOError) where OMeGa's ASL degrades to
+//     semi-external streaming instead — fault_test.cc pins that contrast;
+//   * worn-ssd slows the out-of-core system but never fails it;
+//   * flaky-net only affects the distributed analogue, and every timeout is
+//     absorbed by a local-replica retry (retried == injected).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "memsim/fault.h"
+
+int main(int argc, char** argv) {
+  using namespace omega;
+  const std::string json_path = bench::BenchJsonPathFromArgs(&argc, argv);
+  bench::Env env = bench::MakeEnv(36);
+  engine::PrintExperimentHeader(
+      "Fault tolerance", "recovery behavior under injected fault profiles");
+
+  const std::vector<engine::SystemKind> systems = {
+      engine::SystemKind::kOmega,
+      engine::SystemKind::kProneHm,
+      engine::SystemKind::kGinex,
+      engine::SystemKind::kDistDgl,
+  };
+  const std::vector<std::string> profiles = {"none", "pm-stall", "pm-degraded",
+                                             "worn-ssd", "flaky-net"};
+
+  const graph::Graph g = bench::LoadGraphOrDie("PK");
+  bench::BenchJson json;
+
+  for (auto system : systems) {
+    engine::TablePrinter table(
+        {"profile", "total", "slowdown", "fault accounting"});
+    double baseline_seconds = 0.0;
+    for (const std::string& profile : profiles) {
+      auto plan = memsim::FaultPlanFromProfile(profile);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+        return 1;
+      }
+      env.ms->SetFaultPlan(plan.value());
+      const auto options = bench::DefaultOptions(system, env.threads);
+      auto report = engine::RunEmbedding(g, "PK", options, env.Context());
+      if (!report.ok()) {
+        // Surfaced fault (or OOM): the system could not complete under this
+        // profile — the contrast the harness exists to show.
+        table.AddRow({profile, "ERR", "-",
+                      "surfaced: " + report.status().ToString()});
+        continue;
+      }
+      const double seconds = report.value().total_seconds;
+      if (profile == "none") baseline_seconds = seconds;
+      table.AddRow({profile, HumanSeconds(seconds),
+                    bench::Ratio(seconds, baseline_seconds),
+                    memsim::FaultCountersSummary(report.value().faults)});
+      json.Add(std::string(engine::SystemName(system)) + "/" + profile,
+               "total_seconds", seconds);
+      json.Add(std::string(engine::SystemName(system)) + "/" + profile,
+               "injected", static_cast<double>(
+                   report.value().faults.InjectedTotal()));
+    }
+    std::printf("\n%s on PK:\n", engine::SystemName(system));
+    table.Print();
+  }
+  env.ms->SetFaultPlan(memsim::FaultPlan{});  // leave the env clean
+
+  if (!json_path.empty() && !json.WriteFile(json_path)) return 1;
+  return 0;
+}

@@ -8,55 +8,17 @@
 //   * OMeGa-PM is the slowest runnable configuration;
 //   * OMeGa sits close behind the OMeGa-DRAM ideal (paper: gap ~54.9%);
 //   * the SSD systems trail OMeGa, Ginex behind MariusGNN.
+//
+// The body lives in bench::Fig12OverallReport so the golden test can pin the
+// exact output bytes.
+
+#include <cstdio>
 
 #include "bench_util.h"
-#include "common/string_util.h"
 
 int main() {
   using namespace omega;
   bench::Env env = bench::MakeEnv(36);
-  engine::PrintExperimentHeader("Fig. 12",
-                                "overall runtime, OMeGa vs six competitors");
-
-  const std::vector<engine::SystemKind> systems = {
-      engine::SystemKind::kOmega,     engine::SystemKind::kOmegaDram,
-      engine::SystemKind::kOmegaPm,   engine::SystemKind::kProneDram,
-      engine::SystemKind::kProneHm,   engine::SystemKind::kGinex,
-      engine::SystemKind::kMariusGnn,
-  };
-
-  std::vector<std::string> headers = {"Graph"};
-  for (auto s : systems) headers.push_back(engine::SystemName(s));
-  engine::TablePrinter table(headers);
-
-  std::vector<double> speedups;  // competitor / OMeGa across runnable pairs
-  for (const std::string& name : bench::AllGraphNames()) {
-    const graph::Graph g = bench::LoadGraphOrDie(name);
-    std::vector<std::string> row = {name};
-    double omega_seconds = 0.0;
-    for (auto system : systems) {
-      const auto options = bench::DefaultOptions(system, env.threads);
-      auto report = engine::RunEmbedding(g, name, options, env.Context());
-      if (!report.ok()) {
-        row.push_back(report.status().IsCapacityExceeded() ? "OOM" : "ERR");
-        continue;
-      }
-      const double seconds = report.value().total_seconds;
-      row.push_back(HumanSeconds(seconds));
-      if (bench::PhaseTraceEnabled()) bench::PrintPhaseTable(report.value());
-      if (system == engine::SystemKind::kOmega) {
-        omega_seconds = seconds;
-      } else if (system != engine::SystemKind::kOmegaDram && omega_seconds > 0) {
-        speedups.push_back(seconds / omega_seconds);
-      }
-    }
-    table.AddRow(std::move(row));
-  }
-  table.Print();
-  std::printf(
-      "\naverage OMeGa speedup over runnable non-ideal competitors (geomean): "
-      "%.2fx\n(paper reports 32.03x average across its baselines at full "
-      "hardware scale)\n",
-      engine::GeometricMean(speedups));
+  std::fputs(bench::Fig12OverallReport(env).c_str(), stdout);
   return 0;
 }

@@ -56,10 +56,19 @@ double Percentile(std::vector<double> values, double p);
 /// Population standard deviation.
 double StdDev(const std::vector<double>& values);
 
-/// Prints the per-phase attribution table of one run: phase name, simulated
-/// seconds, per-tier byte counts, and remote fraction. No-op when the report
+/// Per-phase attribution table of one run: phase name, simulated seconds,
+/// per-tier byte counts, and remote fraction. Empty string when the report
 /// carries no phases.
+std::string PhaseTableString(const engine::RunReport& report);
+
+/// Prints PhaseTableString to stdout.
 void PrintPhaseTable(const engine::RunReport& report);
+
+/// The complete Fig. 12 harness output (header, optional per-run phase
+/// tables when OMEGA_PHASE_TRACE=1, the runtime table, and the speedup
+/// footer) as one string. bench_fig12_overall prints exactly this; the
+/// golden test pins its MD5 so charge-order regressions fail CI.
+std::string Fig12OverallReport(Env& env);
 
 /// True when OMEGA_PHASE_TRACE=1 in the environment: the engine harnesses
 /// print PrintPhaseTable after each run.

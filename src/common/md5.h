@@ -1,0 +1,15 @@
+// Self-contained MD5 (RFC 1321), used to pin golden report bytes in tests.
+// Not for security — only for cheap content fingerprints.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace omega {
+
+/// 32-character lowercase hex MD5 digest of `len` bytes at `data`.
+std::string Md5Hex(const void* data, size_t len);
+std::string Md5Hex(const std::string& s);
+
+}  // namespace omega

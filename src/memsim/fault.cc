@@ -1,0 +1,225 @@
+#include "memsim/fault.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace omega::memsim {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTransientStall: return "transient-stall";
+    case FaultKind::kMediaError: return "media-error";
+    case FaultKind::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+void FaultPlan::SetTier(Tier t, FaultRates r) {
+  for (int op = 0; op < 2; ++op)
+    for (int pat = 0; pat < 2; ++pat)
+      rates[static_cast<int>(t)][op][pat] = r;
+}
+
+namespace {
+
+FaultPlan NamedProfile(const std::string& name) {
+  FaultPlan plan;
+  plan.enabled = true;
+  if (name == "none") {
+    plan.enabled = false;
+  } else if (name == "pm-stall") {
+    // Tail-stalling PM device: accesses succeed, a few cost extra.
+    plan.SetTier(Tier::kPm, {/*stall=*/0.05, /*media=*/0.0, /*timeout=*/0.0});
+  } else if (name == "pm-degraded") {
+    // Worn PM partition: stalls plus read media errors — exercises ASL's
+    // retry/backoff and the semi-external degradation path.
+    plan.SetTier(Tier::kPm, {/*stall=*/0.02, /*media=*/0.0, /*timeout=*/0.0});
+    plan.at(Tier::kPm, MemOp::kRead, Pattern::kSequential).media = 0.08;
+    plan.at(Tier::kPm, MemOp::kRead, Pattern::kRandom).media = 0.08;
+  } else if (name == "worn-ssd") {
+    plan.SetTier(Tier::kSsd, {/*stall=*/0.05, /*media=*/0.0, /*timeout=*/0.0});
+    plan.at(Tier::kSsd, MemOp::kRead, Pattern::kSequential).media = 0.05;
+    plan.at(Tier::kSsd, MemOp::kRead, Pattern::kRandom).media = 0.10;
+  } else if (name == "flaky-net") {
+    plan.at(Tier::kNetwork, MemOp::kRead, Pattern::kSequential).timeout = 0.15;
+    plan.at(Tier::kNetwork, MemOp::kRead, Pattern::kRandom).timeout = 0.15;
+    plan.at(Tier::kNetwork, MemOp::kWrite, Pattern::kSequential).timeout = 0.15;
+    plan.at(Tier::kNetwork, MemOp::kWrite, Pattern::kRandom).timeout = 0.15;
+  } else if (name == "chaos") {
+    plan.SetTier(Tier::kPm, {0.02, 0.0, 0.0});
+    plan.at(Tier::kPm, MemOp::kRead, Pattern::kSequential).media = 0.03;
+    plan.at(Tier::kPm, MemOp::kRead, Pattern::kRandom).media = 0.03;
+    plan.SetTier(Tier::kSsd, {0.02, 0.0, 0.0});
+    plan.at(Tier::kSsd, MemOp::kRead, Pattern::kSequential).media = 0.05;
+    plan.at(Tier::kSsd, MemOp::kRead, Pattern::kRandom).media = 0.05;
+    plan.at(Tier::kNetwork, MemOp::kRead, Pattern::kRandom).timeout = 0.10;
+    plan.at(Tier::kNetwork, MemOp::kWrite, Pattern::kSequential).timeout = 0.10;
+  } else {
+    plan.enabled = false;
+    plan.seed = 0;  // sentinel; caller reports the error
+  }
+  return plan;
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlanFromProfile(const std::string& spec) {
+  std::string name = spec;
+  uint64_t seed = FaultPlan{}.seed;
+  const size_t colon = spec.find(':');
+  if (colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    const std::string seed_str = spec.substr(colon + 1);
+    if (seed_str.empty() ||
+        seed_str.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("fault profile seed must be a non-negative "
+                                     "integer: " + spec);
+    }
+    seed = std::stoull(seed_str);
+  }
+  bool known = false;
+  for (const std::string& p : FaultProfileNames()) known = known || p == name;
+  if (!known) {
+    std::string options;
+    for (const std::string& p : FaultProfileNames()) {
+      options += options.empty() ? p : " | " + p;
+    }
+    return Status::InvalidArgument("unknown fault profile '" + name +
+                                   "' (expected " + options + ")");
+  }
+  FaultPlan plan = NamedProfile(name);
+  plan.seed = seed;
+  return plan;
+}
+
+const std::vector<std::string>& FaultProfileNames() {
+  static const std::vector<std::string> kNames = {
+      "none", "pm-stall", "pm-degraded", "worn-ssd", "flaky-net", "chaos"};
+  return kNames;
+}
+
+FaultCounters FaultCounters::operator-(const FaultCounters& other) const {
+  auto sub = [](uint64_t a, uint64_t b) { return a >= b ? a - b : 0; };
+  FaultCounters out;
+  out.stalls = sub(stalls, other.stalls);
+  out.media = sub(media, other.media);
+  out.timeouts = sub(timeouts, other.timeouts);
+  out.retried = sub(retried, other.retried);
+  out.degraded = sub(degraded, other.degraded);
+  out.surfaced = sub(surfaced, other.surfaced);
+  out.penalty_nanos = sub(penalty_nanos, other.penalty_nanos);
+  return out;
+}
+
+bool FaultCounters::operator==(const FaultCounters& other) const {
+  return stalls == other.stalls && media == other.media &&
+         timeouts == other.timeouts && retried == other.retried &&
+         degraded == other.degraded && surfaced == other.surfaced &&
+         penalty_nanos == other.penalty_nanos;
+}
+
+std::string FaultCountersSummary(const FaultCounters& c) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "injected=%llu (stall=%llu media=%llu timeout=%llu) "
+                "retried=%llu degraded=%llu surfaced=%llu penalty=%.3es",
+                static_cast<unsigned long long>(c.InjectedTotal()),
+                static_cast<unsigned long long>(c.stalls),
+                static_cast<unsigned long long>(c.media),
+                static_cast<unsigned long long>(c.timeouts),
+                static_cast<unsigned long long>(c.retried),
+                static_cast<unsigned long long>(c.degraded),
+                static_cast<unsigned long long>(c.surfaced),
+                c.PenaltySeconds());
+  return buf;
+}
+
+void FaultInjector::SetPlan(FaultPlan plan) {
+  plan_ = plan;
+  ResetCounters();
+}
+
+void FaultInjector::ResetCounters() {
+  stalls_.store(0, std::memory_order_relaxed);
+  media_.store(0, std::memory_order_relaxed);
+  timeouts_.store(0, std::memory_order_relaxed);
+  retried_.store(0, std::memory_order_relaxed);
+  degraded_.store(0, std::memory_order_relaxed);
+  surfaced_.store(0, std::memory_order_relaxed);
+  penalty_nanos_.store(0, std::memory_order_relaxed);
+}
+
+FaultCounters FaultInjector::Counters() const {
+  FaultCounters c;
+  c.stalls = stalls_.load(std::memory_order_relaxed);
+  c.media = media_.load(std::memory_order_relaxed);
+  c.timeouts = timeouts_.load(std::memory_order_relaxed);
+  c.retried = retried_.load(std::memory_order_relaxed);
+  c.degraded = degraded_.load(std::memory_order_relaxed);
+  c.surfaced = surfaced_.load(std::memory_order_relaxed);
+  c.penalty_nanos = penalty_nanos_.load(std::memory_order_relaxed);
+  return c;
+}
+
+namespace {
+
+// Pure uniform draw in [0, 1) from the fault key. Must NOT depend on the
+// rates, so the fault set is monotone in the rate (subset property).
+double UniformOf(uint64_t seed, uint64_t stream, uint64_t site, uint32_t attempt) {
+  uint64_t h = SplitMix64(seed ^ 0x0F417AB1EULL);
+  h = SplitMix64(h ^ stream);
+  h = SplitMix64(h ^ site);
+  h = SplitMix64(h ^ attempt);
+  return (h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultKind FaultInjector::Draw(Tier t, MemOp op, Pattern pat, uint64_t stream,
+                              uint64_t site, uint32_t attempt) {
+  if (!plan_.enabled) return FaultKind::kNone;
+  const FaultRates& r = plan_.at(t, op, pat);
+  if (!r.any()) return FaultKind::kNone;
+  const double u = UniformOf(plan_.seed, stream, site, attempt);
+  // Subrange order (media, timeout, stall) is fixed: raising one rate widens
+  // its own band and shifts the milder bands upward, never shrinking the
+  // total faulted interval.
+  if (u < r.media) {
+    media_.fetch_add(1, std::memory_order_relaxed);
+    return FaultKind::kMediaError;
+  }
+  if (u < r.media + r.timeout) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return FaultKind::kTimeout;
+  }
+  if (u < r.media + r.timeout + r.stall) {
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+    return FaultKind::kTransientStall;
+  }
+  return FaultKind::kNone;
+}
+
+bool FaultInjector::DrawTailStall(Tier t, MemOp op, Pattern pat,
+                                  uint64_t stream, uint64_t site) {
+  if (!plan_.enabled) return false;
+  const FaultRates& r = plan_.at(t, op, pat);
+  if (r.stall <= 0.0) return false;
+  // Same uniform as Draw, compared only against the stall band's width, so a
+  // media-rate sweep leaves the tail-stall set untouched.
+  const double u = UniformOf(plan_.seed, stream, site, /*attempt=*/0);
+  if (u >= r.stall) return false;
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  retried_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::AddPenaltySeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  const uint64_t nanos = static_cast<uint64_t>(std::llround(seconds * 1e9));
+  penalty_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+}  // namespace omega::memsim

@@ -1,0 +1,197 @@
+// Deterministic fault injection for the simulated memory hierarchy.
+//
+// The paper's premise is that the capacity tiers are slower AND less reliable
+// than DRAM: PM devices exhibit tail stalls and media errors, SSDs wear, and
+// remote nodes time out. A FaultPlan gives each (tier, op, pattern) class a
+// rate for three typed faults:
+//
+//   kTransientStall — the access succeeds but costs extra simulated seconds
+//                     (device-internal retry / thermal throttle); absorbed at
+//                     the charge site, no caller action needed.
+//   kMediaError     — the read fails after costing a full wasted attempt;
+//                     the caller owns recovery (retry / fall back / surface).
+//   kTimeout        — a remote access never answers; the caller waits out
+//                     plan.timeout_seconds and recovers (e.g. the local
+//                     replica in distributed_sim).
+//
+// Determinism: every draw is a pure hash of (plan.seed, stream, site,
+// attempt) — no global counter, no RNG state — so a fixed seed reproduces the
+// exact fault sequence regardless of thread interleaving, and the fault set
+// at rate r1 is a subset of the set at r2 > r1 (the same uniform value is
+// compared against a larger threshold), which makes simulated time monotone
+// in the fault rate. `stream` namespaces independent draw sequences (one per
+// consumer), `site` indexes the access within the stream, `attempt` indexes
+// retries of the same access.
+//
+// Accounting identity: every drawn non-none fault lands in exactly one
+// recovery bucket — injected == retried + degraded + surfaced. Stalls
+// self-recover and are counted as retried at the draw site; media errors and
+// timeouts are bucketed by the recovering caller.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "memsim/types.h"
+
+namespace omega::memsim {
+
+enum class FaultKind {
+  kNone = 0,
+  kTransientStall,
+  kMediaError,
+  kTimeout,
+};
+
+/// Number of real (non-kNone) fault kinds.
+inline constexpr int kNumFaultKinds = 3;
+
+const char* FaultKindName(FaultKind kind);
+
+/// Per-access-class fault probabilities (each in [0, 1]).
+struct FaultRates {
+  double stall = 0.0;
+  double media = 0.0;
+  double timeout = 0.0;
+
+  bool any() const { return stall > 0.0 || media > 0.0 || timeout > 0.0; }
+};
+
+/// The seeded fault schedule owned by a MemorySystem. Value type: cheap to
+/// copy, comparable runs install identical plans.
+struct FaultPlan {
+  /// An installed plan injects only when enabled; a zero-rate enabled plan is
+  /// legal (draws happen, nothing fires) and must charge identically to a
+  /// disabled one.
+  bool enabled = false;
+  uint64_t seed = 42;
+
+  /// Extra simulated seconds of a transient stall, as a multiple of the
+  /// stalled access's own cost.
+  double stall_multiplier = 4.0;
+  /// Tail-stall penalty of a whole gather phase, as a fraction of the
+  /// worker's phase seconds (the deep SpMM path draws one stall per worker
+  /// per execute rather than per access).
+  double tail_stall_fraction = 0.1;
+  /// Simulated seconds a timed-out remote access wastes before the caller
+  /// recovers.
+  double timeout_seconds = 0.02;
+
+  /// rates[tier][op][pattern]
+  FaultRates rates[kNumTiers][2][2];
+
+  FaultRates& at(Tier t, MemOp op, Pattern pat) {
+    return rates[static_cast<int>(t)][static_cast<int>(op)][static_cast<int>(pat)];
+  }
+  const FaultRates& at(Tier t, MemOp op, Pattern pat) const {
+    return rates[static_cast<int>(t)][static_cast<int>(op)][static_cast<int>(pat)];
+  }
+  /// Sets the same rates for every op/pattern class of a tier.
+  void SetTier(Tier t, FaultRates r);
+};
+
+/// Named profiles for `--fault-profile=` and the benches. Spec is
+/// "name[:seed]": none | pm-stall | pm-degraded | worn-ssd | flaky-net |
+/// chaos, e.g. "pm-degraded:7".
+Result<FaultPlan> FaultPlanFromProfile(const std::string& spec);
+const std::vector<std::string>& FaultProfileNames();
+
+/// Immutable snapshot of the injector's counters. All integers (the penalty
+/// accumulates in integer nanoseconds) so snapshots of a fixed seed are
+/// byte-identical across runs and thread interleavings.
+struct FaultCounters {
+  uint64_t stalls = 0;    ///< injected transient stalls
+  uint64_t media = 0;     ///< injected media errors
+  uint64_t timeouts = 0;  ///< injected timeouts
+  uint64_t retried = 0;   ///< recovered by retry (stalls count here)
+  uint64_t degraded = 0;  ///< recovered by falling back to a slower path
+  uint64_t surfaced = 0;  ///< propagated to the caller as a failed run
+  uint64_t penalty_nanos = 0;  ///< simulated nanoseconds charged to faults
+
+  uint64_t InjectedTotal() const { return stalls + media + timeouts; }
+  /// The accounting identity every run must satisfy.
+  bool Accounted() const {
+    return InjectedTotal() == retried + degraded + surfaced;
+  }
+  double PenaltySeconds() const { return penalty_nanos * 1e-9; }
+
+  FaultCounters operator-(const FaultCounters& other) const;
+  bool operator==(const FaultCounters& other) const;
+};
+
+/// "injected=5 (stall=2 media=3 timeout=0) retried=4 degraded=1 surfaced=0
+/// penalty=1.23e-02s" — stable across runs of the same seed, used by tests
+/// and bench_fault_tolerance to compare fault reports byte-for-byte.
+std::string FaultCountersSummary(const FaultCounters& c);
+
+/// The plan plus thread-safe counters. Owned by MemorySystem; consumers go
+/// through the MemorySystem charge APIs rather than drawing directly.
+class FaultInjector {
+ public:
+  void SetPlan(FaultPlan plan);
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return plan_.enabled; }
+
+  void ResetCounters();
+  FaultCounters Counters() const;
+
+  /// Draws the fault (if any) of one access attempt and counts it as
+  /// injected. Pure in (seed, stream, site, attempt): the same key always
+  /// yields the same kind under the same rates.
+  FaultKind Draw(Tier t, MemOp op, Pattern pat, uint64_t stream, uint64_t site,
+                 uint32_t attempt);
+
+  /// Stall-only draw for charge paths with no recovery story (the deep SpMM
+  /// gather loop): media/timeout thresholds are not consulted, so no fault
+  /// can fire that the caller cannot absorb. Counts injected + retried.
+  bool DrawTailStall(Tier t, MemOp op, Pattern pat, uint64_t stream,
+                     uint64_t site);
+
+  // Recovery bookkeeping (callers bucket media errors / timeouts).
+  void CountRetried(uint64_t n = 1) {
+    retried_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountDegraded(uint64_t n = 1) {
+    degraded_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountSurfaced(uint64_t n = 1) {
+    surfaced_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Simulated seconds attributable to faults (stall penalties, wasted
+  /// attempts, timeout waits, retry backoff). Accumulated as integer
+  /// nanoseconds so the sum is order-independent.
+  void AddPenaltySeconds(double seconds);
+
+ private:
+  FaultPlan plan_;
+  std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> media_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> retried_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> surfaced_{0};
+  std::atomic<uint64_t> penalty_nanos_{0};
+};
+
+/// Bounded-retry policy for the fault-aware charge helpers.
+struct FaultRetryPolicy {
+  int max_retries = 3;
+  double backoff_seconds = 1e-4;  ///< first retry's wait; doubles per retry
+  double backoff_multiplier = 2.0;
+};
+
+/// Draw-stream ids: each consumer owns one so its fault sequence is
+/// independent of what other consumers draw.
+inline constexpr uint64_t kFaultStreamAsl = 0xA51;
+inline constexpr uint64_t kFaultStreamWofpProbe = 0x30F9;
+inline constexpr uint64_t kFaultStreamProneStaging = 0x9201;
+inline constexpr uint64_t kFaultStreamOutOfCore = 0x00C5;
+inline constexpr uint64_t kFaultStreamDistNet = 0xD157;
+/// Per-worker streams offset by the worker index.
+inline constexpr uint64_t kFaultStreamWorkerBase = 0x1000000;
+
+}  // namespace omega::memsim

@@ -182,6 +182,112 @@ void MemorySystem::ChargeCompute(WorkerCtx* ctx, size_t ops) {
   ctx->clock->Advance(cost_model_.ComputeSeconds(ops));
 }
 
+MemorySystem::FaultDraw MemorySystem::TryAccessSeconds(
+    Placement p, int cpu_socket, MemOp op, Pattern pat, size_t bytes,
+    size_t accesses, int active_threads, uint64_t stream, uint64_t site,
+    uint32_t attempt) {
+  FaultDraw draw;
+  if (!injector_.enabled()) {
+    draw.seconds =
+        AccessSeconds(p, cpu_socket, op, pat, bytes, accesses, active_threads);
+    return draw;
+  }
+  draw.kind = injector_.Draw(p.tier, op, pat, stream, site, attempt);
+  switch (draw.kind) {
+    case FaultKind::kTimeout:
+      // Nothing answered: no traffic moved, the caller waited out the window.
+      draw.seconds = injector_.plan().timeout_seconds;
+      injector_.AddPenaltySeconds(draw.seconds);
+      return draw;
+    case FaultKind::kMediaError: {
+      // The device churned through the request before failing it: the attempt
+      // costs (and counts as traffic) like a real read of the same run.
+      draw.seconds =
+          AccessSeconds(p, cpu_socket, op, pat, bytes, accesses, active_threads);
+      injector_.AddPenaltySeconds(draw.seconds);
+      return draw;
+    }
+    case FaultKind::kTransientStall: {
+      const double base =
+          AccessSeconds(p, cpu_socket, op, pat, bytes, accesses, active_threads);
+      const double penalty = base * injector_.plan().stall_multiplier;
+      draw.seconds = base + penalty;
+      injector_.AddPenaltySeconds(penalty);
+      // Stalls self-recover at the charge site.
+      injector_.CountRetried();
+      return draw;
+    }
+    case FaultKind::kNone:
+      draw.seconds =
+          AccessSeconds(p, cpu_socket, op, pat, bytes, accesses, active_threads);
+      return draw;
+  }
+  return draw;
+}
+
+Status MemorySystem::TryChargeAccess(WorkerCtx* ctx, Placement p, MemOp op,
+                                     Pattern pat, size_t bytes, size_t accesses) {
+  if (!injector_.enabled()) {
+    ChargeAccess(ctx, p, op, pat, bytes, accesses);
+    return Status::OK();
+  }
+  const uint64_t stream = kFaultStreamWorkerBase + ctx->worker;
+  const FaultDraw draw = TryAccessSeconds(p, ctx->cpu_socket, op, pat, bytes,
+                                          accesses, ctx->active_threads, stream,
+                                          ctx->fault_site++, /*attempt=*/0);
+  ctx->clock->Advance(draw.seconds);
+  if (draw.kind == FaultKind::kMediaError || draw.kind == FaultKind::kTimeout) {
+    return Status::IOError(std::string(TierName(p.tier)) + " access failed: " +
+                           FaultKindName(draw.kind));
+  }
+  return Status::OK();
+}
+
+Status MemorySystem::ChargeAccessWithRetry(WorkerCtx* ctx, Placement p, MemOp op,
+                                           Pattern pat, size_t bytes,
+                                           size_t accesses,
+                                           const FaultRetryPolicy& policy) {
+  if (!injector_.enabled()) {
+    ChargeAccess(ctx, p, op, pat, bytes, accesses);
+    return Status::OK();
+  }
+  const uint64_t stream = kFaultStreamWorkerBase + ctx->worker;
+  const uint64_t site = ctx->fault_site++;
+  double backoff = policy.backoff_seconds;
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    const FaultDraw draw =
+        TryAccessSeconds(p, ctx->cpu_socket, op, pat, bytes, accesses,
+                         ctx->active_threads, stream, site, attempt);
+    ctx->clock->Advance(draw.seconds);
+    if (draw.kind != FaultKind::kMediaError && draw.kind != FaultKind::kTimeout) {
+      return Status::OK();
+    }
+    if (attempt == policy.max_retries) {
+      // Exhausted: the final fault stays un-bucketed for the caller.
+      return Status::IOError(std::string(TierName(p.tier)) +
+                             " access failed after " +
+                             std::to_string(policy.max_retries) +
+                             " retries: " + FaultKindName(draw.kind));
+    }
+    injector_.CountRetried();
+    ctx->clock->Advance(backoff);
+    injector_.AddPenaltySeconds(backoff);
+    backoff *= policy.backoff_multiplier;
+  }
+  return Status::OK();
+}
+
+void MemorySystem::ChargeTailStall(WorkerCtx* ctx, Tier tier, double base_seconds) {
+  if (!injector_.enabled() || base_seconds <= 0.0) return;
+  const uint64_t stream = kFaultStreamWorkerBase + ctx->worker;
+  if (injector_.DrawTailStall(tier, MemOp::kRead, Pattern::kRandom, stream,
+                              ctx->fault_site++)) {
+    const double penalty = base_seconds * injector_.plan().tail_stall_fraction;
+    ctx->clock->Advance(penalty);
+    injector_.AddPenaltySeconds(penalty);
+  }
+}
+
 void MemorySystem::ResetTraffic() {
   for (int t = 0; t < kNumTiers; ++t)
     for (int o = 0; o < 2; ++o)

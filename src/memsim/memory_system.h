@@ -18,6 +18,7 @@
 
 #include "common/status.h"
 #include "memsim/cost_model.h"
+#include "memsim/fault.h"
 #include "memsim/sim_clock.h"
 #include "memsim/topology.h"
 
@@ -69,6 +70,10 @@ struct WorkerCtx {
   int cpu_socket = 0;      ///< socket this worker is bound to
   int active_threads = 1;  ///< number of workers concurrently using memory
   SimClock* clock = nullptr;
+  /// Fault-draw cursor: each fault-aware charge through this context consumes
+  /// one site in the worker's draw stream. Resets with the context (one
+  /// parallel phase), so a fixed seed replays the same faults per phase.
+  uint64_t fault_site = 0;
 };
 
 /// The simulated heterogeneous-memory machine.
@@ -111,6 +116,73 @@ class MemorySystem {
   /// Charges `ops` multiply-accumulate operations against the worker's clock.
   void ChargeCompute(WorkerCtx* ctx, size_t ops);
 
+  // --- Fault injection -----------------------------------------------------
+  //
+  // With no plan installed (or plan.enabled == false) every fault-aware API
+  // below reduces exactly to its charge-only counterpart: same AccessSeconds
+  // calls, same traffic, same clock advances — the disabled-injector path is
+  // byte-identical to the seed simulation.
+
+  /// Installs `plan` and zeroes the fault counters.
+  void SetFaultPlan(FaultPlan plan) { injector_.SetPlan(plan); }
+  const FaultPlan& fault_plan() const { return injector_.plan(); }
+  bool faults_enabled() const { return injector_.enabled(); }
+  FaultInjector& faults() { return injector_; }
+
+  /// Zeroes the counters and the execute-epoch cursor: called at run start so
+  /// two identical runs replay identical draw keys.
+  void ResetFaults() {
+    injector_.ResetCounters();
+    fault_epoch_.store(0, std::memory_order_relaxed);
+  }
+  FaultCounters Faults() const { return injector_.Counters(); }
+
+  /// Distinct fault-site base for one execute. Per-execute WorkerCtxs start
+  /// their fault_site cursor here; without it every execute would replay the
+  /// same (stream, site=0) draw. Executes within a run are serial, so the
+  /// sequence — and thus every draw key — is deterministic per run.
+  uint64_t NextFaultEpoch() {
+    return fault_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Outcome of one fault-aware access attempt.
+  struct FaultDraw {
+    FaultKind kind = FaultKind::kNone;
+    /// Simulated seconds the attempt cost. kNone: the plain access cost.
+    /// kTransientStall: access cost plus the stall penalty (data moved; the
+    /// stall is already counted as retried). kMediaError: the wasted attempt
+    /// (traffic charged, no data). kTimeout: the timeout wait (no traffic).
+    double seconds = 0.0;
+  };
+
+  /// Analytic fault-aware access: samples the plan at (stream, site, attempt)
+  /// and returns the attempt's cost. The caller owns recovery of media errors
+  /// and timeouts (and their retried/degraded/surfaced bucketing).
+  FaultDraw TryAccessSeconds(Placement p, int cpu_socket, MemOp op, Pattern pat,
+                             size_t bytes, size_t accesses, int active_threads,
+                             uint64_t stream, uint64_t site, uint32_t attempt);
+
+  /// Fault-aware ChargeAccess: one attempt, drawn at the worker's stream and
+  /// next fault_site, charged to the worker's clock. OK when data moved
+  /// (kNone or an absorbed stall); IOError on a media error or timeout, with
+  /// the wasted attempt charged and recovery left to the caller.
+  Status TryChargeAccess(WorkerCtx* ctx, Placement p, MemOp op, Pattern pat,
+                         size_t bytes, size_t accesses = 1);
+
+  /// Bounded retry with exponential backoff over TryChargeAccess: one fault
+  /// site, attempts 0..max_retries, backoff waits charged to the clock and
+  /// counted as fault penalty. Non-final faults count as retried; the final
+  /// exhausting fault is returned un-bucketed (the caller records degraded or
+  /// surfaced, preserving injected == retried + degraded + surfaced).
+  Status ChargeAccessWithRetry(WorkerCtx* ctx, Placement p, MemOp op,
+                               Pattern pat, size_t bytes, size_t accesses,
+                               const FaultRetryPolicy& policy);
+
+  /// Tail-stall hook for deep charge loops with no recovery story (the NaDP
+  /// gather path): one stall-only draw per call; on a hit the worker's clock
+  /// absorbs plan.tail_stall_fraction * base_seconds. No-op when disabled.
+  void ChargeTailStall(WorkerCtx* ctx, Tier tier, double base_seconds);
+
   // --- Statistics ----------------------------------------------------------
 
   void ResetTraffic();
@@ -119,6 +191,8 @@ class MemorySystem {
  private:
   Topology topology_;
   CostModel cost_model_;
+  FaultInjector injector_;
+  std::atomic<uint64_t> fault_epoch_{0};
 
   mutable std::mutex capacity_mu_;
   // used_[tier][socket]

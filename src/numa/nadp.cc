@@ -172,6 +172,9 @@ NadpResult NadpExecute(const NadpPlan& plan, const graph::CsdbMatrix& a,
   memsim::ClockGroup clocks(threads);
   std::vector<sparse::SpmmCostBreakdown> breakdowns(threads);
   std::vector<double> wofp_build(threads, 0.0);
+  // Per-execute WorkerCtxs must not reuse fault sites across executes, or
+  // every execute would replay the first one's tail-stall draws.
+  const uint64_t fault_epoch = ms->NextFaultEpoch();
 
   if (!options.enabled) {
     // OS Interleaved baseline: one global allocation; every stream pays the
@@ -189,6 +192,7 @@ NadpResult NadpExecute(const NadpPlan& plan, const graph::CsdbMatrix& a,
       ctx.cpu_socket = ms->topology().SocketOfWorker(static_cast<int>(worker), threads);
       ctx.active_threads = threads;
       ctx.clock = &clocks.clock(worker);
+      ctx.fault_site = fault_epoch;
       const sparse::DenseCacheView* cache = nullptr;
       if (options.use_wofp) {
         // Replay the build warm-up at the exact point per-call planning paid
@@ -212,6 +216,9 @@ NadpResult NadpExecute(const NadpPlan& plan, const graph::CsdbMatrix& a,
             a, b, c, plan.flat_workloads_[worker], pl, ms, &ctx, cache,
             col_begin, col_end);
       }
+      // Under fault injection, the dense tier can hit a tail stall that
+      // lengthens this worker's whole phase (no-op when faults are off).
+      ms->ChargeTailStall(&ctx, options.dense_tier, ctx.clock->seconds());
     });
   } else {
     // NaDP (Fig. 10): socket s's threads compute C[:, cols_s] = A * B[:,
@@ -258,6 +265,7 @@ NadpResult NadpExecute(const NadpPlan& plan, const graph::CsdbMatrix& a,
       // charged at full-pool contention.
       ctx.active_threads = layout.ThreadsOnSocket(s, threads, active_sockets);
       ctx.clock = &clocks.clock(worker);
+      ctx.fault_site = fault_epoch;
 
       const sparse::DenseCacheView* cache = nullptr;
       if (options.use_wofp) {
@@ -305,6 +313,8 @@ NadpResult NadpExecute(const NadpPlan& plan, const graph::CsdbMatrix& a,
                          memsim::MemOp::kWrite, memsim::Pattern::kSequential,
                          merge_bytes, 1);
       }
+      // See the interleaved branch: per-worker tail stall on the dense tier.
+      ms->ChargeTailStall(&ctx, options.dense_tier, ctx.clock->seconds());
     });
   }
 

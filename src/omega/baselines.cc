@@ -122,6 +122,7 @@ Result<RunReport> RunProneFamily(const graph::Graph& g, const std::string& datas
                                  const exec::Context& outer_ctx) {
   memsim::MemorySystem* ms = outer_ctx.ms();
   ms->ResetTraffic();
+  ms->ResetFaults();
 
   exec::TraceRecorder recorder;
   const exec::Context ctx =
@@ -178,6 +179,7 @@ Result<RunReport> RunProneFamily(const graph::Graph& g, const std::string& datas
   prone.pool = ctx.pool();  // host-side dense parallelism; sim-invariant
   internal::StageTracker stages;
   stages.Attach(&prone);
+  uint64_t staging_site = 0;  // fault-site cursor across the staging reads
 
   embed::SpmmExecutor executor =
       [&](const graph::CsdbMatrix& m, const linalg::DenseMatrix& in,
@@ -197,8 +199,35 @@ Result<RunReport> RunProneFamily(const graph::Graph& g, const std::string& datas
       // Synchronous dense staging PM -> DRAM before and DRAM -> PM after each
       // SpMM, not overlapped with compute (no ASL).
       const size_t stage_bytes = in.bytes() + out->bytes();
-      seconds += ms->AccessSeconds(interleave_pm, 0, memsim::MemOp::kRead,
-                                   memsim::Pattern::kSequential, stage_bytes, 1, 1);
+      if (!ms->faults_enabled()) {
+        seconds += ms->AccessSeconds(interleave_pm, 0, memsim::MemOp::kRead,
+                                     memsim::Pattern::kSequential, stage_bytes, 1, 1);
+      } else {
+        // The naive HM port has no degradation path: a staging read that
+        // keeps faulting surfaces as the run's failure (contrast with the
+        // OMeGa family's retry-then-degrade recovery).
+        const uint64_t site = staging_site++;
+        bool delivered = false;
+        for (int attempt = 0; attempt <= 2 && !delivered; ++attempt) {
+          const memsim::MemorySystem::FaultDraw draw = ms->TryAccessSeconds(
+              interleave_pm, 0, memsim::MemOp::kRead,
+              memsim::Pattern::kSequential, stage_bytes, 1, 1,
+              memsim::kFaultStreamProneStaging, site,
+              static_cast<uint32_t>(attempt));
+          seconds += draw.seconds;
+          if (draw.kind == memsim::FaultKind::kNone ||
+              draw.kind == memsim::FaultKind::kTransientStall) {
+            delivered = true;
+          } else if (attempt < 2) {
+            ms->faults().CountRetried();
+          } else {
+            ms->faults().CountSurfaced();
+            return Status::IOError(
+                "ProNE-HM: dense staging read failed after 2 retries: " +
+                std::string(memsim::FaultKindName(draw.kind)));
+          }
+        }
+      }
       seconds += ms->AccessSeconds(interleave_pm, 0, memsim::MemOp::kWrite,
                                    memsim::Pattern::kSequential, out->bytes(), 1, 1);
     }
@@ -232,6 +261,8 @@ Result<RunReport> RunProneFamily(const graph::Graph& g, const std::string& datas
   report.embed_seconds = report.factorize_seconds + report.propagate_seconds;
   report.total_seconds = report.read_seconds + report.embed_seconds;
   report.remote_fraction = ms->Traffic().RemoteFraction();
+  report.faults_enabled = ms->faults_enabled();
+  report.faults = ms->Faults();
   report.embedding = emb.ToOriginalOrder();
   report.phases = recorder.TakeRecords();
   if (options.evaluate_quality) {
@@ -287,6 +318,7 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
                                      const exec::Context& outer_ctx) {
   memsim::MemorySystem* ms = outer_ctx.ms();
   ms->ResetTraffic();
+  ms->ResetFaults();
 
   exec::TraceRecorder recorder;
   const exec::Context ctx =
@@ -342,6 +374,9 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
       csr_plan = sparse::CsrSpmmPlan::Build(
           csr, threads, sparse::CsrSpmmPlan::Split::kEqualNnz);
     }
+    // Fresh WorkerCtxs per execute: seed their fault-site cursors from the
+    // execute epoch so the miss-read retry loop doesn't replay one draw key.
+    const uint64_t fault_epoch = ms->NextFaultEpoch();
     pool->RunOnAll([&](size_t worker) {
       if (worker >= static_cast<size_t>(threads)) return;
       const sparse::CsrPlanPart& part = csr_plan.parts()[worker];
@@ -353,6 +388,7 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
           ms->topology().SocketOfWorker(static_cast<int>(worker), threads);
       wctx.active_threads = threads;
       wctx.clock = &clocks.clock(worker);
+      wctx.fault_site = fault_epoch;
 
       sparse::ComputeWorkloadCsr(csr, in, out, begin, end);
       const uint64_t nnz = part.nnz;
@@ -372,9 +408,19 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
       wctx.clock->Advance(sparse::GatherSeconds(ms, wctx.cpu_socket, dram, z, hits,
                                                threads));
       if (misses > 0) {
-        wctx.clock->Advance(ms->AccessSeconds(
-            ssd, wctx.cpu_socket, memsim::MemOp::kRead, profile.miss_pattern,
-            misses * profile.miss_bytes, misses, threads));
+        // Miss pages retry a couple of times under fault injection; a range
+        // that keeps failing degrades to unamortized full-page re-reads
+        // (identical to the plain charge when faults are disabled).
+        memsim::FaultRetryPolicy policy;
+        policy.max_retries = 2;
+        const Status miss_read = ms->ChargeAccessWithRetry(
+            &wctx, ssd, memsim::MemOp::kRead, profile.miss_pattern,
+            misses * profile.miss_bytes, misses, policy);
+        if (!miss_read.ok()) {
+          ms->faults().CountDegraded();
+          ms->ChargeAccess(&wctx, ssd, memsim::MemOp::kRead,
+                           memsim::Pattern::kSequential, misses * 4096, misses);
+        }
       }
       // GPU-class arithmetic.
       wctx.clock->Advance(ms->cost_model().ComputeSeconds(d * nnz * 2) /
@@ -416,6 +462,8 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
   report.embed_seconds = report.factorize_seconds + report.propagate_seconds;
   report.total_seconds = report.read_seconds + report.embed_seconds;
   report.remote_fraction = ms->Traffic().RemoteFraction();
+  report.faults_enabled = ms->faults_enabled();
+  report.faults = ms->Faults();
   report.embedding = emb.ToOriginalOrder();
   report.phases = recorder.TakeRecords();
   if (options.evaluate_quality) {

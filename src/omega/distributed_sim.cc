@@ -22,6 +22,47 @@ double PhaseSeconds(memsim::MemorySystem* ms, Placement p, MemOp op, Pattern pat
                            threads);
 }
 
+// Network phase under fault injection: the per-machine traffic is charged in
+// `slices` independent slices so remote operations can time out individually.
+// A timed-out (or corrupted) read slice waits out the timeout and then
+// retries against the machine's local replica in DRAM; a faulted write
+// (gradient/embedding sync) slice is resent over the interconnect. Both paths
+// always recover — the faults cost time, never the run. With faults disabled
+// this reduces to the exact single bulk PhaseSeconds charge.
+double NetPhaseSeconds(memsim::MemorySystem* ms, Placement net,
+                       Placement local_replica, MemOp op, Pattern pat,
+                       double total_bytes, double total_accesses, int threads,
+                       int slices, uint64_t* site) {
+  if (!ms->faults_enabled()) {
+    return PhaseSeconds(ms, net, op, pat, total_bytes, total_accesses, threads);
+  }
+  memsim::FaultInjector& faults = ms->faults();
+  slices = std::max(1, slices);
+  double seconds = 0.0;
+  for (int i = 0; i < slices; ++i) {
+    const size_t slice_bytes =
+        static_cast<size_t>(total_bytes / threads / slices);
+    const size_t slice_accesses = static_cast<size_t>(
+        std::max(1.0, total_accesses / threads / slices));
+    const memsim::MemorySystem::FaultDraw draw =
+        ms->TryAccessSeconds(net, 0, op, pat, slice_bytes, slice_accesses,
+                             threads, memsim::kFaultStreamDistNet, (*site)++, 0);
+    seconds += draw.seconds;
+    if (draw.kind == memsim::FaultKind::kTimeout ||
+        draw.kind == memsim::FaultKind::kMediaError) {
+      faults.CountRetried();
+      if (op == MemOp::kRead) {
+        seconds += ms->AccessSeconds(local_replica, 0, op, pat, slice_bytes,
+                                     slice_accesses, threads);
+      } else {
+        seconds += ms->AccessSeconds(net, 0, op, pat, slice_bytes,
+                                     slice_accesses, threads);
+      }
+    }
+  }
+  return seconds;
+}
+
 }  // namespace
 
 Result<RunReport> RunDistributedFamily(const graph::Graph& g,
@@ -31,9 +72,11 @@ Result<RunReport> RunDistributedFamily(const graph::Graph& g,
                                        const DistParams& params) {
   memsim::MemorySystem* ms = outer_ctx.ms();
   ms->ResetTraffic();
+  ms->ResetFaults();
 
   exec::TraceRecorder recorder;
   const exec::Context ctx = outer_ctx.WithTrace(&recorder);
+  uint64_t net_fault_site = 0;  // fault-site cursor across the NET phases
 
   RunReport report;
   report.system = SystemName(options.system);
@@ -92,8 +135,10 @@ Result<RunReport> RunDistributedFamily(const graph::Graph& g,
     double comm_seconds = 0.0;
     {
       exec::PhaseSpan sync_span(ctx, "sync");
-      comm_seconds = PhaseSeconds(ms, net, MemOp::kWrite, Pattern::kSequential,
-                                  sync_bytes, 1, std::max(1, machines));
+      comm_seconds = NetPhaseSeconds(ms, net, dram, MemOp::kWrite,
+                                     Pattern::kSequential, sync_bytes, 1,
+                                     std::max(1, machines),
+                                     params.net_fault_slices, &net_fault_site);
       sync_span.AddSimSeconds(comm_seconds);
     }
     report.factorize_seconds = walk_seconds;         // corpus generation
@@ -108,9 +153,12 @@ Result<RunReport> RunDistributedFamily(const graph::Graph& g,
       exec::PhaseSpan sample_span(ctx, "sampling");
       sample_seconds = PhaseSeconds(ms, dram, MemOp::kRead, Pattern::kRandom,
                                     local * 64, local, threads);
-      // Remote samples are small messages over the interconnect.
-      sample_seconds += PhaseSeconds(ms, net, MemOp::kRead, Pattern::kRandom,
-                                     remote * 256, remote, threads);
+      // Remote samples are small messages over the interconnect; timed-out
+      // requests fall back to the local replica of the remote store.
+      sample_seconds += NetPhaseSeconds(ms, net, dram, MemOp::kRead,
+                                        Pattern::kRandom, remote * 256, remote,
+                                        threads, params.net_fault_slices,
+                                        &net_fault_site);
       sample_span.AddSimSeconds(sample_seconds);
     }
     // Feature gathering (one d-float row per sample) + GNN compute.
@@ -131,8 +179,10 @@ Result<RunReport> RunDistributedFamily(const graph::Graph& g,
     double comm_seconds = 0.0;
     {
       exec::PhaseSpan sync_span(ctx, "sync");
-      comm_seconds = PhaseSeconds(ms, net, MemOp::kWrite, Pattern::kSequential,
-                                  sync_bytes, 1, std::max(1, machines));
+      comm_seconds = NetPhaseSeconds(ms, net, dram, MemOp::kWrite,
+                                     Pattern::kSequential, sync_bytes, 1,
+                                     std::max(1, machines),
+                                     params.net_fault_slices, &net_fault_site);
       sync_span.AddSimSeconds(comm_seconds);
     }
     report.factorize_seconds = sample_seconds;       // sampling phase
@@ -142,6 +192,8 @@ Result<RunReport> RunDistributedFamily(const graph::Graph& g,
   report.embed_seconds = report.factorize_seconds + report.propagate_seconds;
   report.total_seconds = report.read_seconds + report.embed_seconds;
   report.remote_fraction = 0.0;
+  report.faults_enabled = ms->faults_enabled();
+  report.faults = ms->Faults();
   report.phases = recorder.TakeRecords();
   return report;
 }

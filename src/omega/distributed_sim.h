@@ -37,6 +37,13 @@ struct DistParams {
   double dgl_remote_sample_fraction = 0.45;  // cut edges hit remote stores
   double dgl_train_ops_per_sample = 512.0;
   double dgl_sync_rounds = 24.0;     // gradient syncs
+
+  /// Under an enabled fault plan, network phases are charged in this many
+  /// slices so individual remote operations can time out independently; a
+  /// timed-out read slice is retried against the machine's local replica, a
+  /// timed-out sync slice is resent. Ignored (single bulk charge, byte-
+  /// identical to the pre-fault simulation) when faults are disabled.
+  int net_fault_slices = 32;
 };
 
 /// Analytic simulated runtime of one distributed system on `g`. Only

@@ -144,6 +144,7 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
   using memsim::Tier;
   memsim::MemorySystem* ms = outer_ctx.ms();
   ms->ResetTraffic();
+  ms->ResetFaults();
 
   // The run records its phases into a local recorder that becomes
   // report.phases; RunEmbedding forwards them to any outer recorder.
@@ -260,11 +261,37 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
     size_t partitions = 0;
   } asl_parts;
 
+  // Fault recovery state: a dropped WoFP cache stays dropped for the rest of
+  // the run (flipping nadp.use_wofp changes the plan-cache key, so the next
+  // SpMM rebuilds a cache-less plan = PM-resident gathers). The site cursors
+  // persist across SpMM calls so repeated passes draw fresh faults.
+  bool wofp_dropped = false;
+  uint64_t wofp_probe_site = 0;
+  uint64_t asl_fault_site = 0;
+
   embed::SpmmExecutor executor =
       [&](const graph::CsdbMatrix& m, const linalg::DenseMatrix& in,
           linalg::DenseMatrix* out) -> Result<double> {
     exec::PhaseSpan span(ctx, stages.NextSpmmName());
     *out = linalg::DenseMatrix(m.num_rows(), in.cols());
+    double fault_overhead = 0.0;
+    if (ms->faults_enabled() && nadp.use_wofp && !wofp_dropped) {
+      // Probe the cache tier before relying on it; a tier that keeps
+      // faulting costs more through the gather-intercept path than the PM
+      // reads it saves, so the engine degrades by dropping the cache.
+      const prefetch::CacheProbeResult probe = prefetch::ProbeCacheTier(
+          ms, nadp.wofp.cache_placement, options.fault_recovery.wofp_probe_retries,
+          memsim::kFaultStreamWofpProbe, &wofp_probe_site);
+      fault_overhead += probe.seconds;
+      if (!probe.healthy) {
+        wofp_dropped = true;
+        nadp.use_wofp = false;
+        exec::PhaseRecord drop;
+        drop.name = "fault.wofp.drop";
+        drop.aux = true;
+        recorder.Record(std::move(drop));
+      }
+    }
     if (!plan_cache.Contains(m, nadp)) {
       // Aux: plan building charges nothing, so its sim time is zero; the
       // span still captures the host wall time the rebuild costs.
@@ -275,8 +302,8 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
     if (!stream_dense) {
       const numa::NadpResult r = numa::NadpExecute(plan, m, in, out, ctx);
       wofp_build_seconds += r.wofp_build_seconds;
-      span.AddSimSeconds(r.phase_seconds);
-      return r.phase_seconds;
+      span.AddSimSeconds(fault_overhead + r.phase_seconds);
+      return fault_overhead + r.phase_seconds;
     }
     // ASL: stream the dense operand's column partitions PM -> DRAM and
     // overlap each load with the previous partition's SpMM (§III-E).
@@ -295,6 +322,10 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
       asl_parts = {cfg.dense_rows, cfg.dense_cols, n};
     }
     cfg.fixed_partitions = asl_parts.partitions;
+    cfg.max_load_retries = options.fault_recovery.asl_max_retries;
+    cfg.retry_backoff_seconds = options.fault_recovery.asl_backoff_seconds;
+    cfg.allow_degraded = options.fault_recovery.allow_degraded;
+    cfg.fault_site = &asl_fault_site;
     stream::AslStreamer streamer(ctx, cfg, interleave_pm, interleave_dram);
     auto run = streamer.Run([&](size_t, size_t col_begin, size_t col_end) {
       const numa::NadpResult r =
@@ -303,11 +334,21 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
       return r.phase_seconds;
     });
     if (!run.ok()) return run.status();
+    if (run.value().rebuild_recommended) {
+      // A partition degraded to semi-external streaming: the PM home is
+      // unreliable, so drop the cached Eq. 9 solve and re-partition on the
+      // next SpMM.
+      asl_parts = {};
+      exec::PhaseRecord degrade;
+      degrade.name = "fault.asl.degrade";
+      degrade.aux = true;
+      recorder.Record(std::move(degrade));
+    }
     // Without ASL the same partition loads happen synchronously: nothing is
     // hidden behind compute.
-    const double seconds = options.features.use_asl
-                               ? run.value().total_seconds
-                               : run.value().serial_seconds;
+    const double seconds = fault_overhead + (options.features.use_asl
+                                                 ? run.value().total_seconds
+                                                 : run.value().serial_seconds);
     span.AddSimSeconds(seconds);
     return seconds;
   };
@@ -376,6 +417,8 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
   report.embed_seconds = report.factorize_seconds + report.propagate_seconds;
   report.total_seconds = report.read_seconds + report.embed_seconds;
   report.remote_fraction = ms->Traffic().RemoteFraction();
+  report.faults_enabled = ms->faults_enabled();
+  report.faults = ms->Faults();
   report.embedding = emb.ToOriginalOrder();
   report.phases = recorder.TakeRecords();
 

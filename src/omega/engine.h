@@ -96,6 +96,14 @@ struct RunReport {
   double remote_fraction = 0.0;    ///< of DRAM+PM traffic (VTune analogue)
   std::optional<double> link_auc;  ///< when options.evaluate_quality
 
+  /// Fault injection: whether the run's MemorySystem carried an enabled
+  /// FaultPlan, and the run's whole-run fault/recovery counters (all zero
+  /// when disabled). injected == retried + degraded + surfaced for completed
+  /// runs — every fault is either absorbed by a retry path, degraded a
+  /// component, or surfaced as the run's failure.
+  bool faults_enabled = false;
+  memsim::FaultCounters faults;
+
   /// Failed runs (OOM / "does not terminate" cells): set by the harnesses
   /// when RunEmbedding returns a non-OK status, so tables and JSON can carry
   /// the cell through.

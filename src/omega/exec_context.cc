@@ -70,6 +70,7 @@ PhaseSpan::PhaseSpan(const Context& ctx, std::string name, bool aux)
   if (ctx_.trace() != nullptr) {
     wall_start_ = MonotonicSeconds();
     traffic_start_ = ctx_.ms()->Traffic();
+    faults_start_ = ctx_.ms()->Faults();
   }
 }
 
@@ -86,6 +87,7 @@ void PhaseSpan::Finish() {
   record.wall_seconds = MonotonicSeconds() - wall_start_;
   record.traffic = ctx_.ms()->Traffic() - traffic_start_;
   record.remote_fraction = record.traffic.RemoteFraction();
+  record.faults = ctx_.ms()->Faults() - faults_start_;
   ctx_.trace()->Record(std::move(record));
 }
 

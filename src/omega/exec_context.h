@@ -43,6 +43,7 @@ struct PhaseRecord {
 
   memsim::TrafficSnapshot traffic;  ///< counter delta over the span
   double remote_fraction = 0.0;     ///< RemoteFraction() of the delta
+  memsim::FaultCounters faults;     ///< fault-counter delta over the span
 
   uint64_t TierBytes(memsim::Tier t) const { return traffic.TierBytes(t); }
   uint64_t TotalBytes() const { return traffic.TotalBytes(); }
@@ -119,6 +120,7 @@ class PhaseSpan {
   double sim_seconds_ = 0.0;
   double wall_start_ = 0.0;
   memsim::TrafficSnapshot traffic_start_;
+  memsim::FaultCounters faults_start_;
 };
 
 }  // namespace omega::exec

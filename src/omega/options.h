@@ -35,11 +35,26 @@ struct OmegaFeatures {
   prefetch::WofpOptions wofp;
 };
 
+/// How the engines react to injected faults (consulted only when the
+/// MemorySystem carries an enabled FaultPlan; otherwise dead config).
+struct FaultRecoveryOptions {
+  /// ASL partition loads: bounded retry with exponential backoff, then
+  /// degradation to semi-external streaming (see stream::AslConfig).
+  int asl_max_retries = 3;
+  double asl_backoff_seconds = 1e-4;
+  /// WoFP cache-tier probe retries before the engine drops the cache and
+  /// falls back to PM-resident gathers.
+  int wofp_probe_retries = 2;
+  /// false: exhausted retries surface an IOError instead of degrading.
+  bool allow_degraded = true;
+};
+
 struct EngineOptions {
   SystemKind system = SystemKind::kOmega;
   int num_threads = 36;
   embed::ProneOptions prone;
   OmegaFeatures features;
+  FaultRecoveryOptions fault_recovery;
   /// beta = BW_rand/BW_seq used by EaTA; defaults to the PM profile's ratio.
   double beta = 0.415;
   /// Compute link-prediction AUC on the produced embedding (adds host time).

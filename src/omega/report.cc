@@ -49,8 +49,13 @@ std::string RuntimeCell(double seconds, bool failed) {
   return HumanSeconds(seconds);
 }
 
+std::string ExperimentHeaderString(const std::string& id,
+                                   const std::string& description) {
+  return "\n=== " + id + ": " + description + " ===\n";
+}
+
 void PrintExperimentHeader(const std::string& id, const std::string& description) {
-  std::printf("\n=== %s: %s ===\n", id.c_str(), description.c_str());
+  std::fputs(ExperimentHeaderString(id, description).c_str(), stdout);
 }
 
 double GeometricMean(const std::vector<double>& values) {
@@ -102,6 +107,23 @@ std::string JsonDouble(double v) {
 
 std::string JsonU64(uint64_t v) { return std::to_string(v); }
 
+std::string FaultCountersToJson(const memsim::FaultCounters& f, bool enabled,
+                                const std::string& indent) {
+  std::string out = "{\n";
+  const std::string in = indent + "  ";
+  out += in + "\"enabled\": " + (enabled ? "true" : "false") + ",\n";
+  out += in + "\"stalls\": " + JsonU64(f.stalls) + ",\n";
+  out += in + "\"media_errors\": " + JsonU64(f.media) + ",\n";
+  out += in + "\"timeouts\": " + JsonU64(f.timeouts) + ",\n";
+  out += in + "\"injected\": " + JsonU64(f.InjectedTotal()) + ",\n";
+  out += in + "\"retried\": " + JsonU64(f.retried) + ",\n";
+  out += in + "\"degraded\": " + JsonU64(f.degraded) + ",\n";
+  out += in + "\"surfaced\": " + JsonU64(f.surfaced) + ",\n";
+  out += in + "\"penalty_seconds\": " + JsonDouble(f.PenaltySeconds()) + "\n";
+  out += indent + "}";
+  return out;
+}
+
 std::string PhaseToJson(const exec::PhaseRecord& p, const std::string& indent) {
   using memsim::Locality;
   using memsim::Tier;
@@ -123,8 +145,12 @@ std::string PhaseToJson(const exec::PhaseRecord& p, const std::string& indent) {
          JsonU64(p.traffic.LocalityBytes(Locality::kLocal)) + ",\n";
   out += in + "\"remote_bytes\": " +
          JsonU64(p.traffic.LocalityBytes(Locality::kRemote)) + ",\n";
-  out += in + "\"remote_fraction\": " + JsonDouble(p.remote_fraction) + "\n";
-  out += indent + "}";
+  out += in + "\"remote_fraction\": " + JsonDouble(p.remote_fraction);
+  if (p.faults.InjectedTotal() > 0) {
+    out += ",\n" + in + "\"faults\": " +
+           FaultCountersToJson(p.faults, true, in);
+  }
+  out += "\n" + indent + "}";
   return out;
 }
 
@@ -144,6 +170,9 @@ std::string ReportToJson(const RunReport& report) {
   out += "  \"embed_seconds\": " + JsonDouble(report.embed_seconds) + ",\n";
   out += "  \"total_seconds\": " + JsonDouble(report.total_seconds) + ",\n";
   out += "  \"remote_fraction\": " + JsonDouble(report.remote_fraction) + ",\n";
+  out += "  \"fault\": " +
+         FaultCountersToJson(report.faults, report.faults_enabled, "  ") +
+         ",\n";
   out += "  \"link_auc\": " +
          (report.link_auc.has_value() ? JsonDouble(*report.link_auc)
                                       : std::string("null")) +

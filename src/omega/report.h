@@ -29,6 +29,10 @@ class TablePrinter {
 /// "12.34 s", "OOM", "> 1 day" style formatting for runtime cells.
 std::string RuntimeCell(double seconds, bool failed = false);
 
+/// "\n=== id: description ===\n" banner naming the experiment.
+std::string ExperimentHeaderString(const std::string& id,
+                                   const std::string& description);
+
 /// Prints a banner naming the experiment being regenerated.
 void PrintExperimentHeader(const std::string& id, const std::string& description);
 

@@ -103,6 +103,24 @@ inline std::vector<uint32_t> ComputeInDegrees(const graph::CsdbMatrix& a) {
 PrefetcherType SelectPrefetcherType(const sched::Workload& w, uint32_t num_nodes,
                                     double eta);
 
+/// Outcome of a fault probe against the prefetcher's cache tier.
+struct CacheProbeResult {
+  double seconds = 0.0;   ///< simulated cost of the probe incl. retries
+  bool healthy = true;    ///< false: the tier kept faulting; drop the cache
+};
+
+/// Probes the WoFP cache tier with a short random-read burst before a run
+/// uses it, retrying faulted probes up to `max_retries` times. Only
+/// meaningful under an enabled fault plan (otherwise returns {0, true} with
+/// no charge). A probe that keeps faulting marks the tier unhealthy — the
+/// engine reacts by dropping the cache and falling back to PM-resident
+/// gathers. The drop-causing final fault is counted degraded; recovered
+/// probes count retried. `site` is a caller-owned cursor advanced per probe.
+CacheProbeResult ProbeCacheTier(memsim::MemorySystem* ms,
+                                memsim::Placement cache_placement,
+                                int max_retries, uint64_t fault_stream,
+                                uint64_t* site);
+
 /// Owns one prefetcher per workload and exposes the CacheFactory the parallel
 /// SpMM driver consumes. The workloads and in-degree array are borrowed from
 /// the plan (which must outlive the set). Each worker's prefetcher is built

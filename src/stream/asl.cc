@@ -53,6 +53,72 @@ double AslStreamer::LoadSeconds(size_t col_begin, size_t col_end) const {
   return std::max(read, write);
 }
 
+Result<double> AslStreamer::LoadPartition(size_t col_begin, size_t col_end,
+                                          AslRunResult* result) {
+  memsim::MemorySystem* ms = ctx_.ms();
+  if (!ms->faults_enabled()) return LoadSeconds(col_begin, col_end);
+
+  const size_t bytes =
+      config_.dense_rows * (col_end - col_begin) * config_.element_bytes;
+  if (bytes == 0) return 0.0;
+  const int socket = std::max(0, dram_home_.socket);
+  // The DRAM write side is charged once, against the attempt that actually
+  // delivers the data; only the PM read stream is fault-prone here.
+  const double write =
+      ms->AccessSeconds(dram_home_, socket, memsim::MemOp::kWrite,
+                        memsim::Pattern::kSequential, bytes, 1, 1);
+
+  uint64_t* cursor =
+      config_.fault_site != nullptr ? config_.fault_site : &local_fault_site_;
+  const uint64_t site = (*cursor)++;
+  memsim::FaultInjector& faults = ms->faults();
+
+  double cost = 0.0;
+  double backoff = config_.retry_backoff_seconds;
+  for (int attempt = 0;; ++attempt) {
+    const memsim::MemorySystem::FaultDraw draw = ms->TryAccessSeconds(
+        pm_home_, socket, memsim::MemOp::kRead, memsim::Pattern::kSequential,
+        bytes, 1, 1, config_.fault_stream, site,
+        static_cast<uint32_t>(attempt));
+    if (draw.kind == memsim::FaultKind::kNone ||
+        draw.kind == memsim::FaultKind::kTransientStall) {
+      // Stalls self-recover inside the draw: the returned seconds already
+      // include the stall charge.
+      cost += std::max(draw.seconds, write);
+      return cost;
+    }
+    // Media error / timeout: the wasted attempt is paid for in full.
+    cost += draw.seconds;
+    if (attempt < config_.max_load_retries) {
+      faults.CountRetried();
+      result->load_retries++;
+      cost += backoff;
+      faults.AddPenaltySeconds(backoff);
+      backoff *= 2.0;
+      continue;
+    }
+    if (config_.allow_degraded) {
+      // Semi-external fallback: stream the partition from its slower durable
+      // home instead of the failing PM range.
+      faults.CountDegraded();
+      result->degraded_partitions++;
+      result->rebuild_recommended = true;
+      const double fallback_read =
+          ms->AccessSeconds(config_.degraded_home, socket,
+                            memsim::MemOp::kRead, memsim::Pattern::kSequential,
+                            bytes, 1, 1);
+      cost += std::max(fallback_read, write);
+      return cost;
+    }
+    faults.CountSurfaced();
+    return Status::IOError(
+        "ASL: partition load [" + std::to_string(col_begin) + ", " +
+        std::to_string(col_end) + ") failed after " +
+        std::to_string(config_.max_load_retries) + " retries: " +
+        memsim::FaultKindName(draw.kind));
+  }
+}
+
 Result<AslRunResult> AslStreamer::Run(
     const std::function<double(size_t, size_t, size_t)>& compute_fn) {
   size_t n = config_.fixed_partitions;
@@ -70,7 +136,8 @@ Result<AslRunResult> AslStreamer::Run(
       auto [begin, end] = PartitionColumns(config_.dense_cols, n, k);
       result.partitions[k].col_begin = begin;
       result.partitions[k].col_end = end;
-      result.partitions[k].load_seconds = LoadSeconds(begin, end);
+      OMEGA_ASSIGN_OR_RETURN(result.partitions[k].load_seconds,
+                             LoadPartition(begin, end, &result));
       load_span.AddSimSeconds(result.partitions[k].load_seconds);
     }
   }

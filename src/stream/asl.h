@@ -34,6 +34,23 @@ struct AslConfig {
   /// passes skip it. Must come from OptimalPartitions for the same inputs;
   /// 0 keeps the per-call solve.
   size_t fixed_partitions = 0;
+
+  // --- Fault recovery (consulted only when ctx.ms()->faults_enabled()) -----
+
+  /// Bounded retry of a faulted partition load, with exponential backoff.
+  int max_load_retries = 3;
+  double retry_backoff_seconds = 1e-4;  ///< first backoff; doubles per retry
+  /// After the retries are exhausted: true streams the partition from its
+  /// semi-external home instead (degraded but running); false surfaces the
+  /// fault as an IOError from Run().
+  bool allow_degraded = true;
+  /// Semi-external fallback source for a PM partition that keeps failing.
+  memsim::Placement degraded_home{memsim::Tier::kSsd, 0};
+  /// Fault-draw stream, and an optional caller-owned site cursor so repeated
+  /// passes draw fresh sites (the engine persists one across its SpMM calls).
+  /// With a null cursor the streamer uses a per-instance cursor.
+  uint64_t fault_stream = memsim::kFaultStreamAsl;
+  uint64_t* fault_site = nullptr;
 };
 
 /// Eq. 9. Fails with CapacityExceeded when even maximal partitioning cannot
@@ -56,6 +73,16 @@ struct AslRunResult {
   double total_seconds = 0.0;        ///< pipelined duration
   double serial_seconds = 0.0;       ///< non-overlapped (sum) duration
   std::vector<AslPartitionTrace> partitions;
+
+  /// Fault recovery of this pass (zero without an enabled fault plan).
+  /// load_retries counts media/timeout faults recovered by the retry loop
+  /// (stalls self-absorb); degraded_partitions counts partitions served from
+  /// the semi-external fallback after retries were exhausted.
+  uint64_t load_retries = 0;
+  uint64_t degraded_partitions = 0;
+  /// Degraded partitions mean the PM home is unreliable: callers caching the
+  /// Eq. 9 solve should invalidate it and re-partition on the next pass.
+  bool rebuild_recommended = false;
 
   /// Fraction of load time hidden behind compute.
   double OverlapEfficiency() const {
@@ -80,14 +107,27 @@ class AslStreamer {
   /// Runs `compute_fn(partition, col_begin, col_end)` for every partition;
   /// the callback performs the real computation and returns its *simulated*
   /// duration. Loads overlap the previous partition's compute.
+  ///
+  /// Under an enabled fault plan each partition load retries faulted PM reads
+  /// up to config.max_load_retries times with exponential backoff; a
+  /// partition that keeps failing degrades to the semi-external fallback home
+  /// (or surfaces an IOError when config.allow_degraded is false). All
+  /// wasted attempts, backoff waits, and fallback streams are charged into
+  /// the load pipeline.
   Result<AslRunResult> Run(
       const std::function<double(size_t, size_t, size_t)>& compute_fn);
 
  private:
+  /// Fault-aware load of one partition; returns its pipelined load seconds
+  /// and updates the run's recovery counters.
+  Result<double> LoadPartition(size_t col_begin, size_t col_end,
+                               AslRunResult* result);
+
   exec::Context ctx_;
   AslConfig config_;
   memsim::Placement pm_home_;
   memsim::Placement dram_home_;
+  uint64_t local_fault_site_ = 0;  ///< used when config.fault_site is null
 };
 
 }  // namespace omega::stream

@@ -1,0 +1,320 @@
+// Fault-injection tests: profile parsing, draw determinism and monotonicity,
+// and the engine-level recovery contracts — same seed gives byte-identical
+// fault reports, a zero-rate plan is bit-identical to no plan, simulated time
+// is monotone in a single fault kind's rate, and the accounting identity
+// injected == retried + degraded + surfaced holds across every family.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <tuple>
+
+#include "common/thread_pool.h"
+#include "graph/rmat.h"
+#include "memsim/fault.h"
+#include "memsim/memory_system.h"
+#include "omega/engine.h"
+#include "omega/report.h"
+
+namespace omega {
+namespace {
+
+using memsim::FaultCounters;
+using memsim::FaultKind;
+using memsim::FaultPlan;
+using memsim::MemOp;
+using memsim::Pattern;
+using memsim::Tier;
+
+// ---------------------------------------------------------------------------
+// Profile parsing.
+// ---------------------------------------------------------------------------
+
+TEST(FaultProfileTest, ParsesEveryNamedProfile) {
+  for (const std::string& name : memsim::FaultProfileNames()) {
+    auto plan = memsim::FaultPlanFromProfile(name);
+    ASSERT_TRUE(plan.ok()) << name << ": " << plan.status().ToString();
+    EXPECT_EQ(plan.value().enabled, name != "none") << name;
+  }
+}
+
+TEST(FaultProfileTest, ParsesSeedSuffix) {
+  auto plan = memsim::FaultPlanFromProfile("pm-stall:7");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().seed, 7u);
+  EXPECT_TRUE(plan.value().enabled);
+}
+
+TEST(FaultProfileTest, RejectsUnknownNameAndBadSeed) {
+  EXPECT_FALSE(memsim::FaultPlanFromProfile("bogus").ok());
+  EXPECT_FALSE(memsim::FaultPlanFromProfile("pm-stall:x7").ok());
+  EXPECT_FALSE(memsim::FaultPlanFromProfile("pm-stall:").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Draw-level determinism and monotonicity.
+// ---------------------------------------------------------------------------
+
+FaultPlan StallOnlyPlan(double rate, uint64_t seed = 42) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = seed;
+  plan.SetTier(Tier::kPm, {rate, 0.0, 0.0});
+  return plan;
+}
+
+TEST(FaultDrawTest, SameKeySameKind) {
+  memsim::FaultInjector a, b;
+  a.SetPlan(StallOnlyPlan(0.3));
+  b.SetPlan(StallOnlyPlan(0.3));
+  for (uint64_t site = 0; site < 1000; ++site) {
+    ASSERT_EQ(a.Draw(Tier::kPm, MemOp::kRead, Pattern::kRandom, 1, site, 0),
+              b.Draw(Tier::kPm, MemOp::kRead, Pattern::kRandom, 1, site, 0));
+  }
+  EXPECT_EQ(a.Counters(), b.Counters());
+  EXPECT_GT(a.Counters().stalls, 0u);
+}
+
+TEST(FaultDrawTest, FaultSetIsMonotoneInRate) {
+  // Banded thresholds: the same uniform against a larger threshold — every
+  // site faulting at the low rate also faults at the high rate.
+  memsim::FaultInjector lo, hi;
+  lo.SetPlan(StallOnlyPlan(0.05));
+  hi.SetPlan(StallOnlyPlan(0.25));
+  for (uint64_t site = 0; site < 2000; ++site) {
+    const FaultKind a =
+        lo.Draw(Tier::kPm, MemOp::kWrite, Pattern::kSequential, 2, site, 0);
+    const FaultKind b =
+        hi.Draw(Tier::kPm, MemOp::kWrite, Pattern::kSequential, 2, site, 0);
+    if (a != FaultKind::kNone) {
+      ASSERT_NE(b, FaultKind::kNone);
+    }
+  }
+  EXPECT_GT(hi.Counters().stalls, lo.Counters().stalls);
+}
+
+TEST(FaultDrawTest, TailStallImmuneToOtherRates) {
+  // DrawTailStall compares only against the stall band, so adding media
+  // faults to the class leaves the tail-stall set untouched.
+  FaultPlan with_media = StallOnlyPlan(0.1);
+  with_media.at(Tier::kPm, MemOp::kRead, Pattern::kRandom).media = 0.5;
+  memsim::FaultInjector plain, media;
+  plain.SetPlan(StallOnlyPlan(0.1));
+  media.SetPlan(with_media);
+  for (uint64_t site = 0; site < 2000; ++site) {
+    ASSERT_EQ(
+        plain.DrawTailStall(Tier::kPm, MemOp::kRead, Pattern::kRandom, 3, site),
+        media.DrawTailStall(Tier::kPm, MemOp::kRead, Pattern::kRandom, 3, site));
+  }
+}
+
+TEST(FaultDrawTest, SummaryIsStable) {
+  memsim::FaultInjector inj;
+  inj.SetPlan(StallOnlyPlan(1.0));
+  // Tail stalls self-recover: the draw books both the injection and the retry.
+  EXPECT_TRUE(
+      inj.DrawTailStall(Tier::kPm, MemOp::kRead, Pattern::kRandom, 1, 0));
+  inj.AddPenaltySeconds(0.0123);
+  const std::string summary = memsim::FaultCountersSummary(inj.Counters());
+  EXPECT_NE(summary.find("injected=1"), std::string::npos);
+  EXPECT_NE(summary.find("stall=1"), std::string::npos);
+  EXPECT_NE(summary.find("retried=1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level sweeps on a small RMAT graph.
+// ---------------------------------------------------------------------------
+
+graph::Graph SmallGraph() {
+  graph::RmatParams params;
+  params.scale = 11;
+  params.num_edges = 1 << 14;
+  params.seed = 5;
+  return graph::GenerateRmat(params).value();
+}
+
+engine::RunReport RunWith(const graph::Graph& g, engine::SystemKind system,
+                          const FaultPlan& plan, int threads) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ms->SetFaultPlan(plan);
+  ThreadPool pool(static_cast<size_t>(threads));
+  engine::EngineOptions options;
+  options.system = system;
+  options.num_threads = threads;
+  options.prone.dim = 16;
+  options.prone.oversample = 4;
+  options.prone.chebyshev_order = 4;
+  auto report = engine::RunEmbedding(
+      g, "rmat", options, exec::Context(ms.get(), &pool, threads));
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? std::move(report).value() : engine::RunReport{};
+}
+
+class FaultEngineTest : public ::testing::Test {
+ protected:
+  const graph::Graph g_ = SmallGraph();
+};
+
+TEST_F(FaultEngineTest, SameSeedByteIdenticalFaultReport) {
+  auto plan = memsim::FaultPlanFromProfile("chaos:9").value();
+  const engine::RunReport a = RunWith(g_, engine::SystemKind::kOmega, plan, 4);
+  const engine::RunReport b = RunWith(g_, engine::SystemKind::kOmega, plan, 4);
+  EXPECT_TRUE(a.faults_enabled);
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(memsim::FaultCountersSummary(a.faults),
+            memsim::FaultCountersSummary(b.faults));
+  // Totals are bit-identical, not just close.
+  EXPECT_EQ(std::memcmp(&a.total_seconds, &b.total_seconds, sizeof(double)), 0);
+  EXPECT_TRUE(a.faults.Accounted());
+}
+
+TEST_F(FaultEngineTest, ZeroRatePlanMatchesDisabledEmbeddings) {
+  // An enabled plan whose rates are all zero draws but never fires: no
+  // injections, and the embedding bytes match the seed path exactly. The
+  // simulated total may exceed the seed path by the WoFP health probe (the
+  // probe is itself a charged access that only exists under injection).
+  FaultPlan zero;
+  zero.enabled = true;
+  for (int threads : {1, 2, 8}) {
+    const engine::RunReport off =
+        RunWith(g_, engine::SystemKind::kOmega, FaultPlan{}, threads);
+    const engine::RunReport on =
+        RunWith(g_, engine::SystemKind::kOmega, zero, threads);
+    EXPECT_EQ(on.faults.InjectedTotal(), 0u) << threads << " threads";
+    EXPECT_GE(on.total_seconds, off.total_seconds) << threads << " threads";
+    ASSERT_EQ(off.embedding.bytes(), on.embedding.bytes());
+    ASSERT_GT(off.embedding.bytes(), 0u);
+    EXPECT_EQ(std::memcmp(off.embedding.data(), on.embedding.data(),
+                          off.embedding.bytes()), 0)
+        << threads << " threads";
+  }
+}
+
+TEST_F(FaultEngineTest, TimeMonotoneInStallRate) {
+  double prev = 0.0;
+  for (double rate : {0.0, 0.05, 0.2, 0.8}) {
+    const engine::RunReport r =
+        RunWith(g_, engine::SystemKind::kOmega, StallOnlyPlan(rate), 4);
+    EXPECT_GE(r.total_seconds, prev) << "rate " << rate;
+    prev = r.total_seconds;
+  }
+}
+
+TEST_F(FaultEngineTest, StallsSelfRecoverAsRetries) {
+  const engine::RunReport r =
+      RunWith(g_, engine::SystemKind::kOmega, StallOnlyPlan(0.5), 4);
+  EXPECT_GT(r.faults.stalls, 0u);
+  EXPECT_EQ(r.faults.retried, r.faults.stalls);
+  EXPECT_EQ(r.faults.degraded, 0u);
+  EXPECT_EQ(r.faults.surfaced, 0u);
+  EXPECT_TRUE(r.faults.Accounted());
+  EXPECT_GT(r.faults.PenaltySeconds(), 0.0);
+}
+
+TEST_F(FaultEngineTest, EmbeddingUnchangedByFaults) {
+  // Faults charge simulated time only; the computed embedding is the host
+  // result and must be bit-identical at any fault rate.
+  const engine::RunReport off =
+      RunWith(g_, engine::SystemKind::kOmega, FaultPlan{}, 4);
+  const engine::RunReport on = RunWith(
+      g_, engine::SystemKind::kOmega,
+      memsim::FaultPlanFromProfile("chaos").value(), 4);
+  ASSERT_EQ(off.embedding.bytes(), on.embedding.bytes());
+  EXPECT_EQ(std::memcmp(off.embedding.data(), on.embedding.data(),
+                        off.embedding.bytes()), 0);
+  EXPECT_GT(on.total_seconds, off.total_seconds);
+}
+
+TEST_F(FaultEngineTest, FlakyNetTimeoutsAllRetried) {
+  auto plan = memsim::FaultPlanFromProfile("flaky-net").value();
+  const engine::RunReport r =
+      RunWith(g_, engine::SystemKind::kDistDgl, plan, 4);
+  EXPECT_GT(r.faults.timeouts, 0u);
+  EXPECT_EQ(r.faults.retried, r.faults.InjectedTotal());
+  EXPECT_EQ(r.faults.degraded, 0u);
+  EXPECT_EQ(r.faults.surfaced, 0u);
+  EXPECT_TRUE(r.faults.Accounted());
+
+  const engine::RunReport again =
+      RunWith(g_, engine::SystemKind::kDistDgl, plan, 4);
+  EXPECT_EQ(r.faults, again.faults);
+}
+
+TEST_F(FaultEngineTest, WornSsdSlowsButNeverFailsOutOfCore) {
+  const engine::RunReport off =
+      RunWith(g_, engine::SystemKind::kGinex, FaultPlan{}, 4);
+  const engine::RunReport on = RunWith(
+      g_, engine::SystemKind::kGinex,
+      memsim::FaultPlanFromProfile("worn-ssd").value(), 4);
+  EXPECT_GT(on.faults.InjectedTotal(), 0u);
+  EXPECT_TRUE(on.faults.Accounted());
+  EXPECT_GT(on.total_seconds, off.total_seconds);
+}
+
+TEST_F(FaultEngineTest, ProneHmSurfacesUnrecoverableStagingFault) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.at(Tier::kPm, MemOp::kRead, Pattern::kSequential).media = 1.0;
+
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ms->SetFaultPlan(plan);
+  ThreadPool pool(4);
+  engine::EngineOptions options;
+  options.system = engine::SystemKind::kProneHm;
+  options.num_threads = 4;
+  options.prone.dim = 16;
+  options.prone.oversample = 4;
+  options.prone.chebyshev_order = 4;
+  auto report = engine::RunEmbedding(g_, "rmat", options,
+                                     exec::Context(ms.get(), &pool, 4));
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsIOError());
+  EXPECT_GE(ms->Faults().surfaced, 1u);
+  EXPECT_TRUE(ms->Faults().Accounted());
+}
+
+TEST_F(FaultEngineTest, ReportJsonCarriesFaultSection) {
+  const engine::RunReport on = RunWith(
+      g_, engine::SystemKind::kOmega,
+      memsim::FaultPlanFromProfile("pm-stall").value(), 4);
+  const std::string json = engine::ReportToJson(on);
+  EXPECT_NE(json.find("\"fault\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"injected\": "), std::string::npos);
+
+  const engine::RunReport off =
+      RunWith(g_, engine::SystemKind::kOmega, FaultPlan{}, 4);
+  const std::string off_json = engine::ReportToJson(off);
+  EXPECT_NE(off_json.find("\"enabled\": false"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Seed sweep: the determinism contract holds for arbitrary seeds and systems.
+// ---------------------------------------------------------------------------
+
+using SeedCase = std::tuple<uint64_t, engine::SystemKind>;
+
+class FaultSeedSweep : public ::testing::TestWithParam<SeedCase> {};
+
+TEST_P(FaultSeedSweep, TwoRunsByteIdentical) {
+  const auto [seed, system] = GetParam();
+  auto plan = memsim::FaultPlanFromProfile("chaos").value();
+  plan.seed = seed;
+  const graph::Graph g = SmallGraph();
+  const engine::RunReport a = RunWith(g, system, plan, 4);
+  const engine::RunReport b = RunWith(g, system, plan, 4);
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(std::memcmp(&a.total_seconds, &b.total_seconds, sizeof(double)), 0);
+  EXPECT_TRUE(a.faults.Accounted());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FaultSeedSweep,
+    ::testing::Combine(::testing::Values(1u, 42u, 1234567u),
+                       ::testing::Values(engine::SystemKind::kOmega,
+                                         engine::SystemKind::kGinex,
+                                         engine::SystemKind::kDistGer)));
+
+}  // namespace
+}  // namespace omega

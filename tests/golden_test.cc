@@ -1,0 +1,40 @@
+// Golden byte-identity test: runs the small fig12 configuration through the
+// same report builder as bench_fig12_overall and pins the output's MD5. Any
+// change to the simulated charge order, the cost model, or the report
+// formatting shifts these bytes and fails here instead of silently drifting
+// the paper's headline figure. The hash below is the seed repo's output; it
+// must also match `md5sum <(./build/bench/bench_fig12_overall)`.
+//
+// Faults are NOT enabled here — this is the disabled-injector contract: with
+// no FaultPlan, every fault-aware access path must reduce exactly to the
+// legacy charge sequence.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "common/md5.h"
+
+namespace omega {
+namespace {
+
+TEST(Md5Test, KnownVectors) {
+  EXPECT_EQ(Md5Hex(std::string("")), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5Hex(std::string("abc")), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(GoldenTest, Fig12OverallReportBytesPinned) {
+  // Phase tracing appends per-phase tables to the report; the golden bytes
+  // are the untraced output.
+  unsetenv("OMEGA_PHASE_TRACE");
+  bench::Env env = bench::MakeEnv(36);
+  const std::string report = bench::Fig12OverallReport(env);
+  EXPECT_EQ(Md5Hex(report), "e154cb3a41daab5edc72f0445958aaa8")
+      << "fig12 report bytes drifted; if the change is intentional, rerun "
+         "./build/bench/bench_fig12_overall and update the hash here and in "
+         "any seed baselines.";
+}
+
+}  // namespace
+}  // namespace omega

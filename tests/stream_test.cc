@@ -122,5 +122,90 @@ TEST_F(AslTest, RunPropagatesSizingFailure) {
   EXPECT_TRUE(result.status().IsCapacityExceeded());
 }
 
+TEST_F(AslTest, FixedPartitionsZeroSolvesAndOneIsSinglePass) {
+  // fixed_partitions = 0 takes the Eq. 9 solve path.
+  cfg_.fixed_partitions = 0;
+  auto solved = MakeStreamer().Run([](size_t, size_t, size_t) { return 0.0; });
+  ASSERT_TRUE(solved.ok());
+  auto expect_n = OptimalPartitions(cfg_);
+  ASSERT_TRUE(expect_n.ok());
+  EXPECT_EQ(solved.value().partitions.size(), expect_n.value());
+
+  // fixed_partitions = 1: a single partition covering every column; nothing
+  // overlaps, so total == serial == load + compute.
+  cfg_.fixed_partitions = 1;
+  auto one = MakeStreamer().Run([](size_t, size_t, size_t) { return 0.25; });
+  ASSERT_TRUE(one.ok());
+  ASSERT_EQ(one.value().partitions.size(), 1u);
+  EXPECT_EQ(one.value().partitions[0].col_begin, 0u);
+  EXPECT_EQ(one.value().partitions[0].col_end, cfg_.dense_cols);
+  EXPECT_DOUBLE_EQ(one.value().total_seconds, one.value().serial_seconds);
+}
+
+TEST_F(AslTest, MorePartitionsThanColumnsCoversEachColumnOnce) {
+  cfg_.fixed_partitions = cfg_.dense_cols + 7;  // trailing empty partitions
+  AslStreamer s = MakeStreamer();
+  std::vector<int> seen(cfg_.dense_cols, 0);
+  auto result = s.Run([&](size_t, size_t begin, size_t end) {
+    for (size_t c = begin; c < end; ++c) seen[c]++;
+    return 0.0;
+  });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (int c : seen) EXPECT_EQ(c, 1);
+  // Partitions past the last column are empty and cost nothing.
+  for (size_t k = cfg_.dense_cols; k < result.value().partitions.size(); ++k) {
+    const auto& p = result.value().partitions[k];
+    EXPECT_EQ(p.col_begin, p.col_end);
+    EXPECT_DOUBLE_EQ(p.load_seconds, 0.0);
+  }
+}
+
+// An always-failing PM class drives every partition load through the retry
+// loop into semi-external degradation; the run completes, flags the rebuild,
+// and satisfies the accounting identity.
+TEST_F(AslTest, DegradesToSemiExternalWhenPmKeepsFailing) {
+  memsim::FaultPlan plan;
+  plan.enabled = true;
+  plan.at(memsim::Tier::kPm, memsim::MemOp::kRead,
+          memsim::Pattern::kSequential).media = 1.0;
+  ms_->SetFaultPlan(plan);
+
+  cfg_.fixed_partitions = 4;
+  auto degraded = MakeStreamer().Run([](size_t, size_t, size_t) { return 0.0; });
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_EQ(degraded.value().degraded_partitions, 4u);
+  EXPECT_TRUE(degraded.value().rebuild_recommended);
+  EXPECT_EQ(degraded.value().load_retries,
+            4u * static_cast<unsigned>(cfg_.max_load_retries));
+  const memsim::FaultCounters c = ms_->Faults();
+  EXPECT_TRUE(c.Accounted());
+  EXPECT_EQ(c.degraded, 4u);
+
+  // The degraded pass streams from the slower SSD home on top of the wasted
+  // PM attempts, so it must cost more than a healthy pass.
+  ms_->SetFaultPlan(memsim::FaultPlan{});
+  auto healthy = MakeStreamer().Run([](size_t, size_t, size_t) { return 0.0; });
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_EQ(healthy.value().degraded_partitions, 0u);
+  EXPECT_FALSE(healthy.value().rebuild_recommended);
+  EXPECT_GT(degraded.value().total_seconds, healthy.value().total_seconds);
+}
+
+TEST_F(AslTest, SurfacesIOErrorWhenDegradationDisallowed) {
+  memsim::FaultPlan plan;
+  plan.enabled = true;
+  plan.at(memsim::Tier::kPm, memsim::MemOp::kRead,
+          memsim::Pattern::kSequential).media = 1.0;
+  ms_->SetFaultPlan(plan);
+
+  cfg_.fixed_partitions = 4;
+  cfg_.allow_degraded = false;
+  auto result = MakeStreamer().Run([](size_t, size_t, size_t) { return 0.0; });
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+  EXPECT_EQ(ms_->Faults().surfaced, 1u);
+  EXPECT_TRUE(ms_->Faults().Accounted());
+}
+
 }  // namespace
 }  // namespace omega::stream

@@ -6,16 +6,20 @@
 #   tools/check.sh            # release-with-asserts build + ctest
 #   tools/check.sh --sanitize # additionally build/test with -DOMEGA_SANITIZE=ON
 #   tools/check.sh --tsan     # additionally build/test with -DOMEGA_TSAN=ON
+#   tools/check.sh --faults   # additionally run the fault-injection suites
+#                             # (fault/stream/golden) under a Debug+ASan build
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
 TSAN=0
+FAULTS=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
     --tsan) TSAN=1 ;;
+    --faults) FAULTS=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -35,6 +39,18 @@ run_suite build
 if [[ "$SANITIZE" == 1 ]]; then
   echo "== sanitizers: ASan + UBSan build + ctest =="
   run_suite build-asan -DOMEGA_SANITIZE=ON
+fi
+
+if [[ "$FAULTS" == 1 ]]; then
+  echo "== fault injection: Debug + ASan fault-path suites =="
+  # The retry/degrade/surface paths are branch-heavy and mostly dormant in
+  # healthy runs; exercise them with asserts and ASan on. The golden test is
+  # excluded here (it pins release-build report bytes and runs the full fig12
+  # sweep); it runs in the tier-1 suite above.
+  cmake -B build-faults -S . -DCMAKE_BUILD_TYPE=Debug -DOMEGA_SANITIZE=ON
+  cmake --build build-faults -j "$JOBS" --target fault_test stream_test memsim_test
+  ctest --test-dir build-faults --output-on-failure -j "$JOBS" \
+    -R '^(fault_test|stream_test|memsim_test)$'
 fi
 
 if [[ "$TSAN" == 1 ]]; then

@@ -18,6 +18,8 @@
 //     --out <path>          write embedding (.tsv or binary by extension)
 //     --auc                 evaluate link-prediction AUC
 //     --trace-json <path>   write the per-phase trace (RunReport JSON)
+//     --fault-profile <p>   inject faults: none | pm-stall | pm-degraded |
+//                           worn-ssd | flaky-net | chaos, optional ":<seed>"
 
 #include <cstdio>
 #include <cstring>
@@ -43,6 +45,7 @@ struct CliOptions {
   std::string allocator = "eata";
   std::string out;
   std::string trace_json;
+  std::string fault_profile;
   int threads = 36;
   size_t dim = 32;
   int cheb = 8;
@@ -58,7 +61,7 @@ int Usage(const char* argv0) {
                "usage: %s [--graph <path|name>] [--system <name>] "
                "[--threads n] [--dim d] [--cheb k] [--allocator eata|wata|rr] "
                "[--no-wofp] [--no-nadp] [--no-asl] [--cxl] [--out path] "
-               "[--auc] [--trace-json path]\n",
+               "[--auc] [--trace-json path] [--fault-profile name[:seed]]\n",
                argv0);
   return 2;
 }
@@ -113,6 +116,11 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--trace-json=", 0) == 0) {
       cli.trace_json = arg.substr(std::strlen("--trace-json="));
       if (cli.trace_json.empty()) return Usage(argv[0]);
+    } else if (arg == "--fault-profile" && i + 1 < argc) {
+      cli.fault_profile = argv[++i];
+    } else if (arg.rfind("--fault-profile=", 0) == 0) {
+      cli.fault_profile = arg.substr(std::strlen("--fault-profile="));
+      if (cli.fault_profile.empty()) return Usage(argv[0]);
     } else if (arg == "--no-wofp") {
       cli.wofp = false;
     } else if (arg == "--no-nadp") {
@@ -148,6 +156,19 @@ int main(int argc, char** argv) {
   auto ms = std::make_unique<memsim::MemorySystem>(
       memsim::TopologyConfig{},
       cli.cxl ? memsim::CxlProfiles() : memsim::DefaultProfiles());
+  if (!cli.fault_profile.empty()) {
+    auto plan = memsim::FaultPlanFromProfile(cli.fault_profile);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+      return Usage(argv[0]);
+    }
+    ms->SetFaultPlan(plan.value());
+    if (ms->faults_enabled()) {
+      std::printf("fault injection: profile %s (seed %llu)\n",
+                  cli.fault_profile.c_str(),
+                  static_cast<unsigned long long>(plan.value().seed));
+    }
+  }
   ThreadPool pool(static_cast<size_t>(cli.threads));
 
   engine::EngineOptions options;
@@ -182,6 +203,10 @@ int main(int argc, char** argv) {
   std::printf("  propagate %s\n", HumanSeconds(r.propagate_seconds).c_str());
   std::printf("  total     %s (simulated)\n", HumanSeconds(r.total_seconds).c_str());
   std::printf("  remote DRAM/PM traffic: %.1f%%\n", r.remote_fraction * 100.0);
+  if (r.faults_enabled) {
+    std::printf("  faults    %s\n",
+                memsim::FaultCountersSummary(r.faults).c_str());
+  }
   if (r.link_auc.has_value()) std::printf("  link AUC  %.3f\n", *r.link_auc);
 
   if (!cli.trace_json.empty()) {
