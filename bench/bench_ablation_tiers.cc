@@ -8,11 +8,22 @@
 // DRAM gap each technology closes and how much OMeGa's optimizations still
 // contribute on CXL.
 
+#include <cstring>
+#include <vector>
+
 #include "bench_util.h"
 #include "common/string_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace omega;
+  // --smoke: PK only (CI-sized run); --async: enable overlapped staging on
+  // the OMeGa configurations.
+  bool smoke = false;
+  bool async_staging = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--async") == 0) async_staging = true;
+  }
   engine::PrintExperimentHeader(
       "Tier ablation", "OMeGa on Optane-PM vs CXL.mem capacity tiers");
 
@@ -24,10 +35,12 @@ int main() {
 
   engine::TablePrinter table({"Graph", "OMeGa (PM)", "OMeGa (CXL)",
                               "OMeGa-DRAM", "CXL vs PM", "no-opt (CXL)"});
-  for (const std::string& name : {std::string("PK"), std::string("LJ"),
-                                  std::string("OR"), std::string("TW")}) {
+  std::vector<std::string> graphs = {"PK", "LJ", "OR", "TW"};
+  if (smoke) graphs = {"PK"};
+  for (const std::string& name : graphs) {
     const graph::Graph g = bench::LoadGraphOrDie(name);
-    const auto options = bench::DefaultOptions(engine::SystemKind::kOmega, 36);
+    auto options = bench::DefaultOptions(engine::SystemKind::kOmega, 36);
+    options.features.async_staging = async_staging;
     auto no_opt = options;
     no_opt.features.use_wofp = false;
     no_opt.features.use_nadp = false;

@@ -74,7 +74,7 @@ double StdDev(const std::vector<double>& values) {
 std::string PhaseTableString(const engine::RunReport& report) {
   if (report.phases.empty()) return "";
   engine::TablePrinter table({"phase", "sim s", "wall s", "DRAM", "PM", "SSD",
-                              "NET", "remote %"});
+                              "NET", "remote %", "ovl %"});
   for (const exec::PhaseRecord& p : report.phases) {
     table.AddRow({p.aux ? p.name + " (aux)" : p.name,
                   FormatDouble(p.sim_seconds, 3),
@@ -83,7 +83,10 @@ std::string PhaseTableString(const engine::RunReport& report) {
                   HumanBytes(p.TierBytes(memsim::Tier::kPm)),
                   HumanBytes(p.TierBytes(memsim::Tier::kSsd)),
                   HumanBytes(p.TierBytes(memsim::Tier::kNetwork)),
-                  FormatDouble(p.remote_fraction * 100.0, 1)});
+                  FormatDouble(p.remote_fraction * 100.0, 1),
+                  p.fetch_seconds > 0.0
+                      ? FormatDouble(p.OverlapEfficiency() * 100.0, 1)
+                      : "-"});
   }
   return "  phases of " + report.system + " on " + report.dataset + ":\n" +
          table.ToString();

@@ -1,0 +1,216 @@
+#include "buffer/buffer_manager.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "memsim/sim_buffer.h"
+
+namespace omega::buffer {
+
+namespace internal {
+
+struct Frame {
+  PageKey key;
+  memsim::SimBuffer<std::byte> page;
+  size_t bytes = 0;
+  int pins = 0;
+  uint64_t last_use = 0;
+  bool hot = false;
+};
+
+}  // namespace internal
+
+using internal::Frame;
+
+// --- PinHandle ---------------------------------------------------------------
+
+PinHandle::~PinHandle() { Release(); }
+
+PinHandle::PinHandle(const PinHandle& other)
+    : mgr_(other.mgr_), frame_(other.frame_) {
+  if (frame_ != nullptr) mgr_->PinAgain(frame_);
+}
+
+PinHandle& PinHandle::operator=(const PinHandle& other) {
+  if (this != &other) {
+    Release();
+    mgr_ = other.mgr_;
+    frame_ = other.frame_;
+    if (frame_ != nullptr) mgr_->PinAgain(frame_);
+  }
+  return *this;
+}
+
+PinHandle::PinHandle(PinHandle&& other) noexcept
+    : mgr_(other.mgr_), frame_(other.frame_) {
+  other.frame_ = nullptr;
+  other.mgr_ = nullptr;
+}
+
+PinHandle& PinHandle::operator=(PinHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    mgr_ = other.mgr_;
+    frame_ = other.frame_;
+    other.frame_ = nullptr;
+    other.mgr_ = nullptr;
+  }
+  return *this;
+}
+
+const PageKey& PinHandle::key() const { return frame_->key; }
+size_t PinHandle::bytes() const { return frame_->bytes; }
+std::byte* PinHandle::data() const {
+  return frame_->page.empty() ? nullptr : frame_->page.data();
+}
+memsim::Placement PinHandle::placement() const {
+  return memsim::Placement{frame_->key.tier, frame_->key.node};
+}
+
+void PinHandle::Release() {
+  if (frame_ != nullptr) mgr_->Unpin(frame_);
+  frame_ = nullptr;
+  mgr_ = nullptr;
+}
+
+// --- BufferManager -----------------------------------------------------------
+
+BufferManager::BufferManager(memsim::MemorySystem* ms, Options options)
+    : ms_(ms), options_(options) {}
+
+BufferManager::~BufferManager() = default;
+
+Result<PinHandle> BufferManager::Pin(const PageKey& key, size_t bytes,
+                                     bool materialize) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    Frame* f = it->second.get();
+    if (f->bytes != bytes) {
+      return Status::InvalidArgument(
+          "BufferManager: page re-pinned with size " + HumanBytes(bytes) +
+          " but resident at " + HumanBytes(f->bytes));
+    }
+    stats_.hits++;
+    if (f->pins == 0) stats_.pinned_bytes += f->bytes;
+    f->pins++;
+    f->last_use = ++tick_;
+    return PinHandle(this, f);
+  }
+  stats_.misses++;
+
+  // Make room under the pool budget first, then against the simulated device;
+  // both loops surface CapacityExceeded when everything resident is pinned
+  // (or hot) instead of waiting — the pool must never deadlock.
+  while (options_.capacity_bytes > 0 &&
+         stats_.resident_bytes + bytes > options_.capacity_bytes) {
+    if (!EvictOneLocked()) {
+      return Status::CapacityExceeded(
+          "BufferManager: cannot fit page of " + HumanBytes(bytes) +
+          " under pool budget " + HumanBytes(options_.capacity_bytes) +
+          " (all resident frames pinned)");
+    }
+  }
+  for (;;) {
+    auto page =
+        materialize
+            ? memsim::SimBuffer<std::byte>::Create(ms_, bytes, key.tier,
+                                                   key.node)
+            : memsim::SimBuffer<std::byte>::CreateUnmaterialized(
+                  ms_, bytes, key.tier, key.node);
+    if (page.ok()) {
+      auto frame = std::make_unique<Frame>();
+      frame->key = key;
+      frame->page = std::move(page).value();
+      frame->bytes = bytes;
+      frame->pins = 1;
+      frame->last_use = ++tick_;
+      Frame* raw = frame.get();
+      frames_.emplace(key, std::move(frame));
+      stats_.resident_bytes += bytes;
+      stats_.pinned_bytes += bytes;
+      return PinHandle(this, raw);
+    }
+    if (!EvictOneLocked()) return page.status();
+  }
+}
+
+PinHandle BufferManager::Lookup(const PageKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(key);
+  if (it == frames_.end()) return PinHandle();
+  Frame* f = it->second.get();
+  stats_.hits++;
+  if (f->pins == 0) stats_.pinned_bytes += f->bytes;
+  f->pins++;
+  f->last_use = ++tick_;
+  return PinHandle(this, f);
+}
+
+Status BufferManager::MarkHot(const PageKey& key, bool hot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(key);
+  if (it == frames_.end()) {
+    return Status::NotFound("BufferManager: MarkHot on a non-resident page");
+  }
+  it->second->hot = hot;
+  return Status::OK();
+}
+
+Status BufferManager::Evict(const PageKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(key);
+  if (it == frames_.end()) {
+    return Status::NotFound("BufferManager: Evict on a non-resident page");
+  }
+  if (it->second->pins > 0) {
+    return Status::InvalidArgument("BufferManager: Evict on a pinned page");
+  }
+  stats_.resident_bytes -= it->second->bytes;
+  stats_.evictions++;
+  frames_.erase(it);
+  return Status::OK();
+}
+
+PageKey BufferManager::UniqueKey(memsim::Tier tier, int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // High bit namespaces generated ids away from caller-chosen ones.
+  return PageKey{tier, node, (1ull << 63) | next_unique_id_++};
+}
+
+BufferManager::Stats BufferManager::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferManager::PinAgain(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frame->pins == 0) stats_.pinned_bytes += frame->bytes;
+  frame->pins++;
+  frame->last_use = ++tick_;
+}
+
+void BufferManager::Unpin(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frame->pins--;
+  frame->last_use = ++tick_;
+  if (frame->pins == 0) stats_.pinned_bytes -= frame->bytes;
+}
+
+bool BufferManager::EvictOneLocked() {
+  Frame* victim = nullptr;
+  for (auto& [key, frame] : frames_) {
+    if (frame->pins > 0) continue;
+    if (options_.policy == EvictionPolicy::kHotPinned && frame->hot) continue;
+    if (victim == nullptr || frame->last_use < victim->last_use) {
+      victim = frame.get();
+    }
+  }
+  if (victim == nullptr) return false;
+  stats_.resident_bytes -= victim->bytes;
+  stats_.evictions++;
+  frames_.erase(victim->key);
+  return true;
+}
+
+}  // namespace omega::buffer

@@ -1,0 +1,172 @@
+// Tier-agnostic buffer pool over the simulated memory hierarchy.
+//
+// Every staged working set in the pipeline — ASL column partitions, the
+// out-of-core baselines' feature caches, WoFP's DRAM-resident top-m stores —
+// holds frames of SimBuffer-backed pages tagged by (tier, node). Before this
+// layer each consumer hand-rolled its own Reserve/Release bookkeeping; the
+// BufferManager centralizes it behind pin/unpin with ref-counted handles and
+// pluggable eviction:
+//
+//   kLru       — strict least-recently-used among unpinned frames (the
+//                Marius-style partition buffer rotation).
+//   kHotPinned — LRU, but frames marked hot are never evicted (WoFP's η rule:
+//                the top-m hot rows stay resident whatever else churns).
+//
+// Pages are "unmaterialized" by default: they reserve simulated device
+// capacity without allocating host memory, because staging traffic is charged
+// analytically and the page contents are never computed on. Pass
+// materialize=true for pages whose bytes kernels actually touch.
+//
+// Thread safety: all operations (including handle copy/release) take the
+// manager's mutex; handles must not outlive their manager.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "memsim/memory_system.h"
+
+namespace omega::buffer {
+
+/// Identity of one page: which simulated device it lives on plus a
+/// caller-chosen id (ASL uses the partition index, out-of-core the feature
+/// block). node is the NUMA socket (memsim::Placement::kInterleaved legal).
+struct PageKey {
+  memsim::Tier tier = memsim::Tier::kDram;
+  int node = 0;
+  uint64_t id = 0;
+
+  bool operator==(const PageKey& other) const {
+    return tier == other.tier && node == other.node && id == other.id;
+  }
+};
+
+struct PageKeyHash {
+  size_t operator()(const PageKey& k) const {
+    uint64_t h = static_cast<uint64_t>(k.tier) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<uint64_t>(static_cast<int64_t>(k.node)) + 0x9E3779B97F4A7C15ull +
+         (h << 6) + (h >> 2);
+    h ^= k.id + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+enum class EvictionPolicy {
+  kLru = 0,       ///< evict the least-recently-used unpinned frame
+  kHotPinned = 1  ///< LRU, but MarkHot frames are never evicted
+};
+
+namespace internal {
+struct Frame;  // defined in buffer_manager.cc
+}
+
+class BufferManager;
+
+/// Ref-counted pin on a resident frame. Copy re-pins, destruction unpins;
+/// a default-constructed handle is invalid. Handles must be released (or
+/// destroyed) before their BufferManager.
+class PinHandle {
+ public:
+  PinHandle() = default;
+  ~PinHandle();
+  PinHandle(const PinHandle& other);
+  PinHandle& operator=(const PinHandle& other);
+  PinHandle(PinHandle&& other) noexcept;
+  PinHandle& operator=(PinHandle&& other) noexcept;
+
+  bool valid() const { return frame_ != nullptr; }
+  const PageKey& key() const;
+  size_t bytes() const;
+  /// Host pointer of a materialized page; nullptr for accounting-only pages.
+  std::byte* data() const;
+  memsim::Placement placement() const;
+
+  /// Drops this handle's pin early (idempotent).
+  void Release();
+
+ private:
+  friend class BufferManager;
+  PinHandle(BufferManager* mgr, internal::Frame* frame)
+      : mgr_(mgr), frame_(frame) {}
+
+  BufferManager* mgr_ = nullptr;
+  internal::Frame* frame_ = nullptr;
+};
+
+/// The pool. One per staging domain (the engine's ASL frames, one per WoFP
+/// plan, one per out-of-core run); never copied or moved once handles exist.
+class BufferManager {
+ public:
+  struct Options {
+    /// Pool-level byte budget across all frames; 0 = bounded only by the
+    /// simulated devices' capacities.
+    size_t capacity_bytes = 0;
+    EvictionPolicy policy = EvictionPolicy::kLru;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t resident_bytes = 0;
+    size_t pinned_bytes = 0;
+  };
+
+  BufferManager(memsim::MemorySystem* ms, Options options);
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Pins the page, fetching it into a frame on miss. A hit with a different
+  /// size is InvalidArgument. On miss, unpinned frames are evicted (per the
+  /// policy) until the page fits under both the pool budget and the simulated
+  /// device capacity; if everything resident is pinned (or hot), returns
+  /// CapacityExceeded rather than blocking — callers choose their own
+  /// fallback, the pool never deadlocks. Zero-byte pages are legal.
+  Result<PinHandle> Pin(const PageKey& key, size_t bytes,
+                        bool materialize = false);
+
+  /// Pins the page only if already resident; invalid handle on miss.
+  PinHandle Lookup(const PageKey& key);
+
+  /// Exempts (or re-admits) a resident frame from kHotPinned eviction.
+  Status MarkHot(const PageKey& key, bool hot = true);
+
+  /// Drops an unpinned resident frame, releasing its reservation.
+  Status Evict(const PageKey& key);
+
+  /// A key no other caller of this manager holds, for anonymous frames.
+  PageKey UniqueKey(memsim::Tier tier, int node);
+
+  Stats GetStats() const;
+  const Options& options() const { return options_; }
+  memsim::MemorySystem* memory_system() const { return ms_; }
+
+ private:
+  friend class PinHandle;
+
+  void PinAgain(internal::Frame* frame);  // handle copy
+  void Unpin(internal::Frame* frame);     // handle release
+
+  /// Evicts the LRU unpinned (and, under kHotPinned, non-hot) frame.
+  /// Returns false when nothing is evictable. Caller holds mu_.
+  bool EvictOneLocked();
+
+  memsim::MemorySystem* ms_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<PageKey, std::unique_ptr<internal::Frame>, PageKeyHash>
+      frames_;
+  uint64_t tick_ = 0;
+  uint64_t next_unique_id_ = 0;
+  Stats stats_;
+};
+
+}  // namespace omega::buffer

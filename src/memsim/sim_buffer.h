@@ -29,7 +29,23 @@ class SimBuffer {
     SimBuffer<T> buf;
     buf.ms_ = ms;
     buf.placement_ = p;
+    buf.reserved_bytes_ = n * sizeof(T);
     buf.data_.resize(n);
+    return buf;
+  }
+
+  /// Reserves capacity for `n` elements at (tier, socket) without backing
+  /// them with host memory: size() stays 0 and data() must not be used. For
+  /// accounting-only pages (multi-GB staging frames, out-of-core feature
+  /// caches) whose contents are never computed on, only charged for.
+  static Result<SimBuffer<T>> CreateUnmaterialized(MemorySystem* ms, size_t n,
+                                                   Tier tier, int socket) {
+    Placement p{tier, socket};
+    OMEGA_RETURN_NOT_OK(ms->Reserve(p, n * sizeof(T)));
+    SimBuffer<T> buf;
+    buf.ms_ = ms;
+    buf.placement_ = p;
+    buf.reserved_bytes_ = n * sizeof(T);
     return buf;
   }
 
@@ -53,30 +69,34 @@ class SimBuffer {
   const T& operator[](size_t i) const { return data_[i]; }
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
-  size_t bytes() const { return data_.size() * sizeof(T); }
+  size_t bytes() const { return reserved_bytes_; }
 
   const Placement& placement() const { return placement_; }
   MemorySystem* memory_system() const { return ms_; }
 
  private:
   void ReleaseReservation() {
-    if (ms_ != nullptr && !data_.empty()) {
-      ms_->Release(placement_, data_.size() * sizeof(T));
+    if (ms_ != nullptr && reserved_bytes_ > 0) {
+      ms_->Release(placement_, reserved_bytes_);
     }
     ms_ = nullptr;
+    reserved_bytes_ = 0;
     data_.clear();
   }
 
   void MoveFrom(SimBuffer* other) {
     ms_ = other->ms_;
     placement_ = other->placement_;
+    reserved_bytes_ = other->reserved_bytes_;
     data_ = std::move(other->data_);
     other->ms_ = nullptr;
+    other->reserved_bytes_ = 0;
     other->data_.clear();
   }
 
   MemorySystem* ms_ = nullptr;
   Placement placement_;
+  size_t reserved_bytes_ = 0;
   std::vector<T> data_;
 };
 

@@ -44,7 +44,14 @@ NadpPlan NadpPlan::Build(const graph::CsdbMatrix& a, const NadpOptions& options,
   plan.threads_ = threads;
   plan.sockets_ = ms->topology().num_sockets();
   plan.caches_.resize(threads);
-  if (options.use_wofp) plan.in_degrees_ = sparse::ComputeInDegrees(a);
+  if (options.use_wofp) {
+    plan.in_degrees_ = sparse::ComputeInDegrees(a);
+    // One pool for all workers' stores; its mutex makes the concurrent
+    // RunOnAll pins below safe.
+    plan.frames_ = std::make_unique<buffer::BufferManager>(
+        ms, buffer::BufferManager::Options{
+                0, buffer::EvictionPolicy::kHotPinned});
+  }
 
   sched::AllocatorOptions alloc_opts;
   alloc_opts.beta = options.beta;
@@ -69,7 +76,8 @@ NadpPlan NadpPlan::Build(const graph::CsdbMatrix& a, const NadpOptions& options,
         prefetch::WofpOptions wofp = options.wofp;
         wofp.cache_placement.socket = memsim::Placement::kInterleaved;
         plan.caches_[worker] = prefetch::WofpPrefetcher::Build(
-            a, plan.flat_workloads_[worker], plan.in_degrees_, wofp, ms, nullptr);
+            a, plan.flat_workloads_[worker], plan.in_degrees_, wofp, ms,
+            nullptr, plan.frames_.get());
       });
     }
     return plan;
@@ -130,7 +138,7 @@ NadpPlan NadpPlan::Build(const graph::CsdbMatrix& a, const NadpOptions& options,
       wofp.cache_placement.socket = s;
       plan.caches_[worker] = prefetch::WofpPrefetcher::Build(
           a, plan.per_socket_workloads_[s][wi], plan.in_degrees_, wofp, ms,
-          nullptr);
+          nullptr, plan.frames_.get());
     });
   }
   return plan;

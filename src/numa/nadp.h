@@ -125,8 +125,13 @@ class NadpPlan {
   /// walk — hits depend on the cache's contents.
   std::vector<sparse::CsdbChargeMeta> flat_meta_;
   std::vector<std::vector<sparse::CsdbChargeMeta>> sub_meta_;
+  /// Frame pool behind the workers' WoFP stores (hot-pinned: the η-rule
+  /// resident sets are never evicted). Declared before caches_ so the
+  /// prefetchers' pins are released before the pool dies; unique_ptr keeps
+  /// the pool address stable across plan moves.
+  std::unique_ptr<buffer::BufferManager> frames_;
   /// Host-side WoFP stores, slot per worker (null where a worker has no
-  /// workload or use_wofp is off). DRAM reservations are held for the plan's
+  /// workload or use_wofp is off). DRAM frames are held for the plan's
   /// lifetime.
   std::vector<std::unique_ptr<prefetch::WofpPrefetcher>> caches_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "buffer/buffer_manager.h"
 #include "common/logging.h"
 #include "embed/quality.h"
 #include "sparse/csdb_ops.h"
@@ -343,9 +344,45 @@ Result<RunReport> RunOutOfCoreFamily(const graph::Graph& g,
   const size_t dense_bytes = DenseWorkingSetBytes(g.num_nodes(), options.prone);
   const size_t dram_total =
       ms->CapacityBytes(Tier::kDram) * ms->topology().num_sockets();
-  const double naive_hit =
-      std::min(1.0, static_cast<double>(dram_total) * 0.75 / dense_bytes);
+  // Both systems keep a feature cache in a DRAM slice; the same fraction
+  // budgets the frame pool below and the analytic hit model.
+  constexpr double kFeatureCacheFraction = 0.75;
+  const double naive_hit = std::min(
+      1.0,
+      static_cast<double>(dram_total) * kFeatureCacheFraction / dense_bytes);
   const double hit_rate = std::min(0.98, naive_hit * profile.cache_boost);
+
+  // The in-DRAM feature cache is carved from the shared frame pool. Ginex's
+  // provably-optimal cache never drops its resident set, so its frame is
+  // pinned hot; Marius keeps eight partition buffers resident but unpinned,
+  // the BETA rotation analogue of LRU recycling. Pin failures (a machine too
+  // small to host the slice) are benign: the hit model above already scales
+  // with the DRAM budget.
+  const size_t cache_budget = static_cast<size_t>(
+      static_cast<double>(dram_total) * kFeatureCacheFraction);
+  buffer::BufferManager feature_cache(
+      ms, buffer::BufferManager::Options{
+              cache_budget, options.system == SystemKind::kGinex
+                                ? buffer::EvictionPolicy::kHotPinned
+                                : buffer::EvictionPolicy::kLru});
+  const size_t cached_bytes = std::min(dense_bytes, cache_budget);
+  buffer::PinHandle ginex_hot;  // held for the whole run
+  if (options.system == SystemKind::kGinex) {
+    auto pin = feature_cache.Pin(
+        feature_cache.UniqueKey(Tier::kDram, Placement::kInterleaved),
+        cached_bytes);
+    if (pin.ok()) {
+      ginex_hot = std::move(pin).value();
+      (void)feature_cache.MarkHot(ginex_hot.key());
+    }
+  } else {
+    for (int i = 0; i < 8; ++i) {
+      auto pin = feature_cache.Pin(
+          feature_cache.UniqueKey(Tier::kDram, Placement::kInterleaved),
+          cached_bytes / 8);
+      (void)pin;  // handle dropped immediately: resident but evictable
+    }
+  }
 
   const graph::CsdbMatrix adjacency = graph::CsdbMatrix::FromGraph(g);
   CsrCache csr_cache;

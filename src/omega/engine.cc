@@ -1,9 +1,13 @@
 #include "omega/engine.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "buffer/buffer_manager.h"
+#include "buffer/staging.h"
 #include "common/logging.h"
 #include "embed/quality.h"
+#include "memsim/sim_clock.h"
 #include "numa/nadp.h"
 #include "omega/baselines.h"
 #include "omega/distributed_sim.h"
@@ -185,6 +189,11 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
 
   bool stream_dense = false;  // ASL engaged?
   size_t asl_dram_budget = 0;
+  // Async double-buffered staging rides the ASL pipeline, so it applies only
+  // to heterogeneous OMeGa and only when ASL itself is on.
+  const bool async_staging = options.features.async_staging &&
+                             options.system == SystemKind::kOmega &&
+                             options.features.use_asl;
 
   switch (options.system) {
     case SystemKind::kOmegaDram: {
@@ -235,11 +244,34 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
         stream_dense = true;
         asl_dram_budget = dram_free / 2;
       }
+      if (async_staging && !stream_dense) {
+        // Async staging routes the SpMM dense operand through the ASL
+        // pipeline even when the working set fits DRAM: partitions are
+        // staged PM -> DRAM ahead of compute and gathered at DRAM cost,
+        // with the fetch stream overlapped against compute (Fig. 9).
+        asl_dram_budget = dram_free / 2;
+      }
       nadp.sparse_tier = Tier::kPm;
       nadp.dense_tier = Tier::kPm;
       nadp.result_tier = Tier::kDram;
       break;
     }
+  }
+
+  // ASL staging engages either because the dense working set exceeds the
+  // DRAM window (stream_dense) or because async staging opted in. With async
+  // on, staged partitions live in a shared BufferManager pool (LRU over the
+  // DRAM window) and each fetch contends with compute for bandwidth.
+  const bool staged_spmm = stream_dense || async_staging;
+  const double stage_slowdown =
+      async_staging
+          ? buffer::FetchSlowdown(ms, interleave_pm, interleave_dram, threads)
+          : 1.0;
+  std::unique_ptr<buffer::BufferManager> stage_frames;
+  if (async_staging) {
+    stage_frames = std::make_unique<buffer::BufferManager>(
+        ms, buffer::BufferManager::Options{asl_dram_budget,
+                                           buffer::EvictionPolicy::kLru});
   }
 
   // --- The charged SpMM executor handed to the embedder ----------------------
@@ -292,14 +324,19 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
         recorder.Record(std::move(drop));
       }
     }
-    if (!plan_cache.Contains(m, nadp)) {
+    // Async staging gathers the staged operand at DRAM cost: the plan (and
+    // its WoFP stores / charge metadata) is keyed on the DRAM dense tier, so
+    // the one-slot cache never thrashes against the synchronous variant.
+    numa::NadpOptions plan_opts = nadp;
+    if (async_staging) plan_opts.dense_tier = Tier::kDram;
+    if (!plan_cache.Contains(m, plan_opts)) {
       // Aux: plan building charges nothing, so its sim time is zero; the
       // span still captures the host wall time the rebuild costs.
       exec::PhaseSpan plan_span(ctx, "plan.build", /*aux=*/true);
-      plan_cache.Get(m, nadp, ctx);
+      plan_cache.Get(m, plan_opts, ctx);
     }
-    const numa::NadpPlan& plan = plan_cache.Get(m, nadp, ctx);
-    if (!stream_dense) {
+    const numa::NadpPlan& plan = plan_cache.Get(m, plan_opts, ctx);
+    if (!staged_spmm) {
       const numa::NadpResult r = numa::NadpExecute(plan, m, in, out, ctx);
       wofp_build_seconds += r.wofp_build_seconds;
       span.AddSimSeconds(fault_overhead + r.phase_seconds);
@@ -315,18 +352,32 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
     cfg.dram_budget = asl_dram_budget + sparse_bytes +
                       2 * cfg.dense_rows * cfg.dense_cols * sizeof(float);
     // Eq. 9 depends only on the dense shape (the budget terms are run
-    // constants), so the solve is cached alongside the NaDP plan.
-    if (asl_parts.partitions == 0 || asl_parts.dense_rows != cfg.dense_rows ||
-        asl_parts.dense_cols != cfg.dense_cols) {
-      OMEGA_ASSIGN_OR_RETURN(const size_t n, stream::OptimalPartitions(cfg));
-      asl_parts = {cfg.dense_rows, cfg.dense_cols, n};
+    // constants), so the solve is cached alongside the NaDP plan. A pinned
+    // partition count (--asl-partitions) bypasses both solve and cache.
+    const size_t user_fixed = options.features.asl_fixed_partitions;
+    if (user_fixed > 0) {
+      cfg.fixed_partitions =
+          std::min(user_fixed, std::max<size_t>(1, cfg.dense_cols));
+    } else {
+      if (asl_parts.partitions == 0 || asl_parts.dense_rows != cfg.dense_rows ||
+          asl_parts.dense_cols != cfg.dense_cols) {
+        // Eq. 9 balances per-partition sparse re-walks against staged-load
+        // hiding, so async mode trusts it unchanged: a single partition
+        // (operand fits the window) degenerates to one staged prefetch whose
+        // gathers still run at DRAM cost.
+        OMEGA_ASSIGN_OR_RETURN(const size_t n, stream::OptimalPartitions(cfg));
+        asl_parts = {cfg.dense_rows, cfg.dense_cols, n};
+      }
+      cfg.fixed_partitions = asl_parts.partitions;
     }
-    cfg.fixed_partitions = asl_parts.partitions;
     cfg.max_load_retries = options.fault_recovery.asl_max_retries;
     cfg.retry_backoff_seconds = options.fault_recovery.asl_backoff_seconds;
     cfg.allow_degraded = options.fault_recovery.allow_degraded;
     cfg.fault_site = &asl_fault_site;
-    stream::AslStreamer streamer(ctx, cfg, interleave_pm, interleave_dram);
+    cfg.async_staging = async_staging;
+    cfg.fetch_slowdown = stage_slowdown;
+    stream::AslStreamer streamer(ctx, cfg, interleave_pm, interleave_dram,
+                                 stage_frames.get());
     auto run = streamer.Run([&](size_t, size_t col_begin, size_t col_end) {
       const numa::NadpResult r =
           numa::NadpExecute(plan, m, in, out, ctx, col_begin, col_end);
@@ -335,20 +386,42 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
     });
     if (!run.ok()) return run.status();
     if (run.value().rebuild_recommended) {
-      // A partition degraded to semi-external streaming: the PM home is
-      // unreliable, so drop the cached Eq. 9 solve and re-partition on the
-      // next SpMM.
-      asl_parts = {};
-      exec::PhaseRecord degrade;
-      degrade.name = "fault.asl.degrade";
-      degrade.aux = true;
-      recorder.Record(std::move(degrade));
+      if (user_fixed > 0) {
+        // The partition count is pinned: honor it across the degraded pass
+        // and log the override instead of silently re-solving Eq. 9.
+        OMEGA_LOG(Warning)
+            << "ASL: a partition degraded but the partition count is pinned "
+               "at "
+            << user_fixed << " (--asl-partitions); keeping the fixed count "
+            << "instead of re-solving Eq. 9";
+        exec::PhaseRecord degrade;
+        degrade.name = "fault.asl.degrade (fixed-partitions pinned)";
+        degrade.aux = true;
+        recorder.Record(std::move(degrade));
+      } else {
+        // A partition degraded to semi-external streaming: the PM home is
+        // unreliable, so drop the cached Eq. 9 solve and re-partition on
+        // the next SpMM.
+        asl_parts = {};
+        exec::PhaseRecord degrade;
+        degrade.name = "fault.asl.degrade";
+        degrade.aux = true;
+        recorder.Record(std::move(degrade));
+      }
     }
-    // Without ASL the same partition loads happen synchronously: nothing is
-    // hidden behind compute.
-    const double seconds = fault_overhead + (options.features.use_asl
-                                                 ? run.value().total_seconds
-                                                 : run.value().serial_seconds);
+    double seconds = fault_overhead;
+    if (async_staging) {
+      // Partition k+1's fetch ran behind partition k's compute; the phase
+      // pays only the exposed remainder and reports what was hidden.
+      seconds += run.value().overlapped_seconds;
+      span.AddFetchSeconds(run.value().fetch_seconds,
+                           run.value().hidden_seconds);
+    } else {
+      // Without ASL the same partition loads happen synchronously: nothing
+      // is hidden behind compute.
+      seconds += options.features.use_asl ? run.value().total_seconds
+                                          : run.value().serial_seconds;
+    }
     span.AddSimSeconds(seconds);
     return seconds;
   };
@@ -387,9 +460,17 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
       const uint64_t stage_tsvd =
           2 * g.num_nodes() * l * sizeof(float) *
           (2 + 2 * static_cast<uint64_t>(options.prone.power_iterations));
-      dense_tsvd = DenseStageSeconds(ctx, interleave_dram, dense_model.tsvd_bytes,
-                                     dense_model.tsvd_flops) +
-                   DenseStageSeconds(ctx, interleave_pm, stage_tsvd, 0);
+      const double window = DenseStageSeconds(
+          ctx, interleave_dram, dense_model.tsvd_bytes, dense_model.tsvd_flops);
+      const double stage = DenseStageSeconds(ctx, interleave_pm, stage_tsvd, 0);
+      if (async_staging) {
+        // Stage the next block PM -> DRAM behind the current block's algebra.
+        dense_tsvd = memsim::SimClock::OverlappedSeconds(window, stage,
+                                                         stage_slowdown);
+        tsvd_span.AddFetchSeconds(stage, window + stage - dense_tsvd);
+      } else {
+        dense_tsvd = window + stage;
+      }
     }
     tsvd_span.AddSimSeconds(dense_tsvd);
   }
@@ -405,9 +486,16 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
       const uint64_t stage_cheb =
           2 * g.num_nodes() * options.prone.dim * sizeof(float) *
           static_cast<uint64_t>(options.prone.chebyshev_order);
-      dense_cheb = DenseStageSeconds(ctx, interleave_dram, dense_model.cheb_bytes,
-                                     dense_model.cheb_flops) +
-                   DenseStageSeconds(ctx, interleave_pm, stage_cheb, 0);
+      const double window = DenseStageSeconds(
+          ctx, interleave_dram, dense_model.cheb_bytes, dense_model.cheb_flops);
+      const double stage = DenseStageSeconds(ctx, interleave_pm, stage_cheb, 0);
+      if (async_staging) {
+        dense_cheb = memsim::SimClock::OverlappedSeconds(window, stage,
+                                                         stage_slowdown);
+        cheb_span.AddFetchSeconds(stage, window + stage - dense_cheb);
+      } else {
+        dense_cheb = window + stage;
+      }
     }
     cheb_span.AddSimSeconds(dense_cheb);
   }

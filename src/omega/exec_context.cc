@@ -84,6 +84,8 @@ void PhaseSpan::Finish() {
   record.name = std::move(name_);
   record.aux = aux_;
   record.sim_seconds = sim_seconds_;
+  record.fetch_seconds = fetch_seconds_;
+  record.hidden_seconds = hidden_seconds_;
   record.wall_seconds = MonotonicSeconds() - wall_start_;
   record.traffic = ctx_.ms()->Traffic() - traffic_start_;
   record.remote_fraction = record.traffic.RemoteFraction();

@@ -45,8 +45,18 @@ struct PhaseRecord {
   double remote_fraction = 0.0;     ///< RemoteFraction() of the delta
   memsim::FaultCounters faults;     ///< fault-counter delta over the span
 
+  /// Async-staging accounting: total solo staging-fetch seconds issued inside
+  /// the phase, and the part hidden behind compute. Zero for phases with no
+  /// overlapped staging (every phase when --async-staging is off).
+  double fetch_seconds = 0.0;
+  double hidden_seconds = 0.0;
+
   uint64_t TierBytes(memsim::Tier t) const { return traffic.TierBytes(t); }
   uint64_t TotalBytes() const { return traffic.TotalBytes(); }
+  /// Fraction of the phase's staging-fetch time hidden behind compute.
+  double OverlapEfficiency() const {
+    return fetch_seconds > 0.0 ? hidden_seconds / fetch_seconds : 0.0;
+  }
 };
 
 /// Thread-safe append-only sink of PhaseRecords for one run.
@@ -109,6 +119,13 @@ class PhaseSpan {
   void AddSimSeconds(double seconds) { sim_seconds_ += seconds; }
   double sim_seconds() const { return sim_seconds_; }
 
+  /// Accumulates async-staging accounting: `fetch` solo fetch seconds issued
+  /// in this phase, of which `hidden` were absorbed behind compute.
+  void AddFetchSeconds(double fetch, double hidden) {
+    fetch_seconds_ += fetch;
+    hidden_seconds_ += hidden;
+  }
+
   /// Records the phase now (the destructor then does nothing).
   void Finish();
 
@@ -118,6 +135,8 @@ class PhaseSpan {
   bool aux_;
   bool finished_ = false;
   double sim_seconds_ = 0.0;
+  double fetch_seconds_ = 0.0;
+  double hidden_seconds_ = 0.0;
   double wall_start_ = 0.0;
   memsim::TrafficSnapshot traffic_start_;
   memsim::FaultCounters faults_start_;

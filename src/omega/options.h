@@ -33,6 +33,16 @@ struct OmegaFeatures {
   bool use_nadp = true;  ///< false => OS Interleaved placement
   bool use_asl = true;
   prefetch::WofpOptions wofp;
+  /// Overlap ASL's PM->DRAM staging fetches with the previous partition's
+  /// compute (double buffering over the shared BufferManager). The staged
+  /// dense operand is then gathered at DRAM cost while the fetch stream is
+  /// charged concurrently via SimClock::OverlappedSeconds; off keeps the
+  /// seed's synchronous charge model byte-identical. kOmega only.
+  bool async_staging = false;
+  /// When > 0, pins the ASL partition count instead of solving Eq. 9 — and
+  /// keeps it pinned across fault-degraded passes (the degrade handler logs
+  /// the override instead of re-solving).
+  size_t asl_fixed_partitions = 0;
 };
 
 /// How the engines react to injected faults (consulted only when the

@@ -146,6 +146,14 @@ std::string PhaseToJson(const exec::PhaseRecord& p, const std::string& indent) {
   out += in + "\"remote_bytes\": " +
          JsonU64(p.traffic.LocalityBytes(Locality::kRemote)) + ",\n";
   out += in + "\"remote_fraction\": " + JsonDouble(p.remote_fraction);
+  if (p.fetch_seconds > 0.0) {
+    // Async-staging accounting: emitted only for phases that overlapped
+    // staging fetches with compute (never with --async-staging off).
+    out += ",\n" + in + "\"fetch_seconds\": " + JsonDouble(p.fetch_seconds);
+    out += ",\n" + in + "\"hidden_seconds\": " + JsonDouble(p.hidden_seconds);
+    out += ",\n" + in +
+           "\"overlap_efficiency\": " + JsonDouble(p.OverlapEfficiency());
+  }
   if (p.faults.InjectedTotal() > 0) {
     out += ",\n" + in + "\"faults\": " +
            FaultCountersToJson(p.faults, true, in);

@@ -24,10 +24,19 @@ PrefetcherType SelectPrefetcherType(const sched::Workload& w, uint32_t num_nodes
 std::unique_ptr<WofpPrefetcher> WofpPrefetcher::Build(
     const graph::CsdbMatrix& a, const sched::Workload& w,
     const std::vector<uint32_t>& in_degrees, const WofpOptions& options,
-    memsim::MemorySystem* ms, memsim::WorkerCtx* ctx) {
+    memsim::MemorySystem* ms, memsim::WorkerCtx* ctx,
+    buffer::BufferManager* frames) {
   auto prefetcher = std::unique_ptr<WofpPrefetcher>(new WofpPrefetcher());
   prefetcher->ms_ = ms;
   prefetcher->placement_ = options.cache_placement;
+  if (frames == nullptr) {
+    // No shared pool: own a private one so the store still allocates through
+    // the BufferManager (device-capacity bound, η-rule hot set).
+    prefetcher->own_frames_ = std::make_unique<buffer::BufferManager>(
+        ms, buffer::BufferManager::Options{0, buffer::EvictionPolicy::kHotPinned});
+    frames = prefetcher->own_frames_.get();
+  }
+  prefetcher->frames_ = frames;
   prefetcher->type_ = SelectPrefetcherType(w, a.num_cols(), options.eta);
   prefetcher->workload_nnz_ = w.nnz;
 
@@ -61,13 +70,20 @@ std::unique_ptr<WofpPrefetcher> WofpPrefetcher::Build(
     }
   }
 
-  // M = W_i * sigma, halved until the DRAM reservation fits.
+  // M = W_i * sigma, halved until the DRAM frame fits.
   size_t m = static_cast<size_t>(static_cast<double>(w.nnz) * options.sigma);
   m = std::min(m, candidates.size());
   while (m > 0) {
     const size_t bytes = m * 16;
-    if (ms->Reserve(prefetcher->placement_, bytes).ok()) {
-      prefetcher->reserved_bytes_ = bytes;
+    auto pin = frames->Pin(
+        frames->UniqueKey(prefetcher->placement_.tier,
+                          prefetcher->placement_.socket),
+        bytes);
+    if (pin.ok()) {
+      prefetcher->slot_ = std::move(pin).value();
+      // η rule: the top-m resident set is hot — never evicted under pool
+      // pressure from other consumers.
+      frames->MarkHot(prefetcher->slot_.key());
       break;
     }
     m /= 2;
@@ -115,8 +131,12 @@ uint64_t WofpPrefetcher::BytesPerHit() const {
 }
 
 WofpPrefetcher::~WofpPrefetcher() {
-  if (ms_ != nullptr && reserved_bytes_ > 0) {
-    ms_->Release(placement_, reserved_bytes_);
+  if (slot_.valid()) {
+    // The store dies with the prefetcher: unpin and drop the frame so the
+    // capacity returns to the pool (and the simulated device) immediately.
+    const buffer::PageKey key = slot_.key();
+    slot_.Release();
+    if (frames_ != nullptr) frames_->Evict(key);
   }
 }
 
@@ -124,6 +144,9 @@ WofpCacheSet::WofpCacheSet(const graph::CsdbMatrix& a,
                            const sparse::SpmmPlan& plan, WofpOptions options,
                            const exec::Context& ctx)
     : a_(a), plan_(plan), options_(options), ms_(ctx.ms()),
+      frames_(std::make_unique<buffer::BufferManager>(
+          ctx.ms(), buffer::BufferManager::Options{
+                        0, buffer::EvictionPolicy::kHotPinned})),
       caches_(plan.workloads().size()) {
   OMEGA_CHECK(plan.has_in_degrees())
       << "WofpCacheSet needs a plan built with in-degrees";
@@ -140,8 +163,8 @@ sparse::CacheFactory WofpCacheSet::Factory() {
       opts.cache_placement.socket = ctx->cpu_socket;
       // Host-side build only; the charges are replayed below so that every
       // call — first or repeated — pays the same simulated warm-up.
-      caches_[worker] =
-          WofpPrefetcher::Build(a_, w, plan_.in_degrees(), opts, ms_, nullptr);
+      caches_[worker] = WofpPrefetcher::Build(a_, w, plan_.in_degrees(), opts,
+                                              ms_, nullptr, frames_.get());
     }
     if (options_.charge_build) caches_[worker]->ReplayBuildCharges(ctx);
     return caches_[worker].get();

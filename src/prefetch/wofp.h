@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "buffer/buffer_manager.h"
 #include "graph/csdb.h"
 #include "memsim/memory_system.h"
 #include "omega/exec_context.h"
@@ -51,12 +52,18 @@ class WofpPrefetcher final : public sparse::DenseCacheView {
   /// the workload scan and the store writes — is charged to `ctx` when
   /// options.charge_build is set. If DRAM cannot hold M entries the capacity
   /// is halved until the reservation fits (possibly 0 entries).
+  ///
+  /// The store's DRAM frame is pinned through `frames` (marked hot: the η
+  /// rule's resident set survives pool churn); with a null `frames` the
+  /// prefetcher owns a private single-frame pool, so placement always goes
+  /// through a BufferManager.
   static std::unique_ptr<WofpPrefetcher> Build(const graph::CsdbMatrix& a,
                                                const sched::Workload& w,
                                                const std::vector<uint32_t>& in_degrees,
                                                const WofpOptions& options,
                                                memsim::MemorySystem* ms,
-                                               memsim::WorkerCtx* ctx);
+                                               memsim::WorkerCtx* ctx,
+                                               buffer::BufferManager* frames = nullptr);
 
   ~WofpPrefetcher() override;
 
@@ -89,7 +96,11 @@ class WofpPrefetcher final : public sparse::DenseCacheView {
   PrefetcherType type_ = PrefetcherType::kDegreeBased;
   memsim::Placement placement_{memsim::Tier::kDram, 0};
   memsim::MemorySystem* ms_ = nullptr;
-  size_t reserved_bytes_ = 0;
+  /// Fallback pool when Build() is given no shared one; declared before
+  /// slot_ so the pin is released before its manager dies.
+  std::unique_ptr<buffer::BufferManager> own_frames_;
+  buffer::BufferManager* frames_ = nullptr;  ///< pool holding slot_
+  buffer::PinHandle slot_;                   ///< the store's hot DRAM frame
   uint64_t workload_nnz_ = 0;  ///< W_i of the workload built for (for replay)
 };
 
@@ -148,6 +159,9 @@ class WofpCacheSet {
   const sparse::SpmmPlan& plan_;
   WofpOptions options_;
   memsim::MemorySystem* ms_;
+  /// Shared frame pool of the set's stores; declared before caches_ so every
+  /// prefetcher's pin is released before the pool dies.
+  std::unique_ptr<buffer::BufferManager> frames_;
   std::vector<std::unique_ptr<WofpPrefetcher>> caches_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "buffer/staging.h"
 #include "common/logging.h"
 
 #include "sched/entropy.h"
@@ -97,7 +98,7 @@ ParallelSpmmResult SemiExternalSpmm(const graph::CsrMatrix& a,
     // Sparse stream from SSD: SEM-SpMM processes the dense operand in
     // column blocks (16 columns per pass to bound its in-memory working
     // set), re-streaming the sparse matrix and its row pointers per block.
-    const uint64_t column_passes = (d + 15) / 16;
+    const uint64_t column_passes = buffer::NumColumnPasses(d);
     charge(SpmmOp::kReadIndex, ssd, memsim::MemOp::kRead,
            memsim::Pattern::kSequential, column_passes * rows * 8, column_passes);
     charge(SpmmOp::kGetSparseNnz, ssd, memsim::MemOp::kRead,

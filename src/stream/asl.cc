@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <string>
 
+#include "buffer/staging.h"
 #include "common/string_util.h"
+#include "memsim/sim_clock.h"
 
 namespace omega::stream {
 
@@ -26,97 +30,39 @@ Result<size_t> OptimalPartitions(const AslConfig& config) {
 }
 
 std::pair<size_t, size_t> PartitionColumns(size_t cols, size_t n, size_t k) {
-  const size_t per = (cols + n - 1) / n;
-  const size_t begin = std::min(cols, k * per);
-  const size_t end = std::min(cols, begin + per);
-  return {begin, end};
+  return buffer::SliceColumns(cols, n, k);
 }
 
 double AslStreamer::LoadSeconds(size_t col_begin, size_t col_end) const {
   const size_t bytes =
       config_.dense_rows * (col_end - col_begin) * config_.element_bytes;
-  if (bytes == 0) return 0.0;
-  // The copy pipeline is bounded by the slower of the PM read stream and the
-  // DRAM write stream; one background loader thread.
-  memsim::WorkerCtx loader;
-  loader.active_threads = 1;
-  memsim::SimClock clock;
-  loader.clock = &clock;
-  loader.cpu_socket = std::max(0, dram_home_.socket);
-  memsim::MemorySystem* ms = ctx_.ms();
-  const double read = ms->AccessSeconds(pm_home_, loader.cpu_socket,
-                                        memsim::MemOp::kRead,
-                                        memsim::Pattern::kSequential, bytes, 1, 1);
-  const double write = ms->AccessSeconds(dram_home_, loader.cpu_socket,
-                                         memsim::MemOp::kWrite,
-                                         memsim::Pattern::kSequential, bytes, 1, 1);
-  return std::max(read, write);
+  return buffer::StageSeconds(ctx_.ms(), bytes, pm_home_, dram_home_);
 }
 
 Result<double> AslStreamer::LoadPartition(size_t col_begin, size_t col_end,
                                           AslRunResult* result) {
-  memsim::MemorySystem* ms = ctx_.ms();
-  if (!ms->faults_enabled()) return LoadSeconds(col_begin, col_end);
-
   const size_t bytes =
       config_.dense_rows * (col_end - col_begin) * config_.element_bytes;
-  if (bytes == 0) return 0.0;
-  const int socket = std::max(0, dram_home_.socket);
-  // The DRAM write side is charged once, against the attempt that actually
-  // delivers the data; only the PM read stream is fault-prone here.
-  const double write =
-      ms->AccessSeconds(dram_home_, socket, memsim::MemOp::kWrite,
-                        memsim::Pattern::kSequential, bytes, 1, 1);
-
-  uint64_t* cursor =
+  buffer::StageFetchConfig cfg;
+  cfg.from = pm_home_;
+  cfg.to = dram_home_;
+  cfg.max_retries = config_.max_load_retries;
+  cfg.retry_backoff_seconds = config_.retry_backoff_seconds;
+  cfg.allow_degraded = config_.allow_degraded;
+  cfg.degraded_home = config_.degraded_home;
+  cfg.fault_stream = config_.fault_stream;
+  cfg.fault_site =
       config_.fault_site != nullptr ? config_.fault_site : &local_fault_site_;
-  const uint64_t site = (*cursor)++;
-  memsim::FaultInjector& faults = ms->faults();
-
-  double cost = 0.0;
-  double backoff = config_.retry_backoff_seconds;
-  for (int attempt = 0;; ++attempt) {
-    const memsim::MemorySystem::FaultDraw draw = ms->TryAccessSeconds(
-        pm_home_, socket, memsim::MemOp::kRead, memsim::Pattern::kSequential,
-        bytes, 1, 1, config_.fault_stream, site,
-        static_cast<uint32_t>(attempt));
-    if (draw.kind == memsim::FaultKind::kNone ||
-        draw.kind == memsim::FaultKind::kTransientStall) {
-      // Stalls self-recover inside the draw: the returned seconds already
-      // include the stall charge.
-      cost += std::max(draw.seconds, write);
-      return cost;
-    }
-    // Media error / timeout: the wasted attempt is paid for in full.
-    cost += draw.seconds;
-    if (attempt < config_.max_load_retries) {
-      faults.CountRetried();
-      result->load_retries++;
-      cost += backoff;
-      faults.AddPenaltySeconds(backoff);
-      backoff *= 2.0;
-      continue;
-    }
-    if (config_.allow_degraded) {
-      // Semi-external fallback: stream the partition from its slower durable
-      // home instead of the failing PM range.
-      faults.CountDegraded();
-      result->degraded_partitions++;
-      result->rebuild_recommended = true;
-      const double fallback_read =
-          ms->AccessSeconds(config_.degraded_home, socket,
-                            memsim::MemOp::kRead, memsim::Pattern::kSequential,
-                            bytes, 1, 1);
-      cost += std::max(fallback_read, write);
-      return cost;
-    }
-    faults.CountSurfaced();
-    return Status::IOError(
-        "ASL: partition load [" + std::to_string(col_begin) + ", " +
-        std::to_string(col_end) + ") failed after " +
-        std::to_string(config_.max_load_retries) + " retries: " +
-        memsim::FaultKindName(draw.kind));
+  cfg.label = "ASL: partition load [" + std::to_string(col_begin) + ", " +
+              std::to_string(col_end) + ")";
+  OMEGA_ASSIGN_OR_RETURN(const buffer::StageFetchResult fetch,
+                         buffer::StageFetch(ctx_.ms(), bytes, cfg));
+  result->load_retries += fetch.retries;
+  if (fetch.degraded) {
+    result->degraded_partitions++;
+    result->rebuild_recommended = true;
   }
+  return fetch.seconds;
 }
 
 Result<AslRunResult> AslStreamer::Run(
@@ -132,12 +78,32 @@ Result<AslRunResult> AslStreamer::Run(
     // The staging traffic is attributed to its own aux phase; its pipelined
     // duration is already contained in the caller's phase time.
     exec::PhaseSpan load_span(ctx_, "asl.load", /*aux=*/true);
+    // Double buffer: partition k's frame stays pinned while k+1 stages, so
+    // the pool holds at most two pinned staging frames at a time.
+    std::deque<buffer::PinHandle> staged;
     for (size_t k = 0; k < n; ++k) {
       auto [begin, end] = PartitionColumns(config_.dense_cols, n, k);
       result.partitions[k].col_begin = begin;
       result.partitions[k].col_end = end;
+      if (frames_ != nullptr) {
+        const size_t bytes =
+            config_.dense_rows * (end - begin) * config_.element_bytes;
+        auto pin = frames_->Pin(
+            buffer::PageKey{dram_home_.tier, dram_home_.socket, k}, bytes);
+        if (pin.ok()) {
+          staged.push_back(std::move(pin).value());
+          if (staged.size() > 2) staged.pop_front();
+        }
+        // A full pool is non-fatal: the charge model below is authoritative;
+        // the pool only tracks the staging working set's residency.
+      }
+      const uint64_t retries_before = result.load_retries;
+      const uint64_t degraded_before = result.degraded_partitions;
       OMEGA_ASSIGN_OR_RETURN(result.partitions[k].load_seconds,
                              LoadPartition(begin, end, &result));
+      result.partitions[k].fault_recovered =
+          result.load_retries != retries_before ||
+          result.degraded_partitions != degraded_before;
       load_span.AddSimSeconds(result.partitions[k].load_seconds);
     }
   }
@@ -147,6 +113,8 @@ Result<AslRunResult> AslStreamer::Run(
         k, result.partitions[k].col_begin, result.partitions[k].col_end);
   }
 
+  // Seed double-buffer model: load and compute on independent channels, each
+  // step costs max(compute_k, load_{k+1}).
   double total = result.partitions[0].load_seconds;
   double serial = 0.0;
   for (size_t k = 0; k < n; ++k) {
@@ -158,6 +126,34 @@ Result<AslRunResult> AslStreamer::Run(
   }
   result.total_seconds = total;
   result.serial_seconds = serial;
+
+  // Async-staging model: the fetch stream contends with compute for device
+  // bandwidth (fetch_slowdown from the Fig. 9 curves), and fault-recovered
+  // loads fall back to the synchronous path — their cost stays exposed.
+  auto pipelined_load = [&](size_t k) {
+    return result.partitions[k].fault_recovered
+               ? 0.0
+               : result.partitions[k].load_seconds;
+  };
+  double overlapped = pipelined_load(0);
+  double exposed = 0.0;
+  double fetch = 0.0;
+  double hidden = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (result.partitions[k].fault_recovered) {
+      exposed += result.partitions[k].load_seconds;
+    }
+    fetch += result.partitions[k].load_seconds;
+    const double compute = result.partitions[k].compute_seconds;
+    const double next_load = k + 1 < n ? pipelined_load(k + 1) : 0.0;
+    const double step = memsim::SimClock::OverlappedSeconds(
+        compute, next_load, config_.fetch_slowdown);
+    overlapped += step;
+    hidden += compute + next_load - step;
+  }
+  result.overlapped_seconds = overlapped + exposed;
+  result.fetch_seconds = fetch;
+  result.hidden_seconds = hidden;
   return result;
 }
 

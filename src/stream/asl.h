@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "buffer/buffer_manager.h"
 #include "common/status.h"
 #include "memsim/memory_system.h"
 #include "omega/exec_context.h"
@@ -51,6 +52,20 @@ struct AslConfig {
   /// With a null cursor the streamer uses a per-instance cursor.
   uint64_t fault_stream = memsim::kFaultStreamAsl;
   uint64_t* fault_site = nullptr;
+
+  // --- Async staging (opt-in; default off keeps the seed charge model) -----
+
+  /// When true, Run() additionally reports `overlapped_seconds`: the
+  /// pipelined duration with each partition's fetch charged concurrently
+  /// against the previous partition's compute via
+  /// SimClock::OverlappedSeconds, at `fetch_slowdown` (the Fig. 9
+  /// bandwidth-sharing penalty of the fetch stream). Fault-recovered loads
+  /// are never overlapped: they fall back to the synchronous retry/degrade
+  /// path and their full cost stays exposed.
+  bool async_staging = false;
+  /// From buffer::FetchSlowdown for the pm_home -> dram_home copy; 1.0 means
+  /// the fetch and compute streams do not contend.
+  double fetch_slowdown = 1.0;
 };
 
 /// Eq. 9. Fails with CapacityExceeded when even maximal partitioning cannot
@@ -66,6 +81,9 @@ struct AslPartitionTrace {
   size_t col_end = 0;
   double load_seconds = 0.0;
   double compute_seconds = 0.0;
+  /// The load hit the retry or degrade path; its cost stays exposed (never
+  /// hidden behind compute) in the async-staging pipeline.
+  bool fault_recovered = false;
 };
 
 /// Outcome of one streaming pass.
@@ -84,6 +102,15 @@ struct AslRunResult {
   /// Eq. 9 solve should invalidate it and re-partition on the next pass.
   bool rebuild_recommended = false;
 
+  /// Async-staging accounting (always computed; only consumed by callers
+  /// running with AslConfig::async_staging on). overlapped_seconds is the
+  /// pipelined duration with fetches charged concurrently at the configured
+  /// fetch_slowdown; fetch_seconds is the total solo fetch cost and
+  /// hidden_seconds the part of it absorbed behind compute.
+  double overlapped_seconds = 0.0;
+  double fetch_seconds = 0.0;
+  double hidden_seconds = 0.0;
+
   /// Fraction of load time hidden behind compute.
   double OverlapEfficiency() const {
     return serial_seconds > 0.0 ? 1.0 - total_seconds / serial_seconds : 0.0;
@@ -97,9 +124,19 @@ class AslStreamer {
   /// background thread per pass. When the context carries a TraceRecorder,
   /// Run() records an aux "asl.load" phase for the staging traffic (its
   /// pipelined time is contained in the caller's SpMM phase).
+  ///
+  /// With a BufferManager, Run() pins each partition's DRAM frame through it
+  /// (double-buffered: at most two staged frames pinned at once), so the
+  /// staging working set shares the pool with every other consumer. Null
+  /// keeps the streamer free of capacity bookkeeping (pure charge model).
   AslStreamer(const exec::Context& ctx, AslConfig config, memsim::Placement pm_home,
-              memsim::Placement dram_home)
-      : ctx_(ctx), config_(config), pm_home_(pm_home), dram_home_(dram_home) {}
+              memsim::Placement dram_home,
+              buffer::BufferManager* frames = nullptr)
+      : ctx_(ctx),
+        config_(config),
+        pm_home_(pm_home),
+        dram_home_(dram_home),
+        frames_(frames) {}
 
   /// Simulated seconds to copy one partition PM -> DRAM.
   double LoadSeconds(size_t col_begin, size_t col_end) const;
@@ -127,6 +164,7 @@ class AslStreamer {
   AslConfig config_;
   memsim::Placement pm_home_;
   memsim::Placement dram_home_;
+  buffer::BufferManager* frames_ = nullptr;  ///< optional shared frame pool
   uint64_t local_fault_site_ = 0;  ///< used when config.fault_site is null
 };
 

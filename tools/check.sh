@@ -8,6 +8,8 @@
 #   tools/check.sh --tsan     # additionally build/test with -DOMEGA_TSAN=ON
 #   tools/check.sh --faults   # additionally run the fault-injection suites
 #                             # (fault/stream/golden) under a Debug+ASan build
+#   tools/check.sh --async    # additionally smoke the async-staging path
+#                             # (buffer_test + bench_ablation_tiers --smoke --async)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,11 +17,13 @@ cd "$(dirname "$0")/.."
 SANITIZE=0
 TSAN=0
 FAULTS=0
+ASYNC=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
     --tsan) TSAN=1 ;;
     --faults) FAULTS=1 ;;
+    --async) ASYNC=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -55,12 +59,21 @@ fi
 
 if [[ "$TSAN" == 1 ]]; then
   echo "== sanitizers: TSan build + threaded suites =="
-  # The threaded kernels (pool, SpMM, plan reuse incl. lazy WoFP slots) are
-  # what TSan is after; the full suite under TSan is prohibitively slow.
+  # The threaded kernels (pool, SpMM, plan reuse incl. lazy WoFP slots, and
+  # the BufferManager's concurrent pin/unpin) are what TSan is after; the
+  # full suite under TSan is prohibitively slow.
   cmake -B build-tsan -S . -DOMEGA_TSAN=ON
-  cmake --build build-tsan -j "$JOBS" --target common_test spmm_test plan_test
+  cmake --build build-tsan -j "$JOBS" --target common_test spmm_test plan_test buffer_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(common_test|spmm_test|plan_test)$'
+    -R '^(common_test|spmm_test|plan_test|buffer_test)$'
+fi
+
+if [[ "$ASYNC" == 1 ]]; then
+  echo "== async staging: buffer suite + overlap smoke =="
+  # Reuses the tier-1 build from above: the buffer/staging suite plus a
+  # PK-sized tier-ablation run with overlapped staging on.
+  ctest --test-dir build --output-on-failure -R '^buffer_test$'
+  ./build/bench/bench_ablation_tiers --smoke --async
 fi
 
 echo "OK"

@@ -13,6 +13,8 @@
 //     --dim <d>             embedding dimension (default 32)
 //     --cheb <k>            Chebyshev order (default 8)
 //     --no-wofp / --no-nadp / --no-asl  feature ablations
+//     --async-staging       overlap ASL staging fetches with compute (omega)
+//     --asl-partitions <n>  pin the ASL partition count (0 = solve Eq. 9)
 //     --allocator <name>    eata (default) | wata | rr
 //     --cxl                 use the CXL device profiles for the capacity tier
 //     --out <path>          write embedding (.tsv or binary by extension)
@@ -52,6 +54,8 @@ struct CliOptions {
   bool wofp = true;
   bool nadp = true;
   bool asl = true;
+  bool async_staging = false;
+  size_t asl_partitions = 0;
   bool cxl = false;
   bool auc = false;
 };
@@ -60,7 +64,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--graph <path|name>] [--system <name>] "
                "[--threads n] [--dim d] [--cheb k] [--allocator eata|wata|rr] "
-               "[--no-wofp] [--no-nadp] [--no-asl] [--cxl] [--out path] "
+               "[--no-wofp] [--no-nadp] [--no-asl] [--async-staging] "
+               "[--asl-partitions n] [--cxl] [--out path] "
                "[--auc] [--trace-json path] [--fault-profile name[:seed]]\n",
                argv0);
   return 2;
@@ -127,6 +132,10 @@ int main(int argc, char** argv) {
       cli.nadp = false;
     } else if (arg == "--no-asl") {
       cli.asl = false;
+    } else if (arg == "--async-staging") {
+      cli.async_staging = true;
+    } else if (arg == "--asl-partitions" && i + 1 < argc) {
+      cli.asl_partitions = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (arg == "--cxl") {
       cli.cxl = true;
     } else if (arg == "--auc") {
@@ -180,6 +189,8 @@ int main(int argc, char** argv) {
   options.features.use_wofp = cli.wofp;
   options.features.use_nadp = cli.nadp;
   options.features.use_asl = cli.asl;
+  options.features.async_staging = cli.async_staging;
+  options.features.asl_fixed_partitions = cli.asl_partitions;
   options.evaluate_quality = cli.auc;
 
   const exec::Context ctx(ms.get(), &pool, cli.threads);
