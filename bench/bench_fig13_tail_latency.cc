@@ -7,6 +7,7 @@
 
 #include "bench_util.h"
 #include "common/string_util.h"
+#include "common/topk.h"
 #include "linalg/random_matrix.h"
 #include "sched/allocators.h"
 #include "sparse/spmm.h"
@@ -61,16 +62,30 @@ int main() {
     stats.AddRow({metric, HumanSeconds(w), HumanSeconds(e),
                   FormatDouble(100.0 * (1.0 - e / w), 1) + "%"});
   };
-  add_metric("mean", bench::Percentile(times[0], 50), bench::Percentile(times[1], 50));
-  stats.AddRow({"stddev", HumanSeconds(bench::StdDev(times[0])),
-                HumanSeconds(bench::StdDev(times[1])),
-                FormatDouble(100.0 * (1.0 - bench::StdDev(times[1]) /
-                                                bench::StdDev(times[0])),
+  add_metric("mean", Percentile(times[0], 50), Percentile(times[1], 50));
+  stats.AddRow({"stddev", HumanSeconds(StdDev(times[0])),
+                HumanSeconds(StdDev(times[1])),
+                FormatDouble(100.0 * (1.0 - StdDev(times[1]) /
+                                                StdDev(times[0])),
                              1) +
                     "%"});
-  add_metric("P95", bench::Percentile(times[0], 95), bench::Percentile(times[1], 95));
-  add_metric("P99", bench::Percentile(times[0], 99), bench::Percentile(times[1], 99));
+  add_metric("P95", Percentile(times[0], 95), Percentile(times[1], 95));
+  add_metric("P99", Percentile(times[0], 99), Percentile(times[1], 99));
   stats.Print();
+
+  // The straggler set itself: the three slowest threads under each allocator.
+  for (int k = 0; k < 2; ++k) {
+    TopK slowest(3);
+    for (size_t t = 0; t < times[k].size(); ++t) {
+      slowest.Offer(static_cast<uint32_t>(t),
+                    static_cast<float>(times[k][t]));
+    }
+    std::printf("slowest %s threads:", k == 0 ? "WaTA" : "EaTA");
+    for (const ScoredId& s : slowest.Take()) {
+      std::printf(" #%u %s", s.id, HumanSeconds(s.score).c_str());
+    }
+    std::printf("\n");
+  }
   std::printf("(paper: stddev 1.52 -> 0.78, P95 -24%%, P99 -31%%)\n");
   return 0;
 }

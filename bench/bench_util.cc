@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "common/string_util.h"
+#include "common/topk.h"
 
 namespace omega::bench {
 
@@ -52,23 +53,11 @@ std::string Ratio(double a, double b) {
 }
 
 double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const double idx = p / 100.0 * (values.size() - 1);
-  const size_t lo = static_cast<size_t>(idx);
-  const size_t hi = std::min(values.size() - 1, lo + 1);
-  const double frac = idx - lo;
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return omega::Percentile(std::move(values), p);
 }
 
 double StdDev(const std::vector<double>& values) {
-  if (values.empty()) return 0.0;
-  double mean = 0.0;
-  for (double v : values) mean += v;
-  mean /= values.size();
-  double var = 0.0;
-  for (double v : values) var += (v - mean) * (v - mean);
-  return std::sqrt(var / values.size());
+  return omega::StdDev(values);
 }
 
 std::string PhaseTableString(const engine::RunReport& report) {
@@ -148,6 +137,13 @@ std::string Fig12OverallReport(Env& env) {
 
 void BenchJson::Add(const std::string& entry, const std::string& metric,
                     double value) {
+  if (!std::isfinite(value)) {
+    // NaN/Inf are not valid JSON values; a poisoned metric would make the
+    // whole BENCH_*.json unparseable for the perf-tracking scripts.
+    std::fprintf(stderr, "bench json: dropping non-finite %s.%s\n",
+                 entry.c_str(), metric.c_str());
+    return;
+  }
   for (auto& [name, metrics] : entries_) {
     if (name == entry) {
       metrics.emplace_back(metric, value);
@@ -163,12 +159,14 @@ bool BenchJson::WriteFile(const std::string& path) const {
     std::fprintf(stderr, "cannot write bench json to %s\n", path.c_str());
     return false;
   }
+  char value[64];
   out << "{\n";
   for (size_t i = 0; i < entries_.size(); ++i) {
     const auto& [name, metrics] = entries_[i];
-    out << "  \"" << name << "\": {";
+    out << "  " << JsonQuoted(name) << ": {";
     for (size_t j = 0; j < metrics.size(); ++j) {
-      out << "\"" << metrics[j].first << "\": " << metrics[j].second;
+      std::snprintf(value, sizeof(value), "%.17g", metrics[j].second);
+      out << JsonQuoted(metrics[j].first) << ": " << value;
       if (j + 1 < metrics.size()) out << ", ";
     }
     out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";

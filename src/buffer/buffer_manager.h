@@ -115,6 +115,16 @@ class BufferManager {
     uint64_t evictions = 0;
     size_t resident_bytes = 0;
     size_t pinned_bytes = 0;
+
+    /// Interval delta of the monotone counters (hits/misses/evictions);
+    /// resident/pinned are point-in-time gauges and keep this side's values.
+    Stats operator-(const Stats& other) const {
+      Stats d = *this;
+      d.hits -= other.hits;
+      d.misses -= other.misses;
+      d.evictions -= other.evictions;
+      return d;
+    }
   };
 
   BufferManager(memsim::MemorySystem* ms, Options options);

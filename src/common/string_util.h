@@ -28,4 +28,9 @@ std::string HumanSeconds(double seconds);
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+/// `s` as a double-quoted JSON string literal: quotes, backslashes, and
+/// control characters escaped. The one escaper every hand-rolled JSON emitter
+/// (run reports, BENCH_*.json) must go through.
+std::string JsonQuoted(std::string_view s);
+
 }  // namespace omega

@@ -1,0 +1,58 @@
+#include "common/topk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omega {
+
+namespace {
+
+// std::push_heap/pop_heap build a max-heap on the comparator; passing
+// ScoredBetter as "less" therefore floats the *worst* candidate to the front.
+inline bool HeapLess(const ScoredId& a, const ScoredId& b) {
+  return ScoredBetter(a, b);
+}
+
+}  // namespace
+
+void TopK::Offer(const ScoredId& candidate) {
+  if (k_ == 0) return;
+  if (heap_.size() < k_) {
+    heap_.push_back(candidate);
+    std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+    return;
+  }
+  if (!ScoredBetter(candidate, heap_.front())) return;
+  std::pop_heap(heap_.begin(), heap_.end(), HeapLess);
+  heap_.back() = candidate;
+  std::push_heap(heap_.begin(), heap_.end(), HeapLess);
+}
+
+std::vector<ScoredId> TopK::Take() {
+  std::vector<ScoredId> out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end(), ScoredBetter);
+  return out;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double idx = p / 100.0 * (values.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(values.size() - 1, lo + 1);
+  const double frac = idx - lo;
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  return std::sqrt(var / values.size());
+}
+
+}  // namespace omega

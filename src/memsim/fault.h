@@ -191,6 +191,8 @@ inline constexpr uint64_t kFaultStreamWofpProbe = 0x30F9;
 inline constexpr uint64_t kFaultStreamProneStaging = 0x9201;
 inline constexpr uint64_t kFaultStreamOutOfCore = 0x00C5;
 inline constexpr uint64_t kFaultStreamDistNet = 0xD157;
+/// Serving-layer cold-fetch draws; each server worker offsets by its index.
+inline constexpr uint64_t kFaultStreamServe = 0x5E4E;
 /// Per-worker streams offset by the worker index.
 inline constexpr uint64_t kFaultStreamWorkerBase = 0x1000000;
 

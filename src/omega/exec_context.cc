@@ -86,6 +86,9 @@ void PhaseSpan::Finish() {
   record.sim_seconds = sim_seconds_;
   record.fetch_seconds = fetch_seconds_;
   record.hidden_seconds = hidden_seconds_;
+  record.cache_hits = cache_hits_;
+  record.cache_misses = cache_misses_;
+  record.cache_evictions = cache_evictions_;
   record.wall_seconds = MonotonicSeconds() - wall_start_;
   record.traffic = ctx_.ms()->Traffic() - traffic_start_;
   record.remote_fraction = record.traffic.RemoteFraction();

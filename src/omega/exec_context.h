@@ -51,11 +51,22 @@ struct PhaseRecord {
   double fetch_seconds = 0.0;
   double hidden_seconds = 0.0;
 
+  /// Hot-cache accounting: key-fetch hits/misses/evictions inside the phase.
+  /// Zero for phases that fetch through no cache (all training phases).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+
   uint64_t TierBytes(memsim::Tier t) const { return traffic.TierBytes(t); }
   uint64_t TotalBytes() const { return traffic.TotalBytes(); }
   /// Fraction of the phase's staging-fetch time hidden behind compute.
   double OverlapEfficiency() const {
     return fetch_seconds > 0.0 ? hidden_seconds / fetch_seconds : 0.0;
+  }
+  /// Hit fraction of the phase's cache fetches; 0 when it made none.
+  double CacheHitRate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total > 0 ? static_cast<double>(cache_hits) / total : 0.0;
   }
 };
 
@@ -126,6 +137,13 @@ class PhaseSpan {
     hidden_seconds_ += hidden;
   }
 
+  /// Accumulates hot-cache accounting for the phase's key fetches.
+  void AddCacheCounters(uint64_t hits, uint64_t misses, uint64_t evictions) {
+    cache_hits_ += hits;
+    cache_misses_ += misses;
+    cache_evictions_ += evictions;
+  }
+
   /// Records the phase now (the destructor then does nothing).
   void Finish();
 
@@ -137,6 +155,9 @@ class PhaseSpan {
   double sim_seconds_ = 0.0;
   double fetch_seconds_ = 0.0;
   double hidden_seconds_ = 0.0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  uint64_t cache_evictions_ = 0;
   double wall_start_ = 0.0;
   memsim::TrafficSnapshot traffic_start_;
   memsim::FaultCounters faults_start_;

@@ -73,30 +73,10 @@ double GeometricMean(const std::vector<double>& values) {
 
 namespace {
 
-// Minimal JSON building blocks. Only what RunReport needs: escaped strings,
-// round-trippable doubles, bools, u64, and manual object/array punctuation.
-std::string JsonString(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += "\"";
-  return out;
-}
+// Minimal JSON building blocks. Only what RunReport needs: escaped strings
+// (the shared JsonQuoted), round-trippable doubles, bools, u64, and manual
+// object/array punctuation.
+std::string JsonString(const std::string& s) { return JsonQuoted(s); }
 
 std::string JsonDouble(double v) {
   if (!std::isfinite(v)) return "null";
@@ -153,6 +133,14 @@ std::string PhaseToJson(const exec::PhaseRecord& p, const std::string& indent) {
     out += ",\n" + in + "\"hidden_seconds\": " + JsonDouble(p.hidden_seconds);
     out += ",\n" + in +
            "\"overlap_efficiency\": " + JsonDouble(p.OverlapEfficiency());
+  }
+  if (p.cache_hits + p.cache_misses + p.cache_evictions > 0) {
+    // Hot-cache accounting: emitted only for phases that fetched through a
+    // serving HotCache (never for the training phases).
+    out += ",\n" + in + "\"cache\": {\"hits\": " + JsonU64(p.cache_hits) +
+           ", \"misses\": " + JsonU64(p.cache_misses) +
+           ", \"evictions\": " + JsonU64(p.cache_evictions) +
+           ", \"hit_rate\": " + JsonDouble(p.CacheHitRate()) + "}";
   }
   if (p.faults.InjectedTotal() > 0) {
     out += ",\n" + in + "\"faults\": " +

@@ -1,0 +1,132 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/topk.h"
+#include "serve/zipf.h"
+
+namespace omega::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct ClientResult {
+  std::vector<double> latencies_us;
+  uint64_t rejections = 0;
+};
+
+ClientResult RunClient(EmbeddingServer* server,
+                       const std::vector<uint32_t>& rank_to_key,
+                       const LoadgenOptions& opts, int client) {
+  ClientResult result;
+  result.latencies_us.reserve(opts.requests_per_client);
+  // Distinct per-client streams: one for key ranks, one for the query mix.
+  const uint64_t base = SplitMix64(opts.seed + 0x10ad0000ULL);
+  ZipfGenerator zipf(rank_to_key.size(), opts.zipf_skew,
+                     SplitMix64(base + static_cast<uint64_t>(client)));
+  Rng mix(SplitMix64(base ^ (0xc11e000ULL + static_cast<uint64_t>(client))));
+  const auto backoff = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::micro>(opts.reject_backoff_us));
+
+  for (uint64_t r = 0; r < opts.requests_per_client; ++r) {
+    Query query;
+    query.key = rank_to_key[zipf.Next()];
+    query.kind = mix.NextDouble() < opts.topk_fraction ? QueryKind::kTopK
+                                                       : QueryKind::kLookup;
+    query.k = opts.topk;
+
+    const auto start = Clock::now();
+    std::future<QueryResult> future;
+    while (true) {
+      auto submitted = server->Submit(query);
+      if (submitted.ok()) {
+        future = std::move(submitted).value();
+        break;
+      }
+      // Admission rejection: shed load for a moment, then resubmit. The
+      // retry wait stays inside this request's measured latency.
+      ++result.rejections;
+      std::this_thread::sleep_for(backoff);
+    }
+    future.wait();
+    result.latencies_us.push_back(SecondsSince(start) * 1e6);
+  }
+  return result;
+}
+
+}  // namespace
+
+LoadReport RunClosedLoop(EmbeddingServer* server,
+                         const std::vector<uint32_t>& rank_to_key,
+                         const LoadgenOptions& opts) {
+  OMEGA_CHECK(!rank_to_key.empty()) << "load generator needs a key universe";
+  const int clients = std::max(1, opts.clients);
+  memsim::MemorySystem* ms = server->context().ms();
+
+  exec::PhaseSpan span(server->context(), "serve.load");
+  const EmbeddingServer::Stats stats0 = server->GetStats();
+  const memsim::TrafficSnapshot traffic0 = ms->Traffic();
+  const memsim::FaultCounters faults0 = ms->Faults();
+
+  std::vector<ClientResult> results(static_cast<size_t>(clients));
+  const auto wall0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        results[static_cast<size_t>(c)] =
+            RunClient(server, rank_to_key, opts, c);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double wall = SecondsSince(wall0);
+
+  LoadReport report;
+  report.wall_seconds = wall;
+  std::vector<double> latencies;
+  for (const ClientResult& r : results) {
+    report.rejections += r.rejections;
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+  }
+  report.completed = latencies.size();
+  report.host_qps =
+      wall > 0.0 ? static_cast<double>(report.completed) / wall : 0.0;
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (double v : latencies) sum += v;
+    report.mean_us = sum / static_cast<double>(latencies.size());
+    report.p50_us = Percentile(latencies, 50.0);
+    report.p95_us = Percentile(latencies, 95.0);
+    report.p99_us = Percentile(latencies, 99.0);
+  }
+
+  report.server = server->GetStats();
+  report.cache_delta = report.server.cache - stats0.cache;
+  report.traffic_delta = ms->Traffic() - traffic0;
+  report.fault_delta = ms->Faults() - faults0;
+  report.sim_seconds = report.server.sim_seconds - stats0.sim_seconds;
+  report.sim_qps = report.sim_seconds > 0.0
+                       ? static_cast<double>(report.completed) /
+                             report.sim_seconds
+                       : 0.0;
+
+  span.AddSimSeconds(report.sim_seconds);
+  span.AddCacheCounters(report.cache_delta.hits, report.cache_delta.misses,
+                        report.cache_delta.evictions);
+  span.Finish();
+  return report;
+}
+
+}  // namespace omega::serve

@@ -1,0 +1,73 @@
+// Closed-loop Zipf traffic generator for the serving layer.
+//
+// Each client thread owns a ZipfGenerator (per-client derived seed) and keeps
+// exactly one request in flight: draw a rank, map it through the rank-to-key
+// permutation, Submit(), block on the future, record the host wall-clock
+// latency, repeat. Closed-loop means offered load adapts to service rate —
+// QPS is a throughput measurement, not an input — which is what makes the
+// batched-vs-per-request comparison fair: both modes see the same request
+// streams and the same concurrency.
+//
+// Admission rejections are not dropped work: the client counts the rejection,
+// backs off a few microseconds, and resubmits the same request, so every
+// drawn request eventually completes and the rejection cost shows up in that
+// request's latency.
+//
+// The run is bracketed by a "serve.load" PhaseSpan on the server's context:
+// it carries the interval's simulated seconds, per-tier traffic and fault
+// deltas (via the span's snapshots), and the hot-cache hit/miss/eviction
+// counters into the trace.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace omega::serve {
+
+struct LoadgenOptions {
+  int clients = 8;
+  uint64_t requests_per_client = 500;
+  double zipf_skew = 0.99;
+  /// Fraction of requests that are top-k queries (the rest are lookups).
+  double topk_fraction = 0.8;
+  uint32_t topk = 10;
+  uint64_t seed = 42;
+  /// Client back-off before resubmitting an admission-rejected request.
+  double reject_backoff_us = 20.0;
+};
+
+/// One closed-loop run's client-side and server-side measurements.
+struct LoadReport {
+  uint64_t completed = 0;
+  uint64_t rejections = 0;  ///< admission rejections absorbed by back-off
+  double wall_seconds = 0.0;
+  double host_qps = 0.0;  ///< completed / wall_seconds (host scheduler rate)
+  /// completed / sim_seconds — throughput of the simulated machine, the
+  /// repo's headline metric (the host only executes; the memsim clock is
+  /// what the batched-fetch and shared-scan savings accrue to).
+  double sim_qps = 0.0;
+
+  // Host wall-clock latency of completed requests, microseconds.
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+
+  EmbeddingServer::Stats server;         ///< stats at the end of the run
+  HotCache::Stats cache_delta;           ///< cache counters over the run
+  memsim::TrafficSnapshot traffic_delta; ///< simulated traffic over the run
+  memsim::FaultCounters fault_delta;     ///< fault counters over the run
+  double sim_seconds = 0.0;              ///< simulated seconds over the run
+};
+
+/// Drives `server` (already Start()ed) with `opts.clients` closed-loop client
+/// threads. `rank_to_key[r]` maps popularity rank r to a key; it must cover
+/// every key the Zipf draw can produce (size >= embedding rows served).
+LoadReport RunClosedLoop(EmbeddingServer* server,
+                         const std::vector<uint32_t>& rank_to_key,
+                         const LoadgenOptions& opts);
+
+}  // namespace omega::serve

@@ -1,0 +1,79 @@
+#include "serve/zipf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace omega::serve {
+
+namespace {
+
+// log(1 + x) / x, stable near 0.
+double Helper1(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x / 2.0 + x * x / 3.0 - x * x * x / 4.0;
+}
+
+// (exp(x) - 1) / x, stable near 0.
+double Helper2(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x / 2.0 + x * x / 6.0 + x * x * x / 24.0;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double skew, uint64_t seed)
+    : n_(n), skew_(skew), rng_(seed) {
+  OMEGA_CHECK(n_ >= 1) << "Zipf needs at least one rank";
+  OMEGA_CHECK(skew_ > 0.0) << "Zipf skew must be positive";
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_n_ = HIntegral(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+double ZipfGenerator::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - skew_) * log_x) * log_x;
+}
+
+double ZipfGenerator::H(double x) const {
+  return std::exp(-skew_ * std::log(x));
+}
+
+double ZipfGenerator::HIntegralInverse(double x) const {
+  double t = x * (1.0 - skew_);
+  if (t < -1.0) t = -1.0;  // round-off guard at the left boundary
+  return std::exp(Helper1(t) * x);
+}
+
+uint64_t ZipfGenerator::Next() {
+  // Hörmann & Derflinger rejection-inversion over [0.5, n + 0.5]: invert a
+  // uniform draw through the integral of the density envelope, then accept
+  // the rounded rank either inside the guaranteed-acceptance band (k - x <=
+  // s) or by the exact density comparison. 1-based internally.
+  while (true) {
+    const double u =
+        h_integral_n_ + rng_.NextDouble() * (h_integral_x1_ - h_integral_n_);
+    const double x = HIntegralInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    const double n = static_cast<double>(n_);
+    if (k > n) k = n;
+    if (k - x <= s_ || u >= HIntegral(k + 0.5) - H(k)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+std::vector<uint32_t> RankPermutation(uint32_t n, uint64_t seed) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  Rng rng(seed);
+  for (uint32_t i = n; i > 1; --i) {
+    const uint32_t j = static_cast<uint32_t>(rng.NextBounded(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace omega::serve

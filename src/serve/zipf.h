@@ -1,0 +1,53 @@
+// Zipf-skewed key sampling for the serving load generator.
+//
+// Serving traffic against graph embeddings is heavily skewed — a few hub
+// nodes absorb most lookups — and the whole point of the WoFP-style hot cache
+// is to exploit that skew. ZipfGenerator draws ranks in [0, n) with
+// P(rank = r) proportional to 1 / (r + 1)^skew via Hörmann & Derflinger
+// rejection-inversion: O(1) per draw with no per-element tables, exact for
+// any n, and deterministic for a fixed seed (all randomness comes from one
+// seeded Rng).
+//
+// Ranks are popularity ranks, not keys: rank 0 is the hottest object. A rank
+// permutation (or a degree ordering) maps ranks onto actual node ids so hot
+// keys are scattered across the id space the way graph hubs are.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace omega::serve {
+
+/// Rejection-inversion Zipf sampler over ranks [0, n) (see file comment).
+class ZipfGenerator {
+ public:
+  /// `skew` > 0; skew == 1 is the classic Zipf law. n >= 1.
+  ZipfGenerator(uint64_t n, double skew, uint64_t seed);
+
+  /// Next rank in [0, n); rank 0 is the most popular.
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double skew() const { return skew_; }
+
+ private:
+  double HIntegral(double x) const;
+  double H(double x) const;
+  double HIntegralInverse(double x) const;
+
+  uint64_t n_;
+  double skew_;
+  Rng rng_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+/// Deterministic Fisher-Yates permutation of [0, n): element r is the key
+/// popularity rank r maps to. Scatters the hot ranks across the key space.
+std::vector<uint32_t> RankPermutation(uint32_t n, uint64_t seed);
+
+}  // namespace omega::serve

@@ -297,6 +297,75 @@ void CsrPanelSpmmScalar(const graph::CsrMatrix& a, const linalg::DenseMatrix& b,
   }
 }
 
+void GatherRowsScalar(const linalg::DenseMatrix& e, const uint32_t* keys,
+                      size_t n, linalg::DenseMatrix* out) {
+  const size_t d = e.cols();
+  const size_t estride = e.col_stride();
+  for (size_t i = 0; i < n; ++i) {
+    const float* src = e.data() + keys[i];
+    float* dst = out->ColData(i);
+    for (size_t j = 0; j < d; ++j) dst[j] = src[j * estride];
+  }
+}
+
+void GatherRows(const linalg::DenseMatrix& e, const uint32_t* keys, size_t n,
+                linalg::DenseMatrix* out) {
+#if OMEGA_SPMM_SIMD_TU
+  const size_t estride = e.col_stride();
+  if (estride <= kMaxSimdStride) {
+    const size_t d = e.cols();
+    const __m256i vindex = PanelIndex(estride);
+    for (size_t i = 0; i < n; ++i) {
+      const float* src = e.data() + keys[i];
+      float* dst = out->ColData(i);
+      size_t j = 0;
+      for (; j + kPanelCols <= d; j += kPanelCols) {
+        _mm256_storeu_ps(dst + j,
+                         _mm256_i32gather_ps(src + j * estride, vindex, 4));
+      }
+      for (; j < d; ++j) dst[j] = src[j * estride];
+    }
+    return;
+  }
+#endif
+  GatherRowsScalar(e, keys, n, out);
+}
+
+void ScoreRowsScalar(const linalg::DenseMatrix& e, const float* q,
+                     uint32_t row_begin, uint32_t row_end, float* scores) {
+  const size_t d = e.cols();
+  const size_t estride = e.col_stride();
+  for (uint32_t c = row_begin; c < row_end; ++c) {
+    const float* row = e.data() + c;
+    float acc = 0.0f;
+    for (size_t j = 0; j < d; ++j) acc = MulAdd(row[j * estride], q[j], acc);
+    scores[c - row_begin] = acc;
+  }
+}
+
+void ScoreRows(const linalg::DenseMatrix& e, const float* q,
+               uint32_t row_begin, uint32_t row_end, float* scores) {
+#if OMEGA_SPMM_SIMD_TU
+  const size_t d = e.cols();
+  const size_t estride = e.col_stride();
+  uint32_t c = row_begin;
+  for (; c + kPanelCols <= row_end; c += kPanelCols) {
+    const float* row = e.data() + c;
+    __m256 acc = _mm256_setzero_ps();
+    for (size_t j = 0; j < d; ++j) {
+      const __m256 ev = _mm256_loadu_ps(row + j * estride);
+      acc = _mm256_fmadd_ps(ev, _mm256_set1_ps(q[j]), acc);
+    }
+    _mm256_storeu_ps(scores + (c - row_begin), acc);
+  }
+  // Tail rows: per-lane the vector loop is the identical single-accumulator
+  // fused ascending-j chain, so the scalar tail rounds the same.
+  ScoreRowsScalar(e, q, c, row_end, scores + (c - row_begin));
+#else
+  ScoreRowsScalar(e, q, row_begin, row_end, scores);
+#endif
+}
+
 void CsrPanelSpmm(const graph::CsrMatrix& a, const linalg::DenseMatrix& b,
                   linalg::DenseMatrix* c, uint32_t row_begin, uint32_t row_end,
                   size_t col_begin, size_t col_end) {

@@ -67,4 +67,34 @@ void CsrPanelSpmmScalar(const graph::CsrMatrix& a, const linalg::DenseMatrix& b,
                         linalg::DenseMatrix* c, uint32_t row_begin,
                         uint32_t row_end, size_t col_begin, size_t col_end);
 
+// --- Serving-layer kernels (multi-key gather + dot-product scoring) ---------
+//
+// The serving batch path lives in this TU so it inherits the rounding policy
+// above: GatherRows is a pure copy (trivially identical across variants), and
+// ScoreRows reduces each row's dot product over ascending j with a single
+// accumulator — fused exactly when the panel kernels are fused — so top-k
+// scores are bit-identical whether a scan is served per-request or batched,
+// vector or scalar.
+
+/// out(j, i) = e(keys[i], j): gathers n embedding rows of the column-major
+/// matrix `e` into the e.cols() x n matrix `out`, one key's vector per output
+/// column (contiguous, ready to use as a query vector). `out` must be
+/// pre-sized e.cols() x n. The SIMD variant reuses the panels' strided
+/// _mm256_i32gather_ps with the same int32-stride guard.
+void GatherRows(const linalg::DenseMatrix& e, const uint32_t* keys, size_t n,
+                linalg::DenseMatrix* out);
+
+void GatherRowsScalar(const linalg::DenseMatrix& e, const uint32_t* keys,
+                      size_t n, linalg::DenseMatrix* out);
+
+/// scores[c - row_begin] = sum_j e(c, j) * q[j] for c in [row_begin,
+/// row_end); q holds e.cols() entries. The SIMD variant scores 8 consecutive
+/// rows per iteration with sequential column loads (no gathers needed:
+/// consecutive rows of a column-major matrix are adjacent).
+void ScoreRows(const linalg::DenseMatrix& e, const float* q,
+               uint32_t row_begin, uint32_t row_end, float* scores);
+
+void ScoreRowsScalar(const linalg::DenseMatrix& e, const float* q,
+                     uint32_t row_begin, uint32_t row_end, float* scores);
+
 }  // namespace omega::sparse::kernels

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/topk.h"
 
 namespace omega {
 namespace {
@@ -232,6 +233,78 @@ TEST(ThreadPoolTest, ParallelForDynamicWorkerIndicesAreStable) {
     });
   }
   EXPECT_FALSE(mismatch.load());
+}
+
+TEST(TopKTest, SelectsBestCandidatesBestFirst) {
+  TopK top(3);
+  const float scores[] = {0.1f, 0.9f, 0.5f, 0.7f, 0.3f, 0.8f};
+  for (uint32_t i = 0; i < 6; ++i) top.Offer(i, scores[i]);
+  EXPECT_EQ(top.size(), 3u);
+  const std::vector<ScoredId> winners = top.Take();
+  ASSERT_EQ(winners.size(), 3u);
+  EXPECT_EQ(winners[0].id, 1u);  // 0.9
+  EXPECT_EQ(winners[1].id, 5u);  // 0.8
+  EXPECT_EQ(winners[2].id, 3u);  // 0.7
+  EXPECT_EQ(top.size(), 0u);  // Take() drains the selector
+}
+
+TEST(TopKTest, TiesBreakTowardSmallerId) {
+  TopK top(2);
+  top.Offer(7, 1.0f);
+  top.Offer(3, 1.0f);
+  top.Offer(5, 1.0f);
+  const std::vector<ScoredId> winners = top.Take();
+  ASSERT_EQ(winners.size(), 2u);
+  EXPECT_EQ(winners[0].id, 3u);
+  EXPECT_EQ(winners[1].id, 5u);
+}
+
+TEST(TopKTest, OrderIndependentOfOfferOrder) {
+  std::vector<ScoredId> candidates;
+  Rng rng(77);
+  for (uint32_t i = 0; i < 200; ++i) {
+    candidates.push_back({i, static_cast<float>(rng.NextBounded(50))});
+  }
+  TopK forward(10);
+  for (const ScoredId& c : candidates) forward.Offer(c);
+  TopK backward(10);
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    backward.Offer(*it);
+  }
+  EXPECT_EQ(forward.Take(), backward.Take());
+}
+
+TEST(TopKTest, ZeroKKeepsNothing) {
+  TopK top(0);
+  top.Offer(1, 5.0f);
+  EXPECT_EQ(top.size(), 0u);
+  EXPECT_TRUE(top.Take().empty());
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({4.0}, 99.0), 4.0);
+  const std::vector<double> v = {30.0, 10.0, 20.0, 40.0};  // unsorted input
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 75.0), 32.5);
+}
+
+TEST(StdDevTest, PopulationStdDev) {
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0, 5.0, 5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0);
+}
+
+TEST(StringUtilTest, JsonQuotedEscapes) {
+  EXPECT_EQ(JsonQuoted("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuoted("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuoted("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(JsonQuoted("line\nbreak\ttab\rcr"),
+            "\"line\\nbreak\\ttab\\rcr\"");
+  EXPECT_EQ(JsonQuoted(std::string("nul\x01" "byte")), "\"nul\\u0001byte\"");
+  EXPECT_EQ(JsonQuoted(""), "\"\"");
 }
 
 TEST(ThreadPoolTest, ParallelForDynamicSkewedWorkIsShared) {

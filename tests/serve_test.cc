@@ -1,0 +1,384 @@
+// Tests for the serving layer: Zipf sampling, serving kernels, the hot
+// cache, and the batching scheduler's determinism and admission control.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/random_matrix.h"
+#include "memsim/sim_clock.h"
+#include "serve/hot_cache.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "serve/zipf.h"
+#include "sparse/spmm_kernels.h"
+
+namespace omega::serve {
+namespace {
+
+TEST(ZipfTest, DeterministicForFixedSeed) {
+  ZipfGenerator a(1000, 0.99, 7);
+  ZipfGenerator b(1000, 0.99, 7);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t rank = a.Next();
+    EXPECT_EQ(rank, b.Next());
+    EXPECT_LT(rank, 1000u);
+  }
+  // A different seed draws a different stream.
+  ZipfGenerator c(1000, 0.99, 8);
+  int diff = 0;
+  ZipfGenerator a2(1000, 0.99, 7);
+  for (int i = 0; i < 100; ++i) diff += a2.Next() != c.Next();
+  EXPECT_GT(diff, 0);
+}
+
+TEST(ZipfTest, SkewConcentratesMassOnHotRanks) {
+  const int kDraws = 20000;
+  auto head_share = [&](double skew) {
+    ZipfGenerator z(10000, skew, 11);
+    int head = 0;
+    for (int i = 0; i < kDraws; ++i) head += z.Next() < 10;
+    return static_cast<double>(head) / kDraws;
+  };
+  const double mild = head_share(0.6);
+  const double steep = head_share(1.2);
+  // Under the classic law the top-10 of 10k ranks absorb a large share; the
+  // steeper exponent must absorb strictly more than the mild one.
+  EXPECT_GT(steep, mild);
+  EXPECT_GT(steep, 0.4);
+  EXPECT_GT(mild, 0.02);
+}
+
+TEST(ZipfTest, RankPermutationIsPermutation) {
+  const std::vector<uint32_t> perm = RankPermutation(257, 3);
+  ASSERT_EQ(perm.size(), 257u);
+  std::set<uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+  EXPECT_EQ(perm, RankPermutation(257, 3));
+  EXPECT_NE(perm, RankPermutation(257, 4));
+}
+
+TEST(ServeKernelsTest, GatherRowsMatchesScalarBitwise) {
+  const linalg::DenseMatrix e = linalg::GaussianMatrix(203, 19, 5);
+  Rng rng(9);
+  std::vector<uint32_t> keys(57);
+  for (auto& k : keys) k = static_cast<uint32_t>(rng.NextBounded(e.rows()));
+
+  linalg::DenseMatrix simd(e.cols(), keys.size());
+  linalg::DenseMatrix scalar(e.cols(), keys.size());
+  sparse::kernels::GatherRows(e, keys.data(), keys.size(), &simd);
+  sparse::kernels::GatherRowsScalar(e, keys.data(), keys.size(), &scalar);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = 0; j < e.cols(); ++j) {
+      EXPECT_EQ(simd.At(j, i), scalar.At(j, i));
+      EXPECT_EQ(scalar.At(j, i), e.At(keys[i], j));
+    }
+  }
+}
+
+TEST(ServeKernelsTest, ScoreRowsMatchesScalarBitwise) {
+  const linalg::DenseMatrix e = linalg::GaussianMatrix(301, 23, 6);
+  const linalg::DenseMatrix q = linalg::GaussianMatrix(23, 1, 7);
+  std::vector<float> simd(e.rows());
+  std::vector<float> scalar(e.rows());
+  sparse::kernels::ScoreRows(e, q.ColData(0), 0,
+                             static_cast<uint32_t>(e.rows()), simd.data());
+  sparse::kernels::ScoreRowsScalar(
+      e, q.ColData(0), 0, static_cast<uint32_t>(e.rows()), scalar.data());
+  for (size_t r = 0; r < e.rows(); ++r) {
+    uint32_t sb, cb;
+    std::memcpy(&sb, &simd[r], sizeof(sb));
+    std::memcpy(&cb, &scalar[r], sizeof(cb));
+    EXPECT_EQ(sb, cb) << "row " << r;
+  }
+}
+
+// One run of a fixed query set through a server configuration; results are
+// returned in submission order.
+std::vector<QueryResult> ServeAll(const linalg::DenseMatrix& embedding,
+                                  const std::vector<Query>& queries,
+                                  int workers, size_t max_batch,
+                                  bool batched) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ServerOptions options;
+  options.worker_threads = workers;
+  options.max_batch = max_batch;
+  options.batched = batched;
+  options.queue_capacity = queries.size() + 1;
+  options.batch_deadline_us = 50.0;
+  const exec::Context ctx(ms.get(), nullptr, workers);
+  EmbeddingServer server(embedding, options, ctx);
+
+  // Queue everything before the workers start so batches actually fill.
+  std::vector<std::future<QueryResult>> futures;
+  for (const Query& q : queries) {
+    auto submitted = server.Submit(q);
+    EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(submitted).value());
+  }
+  EXPECT_TRUE(server.Start().ok());
+  std::vector<QueryResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  server.Stop();
+  return results;
+}
+
+TEST(EmbeddingServerTest, ResultsBitIdenticalAcrossThreadsAndBatchSizes) {
+  const linalg::DenseMatrix embedding = linalg::GaussianMatrix(512, 16, 21);
+  Rng rng(13);
+  std::vector<Query> queries;
+  for (int i = 0; i < 300; ++i) {
+    Query q;
+    q.key = static_cast<uint32_t>(rng.NextBounded(embedding.rows()));
+    q.kind = rng.NextDouble() < 0.7 ? QueryKind::kTopK : QueryKind::kLookup;
+    q.k = 8;
+    queries.push_back(q);
+  }
+
+  const std::vector<QueryResult> base =
+      ServeAll(embedding, queries, /*workers=*/1, /*max_batch=*/1,
+               /*batched=*/false);
+  const std::vector<QueryResult> two =
+      ServeAll(embedding, queries, /*workers=*/2, /*max_batch=*/8,
+               /*batched=*/true);
+  const std::vector<QueryResult> eight =
+      ServeAll(embedding, queries, /*workers=*/8, /*max_batch=*/32,
+               /*batched=*/true);
+
+  for (const auto* other : {&two, &eight}) {
+    ASSERT_EQ(base.size(), other->size());
+    for (size_t i = 0; i < base.size(); ++i) {
+      const QueryResult& a = base[i];
+      const QueryResult& b = (*other)[i];
+      EXPECT_EQ(a.key, b.key);
+      ASSERT_EQ(a.embedding.size(), b.embedding.size());
+      for (size_t j = 0; j < a.embedding.size(); ++j) {
+        uint32_t ab, bb;
+        std::memcpy(&ab, &a.embedding[j], sizeof(ab));
+        std::memcpy(&bb, &b.embedding[j], sizeof(bb));
+        EXPECT_EQ(ab, bb);
+      }
+      ASSERT_EQ(a.neighbors.size(), b.neighbors.size());
+      for (size_t j = 0; j < a.neighbors.size(); ++j) {
+        EXPECT_EQ(a.neighbors[j].id, b.neighbors[j].id);
+        uint32_t ab, bb;
+        std::memcpy(&ab, &a.neighbors[j].score, sizeof(ab));
+        std::memcpy(&bb, &b.neighbors[j].score, sizeof(bb));
+        EXPECT_EQ(ab, bb) << "query " << i << " neighbor " << j;
+      }
+    }
+  }
+}
+
+TEST(EmbeddingServerTest, TopKExcludesSelfAndRanksDeterministically) {
+  const linalg::DenseMatrix embedding = linalg::GaussianMatrix(64, 8, 3);
+  std::vector<Query> queries(1);
+  queries[0].kind = QueryKind::kTopK;
+  queries[0].key = 5;
+  queries[0].k = 64;  // more than available: returns all but self
+  const auto results = ServeAll(embedding, queries, 1, 4, true);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].neighbors.size(), 63u);
+  std::set<uint32_t> ids;
+  for (const ScoredId& s : results[0].neighbors) {
+    EXPECT_NE(s.id, 5u);
+    ids.insert(s.id);
+  }
+  EXPECT_EQ(ids.size(), 63u);
+  for (size_t j = 1; j < results[0].neighbors.size(); ++j) {
+    EXPECT_TRUE(ScoredBetter(results[0].neighbors[j - 1],
+                             results[0].neighbors[j]));
+  }
+}
+
+TEST(EmbeddingServerTest, AdmissionControlRejectsWhenQueueFull) {
+  const linalg::DenseMatrix embedding = linalg::GaussianMatrix(32, 4, 2);
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.queue_capacity = 4;
+  const exec::Context ctx(ms.get(), nullptr, 1);
+  EmbeddingServer server(embedding, options, ctx);
+
+  Query q;
+  q.kind = QueryKind::kLookup;
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    auto submitted = server.Submit(q);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  // The fifth submit must reject immediately instead of blocking.
+  auto rejected = server.Submit(q);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsCapacityExceeded());
+
+  Query bad;
+  bad.key = 999;
+  EXPECT_TRUE(server.Submit(bad).status().IsInvalidArgument());
+
+  ASSERT_TRUE(server.Start().ok());
+  for (auto& f : futures) f.get();  // queued work drains once started
+  server.Stop();
+  const EmbeddingServer::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.accepted, 4u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 4u);
+}
+
+// Fixed Zipf key trace fetched through a HotCache at a given budget; returns
+// the hit rate.
+double HitRateAtBudget(size_t capacity_bytes, double hot_fraction) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  const uint32_t kUniverse = 4096;
+  const size_t kVecBytes = 128;
+  HotCacheOptions options;
+  options.capacity_bytes = capacity_bytes;
+  options.hot_fraction = hot_fraction;
+  HotCache cache(ms.get(), kVecBytes, kUniverse, options);
+
+  const std::vector<uint32_t> perm = RankPermutation(kUniverse, 19);
+  std::vector<prefetch::ScoredKey> popularity;
+  for (uint32_t r = 0; r < kUniverse; ++r) {
+    popularity.push_back({perm[r], kUniverse - r});
+  }
+  memsim::SimClock clock;
+  memsim::WorkerCtx ctx;
+  ctx.clock = &clock;
+  cache.WarmHotSet(&ctx, popularity);
+
+  ZipfGenerator zipf(kUniverse, 0.99, 23);
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t key = perm[zipf.Next()];
+    cache.FetchKeys(&ctx, &key, 1, /*grouped=*/false);
+  }
+  return cache.GetStats().HitRate();
+}
+
+TEST(HotCacheTest, HitRateMonotoneInCacheBudget) {
+  // Same trace, growing DRAM budget: more budget can only raise the hit rate
+  // (LRU stack property; the pinned hot set only grows with the budget).
+  for (const double hot_fraction : {0.0, 1.0}) {
+    double prev = -1.0;
+    for (const size_t kb : {16, 64, 256, 1024}) {
+      const double rate = HitRateAtBudget(kb * 1024, hot_fraction);
+      EXPECT_GE(rate, prev) << "budget " << kb << "KB hot " << hot_fraction;
+      prev = rate;
+    }
+    EXPECT_GT(prev, 0.5);  // the largest budget caches most of the universe
+  }
+}
+
+TEST(HotCacheTest, HotSetSurvivesLruChurn) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  const uint32_t kUniverse = 2048;
+  const size_t kVecBytes = 256;
+  HotCacheOptions options;
+  options.capacity_bytes = 64 * 1024;  // 256 frames: 128 hot + 128 LRU
+  options.hot_fraction = 0.5;
+  HotCache cache(ms.get(), kVecBytes, kUniverse, options);
+
+  std::vector<prefetch::ScoredKey> popularity;
+  for (uint32_t k = 0; k < kUniverse; ++k) {
+    popularity.push_back({k, kUniverse - k});
+  }
+  memsim::SimClock clock;
+  memsim::WorkerCtx ctx;
+  ctx.clock = &clock;
+  cache.WarmHotSet(&ctx, popularity);
+  const size_t hot_keys = cache.GetStats().hot_keys;
+  ASSERT_GT(hot_keys, 0u);
+  ASSERT_TRUE(cache.IsHot(0));
+
+  // Churn the LRU region with cold keys only.
+  for (uint32_t pass = 0; pass < 4; ++pass) {
+    for (uint32_t key = static_cast<uint32_t>(hot_keys); key < kUniverse;
+         ++key) {
+      cache.FetchKeys(&ctx, &key, 1, /*grouped=*/false);
+    }
+  }
+  EXPECT_GT(cache.GetStats().evictions, 0u);
+
+  // Every hot key still hits — pinned frames outlive any amount of churn.
+  const HotCache::Stats before = cache.GetStats();
+  for (uint32_t key = 0; key < static_cast<uint32_t>(hot_keys); ++key) {
+    cache.FetchKeys(&ctx, &key, 1, /*grouped=*/false);
+  }
+  const HotCache::Stats delta = cache.GetStats() - before;
+  EXPECT_EQ(delta.hits, hot_keys);
+  EXPECT_EQ(delta.misses, 0u);
+}
+
+TEST(ServeLoadTest, FlakyNetServingKeepsFaultAccountingIdentity) {
+  const linalg::DenseMatrix embedding = linalg::GaussianMatrix(1024, 8, 31);
+  auto ms = memsim::MemorySystem::CreateDefault();
+  auto plan = memsim::FaultPlanFromProfile("flaky-net:3");
+  ASSERT_TRUE(plan.ok());
+  ms->SetFaultPlan(plan.value());
+
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.cache.capacity_bytes = 16 * 1024;
+  options.cache.cold_home = {memsim::Tier::kNetwork, 0};
+  options.cache.replica_home = {memsim::Tier::kSsd, 0};
+  const exec::Context ctx(ms.get(), nullptr, 2);
+  EmbeddingServer server(embedding, options, ctx);
+  std::vector<prefetch::ScoredKey> popularity;
+  for (uint32_t k = 0; k < 1024; ++k) popularity.push_back({k, 1024 - k});
+  server.WarmHotSet(popularity);
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadgenOptions load;
+  load.clients = 4;
+  load.requests_per_client = 100;
+  const std::vector<uint32_t> rank_to_key = RankPermutation(1024, 5);
+  const LoadReport report = RunClosedLoop(&server, rank_to_key, load);
+  server.Stop();
+
+  // Every request completed despite the timeouts...
+  EXPECT_EQ(report.completed, 400u);
+  // ...faults actually fired against the network cold tier...
+  const memsim::FaultCounters faults = ms->Faults();
+  EXPECT_GT(faults.InjectedTotal(), 0u);
+  // ...and every one was retried, degraded to the replica, or surfaced.
+  EXPECT_TRUE(faults.Accounted());
+  EXPECT_EQ(faults.surfaced, 0u);  // serving never fails a request on faults
+}
+
+TEST(ServeLoadTest, ClosedLoopReportsConsistentCounts) {
+  const linalg::DenseMatrix embedding = linalg::GaussianMatrix(256, 8, 17);
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ServerOptions options;
+  options.worker_threads = 2;
+  const exec::Context ctx(ms.get(), nullptr, 2);
+  EmbeddingServer server(embedding, options, ctx);
+  ASSERT_TRUE(server.Start().ok());
+
+  LoadgenOptions load;
+  load.clients = 3;
+  load.requests_per_client = 40;
+  const LoadReport report =
+      RunClosedLoop(&server, RankPermutation(256, 2), load);
+  server.Stop();
+
+  EXPECT_EQ(report.completed, 120u);
+  EXPECT_EQ(report.server.completed, 120u);
+  EXPECT_GT(report.host_qps, 0.0);
+  EXPECT_GT(report.sim_qps, 0.0);
+  EXPECT_GE(report.p99_us, report.p50_us);
+  EXPECT_GT(report.sim_seconds, 0.0);
+  EXPECT_EQ(report.cache_delta.hits + report.cache_delta.misses,
+            report.server.cache.hits + report.server.cache.misses);
+  EXPECT_GT(report.traffic_delta.TotalBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace omega::serve

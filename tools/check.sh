@@ -10,6 +10,8 @@
 #                             # (fault/stream/golden) under a Debug+ASan build
 #   tools/check.sh --async    # additionally smoke the async-staging path
 #                             # (buffer_test + bench_ablation_tiers --smoke --async)
+#   tools/check.sh --serve    # additionally smoke the serving layer
+#                             # (serve_test + bench_serving --smoke)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,12 +20,14 @@ SANITIZE=0
 TSAN=0
 FAULTS=0
 ASYNC=0
+SERVE=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
     --tsan) TSAN=1 ;;
     --faults) FAULTS=1 ;;
     --async) ASYNC=1 ;;
+    --serve) SERVE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -63,9 +67,9 @@ if [[ "$TSAN" == 1 ]]; then
   # the BufferManager's concurrent pin/unpin) are what TSan is after; the
   # full suite under TSan is prohibitively slow.
   cmake -B build-tsan -S . -DOMEGA_TSAN=ON
-  cmake --build build-tsan -j "$JOBS" --target common_test spmm_test plan_test buffer_test
+  cmake --build build-tsan -j "$JOBS" --target common_test spmm_test plan_test buffer_test serve_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(common_test|spmm_test|plan_test|buffer_test)$'
+    -R '^(common_test|spmm_test|plan_test|buffer_test|serve_test)$'
 fi
 
 if [[ "$ASYNC" == 1 ]]; then
@@ -74,6 +78,14 @@ if [[ "$ASYNC" == 1 ]]; then
   # PK-sized tier-ablation run with overlapped staging on.
   ctest --test-dir build --output-on-failure -R '^buffer_test$'
   ./build/bench/bench_ablation_tiers --smoke --async
+fi
+
+if [[ "$SERVE" == 1 ]]; then
+  echo "== serving layer: serve suite + batched-vs-per-request smoke =="
+  # Reuses the tier-1 build from above: the serving suite plus a small
+  # closed-loop run of both scheduler modes.
+  ctest --test-dir build --output-on-failure -R '^serve_test$'
+  ./build/bench/bench_serving --smoke
 fi
 
 echo "OK"

@@ -1,0 +1,328 @@
+// omega_serve — closed-loop embedding-serving driver.
+//
+// Serves embedding lookups and top-k similarity queries from the scheduler +
+// WoFP-style hot cache in src/serve/, driven by a Zipf closed-loop load
+// generator, and reports client latency percentiles, QPS, cache hit rate,
+// and per-tier simulated traffic.
+//
+// Usage:
+//   omega_serve [options]
+//     --nodes <n>           synthetic embedding rows (default 32768)
+//     --dim <d>             embedding dimension (default 32)
+//     --graph <path|name>   train this graph first and serve its embedding
+//                           (popularity = node degree); overrides --nodes
+//     --clients <n>         closed-loop client threads (default 8)
+//     --requests <n>        requests per client (default 500)
+//     --skew <s>            Zipf skew (default 0.99)
+//     --topk <k>            neighbors per top-k query (default 10)
+//     --topk-fraction <f>   fraction of top-k queries vs lookups (default 0.8)
+//     --workers <n>         serving worker threads (default 2)
+//     --queue <n>           admission queue capacity (default 1024)
+//     --batch <n>           max batch size (default 32)
+//     --deadline-us <t>     batch-close deadline (default 200)
+//     --per-request         disable batching (batch size pinned to 1)
+//     --cache-kb <n>        hot-cache DRAM budget (default 1024 KiB)
+//     --hot-fraction <f>    pinned-hot share of the budget (default 0.5)
+//     --cold-tier <t>       pm (default) | ssd | net — where cold vectors live
+//     --fault-profile <p>   none | pm-stall | pm-degraded | worn-ssd |
+//                           flaky-net | chaos, optional ":<seed>"
+//     --seed <n>            workload seed (default 42)
+//     --trace-json <path>   write the serving trace (RunReport JSON)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "graph/datasets.h"
+#include "graph/graph_io.h"
+#include "linalg/random_matrix.h"
+#include "omega/engine.h"
+#include "omega/report.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "serve/zipf.h"
+
+namespace {
+
+using namespace omega;
+
+struct CliOptions {
+  std::string graph;
+  std::string cold_tier = "pm";
+  std::string fault_profile;
+  std::string trace_json;
+  uint32_t nodes = 32768;
+  size_t dim = 32;
+  int clients = 8;
+  uint64_t requests = 500;
+  double skew = 0.99;
+  uint32_t topk = 10;
+  double topk_fraction = 0.8;
+  int workers = 2;
+  size_t queue = 1024;
+  size_t batch = 32;
+  double deadline_us = 200.0;
+  bool per_request = false;
+  size_t cache_kb = 1024;
+  double hot_fraction = 0.5;
+  uint64_t seed = 42;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--nodes n] [--dim d] [--graph <path|name>] "
+               "[--clients n] [--requests n] [--skew s] [--topk k] "
+               "[--topk-fraction f] [--workers n] [--queue n] [--batch n] "
+               "[--deadline-us t] [--per-request] [--cache-kb n] "
+               "[--hot-fraction f] [--cold-tier pm|ssd|net] "
+               "[--fault-profile name[:seed]] [--seed n] [--trace-json path]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseColdTier(const std::string& name, serve::HotCacheOptions* cache) {
+  if (name == "pm") {
+    cache->cold_home = {memsim::Tier::kPm, 0};
+    cache->replica_home = {memsim::Tier::kSsd, 0};
+  } else if (name == "ssd") {
+    cache->cold_home = {memsim::Tier::kSsd, 0};
+    cache->replica_home = {memsim::Tier::kPm, 0};
+  } else if (name == "net") {
+    cache->cold_home = {memsim::Tier::kNetwork, 0};
+    cache->replica_home = {memsim::Tier::kSsd, 0};
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--graph" && i + 1 < argc) {
+      cli.graph = argv[++i];
+    } else if (arg == "--cold-tier" && i + 1 < argc) {
+      cli.cold_tier = argv[++i];
+    } else if (arg == "--fault-profile" && i + 1 < argc) {
+      cli.fault_profile = argv[++i];
+    } else if (arg.rfind("--fault-profile=", 0) == 0) {
+      cli.fault_profile = arg.substr(std::strlen("--fault-profile="));
+      if (cli.fault_profile.empty()) return Usage(argv[0]);
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      cli.trace_json = argv[++i];
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      cli.trace_json = arg.substr(std::strlen("--trace-json="));
+      if (cli.trace_json.empty()) return Usage(argv[0]);
+    } else if (arg == "--nodes" && i + 1 < argc) {
+      cli.nodes = static_cast<uint32_t>(std::atoll(argv[++i]));
+    } else if (arg == "--dim" && i + 1 < argc) {
+      cli.dim = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--clients" && i + 1 < argc) {
+      cli.clients = std::atoi(argv[++i]);
+    } else if (arg == "--requests" && i + 1 < argc) {
+      cli.requests = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--skew" && i + 1 < argc) {
+      cli.skew = std::atof(argv[++i]);
+    } else if (arg == "--topk" && i + 1 < argc) {
+      cli.topk = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--topk-fraction" && i + 1 < argc) {
+      cli.topk_fraction = std::atof(argv[++i]);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      cli.workers = std::atoi(argv[++i]);
+    } else if (arg == "--queue" && i + 1 < argc) {
+      cli.queue = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--batch" && i + 1 < argc) {
+      cli.batch = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--deadline-us" && i + 1 < argc) {
+      cli.deadline_us = std::atof(argv[++i]);
+    } else if (arg == "--per-request") {
+      cli.per_request = true;
+    } else if (arg == "--cache-kb" && i + 1 < argc) {
+      cli.cache_kb = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--hot-fraction" && i + 1 < argc) {
+      cli.hot_fraction = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      cli.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (cli.nodes == 0 || cli.dim == 0 || cli.clients <= 0 || cli.skew <= 0.0 ||
+      cli.queue == 0) {
+    return Usage(argv[0]);
+  }
+
+  auto ms = std::make_unique<memsim::MemorySystem>(memsim::TopologyConfig{},
+                                                   memsim::DefaultProfiles());
+  if (!cli.fault_profile.empty()) {
+    auto plan = memsim::FaultPlanFromProfile(cli.fault_profile);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+      return Usage(argv[0]);
+    }
+    ms->SetFaultPlan(plan.value());
+  }
+
+  // The served embedding: either train a graph, or draw a synthetic matrix.
+  linalg::DenseMatrix embedding;
+  std::vector<prefetch::ScoredKey> popularity;
+  std::string dataset = "synthetic";
+  if (!cli.graph.empty()) {
+    Result<graph::Graph> loaded = graph::LoadDatasetByName(cli.graph);
+    if (!loaded.ok()) loaded = graph::LoadEdgeListText(cli.graph);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load graph '%s': %s\n", cli.graph.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    const graph::Graph& g = loaded.value();
+    engine::EngineOptions options;
+    options.system = engine::SystemKind::kOmega;
+    options.num_threads = std::max(1, cli.workers);
+    options.prone.dim = cli.dim;
+    ThreadPool pool(static_cast<size_t>(options.num_threads));
+    const exec::Context train_ctx(ms.get(), &pool, options.num_threads);
+    auto report = engine::RunEmbedding(g, cli.graph, options, train_ctx);
+    if (!report.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    embedding = std::move(report.value().embedding);
+    cli.nodes = g.num_nodes();
+    dataset = cli.graph;
+    // Hub nodes absorb the skewed traffic: popularity is the degree ranking.
+    popularity.reserve(g.num_nodes());
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      popularity.push_back({v, g.degree(v)});
+    }
+    std::printf("graph %s: trained %zu x %zu embedding\n", cli.graph.c_str(),
+                embedding.rows(), embedding.cols());
+  } else {
+    embedding = linalg::GaussianMatrix(cli.nodes, cli.dim, cli.seed);
+  }
+
+  // Rank r of the Zipf draw maps to rank_to_key[r]; popularity scores agree
+  // with the ranking so the warm hot set is exactly the hottest keys.
+  std::vector<uint32_t> rank_to_key;
+  if (!popularity.empty()) {
+    std::stable_sort(popularity.begin(), popularity.end(),
+                     [](const prefetch::ScoredKey& a,
+                        const prefetch::ScoredKey& b) {
+                       if (a.score != b.score) return a.score > b.score;
+                       return a.key < b.key;
+                     });
+    rank_to_key.reserve(popularity.size());
+    for (const prefetch::ScoredKey& e : popularity) rank_to_key.push_back(e.key);
+  } else {
+    rank_to_key = serve::RankPermutation(cli.nodes, SplitMix64(cli.seed));
+    popularity.reserve(cli.nodes);
+    for (uint32_t r = 0; r < cli.nodes; ++r) {
+      popularity.push_back({rank_to_key[r], cli.nodes - r});
+    }
+  }
+
+  serve::ServerOptions options;
+  options.worker_threads = cli.workers;
+  options.queue_capacity = cli.queue;
+  options.max_batch = cli.batch;
+  options.batch_deadline_us = cli.deadline_us;
+  options.batched = !cli.per_request;
+  options.cache.capacity_bytes = cli.cache_kb * 1024;
+  options.cache.hot_fraction = cli.hot_fraction;
+  if (!ParseColdTier(cli.cold_tier, &options.cache)) return Usage(argv[0]);
+
+  exec::TraceRecorder trace;
+  const exec::Context ctx(ms.get(), nullptr, cli.workers, &trace);
+  serve::EmbeddingServer server(embedding, options, ctx);
+  server.WarmHotSet(popularity);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  serve::LoadgenOptions load;
+  load.clients = cli.clients;
+  load.requests_per_client = cli.requests;
+  load.zipf_skew = cli.skew;
+  load.topk = cli.topk;
+  load.topk_fraction = cli.topk_fraction;
+  load.seed = cli.seed;
+  std::printf(
+      "serving %u x %zu from %s (%s, %d workers, cache %zu KiB, "
+      "hot fraction %.2f)\n",
+      cli.nodes, cli.dim, cli.cold_tier.c_str(),
+      options.batched ? "batched" : "per-request", cli.workers, cli.cache_kb,
+      cli.hot_fraction);
+  const serve::LoadReport report =
+      serve::RunClosedLoop(&server, rank_to_key, load);
+  server.Stop();
+
+  std::printf("  completed %llu requests in %s (%s rejections absorbed)\n",
+              static_cast<unsigned long long>(report.completed),
+              HumanSeconds(report.wall_seconds).c_str(),
+              std::to_string(report.rejections).c_str());
+  std::printf("  QPS        %.0f simulated (%.0f host)\n", report.sim_qps,
+              report.host_qps);
+  std::printf("  latency us mean %.1f  p50 %.1f  p95 %.1f  p99 %.1f\n",
+              report.mean_us, report.p50_us, report.p95_us, report.p99_us);
+  std::printf("  batches    %llu (avg batch %.2f)\n",
+              static_cast<unsigned long long>(report.server.batches),
+              report.server.batches > 0
+                  ? static_cast<double>(report.server.completed) /
+                        static_cast<double>(report.server.batches)
+                  : 0.0);
+  std::printf("  cache      hit rate %.1f%% (%llu hits, %llu misses, "
+              "%llu evictions, %zu hot keys)\n",
+              report.cache_delta.HitRate() * 100.0,
+              static_cast<unsigned long long>(report.cache_delta.hits),
+              static_cast<unsigned long long>(report.cache_delta.misses),
+              static_cast<unsigned long long>(report.cache_delta.evictions),
+              report.server.cache.hot_keys);
+  std::printf("  sim        %s charged over the run\n",
+              HumanSeconds(report.sim_seconds).c_str());
+  static const char* kTierNames[] = {"DRAM", "PM", "SSD", "NET"};
+  for (int t = 0; t < memsim::kNumTiers; ++t) {
+    const uint64_t bytes =
+        report.traffic_delta.TierBytes(static_cast<memsim::Tier>(t));
+    if (bytes > 0) {
+      std::printf("  traffic    %-4s %s\n", kTierNames[t],
+                  HumanBytes(bytes).c_str());
+    }
+  }
+  if (ms->faults_enabled()) {
+    std::printf("  faults     %s (degraded fetches: %llu)\n",
+                memsim::FaultCountersSummary(report.fault_delta).c_str(),
+                static_cast<unsigned long long>(
+                    report.cache_delta.degraded_fetches));
+  }
+
+  if (!cli.trace_json.empty()) {
+    engine::RunReport rr;
+    rr.system = options.batched ? "serve" : "serve-per-request";
+    rr.dataset = dataset;
+    rr.total_seconds = report.sim_seconds;
+    rr.faults_enabled = ms->faults_enabled();
+    rr.faults = ms->Faults();
+    rr.phases = trace.Records();
+    std::ofstream f(cli.trace_json);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", cli.trace_json.c_str());
+      return 1;
+    }
+    f << engine::ReportToJson(rr) << "\n";
+    std::printf("trace written to %s (%zu phases)\n", cli.trace_json.c_str(),
+                rr.phases.size());
+  }
+  return 0;
+}
