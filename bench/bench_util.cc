@@ -63,8 +63,10 @@ double StdDev(const std::vector<double>& values) {
 std::string PhaseTableString(const engine::RunReport& report) {
   if (report.phases.empty()) return "";
   engine::TablePrinter table({"phase", "sim s", "wall s", "DRAM", "PM", "SSD",
-                              "NET", "remote %", "ovl %"});
+                              "NET", "remote %", "ovl %", "plan h/m/i"});
   for (const exec::PhaseRecord& p : report.phases) {
+    const bool plan_active =
+        p.plan_hits + p.plan_misses + p.plan_invalidations > 0;
     table.AddRow({p.aux ? p.name + " (aux)" : p.name,
                   FormatDouble(p.sim_seconds, 3),
                   FormatDouble(p.wall_seconds, 3),
@@ -75,7 +77,11 @@ std::string PhaseTableString(const engine::RunReport& report) {
                   FormatDouble(p.remote_fraction * 100.0, 1),
                   p.fetch_seconds > 0.0
                       ? FormatDouble(p.OverlapEfficiency() * 100.0, 1)
-                      : "-"});
+                      : "-",
+                  plan_active ? std::to_string(p.plan_hits) + "/" +
+                                    std::to_string(p.plan_misses) + "/" +
+                                    std::to_string(p.plan_invalidations)
+                              : "-"});
   }
   return "  phases of " + report.system + " on " + report.dataset + ":\n" +
          table.ToString();

@@ -33,11 +33,17 @@ Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
                                     const std::vector<double>& coefficients,
                                     const linalg::DenseMatrix& r,
                                     linalg::DenseMatrix* out,
-                                    const SpmmExecutor& spmm, ThreadPool* pool) {
+                                    const SpmmExecutor& spmm, ThreadPool* pool,
+                                    ChebyshevCapture* capture) {
   if (coefficients.empty()) return Status::InvalidArgument("no coefficients");
   const size_t n = r.rows();
   const size_t d = r.cols();
   double sim_seconds = 0.0;
+  if (capture != nullptr) {
+    capture->r0 = r;
+    capture->coefficients = coefficients;
+    capture->terms.clear();
+  }
 
   // L - I = -S, so T_1 = -S R and T_{k+1} = -2 S T_k - T_{k-1}.
   *out = linalg::DenseMatrix(n, d);
@@ -53,6 +59,7 @@ Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
     t_cur.Scale(-1.0f, pool);
     OMEGA_RETURN_NOT_OK(
         out->AddScaled(t_cur, static_cast<float>(coefficients[1]), pool));
+    if (capture != nullptr) capture->terms.push_back(t_cur);
   }
 
   for (size_t k = 2; k < coefficients.size(); ++k) {
@@ -64,6 +71,7 @@ Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
     OMEGA_RETURN_NOT_OK(t_next.AddScaled(t_prev, -1.0f, pool));
     OMEGA_RETURN_NOT_OK(
         out->AddScaled(t_next, static_cast<float>(coefficients[k]), pool));
+    if (capture != nullptr) capture->terms.push_back(t_next);
     t_prev = std::move(t_cur);
     t_cur = std::move(t_next);
   }

@@ -38,11 +38,16 @@ std::vector<double> ChebyshevCoefficients(const SpectralFilter& filter, int orde
 /// `pool` parallelizes the dense AXPY/scale passes of the recurrence on the
 /// host; it does not change the simulated charging (that happens inside
 /// `spmm`) and the output is bit-identical at any thread count.
+///
+/// A non-null `capture` receives copies of the basis, every term T_1..T_{K-1}
+/// and the coefficients (perm is the caller's to fill) — host-side state for
+/// the incremental refresh path, no effect on charges or output.
 Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
                                     const std::vector<double>& coefficients,
                                     const linalg::DenseMatrix& r,
                                     linalg::DenseMatrix* out,
                                     const SpmmExecutor& spmm,
-                                    ThreadPool* pool = nullptr);
+                                    ThreadPool* pool = nullptr,
+                                    ChebyshevCapture* capture = nullptr);
 
 }  // namespace omega::embed

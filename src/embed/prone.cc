@@ -114,7 +114,8 @@ Result<EmbeddingResult> ProneEmbed(const graph::CsdbMatrix& adjacency,
   OMEGA_ASSIGN_OR_RETURN(
       double propagate_seconds,
       ChebyshevFilterApply(propagation, coeffs, r0, &result.vectors, spmm,
-                           options.pool));
+                           options.pool, options.capture));
+  if (options.capture != nullptr) options.capture->perm = adjacency.perm();
   result.propagate_seconds = propagate_seconds;
   result.total_seconds = result.factorize_seconds + result.propagate_seconds;
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "common/status.h"
 #include "graph/csdb.h"
@@ -24,6 +25,20 @@
 #include "linalg/dense_matrix.h"
 
 namespace omega::embed {
+
+/// Host-side snapshot of the stage-2 Chebyshev recurrence state, captured
+/// during a full run so a dynamic embedder can refresh only the rows a graph
+/// delta affects (omega/incremental.h). All matrices are in the CSDB row
+/// order of the adjacency the run used; `perm` records that order so a later
+/// epoch (whose degree-descending order may differ) can re-permute them.
+struct ChebyshevCapture {
+  linalg::DenseMatrix r0;                  ///< stage-1 basis R = T_0
+  std::vector<linalg::DenseMatrix> terms;  ///< T_1 .. T_{K-1}
+  std::vector<double> coefficients;        ///< c_0 .. c_{K-1}
+  std::vector<graph::NodeId> perm;         ///< CSDB row -> node id at capture
+
+  bool valid() const { return r0.rows() > 0 && !coefficients.empty(); }
+};
 
 /// Executes one full-width SpMM out = m * in on behalf of the embedder and
 /// returns its *simulated* seconds. Engines inject their charged kernels
@@ -53,6 +68,11 @@ struct ProneOptions {
   /// tSVD's first SpMM, "propagate" before the Chebyshev recurrence). The
   /// engines use this to label their per-SpMM trace spans by stage.
   std::function<void(const char* stage)> stage_notifier;
+
+  /// Optional: filled with the stage-2 recurrence state (basis, Chebyshev
+  /// terms, coefficients, row perm) for later incremental refresh. Host-side
+  /// only — capturing changes no simulated charge and no output byte.
+  ChebyshevCapture* capture = nullptr;
 };
 
 /// Result of an embedding run. Vectors are in the CSDB (degree-sorted) id

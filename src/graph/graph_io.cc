@@ -209,4 +209,79 @@ Result<Graph> LoadBinary(const std::string& path) {
   return Graph::FromEdges(static_cast<NodeId>(nodes), edges, /*undirected=*/false);
 }
 
+Status MutationStreamReader::Open(const std::string& path) {
+  path_ = path;
+  line_no_ = 0;
+  in_.open(path);
+  if (!in_) return Status::IOError("cannot open " + path);
+  return Status::OK();
+}
+
+Result<size_t> MutationStreamReader::ReadBatch(size_t max_count,
+                                               std::vector<Mutation>* out) {
+  if (!in_.is_open()) return Status::InvalidArgument("reader is not open");
+  size_t appended = 0;
+  std::string line;
+  while (appended < max_count && std::getline(in_, line)) {
+    ++line_no_;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    const auto tokens = SplitTokens(line, " \t\r,");
+    if (tokens.empty()) continue;
+    auto error = [&](const std::string& message) {
+      return Status::IOError(path_ + ":" + std::to_string(line_no_) + ": " +
+                             message);
+    };
+
+    Mutation m;
+    size_t first = 0;
+    const std::string op(tokens[0]);
+    if (op == "a" || op == "+") {
+      m.kind = MutationKind::kInsertEdge;
+      first = 1;
+    } else if (op == "d" || op == "-") {
+      m.kind = MutationKind::kDeleteEdge;
+      first = 1;
+    } else if (op == "u") {
+      m.kind = MutationKind::kUpdateWeight;
+      first = 1;
+    } else if (op.find_first_not_of("0123456789") != std::string::npos) {
+      return error("unknown mutation op '" + op + "' (expected a, d, or u)");
+    }
+    if (tokens.size() < first + 2) {
+      return error("expected '[a|d|u] src dst [weight]'");
+    }
+    try {
+      const uint64_t src = std::stoull(std::string(tokens[first]));
+      const uint64_t dst = std::stoull(std::string(tokens[first + 1]));
+      if (src > UINT32_MAX || dst > UINT32_MAX) {
+        return error("node id out of 32-bit range");
+      }
+      m.src = static_cast<NodeId>(src);
+      m.dst = static_cast<NodeId>(dst);
+      if (tokens.size() >= first + 3) {
+        m.weight = static_cast<float>(std::stod(std::string(tokens[first + 2])));
+      }
+    } catch (const std::exception&) {
+      return error("unparsable mutation line");
+    }
+    if (m.kind == MutationKind::kUpdateWeight && tokens.size() < first + 3) {
+      return error("weight update needs an explicit weight");
+    }
+    out->push_back(m);
+    ++appended;
+  }
+  return appended;
+}
+
+Result<std::vector<Mutation>> LoadMutationsText(const std::string& path) {
+  MutationStreamReader reader;
+  OMEGA_RETURN_NOT_OK(reader.Open(path));
+  std::vector<Mutation> mutations;
+  while (true) {
+    OMEGA_ASSIGN_OR_RETURN(const size_t got, reader.ReadBatch(4096, &mutations));
+    if (got == 0) break;
+  }
+  return mutations;
+}
+
 }  // namespace omega::graph

@@ -3,10 +3,13 @@
 
 #pragma once
 
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "graph/graph.h"
+#include "graph/mutable_graph.h"
 
 namespace omega::graph {
 
@@ -27,5 +30,40 @@ Result<Graph> LoadBinary(const std::string& path);
 /// (real|pattern) (general|symmetric)` headers; 1-based indices.
 Result<Graph> LoadMatrixMarket(const std::string& path);
 Status SaveMatrixMarket(const Graph& g, const std::string& path);
+
+/// Streaming reader of mutation replay files — appending edge-list reads for
+/// dynamic-graph ingestion. One mutation per line:
+///
+///   [a|d|u] src dst [weight]
+///
+/// `a` inserts, `d` deletes, `u` updates the weight; a bare "src dst
+/// [weight]" line is an insert (so a plain appended edge list replays as
+/// inserts). Lines starting with '#' or '%' are comments. Node ids are taken
+/// verbatim (the replay targets an existing graph's id space — no
+/// densification). Unlike the bulk loaders, malformed lines surface as
+/// Status errors carrying "path:line:" context instead of being skipped.
+class MutationStreamReader {
+ public:
+  MutationStreamReader() = default;
+
+  /// Opens `path`; IOError when it cannot be read.
+  Status Open(const std::string& path);
+
+  bool is_open() const { return in_.is_open(); }
+  uint64_t line_number() const { return line_no_; }
+
+  /// Appends up to `max_count` parsed mutations to *out and returns how many
+  /// were appended; 0 means end of stream. The reader keeps its position, so
+  /// repeated calls stream through the file batch by batch.
+  Result<size_t> ReadBatch(size_t max_count, std::vector<Mutation>* out);
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  uint64_t line_no_ = 0;
+};
+
+/// Convenience: streams the whole file through a MutationStreamReader.
+Result<std::vector<Mutation>> LoadMutationsText(const std::string& path);
 
 }  // namespace omega::graph

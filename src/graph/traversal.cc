@@ -27,6 +27,29 @@ std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source) {
   return dist;
 }
 
+std::vector<uint32_t> BfsDistances(const Graph& g,
+                                   const std::vector<NodeId>& sources) {
+  std::vector<uint32_t> dist(g.num_nodes(), UINT32_MAX);
+  std::deque<NodeId> queue;
+  for (const NodeId s : sources) {
+    if (s >= g.num_nodes() || dist[s] == 0) continue;
+    dist[s] = 0;
+    queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    const NodeId* nbrs = g.neighbors(v);
+    for (uint32_t i = 0; i < g.degree(v); ++i) {
+      if (dist[nbrs[i]] == UINT32_MAX) {
+        dist[nbrs[i]] = dist[v] + 1;
+        queue.push_back(nbrs[i]);
+      }
+    }
+  }
+  return dist;
+}
+
 std::vector<NodeId> ConnectedComponents(const Graph& g) {
   std::vector<NodeId> label(g.num_nodes(), g.num_nodes());
   std::deque<NodeId> queue;

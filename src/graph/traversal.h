@@ -20,6 +20,12 @@ namespace omega::graph {
 /// BFS distances from `source`; unreachable nodes get UINT32_MAX.
 std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source);
 
+/// Multi-source BFS: distance to the nearest node of `sources` (UINT32_MAX
+/// when unreachable). The k-hop affected set of a graph delta is exactly
+/// {v : dist(v) <= k} with the delta's touched nodes as sources.
+std::vector<uint32_t> BfsDistances(const Graph& g,
+                                   const std::vector<NodeId>& sources);
+
 /// Connected-component label per node (labels are the smallest node id in
 /// the component).
 std::vector<NodeId> ConnectedComponents(const Graph& g);

@@ -343,4 +343,66 @@ NadpResult NadpSpmm(const graph::CsdbMatrix& a, const linalg::DenseMatrix& b,
   return NadpExecute(plan, a, b, c, exec_ctx, col_begin, col_end);
 }
 
+bool NadpPlanCache::Contains(const graph::CsdbMatrix& a,
+                             const NadpOptions& options) const {
+  for (const Slot& slot : slots_) {
+    if (slot.plan.Matches(a, options)) return true;
+  }
+  return false;
+}
+
+const NadpPlan& NadpPlanCache::Get(const graph::CsdbMatrix& a,
+                                   const NadpOptions& options,
+                                   const exec::Context& ctx) {
+  ++tick_;
+  for (Slot& slot : slots_) {
+    if (slot.plan.Matches(a, options)) {
+      ++hits_;
+      slot.last_used = tick_;
+      return slot.plan;
+    }
+  }
+  ++misses_;
+  if (slots_.size() < capacity_) {
+    slots_.emplace_back();
+  } else {
+    // Reuse the least-recently-used slot.
+    size_t victim = 0;
+    for (size_t i = 1; i < slots_.size(); ++i) {
+      if (slots_[i].last_used < slots_[victim].last_used) victim = i;
+    }
+    if (victim != slots_.size() - 1) {
+      std::swap(slots_[victim], slots_.back());
+    }
+  }
+  slots_.back().plan = NadpPlan::Build(a, options, ctx);
+  slots_.back().last_used = tick_;
+  return slots_.back().plan;
+}
+
+size_t NadpPlanCache::InvalidateDelta(const graph::CsdbMatrix& old_m,
+                                      const graph::CsdbMatrix& new_m) {
+  const sparse::SparseStructureKey old_key = sparse::StructureOf(old_m);
+  const bool weight_only =
+      sparse::TouchedStripes(sparse::FingerprintOf(old_m),
+                             sparse::FingerprintOf(new_m))
+          .empty();
+  size_t affected = 0;
+  for (size_t i = 0; i < slots_.size();) {
+    if (slots_[i].plan.structure() != old_key) {
+      ++i;
+      continue;
+    }
+    ++affected;
+    if (weight_only) {
+      slots_[i].plan.RebindStructure(new_m);
+      ++i;
+    } else {
+      ++invalidations_;
+      slots_.erase(slots_.begin() + static_cast<ptrdiff_t>(i));
+    }
+  }
+  return affected;
+}
+
 }  // namespace omega::numa

@@ -99,6 +99,21 @@ class NadpPlan {
 
   const NadpOptions& options() const { return options_; }
   const std::vector<uint32_t>& in_degrees() const { return in_degrees_; }
+  const sparse::SparseStructureKey& structure() const { return structure_; }
+
+  /// Re-keys the plan onto `a` without rebuilding. Only sound when `a` has
+  /// the same sparsity structure as the matrix the plan was built for (a
+  /// weight-only delta): plans depend on structure, never on values.
+  void RebindStructure(const graph::CsdbMatrix& a) {
+    structure_ = sparse::StructureOf(a);
+  }
+
+  /// Worker w's WoFP dense-row cache view (nullptr when use_wofp is off or
+  /// the worker has no workload). Lets the incremental-refresh path price its
+  /// restricted SpMMs against the same resident stores NadpExecute uses.
+  const prefetch::WofpPrefetcher* cache(size_t worker) const {
+    return worker < caches_.size() ? caches_[worker].get() : nullptr;
+  }
 
  private:
   friend NadpResult NadpExecute(const NadpPlan& plan, const graph::CsdbMatrix& a,
@@ -145,23 +160,51 @@ NadpResult NadpExecute(const NadpPlan& plan, const graph::CsdbMatrix& a,
                        const exec::Context& ctx, size_t col_begin = 0,
                        size_t col_end = SIZE_MAX);
 
-/// One-slot plan cache keyed by (structure, options) — the engines' SpMM
-/// executors hit it once per ProNE stage.
+/// Small LRU plan cache keyed by (structure, options) — the engines' SpMM
+/// executors hit it once per ProNE stage. Multiple slots let the stage-1 and
+/// stage-2 matrices (and a delta-applied successor) coexist; Get counts hits
+/// and misses, and InvalidateDelta gives graph deltas structure-aware
+/// eviction instead of relying on pointer identity going stale.
 class NadpPlanCache {
  public:
-  bool Contains(const graph::CsdbMatrix& a, const NadpOptions& options) const {
-    return plan_.Matches(a, options);
-  }
+  explicit NadpPlanCache(size_t capacity = 4)
+      : capacity_(capacity > 0 ? capacity : 1) {}
 
-  /// Returns the cached plan, rebuilding it first when (a, options) changed.
+  bool Contains(const graph::CsdbMatrix& a, const NadpOptions& options) const;
+
+  /// Returns the cached plan for (a, options), building (and inserting,
+  /// evicting the least-recently-used slot when full) on a miss.
   const NadpPlan& Get(const graph::CsdbMatrix& a, const NadpOptions& options,
-                      const exec::Context& ctx) {
-    if (!plan_.Matches(a, options)) plan_ = NadpPlan::Build(a, options, ctx);
-    return plan_;
-  }
+                      const exec::Context& ctx);
+
+  /// Structure-aware invalidation after a delta replaced `old_m` with
+  /// `new_m`. A weight-only delta (no touched stripes between the two
+  /// fingerprints) rebinds slots built for `old_m` onto `new_m` — the plans
+  /// stay valid because they depend on structure only. A structural delta
+  /// drops exactly the slots built for `old_m`; plans for other matrices
+  /// (the stage-1 modularity matrix, say) are untouched. Returns the number
+  /// of slots dropped or rebound.
+  size_t InvalidateDelta(const graph::CsdbMatrix& old_m,
+                         const graph::CsdbMatrix& new_m);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t invalidations() const { return invalidations_; }
+  size_t size() const { return slots_.size(); }
+  size_t capacity() const { return capacity_; }
 
  private:
-  NadpPlan plan_;
+  struct Slot {
+    NadpPlan plan;
+    uint64_t last_used = 0;
+  };
+
+  size_t capacity_ = 4;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+  std::vector<Slot> slots_;
 };
 
 }  // namespace omega::numa

@@ -334,8 +334,10 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
       // span still captures the host wall time the rebuild costs.
       exec::PhaseSpan plan_span(ctx, "plan.build", /*aux=*/true);
       plan_cache.Get(m, plan_opts, ctx);
+      plan_span.AddPlanCounters(0, 1, 0);
     }
     const numa::NadpPlan& plan = plan_cache.Get(m, plan_opts, ctx);
+    span.AddPlanCounters(1, 0, 0);
     if (!staged_spmm) {
       const numa::NadpResult r = numa::NadpExecute(plan, m, in, out, ctx);
       wofp_build_seconds += r.wofp_build_seconds;

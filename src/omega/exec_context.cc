@@ -89,6 +89,9 @@ void PhaseSpan::Finish() {
   record.cache_hits = cache_hits_;
   record.cache_misses = cache_misses_;
   record.cache_evictions = cache_evictions_;
+  record.plan_hits = plan_hits_;
+  record.plan_misses = plan_misses_;
+  record.plan_invalidations = plan_invalidations_;
   record.wall_seconds = MonotonicSeconds() - wall_start_;
   record.traffic = ctx_.ms()->Traffic() - traffic_start_;
   record.remote_fraction = record.traffic.RemoteFraction();

@@ -57,6 +57,12 @@ struct PhaseRecord {
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
 
+  /// SpMM plan-cache accounting: lookups served from a cached inspector plan,
+  /// plans built, and slots dropped by delta invalidation inside the phase.
+  uint64_t plan_hits = 0;
+  uint64_t plan_misses = 0;
+  uint64_t plan_invalidations = 0;
+
   uint64_t TierBytes(memsim::Tier t) const { return traffic.TierBytes(t); }
   uint64_t TotalBytes() const { return traffic.TotalBytes(); }
   /// Fraction of the phase's staging-fetch time hidden behind compute.
@@ -144,6 +150,13 @@ class PhaseSpan {
     cache_evictions_ += evictions;
   }
 
+  /// Accumulates SpMM plan-cache accounting for the phase's lookups.
+  void AddPlanCounters(uint64_t hits, uint64_t misses, uint64_t invalidations) {
+    plan_hits_ += hits;
+    plan_misses_ += misses;
+    plan_invalidations_ += invalidations;
+  }
+
   /// Records the phase now (the destructor then does nothing).
   void Finish();
 
@@ -158,6 +171,9 @@ class PhaseSpan {
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
   uint64_t cache_evictions_ = 0;
+  uint64_t plan_hits_ = 0;
+  uint64_t plan_misses_ = 0;
+  uint64_t plan_invalidations_ = 0;
   double wall_start_ = 0.0;
   memsim::TrafficSnapshot traffic_start_;
   memsim::FaultCounters faults_start_;

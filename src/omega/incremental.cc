@@ -1,0 +1,444 @@
+#include "omega/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/traversal.h"
+#include "sched/entropy.h"
+#include "sparse/csdb_ops.h"
+#include "sparse/spmm.h"
+
+namespace omega::engine {
+
+namespace {
+
+using memsim::MemOp;
+using memsim::Pattern;
+using memsim::Tier;
+
+bool OmegaFamily(SystemKind s) {
+  return s == SystemKind::kOmega || s == SystemKind::kOmegaDram ||
+         s == SystemKind::kOmegaPm;
+}
+
+/// Splits `ranges` into at most `parts` contiguous groups balanced by nnz.
+/// Deterministic: depends only on the ranges, their nnz, and `parts`.
+std::vector<sched::Workload> SplitRanges(const graph::CsdbMatrix& a,
+                                         const std::vector<sched::RowRange>& ranges,
+                                         double beta, int parts) {
+  std::vector<sched::Workload> out;
+  if (ranges.empty() || parts <= 0) return out;
+  sched::Workload all;
+  all.ranges = ranges;
+  sched::RefreshCounts(a, &all);
+  const uint64_t target = (all.nnz + parts - 1) / parts;
+
+  sched::Workload cur;
+  uint64_t cur_nnz = 0;
+  auto flush = [&]() {
+    if (cur.ranges.empty()) return;
+    sched::RefreshCounts(a, &cur);
+    sched::AnnotateWorkload(a, beta, &cur);
+    out.push_back(std::move(cur));
+    cur = sched::Workload();
+    cur_nnz = 0;
+  };
+  for (const sched::RowRange& r : ranges) {
+    for (uint32_t row = r.begin; row < r.end;) {
+      // Extend the current group row-by-row until it reaches the nnz target;
+      // coalesce adjacent rows into one range.
+      uint32_t end = row;
+      while (end < r.end &&
+             (cur_nnz < target || static_cast<int>(out.size()) + 1 >= parts)) {
+        auto cursor = a.Rows(end);
+        cur_nnz += cursor.degree();
+        ++end;
+      }
+      if (end > row) {
+        if (!cur.ranges.empty() && cur.ranges.back().end == row) {
+          cur.ranges.back().end = end;
+        } else {
+          cur.ranges.push_back({row, end});
+        }
+        row = end;
+      }
+      if (cur_nnz >= target && static_cast<int>(out.size()) + 1 < parts) flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace
+
+DynamicEmbedder::DynamicEmbedder(graph::Graph base, const EngineOptions& options,
+                                 std::string dataset, int num_workers)
+    : mutable_(std::move(base), num_workers),
+      options_(options),
+      dataset_(std::move(dataset)) {}
+
+numa::NadpOptions DynamicEmbedder::NadpOptionsFor(const exec::Context& ctx) const {
+  // Mirrors RunOmegaFamily's placement switch so the refresh path charges
+  // against the same tiers the training SpMMs did.
+  numa::NadpOptions nadp;
+  nadp.num_threads = ctx.threads();
+  nadp.allocator = options_.features.allocator;
+  nadp.beta = options_.beta;
+  nadp.enabled = options_.features.use_nadp;
+  nadp.use_wofp = options_.features.use_wofp;
+  nadp.wofp = options_.features.wofp;
+  switch (options_.system) {
+    case SystemKind::kOmegaDram:
+      nadp.sparse_tier = Tier::kDram;
+      nadp.dense_tier = Tier::kDram;
+      nadp.result_tier = Tier::kDram;
+      break;
+    case SystemKind::kOmegaPm:
+      nadp.sparse_tier = Tier::kPm;
+      nadp.dense_tier = Tier::kPm;
+      nadp.result_tier = Tier::kPm;
+      nadp.wofp.cache_placement = {Tier::kPm, 0};
+      break;
+    default:
+      nadp.sparse_tier = Tier::kPm;
+      nadp.dense_tier = Tier::kPm;
+      nadp.result_tier = Tier::kDram;
+      break;
+  }
+  return nadp;
+}
+
+Status DynamicEmbedder::Train(const exec::Context& ctx) {
+  if (!OmegaFamily(options_.system)) {
+    return Status::InvalidArgument(
+        "DynamicEmbedder supports the OMeGa-family systems only");
+  }
+  // Fold any pending mutations into the snapshot first (uncharged: the full
+  // run's graph-read phase re-prices the whole structure anyway).
+  if (mutable_.pending() > 0) mutable_.Synchronize();
+
+  EngineOptions opts = options_;
+  opts.prone.capture = &capture_;
+  OMEGA_ASSIGN_OR_RETURN(RunReport report,
+                         RunEmbedding(mutable_.graph(), dataset_, opts, ctx));
+  train_report_ = std::move(report);
+  embedding_ = train_report_.embedding;
+  adjacency_ = graph::CsdbMatrix::FromGraph(mutable_.graph());
+  propagation_ = embed::BuildPropagationMatrix(adjacency_);
+  // Warm the stage-2 plan so the first Refresh exercises the delta
+  // invalidation path instead of a cold build.
+  plan_cache_.Get(propagation_, NadpOptionsFor(ctx), ctx);
+  return Status::OK();
+}
+
+Result<RefreshReport> DynamicEmbedder::Refresh(const exec::Context& ctx,
+                                               bool refresh_all_rows) {
+  if (!trained()) {
+    return Status::InvalidArgument("Refresh called before Train");
+  }
+  memsim::MemorySystem* ms = ctx.ms();
+  if (ms == nullptr) return Status::InvalidArgument("context has no MemorySystem");
+  const int threads = std::max(1, ctx.threads());
+  const numa::NadpOptions nadp = NadpOptionsFor(ctx);
+  sparse::SpmmPlacements placements;
+  placements.index = {Tier::kDram, 0};
+  placements.sparse = {nadp.sparse_tier, 0};
+  placements.dense = {nadp.dense_tier, 0};
+  placements.result = {nadp.result_tier, 0};
+
+  RefreshReport report;
+  exec::PhaseSpan span(ctx, "dynamic.refresh");
+
+  // ---- 1. Op-log merge + graph rebuild (graph layer). ----------------------
+  memsim::SimClock sync_clock;
+  memsim::WorkerCtx serial_ctx;
+  serial_ctx.active_threads = 1;
+  serial_ctx.clock = &sync_clock;
+  graph::GraphDelta delta = mutable_.Synchronize(ms, &serial_ctx);
+  report.sync_seconds = sync_clock.seconds();
+  report.epoch = mutable_.epoch();
+  report.mutations_applied = delta.applied.size();
+  report.mutations_rejected = delta.rejected_total();
+  report.touched_nodes = delta.touched_nodes.size();
+  if (delta.empty() && !refresh_all_rows) {
+    report.no_op = true;
+    report.total_seconds = report.sync_seconds;
+    span.AddSimSeconds(report.total_seconds);
+    return report;
+  }
+
+  // ---- 2. CSDB delta overlay + propagation rebuild (sparse layer). ---------
+  memsim::SimClock delta_clock;
+  serial_ctx.clock = &delta_clock;
+  OMEGA_ASSIGN_OR_RETURN(
+      sparse::CsdbDeltaResult dres,
+      sparse::ApplyDelta(adjacency_, mutable_.graph(), delta.touched_nodes, ms,
+                         &serial_ctx));
+  report.csdb_touched_rows = dres.touched_rows;
+  report.csdb_reused_rows = dres.reused_rows;
+  graph::CsdbMatrix new_adjacency = std::move(dres.matrix);
+  graph::CsdbMatrix new_propagation = embed::BuildPropagationMatrix(new_adjacency);
+  // Renormalization: s_uv = a_uv * d_u^-1/2 * d_v^-1/2 changes only where an
+  // endpoint's degree changed, i.e. in touched rows and touched columns — the
+  // symmetric structure makes those the same arc set, traversed twice (once
+  // row-wise in place, once column-wise through the row index).
+  uint64_t touched_nnz = 0;
+  for (const graph::NodeId v : delta.touched_nodes) {
+    touched_nnz += mutable_.graph().degree(v) + 1;  // + the diagonal entry
+  }
+  ms->ChargeAccess(&serial_ctx, placements.sparse, MemOp::kRead,
+                   Pattern::kSequential, touched_nnz * 8);
+  ms->ChargeAccess(&serial_ctx, placements.sparse, MemOp::kWrite,
+                   Pattern::kRandom, touched_nnz * 8,
+                   std::max<uint64_t>(1, 2 * delta.touched_nodes.size()));
+  ms->ChargeCompute(&serial_ctx,
+                    touched_nnz * 8 + delta.touched_nodes.size() * 4);
+  report.delta_seconds = delta_clock.seconds();
+
+  // ---- 3. Plan-cache invalidation + re-warm. -------------------------------
+  const uint64_t hits0 = plan_cache_.hits();
+  const uint64_t misses0 = plan_cache_.misses();
+  const uint64_t inval0 = plan_cache_.invalidations();
+  report.plan_slots_affected =
+      plan_cache_.InvalidateDelta(propagation_, new_propagation);
+  const numa::NadpPlan& plan = plan_cache_.Get(new_propagation, nadp, ctx);
+  const bool plan_rebuilt = plan_cache_.misses() > misses0;
+  span.AddPlanCounters(plan_cache_.hits() - hits0, plan_cache_.misses() - misses0,
+                       plan_cache_.invalidations() - inval0);
+
+  // ---- 4. Re-permute the captured recurrence state if the order moved. -----
+  const size_t n = new_adjacency.num_rows();
+  const size_t d = capture_.r0.cols();
+  const std::vector<graph::NodeId>& new_perm = new_adjacency.perm();
+  memsim::SimClock refresh_clock;
+  serial_ctx.clock = &refresh_clock;
+  if (capture_.perm != new_perm) {
+    std::vector<uint32_t> new_row_of_node(n);
+    for (size_t r = 0; r < n; ++r) {
+      new_row_of_node[new_perm[r]] = static_cast<uint32_t>(r);
+    }
+    auto repermute = [&](linalg::DenseMatrix* m) {
+      linalg::DenseMatrix out(m->rows(), m->cols());
+      for (size_t c = 0; c < m->cols(); ++c) {
+        const float* src = m->ColData(c);
+        float* dst = out.ColData(c);
+        for (size_t r = 0; r < m->rows(); ++r) {
+          dst[new_row_of_node[capture_.perm[r]]] = src[r];
+        }
+      }
+      *m = std::move(out);
+    };
+    repermute(&capture_.r0);
+    for (linalg::DenseMatrix& t : capture_.terms) repermute(&t);
+    capture_.perm = new_perm;
+    const uint64_t mat_bytes = (1 + capture_.terms.size()) * n * d * 4;
+    ms->ChargeAccess(&serial_ctx, placements.dense, MemOp::kRead,
+                     Pattern::kSequential, mat_bytes);
+    ms->ChargeAccess(&serial_ctx, placements.dense, MemOp::kWrite,
+                     Pattern::kRandom, mat_bytes,
+                     (1 + capture_.terms.size()) * n);
+  }
+
+  // ---- 5. k-hop affected set (multi-source BFS over the new graph). --------
+  const size_t order = capture_.coefficients.size();  // K terms: T_0..T_{K-1}
+  const graph::Graph& g = mutable_.graph();
+  std::vector<uint32_t> dist;
+  if (refresh_all_rows) {
+    dist.assign(n, 0);
+  } else {
+    dist = graph::BfsDistances(g, delta.touched_nodes);
+    uint64_t scanned = 0;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (dist[v] != UINT32_MAX && dist[v] + 1 < order) scanned += g.degree(v);
+    }
+    ms->ChargeAccess(&serial_ctx, placements.index, MemOp::kRead,
+                     Pattern::kRandom, scanned * 8,
+                     std::max<uint64_t>(1, scanned));
+    ms->ChargeCompute(&serial_ctx, scanned * 2);
+  }
+  // row_level[r]: BFS depth of the node CSDB row r embeds (UINT32_MAX = out
+  // of every ball).
+  std::vector<uint32_t> row_level(n);
+  for (size_t r = 0; r < n; ++r) row_level[r] = dist[new_perm[r]];
+
+  // ---- 6. Per-level recurrence update restricted to ball_k. ----------------
+  // Priced like NaDP (Fig. 10): each worker charges its own socket's devices
+  // at socket-group contention, not the whole pool against one socket.
+  memsim::ClockGroup clocks(static_cast<size_t>(threads));
+  std::vector<memsim::WorkerCtx> wctx(threads);
+  std::vector<int> socket_threads(
+      std::max(1, ms->topology().num_sockets()), 0);
+  for (int t = 0; t < threads; ++t) {
+    ++socket_threads[ms->topology().SocketOfWorker(t, threads)];
+  }
+  std::vector<sparse::SpmmPlacements> worker_placements(threads, placements);
+  for (int t = 0; t < threads; ++t) {
+    const int s = ms->topology().SocketOfWorker(t, threads);
+    wctx[t].worker = t;
+    wctx[t].cpu_socket = s;
+    wctx[t].active_threads = socket_threads[s];
+    wctx[t].clock = &clocks.clock(t);
+    worker_placements[t].index.socket = s;
+    worker_placements[t].sparse.socket = s;
+    worker_placements[t].dense.socket = s;
+    worker_placements[t].result.socket = s;
+  }
+  double spmm_seconds = 0.0;
+  // A structural delta rebuilt the plan, so its WoFP stores were re-staged:
+  // charge that warm-up once per refresh (the frames then stay resident for
+  // every level below — unlike NadpExecute, there is no per-call-planning
+  // parity to preserve here, so the build is not replayed per SpMM).
+  if (plan_rebuilt && nadp.use_wofp && nadp.wofp.charge_build) {
+    double replay_max = 0.0;
+    for (int t = 0; t < threads; ++t) {
+      if (const prefetch::WofpPrefetcher* cache = plan.cache(t)) {
+        const double before = clocks.clock(t).seconds();
+        cache->ReplayBuildCharges(&wctx[t]);
+        replay_max = std::max(replay_max, clocks.clock(t).seconds() - before);
+      }
+    }
+    spmm_seconds += replay_max;
+  }
+  linalg::DenseMatrix tmp(n, d);
+  std::vector<uint32_t> rows;
+  for (size_t k = 1; k < order; ++k) {
+    rows.clear();
+    std::vector<sched::RowRange> ranges;
+    for (uint32_t r = 0; r < n; ++r) {
+      if (row_level[r] <= k) {
+        rows.push_back(r);
+        if (!ranges.empty() && ranges.back().end == r) {
+          ++ranges.back().end;
+        } else {
+          ranges.push_back({r, r + 1});
+        }
+      }
+    }
+    if (rows.empty()) continue;
+
+    const std::vector<sched::Workload> parts =
+        SplitRanges(new_propagation, ranges, options_.beta, threads);
+    const linalg::DenseMatrix& prev = k == 1 ? capture_.r0 : capture_.terms[k - 2];
+    std::vector<double> before(threads);
+    for (int t = 0; t < threads; ++t) before[t] = clocks.clock(t).seconds();
+    auto run_part = [&](size_t t) {
+      if (t >= parts.size() || parts[t].empty()) return;
+      sparse::ComputeWorkloadCsdb(new_propagation, prev, &tmp, parts[t]);
+      sparse::ChargeWorkloadCsdb(new_propagation, d, parts[t],
+                                 worker_placements[t], ms, &wctx[t],
+                                 plan.cache(t));
+    };
+    if (ctx.pool() != nullptr && threads > 1) {
+      ctx.pool()->ParallelFor(static_cast<size_t>(threads),
+                              [&](size_t, size_t begin, size_t end) {
+                                for (size_t t = begin; t < end; ++t) run_part(t);
+                              });
+    } else {
+      for (int t = 0; t < threads; ++t) run_part(static_cast<size_t>(t));
+    }
+    double level_max = 0.0;
+    for (int t = 0; t < threads; ++t) {
+      level_max = std::max(level_max, clocks.clock(t).seconds() - before[t]);
+    }
+    spmm_seconds += level_max;
+
+    // In-place term update — exact scalar replication of the recurrence in
+    // embed/chebyshev.cc (zero-init accumulator, ascending AddScaled order),
+    // so refreshed rows match a from-scratch recompute bit for bit.
+    linalg::DenseMatrix& t_k = capture_.terms[k - 1];
+    const linalg::DenseMatrix* prev2 =
+        k >= 2 ? (k == 2 ? &capture_.r0 : &capture_.terms[k - 3]) : nullptr;
+    auto update_rows = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const uint32_t r = rows[i];
+        for (size_t c = 0; c < d; ++c) {
+          if (k == 1) {
+            t_k.At(r, c) = tmp.At(r, c) * -1.0f;
+          } else {
+            float acc = 0.0f;
+            acc += -2.0f * tmp.At(r, c);
+            acc += -1.0f * prev2->At(r, c);
+            t_k.At(r, c) = acc;
+          }
+        }
+      }
+    };
+    if (ctx.pool() != nullptr && threads > 1 && rows.size() >= 256) {
+      ctx.pool()->ParallelFor(rows.size(), [&](size_t, size_t begin, size_t end) {
+        update_rows(begin, end);
+      });
+    } else {
+      update_rows(0, rows.size());
+    }
+    const uint64_t pass_bytes = rows.size() * d * 4;
+    ms->ChargeAccess(&serial_ctx, placements.dense, MemOp::kRead,
+                     Pattern::kSequential, (k == 1 ? 1 : 2) * pass_bytes);
+    ms->ChargeAccess(&serial_ctx, placements.dense, MemOp::kWrite,
+                     Pattern::kSequential, pass_bytes);
+    ms->ChargeCompute(&serial_ctx, rows.size() * d * 2);
+  }
+
+  // ---- 7. Re-accumulate + re-normalize the affected output rows. -----------
+  rows.clear();
+  for (uint32_t r = 0; r < n; ++r) {
+    if (row_level[r] <= order - 1) rows.push_back(r);
+  }
+  report.affected_rows = rows.size();
+  report.refreshed_nodes.reserve(rows.size());
+  for (const uint32_t r : rows) report.refreshed_nodes.push_back(new_perm[r]);
+  std::sort(report.refreshed_nodes.begin(), report.refreshed_nodes.end());
+
+  auto output_rows = [&](size_t begin, size_t end) {
+    std::vector<float> row_buf(d);
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t r = rows[i];
+      for (size_t c = 0; c < d; ++c) {
+        float acc = 0.0f;
+        acc += static_cast<float>(capture_.coefficients[0]) * capture_.r0.At(r, c);
+        for (size_t k = 1; k < order; ++k) {
+          acc += static_cast<float>(capture_.coefficients[k]) *
+                 capture_.terms[k - 1].At(r, c);
+        }
+        row_buf[c] = acc;
+      }
+      if (options_.prone.l2_normalize_rows) {
+        // Same arithmetic as ProneEmbed's normalize_rows.
+        double norm2 = 0.0;
+        for (size_t c = 0; c < d; ++c) {
+          const double v = row_buf[c];
+          norm2 += v * v;
+        }
+        const float inv =
+            norm2 > 0.0 ? static_cast<float>(1.0 / std::sqrt(norm2)) : 0.0f;
+        for (size_t c = 0; c < d; ++c) row_buf[c] *= inv;
+      }
+      const graph::NodeId node = new_perm[r];
+      for (size_t c = 0; c < d; ++c) embedding_.At(node, c) = row_buf[c];
+    }
+  };
+  if (ctx.pool() != nullptr && threads > 1 && rows.size() >= 256) {
+    ctx.pool()->ParallelFor(rows.size(), [&](size_t, size_t begin, size_t end) {
+      output_rows(begin, end);
+    });
+  } else {
+    output_rows(0, rows.size());
+  }
+  const uint64_t out_bytes = rows.size() * d * 4;
+  ms->ChargeAccess(&serial_ctx, placements.dense, MemOp::kRead,
+                   Pattern::kSequential, (order + 1) * out_bytes);
+  ms->ChargeAccess(&serial_ctx, placements.result, MemOp::kWrite,
+                   Pattern::kSequential, out_bytes);
+  ms->ChargeCompute(&serial_ctx, rows.size() * d * (2 * order + 3));
+
+  report.refresh_seconds = spmm_seconds + refresh_clock.seconds();
+  report.total_seconds =
+      report.sync_seconds + report.delta_seconds + report.refresh_seconds;
+  span.AddSimSeconds(report.total_seconds);
+
+  // ---- 8. Commit the new epoch's sparse state. -----------------------------
+  adjacency_ = std::move(new_adjacency);
+  propagation_ = std::move(new_propagation);
+  return report;
+}
+
+}  // namespace omega::engine

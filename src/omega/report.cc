@@ -142,6 +142,13 @@ std::string PhaseToJson(const exec::PhaseRecord& p, const std::string& indent) {
            ", \"evictions\": " + JsonU64(p.cache_evictions) +
            ", \"hit_rate\": " + JsonDouble(p.CacheHitRate()) + "}";
   }
+  if (p.plan_hits + p.plan_misses + p.plan_invalidations > 0) {
+    // Plan-cache accounting: emitted only for phases that looked up an SpMM
+    // inspector plan (the engine's SpMM and plan.build phases).
+    out += ",\n" + in + "\"plan\": {\"hits\": " + JsonU64(p.plan_hits) +
+           ", \"misses\": " + JsonU64(p.plan_misses) +
+           ", \"invalidations\": " + JsonU64(p.plan_invalidations) + "}";
+  }
   if (p.faults.InjectedTotal() > 0) {
     out += ",\n" + in + "\"faults\": " +
            FaultCountersToJson(p.faults, true, in);

@@ -23,6 +23,8 @@ HotCache::Stats HotCache::Stats::operator-(const Stats& other) const {
   d.evictions -= other.evictions;
   d.bypassed -= other.bypassed;
   d.degraded_fetches -= other.degraded_fetches;
+  d.refreshed_hot -= other.refreshed_hot;
+  d.refresh_invalidated -= other.refresh_invalidated;
   return d;
 }
 
@@ -155,12 +157,44 @@ void HotCache::FetchKeys(memsim::WorkerCtx* ctx, const uint32_t* keys,
   }
 }
 
+void HotCache::RefreshKeys(memsim::WorkerCtx* ctx, const uint32_t* keys,
+                           size_t n) {
+  size_t hot_count = 0;
+  size_t invalidated = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t key = keys[i];
+    if (hot_set_.Contains(key)) {
+      ++hot_count;
+      continue;
+    }
+    const buffer::PageKey pk{memsim::Tier::kDram, options_.socket, key};
+    auto handle = manager_.Lookup(pk);
+    const bool resident = handle.valid();
+    handle.Release();
+    if (resident && manager_.Evict(pk).ok()) ++invalidated;
+  }
+  refreshed_hot_.fetch_add(hot_count, std::memory_order_relaxed);
+  refresh_invalidated_.fetch_add(invalidated, std::memory_order_relaxed);
+  if (hot_count > 0 && ctx != nullptr) {
+    // Re-stage the hot vectors in one coalesced pass: stream the fresh rows
+    // off the cold tier and rewrite their resident DRAM frames.
+    ms_->ChargeAccess(ctx, options_.cold_home, memsim::MemOp::kRead,
+                      memsim::Pattern::kRandom, hot_count * vec_bytes_,
+                      hot_count);
+    ms_->ChargeAccess(ctx, {memsim::Tier::kDram, options_.socket},
+                      memsim::MemOp::kWrite, memsim::Pattern::kRandom,
+                      hot_count * vec_bytes_, hot_count);
+  }
+}
+
 HotCache::Stats HotCache::GetStats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.bypassed = bypassed_.load(std::memory_order_relaxed);
   s.degraded_fetches = degraded_fetches_.load(std::memory_order_relaxed);
+  s.refreshed_hot = refreshed_hot_.load(std::memory_order_relaxed);
+  s.refresh_invalidated = refresh_invalidated_.load(std::memory_order_relaxed);
   s.evictions = manager_.GetStats().evictions;
   s.hot_keys = hot_set_.size();
   return s;

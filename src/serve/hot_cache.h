@@ -61,6 +61,8 @@ class HotCache {
     uint64_t evictions = 0;         ///< LRU frames dropped for admissions
     uint64_t bypassed = 0;          ///< misses not admitted (budget pinned)
     uint64_t degraded_fetches = 0;  ///< cold reads served by the replica
+    uint64_t refreshed_hot = 0;       ///< hot keys re-staged in place
+    uint64_t refresh_invalidated = 0; ///< LRU-resident keys evicted as stale
     size_t hot_keys = 0;            ///< size of the pinned hot set
 
     double HitRate() const {
@@ -89,6 +91,13 @@ class HotCache {
   void FetchKeys(memsim::WorkerCtx* ctx, const uint32_t* keys, size_t n,
                  bool grouped);
 
+  /// Reconciles the cache after the caller rewrote the vectors of `keys` in
+  /// the backing embedding: hot keys are re-staged in place (one coalesced
+  /// cold read + DRAM rewrite — they stay pinned and keep serving hits), and
+  /// LRU-resident keys are evicted so the next fetch misses to the fresh
+  /// vector. Keys resident nowhere cost nothing.
+  void RefreshKeys(memsim::WorkerCtx* ctx, const uint32_t* keys, size_t n);
+
   bool IsHot(uint32_t key) const { return hot_set_.Contains(key); }
   size_t vec_bytes() const { return vec_bytes_; }
   const HotCacheOptions& options() const { return options_; }
@@ -111,6 +120,8 @@ class HotCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> bypassed_{0};
   std::atomic<uint64_t> degraded_fetches_{0};
+  std::atomic<uint64_t> refreshed_hot_{0};
+  std::atomic<uint64_t> refresh_invalidated_{0};
 };
 
 }  // namespace omega::serve

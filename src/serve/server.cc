@@ -174,8 +174,28 @@ void EmbeddingServer::DrainInline() {
   }
 }
 
+void EmbeddingServer::RefreshRows(const std::vector<uint32_t>& keys,
+                                  const std::function<void()>& apply) {
+  exec::PhaseSpan span(ctx_, "serve.refresh");
+  // Exclusive vs the workers' shared locks in ServeBatch: no batch reads the
+  // embedding mid-swap, and every batch admitted afterwards sees the fresh
+  // rows and the reconciled cache.
+  std::unique_lock<std::shared_mutex> lock(refresh_mu_);
+  if (apply) apply();
+  memsim::WorkerCtx wctx;
+  wctx.worker = static_cast<int>(memsim::kFaultStreamServe);
+  wctx.cpu_socket = options_.cache.socket;
+  wctx.active_threads = 1;
+  wctx.clock = &refresh_clock_;
+  const double before = refresh_clock_.seconds();
+  cache_->RefreshKeys(&wctx, keys.data(), keys.size());
+  refreshes_.fetch_add(1, std::memory_order_relaxed);
+  span.AddSimSeconds(refresh_clock_.seconds() - before);
+}
+
 void EmbeddingServer::ServeBatch(memsim::WorkerCtx* wctx,
                                  std::vector<Pending>* batch) {
+  std::shared_lock<std::shared_mutex> refresh_lock(refresh_mu_);
   const size_t nb = batch->size();
   const size_t d = embedding_.cols();
   const uint32_t n = static_cast<uint32_t>(embedding_.rows());
@@ -254,7 +274,9 @@ EmbeddingServer::Stats EmbeddingServer::GetStats() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
-  s.sim_seconds = warm_clock_.seconds() + clocks_.MaxSeconds();
+  s.refreshes = refreshes_.load(std::memory_order_relaxed);
+  s.sim_seconds =
+      warm_clock_.seconds() + refresh_clock_.seconds() + clocks_.MaxSeconds();
   s.cache = cache_->GetStats();
   return s;
 }

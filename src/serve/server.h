@@ -25,9 +25,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -79,7 +81,8 @@ class EmbeddingServer {
     uint64_t rejected = 0;
     uint64_t completed = 0;
     uint64_t batches = 0;
-    double sim_seconds = 0.0;  ///< warmup + slowest worker's charged clock
+    uint64_t refreshes = 0;    ///< RefreshRows calls served
+    double sim_seconds = 0.0;  ///< warmup + refreshes + slowest worker's clock
     HotCache::Stats cache;
   };
 
@@ -108,6 +111,16 @@ class EmbeddingServer {
   /// Submitting before Start() queues work the workers pick up at Start().
   Result<std::future<QueryResult>> Submit(const Query& query);
 
+  /// Embedding-refresh hook for the dynamic-graph path: quiesces the serving
+  /// workers (exclusive vs every in-flight ServeBatch), runs `apply` — the
+  /// caller's callback that swaps the refreshed rows into the backing
+  /// embedding matrix — then reconciles the hot cache for `keys`
+  /// (HotCache::RefreshKeys: hot rows re-staged and still pinned,
+  /// LRU-resident rows invalidated). Safe to call while serving; queued
+  /// requests observe the refreshed rows. Charged as a "serve.refresh" phase.
+  void RefreshRows(const std::vector<uint32_t>& keys,
+                   const std::function<void()>& apply = nullptr);
+
   Stats GetStats() const;
   const ServerOptions& options() const { return options_; }
   const exec::Context& context() const { return ctx_; }
@@ -131,6 +144,11 @@ class EmbeddingServer {
   std::unique_ptr<HotCache> cache_;
   memsim::ClockGroup clocks_;
   memsim::SimClock warm_clock_;
+  memsim::SimClock refresh_clock_;
+
+  /// Readers: ServeBatch (scores against the embedding). Writer: RefreshRows
+  /// (mutates the embedding through `apply` and reconciles the cache).
+  std::shared_mutex refresh_mu_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -144,6 +162,7 @@ class EmbeddingServer {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> refreshes_{0};
 };
 
 }  // namespace omega::serve

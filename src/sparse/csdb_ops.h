@@ -16,8 +16,32 @@
 #include "graph/csdb.h"
 #include "graph/csr.h"
 #include "linalg/dense_matrix.h"
+#include "memsim/memory_system.h"
 
 namespace omega::sparse {
+
+/// Result of a CSDB delta application (ApplyDelta below).
+struct CsdbDeltaResult {
+  graph::CsdbMatrix matrix;
+  uint64_t touched_rows = 0;  ///< rows re-gathered from the new graph
+  uint64_t reused_rows = 0;   ///< rows remapped from the old matrix
+  double sim_seconds = 0.0;   ///< simulated cost charged (0 without a memsim)
+};
+
+/// Applies a graph delta to an existing CSDB matrix without a full rebuild.
+/// `touched_nodes` are the nodes whose adjacency changed between the graph
+/// `old_csdb` was built from and `new_graph` (a MutableGraph::Synchronize
+/// delta's touched set). Untouched rows keep their gathered (col, value)
+/// payload and are only remapped into the new degree-descending id space;
+/// touched rows are re-gathered from `new_graph`. The result is byte-identical
+/// to CsdbMatrix::FromGraph(new_graph) — same perm, metadata, col_list and
+/// nnz_list — but its simulated cost scales with |touched| + remap traffic
+/// instead of a full sort-and-gather.
+Result<CsdbDeltaResult> ApplyDelta(const graph::CsdbMatrix& old_csdb,
+                                   const graph::Graph& new_graph,
+                                   const std::vector<graph::NodeId>& touched_nodes,
+                                   memsim::MemorySystem* ms = nullptr,
+                                   memsim::WorkerCtx* ctx = nullptr);
 
 /// result = alpha * a + beta * b. Operands must share the same shape and be
 /// indexed in the same id space.

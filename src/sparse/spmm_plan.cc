@@ -1,6 +1,7 @@
 #include "sparse/spmm_plan.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.h"
 #include "sched/entropy.h"
@@ -31,7 +32,61 @@ SparseStructureKey MakeKey(const void* col_data, uint64_t nnz, uint32_t rows,
   return key;
 }
 
+// FNV-1a over 32-bit words: cheap, deterministic, and good enough for
+// change detection (collisions only weaken invalidation, never correctness
+// of the numerics — a stale plan still recomputes charges per execute).
+inline uint64_t HashWord(uint64_t h, uint32_t w) {
+  h ^= w;
+  return h * 0x100000001b3ull;
+}
+
 }  // namespace
+
+RowBlockFingerprint FingerprintOf(const graph::CsdbMatrix& a,
+                                  uint32_t stripe_rows) {
+  RowBlockFingerprint fp;
+  fp.stripe_rows = stripe_rows > 0 ? stripe_rows : 4096;
+  const uint32_t rows = a.num_rows();
+  const uint32_t stripes = rows == 0 ? 0 : (rows - 1) / fp.stripe_rows + 1;
+  fp.stripes.assign(stripes, 0xcbf29ce484222325ull);
+  fp.value_stripes.assign(stripes, 0xcbf29ce484222325ull);
+  const auto& cols = a.col_list();
+  const auto& vals = a.nnz_list();
+  for (auto cur = a.Rows(0); !cur.AtEnd(); cur.Next()) {
+    const uint32_t s = cur.row() / fp.stripe_rows;
+    uint64_t& h = fp.stripes[s];
+    uint64_t& hv = fp.value_stripes[s];
+    h = HashWord(h, cur.degree());
+    for (uint32_t k = 0; k < cur.degree(); ++k) {
+      h = HashWord(h, cols[cur.ptr() + k]);
+      uint32_t bits;
+      std::memcpy(&bits, &vals[cur.ptr() + k], sizeof(bits));
+      hv = HashWord(hv, bits);
+    }
+  }
+  fp.combined = 0xcbf29ce484222325ull;
+  fp.combined = HashWord(fp.combined, rows);
+  fp.combined = HashWord(fp.combined, a.num_cols());
+  for (const uint64_t h : fp.stripes) {
+    fp.combined = HashWord(fp.combined, static_cast<uint32_t>(h));
+    fp.combined = HashWord(fp.combined, static_cast<uint32_t>(h >> 32));
+  }
+  return fp;
+}
+
+std::vector<uint32_t> TouchedStripes(const RowBlockFingerprint& a,
+                                     const RowBlockFingerprint& b) {
+  std::vector<uint32_t> touched;
+  if (a.stripe_rows != b.stripe_rows || a.stripes.size() != b.stripes.size()) {
+    touched.resize(std::max(a.stripes.size(), b.stripes.size()));
+    for (uint32_t s = 0; s < touched.size(); ++s) touched[s] = s;
+    return touched;
+  }
+  for (uint32_t s = 0; s < a.stripes.size(); ++s) {
+    if (a.stripes[s] != b.stripes[s]) touched.push_back(s);
+  }
+  return touched;
+}
 
 SparseStructureKey StructureOf(const graph::CsdbMatrix& a) {
   return MakeKey(a.col_list().data(), a.nnz(), a.num_rows(), a.num_cols(),

@@ -43,12 +43,39 @@ struct SparseStructureKey {
   uint32_t first = 0;  ///< col sample at 0
   uint32_t mid = 0;    ///< col sample at nnz/2
   uint32_t last = 0;   ///< col sample at nnz-1
+  /// Optional content fingerprint (FingerprintOf().combined). 0 = not
+  /// computed; StructureOf never fills it — the dynamic path sets it where
+  /// pointer+sample identity is too weak (delta-applied matrices reuse sizes
+  /// and often allocator addresses).
+  uint64_t block_fingerprint = 0;
 
   bool operator==(const SparseStructureKey& other) const = default;
 };
 
 SparseStructureKey StructureOf(const graph::CsdbMatrix& a);
 SparseStructureKey StructureOf(const graph::CsrMatrix& a);
+
+/// Per-row-block content fingerprint of a CSDB matrix: the rows are cut into
+/// fixed stripes of `stripe_rows` CSDB rows and each stripe's structure
+/// (degrees + column ids) is hashed separately. Two uses: `combined` extends
+/// SparseStructureKey for the dynamic path, and comparing `stripes` between
+/// the pre- and post-delta matrices yields the touched row blocks so plan
+/// caches can invalidate only plans covering them.
+struct RowBlockFingerprint {
+  uint32_t stripe_rows = 0;
+  std::vector<uint64_t> stripes;  ///< one structure hash per stripe
+  std::vector<uint64_t> value_stripes;  ///< one value (nnz payload) hash per stripe
+  uint64_t combined = 0;          ///< hash over all stripe structure hashes
+};
+
+RowBlockFingerprint FingerprintOf(const graph::CsdbMatrix& a,
+                                  uint32_t stripe_rows = 4096);
+
+/// Stripe indices whose structure hash differs between two fingerprints (all
+/// stripes when the stripe widths or counts differ). Empty means the sparsity
+/// structure is unchanged — a weight-only delta at most.
+std::vector<uint32_t> TouchedStripes(const RowBlockFingerprint& a,
+                                     const RowBlockFingerprint& b);
 
 /// Reusable inspector state for the CSDB kernels: the allocator's workload
 /// vectors (with entropy/scatter annotations) and, optionally, the column

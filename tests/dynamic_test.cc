@@ -1,0 +1,430 @@
+// Dynamic-graph tests: op-log semantics and rejection accounting, CSDB delta
+// byte-identity against a full rebuild, mutation replay parsing, row-block
+// fingerprints and structure-aware plan-cache invalidation, incremental
+// refresh bit-identity across thread counts, and the serving refresh hook.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/graph_io.h"
+#include "graph/mutable_graph.h"
+#include "graph/rmat.h"
+#include "linalg/random_matrix.h"
+#include "numa/nadp.h"
+#include "omega/engine.h"
+#include "omega/incremental.h"
+#include "serve/server.h"
+#include "sparse/csdb_ops.h"
+#include "sparse/spmm_plan.h"
+
+namespace omega {
+namespace {
+
+using graph::CsdbMatrix;
+using graph::Graph;
+using graph::Mutation;
+using graph::MutationKind;
+using graph::MutableGraph;
+using graph::NodeId;
+
+Graph SmallGraph() {
+  // Node 5 is isolated (degree 0): CSDB must carry its empty row.
+  const std::vector<graph::Edge> edges = {
+      {0, 1, 1.0f}, {0, 2, 1.0f}, {1, 2, 1.0f}, {3, 4, 1.0f}};
+  return Graph::FromEdges(6, edges, /*undirected=*/true).value();
+}
+
+Graph RmatGraph(uint32_t scale = 9, uint64_t edges = 4000) {
+  graph::RmatParams params;
+  params.scale = scale;
+  params.num_edges = edges;
+  return graph::GenerateRmat(params).value();
+}
+
+bool HasEdge(const Graph& g, NodeId u, NodeId v) {
+  const NodeId* nbrs = g.neighbors(u);
+  for (uint32_t k = 0; k < g.degree(u); ++k) {
+    if (nbrs[k] == v) return true;
+  }
+  return false;
+}
+
+void ExpectCsdbIdentical(const CsdbMatrix& a, const CsdbMatrix& b) {
+  EXPECT_EQ(a.num_rows(), b.num_rows());
+  EXPECT_EQ(a.num_cols(), b.num_cols());
+  EXPECT_EQ(a.perm(), b.perm());
+  EXPECT_EQ(a.deg_list(), b.deg_list());
+  EXPECT_EQ(a.deg_ind(), b.deg_ind());
+  EXPECT_EQ(a.block_ptr(), b.block_ptr());
+  EXPECT_EQ(a.col_list(), b.col_list());
+  ASSERT_EQ(a.nnz_list().size(), b.nnz_list().size());
+  EXPECT_EQ(0, std::memcmp(a.nnz_list().data(), b.nnz_list().data(),
+                           a.nnz_list().size() * sizeof(float)));
+}
+
+TEST(MutableGraphTest, AppliesAndRejectsDeterministically) {
+  MutableGraph mg(SmallGraph(), /*num_workers=*/2);
+  EXPECT_EQ(mg.epoch(), 0u);
+
+  mg.Log(0, {MutationKind::kInsertEdge, 5, 3, 2.0f});   // degree 0 -> 1
+  mg.Log(0, {MutationKind::kInsertEdge, 0, 1, 1.0f});   // duplicate
+  mg.Log(1, {MutationKind::kDeleteEdge, 3, 4, 0.0f});   // node 4 isolated
+  mg.Log(1, {MutationKind::kDeleteEdge, 1, 4, 0.0f});   // absent
+  mg.Log(0, {MutationKind::kUpdateWeight, 0, 2, 7.0f});
+  mg.Log(1, {MutationKind::kUpdateWeight, 2, 4, 7.0f});  // absent
+  mg.Log(0, {MutationKind::kInsertEdge, 2, 2, 1.0f});    // self loop
+  mg.Log(0, {MutationKind::kInsertEdge, 0, 99, 1.0f});   // out of range
+  EXPECT_EQ(mg.pending(), 8u);
+
+  const graph::GraphDelta delta = mg.Synchronize();
+  EXPECT_EQ(mg.pending(), 0u);
+  EXPECT_EQ(mg.epoch(), 1u);
+  EXPECT_EQ(delta.applied.size(), 3u);
+  EXPECT_EQ(delta.rejected_duplicates, 1u);
+  EXPECT_EQ(delta.rejected_missing, 2u);
+  EXPECT_EQ(delta.rejected_self_loops, 1u);
+  EXPECT_EQ(delta.rejected_out_of_range, 1u);
+  EXPECT_EQ(delta.touched_nodes, (std::vector<NodeId>{0, 2, 3, 4, 5}));
+
+  const Graph& g = mg.graph();
+  EXPECT_TRUE(HasEdge(g, 5, 3));
+  EXPECT_FALSE(HasEdge(g, 3, 4));
+  EXPECT_EQ(g.degree(4), 0u);
+
+  // Nothing pending: no rebuild, no epoch bump.
+  const graph::GraphDelta empty = mg.Synchronize();
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(mg.epoch(), 1u);
+}
+
+TEST(MutableGraphTest, ConcurrentLoggingMatchesSequential) {
+  const Graph base = RmatGraph();
+  const int kWorkers = 8;
+  const int kPerWorker = 50;
+
+  // Per-worker streams generated up front so both runs log identical content.
+  std::vector<std::vector<Mutation>> streams(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    streams[w] = graph::SyntheticMutations(base, kPerWorker, 100 + w);
+  }
+
+  MutableGraph concurrent(base, kWorkers);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      for (const Mutation& m : streams[w]) concurrent.Log(w, m);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(concurrent.pending(),
+            static_cast<uint64_t>(kWorkers * kPerWorker));
+
+  MutableGraph sequential(base, kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    for (const Mutation& m : streams[w]) sequential.Log(w, m);
+  }
+
+  // The merge order is (worker, append index), not arrival time, so the two
+  // rebuilt graphs must be structurally identical.
+  const graph::GraphDelta a = concurrent.Synchronize();
+  const graph::GraphDelta b = sequential.Synchronize();
+  EXPECT_EQ(a.applied.size(), b.applied.size());
+  EXPECT_EQ(a.rejected_total(), b.rejected_total());
+  ExpectCsdbIdentical(CsdbMatrix::FromGraph(concurrent.graph()),
+                      CsdbMatrix::FromGraph(sequential.graph()));
+}
+
+TEST(CsdbDeltaTest, RandomizedSequencesMatchFullRebuild) {
+  MutableGraph mg(RmatGraph());
+  CsdbMatrix csdb = CsdbMatrix::FromGraph(mg.graph());
+  for (int round = 0; round < 6; ++round) {
+    const std::vector<Mutation> muts =
+        graph::SyntheticMutations(mg.graph(), 32, 500 + round);
+    for (const Mutation& m : muts) mg.Log(0, m);
+    const graph::GraphDelta delta = mg.Synchronize();
+    ASSERT_FALSE(delta.empty());
+
+    auto res = sparse::ApplyDelta(csdb, mg.graph(), delta.touched_nodes);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(res.value().touched_rows + res.value().reused_rows,
+              csdb.num_rows());
+    EXPECT_GT(res.value().reused_rows, 0u);
+    ExpectCsdbIdentical(res.value().matrix, CsdbMatrix::FromGraph(mg.graph()));
+    csdb = std::move(res.value().matrix);
+  }
+}
+
+TEST(CsdbDeltaTest, DegreeTransitionsAndIsolatedRows) {
+  MutableGraph mg(SmallGraph(), 1);
+  CsdbMatrix csdb = CsdbMatrix::FromGraph(mg.graph());
+
+  auto apply_and_check =
+      [&](std::vector<Mutation> muts) -> graph::GraphDelta {
+    for (const Mutation& m : muts) mg.Log(0, m);
+    graph::GraphDelta delta = mg.Synchronize();
+    EXPECT_FALSE(delta.empty());
+    auto res = sparse::ApplyDelta(csdb, mg.graph(), delta.touched_nodes);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    if (res.ok()) {
+      ExpectCsdbIdentical(res.value().matrix,
+                          CsdbMatrix::FromGraph(mg.graph()));
+      csdb = std::move(res.value().matrix);
+    }
+    return delta;
+  };
+
+  // Degree 0 -> 1: the isolated node joins a block, splitting the boundary.
+  apply_and_check({{MutationKind::kInsertEdge, 5, 0, 1.0f}});
+  // Row becomes isolated again: both its edges (one just added) removed.
+  apply_and_check({{MutationKind::kDeleteEdge, 5, 0, 0.0f},
+                   {MutationKind::kDeleteEdge, 3, 4, 0.0f}});
+  EXPECT_EQ(mg.graph().degree(5), 0u);
+  EXPECT_EQ(mg.graph().degree(4), 0u);
+  // Duplicate insert in the same batch as a real one: applied once.
+  const graph::GraphDelta d = apply_and_check(
+      {{MutationKind::kInsertEdge, 3, 4, 2.0f},
+       {MutationKind::kInsertEdge, 3, 4, 2.0f}});
+  EXPECT_EQ(d.applied.size(), 1u);
+  EXPECT_EQ(d.rejected_duplicates, 1u);
+}
+
+TEST(MutationStreamReaderTest, ParsesOpsCommentsAndBareEdges) {
+  const std::string path = ::testing::TempDir() + "/mutations_ok.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment\n"
+        << "a 0 1 2.5\n"
+        << "d 2 3\n"
+        << "u 1 2 0.5\n"
+        << "\n"
+        << "4 5\n";  // bare edge line: an insert with default weight
+  }
+  auto muts = graph::LoadMutationsText(path);
+  ASSERT_TRUE(muts.ok()) << muts.status().ToString();
+  ASSERT_EQ(muts.value().size(), 4u);
+  EXPECT_EQ(muts.value()[0].kind, MutationKind::kInsertEdge);
+  EXPECT_FLOAT_EQ(muts.value()[0].weight, 2.5f);
+  EXPECT_EQ(muts.value()[1].kind, MutationKind::kDeleteEdge);
+  EXPECT_EQ(muts.value()[2].kind, MutationKind::kUpdateWeight);
+  EXPECT_FLOAT_EQ(muts.value()[2].weight, 0.5f);
+  EXPECT_EQ(muts.value()[3].kind, MutationKind::kInsertEdge);
+  EXPECT_FLOAT_EQ(muts.value()[3].weight, 1.0f);
+  std::remove(path.c_str());
+}
+
+TEST(MutationStreamReaderTest, MalformedLinesSurfaceAsErrorsWithContext) {
+  const std::string path = ::testing::TempDir() + "/mutations_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "a 0 1\n"
+        << "u 1 2\n";  // weight update without a weight
+  }
+  auto muts = graph::LoadMutationsText(path);
+  ASSERT_FALSE(muts.ok());
+  // "path:line:" context points at the offending line.
+  EXPECT_NE(muts.status().ToString().find(path + ":2:"), std::string::npos)
+      << muts.status().ToString();
+  std::remove(path.c_str());
+
+  graph::MutationStreamReader reader;
+  std::vector<Mutation> out;
+  const auto not_open = reader.ReadBatch(16, &out);
+  ASSERT_FALSE(not_open.ok());
+  EXPECT_EQ(not_open.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FingerprintTest, TouchedStripesLocalizeStructuralChange) {
+  MutableGraph mg(RmatGraph());
+  const CsdbMatrix before = CsdbMatrix::FromGraph(mg.graph());
+  const sparse::RowBlockFingerprint fp0 = sparse::FingerprintOf(before, 64);
+  EXPECT_TRUE(sparse::TouchedStripes(fp0, sparse::FingerprintOf(before, 64))
+                  .empty());
+
+  for (const Mutation& m : graph::SyntheticMutations(mg.graph(), 4, 77)) {
+    mg.Log(0, m);
+  }
+  mg.Synchronize();
+  const CsdbMatrix after = CsdbMatrix::FromGraph(mg.graph());
+  const sparse::RowBlockFingerprint fp1 = sparse::FingerprintOf(after, 64);
+  const std::vector<uint32_t> touched = sparse::TouchedStripes(fp0, fp1);
+  EXPECT_FALSE(touched.empty());
+  EXPECT_LT(touched.size(), fp1.stripes.size());  // localized, not wholesale
+  EXPECT_NE(fp0.combined, fp1.combined);
+
+  // Weight-only change: structure stripes agree, value stripes differ.
+  CsdbMatrix scaled = CsdbMatrix::FromGraph(mg.graph());
+  sparse::ScaleValues(&scaled, 2.0f);
+  const sparse::RowBlockFingerprint fp2 = sparse::FingerprintOf(scaled, 64);
+  EXPECT_TRUE(sparse::TouchedStripes(fp1, fp2).empty());
+  EXPECT_NE(fp1.value_stripes, fp2.value_stripes);
+}
+
+TEST(PlanCacheTest, DeltaInvalidationRebindsWeightOnlyDropsStructural) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ThreadPool pool(4);
+  const exec::Context ctx(ms.get(), &pool, 4);
+
+  MutableGraph mg(RmatGraph());
+  CsdbMatrix m1 = CsdbMatrix::FromGraph(mg.graph());
+  numa::NadpOptions options;
+  options.num_threads = 4;
+
+  numa::NadpPlanCache cache;
+  cache.Get(m1, options, ctx);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Get(m1, options, ctx);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Weight-only delta: same structure, new values (and new storage): the
+  // slot is rebound, not dropped, so the next Get hits.
+  CsdbMatrix m2 = m1;
+  sparse::ScaleValues(&m2, 0.5f);
+  EXPECT_EQ(cache.InvalidateDelta(m1, m2), 1u);
+  cache.Get(m2, options, ctx);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.invalidations(), 0u);
+
+  // Structural delta: the covered slot is invalidated; the next Get misses.
+  for (const Mutation& m : graph::SyntheticMutations(mg.graph(), 8, 42)) {
+    mg.Log(0, m);
+  }
+  mg.Synchronize();
+  CsdbMatrix m3 = CsdbMatrix::FromGraph(mg.graph());
+  EXPECT_EQ(cache.InvalidateDelta(m2, m3), 1u);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  cache.Get(m3, options, ctx);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+class IncrementalRefreshTest : public ::testing::Test {
+ protected:
+  engine::EngineOptions Options(int threads) {
+    engine::EngineOptions opts;
+    opts.system = engine::SystemKind::kOmega;
+    opts.num_threads = threads;
+    opts.prone.dim = 8;
+    opts.prone.oversample = 4;
+    opts.prone.chebyshev_order = 3;
+    return opts;
+  }
+
+  /// Trains on `base`, logs `muts` and refreshes; returns the embedding.
+  linalg::DenseMatrix RunDynamic(const Graph& base,
+                                 const std::vector<Mutation>& muts, int threads,
+                                 bool refresh_all, engine::RefreshReport* report) {
+    auto ms = memsim::MemorySystem::CreateDefault();
+    ThreadPool pool(threads);
+    const exec::Context ctx(ms.get(), &pool, threads);
+    engine::DynamicEmbedder dyn(base, Options(threads), "test", threads);
+    EXPECT_TRUE(dyn.Train(ctx).ok());
+    for (size_t i = 0; i < muts.size(); ++i) {
+      dyn.Log(static_cast<int>(i), muts[i]);
+    }
+    auto res = dyn.Refresh(ctx, refresh_all);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    if (report != nullptr) *report = res.value();
+    return dyn.embedding();
+  }
+};
+
+TEST_F(IncrementalRefreshTest, SelectiveMatchesFullRecomputeAcrossThreads) {
+  const Graph base = RmatGraph();
+  const std::vector<Mutation> muts = graph::SyntheticMutations(base, 16, 9);
+
+  engine::RefreshReport selective_report;
+  const linalg::DenseMatrix reference =
+      RunDynamic(base, muts, 1, /*refresh_all=*/true, nullptr);
+  for (const int threads : {1, 2, 8}) {
+    engine::RefreshReport r;
+    const linalg::DenseMatrix selective =
+        RunDynamic(base, muts, threads, /*refresh_all=*/false, &r);
+    ASSERT_EQ(selective.bytes(), reference.bytes());
+    EXPECT_EQ(0, std::memcmp(selective.data(), reference.data(),
+                             reference.bytes()))
+        << "selective refresh diverged at " << threads << " threads";
+    EXPECT_EQ(r.mutations_applied, muts.size());
+    EXPECT_GT(r.affected_rows, r.touched_nodes);
+    EXPECT_LT(r.affected_rows, base.num_nodes());  // genuinely selective
+    EXPECT_GT(r.total_seconds, 0.0);
+    selective_report = r;
+  }
+  // The refreshed set is the (K-1)-hop ball of the touched nodes.
+  EXPECT_EQ(selective_report.refreshed_nodes.size(),
+            selective_report.affected_rows);
+}
+
+TEST_F(IncrementalRefreshTest, NoPendingMutationsIsANoOp) {
+  const Graph base = RmatGraph(8, 1500);
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ThreadPool pool(2);
+  const exec::Context ctx(ms.get(), &pool, 2);
+  engine::DynamicEmbedder dyn(base, Options(2), "test", 2);
+  ASSERT_TRUE(dyn.Train(ctx).ok());
+  const linalg::DenseMatrix before = dyn.embedding();
+
+  auto res = dyn.Refresh(ctx);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res.value().no_op);
+  EXPECT_EQ(res.value().affected_rows, 0u);
+  EXPECT_EQ(0, std::memcmp(before.data(), dyn.embedding().data(),
+                           before.bytes()));
+}
+
+TEST(ServeRefreshTest, RefreshRowsSwapsEmbeddingAndReconcilesCache) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  linalg::DenseMatrix embedding = linalg::GaussianMatrix(64, 8, 3);
+  serve::ServerOptions options;
+  options.worker_threads = 2;
+  // 8 vectors of 32 B split evenly: 4 hot-pinned keys, 4 LRU frames.
+  options.cache.capacity_bytes = 8 * 8 * sizeof(float);
+  options.cache.hot_fraction = 0.5;
+  const exec::Context ctx(ms.get(), nullptr, 2);
+  serve::EmbeddingServer server(embedding, options, ctx);
+
+  std::vector<prefetch::ScoredKey> popularity;
+  for (uint32_t k = 0; k < 8; ++k) {
+    popularity.push_back({k, 100.0 - k});  // keys 0..3 become the hot set
+  }
+  server.WarmHotSet(std::move(popularity));
+  ASSERT_TRUE(server.Start().ok());
+
+  // Pull key 10 through the LRU so the refresh has a resident key to evict.
+  auto warm = server.Submit({serve::QueryKind::kLookup, 10, 0});
+  ASSERT_TRUE(warm.ok());
+  warm.value().get();
+
+  const std::vector<uint32_t> refreshed = {0, 10, 50};
+  server.RefreshRows(refreshed, [&] {
+    for (const uint32_t key : refreshed) {
+      for (size_t c = 0; c < embedding.cols(); ++c) {
+        embedding.At(key, c) = static_cast<float>(key + c);
+      }
+    }
+  });
+
+  // Queries admitted after the refresh observe the swapped rows.
+  auto after = server.Submit({serve::QueryKind::kLookup, 10, 0});
+  ASSERT_TRUE(after.ok());
+  const serve::QueryResult result = after.value().get();
+  for (size_t c = 0; c < embedding.cols(); ++c) {
+    EXPECT_FLOAT_EQ(result.embedding[c], static_cast<float>(10 + c));
+  }
+  server.Stop();
+
+  const serve::EmbeddingServer::Stats stats = server.GetStats();
+  EXPECT_EQ(stats.refreshes, 1u);
+  EXPECT_EQ(stats.cache.refreshed_hot, 1u);        // key 0 re-staged in place
+  EXPECT_EQ(stats.cache.refresh_invalidated, 1u);  // key 10 dropped from LRU
+  EXPECT_GT(stats.sim_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace omega

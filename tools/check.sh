@@ -12,6 +12,9 @@
 #                             # (buffer_test + bench_ablation_tiers --smoke --async)
 #   tools/check.sh --serve    # additionally smoke the serving layer
 #                             # (serve_test + bench_serving --smoke)
+#   tools/check.sh --dynamic  # additionally run the dynamic-graph suites
+#                             # (dynamic_test under Debug+ASan +
+#                             # bench_update_throughput --smoke)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,6 +24,7 @@ TSAN=0
 FAULTS=0
 ASYNC=0
 SERVE=0
+DYNAMIC=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
@@ -28,6 +32,7 @@ for arg in "$@"; do
     --faults) FAULTS=1 ;;
     --async) ASYNC=1 ;;
     --serve) SERVE=1 ;;
+    --dynamic) DYNAMIC=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -67,9 +72,9 @@ if [[ "$TSAN" == 1 ]]; then
   # the BufferManager's concurrent pin/unpin) are what TSan is after; the
   # full suite under TSan is prohibitively slow.
   cmake -B build-tsan -S . -DOMEGA_TSAN=ON
-  cmake --build build-tsan -j "$JOBS" --target common_test spmm_test plan_test buffer_test serve_test
+  cmake --build build-tsan -j "$JOBS" --target common_test spmm_test plan_test buffer_test serve_test dynamic_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(common_test|spmm_test|plan_test|buffer_test|serve_test)$'
+    -R '^(common_test|spmm_test|plan_test|buffer_test|serve_test|dynamic_test)$'
 fi
 
 if [[ "$ASYNC" == 1 ]]; then
@@ -86,6 +91,17 @@ if [[ "$SERVE" == 1 ]]; then
   # closed-loop run of both scheduler modes.
   ctest --test-dir build --output-on-failure -R '^serve_test$'
   ./build/bench/bench_serving --smoke
+fi
+
+if [[ "$DYNAMIC" == 1 ]]; then
+  echo "== dynamic graphs: Debug+ASan suites + update-throughput smoke =="
+  # Op-log merge, CSDB delta overlays, and the incremental refresh are
+  # pointer-heavy rebuild paths; run them with asserts and ASan on, then
+  # smoke the end-to-end update pipeline from the tier-1 build.
+  cmake -B build-dynamic -S . -DCMAKE_BUILD_TYPE=Debug -DOMEGA_SANITIZE=ON
+  cmake --build build-dynamic -j "$JOBS" --target dynamic_test
+  ctest --test-dir build-dynamic --output-on-failure -R '^dynamic_test$'
+  ./build/bench/bench_update_throughput --smoke
 fi
 
 echo "OK"

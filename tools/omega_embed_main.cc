@@ -22,17 +22,27 @@
 //     --trace-json <path>   write the per-phase trace (RunReport JSON)
 //     --fault-profile <p>   inject faults: none | pm-stall | pm-degraded |
 //                           worn-ssd | flaky-net | chaos, optional ":<seed>"
+//     --mutations <spec>    dynamic-graph mode (omega-family systems): train,
+//                           then apply a mutation stream and refresh the
+//                           affected embedding rows incrementally. <spec> is a
+//                           mutation file (graph_io.h grammar) or
+//                           "synthetic:<rate>[,<seed>]" — rate < 1 is a
+//                           fraction of the graph's edges, otherwise a count.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 #include "embed/embedding_io.h"
 #include "graph/datasets.h"
 #include "graph/graph_io.h"
+#include "graph/mutable_graph.h"
 #include "omega/engine.h"
+#include "omega/incremental.h"
 #include "omega/report.h"
 
 #include <fstream>
@@ -58,6 +68,7 @@ struct CliOptions {
   size_t asl_partitions = 0;
   bool cxl = false;
   bool auc = false;
+  std::string mutations;
 };
 
 int Usage(const char* argv0) {
@@ -66,7 +77,8 @@ int Usage(const char* argv0) {
                "[--threads n] [--dim d] [--cheb k] [--allocator eata|wata|rr] "
                "[--no-wofp] [--no-nadp] [--no-asl] [--async-staging] "
                "[--asl-partitions n] [--cxl] [--out path] "
-               "[--auc] [--trace-json path] [--fault-profile name[:seed]]\n",
+               "[--auc] [--trace-json path] [--fault-profile name[:seed]] "
+               "[--mutations <file|synthetic:rate[,seed]>]\n",
                argv0);
   return 2;
 }
@@ -91,6 +103,29 @@ Result<sched::AllocatorKind> ParseAllocator(const std::string& name) {
   if (name == "wata") return sched::AllocatorKind::kWorkloadBalanced;
   if (name == "rr") return sched::AllocatorKind::kRoundRobin;
   return Status::InvalidArgument("unknown allocator " + name);
+}
+
+/// `spec` is a mutation file path or "synthetic:<rate>[,<seed>]".
+Result<std::vector<graph::Mutation>> LoadMutations(const std::string& spec,
+                                                   const graph::Graph& g) {
+  constexpr const char* kSynthetic = "synthetic:";
+  if (spec.rfind(kSynthetic, 0) != 0) return graph::LoadMutationsText(spec);
+  const std::string body = spec.substr(std::strlen(kSynthetic));
+  char* end = nullptr;
+  const double rate = std::strtod(body.c_str(), &end);
+  if (end == body.c_str() || rate < 0.0) {
+    return Status::InvalidArgument("bad synthetic mutation rate in " + spec);
+  }
+  uint64_t seed = 42;
+  if (*end == ',') {
+    seed = std::strtoull(end + 1, nullptr, 10);
+  } else if (*end != '\0') {
+    return Status::InvalidArgument("bad synthetic mutation spec " + spec);
+  }
+  const double edges = static_cast<double>(g.num_arcs()) / 2.0;
+  const size_t count = rate < 1.0 ? static_cast<size_t>(rate * edges)
+                                  : static_cast<size_t>(rate);
+  return graph::SyntheticMutations(g, count, seed);
 }
 
 }  // namespace
@@ -140,6 +175,11 @@ int main(int argc, char** argv) {
       cli.cxl = true;
     } else if (arg == "--auc") {
       cli.auc = true;
+    } else if (arg == "--mutations" && i + 1 < argc) {
+      cli.mutations = argv[++i];
+    } else if (arg.rfind("--mutations=", 0) == 0) {
+      cli.mutations = arg.substr(std::strlen("--mutations="));
+      if (cli.mutations.empty()) return Usage(argv[0]);
     } else {
       return Usage(argv[0]);
     }
@@ -193,8 +233,33 @@ int main(int argc, char** argv) {
   options.features.asl_fixed_partitions = cli.asl_partitions;
   options.evaluate_quality = cli.auc;
 
-  const exec::Context ctx(ms.get(), &pool, cli.threads);
-  auto report = engine::RunEmbedding(g, cli.graph, options, ctx);
+  exec::TraceRecorder trace;
+  const exec::Context ctx(ms.get(), &pool, cli.threads, &trace);
+
+  // Dynamic-graph mode trains through the DynamicEmbedder (same RunEmbedding
+  // call plus the host-only recurrence capture: identical report and bytes),
+  // then applies the mutation stream and refreshes incrementally.
+  std::unique_ptr<engine::DynamicEmbedder> dyn;
+  std::vector<graph::Mutation> mutations;
+  if (!cli.mutations.empty()) {
+    auto loaded_muts = LoadMutations(cli.mutations, g);
+    if (!loaded_muts.ok()) {
+      std::fprintf(stderr, "cannot load mutations '%s': %s\n",
+                   cli.mutations.c_str(),
+                   loaded_muts.status().ToString().c_str());
+      return 1;
+    }
+    mutations = std::move(loaded_muts).value();
+    dyn = std::make_unique<engine::DynamicEmbedder>(g, options, cli.graph,
+                                                    cli.threads);
+  }
+
+  Result<engine::RunReport> report = [&]() -> Result<engine::RunReport> {
+    if (dyn == nullptr) return engine::RunEmbedding(g, cli.graph, options, ctx);
+    const Status st = dyn->Train(ctx);
+    if (!st.ok()) return st;
+    return dyn->train_report();
+  }();
   if (!report.ok()) {
     std::fprintf(stderr, "run failed: %s\n", report.status().ToString().c_str());
     if (!cli.trace_json.empty()) {
@@ -220,28 +285,73 @@ int main(int argc, char** argv) {
   }
   if (r.link_auc.has_value()) std::printf("  link AUC  %.3f\n", *r.link_auc);
 
+  engine::RunReport traced = r;
+  if (dyn != nullptr) {
+    for (size_t i = 0; i < mutations.size(); ++i) {
+      dyn->Log(static_cast<int>(i), mutations[i]);
+    }
+    auto refreshed = dyn->Refresh(ctx);
+    if (!refreshed.ok()) {
+      std::fprintf(stderr, "refresh failed: %s\n",
+                   refreshed.status().ToString().c_str());
+      return 1;
+    }
+    const engine::RefreshReport& rr = refreshed.value();
+    std::printf("dynamic update (%s): %zu mutations, epoch %llu\n",
+                cli.mutations.c_str(), mutations.size(),
+                static_cast<unsigned long long>(rr.epoch));
+    std::printf("  applied/rejected  %zu / %zu\n", rr.mutations_applied,
+                rr.mutations_rejected);
+    std::printf("  touched nodes     %zu\n", rr.touched_nodes);
+    std::printf("  affected rows     %zu (%.2f%% of |V|)\n", rr.affected_rows,
+                g.num_nodes() > 0
+                    ? 100.0 * static_cast<double>(rr.affected_rows) / g.num_nodes()
+                    : 0.0);
+    std::printf("  csdb rows         %zu re-gathered, %zu reused\n",
+                rr.csdb_touched_rows, rr.csdb_reused_rows);
+    std::printf("  plan slots        %zu invalidated/rebound\n",
+                rr.plan_slots_affected);
+    std::printf("  sync/delta/refresh  %s / %s / %s (simulated)\n",
+                HumanSeconds(rr.sync_seconds).c_str(),
+                HumanSeconds(rr.delta_seconds).c_str(),
+                HumanSeconds(rr.refresh_seconds).c_str());
+    if (rr.total_seconds > 0.0 && r.total_seconds > 0.0) {
+      std::printf("  update total      %s vs full retrain %s (%.1fx)\n",
+                  HumanSeconds(rr.total_seconds).c_str(),
+                  HumanSeconds(r.total_seconds).c_str(),
+                  r.total_seconds / rr.total_seconds);
+    }
+    // Surface the refresh phases (dynamic.refresh, serve.* if any) in the
+    // trace JSON alongside the training run's phases.
+    for (exec::PhaseRecord& p : trace.TakeRecords()) {
+      if (p.name.rfind("dynamic.", 0) == 0) traced.phases.push_back(std::move(p));
+    }
+  }
+
   if (!cli.trace_json.empty()) {
     std::ofstream f(cli.trace_json);
     if (!f) {
       std::fprintf(stderr, "cannot open %s\n", cli.trace_json.c_str());
       return 1;
     }
-    f << engine::ReportToJson(r) << "\n";
+    f << engine::ReportToJson(traced) << "\n";
     std::printf("trace written to %s (%zu phases)\n", cli.trace_json.c_str(),
-                r.phases.size());
+                traced.phases.size());
   }
 
-  if (!cli.out.empty() && r.embedding.rows() > 0) {
+  const linalg::DenseMatrix& out_embedding =
+      dyn != nullptr ? dyn->embedding() : r.embedding;
+  if (!cli.out.empty() && out_embedding.rows() > 0) {
     const bool tsv = cli.out.size() > 4 &&
                      cli.out.compare(cli.out.size() - 4, 4, ".tsv") == 0;
-    const Status st = tsv ? embed::SaveEmbeddingTsv(r.embedding, cli.out)
-                          : embed::SaveEmbeddingBinary(r.embedding, cli.out);
+    const Status st = tsv ? embed::SaveEmbeddingTsv(out_embedding, cli.out)
+                          : embed::SaveEmbeddingBinary(out_embedding, cli.out);
     if (!st.ok()) {
       std::fprintf(stderr, "failed to save embedding: %s\n", st.ToString().c_str());
       return 1;
     }
     std::printf("embedding written to %s (%zu x %zu)\n", cli.out.c_str(),
-                r.embedding.rows(), r.embedding.cols());
+                out_embedding.rows(), out_embedding.cols());
   }
   return 0;
 }
