@@ -1,0 +1,213 @@
+// PIM offload: host-only vs all-PIM vs entropy-aware auto placement.
+//
+// For every Table I dataset the harness runs the full OMeGa configuration
+// under the three --pim-placement policies (64 simulated banks) and compares
+// the simulated SpMM time — the sum of the non-aux *.spmm.* phases, which is
+// exactly the portion the heterogeneous scheduler can move. The two-clock
+// contract demands bit-identical embeddings across all three policies (and
+// against a PIM-less run): placement changes charges, never bytes; the
+// harness aborts on a fingerprint mismatch.
+//
+// Shape to check: auto is never slower than the better fixed policy on any
+// graph, and clearly ahead of host-only wherever the degree blocks fit MRAM
+// (the acceptance bar is >= 1.3x on PK and LJ).
+//
+// Flags:
+//   --smoke                  PK only (the CI Release job's quick pass)
+//   --bench-json=<path>      machine-readable results (BENCH_pim_offload.json)
+//   --placement-json=<path>  the auto policy's per-degree-block split
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/md5.h"
+#include "common/string_util.h"
+#include "graph/csdb.h"
+#include "sched/hetero_placement.h"
+
+namespace {
+
+using namespace omega;
+
+constexpr int kBanks = 64;
+
+/// Simulated seconds of the non-aux SpMM phases (factorize.spmm.* and
+/// propagate.spmm.*). Aux records (pim.*, plan.*, *.dense) are attribution
+/// overlays of the same time, so summing them too would double-count.
+double SpmmSeconds(const engine::RunReport& report) {
+  double seconds = 0.0;
+  for (const exec::PhaseRecord& p : report.phases) {
+    if (!p.aux && p.name.find(".spmm.") != std::string::npos) {
+      seconds += p.sim_seconds;
+    }
+  }
+  return seconds;
+}
+
+std::string EmbeddingFingerprint(const engine::RunReport& report) {
+  const linalg::DenseMatrix& e = report.embedding;
+  return Md5Hex(e.data(), e.rows() * e.cols() * sizeof(float));
+}
+
+/// Dumps the auto policy's per-degree-block placement decisions for one
+/// matrix, as one JSON entry. Uses the propagate-stage operand width (the
+/// embedding dimension): the ship cost is width-invariant while everything
+/// else scales with it, so this is the width where offload is hardest to
+/// justify and the most interesting split to inspect.
+void AppendPlacementJson(std::ofstream& out, const std::string& name,
+                         const graph::Graph& g, const bench::Env& env,
+                         size_t dense_cols, bool first) {
+  const graph::CsdbMatrix a = graph::CsdbMatrix::FromGraph(g);
+  sched::PimConfig cfg;
+  cfg.banks = kBanks;
+  cfg.mram_bytes_per_bank = env.ms->topology().config().pim_mram_bytes_per_bank;
+  cfg.bank_ops_per_second = env.ms->cost_model().profiles().pim_bank_ops_per_second;
+  cfg.policy = sched::PimPolicy::kAuto;
+  cfg.dense_cols = dense_cols;
+  const sched::HeteroPlacement placement = sched::PlaceDegreeBlocks(
+      a, cfg, *env.ms, env.threads, memsim::Tier::kPm, memsim::Tier::kPm,
+      memsim::Tier::kDram);
+
+  if (!first) out << ",\n";
+  out << "  " << JsonQuoted(name) << ": {\n"
+      << "    \"dense_cols\": " << dense_cols << ",\n"
+      << "    \"pim_nnz\": " << placement.pim_nnz << ",\n"
+      << "    \"host_nnz\": " << placement.host_nnz << ",\n"
+      << "    \"pim_rows\": " << placement.pim_rows << ",\n"
+      << "    \"blocks\": [\n";
+  for (size_t i = 0; i < placement.blocks.size(); ++i) {
+    const sched::HeteroBlock& b = placement.blocks[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "      {\"rows\": [%llu, %llu], \"degree\": %llu, "
+                  "\"nnz\": %llu, \"entropy_z\": %.4f, \"fits_mram\": %s, "
+                  "\"host_seconds\": %.3e, \"pim_seconds\": %.3e, "
+                  "\"on\": \"%s\"}%s\n",
+                  static_cast<unsigned long long>(b.row_begin),
+                  static_cast<unsigned long long>(b.row_end),
+                  static_cast<unsigned long long>(b.degree),
+                  static_cast<unsigned long long>(b.nnz), b.entropy_z,
+                  b.fits_mram ? "true" : "false", b.host_seconds,
+                  b.pim_seconds, b.on_pim ? "pim" : "host",
+                  i + 1 < placement.blocks.size() ? "," : "");
+    out << line;
+  }
+  out << "    ]\n  }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using bench::Ratio;
+  bench::BenchJson json;
+  const std::string json_path = bench::BenchJsonPathFromArgs(&argc, argv);
+
+  bool smoke = false;
+  std::string placement_path;
+  constexpr const char* kPlacementPrefix = "--placement-json=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], kPlacementPrefix,
+                            std::strlen(kPlacementPrefix)) == 0) {
+      placement_path = argv[i] + std::strlen(kPlacementPrefix);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--bench-json=path] "
+                   "[--placement-json=path]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bench::Env env = bench::MakeEnv(36);
+  const std::vector<std::string> graphs =
+      smoke ? std::vector<std::string>{"PK"} : bench::AllGraphNames();
+
+  engine::PrintExperimentHeader(
+      "PIM offload", "SpMM placement: host-only vs all-PIM vs auto");
+  engine::TablePrinter table({"Graph", "host-only", "all-PIM", "auto",
+                              "auto/host", "auto/best-fixed", "identical"});
+
+  std::ofstream placement_out;
+  if (!placement_path.empty()) {
+    placement_out.open(placement_path);
+    if (!placement_out) {
+      std::fprintf(stderr, "cannot write placement json to %s\n",
+                   placement_path.c_str());
+      return 1;
+    }
+    placement_out << "{\n";
+  }
+
+  bool all_identical = true;
+  bool first_placement = true;
+  for (const std::string& name : graphs) {
+    const graph::Graph g = bench::LoadGraphOrDie(name);
+
+    const sched::PimPolicy policies[] = {sched::PimPolicy::kHostOnly,
+                                         sched::PimPolicy::kAllPim,
+                                         sched::PimPolicy::kAuto};
+    double spmm[3] = {0.0, 0.0, 0.0};
+    double total[3] = {0.0, 0.0, 0.0};
+    std::string fingerprint[3];
+    for (int i = 0; i < 3; ++i) {
+      auto options =
+          bench::DefaultOptions(engine::SystemKind::kOmega, env.threads);
+      options.features.pim_banks = kBanks;
+      options.features.pim_placement = policies[i];
+      auto report = engine::RunEmbedding(g, name, options, env.Context());
+      if (!report.ok()) {
+        std::fprintf(stderr, "%s with %s failed: %s\n", name.c_str(),
+                     sched::PimPolicyName(policies[i]),
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      spmm[i] = SpmmSeconds(report.value());
+      total[i] = report.value().total_seconds;
+      fingerprint[i] = EmbeddingFingerprint(report.value());
+      if (bench::PhaseTraceEnabled()) bench::PrintPhaseTable(report.value());
+    }
+
+    const bool identical =
+        fingerprint[0] == fingerprint[1] && fingerprint[0] == fingerprint[2];
+    all_identical = all_identical && identical;
+    const double best_fixed = std::min(spmm[0], spmm[1]);
+    table.AddRow({name, HumanSeconds(spmm[0]), HumanSeconds(spmm[1]),
+                  HumanSeconds(spmm[2]), Ratio(spmm[0], spmm[2]),
+                  Ratio(best_fixed, spmm[2]), identical ? "yes" : "NO"});
+
+    json.Add(name, "spmm_host_only_seconds", spmm[0]);
+    json.Add(name, "spmm_all_pim_seconds", spmm[1]);
+    json.Add(name, "spmm_auto_seconds", spmm[2]);
+    json.Add(name, "total_auto_seconds", total[2]);
+    json.Add(name, "auto_speedup_vs_host_only", spmm[0] / spmm[2]);
+    json.Add(name, "auto_speedup_vs_best_fixed", best_fixed / spmm[2]);
+    json.Add(name, "bit_identical", identical ? 1.0 : 0.0);
+
+    if (placement_out.is_open()) {
+      AppendPlacementJson(placement_out, name, g, env, /*dense_cols=*/32,
+                          first_placement);
+      first_placement = false;
+    }
+  }
+  table.Print();
+  std::printf(
+      "simulated SpMM seconds per policy; auto must never trail the better "
+      "fixed policy.\n");
+
+  if (placement_out.is_open()) {
+    placement_out << "\n}\n";
+    std::printf("auto placement split written to %s\n", placement_path.c_str());
+  }
+  if (!json_path.empty() && !json.WriteFile(json_path)) return 1;
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: embeddings differ across placement policies\n");
+    return 1;
+  }
+  return 0;
+}

@@ -63,7 +63,8 @@ double StdDev(const std::vector<double>& values) {
 std::string PhaseTableString(const engine::RunReport& report) {
   if (report.phases.empty()) return "";
   engine::TablePrinter table({"phase", "sim s", "wall s", "DRAM", "PM", "SSD",
-                              "NET", "remote %", "ovl %", "plan h/m/i"});
+                              "NET", "PIM", "remote %", "ovl %",
+                              "plan h/m/i"});
   for (const exec::PhaseRecord& p : report.phases) {
     const bool plan_active =
         p.plan_hits + p.plan_misses + p.plan_invalidations > 0;
@@ -74,6 +75,7 @@ std::string PhaseTableString(const engine::RunReport& report) {
                   HumanBytes(p.TierBytes(memsim::Tier::kPm)),
                   HumanBytes(p.TierBytes(memsim::Tier::kSsd)),
                   HumanBytes(p.TierBytes(memsim::Tier::kNetwork)),
+                  HumanBytes(p.TierBytes(memsim::Tier::kPim)),
                   FormatDouble(p.remote_fraction * 100.0, 1),
                   p.fetch_seconds > 0.0
                       ? FormatDouble(p.OverlapEfficiency() * 100.0, 1)

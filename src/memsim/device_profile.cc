@@ -76,6 +76,26 @@ DeviceProfile MakeSsd() {
   return p;
 }
 
+DeviceProfile MakePim() {
+  DeviceProfile p;
+  p.tier = Tier::kPim;
+  // Host <-> PIM DIMM link (ALPHA-PIM / UPMEM-class, CXL-attached scaling).
+  // Transfers are gang DMAs across all banks driven by one controller stream,
+  // so per_thread == peak: a single host thread saturates the link and extra
+  // threads buy nothing (unlike the cacheable tiers). Broadcast (host->PIM
+  // write) is somewhat slower than readback; random host access into MRAM is
+  // punitive — the tier is built for bulk ship/compute/drain, not gathers.
+  for (Locality loc : {Locality::kLocal, Locality::kRemote}) {
+    Set(&p, MemOp::kRead, Pattern::kSequential, loc, 28.0, 28.0);
+    Set(&p, MemOp::kRead, Pattern::kRandom, loc, 0.3, 2.0);
+    Set(&p, MemOp::kWrite, Pattern::kSequential, loc, 24.0, 24.0);
+    Set(&p, MemOp::kWrite, Pattern::kRandom, loc, 0.25, 1.6);
+  }
+  // DMA descriptor setup + rank handshake per transfer.
+  p.latency_ns = {1200.0, 1500.0};
+  return p;
+}
+
 DeviceProfile MakeNetwork() {
   DeviceProfile p;
   p.tier = Tier::kNetwork;
@@ -118,6 +138,7 @@ ProfileSet DefaultProfiles() {
   set.Get(Tier::kPm) = MakePm();
   set.Get(Tier::kSsd) = MakeSsd();
   set.Get(Tier::kNetwork) = MakeNetwork();
+  set.Get(Tier::kPim) = MakePim();
   return set;
 }
 

@@ -63,6 +63,13 @@ struct ProfileSet {
   /// the BW_CPU term of the paper's Eq. 2 cost analysis.
   double cpu_ops_per_second = 4.0e9;
 
+  /// Per-bank multiply-accumulate throughput of the PIM tier (ops/s). A DPU
+  /// core is far weaker than a host core (UPMEM: ~350 MHz in-order vs 2+ GHz
+  /// OoO), but banks operate on MRAM-local data with no shared-bus contention;
+  /// the aggregate across all banks is what PimSpmm's bank-straggler charge
+  /// exploits. Calibrated so one bank ~= 1/4 of a host core.
+  double pim_bank_ops_per_second = 1.0e9;
+
   const DeviceProfile& Get(Tier t) const { return tiers[static_cast<int>(t)]; }
   DeviceProfile& Get(Tier t) { return tiers[static_cast<int>(t)]; }
 };

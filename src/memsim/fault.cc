@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "common/rng.h"
 
@@ -48,6 +50,14 @@ FaultPlan NamedProfile(const std::string& name) {
     plan.at(Tier::kNetwork, MemOp::kRead, Pattern::kRandom).timeout = 0.15;
     plan.at(Tier::kNetwork, MemOp::kWrite, Pattern::kSequential).timeout = 0.15;
     plan.at(Tier::kNetwork, MemOp::kWrite, Pattern::kRandom).timeout = 0.15;
+  } else if (name == "flaky-pim") {
+    // Unreliable PIM DIMM link: the gang DMAs time out — exercises PimSpmm's
+    // retry-then-degrade-to-host path. Bulk transfers are sequential only, so
+    // random rates stay zero.
+    plan.at(Tier::kPim, MemOp::kRead, Pattern::kSequential).timeout = 0.15;
+    plan.at(Tier::kPim, MemOp::kWrite, Pattern::kSequential).timeout = 0.15;
+    plan.at(Tier::kPim, MemOp::kRead, Pattern::kSequential).stall = 0.05;
+    plan.at(Tier::kPim, MemOp::kWrite, Pattern::kSequential).stall = 0.05;
   } else if (name == "chaos") {
     plan.SetTier(Tier::kPm, {0.02, 0.0, 0.0});
     plan.at(Tier::kPm, MemOp::kRead, Pattern::kSequential).media = 0.03;
@@ -67,6 +77,9 @@ FaultPlan NamedProfile(const std::string& name) {
 }  // namespace
 
 Result<FaultPlan> FaultPlanFromProfile(const std::string& spec) {
+  if (!spec.empty() && spec[0] == '@') {
+    return FaultPlanFromFile(spec.substr(1));
+  }
   std::string name = spec;
   uint64_t seed = FaultPlan{}.seed;
   const size_t colon = spec.find(':');
@@ -95,9 +108,130 @@ Result<FaultPlan> FaultPlanFromProfile(const std::string& spec) {
   return plan;
 }
 
+namespace {
+
+// One parse error with the conventional file:line: prefix.
+Status ParseError(const std::string& path, int line, const std::string& msg) {
+  return Status::InvalidArgument(path + ":" + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlanFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open fault profile file " + path);
+  }
+  FaultPlan plan;
+  plan.enabled = true;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream tokens(line);
+    std::string key;
+    if (!(tokens >> key)) continue;  // blank / comment-only line
+    if (key == "seed" || key == "stall-multiplier" ||
+        key == "tail-stall-fraction" || key == "timeout-seconds") {
+      double value = 0.0;
+      if (!(tokens >> value) || value < 0.0) {
+        return ParseError(path, lineno,
+                          "'" + key + "' needs one non-negative number");
+      }
+      if (key == "seed") {
+        plan.seed = static_cast<uint64_t>(value);
+      } else if (key == "stall-multiplier") {
+        plan.stall_multiplier = value;
+      } else if (key == "tail-stall-fraction") {
+        plan.tail_stall_fraction = value;
+      } else {
+        plan.timeout_seconds = value;
+      }
+    } else if (key == "rate") {
+      std::string tier_s, op_s, pat_s, kind_s;
+      double rate = 0.0;
+      if (!(tokens >> tier_s >> op_s >> pat_s >> kind_s >> rate)) {
+        return ParseError(path, lineno,
+                          "'rate' needs <tier> <op> <pattern> <kind> <rate>");
+      }
+      std::vector<Tier> tiers;
+      if (tier_s == "*") {
+        tiers = {Tier::kDram, Tier::kPm, Tier::kSsd, Tier::kNetwork, Tier::kPim};
+      } else if (tier_s == "dram") {
+        tiers = {Tier::kDram};
+      } else if (tier_s == "pm") {
+        tiers = {Tier::kPm};
+      } else if (tier_s == "ssd") {
+        tiers = {Tier::kSsd};
+      } else if (tier_s == "net") {
+        tiers = {Tier::kNetwork};
+      } else if (tier_s == "pim") {
+        tiers = {Tier::kPim};
+      } else {
+        return ParseError(path, lineno, "unknown tier '" + tier_s +
+                                            "' (expected dram | pm | ssd | "
+                                            "net | pim | *)");
+      }
+      std::vector<MemOp> ops;
+      if (op_s == "*") {
+        ops = {MemOp::kRead, MemOp::kWrite};
+      } else if (op_s == "read") {
+        ops = {MemOp::kRead};
+      } else if (op_s == "write") {
+        ops = {MemOp::kWrite};
+      } else {
+        return ParseError(path, lineno, "unknown op '" + op_s +
+                                            "' (expected read | write | *)");
+      }
+      std::vector<Pattern> pats;
+      if (pat_s == "*") {
+        pats = {Pattern::kSequential, Pattern::kRandom};
+      } else if (pat_s == "seq") {
+        pats = {Pattern::kSequential};
+      } else if (pat_s == "rand") {
+        pats = {Pattern::kRandom};
+      } else {
+        return ParseError(path, lineno, "unknown pattern '" + pat_s +
+                                            "' (expected seq | rand | *)");
+      }
+      if (kind_s != "stall" && kind_s != "media" && kind_s != "timeout") {
+        return ParseError(path, lineno,
+                          "unknown fault kind '" + kind_s +
+                              "' (expected stall | media | timeout)");
+      }
+      if (rate < 0.0 || rate > 1.0) {
+        return ParseError(path, lineno, "rate must be in [0, 1]");
+      }
+      for (Tier t : tiers) {
+        for (MemOp op : ops) {
+          for (Pattern pat : pats) {
+            FaultRates& r = plan.at(t, op, pat);
+            if (kind_s == "stall") {
+              r.stall = rate;
+            } else if (kind_s == "media") {
+              r.media = rate;
+            } else {
+              r.timeout = rate;
+            }
+          }
+        }
+      }
+    } else {
+      return ParseError(path, lineno,
+                        "unknown directive '" + key +
+                            "' (expected seed | stall-multiplier | "
+                            "tail-stall-fraction | timeout-seconds | rate)");
+    }
+  }
+  return plan;
+}
+
 const std::vector<std::string>& FaultProfileNames() {
   static const std::vector<std::string> kNames = {
-      "none", "pm-stall", "pm-degraded", "worn-ssd", "flaky-net", "chaos"};
+      "none",      "pm-stall",  "pm-degraded", "worn-ssd",
+      "flaky-net", "flaky-pim", "chaos"};
   return kNames;
 }
 

@@ -96,9 +96,20 @@ struct FaultPlan {
 
 /// Named profiles for `--fault-profile=` and the benches. Spec is
 /// "name[:seed]": none | pm-stall | pm-degraded | worn-ssd | flaky-net |
-/// chaos, e.g. "pm-degraded:7".
+/// flaky-pim | chaos, e.g. "pm-degraded:7" — or "@path" to load a custom
+/// plan from a profile file (see FaultPlanFromFile).
 Result<FaultPlan> FaultPlanFromProfile(const std::string& spec);
 const std::vector<std::string>& FaultProfileNames();
+
+/// Parses a fault-plan profile file. Line grammar ('#' starts a comment):
+///   seed <n>
+///   stall-multiplier <x> | tail-stall-fraction <x> | timeout-seconds <x>
+///   rate <tier> <op> <pattern> <kind> <rate>
+/// with tier in dram|pm|ssd|net|pim (or *), op in read|write|*, pattern in
+/// seq|rand|*, kind in stall|media|timeout. Unknown tier/op/pattern/kind
+/// names are rejected with a "<path>:<line>:" prefixed error instead of
+/// being silently ignored.
+Result<FaultPlan> FaultPlanFromFile(const std::string& path);
 
 /// Immutable snapshot of the injector's counters. All integers (the penalty
 /// accumulates in integer nanoseconds) so snapshots of a fixed seed are
@@ -195,5 +206,11 @@ inline constexpr uint64_t kFaultStreamDistNet = 0xD157;
 inline constexpr uint64_t kFaultStreamServe = 0x5E4E;
 /// Per-worker streams offset by the worker index.
 inline constexpr uint64_t kFaultStreamWorkerBase = 0x1000000;
+/// PimSpmm's DMA controller: a synthetic worker index far above any real
+/// worker, so the gang-DMA transfer draws (ship / broadcast / readback) own
+/// the kFaultStreamPim stream through the same worker-stream charge helpers.
+inline constexpr int kPimControllerWorker = 0x911400;
+inline constexpr uint64_t kFaultStreamPim =
+    kFaultStreamWorkerBase + kPimControllerWorker;
 
 }  // namespace omega::memsim

@@ -24,13 +24,23 @@ struct TopologyConfig {
   size_t dram_bytes_per_socket = 24ULL << 20;  // 24 MB (paper: 96 GB, /4000)
   size_t pm_bytes_per_socket = 192ULL << 20;   // 192 MB (paper: 768 GB, /4000)
 
+  /// Simulated PIM DIMMs: UPMEM-class hardware carries 2048 DPUs x 64 MB
+  /// MRAM per machine; scaled by the same /4000 factor as the other tiers
+  /// and split across sockets that gives 64 banks x 256 KB per socket.
+  int pim_banks_per_socket = 64;
+  size_t pim_mram_bytes_per_bank = 256ULL << 10;
+
   int TotalCores() const { return num_sockets * cores_per_socket; }
+  int TotalPimBanks() const { return num_sockets * pim_banks_per_socket; }
   size_t TierCapacityPerSocket(Tier t) const {
     switch (t) {
       case Tier::kDram:
         return dram_bytes_per_socket;
       case Tier::kPm:
         return pm_bytes_per_socket;
+      case Tier::kPim:
+        return static_cast<size_t>(pim_banks_per_socket) *
+               pim_mram_bytes_per_bank;
       default:
         return SIZE_MAX;
     }

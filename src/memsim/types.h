@@ -10,9 +10,12 @@
 
 namespace omega::memsim {
 
-/// Device tier of a placed buffer.
-enum class Tier { kDram = 0, kPm = 1, kSsd = 2, kNetwork = 3 };
-inline constexpr int kNumTiers = 4;
+/// Device tier of a placed buffer. kPim models UPMEM/ALPHA-PIM-style
+/// processing-in-memory DIMMs: per-bank MRAM reachable from the host only
+/// through a gang-DMA link (charged as kPim traffic), with the bank-local
+/// compute rate carried by ProfileSet::pim_bank_ops_per_second.
+enum class Tier { kDram = 0, kPm = 1, kSsd = 2, kNetwork = 3, kPim = 4 };
+inline constexpr int kNumTiers = 5;
 
 /// Direction of an access.
 enum class MemOp { kRead = 0, kWrite = 1 };
@@ -33,6 +36,8 @@ inline const char* TierName(Tier t) {
       return "SSD";
     case Tier::kNetwork:
       return "NET";
+    case Tier::kPim:
+      return "PIM";
   }
   return "?";
 }

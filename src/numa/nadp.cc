@@ -95,13 +95,29 @@ NadpPlan NadpPlan::Build(const graph::CsdbMatrix& a, const NadpOptions& options,
   layout.per_socket = (threads + active_sockets - 1) / active_sockets;
   plan.per_socket_ = layout.per_socket;
 
+  // Heterogeneous placement: price every degree block against the PIM gang
+  // and carve the offloaded rows out of the host allocations below. When the
+  // placement offloads nothing (host-only policy, or auto deciding against),
+  // the original full-matrix Allocate path runs so the charges are
+  // byte-identical to a PIM-less build.
+  if (options.pim.active()) {
+    plan.hetero_ = sched::PlaceDegreeBlocks(a, options.pim, *ms, threads,
+                                            options.sparse_tier,
+                                            options.dense_tier,
+                                            options.result_tier);
+  }
+  const bool offload = plan.hetero_.any_pim();
+
   // Per-socket thread allocations (identical when threads % sockets == 0).
   plan.per_socket_workloads_.resize(plan.sockets_);
   for (int s = 0; s < active_sockets; ++s) {
     const int ws = layout.ThreadsOnSocket(s, threads, active_sockets);
     if (ws <= 0) continue;
     alloc_opts.num_threads = ws;
-    plan.per_socket_workloads_[s] = sched::Allocate(a, options.allocator, alloc_opts);
+    plan.per_socket_workloads_[s] =
+        offload ? sched::AllocateSubset(a, options.allocator,
+                                        plan.hetero_.host_ranges, alloc_opts)
+                : sched::Allocate(a, options.allocator, alloc_opts);
   }
 
   // Hoist the per-(worker, socket-block) workload intersections out of the
@@ -157,7 +173,7 @@ bool NadpPlan::Matches(const graph::CsdbMatrix& a,
          p.wofp.charge_build == options.wofp.charge_build &&
          p.sparse_tier == options.sparse_tier &&
          p.dense_tier == options.dense_tier &&
-         p.result_tier == options.result_tier;
+         p.result_tier == options.result_tier && p.pim == options.pim;
 }
 
 NadpResult NadpExecute(const NadpPlan& plan, const graph::CsdbMatrix& a,
@@ -332,6 +348,34 @@ NadpResult NadpExecute(const NadpPlan& plan, const graph::CsdbMatrix& a,
     result.wofp_build_seconds = std::max(result.wofp_build_seconds, wofp_build[t]);
   }
   result.phase_seconds = clocks.MaxSeconds();
+
+  // PIM offload: the banks cover the plan's pim_ranges over the full column
+  // range while the host threads above covered only host_ranges. The
+  // pipeline front (broadcast + ship + bank compute) overlaps the host
+  // panels; the drain tail lands after the straggler of either side.
+  if (options.enabled && plan.hetero_.any_pim()) {
+    sparse::PimSpmmOptions popts;
+    popts.config = options.pim;
+    popts.host.index = {memsim::Tier::kDram, 0};
+    popts.host.sparse = {options.sparse_tier, 0};
+    popts.host.dense = {options.dense_tier, 0};
+    // Merged panels land in the assembled (page-interleaved) result, same as
+    // the host merge step's destination.
+    popts.host.result = {options.result_tier, memsim::Placement::kInterleaved};
+    popts.col_begin = col_begin;
+    popts.col_end = col_end;
+    Result<sparse::PimSpmmResult> pim = sparse::PimSpmm(
+        a, b, c, plan.hetero_, popts, ms, pool, fault_epoch);
+    OMEGA_CHECK(pim.ok()) << pim.status().message();
+    const sparse::PimSpmmResult& pr = pim.value();
+    result.pim_transfer_seconds = pr.transfer_seconds;
+    result.pim_compute_seconds = pr.compute_seconds;
+    result.pim_reduce_seconds = pr.reduce_seconds;
+    result.pim_nnz = pr.nnz_processed;
+    result.pim_degraded_blocks = pr.degraded_blocks;
+    result.phase_seconds =
+        std::max(result.phase_seconds, pr.pipeline_seconds) + pr.tail_seconds;
+  }
   return result;
 }
 

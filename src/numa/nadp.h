@@ -22,6 +22,8 @@
 #include "omega/exec_context.h"
 #include "prefetch/wofp.h"
 #include "sched/allocators.h"
+#include "sched/hetero_placement.h"
+#include "sparse/pim_spmm.h"
 #include "sparse/spmm.h"
 #include "sparse/spmm_plan.h"
 
@@ -39,6 +41,12 @@ struct NadpOptions {
   memsim::Tier sparse_tier = memsim::Tier::kPm;
   memsim::Tier dense_tier = memsim::Tier::kPm;
   memsim::Tier result_tier = memsim::Tier::kDram;
+
+  /// PIM offload (NaDP mode only; the Interleaved baseline ignores it). The
+  /// config is part of the plan key — including dense_cols, because the ship
+  /// cost does not scale with the operand width while every other cost does,
+  /// so the optimal split depends on it.
+  sched::PimConfig pim;
 };
 
 struct NadpResult {
@@ -49,6 +57,14 @@ struct NadpResult {
   /// Simulated seconds the straggler spent building its WoFP store (contained
   /// in phase_seconds; the engines surface it as an aux trace phase).
   double wofp_build_seconds = 0.0;
+
+  // PIM offload sub-phases (all contained in phase_seconds: the pipeline
+  // front overlaps the host panels, the drain tail is serial after both).
+  double pim_transfer_seconds = 0.0;  ///< broadcast + ship + readback DMA
+  double pim_compute_seconds = 0.0;   ///< bank straggler MACs
+  double pim_reduce_seconds = 0.0;    ///< host merge + degraded fallbacks
+  uint64_t pim_nnz = 0;               ///< nnz processed on the banks
+  uint64_t pim_degraded_blocks = 0;   ///< blocks recharged at host cost
 
   double ThroughputNnzPerSec() const {
     return sparse::ThroughputNnzPerSec(nnz_processed, phase_seconds);
@@ -101,6 +117,10 @@ class NadpPlan {
   const std::vector<uint32_t>& in_degrees() const { return in_degrees_; }
   const sparse::SparseStructureKey& structure() const { return structure_; }
 
+  /// The heterogeneous (host vs PIM) row split this plan was built with.
+  /// Empty (no blocks, no ranges) unless options.pim is active in NaDP mode.
+  const sched::HeteroPlacement& hetero() const { return hetero_; }
+
   /// Re-keys the plan onto `a` without rebuilding. Only sound when `a` has
   /// the same sparsity structure as the matrix the plan was built for (a
   /// weight-only delta): plans depend on structure, never on values.
@@ -123,6 +143,7 @@ class NadpPlan {
 
   NadpOptions options_;
   sparse::SparseStructureKey structure_;
+  sched::HeteroPlacement hetero_;
   int threads_ = 0;
   int sockets_ = 0;
   int active_sockets_ = 0;

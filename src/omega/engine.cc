@@ -258,6 +258,20 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
     }
   }
 
+  // Simulated PIM gang: only heterogeneous OMeGa offloads (the DRAM/PM
+  // baselines pin every byte to one tier by construction, and the
+  // Interleaved baseline ignores the config inside NaDP). Bank geometry and
+  // per-bank MAC rate come from the simulated machine, so profile overrides
+  // flow into the placement's cost model automatically.
+  if (options.system == SystemKind::kOmega && options.features.pim_banks > 0) {
+    nadp.pim.banks = options.features.pim_banks;
+    nadp.pim.mram_bytes_per_bank =
+        ms->topology().config().pim_mram_bytes_per_bank;
+    nadp.pim.bank_ops_per_second =
+        ms->cost_model().profiles().pim_bank_ops_per_second;
+    nadp.pim.policy = options.features.pim_placement;
+  }
+
   // ASL staging engages either because the dense working set exceeds the
   // DRAM window (stream_dense) or because async staging opted in. With async
   // on, staged partitions live in a shared BufferManager pool (LRU over the
@@ -280,6 +294,12 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
   internal::StageTracker stages;
   stages.Attach(&prone);
   double wofp_build_seconds = 0.0;
+  // PIM sub-phase seconds accumulate across every SpMM and surface as three
+  // end-of-run aux records (contained in the SpMM phases, like wofp_build).
+  double pim_transfer_seconds = 0.0;
+  double pim_compute_seconds = 0.0;
+  double pim_reduce_seconds = 0.0;
+  uint64_t pim_degraded_blocks = 0;
 
   // Plan/execute split: ProNE issues dozens of SpMMs against only two sparse
   // structures (the stage-1 target and the stage-2 propagation matrix), so
@@ -329,6 +349,10 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
     // the one-slot cache never thrashes against the synchronous variant.
     numa::NadpOptions plan_opts = nadp;
     if (async_staging) plan_opts.dense_tier = Tier::kDram;
+    // The PIM ship cost is width-invariant while every other cost scales
+    // with the operand width, so the placement — and hence the plan key —
+    // is priced per dense width.
+    if (plan_opts.pim.banks > 0) plan_opts.pim.dense_cols = in.cols();
     if (!plan_cache.Contains(m, plan_opts)) {
       // Aux: plan building charges nothing, so its sim time is zero; the
       // span still captures the host wall time the rebuild costs.
@@ -341,6 +365,10 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
     if (!staged_spmm) {
       const numa::NadpResult r = numa::NadpExecute(plan, m, in, out, ctx);
       wofp_build_seconds += r.wofp_build_seconds;
+      pim_transfer_seconds += r.pim_transfer_seconds;
+      pim_compute_seconds += r.pim_compute_seconds;
+      pim_reduce_seconds += r.pim_reduce_seconds;
+      pim_degraded_blocks += r.pim_degraded_blocks;
       span.AddSimSeconds(fault_overhead + r.phase_seconds);
       return fault_overhead + r.phase_seconds;
     }
@@ -384,6 +412,10 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
       const numa::NadpResult r =
           numa::NadpExecute(plan, m, in, out, ctx, col_begin, col_end);
       wofp_build_seconds += r.wofp_build_seconds;
+      pim_transfer_seconds += r.pim_transfer_seconds;
+      pim_compute_seconds += r.pim_compute_seconds;
+      pim_reduce_seconds += r.pim_reduce_seconds;
+      pim_degraded_blocks += r.pim_degraded_blocks;
       return r.phase_seconds;
     });
     if (!run.ok()) return run.status();
@@ -439,6 +471,39 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
     warmup.sim_seconds = wofp_build_seconds;
     warmup.aux = true;
     recorder.Record(std::move(warmup));
+  }
+
+  // PIM sub-phases, likewise contained in the SpMM phases. A degraded-block
+  // count piggybacks on pim.reduce's name so fault runs stay inspectable.
+  if (pim_transfer_seconds + pim_compute_seconds + pim_reduce_seconds > 0.0) {
+    const std::pair<const char*, double> pim_phases[] = {
+        {"pim.transfer", pim_transfer_seconds},
+        {"pim.compute", pim_compute_seconds},
+        {"pim.reduce", pim_reduce_seconds},
+    };
+    for (const auto& [name, seconds] : pim_phases) {
+      exec::PhaseRecord rec;
+      rec.name = name;
+      rec.sim_seconds = seconds;
+      rec.aux = true;
+      if (rec.name == "pim.reduce" && pim_degraded_blocks > 0) {
+        rec.name += " (degraded=" + std::to_string(pim_degraded_blocks) + ")";
+      }
+      recorder.Record(std::move(rec));
+    }
+  }
+
+  // Plan-cache accounting: the counters were previously kept by the cache
+  // but never reported; one aux record makes hit/miss/invalidation behavior
+  // visible in the trace JSON and the bench phase tables.
+  {
+    exec::PhaseRecord rec;
+    rec.name = "plan.cache";
+    rec.aux = true;
+    rec.plan_hits = plan_cache.hits();
+    rec.plan_misses = plan_cache.misses();
+    rec.plan_invalidations = plan_cache.invalidations();
+    recorder.Record(std::move(rec));
   }
 
   // Dense-algebra stages run where the dense working set lives: DRAM for the

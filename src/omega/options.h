@@ -7,6 +7,7 @@
 #include "embed/prone.h"
 #include "prefetch/wofp.h"
 #include "sched/allocators.h"
+#include "sched/hetero_placement.h"
 
 namespace omega::engine {
 
@@ -43,6 +44,12 @@ struct OmegaFeatures {
   /// keeps it pinned across fault-degraded passes (the degrade handler logs
   /// the override instead of re-solving).
   size_t asl_fixed_partitions = 0;
+  /// Simulated PIM banks available for SpMM offload (0 disables the tier);
+  /// OMeGa NaDP configurations only. Bank MRAM size and MAC rate come from
+  /// the MemorySystem's topology and profiles.
+  int pim_banks = 0;
+  /// Which degree blocks the scheduler offloads when pim_banks > 0.
+  sched::PimPolicy pim_placement = sched::PimPolicy::kAuto;
 };
 
 /// How the engines react to injected faults (consulted only when the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/logging.h"
 #include "sched/entropy.h"
@@ -173,6 +174,180 @@ std::vector<Workload> Allocate(const graph::CsdbMatrix& a, AllocatorKind kind,
       return AllocateEata(a, options);
   }
   return {};
+}
+
+namespace {
+
+/// Row-ordered walk over a disjoint ascending set of row ranges, carrying one
+/// RowCursor per segment so carves can cross segment boundaries. EmitSince
+/// turns the rows walked since a mark into (possibly several) RowRanges.
+class SubsetWalk {
+ public:
+  SubsetWalk(const graph::CsdbMatrix& a, const std::vector<RowRange>& rows)
+      : a_(a), rows_(rows) {
+    EnterSegment();
+  }
+
+  bool AtEnd() const { return seg_ >= rows_.size(); }
+  uint32_t degree() const { return cursor_->degree(); }
+
+  void Next() {
+    cursor_->Next();
+    if (cursor_->row() >= rows_[seg_].end) {
+      ++seg_;
+      EnterSegment();
+    }
+  }
+
+  struct Mark {
+    size_t seg = 0;
+    uint32_t row = 0;
+  };
+  Mark mark() const { return AtEnd() ? Mark{seg_, 0} : Mark{seg_, cursor_->row()}; }
+
+  void EmitSince(const Mark& m, Workload* w) const {
+    for (size_t s = m.seg; s < rows_.size() && s <= seg_; ++s) {
+      const uint32_t begin = (s == m.seg) ? m.row : rows_[s].begin;
+      const uint32_t end = (s == seg_) ? cursor_->row() : rows_[s].end;
+      if (begin < end) w->ranges.push_back(RowRange{begin, end});
+      if (s == seg_) break;
+    }
+  }
+
+ private:
+  void EnterSegment() {
+    while (seg_ < rows_.size() && rows_[seg_].begin >= rows_[seg_].end) ++seg_;
+    if (seg_ < rows_.size()) cursor_.emplace(a_.Rows(rows_[seg_].begin));
+  }
+
+  const graph::CsdbMatrix& a_;
+  const std::vector<RowRange>& rows_;
+  size_t seg_ = 0;
+  std::optional<graph::CsdbMatrix::RowCursor> cursor_;
+};
+
+uint64_t SubsetNnz(const graph::CsdbMatrix& a, const std::vector<RowRange>& rows) {
+  // Block arithmetic, no per-row walk: a degree block contributes
+  // rows-in-range * degree.
+  uint64_t total = 0;
+  for (const RowRange& r : rows) {
+    for (auto bc = a.BlocksInRange(r.begin, r.end); !bc.AtEnd(); bc.Next()) {
+      total += static_cast<uint64_t>(bc.span().rows()) * bc.span().degree;
+    }
+  }
+  return total;
+}
+
+/// The carry-corrected contiguous carve of AllocateEata's pass 2, walking the
+/// subset instead of the whole matrix. speed[t] == 1.0 for all threads gives
+/// the WaTA split.
+std::vector<Workload> CarveSubset(const graph::CsdbMatrix& a,
+                                  const std::vector<RowRange>& rows, int threads,
+                                  const std::vector<double>& speed,
+                                  uint64_t total) {
+  std::vector<Workload> out(threads);
+  double speed_sum = 0.0;
+  for (int t = 0; t < threads; ++t) speed_sum += speed[t];
+  if (speed_sum <= 0.0 || total == 0) return out;
+
+  SubsetWalk walk(a, rows);
+  uint64_t allocated = 0;
+  double cumulative_target = 0.0;
+  for (int t = 0; t < threads && !walk.AtEnd(); ++t) {
+    const SubsetWalk::Mark m = walk.mark();
+    if (t == threads - 1) {
+      while (!walk.AtEnd()) walk.Next();
+      walk.EmitSince(m, &out[t]);
+      break;
+    }
+    cumulative_target += static_cast<double>(total) * speed[t] / speed_sum;
+    const uint64_t budget = std::max<uint64_t>(
+        1, cumulative_target > static_cast<double>(allocated)
+               ? static_cast<uint64_t>(cumulative_target - allocated)
+               : 1);
+    uint64_t taken = 0;
+    while (!walk.AtEnd() && (taken < budget || taken == 0) &&
+           allocated + taken < total) {
+      taken += walk.degree();
+      walk.Next();
+    }
+    walk.EmitSince(m, &out[t]);
+    allocated += taken;
+  }
+  return out;
+}
+
+std::vector<Workload> SubsetRoundRobin(const std::vector<RowRange>& rows,
+                                       int threads) {
+  // Equal row-count chunks over the subset, by pure range arithmetic.
+  std::vector<Workload> out(threads);
+  uint64_t total_rows = 0;
+  for (const RowRange& r : rows) total_rows += r.size();
+  if (total_rows == 0) return out;
+  const uint64_t chunk = (total_rows + threads - 1) / threads;
+  size_t seg = 0;
+  uint32_t pos = rows[0].begin;
+  for (int t = 0; t < threads && seg < rows.size(); ++t) {
+    uint64_t need = chunk;
+    while (need > 0 && seg < rows.size()) {
+      const auto take =
+          static_cast<uint32_t>(std::min<uint64_t>(rows[seg].end - pos, need));
+      if (take > 0) out[t].ranges.push_back(RowRange{pos, pos + take});
+      pos += take;
+      need -= take;
+      if (pos >= rows[seg].end) {
+        ++seg;
+        if (seg < rows.size()) pos = rows[seg].begin;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Workload> AllocateSubset(const graph::CsdbMatrix& a,
+                                     AllocatorKind kind,
+                                     const std::vector<RowRange>& rows,
+                                     const AllocatorOptions& options) {
+  OMEGA_CHECK(options.num_threads > 0) << "allocator needs at least one thread";
+  const int threads = options.num_threads;
+  const uint64_t total = SubsetNnz(a, rows);
+  std::vector<Workload> out;
+  switch (kind) {
+    case AllocatorKind::kRoundRobin:
+      out = SubsetRoundRobin(rows, threads);
+      break;
+    case AllocatorKind::kWorkloadBalanced:
+      out = CarveSubset(a, rows, threads, std::vector<double>(threads, 1.0), total);
+      break;
+    case AllocatorKind::kEntropyAware: {
+      // Same two-pass refinement as AllocateEata: estimate entropies on the
+      // balanced split, rescale budgets by Eq. 7 speeds, carve, repeat once.
+      constexpr double kGatherShare = 0.7;
+      out = CarveSubset(a, rows, threads, std::vector<double>(threads, 1.0), total);
+      AnnotateAll(a, options.beta, &out);
+      std::vector<double> speed(threads, 0.0);
+      for (const int pass : {0, 1}) {
+        (void)pass;
+        for (int t = 0; t < threads; ++t) {
+          if (out[t].empty()) {
+            speed[t] = 0.0;
+            continue;
+          }
+          const double w_sca =
+              ScatterFactor(out[t].entropy, a.num_cols(), options.beta);
+          speed[t] = 1.0 / ((1.0 - kGatherShare) + kGatherShare / w_sca);
+        }
+        out = CarveSubset(a, rows, threads, speed, total);
+        AnnotateAll(a, options.beta, &out);
+      }
+      break;
+    }
+  }
+  if (out.empty()) out.resize(threads);
+  AnnotateAll(a, options.beta, &out);
+  return out;
 }
 
 }  // namespace omega::sched

@@ -44,4 +44,16 @@ std::vector<Workload> AllocateEata(const graph::CsdbMatrix& a,
 std::vector<Workload> Allocate(const graph::CsdbMatrix& a, AllocatorKind kind,
                                const AllocatorOptions& options);
 
+/// Allocates only the rows in `rows` (disjoint, ascending half-open ranges)
+/// across options.num_threads workloads — the host side of a heterogeneous
+/// placement, where the offloaded rows must not inflate any host thread's
+/// budget. Workload ranges may span multiple input segments. Same contract as
+/// Allocate otherwise; with rows == [{0, num_rows})] the split covers the
+/// whole matrix (though boundaries may differ from Allocate's, which is why
+/// the host-only path keeps calling Allocate).
+std::vector<Workload> AllocateSubset(const graph::CsdbMatrix& a,
+                                     AllocatorKind kind,
+                                     const std::vector<RowRange>& rows,
+                                     const AllocatorOptions& options);
+
 }  // namespace omega::sched

@@ -1,0 +1,270 @@
+#include "sched/hetero_placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/entropy.h"
+
+namespace omega::sched {
+
+namespace {
+
+using memsim::AccessRun;
+using memsim::CostModel;
+using memsim::Locality;
+using memsim::MemOp;
+using memsim::Pattern;
+using memsim::Tier;
+
+constexpr uint64_t kLineBytes = 64;  ///< gather touch granularity (spmm.cc)
+
+/// Modeled wall-seconds contribution of one block to the host SpMM phase:
+/// the block's rows spread evenly over all host workers, each worker charged
+/// its share under the per-socket thread-group contention NaDP runs at. The
+/// components mirror ChargeWorkloadCosts (spmm.cc) term by term.
+double HostBlockSeconds(const CostModel& cm, const graph::CsdbMatrix::BlockSpan& s,
+                        uint64_t dense_cols, double entropy_z, int threads,
+                        int group, Tier sparse_tier, Tier dense_tier,
+                        Tier result_tier) {
+  const double rows = static_cast<double>(s.rows()) / threads;
+  const double nnz = rows * s.degree;
+  const double l = static_cast<double>(dense_cols);
+  double sec = 0.0;
+  // 1 read_index: 4B of row metadata per row, re-read per column pass.
+  sec += cm.AccessSeconds(
+      Tier::kDram,
+      AccessRun{MemOp::kRead, Pattern::kSequential, Locality::kLocal,
+                static_cast<size_t>(l * rows * 4), static_cast<size_t>(l)},
+      group);
+  // 2 get_sparse_nnz: col_list + nnz_list, 8B per element per column pass.
+  sec += cm.AccessSeconds(
+      sparse_tier,
+      AccessRun{MemOp::kRead, Pattern::kSequential, Locality::kLocal,
+                static_cast<size_t>(l * nnz * 8), static_cast<size_t>(l)},
+      group);
+  // 3 get_dense_nnz: Z(H)-blended gathers, one cache line per touch.
+  const double touches = l * nnz;
+  const auto random_touches = static_cast<size_t>(entropy_z * touches);
+  const auto seq_touches = static_cast<size_t>(touches) - random_touches;
+  if (random_touches > 0) {
+    sec += cm.AccessSeconds(dense_tier,
+                            AccessRun{MemOp::kRead, Pattern::kRandom,
+                                      Locality::kLocal,
+                                      random_touches * kLineBytes, random_touches},
+                            group);
+  }
+  if (seq_touches > 0) {
+    sec += cm.AccessSeconds(dense_tier,
+                            AccessRun{MemOp::kRead, Pattern::kSequential,
+                                      Locality::kLocal, seq_touches * kLineBytes,
+                                      seq_touches},
+                            group);
+  }
+  // 4 accumulation: one multiply + one add per element per column.
+  sec += cm.ComputeSeconds(static_cast<size_t>(l * nnz * 2));
+  // 5 write_result.
+  sec += cm.AccessSeconds(
+      result_tier,
+      AccessRun{MemOp::kWrite, Pattern::kSequential, Locality::kLocal,
+                static_cast<size_t>(l * rows * 4), static_cast<size_t>(l)},
+      group);
+  return sec;
+}
+
+/// Gang-DMA seconds over the host<->PIM link; one controller stream, so
+/// active_threads is always 1 (per_thread == peak in the PIM profile anyway).
+double LinkSeconds(const CostModel& cm, MemOp op, uint64_t bytes) {
+  if (bytes == 0) return 0.0;
+  return cm.AccessSeconds(
+      Tier::kPim,
+      AccessRun{op, Pattern::kSequential, Locality::kLocal, bytes, 1}, 1);
+}
+
+struct PimBlockCost {
+  double ship = 0.0;      ///< col_list + nnz_list DMA to the banks
+  double compute = 0.0;   ///< bank-straggler MAC time
+  double drain = 0.0;     ///< partial-panel readback + host merge write
+  double total() const { return ship + compute + drain; }
+};
+
+/// Marginal PIM cost of one block (the shared dense broadcast is priced once
+/// per execute, not per block).
+PimBlockCost PimBlockSeconds(const CostModel& cm,
+                             const graph::CsdbMatrix::BlockSpan& s,
+                             uint64_t dense_cols, const PimConfig& cfg,
+                             Tier result_tier, int group) {
+  PimBlockCost c;
+  const uint64_t nnz = static_cast<uint64_t>(s.rows()) * s.degree;
+  const uint64_t panel_bytes = static_cast<uint64_t>(s.rows()) * dense_cols * 4;
+  // Ship col indices (4B) + values (4B) once; the banks keep them across all
+  // column passes (unlike the host, which re-streams per pass).
+  c.ship = LinkSeconds(cm, MemOp::kWrite, nnz * 8);
+  // Rows are distributed round-robin over the banks and each bank processes
+  // its rows serially: the straggler holds ceil(rows / banks) rows of degree
+  // d. A few-row hub block serializes onto one bank and loses to the host.
+  const uint64_t rows_per_bank =
+      (s.rows() + static_cast<uint32_t>(cfg.banks) - 1) / cfg.banks;
+  c.compute = static_cast<double>(rows_per_bank) * s.degree * 2 * dense_cols /
+              cfg.bank_ops_per_second;
+  // Drain: read the result panel back over the link, then stream it into the
+  // result tier (each PIM row is owned by exactly one bank, so the merge is a
+  // scatter-free copy).
+  c.drain = LinkSeconds(cm, MemOp::kRead, panel_bytes) +
+            cm.AccessSeconds(result_tier,
+                             AccessRun{MemOp::kWrite, Pattern::kSequential,
+                                       Locality::kLocal, panel_bytes, 1},
+                             group);
+  return c;
+}
+
+}  // namespace
+
+const char* PimPolicyName(PimPolicy policy) {
+  switch (policy) {
+    case PimPolicy::kHostOnly:
+      return "host-only";
+    case PimPolicy::kAuto:
+      return "auto";
+    case PimPolicy::kAllPim:
+      return "all-pim";
+  }
+  return "?";
+}
+
+HeteroPlacement PlaceDegreeBlocks(const graph::CsdbMatrix& a,
+                                  const PimConfig& cfg,
+                                  const memsim::MemorySystem& ms,
+                                  int host_threads, memsim::Tier sparse_tier,
+                                  memsim::Tier dense_tier,
+                                  memsim::Tier result_tier) {
+  HeteroPlacement out;
+  out.policy = cfg.policy;
+
+  const CostModel& cm = ms.cost_model();
+  const int threads = std::max(1, host_threads);
+  const int group =
+      std::max(1, threads / std::max(1, ms.topology().num_sockets()));
+  const uint64_t l = std::max<uint64_t>(1, cfg.dense_cols);
+
+  // Price every degree block under both devices.
+  for (auto bc = a.BlocksInRange(0, a.num_rows()); !bc.AtEnd(); bc.Next()) {
+    const auto& s = bc.span();
+    HeteroBlock hb;
+    hb.row_begin = s.row_begin;
+    hb.row_end = s.row_end;
+    hb.degree = s.degree;
+    hb.nnz = static_cast<uint64_t>(s.rows()) * s.degree;
+    // A uniform-degree block of R rows has H = log(R*d) - log(d) = log(R).
+    hb.entropy_z = NormalizedEntropy(std::log(static_cast<double>(s.rows())),
+                                     a.num_cols());
+    hb.host_seconds =
+        HostBlockSeconds(cm, s, l, hb.entropy_z, threads, group, sparse_tier,
+                         dense_tier, result_tier);
+    if (cfg.active()) {
+      // A bank must hold its share of the block's elements (8B each) in MRAM
+      // alongside the streamed column slice; blocks too dense per bank are
+      // host-forced under every policy.
+      const uint64_t per_bank_bytes =
+          ((hb.nnz + cfg.banks - 1) / cfg.banks) * 8 * 2;
+      hb.fits_mram = per_bank_bytes <= cfg.mram_bytes_per_bank;
+      const PimBlockCost pc = PimBlockSeconds(cm, s, l, cfg, result_tier, group);
+      hb.pim_seconds = pc.total();
+    } else {
+      hb.fits_mram = false;
+    }
+    out.blocks.push_back(hb);
+  }
+  if (!cfg.active()) {
+    if (a.num_rows() > 0) out.host_ranges.push_back({0, a.num_rows()});
+    for (const HeteroBlock& hb : out.blocks) {
+      out.host_nnz += hb.nnz;
+      out.est_host_seconds += hb.host_seconds;
+    }
+    return out;
+  }
+
+  // The dense operand broadcast is shared by every offloaded block: each of
+  // the n columns' l floats crosses the link once per execute (column slices
+  // are streamed through MRAM in passes; the bytes total is pass-invariant).
+  const double broadcast =
+      LinkSeconds(cm, MemOp::kWrite, static_cast<uint64_t>(a.num_cols()) * l * 4);
+
+  // Candidate assignments: host-only, all-pim (fitting blocks), and the
+  // greedy marginal-cost split with hysteresis. The modeled phase time of an
+  // assignment is max(host wall, broadcast + ship + bank compute) + drain —
+  // the pipeline front overlaps the host panels, the drain tail is serial.
+  auto Evaluate = [&](const std::vector<bool>& on_pim) {
+    double host = 0.0, pipe = 0.0, tail = 0.0;
+    bool any = false;
+    for (size_t i = 0; i < out.blocks.size(); ++i) {
+      const HeteroBlock& hb = out.blocks[i];
+      if (on_pim[i]) {
+        const auto& s = graph::CsdbMatrix::BlockSpan{hb.row_begin, hb.row_end,
+                                                     hb.degree, 0};
+        const PimBlockCost pc = PimBlockSeconds(cm, s, l, cfg, result_tier, group);
+        pipe += pc.ship + pc.compute;
+        tail += pc.drain;
+        any = true;
+      } else {
+        host += hb.host_seconds;
+      }
+    }
+    if (any) pipe += broadcast;
+    return std::max(host, pipe) + tail;
+  };
+
+  const size_t n = out.blocks.size();
+  std::vector<bool> none(n, false), all(n, false), greedy(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    const HeteroBlock& hb = out.blocks[i];
+    if (!hb.fits_mram) continue;
+    all[i] = true;
+    greedy[i] = hb.pim_seconds * cfg.offload_margin < hb.host_seconds;
+  }
+
+  std::vector<bool> chosen;
+  if (cfg.policy == PimPolicy::kAllPim) {
+    chosen = all;
+  } else {  // kAuto: best of the three candidates under the phase model
+    chosen = greedy;
+    double best = Evaluate(greedy);
+    if (const double t = Evaluate(none); t < best) {
+      best = t;
+      chosen = none;
+    }
+    if (const double t = Evaluate(all); t < best) {
+      chosen = all;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    HeteroBlock& hb = out.blocks[i];
+    hb.on_pim = chosen[i];
+    if (hb.on_pim) {
+      out.pim_nnz += hb.nnz;
+      out.pim_rows += hb.row_end - hb.row_begin;
+      if (!out.pim_ranges.empty() && out.pim_ranges.back().end == hb.row_begin) {
+        out.pim_ranges.back().end = hb.row_end;
+      } else {
+        out.pim_ranges.push_back({hb.row_begin, hb.row_end});
+      }
+      const auto s = graph::CsdbMatrix::BlockSpan{hb.row_begin, hb.row_end,
+                                                  hb.degree, 0};
+      const PimBlockCost pc = PimBlockSeconds(cm, s, l, cfg, result_tier, group);
+      out.est_pim_pipeline_seconds += pc.ship + pc.compute;
+      out.est_pim_tail_seconds += pc.drain;
+    } else {
+      out.host_nnz += hb.nnz;
+      out.est_host_seconds += hb.host_seconds;
+      if (!out.host_ranges.empty() && out.host_ranges.back().end == hb.row_begin) {
+        out.host_ranges.back().end = hb.row_end;
+      } else {
+        out.host_ranges.push_back({hb.row_begin, hb.row_end});
+      }
+    }
+  }
+  if (out.any_pim()) out.est_pim_pipeline_seconds += broadcast;
+  return out;
+}
+
+}  // namespace omega::sched

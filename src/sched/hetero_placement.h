@@ -1,0 +1,101 @@
+// Heterogeneous-compute placement of CSDB degree blocks (PIM offload).
+//
+// EaTA (§III-B) balances host threads against each other using workload
+// entropy; this generalizes the same cost reasoning across *devices*. For
+// every CSDB degree block the placement compares
+//   * the host cost: the Z(H)-blended gather charge of sparse/spmm.cc under
+//     NaDP socket-group contention, plus the sequential streams and the
+//     host MAC share — expensive exactly where entropy is high (many
+//     low-degree rows gathering all over the dense operand); and
+//   * the PIM cost: shipping the block's nnz over the gang-DMA link once,
+//     bank-serial MACs (ceil(rows/banks) rows per bank — a few-row hub block
+//     serializes onto one bank and loses badly), and the result readback +
+//     host merge.
+// Low-to-mid-degree blocks (high entropy, many rows to spread across banks)
+// go to PIM; hub blocks and low-entropy streams stay on the host AVX2 panels.
+// The dense-operand broadcast is shared by all offloaded blocks and enters
+// only the global decision, not the per-block marginal costs.
+//
+// The placement is a pure cost estimate: it reads the CostModel directly and
+// never touches traffic counters or clocks (sparse::PimSpmm issues the real
+// charges at execute time).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csdb.h"
+#include "memsim/memory_system.h"
+#include "sched/workload.h"
+
+namespace omega::sched {
+
+enum class PimPolicy { kHostOnly = 0, kAuto = 1, kAllPim = 2 };
+
+const char* PimPolicyName(PimPolicy policy);
+
+/// Configuration of the simulated PIM gang visible to the scheduler.
+struct PimConfig {
+  /// Total banks across the machine; 0 disables the PIM path entirely (the
+  /// placement degenerates to host-only regardless of policy).
+  int banks = 0;
+  size_t mram_bytes_per_bank = 256ULL << 10;
+  double bank_ops_per_second = 1.0e9;
+  PimPolicy policy = PimPolicy::kHostOnly;
+  /// Dense width the placement is priced for (the execute's b.cols()). The
+  /// ship cost amortizes over the width, so the split depends on it.
+  size_t dense_cols = 0;
+  /// Hysteresis: a block offloads under kAuto only when the modeled PIM cost
+  /// beats the host cost by this factor, guarding against model error making
+  /// auto worse than host-only.
+  double offload_margin = 1.15;
+
+  bool active() const { return banks > 0 && policy != PimPolicy::kHostOnly; }
+  bool operator==(const PimConfig& other) const = default;
+};
+
+/// One CSDB degree block's placement decision with its modeled costs.
+struct HeteroBlock {
+  uint32_t row_begin = 0;
+  uint32_t row_end = 0;
+  uint32_t degree = 0;
+  uint64_t nnz = 0;
+  double entropy_z = 0.0;     ///< Z(H) of the block as a workload
+  bool on_pim = false;
+  bool fits_mram = true;      ///< false => host-forced regardless of policy
+  double host_seconds = 0.0;  ///< modeled aggregate host seconds
+  double pim_seconds = 0.0;   ///< modeled ship + bank compute + drain seconds
+};
+
+/// The chosen split plus the run-constant estimates behind it.
+struct HeteroPlacement {
+  PimPolicy policy = PimPolicy::kHostOnly;
+  std::vector<HeteroBlock> blocks;
+  /// Coalesced row ranges per device; host_ranges is the complement of
+  /// pim_ranges over [0, num_rows) and is what the host allocators cover.
+  std::vector<RowRange> pim_ranges;
+  std::vector<RowRange> host_ranges;
+  uint64_t pim_nnz = 0;
+  uint64_t host_nnz = 0;
+  uint32_t pim_rows = 0;
+  /// Modeled totals (diagnostics / bench JSON, not charged anywhere).
+  double est_host_seconds = 0.0;      ///< host blocks, aggregate
+  double est_pim_pipeline_seconds = 0.0;  ///< broadcast + ship + bank compute
+  double est_pim_tail_seconds = 0.0;      ///< readback + host merge
+
+  bool any_pim() const { return !pim_ranges.empty(); }
+};
+
+/// Prices every degree block of `a` and splits them between the PIM banks
+/// and the host panels under `cfg.policy`. `host_threads` and the operand
+/// tiers describe the host alternative (the NaDP execution the blocks would
+/// otherwise join). Pure: no charges, no counter updates.
+HeteroPlacement PlaceDegreeBlocks(const graph::CsdbMatrix& a,
+                                  const PimConfig& cfg,
+                                  const memsim::MemorySystem& ms,
+                                  int host_threads, memsim::Tier sparse_tier,
+                                  memsim::Tier dense_tier,
+                                  memsim::Tier result_tier);
+
+}  // namespace omega::sched

@@ -1,0 +1,88 @@
+// PIM-offloaded SpMM over CSDB degree blocks.
+//
+// Two-clock contract, same as every other kernel: the arithmetic runs for
+// real on host memory — through the very same ComputeWorkloadCsdb panel
+// kernels the host path uses, so a row's bits never depend on where the
+// simulator placed it — while the charges model the PIM execution:
+//
+//   ship       one gang DMA of each offloaded block's col_list + nnz_list
+//              (8B per element) over the host<->PIM link;
+//   broadcast  the dense operand streamed to every bank once per column
+//              pass (a hardware broadcast: the link carries each byte once,
+//              banks snoop it simultaneously); when the resident elements
+//              leave too little MRAM for the full operand, it is streamed in
+//              slices, costing one extra DMA handshake per pass;
+//   compute    bank-serial MACs: a block's rows are dealt round-robin to the
+//              banks and each bank walks its rows serially, so the charge is
+//              the straggler bank, ceil(rows/banks) * degree * 2 * cols ops
+//              at the per-bank MAC rate;
+//   readback   the partial row panels DMA'd back (each row is owned by
+//              exactly one bank, so panels are disjoint);
+//   merge      the host streams the panels into the result tier.
+//
+// All link transfers flow through ChargeAccessWithRetry on a single
+// controller WorkerCtx (worker = kPimControllerWorker, so the draws own the
+// kFaultStreamPim stream): a transfer that exhausts its retries degrades the
+// whole block to the host charge path — the block's simulated cost becomes
+// the ordinary host SpMM charge and the fault is bucketed as degraded —
+// while the real output is untouched, because it was computed on the host
+// all along.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "graph/csdb.h"
+#include "linalg/dense_matrix.h"
+#include "memsim/memory_system.h"
+#include "sched/hetero_placement.h"
+#include "sparse/spmm.h"
+
+namespace omega::sparse {
+
+struct PimSpmmOptions {
+  /// The gang the placement was priced for (banks, MRAM, bank MAC rate).
+  sched::PimConfig config;
+  /// Host placements: `host` prices a degraded block's fallback charge,
+  /// `host.result` receives the merged panels.
+  SpmmPlacements host;
+  memsim::FaultRetryPolicy retry;
+  /// NaDP column block this execute covers (clamped to b.cols()).
+  size_t col_begin = 0;
+  size_t col_end = SIZE_MAX;
+};
+
+/// Simulated-cost breakdown of one PIM execute. `pipeline_seconds` (broadcast
+/// + ship + bank compute) overlaps the host panels; `tail_seconds` (readback
+/// + merge + degraded fallbacks) is serial after both sides finish.
+struct PimSpmmResult {
+  double transfer_seconds = 0.0;  ///< link DMA: broadcast + ship + readback
+  double compute_seconds = 0.0;   ///< bank straggler MACs
+  double reduce_seconds = 0.0;    ///< host merge + degraded fallback charges
+  double pipeline_seconds = 0.0;
+  double tail_seconds = 0.0;
+  uint64_t nnz_processed = 0;
+  uint64_t degraded_blocks = 0;  ///< blocks recharged at host cost
+  uint64_t column_passes = 1;    ///< broadcast passes forced by MRAM pressure
+
+  double TotalSeconds() const {
+    return transfer_seconds + compute_seconds + reduce_seconds;
+  }
+};
+
+/// Executes the offloaded side of `placement` (its pim_ranges) for real into
+/// `c` and charges the PIM execution. `pool` parallelizes the host-side
+/// arithmetic only (wall clock; the simulated charge is the single controller
+/// stream regardless). Errors only on simulator misuse, never on injected
+/// faults (those degrade per block).
+Result<PimSpmmResult> PimSpmm(const graph::CsdbMatrix& a,
+                              const linalg::DenseMatrix& b,
+                              linalg::DenseMatrix* c,
+                              const sched::HeteroPlacement& placement,
+                              const PimSpmmOptions& options,
+                              memsim::MemorySystem* ms,
+                              ThreadPool* pool, uint64_t fault_epoch);
+
+}  // namespace omega::sparse

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <tuple>
 
@@ -50,6 +51,82 @@ TEST(FaultProfileTest, RejectsUnknownNameAndBadSeed) {
   EXPECT_FALSE(memsim::FaultPlanFromProfile("bogus").ok());
   EXPECT_FALSE(memsim::FaultPlanFromProfile("pm-stall:x7").ok());
   EXPECT_FALSE(memsim::FaultPlanFromProfile("pm-stall:").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Custom profile files ("@path" specs).
+// ---------------------------------------------------------------------------
+
+std::string WriteProfileFile(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+TEST(FaultProfileFileTest, ParsesDirectivesAndRates) {
+  const std::string path = WriteProfileFile("ok.prof",
+                                            "# comment line\n"
+                                            "seed 9\n"
+                                            "stall-multiplier 3.5\n"
+                                            "rate pm read seq stall 0.25\n"
+                                            "rate pim * * timeout 0.1\n");
+  auto plan = memsim::FaultPlanFromFile(path);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan.value().enabled);
+  EXPECT_EQ(plan.value().seed, 9u);
+  EXPECT_DOUBLE_EQ(plan.value().stall_multiplier, 3.5);
+  EXPECT_DOUBLE_EQ(
+      plan.value().at(Tier::kPm, MemOp::kRead, Pattern::kSequential).stall,
+      0.25);
+  // The pim wildcard covers both ops and both patterns.
+  EXPECT_DOUBLE_EQ(
+      plan.value().at(Tier::kPim, MemOp::kWrite, Pattern::kRandom).timeout,
+      0.1);
+  EXPECT_DOUBLE_EQ(
+      plan.value().at(Tier::kPim, MemOp::kRead, Pattern::kSequential).timeout,
+      0.1);
+
+  // The same file loads through the engine-facing "@path" spec.
+  auto via_spec = memsim::FaultPlanFromProfile("@" + path);
+  ASSERT_TRUE(via_spec.ok());
+  EXPECT_EQ(via_spec.value().seed, 9u);
+}
+
+TEST(FaultProfileFileTest, RejectsUnknownTierWithLineNumber) {
+  const std::string path = WriteProfileFile(
+      "bad_tier.prof", "seed 1\n\nrate hbm read seq stall 0.1\n");
+  auto plan = memsim::FaultPlanFromFile(path);
+  ASSERT_FALSE(plan.ok());
+  const std::string msg = plan.status().ToString();
+  EXPECT_NE(msg.find(path + ":3:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unknown tier 'hbm'"), std::string::npos) << msg;
+}
+
+TEST(FaultProfileFileTest, RejectsUnknownOpWithLineNumber) {
+  const std::string path =
+      WriteProfileFile("bad_op.prof", "rate pm scan seq stall 0.1\n");
+  auto plan = memsim::FaultPlanFromFile(path);
+  ASSERT_FALSE(plan.ok());
+  const std::string msg = plan.status().ToString();
+  EXPECT_NE(msg.find(path + ":1:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unknown op 'scan'"), std::string::npos) << msg;
+}
+
+TEST(FaultProfileFileTest, RejectsBadKindDirectiveAndRange) {
+  const std::string bad_kind =
+      WriteProfileFile("bad_kind.prof", "rate pm read seq flake 0.1\n");
+  EXPECT_FALSE(memsim::FaultPlanFromFile(bad_kind).ok());
+  const std::string bad_directive =
+      WriteProfileFile("bad_directive.prof", "jitter 0.5\n");
+  auto plan = memsim::FaultPlanFromFile(bad_directive);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().ToString().find("unknown directive 'jitter'"),
+            std::string::npos);
+  const std::string bad_range =
+      WriteProfileFile("bad_range.prof", "rate pm read seq stall 1.5\n");
+  EXPECT_FALSE(memsim::FaultPlanFromFile(bad_range).ok());
+  EXPECT_FALSE(memsim::FaultPlanFromProfile("@/does/not/exist.prof").ok());
 }
 
 // ---------------------------------------------------------------------------

@@ -15,6 +15,9 @@
 #   tools/check.sh --dynamic  # additionally run the dynamic-graph suites
 #                             # (dynamic_test under Debug+ASan +
 #                             # bench_update_throughput --smoke)
+#   tools/check.sh --pim      # additionally run the PIM-offload suites
+#                             # (pim_test + fault_test under Debug+ASan +
+#                             # bench_pim_offload --smoke)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +28,7 @@ FAULTS=0
 ASYNC=0
 SERVE=0
 DYNAMIC=0
+PIM=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
@@ -33,6 +37,7 @@ for arg in "$@"; do
     --async) ASYNC=1 ;;
     --serve) SERVE=1 ;;
     --dynamic) DYNAMIC=1 ;;
+    --pim) PIM=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -72,9 +77,9 @@ if [[ "$TSAN" == 1 ]]; then
   # the BufferManager's concurrent pin/unpin) are what TSan is after; the
   # full suite under TSan is prohibitively slow.
   cmake -B build-tsan -S . -DOMEGA_TSAN=ON
-  cmake --build build-tsan -j "$JOBS" --target common_test spmm_test plan_test buffer_test serve_test dynamic_test
+  cmake --build build-tsan -j "$JOBS" --target common_test spmm_test plan_test buffer_test serve_test dynamic_test pim_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(common_test|spmm_test|plan_test|buffer_test|serve_test|dynamic_test)$'
+    -R '^(common_test|spmm_test|plan_test|buffer_test|serve_test|dynamic_test|pim_test)$'
 fi
 
 if [[ "$ASYNC" == 1 ]]; then
@@ -102,6 +107,18 @@ if [[ "$DYNAMIC" == 1 ]]; then
   cmake --build build-dynamic -j "$JOBS" --target dynamic_test
   ctest --test-dir build-dynamic --output-on-failure -R '^dynamic_test$'
   ./build/bench/bench_update_throughput --smoke
+fi
+
+if [[ "$PIM" == 1 ]]; then
+  echo "== PIM offload: Debug+ASan suites + placement smoke =="
+  # The bank-link retry/degrade path and the subset allocators are the
+  # branch-heavy parts; run them with asserts and ASan on, then smoke the
+  # three placement policies end to end from the tier-1 build (the harness
+  # itself fails on any cross-policy embedding mismatch).
+  cmake -B build-pim -S . -DCMAKE_BUILD_TYPE=Debug -DOMEGA_SANITIZE=ON
+  cmake --build build-pim -j "$JOBS" --target pim_test fault_test
+  ctest --test-dir build-pim --output-on-failure -R '^(pim_test|fault_test)$'
+  ./build/bench/bench_pim_offload --smoke
 fi
 
 echo "OK"

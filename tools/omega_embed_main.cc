@@ -15,6 +15,8 @@
 //     --no-wofp / --no-nadp / --no-asl  feature ablations
 //     --async-staging       overlap ASL staging fetches with compute (omega)
 //     --asl-partitions <n>  pin the ASL partition count (0 = solve Eq. 9)
+//     --pim-banks <n>       simulated PIM banks for SpMM offload (0 = off)
+//     --pim-placement <p>   auto (default) | all-pim | host-only
 //     --allocator <name>    eata (default) | wata | rr
 //     --cxl                 use the CXL device profiles for the capacity tier
 //     --out <path>          write embedding (.tsv or binary by extension)
@@ -66,6 +68,8 @@ struct CliOptions {
   bool asl = true;
   bool async_staging = false;
   size_t asl_partitions = 0;
+  int pim_banks = 0;
+  std::string pim_placement = "auto";
   bool cxl = false;
   bool auc = false;
   std::string mutations;
@@ -76,7 +80,8 @@ int Usage(const char* argv0) {
                "usage: %s [--graph <path|name>] [--system <name>] "
                "[--threads n] [--dim d] [--cheb k] [--allocator eata|wata|rr] "
                "[--no-wofp] [--no-nadp] [--no-asl] [--async-staging] "
-               "[--asl-partitions n] [--cxl] [--out path] "
+               "[--asl-partitions n] [--pim-banks n] "
+               "[--pim-placement auto|all-pim|host-only] [--cxl] [--out path] "
                "[--auc] [--trace-json path] [--fault-profile name[:seed]] "
                "[--mutations <file|synthetic:rate[,seed]>]\n",
                argv0);
@@ -103,6 +108,13 @@ Result<sched::AllocatorKind> ParseAllocator(const std::string& name) {
   if (name == "wata") return sched::AllocatorKind::kWorkloadBalanced;
   if (name == "rr") return sched::AllocatorKind::kRoundRobin;
   return Status::InvalidArgument("unknown allocator " + name);
+}
+
+Result<sched::PimPolicy> ParsePimPolicy(const std::string& name) {
+  if (name == "auto") return sched::PimPolicy::kAuto;
+  if (name == "all-pim") return sched::PimPolicy::kAllPim;
+  if (name == "host-only") return sched::PimPolicy::kHostOnly;
+  return Status::InvalidArgument("unknown PIM placement " + name);
 }
 
 /// `spec` is a mutation file path or "synthetic:<rate>[,<seed>]".
@@ -171,6 +183,15 @@ int main(int argc, char** argv) {
       cli.async_staging = true;
     } else if (arg == "--asl-partitions" && i + 1 < argc) {
       cli.asl_partitions = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--pim-banks" && i + 1 < argc) {
+      cli.pim_banks = std::atoi(argv[++i]);
+    } else if (arg.rfind("--pim-banks=", 0) == 0) {
+      cli.pim_banks = std::atoi(arg.c_str() + std::strlen("--pim-banks="));
+    } else if (arg == "--pim-placement" && i + 1 < argc) {
+      cli.pim_placement = argv[++i];
+    } else if (arg.rfind("--pim-placement=", 0) == 0) {
+      cli.pim_placement = arg.substr(std::strlen("--pim-placement="));
+      if (cli.pim_placement.empty()) return Usage(argv[0]);
     } else if (arg == "--cxl") {
       cli.cxl = true;
     } else if (arg == "--auc") {
@@ -200,7 +221,11 @@ int main(int argc, char** argv) {
 
   auto system = ParseSystem(cli.system);
   auto allocator = ParseAllocator(cli.allocator);
-  if (!system.ok() || !allocator.ok()) return Usage(argv[0]);
+  auto pim_policy = ParsePimPolicy(cli.pim_placement);
+  if (!system.ok() || !allocator.ok() || !pim_policy.ok()) {
+    return Usage(argv[0]);
+  }
+  if (cli.pim_banks < 0) return Usage(argv[0]);
 
   auto ms = std::make_unique<memsim::MemorySystem>(
       memsim::TopologyConfig{},
@@ -231,6 +256,8 @@ int main(int argc, char** argv) {
   options.features.use_asl = cli.asl;
   options.features.async_staging = cli.async_staging;
   options.features.asl_fixed_partitions = cli.asl_partitions;
+  options.features.pim_banks = cli.pim_banks;
+  options.features.pim_placement = pim_policy.value();
   options.evaluate_quality = cli.auc;
 
   exec::TraceRecorder trace;
