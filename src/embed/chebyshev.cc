@@ -34,8 +34,15 @@ Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
                                     const linalg::DenseMatrix& r,
                                     linalg::DenseMatrix* out,
                                     const SpmmExecutor& spmm, ThreadPool* pool,
-                                    ChebyshevCapture* capture) {
+                                    ChebyshevCapture* capture,
+                                    const ChebyshevHooks* hooks) {
   if (coefficients.empty()) return Status::InvalidArgument("no coefficients");
+  const bool resuming = hooks != nullptr && hooks->resume != nullptr &&
+                        hooks->resume->valid();
+  if (resuming && capture != nullptr) {
+    return Status::InvalidArgument(
+        "Chebyshev resume cannot rebuild the terms a capture needs");
+  }
   const size_t n = r.rows();
   const size_t d = r.cols();
   double sim_seconds = 0.0;
@@ -45,24 +52,45 @@ Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
     capture->terms.clear();
   }
 
-  // L - I = -S, so T_1 = -S R and T_{k+1} = -2 S T_k - T_{k-1}.
-  *out = linalg::DenseMatrix(n, d);
-  OMEGA_RETURN_NOT_OK(out->AddScaled(r, static_cast<float>(coefficients[0]), pool));
+  auto after_term = [&](size_t next_term, const linalg::DenseMatrix& prev,
+                        const linalg::DenseMatrix& cur) -> Status {
+    if (hooks != nullptr && hooks->after_term) {
+      return hooks->after_term(next_term, prev, cur, *out);
+    }
+    return Status::OK();
+  };
 
-  linalg::DenseMatrix t_prev = r;  // T_0
-  linalg::DenseMatrix t_cur(n, d);
+  // L - I = -S, so T_1 = -S R and T_{k+1} = -2 S T_k - T_{k-1}.
+  linalg::DenseMatrix t_prev;
+  linalg::DenseMatrix t_cur;
   linalg::DenseMatrix tmp(n, d);
-  if (coefficients.size() > 1) {
-    OMEGA_ASSIGN_OR_RETURN(double secs, spmm(propagation, r, &tmp));
-    sim_seconds += secs;
-    t_cur = tmp;
-    t_cur.Scale(-1.0f, pool);
+  size_t first_term = 2;
+  if (resuming) {
+    // Everything through term next_term - 1 is already in the restored
+    // accumulator; the skipped terms' SpMMs charge nothing.
+    *out = hooks->resume->partial;
+    t_prev = hooks->resume->t_prev;
+    t_cur = hooks->resume->t_cur;
+    first_term = hooks->resume->next_term;
+  } else {
+    *out = linalg::DenseMatrix(n, d);
     OMEGA_RETURN_NOT_OK(
-        out->AddScaled(t_cur, static_cast<float>(coefficients[1]), pool));
-    if (capture != nullptr) capture->terms.push_back(t_cur);
+        out->AddScaled(r, static_cast<float>(coefficients[0]), pool));
+    t_prev = r;  // T_0
+    t_cur = linalg::DenseMatrix(n, d);
+    if (coefficients.size() > 1) {
+      OMEGA_ASSIGN_OR_RETURN(double secs, spmm(propagation, r, &tmp));
+      sim_seconds += secs;
+      t_cur = tmp;
+      t_cur.Scale(-1.0f, pool);
+      OMEGA_RETURN_NOT_OK(
+          out->AddScaled(t_cur, static_cast<float>(coefficients[1]), pool));
+      if (capture != nullptr) capture->terms.push_back(t_cur);
+      OMEGA_RETURN_NOT_OK(after_term(2, t_prev, t_cur));
+    }
   }
 
-  for (size_t k = 2; k < coefficients.size(); ++k) {
+  for (size_t k = first_term; k < coefficients.size(); ++k) {
     OMEGA_ASSIGN_OR_RETURN(double secs, spmm(propagation, t_cur, &tmp));
     sim_seconds += secs;
     // T_k = -2 S T_{k-1} - T_{k-2}.
@@ -74,6 +102,7 @@ Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
     if (capture != nullptr) capture->terms.push_back(t_next);
     t_prev = std::move(t_cur);
     t_cur = std::move(t_next);
+    OMEGA_RETURN_NOT_OK(after_term(k + 1, t_prev, t_cur));
   }
   return sim_seconds;
 }

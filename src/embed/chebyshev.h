@@ -42,12 +42,20 @@ std::vector<double> ChebyshevCoefficients(const SpectralFilter& filter, int orde
 /// A non-null `capture` receives copies of the basis, every term T_1..T_{K-1}
 /// and the coefficients (perm is the caller's to fill) — host-side state for
 /// the incremental refresh path, no effect on charges or output.
+///
+/// `hooks` (see prone.h) checkpoints and resumes the recurrence: after_term
+/// observes every completed term's exact state (non-OK aborts), and a valid
+/// hooks->resume restarts at term resume->next_term with the restored
+/// accumulator — skipped terms charge nothing and the final output is
+/// bitwise identical to an uninterrupted run. resume + capture is
+/// InvalidArgument.
 Result<double> ChebyshevFilterApply(const graph::CsdbMatrix& propagation,
                                     const std::vector<double>& coefficients,
                                     const linalg::DenseMatrix& r,
                                     linalg::DenseMatrix* out,
                                     const SpmmExecutor& spmm,
                                     ThreadPool* pool = nullptr,
-                                    ChebyshevCapture* capture = nullptr);
+                                    ChebyshevCapture* capture = nullptr,
+                                    const ChebyshevHooks* hooks = nullptr);
 
 }  // namespace omega::embed

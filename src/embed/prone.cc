@@ -68,12 +68,17 @@ Result<EmbeddingResult> ProneEmbed(const graph::CsdbMatrix& adjacency,
 
   EmbeddingResult result;
   result.perm = adjacency.perm();
+  const ProneDurability* durability = options.durability;
 
   // ----- Stage 1: sparse matrix factorization via randomized tSVD. ---------
   // Scoped so the target matrix is freed before stage 2 builds the
   // propagation matrix (peak: adjacency + one derived sparse matrix).
   linalg::DenseMatrix r0;
-  {
+  if (durability != nullptr && durability->resume_r0 != nullptr) {
+    // Restored basis: stage 1 is skipped entirely — no tSVD work, no
+    // factorize charges, no stage notification.
+    r0 = *durability->resume_r0;
+  } else {
     if (options.stage_notifier) options.stage_notifier("factorize");
     const graph::CsdbMatrix target =
         BuildTargetMatrix(adjacency, options.neg_lambda);
@@ -105,6 +110,10 @@ Result<EmbeddingResult> ProneEmbed(const graph::CsdbMatrix& adjacency,
     }
     result.factorize_seconds = factorize_seconds;
   }
+  if (durability != nullptr && durability->after_factorize &&
+      durability->resume_r0 == nullptr) {
+    OMEGA_RETURN_NOT_OK(durability->after_factorize(r0));
+  }
 
   // ----- Stage 2: Chebyshev spectral propagation. ---------------------------
   if (options.stage_notifier) options.stage_notifier("propagate");
@@ -114,7 +123,9 @@ Result<EmbeddingResult> ProneEmbed(const graph::CsdbMatrix& adjacency,
   OMEGA_ASSIGN_OR_RETURN(
       double propagate_seconds,
       ChebyshevFilterApply(propagation, coeffs, r0, &result.vectors, spmm,
-                           options.pool, options.capture));
+                           options.pool, options.capture,
+                           durability != nullptr ? &durability->cheb
+                                                 : nullptr));
   if (options.capture != nullptr) options.capture->perm = adjacency.perm();
   result.propagate_seconds = propagate_seconds;
   result.total_seconds = result.factorize_seconds + result.propagate_seconds;

@@ -40,6 +40,45 @@ struct ChebyshevCapture {
   bool valid() const { return r0.rows() > 0 && !coefficients.empty(); }
 };
 
+/// Restart point of the stage-2 Chebyshev recurrence, restored from a
+/// checkpoint: the two live terms plus the partial filter accumulator, all
+/// bitwise as captured. The recurrence continues at term `next_term`; its
+/// output is byte-identical to an uninterrupted run because every skipped
+/// term's floats come back exactly (and every skipped SpMM's simulated
+/// charge is skipped with it).
+struct ChebyshevResume {
+  uint64_t next_term = 0;       ///< first term still to compute (>= 2)
+  linalg::DenseMatrix t_prev;   ///< T_{next_term - 2}
+  linalg::DenseMatrix t_cur;    ///< T_{next_term - 1}
+  linalg::DenseMatrix partial;  ///< sum_{k < next_term} c_k T_k
+
+  bool valid() const { return next_term >= 2 && t_cur.rows() > 0; }
+};
+
+/// Durability hooks of the stage-2 recurrence. `after_term` fires once term
+/// k's contribution has landed in the accumulator (so next_term == k + 1)
+/// with the exact state a ChebyshevResume needs; a non-OK return aborts the
+/// recurrence (the engine's simulated kill points and checkpoint IO errors
+/// propagate this way). `resume` restarts mid-recurrence instead of at T_1.
+struct ChebyshevHooks {
+  std::function<Status(size_t next_term, const linalg::DenseMatrix& t_prev,
+                       const linalg::DenseMatrix& t_cur,
+                       const linalg::DenseMatrix& partial)>
+      after_term;
+  const ChebyshevResume* resume = nullptr;
+};
+
+/// Durability hooks of a full ProNE run (engine checkpointing).
+struct ProneDurability {
+  /// Fires with the stage-1 basis R before stage 2 begins; non-OK aborts.
+  std::function<Status(const linalg::DenseMatrix& r0)> after_factorize;
+  /// Skips stage 1 entirely (no tSVD, no "factorize" stage notification, no
+  /// factorize charges) and uses this basis, restored from a checkpoint.
+  const linalg::DenseMatrix* resume_r0 = nullptr;
+  /// Stage-2 hooks, forwarded to ChebyshevFilterApply.
+  ChebyshevHooks cheb;
+};
+
 /// Executes one full-width SpMM out = m * in on behalf of the embedder and
 /// returns its *simulated* seconds. Engines inject their charged kernels
 /// (EaTA/WoFP/NaDP/ASL or any baseline) through this hook.
@@ -73,6 +112,11 @@ struct ProneOptions {
   /// terms, coefficients, row perm) for later incremental refresh. Host-side
   /// only — capturing changes no simulated charge and no output byte.
   ChebyshevCapture* capture = nullptr;
+
+  /// Optional checkpoint/restore hooks (see ProneDurability). Combining a
+  /// mid-recurrence resume with `capture` is InvalidArgument: a resumed run
+  /// cannot rebuild the skipped terms the capture would need.
+  const ProneDurability* durability = nullptr;
 };
 
 /// Result of an embedding run. Vectors are in the CSDB (degree-sorted) id

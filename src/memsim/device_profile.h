@@ -70,6 +70,12 @@ struct ProfileSet {
   /// exploits. Calibrated so one bank ~= 1/4 of a host core.
   double pim_bank_ops_per_second = 1.0e9;
 
+  /// Ordering cost of one persist barrier (CLWB+SFENCE on PM, fsync-ish on
+  /// SSD) beyond the device's access latency. The durable log charges one per
+  /// header-dance step, so checkpoint cost scales with entry count as well as
+  /// bytes. Calibrated to the eADR-less Optane flush path (~0.5 us).
+  double persist_barrier_ns = 500.0;
+
   const DeviceProfile& Get(Tier t) const { return tiers[static_cast<int>(t)]; }
   DeviceProfile& Get(Tier t) { return tiers[static_cast<int>(t)]; }
 };

@@ -15,6 +15,7 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kTransientStall: return "transient-stall";
     case FaultKind::kMediaError: return "media-error";
     case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kMachineLoss: return "machine-loss";
   }
   return "unknown";
 }
@@ -50,6 +51,8 @@ FaultPlan NamedProfile(const std::string& name) {
     plan.at(Tier::kNetwork, MemOp::kRead, Pattern::kRandom).timeout = 0.15;
     plan.at(Tier::kNetwork, MemOp::kWrite, Pattern::kSequential).timeout = 0.15;
     plan.at(Tier::kNetwork, MemOp::kWrite, Pattern::kRandom).timeout = 0.15;
+    // Only drawn by the durable distributed path; inert elsewhere.
+    plan.machine_loss = 0.05;
   } else if (name == "flaky-pim") {
     // Unreliable PIM DIMM link: the gang DMAs time out — exercises PimSpmm's
     // retry-then-degrade-to-host path. Bulk transfers are sequential only, so
@@ -67,6 +70,7 @@ FaultPlan NamedProfile(const std::string& name) {
     plan.at(Tier::kSsd, MemOp::kRead, Pattern::kRandom).media = 0.05;
     plan.at(Tier::kNetwork, MemOp::kRead, Pattern::kRandom).timeout = 0.10;
     plan.at(Tier::kNetwork, MemOp::kWrite, Pattern::kSequential).timeout = 0.10;
+    plan.machine_loss = 0.08;
   } else {
     plan.enabled = false;
     plan.seed = 0;  // sentinel; caller reports the error
@@ -149,6 +153,22 @@ Result<FaultPlan> FaultPlanFromFile(const std::string& path) {
       } else {
         plan.timeout_seconds = value;
       }
+    } else if (key == "machine-loss") {
+      double value = 0.0;
+      if (!(tokens >> value) || value < 0.0 || value > 1.0) {
+        return ParseError(path, lineno,
+                          "'machine-loss' needs one rate in [0, 1]");
+      }
+      plan.machine_loss = value;
+    } else if (key == "kill") {
+      long long machine = -1, round = -1;
+      if (!(tokens >> machine >> round) || machine < 0 || round < 0) {
+        return ParseError(
+            path, lineno,
+            "'kill' needs <machine> <round> (non-negative integers)");
+      }
+      plan.kills.emplace_back(static_cast<int>(machine),
+                              static_cast<uint64_t>(round));
     } else if (key == "rate") {
       std::string tier_s, op_s, pat_s, kind_s;
       double rate = 0.0;
@@ -222,7 +242,8 @@ Result<FaultPlan> FaultPlanFromFile(const std::string& path) {
       return ParseError(path, lineno,
                         "unknown directive '" + key +
                             "' (expected seed | stall-multiplier | "
-                            "tail-stall-fraction | timeout-seconds | rate)");
+                            "tail-stall-fraction | timeout-seconds | rate | "
+                            "machine-loss | kill)");
     }
   }
   return plan;
@@ -241,32 +262,38 @@ FaultCounters FaultCounters::operator-(const FaultCounters& other) const {
   out.stalls = sub(stalls, other.stalls);
   out.media = sub(media, other.media);
   out.timeouts = sub(timeouts, other.timeouts);
+  out.machine_losses = sub(machine_losses, other.machine_losses);
   out.retried = sub(retried, other.retried);
   out.degraded = sub(degraded, other.degraded);
   out.surfaced = sub(surfaced, other.surfaced);
+  out.recovered = sub(recovered, other.recovered);
   out.penalty_nanos = sub(penalty_nanos, other.penalty_nanos);
   return out;
 }
 
 bool FaultCounters::operator==(const FaultCounters& other) const {
   return stalls == other.stalls && media == other.media &&
-         timeouts == other.timeouts && retried == other.retried &&
+         timeouts == other.timeouts &&
+         machine_losses == other.machine_losses && retried == other.retried &&
          degraded == other.degraded && surfaced == other.surfaced &&
-         penalty_nanos == other.penalty_nanos;
+         recovered == other.recovered && penalty_nanos == other.penalty_nanos;
 }
 
 std::string FaultCountersSummary(const FaultCounters& c) {
-  char buf[192];
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "injected=%llu (stall=%llu media=%llu timeout=%llu) "
-                "retried=%llu degraded=%llu surfaced=%llu penalty=%.3es",
+                "injected=%llu (stall=%llu media=%llu timeout=%llu loss=%llu) "
+                "retried=%llu degraded=%llu surfaced=%llu recovered=%llu "
+                "penalty=%.3es",
                 static_cast<unsigned long long>(c.InjectedTotal()),
                 static_cast<unsigned long long>(c.stalls),
                 static_cast<unsigned long long>(c.media),
                 static_cast<unsigned long long>(c.timeouts),
+                static_cast<unsigned long long>(c.machine_losses),
                 static_cast<unsigned long long>(c.retried),
                 static_cast<unsigned long long>(c.degraded),
                 static_cast<unsigned long long>(c.surfaced),
+                static_cast<unsigned long long>(c.recovered),
                 c.PenaltySeconds());
   return buf;
 }
@@ -280,9 +307,11 @@ void FaultInjector::ResetCounters() {
   stalls_.store(0, std::memory_order_relaxed);
   media_.store(0, std::memory_order_relaxed);
   timeouts_.store(0, std::memory_order_relaxed);
+  machine_losses_.store(0, std::memory_order_relaxed);
   retried_.store(0, std::memory_order_relaxed);
   degraded_.store(0, std::memory_order_relaxed);
   surfaced_.store(0, std::memory_order_relaxed);
+  recovered_.store(0, std::memory_order_relaxed);
   penalty_nanos_.store(0, std::memory_order_relaxed);
 }
 
@@ -291,9 +320,11 @@ FaultCounters FaultInjector::Counters() const {
   c.stalls = stalls_.load(std::memory_order_relaxed);
   c.media = media_.load(std::memory_order_relaxed);
   c.timeouts = timeouts_.load(std::memory_order_relaxed);
+  c.machine_losses = machine_losses_.load(std::memory_order_relaxed);
   c.retried = retried_.load(std::memory_order_relaxed);
   c.degraded = degraded_.load(std::memory_order_relaxed);
   c.surfaced = surfaced_.load(std::memory_order_relaxed);
+  c.recovered = recovered_.load(std::memory_order_relaxed);
   c.penalty_nanos = penalty_nanos_.load(std::memory_order_relaxed);
   return c;
 }
@@ -347,6 +378,23 @@ bool FaultInjector::DrawTailStall(Tier t, MemOp op, Pattern pat,
   if (u >= r.stall) return false;
   stalls_.fetch_add(1, std::memory_order_relaxed);
   retried_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::DrawMachineLoss(int machine, uint64_t round) {
+  if (!plan_.enabled) return false;
+  for (const auto& [m, r] : plan_.kills) {
+    if (m == machine && r == round) {
+      machine_losses_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  if (plan_.machine_loss <= 0.0) return false;
+  const uint64_t site = (static_cast<uint64_t>(machine) << 32) | round;
+  const double u = UniformOf(plan_.seed, kFaultStreamMachineLoss, site,
+                             /*attempt=*/0);
+  if (u >= plan_.machine_loss) return false;
+  machine_losses_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

@@ -24,15 +24,19 @@
 // retries of the same access.
 //
 // Accounting identity: every drawn non-none fault lands in exactly one
-// recovery bucket — injected == retried + degraded + surfaced. Stalls
-// self-recover and are counted as retried at the draw site; media errors and
-// timeouts are bucketed by the recovering caller.
+// recovery bucket — injected == retried + degraded + surfaced + recovered.
+// Stalls self-recover and are counted as retried at the draw site; media
+// errors and timeouts are bucketed by the recovering caller; machine losses
+// (whole simulated machines killed in the durable distributed path) are
+// bucketed as recovered once the machine replays the shared log from its
+// last checkpoint.
 
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -45,10 +49,13 @@ enum class FaultKind {
   kTransientStall,
   kMediaError,
   kTimeout,
+  /// A whole simulated machine dies mid-run (durable distributed path only;
+  /// drawn per (machine, round) via DrawMachineLoss, never by Draw).
+  kMachineLoss,
 };
 
 /// Number of real (non-kNone) fault kinds.
-inline constexpr int kNumFaultKinds = 3;
+inline constexpr int kNumFaultKinds = 4;
 
 const char* FaultKindName(FaultKind kind);
 
@@ -84,6 +91,16 @@ struct FaultPlan {
   /// rates[tier][op][pattern]
   FaultRates rates[kNumTiers][2][2];
 
+  /// Probability that a simulated machine dies in one sync round of the
+  /// durable distributed path. Drawn per (machine, round) on its own stream
+  /// (DrawMachineLoss); paths outside that opt-in never consult it, so plans
+  /// carrying a machine-loss rate charge identically everywhere else.
+  double machine_loss = 0.0;
+  /// Explicit deterministic kill schedule: (machine, round) pairs that die
+  /// regardless of machine_loss. Used by the crash tests and bench_recovery
+  /// to force a loss at a known round.
+  std::vector<std::pair<int, uint64_t>> kills;
+
   FaultRates& at(Tier t, MemOp op, Pattern pat) {
     return rates[static_cast<int>(t)][static_cast<int>(op)][static_cast<int>(pat)];
   }
@@ -118,15 +135,19 @@ struct FaultCounters {
   uint64_t stalls = 0;    ///< injected transient stalls
   uint64_t media = 0;     ///< injected media errors
   uint64_t timeouts = 0;  ///< injected timeouts
+  uint64_t machine_losses = 0;  ///< injected whole-machine kills
   uint64_t retried = 0;   ///< recovered by retry (stalls count here)
   uint64_t degraded = 0;  ///< recovered by falling back to a slower path
   uint64_t surfaced = 0;  ///< propagated to the caller as a failed run
+  uint64_t recovered = 0;  ///< machine losses recovered by log replay
   uint64_t penalty_nanos = 0;  ///< simulated nanoseconds charged to faults
 
-  uint64_t InjectedTotal() const { return stalls + media + timeouts; }
+  uint64_t InjectedTotal() const {
+    return stalls + media + timeouts + machine_losses;
+  }
   /// The accounting identity every run must satisfy.
   bool Accounted() const {
-    return InjectedTotal() == retried + degraded + surfaced;
+    return InjectedTotal() == retried + degraded + surfaced + recovered;
   }
   double PenaltySeconds() const { return penalty_nanos * 1e-9; }
 
@@ -162,6 +183,13 @@ class FaultInjector {
   bool DrawTailStall(Tier t, MemOp op, Pattern pat, uint64_t stream,
                      uint64_t site);
 
+  /// Draws whether `machine` dies in sync round `round` of the durable
+  /// distributed path. Fires for every (machine, round) in plan.kills, and
+  /// otherwise with probability plan.machine_loss on its own stream. Counts
+  /// injected (machine_losses); the caller buckets the loss as recovered
+  /// once the replay completes (or surfaced if it cannot).
+  bool DrawMachineLoss(int machine, uint64_t round);
+
   // Recovery bookkeeping (callers bucket media errors / timeouts).
   void CountRetried(uint64_t n = 1) {
     retried_.fetch_add(n, std::memory_order_relaxed);
@@ -171,6 +199,9 @@ class FaultInjector {
   }
   void CountSurfaced(uint64_t n = 1) {
     surfaced_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountRecovered(uint64_t n = 1) {
+    recovered_.fetch_add(n, std::memory_order_relaxed);
   }
   /// Simulated seconds attributable to faults (stall penalties, wasted
   /// attempts, timeout waits, retry backoff). Accumulated as integer
@@ -182,9 +213,11 @@ class FaultInjector {
   std::atomic<uint64_t> stalls_{0};
   std::atomic<uint64_t> media_{0};
   std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> machine_losses_{0};
   std::atomic<uint64_t> retried_{0};
   std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> surfaced_{0};
+  std::atomic<uint64_t> recovered_{0};
   std::atomic<uint64_t> penalty_nanos_{0};
 };
 
@@ -204,6 +237,13 @@ inline constexpr uint64_t kFaultStreamOutOfCore = 0x00C5;
 inline constexpr uint64_t kFaultStreamDistNet = 0xD157;
 /// Serving-layer cold-fetch draws; each server worker offsets by its index.
 inline constexpr uint64_t kFaultStreamServe = 0x5E4E;
+/// Checkpoint writer/reader IO against the PM tier.
+inline constexpr uint64_t kFaultStreamDurable = 0xCC97;
+/// Replicated shared-log replica writes over the NET tier.
+inline constexpr uint64_t kFaultStreamSharedLog = 0x510C;
+/// Machine-loss draws in the durable distributed path (one site per
+/// (machine, round)).
+inline constexpr uint64_t kFaultStreamMachineLoss = 0xDEAD;
 /// Per-worker streams offset by the worker index.
 inline constexpr uint64_t kFaultStreamWorkerBase = 0x1000000;
 /// PimSpmm's DMA controller: a synthetic worker index far above any real

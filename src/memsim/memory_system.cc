@@ -217,6 +217,7 @@ MemorySystem::FaultDraw MemorySystem::TryAccessSeconds(
       injector_.CountRetried();
       return draw;
     }
+    case FaultKind::kMachineLoss:  // never returned by Draw
     case FaultKind::kNone:
       draw.seconds =
           AccessSeconds(p, cpu_socket, op, pat, bytes, accesses, active_threads);
@@ -288,11 +289,24 @@ void MemorySystem::ChargeTailStall(WorkerCtx* ctx, Tier tier, double base_second
   }
 }
 
+double MemorySystem::PersistBarrierSeconds(Tier tier) {
+  const DeviceProfile& profile = cost_model_.profiles().Get(tier);
+  persist_barriers_.fetch_add(1, std::memory_order_relaxed);
+  return (profile.LatencyNs(Locality::kLocal) +
+          cost_model_.profiles().persist_barrier_ns) *
+         1e-9;
+}
+
+void MemorySystem::ChargePersistBarrier(WorkerCtx* ctx, Tier tier) {
+  ctx->clock->Advance(PersistBarrierSeconds(tier));
+}
+
 void MemorySystem::ResetTraffic() {
   for (int t = 0; t < kNumTiers; ++t)
     for (int o = 0; o < 2; ++o)
       for (int p = 0; p < 2; ++p)
         for (int l = 0; l < 2; ++l) traffic_[t][o][p][l].store(0);
+  persist_barriers_.store(0, std::memory_order_relaxed);
 }
 
 TrafficSnapshot MemorySystem::Traffic() const {

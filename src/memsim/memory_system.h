@@ -183,6 +183,21 @@ class MemorySystem {
   /// absorbs plan.tail_stall_fraction * base_seconds. No-op when disabled.
   void ChargeTailStall(WorkerCtx* ctx, Tier tier, double base_seconds);
 
+  // --- Durability ----------------------------------------------------------
+
+  /// Cost of one persist barrier against `tier`: the tier's local access
+  /// latency plus the profile's persist_barrier_ns ordering cost. Increments
+  /// the barrier counter (the durable log's flush/ordering traffic).
+  double PersistBarrierSeconds(Tier tier);
+
+  /// Charges one persist barrier to the worker's clock.
+  void ChargePersistBarrier(WorkerCtx* ctx, Tier tier);
+
+  /// Persist barriers charged since the last ResetTraffic.
+  uint64_t PersistBarriers() const {
+    return persist_barriers_.load(std::memory_order_relaxed);
+  }
+
   // --- Statistics ----------------------------------------------------------
 
   void ResetTraffic();
@@ -200,6 +215,7 @@ class MemorySystem {
 
   // traffic_[tier][op][pattern][locality]
   std::atomic<uint64_t> traffic_[kNumTiers][2][2][2] = {};
+  std::atomic<uint64_t> persist_barriers_{0};
 };
 
 }  // namespace omega::memsim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "durable/shared_log.h"
+
 namespace omega::engine {
 
 namespace {
@@ -63,6 +65,93 @@ double NetPhaseSeconds(memsim::MemorySystem* ms, Placement net,
   return seconds;
 }
 
+// Durable round-structured sync through the replicated shared log (see
+// DistParams::checkpoint_every_rounds). Machines run in parallel: a round
+// costs the slowest machine's append chain, a recovery/checkpoint event the
+// slowest machine's charge; the per-machine charges all land in the traffic
+// counters.
+struct DurableSyncOutcome {
+  double sync_seconds = 0.0;      ///< shared-log append rounds
+  double ckpt_seconds = 0.0;      ///< scheduled cadence checkpoints
+  double recovery_seconds = 0.0;  ///< machine-loss restores (incl. re-ckpt)
+  uint64_t ckpt_writes = 0;
+  uint64_t ckpt_bytes = 0;
+  uint64_t recoveries = 0;
+};
+
+Result<DurableSyncOutcome> DurableRoundSync(memsim::MemorySystem* ms,
+                                            const DistParams& params,
+                                            int rounds,
+                                            uint64_t round_bytes_per_machine,
+                                            size_t state_bytes_per_machine) {
+  DurableSyncOutcome out;
+  durable::SharedLogOptions log_opts;
+  log_opts.replicas = params.log_replicas;
+  log_opts.quorum = params.log_quorum;
+  log_opts.threads = 1;  // one machine's NIC per append
+  durable::ReplicatedLog log(ms, log_opts);
+  const Placement pm{Tier::kPm, Placement::kInterleaved};
+  const int threads = std::max(1, params.threads_per_machine);
+
+  // One machine persisting its partition state: a PM stream ordered by the
+  // log-writer's persist barriers (payload, barrier, header, barrier).
+  auto ckpt_write_seconds = [&]() {
+    double s = ms->AccessSeconds(pm, 0, MemOp::kWrite, Pattern::kSequential,
+                                 state_bytes_per_machine / threads, 1, threads);
+    s += ms->PersistBarrierSeconds(Tier::kPm);
+    s += ms->PersistBarrierSeconds(Tier::kPm);
+    return s;
+  };
+
+  for (int r = 0; r < rounds; ++r) {
+    // Every machine's round batch is sequenced and replicated; the round
+    // completes when the slowest append does. Quorum loss fails the run.
+    double round_seconds = 0.0;
+    for (int m = 0; m < params.machines; ++m) {
+      OMEGA_ASSIGN_OR_RETURN(durable::ReplicatedLog::AppendResult res,
+                             log.Append(m, round_bytes_per_machine));
+      round_seconds = std::max(round_seconds, res.seconds);
+    }
+    out.sync_seconds += round_seconds;
+
+    // Machine loss: the killed machine restores its PM checkpoint and
+    // replays the shared log past its watermark — recovery time grows with
+    // the records accumulated since its last checkpoint. It re-checkpoints
+    // immediately so a repeat kill replays only newer records. The cluster
+    // stalls on the slowest recovery.
+    double round_recovery = 0.0;
+    for (int m = 0; m < params.machines; ++m) {
+      if (!ms->faults().DrawMachineLoss(m, static_cast<uint64_t>(r))) continue;
+      double seconds =
+          ms->AccessSeconds(pm, 0, MemOp::kRead, Pattern::kSequential,
+                            state_bytes_per_machine / threads, 1, threads);
+      seconds += log.Replay(m, log.Tail()).seconds;
+      seconds += ckpt_write_seconds();
+      log.AdvanceCheckpoint(m, log.Tail());
+      out.ckpt_writes += 1;
+      out.ckpt_bytes += state_bytes_per_machine;
+      ms->faults().CountRecovered();
+      ++out.recoveries;
+      round_recovery = std::max(round_recovery, seconds);
+    }
+    out.recovery_seconds += round_recovery;
+
+    // Scheduled cadence: every machine persists its state; its log coverage
+    // advances to the tail free of charge (those records were applied live).
+    if ((r + 1) % params.checkpoint_every_rounds == 0) {
+      double round_ckpt = 0.0;
+      for (int m = 0; m < params.machines; ++m) {
+        round_ckpt = std::max(round_ckpt, ckpt_write_seconds());
+        log.AdvanceCheckpoint(m, log.Tail());
+        out.ckpt_writes += 1;
+        out.ckpt_bytes += state_bytes_per_machine;
+      }
+      out.ckpt_seconds += round_ckpt;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<RunReport> RunDistributedFamily(const graph::Graph& g,
@@ -91,6 +180,54 @@ Result<RunReport> RunDistributedFamily(const graph::Graph& g,
   const Placement dram{Tier::kDram, Placement::kInterleaved};
   const Placement net{Tier::kNetwork, 0};
   const Placement ssd{Tier::kSsd, 0};
+
+  // Sync phase: the legacy bulk charge, or — when checkpoint_every_rounds is
+  // set — the durable shared-log rounds with PM checkpoints and machine-loss
+  // recovery. The "sync" span carries the append seconds; the checkpoint and
+  // recovery times land in sibling "ckpt.write"/"recovery" records (their
+  // traffic stays inside the span's delta, their seconds partition the run's
+  // total alongside it).
+  double ckpt_seconds = 0.0;
+  double recovery_seconds = 0.0;
+  auto sync_phase = [&](double rounds_d, double sync_bytes) -> Result<double> {
+    exec::PhaseSpan sync_span(ctx, "sync");
+    double comm_seconds = 0.0;
+    if (params.checkpoint_every_rounds > 0) {
+      const int rounds = std::max(1, static_cast<int>(rounds_d));
+      const uint64_t round_bytes =
+          static_cast<uint64_t>(sync_bytes / rounds / std::max(1, machines));
+      const size_t state_bytes =
+          static_cast<size_t>((n / std::max(1, machines)) * d * 4);
+      OMEGA_ASSIGN_OR_RETURN(
+          const DurableSyncOutcome out,
+          DurableRoundSync(ms, params, rounds, round_bytes, state_bytes));
+      comm_seconds = out.sync_seconds;
+      ckpt_seconds += out.ckpt_seconds;
+      recovery_seconds += out.recovery_seconds;
+      if (out.ckpt_writes > 0) {
+        exec::PhaseRecord rec;
+        rec.name = "ckpt.write";
+        rec.sim_seconds = out.ckpt_seconds;
+        rec.ckpt_entries = out.ckpt_writes;
+        rec.ckpt_bytes = out.ckpt_bytes;
+        rec.persist_barriers = 2 * out.ckpt_writes;
+        recorder.Record(std::move(rec));
+      }
+      if (out.recoveries > 0) {
+        exec::PhaseRecord rec;
+        rec.name = "recovery";
+        rec.sim_seconds = out.recovery_seconds;
+        recorder.Record(std::move(rec));
+      }
+    } else {
+      comm_seconds = NetPhaseSeconds(ms, net, dram, MemOp::kWrite,
+                                     Pattern::kSequential, sync_bytes, 1,
+                                     std::max(1, machines),
+                                     params.net_fault_slices, &net_fault_site);
+    }
+    sync_span.AddSimSeconds(comm_seconds);
+    return comm_seconds;
+  };
 
   // Every machine loads its graph partition from disk.
   {
@@ -132,15 +269,8 @@ Result<RunReport> RunDistributedFamily(const graph::Graph& g,
     // Embedding synchronization between machines (information-oriented walks
     // keep this small — DistGER's advantage).
     const double sync_bytes = params.ger_sync_rounds * (n / machines) * d * 4;
-    double comm_seconds = 0.0;
-    {
-      exec::PhaseSpan sync_span(ctx, "sync");
-      comm_seconds = NetPhaseSeconds(ms, net, dram, MemOp::kWrite,
-                                     Pattern::kSequential, sync_bytes, 1,
-                                     std::max(1, machines),
-                                     params.net_fault_slices, &net_fault_site);
-      sync_span.AddSimSeconds(comm_seconds);
-    }
+    OMEGA_ASSIGN_OR_RETURN(const double comm_seconds,
+                           sync_phase(params.ger_sync_rounds, sync_bytes));
     report.factorize_seconds = walk_seconds;         // corpus generation
     report.propagate_seconds = train_seconds + comm_seconds;
   } else {
@@ -176,21 +306,17 @@ Result<RunReport> RunDistributedFamily(const graph::Graph& g,
     }
     // Gradient synchronization per mini-batch round.
     const double sync_bytes = params.dgl_sync_rounds * (n / machines) * d * 4;
-    double comm_seconds = 0.0;
-    {
-      exec::PhaseSpan sync_span(ctx, "sync");
-      comm_seconds = NetPhaseSeconds(ms, net, dram, MemOp::kWrite,
-                                     Pattern::kSequential, sync_bytes, 1,
-                                     std::max(1, machines),
-                                     params.net_fault_slices, &net_fault_site);
-      sync_span.AddSimSeconds(comm_seconds);
-    }
+    OMEGA_ASSIGN_OR_RETURN(const double comm_seconds,
+                           sync_phase(params.dgl_sync_rounds, sync_bytes));
     report.factorize_seconds = sample_seconds;       // sampling phase
     report.propagate_seconds = gather_seconds + train_seconds + comm_seconds;
   }
 
   report.embed_seconds = report.factorize_seconds + report.propagate_seconds;
-  report.total_seconds = report.read_seconds + report.embed_seconds;
+  report.ckpt_seconds = ckpt_seconds;
+  report.recovery_seconds = recovery_seconds;
+  report.total_seconds = report.read_seconds + report.embed_seconds +
+                         ckpt_seconds + recovery_seconds;
   report.remote_fraction = 0.0;
   report.faults_enabled = ms->faults_enabled();
   report.faults = ms->Faults();

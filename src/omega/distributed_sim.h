@@ -44,6 +44,19 @@ struct DistParams {
   /// timed-out sync slice is resent. Ignored (single bulk charge, byte-
   /// identical to the pre-fault simulation) when faults are disabled.
   int net_fault_slices = 32;
+
+  /// Durable sync (0 = legacy bulk sync, byte-identical to the seed): the
+  /// sync phase runs round by round through a CORFU-style replicated shared
+  /// log — each machine's per-round update batch is sequenced and written to
+  /// `log_replicas` replicas over the NET tier (quorum loss surfaces
+  /// IOError). Every checkpoint_every_rounds rounds each machine persists
+  /// its partition state to PM. Under a fault plan with machine-loss
+  /// enabled, a machine killed after a round restores that checkpoint and
+  /// replays the log past its watermark; the recovery is charged into
+  /// RunReport's recovery_seconds and bucketed as `recovered`.
+  int checkpoint_every_rounds = 0;
+  int log_replicas = 3;
+  int log_quorum = 0;  ///< 0 = majority (log_replicas / 2 + 1)
 };
 
 /// Analytic simulated runtime of one distributed system on `g`. Only

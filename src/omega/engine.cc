@@ -1,11 +1,14 @@
 #include "omega/engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
+#include <utility>
 
 #include "buffer/buffer_manager.h"
 #include "buffer/staging.h"
 #include "common/logging.h"
+#include "durable/checkpoint.h"
 #include "embed/quality.h"
 #include "memsim/sim_clock.h"
 #include "numa/nadp.h"
@@ -139,6 +142,30 @@ double SimulatedGraphReadSeconds(const exec::Context& ctx, GraphFormat format,
 
 namespace {
 
+// Snapshot stages of the OMeGa-family engines. Stored in each checkpoint's
+// meta entry; restore skips (and does not recharge) everything at or before
+// the stage, which is what makes a resumed run's embedding bitwise identical
+// to an uninterrupted one.
+enum CkptStage : uint32_t {
+  kStageNone = 0,
+  kStageReadDone = 1,       ///< graph read + format build done
+  kStageFactorizeDone = 2,  ///< stage-1 basis R available ("r0")
+  kStagePropagate = 3,      ///< mid-Chebyshev ("t_prev"/"t_cur"/"partial")
+  kStageEmbedDone = 4,      ///< final embedding available ("vectors" + perm)
+};
+
+// Simulated seconds travel through checkpoint words bit-exactly.
+uint64_t SecondsToBits(double s) {
+  uint64_t b;
+  std::memcpy(&b, &s, sizeof(b));
+  return b;
+}
+double BitsToSeconds(uint64_t b) {
+  double s;
+  std::memcpy(&s, &b, sizeof(s));
+  return s;
+}
+
 // OMeGa / OMeGa-DRAM / OMeGa-PM share one implementation parameterized by
 // where data lives.
 Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& dataset,
@@ -161,13 +188,94 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
   report.system = SystemName(options.system);
   report.dataset = dataset;
 
+  // --- Durability: restore, checkpoint cadence, simulated kill sites --------
+  // All of it inert (and byte-identical to the seed) unless a CheckpointStore
+  // is attached. Restore reads the last committed snapshot back from PM
+  // (charged into "ckpt.restore" / recovery_seconds) and truncates any torn
+  // tail a mid-checkpoint crash left behind, so the log stays appendable.
+  const DurabilityOptions& durability = options.durability;
+  durable::CheckpointStore* ckpt_store = durability.store;
+  double ckpt_seconds = 0.0;
+  double restored_read = 0.0;
+  double restored_factorize = 0.0;
+  double restored_propagate = 0.0;
+  uint32_t resume_stage = kStageNone;
+  durable::CheckpointSnapshot resume_snap;
+  if (ckpt_store != nullptr && durability.restore) {
+    exec::PhaseSpan restore_span(ctx, "ckpt.restore");
+    durable::CkptCosts costs;
+    auto snap = durable::ReadLastSnapshot(ckpt_store, &costs);
+    restore_span.AddSimSeconds(costs.seconds);
+    restore_span.AddCkptCounters(costs.entries, costs.bytes, costs.barriers);
+    report.recovery_seconds += costs.seconds;
+    ckpt_store->TruncateToValidPrefix();
+    if (snap.ok()) {
+      resume_snap = std::move(snap).value();
+      resume_stage = resume_snap.stage;
+      if (resume_snap.words.size() < 3) {
+        return Status::IOError("checkpoint snapshot missing timing words");
+      }
+      restored_read = BitsToSeconds(resume_snap.words[0]);
+      restored_factorize = BitsToSeconds(resume_snap.words[1]);
+      restored_propagate = BitsToSeconds(resume_snap.words[2]);
+    } else if (!snap.status().IsNotFound()) {
+      return snap.status();
+    }
+    // NotFound: nothing committed survived — run from scratch.
+  }
+  // Simulated-kill test hook: true when the configured crash site is `site`.
+  auto kill_here = [&](const std::string& site) {
+    return ckpt_store != nullptr && durability.crash_after_phase == site;
+  };
+  // Stage-seconds accumulators feeding checkpoint metadata; they start from
+  // the restored values so a later checkpoint carries whole-run stage times.
+  double factorize_spmm_seconds = restored_factorize;
+  double propagate_spmm_seconds = restored_propagate;
+  // Writes one snapshot group after `site` completes (torn when the
+  // simulated kill lands mid-checkpoint), then dies if `site` is the kill
+  // site.
+  auto checkpoint =
+      [&](const std::string& site, uint32_t stage, uint64_t next_term,
+          std::vector<std::pair<std::string, linalg::DenseMatrix>> matrices,
+          std::vector<uint64_t> extra_words) -> Status {
+    durable::CheckpointSnapshot snap;
+    snap.stage = stage;
+    snap.next_term = next_term;
+    snap.matrices = std::move(matrices);
+    snap.words = {SecondsToBits(report.read_seconds),
+                  SecondsToBits(factorize_spmm_seconds),
+                  SecondsToBits(propagate_spmm_seconds)};
+    snap.words.insert(snap.words.end(), extra_words.begin(), extra_words.end());
+    {
+      exec::PhaseSpan span(ctx, "ckpt.write");
+      const bool torn = kill_here(site) && durability.crash_tear_checkpoint;
+      auto costs = torn ? durable::WriteSnapshotTorn(ckpt_store, snap)
+                        : durable::WriteSnapshot(ckpt_store, snap);
+      OMEGA_RETURN_NOT_OK(costs.status());
+      span.AddSimSeconds(costs.value().seconds);
+      span.AddCkptCounters(costs.value().entries, costs.value().bytes,
+                           costs.value().barriers);
+      ckpt_seconds += costs.value().seconds;
+    }
+    if (kill_here(site)) return durable::KilledError(site);
+    return Status::OK();
+  };
+
   const graph::CsdbMatrix adjacency = graph::CsdbMatrix::FromGraph(g);
-  {
-    exec::PhaseSpan read_span(ctx, "read");
-    report.read_seconds =
-        SimulatedGraphReadSeconds(ctx, GraphFormat::kCsdb, g.num_arcs(),
-                                  g.num_nodes());
-    read_span.AddSimSeconds(report.read_seconds);
+  if (resume_stage >= kStageReadDone) {
+    // Resumed past the read: the pre-crash run already paid it.
+    report.read_seconds = restored_read;
+  } else {
+    {
+      exec::PhaseSpan read_span(ctx, "read");
+      report.read_seconds =
+          SimulatedGraphReadSeconds(ctx, GraphFormat::kCsdb, g.num_arcs(),
+                                    g.num_nodes());
+      read_span.AddSimSeconds(report.read_seconds);
+    }
+    if (ckpt_store != nullptr) {
+      OMEGA_RETURN_NOT_OK(checkpoint("read", kStageReadDone, 0, {}, {}));
+    }
   }
 
   // --- Placement decisions + capacity reservations ---------------------------
@@ -293,6 +401,67 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
   prone.pool = ctx.pool();  // host-side dense parallelism; sim-invariant
   internal::StageTracker stages;
   stages.Attach(&prone);
+
+  // Durability hooks into the ProNE pipeline: a stage-boundary checkpoint
+  // after the tSVD, a cadence checkpoint (and the term.<k> kill sites) inside
+  // the Chebyshev recurrence, and the resume wiring that skips completed
+  // stages with the restored state.
+  embed::ProneDurability prone_durability;
+  linalg::DenseMatrix resume_r0;
+  embed::ChebyshevResume cheb_resume;
+  if (ckpt_store != nullptr) {
+    prone_durability.after_factorize =
+        [&](const linalg::DenseMatrix& r0) -> Status {
+      return checkpoint("factorize", kStageFactorizeDone, 0, {{"r0", r0}}, {});
+    };
+    prone_durability.cheb.after_term =
+        [&](size_t next_term, const linalg::DenseMatrix& t_prev,
+            const linalg::DenseMatrix& t_cur,
+            const linalg::DenseMatrix& partial) -> Status {
+      const uint64_t term = next_term - 1;  // the term that just landed
+      const std::string site = "term." + std::to_string(term);
+      if (durability.checkpoint_every > 0 &&
+          term % durability.checkpoint_every == 0) {
+        return checkpoint(site, kStagePropagate, next_term,
+                          {{"t_prev", t_prev},
+                           {"t_cur", t_cur},
+                           {"partial", partial}},
+                          {});
+      }
+      if (kill_here(site)) return durable::KilledError(site);
+      return Status::OK();
+    };
+    if (resume_stage == kStageFactorizeDone) {
+      for (auto& [tag, m] : resume_snap.matrices) {
+        if (tag == "r0") resume_r0 = std::move(m);
+      }
+      if (resume_r0.rows() == 0) {
+        return Status::IOError("checkpoint snapshot missing the r0 matrix");
+      }
+      prone_durability.resume_r0 = &resume_r0;
+    } else if (resume_stage == kStagePropagate) {
+      for (auto& [tag, m] : resume_snap.matrices) {
+        if (tag == "t_prev") {
+          cheb_resume.t_prev = std::move(m);
+        } else if (tag == "t_cur") {
+          cheb_resume.t_cur = std::move(m);
+        } else if (tag == "partial") {
+          cheb_resume.partial = std::move(m);
+        }
+      }
+      cheb_resume.next_term = resume_snap.next_term;
+      if (!cheb_resume.valid() || cheb_resume.partial.rows() == 0 ||
+          cheb_resume.t_prev.rows() == 0) {
+        return Status::IOError("checkpoint snapshot missing recurrence state");
+      }
+      // Stage 1 is skipped; the resumed recurrence reads only the basis'
+      // shape, so the accumulator doubles as a stand-in for R.
+      resume_r0 = cheb_resume.partial;
+      prone_durability.resume_r0 = &resume_r0;
+      prone_durability.cheb.resume = &cheb_resume;
+    }
+    prone.durability = &prone_durability;
+  }
   double wofp_build_seconds = 0.0;
   // PIM sub-phase seconds accumulate across every SpMM and surface as three
   // end-of-run aux records (contained in the SpMM phases, like wofp_build).
@@ -320,6 +489,13 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
   bool wofp_dropped = false;
   uint64_t wofp_probe_site = 0;
   uint64_t asl_fault_site = 0;
+
+  // Mirrors ProneEmbed's per-stage accumulation so checkpoint metadata can
+  // carry whole-run stage seconds (same values, same addition order).
+  auto account_stage_seconds = [&](double seconds) {
+    (stages.stage() == "propagate" ? propagate_spmm_seconds
+                                   : factorize_spmm_seconds) += seconds;
+  };
 
   embed::SpmmExecutor executor =
       [&](const graph::CsdbMatrix& m, const linalg::DenseMatrix& in,
@@ -370,6 +546,7 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
       pim_reduce_seconds += r.pim_reduce_seconds;
       pim_degraded_blocks += r.pim_degraded_blocks;
       span.AddSimSeconds(fault_overhead + r.phase_seconds);
+      account_stage_seconds(fault_overhead + r.phase_seconds);
       return fault_overhead + r.phase_seconds;
     }
     // ASL: stream the dense operand's column partitions PM -> DRAM and
@@ -457,11 +634,42 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
                                           : run.value().serial_seconds;
     }
     span.AddSimSeconds(seconds);
+    account_stage_seconds(seconds);
     return seconds;
   };
 
-  OMEGA_ASSIGN_OR_RETURN(embed::EmbeddingResult emb,
-                         embed::ProneEmbed(adjacency, prone, executor));
+  embed::EmbeddingResult emb;
+  if (resume_stage == kStageEmbedDone) {
+    // The pre-crash run finished embedding: restore the final vectors and
+    // their permutation; only the dense stages below are recharged.
+    for (auto& [tag, m] : resume_snap.matrices) {
+      if (tag == "vectors") emb.vectors = std::move(m);
+    }
+    if (emb.vectors.rows() == 0) {
+      return Status::IOError("checkpoint snapshot missing the embedding");
+    }
+    if (resume_snap.words.size() < 4 ||
+        resume_snap.words.size() < 4 + resume_snap.words[3]) {
+      return Status::IOError("checkpoint snapshot missing the permutation");
+    }
+    const uint64_t perm_size = resume_snap.words[3];
+    emb.perm.reserve(perm_size);
+    for (uint64_t i = 0; i < perm_size; ++i) {
+      emb.perm.push_back(
+          static_cast<graph::NodeId>(resume_snap.words[4 + i]));
+    }
+  } else {
+    OMEGA_ASSIGN_OR_RETURN(emb, embed::ProneEmbed(adjacency, prone, executor));
+    if (ckpt_store != nullptr) {
+      std::vector<uint64_t> perm_words;
+      perm_words.reserve(emb.perm.size() + 1);
+      perm_words.push_back(emb.perm.size());
+      for (graph::NodeId v : emb.perm) perm_words.push_back(v);
+      OMEGA_RETURN_NOT_OK(checkpoint("embed", kStageEmbedDone, 0,
+                                     {{"vectors", emb.vectors}},
+                                     std::move(perm_words)));
+    }
+  }
 
   // WoFP warm-up runs concurrently inside each SpMM's workers; its straggler
   // seconds are already contained in the SpMM phases, so it is an aux record.
@@ -567,10 +775,15 @@ Result<RunReport> RunOmegaFamily(const graph::Graph& g, const std::string& datas
     cheb_span.AddSimSeconds(dense_cheb);
   }
 
-  report.factorize_seconds = emb.factorize_seconds + dense_tsvd;
-  report.propagate_seconds = emb.propagate_seconds + dense_cheb;
+  // factorize_spmm_seconds == restored + emb.factorize_seconds (same addition
+  // order as ProneEmbed's accumulator), so with durability off this is the
+  // seed's emb.factorize_seconds + dense_tsvd bit-for-bit.
+  report.factorize_seconds = factorize_spmm_seconds + dense_tsvd;
+  report.propagate_seconds = propagate_spmm_seconds + dense_cheb;
   report.embed_seconds = report.factorize_seconds + report.propagate_seconds;
-  report.total_seconds = report.read_seconds + report.embed_seconds;
+  report.ckpt_seconds = ckpt_seconds;
+  report.total_seconds = report.read_seconds + report.embed_seconds +
+                         report.ckpt_seconds + report.recovery_seconds;
   report.remote_fraction = ms->Traffic().RemoteFraction();
   report.faults_enabled = ms->faults_enabled();
   report.faults = ms->Faults();

@@ -91,7 +91,15 @@ struct RunReport {
   double factorize_seconds = 0.0;  ///< simulated tSVD stage
   double propagate_seconds = 0.0;  ///< simulated Chebyshev stage
   double embed_seconds = 0.0;      ///< factorize + propagate
-  double total_seconds = 0.0;      ///< read + embed
+  double total_seconds = 0.0;      ///< read + embed (+ ckpt + recovery)
+
+  /// Durability accounting (zero unless checkpointing / restore ran): the
+  /// simulated cost of writing checkpoints, and of restoring state after a
+  /// crash or machine loss (checkpoint read-back + shared-log replay). Both
+  /// are included in total_seconds. For resumed runs the per-stage fields
+  /// above also include the restored pre-crash stage seconds.
+  double ckpt_seconds = 0.0;
+  double recovery_seconds = 0.0;
 
   double remote_fraction = 0.0;    ///< of DRAM+PM traffic (VTune analogue)
   std::optional<double> link_auc;  ///< when options.evaluate_quality

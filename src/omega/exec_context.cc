@@ -92,6 +92,9 @@ void PhaseSpan::Finish() {
   record.plan_hits = plan_hits_;
   record.plan_misses = plan_misses_;
   record.plan_invalidations = plan_invalidations_;
+  record.ckpt_entries = ckpt_entries_;
+  record.ckpt_bytes = ckpt_bytes_;
+  record.persist_barriers = persist_barriers_;
   record.wall_seconds = MonotonicSeconds() - wall_start_;
   record.traffic = ctx_.ms()->Traffic() - traffic_start_;
   record.remote_fraction = record.traffic.RemoteFraction();

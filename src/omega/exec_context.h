@@ -63,6 +63,14 @@ struct PhaseRecord {
   uint64_t plan_misses = 0;
   uint64_t plan_invalidations = 0;
 
+  /// Checkpoint-log accounting: entries and bytes appended to (or scanned
+  /// back from) the durable store, and the persist barriers charged. Zero
+  /// for phases that touch no checkpoint log (every phase with durability
+  /// off).
+  uint64_t ckpt_entries = 0;
+  uint64_t ckpt_bytes = 0;
+  uint64_t persist_barriers = 0;
+
   uint64_t TierBytes(memsim::Tier t) const { return traffic.TierBytes(t); }
   uint64_t TotalBytes() const { return traffic.TotalBytes(); }
   /// Fraction of the phase's staging-fetch time hidden behind compute.
@@ -157,6 +165,13 @@ class PhaseSpan {
     plan_invalidations_ += invalidations;
   }
 
+  /// Accumulates checkpoint-log accounting for the phase's appends/scans.
+  void AddCkptCounters(uint64_t entries, uint64_t bytes, uint64_t barriers) {
+    ckpt_entries_ += entries;
+    ckpt_bytes_ += bytes;
+    persist_barriers_ += barriers;
+  }
+
   /// Records the phase now (the destructor then does nothing).
   void Finish();
 
@@ -174,6 +189,9 @@ class PhaseSpan {
   uint64_t plan_hits_ = 0;
   uint64_t plan_misses_ = 0;
   uint64_t plan_invalidations_ = 0;
+  uint64_t ckpt_entries_ = 0;
+  uint64_t ckpt_bytes_ = 0;
+  uint64_t persist_barriers_ = 0;
   double wall_start_ = 0.0;
   memsim::TrafficSnapshot traffic_start_;
   memsim::FaultCounters faults_start_;

@@ -9,6 +9,10 @@
 #include "sched/allocators.h"
 #include "sched/hetero_placement.h"
 
+namespace omega::durable {
+class CheckpointStore;
+}
+
 namespace omega::engine {
 
 /// Every system compared in Figs. 12 and 18.
@@ -66,6 +70,37 @@ struct FaultRecoveryOptions {
   bool allow_degraded = true;
 };
 
+/// Crash-consistent checkpointing of the OMeGa-family engines (off by
+/// default; every field inert unless `store` is set, keeping the seed's runs
+/// byte-identical). Checkpoints are committed snapshot groups in a
+/// durable::CheckpointStore on the PM tier; their write/restore costs are
+/// charged as PM traffic + persist barriers and land in RunReport's
+/// ckpt_seconds / recovery_seconds (never in the embedding bytes).
+///
+/// Checkpoint sites are the phase boundaries "read", "factorize" and "embed"
+/// plus every checkpoint_every-th Chebyshev term ("term.<k>"). The crash
+/// hooks simulate a process kill at a named site: the run stops with
+/// durable::KilledError after that site's work (and its checkpoint, unless
+/// crash_tear_checkpoint models the kill landing mid-checkpoint — the final
+/// entry is torn and the commit marker never written, so restore falls back
+/// to the previous snapshot).
+struct DurabilityOptions {
+  /// The checkpoint log; nullptr disables durability entirely.
+  durable::CheckpointStore* store = nullptr;
+  /// Chebyshev terms between mid-propagation checkpoints; 0 checkpoints only
+  /// at the stage boundaries.
+  uint64_t checkpoint_every = 0;
+  /// Resume from the store's last committed snapshot before running (a store
+  /// with no surviving commit runs from scratch).
+  bool restore = false;
+  /// Test/CLI hook: simulated kill after this site ("" = never).
+  std::string crash_after_phase;
+  /// The kill lands mid-checkpoint: torn final entry, no commit.
+  bool crash_tear_checkpoint = false;
+
+  bool enabled() const { return store != nullptr; }
+};
+
 struct EngineOptions {
   SystemKind system = SystemKind::kOmega;
   int num_threads = 36;
@@ -77,6 +112,8 @@ struct EngineOptions {
   /// Compute link-prediction AUC on the produced embedding (adds host time).
   bool evaluate_quality = false;
   uint64_t quality_samples = 2000;
+  /// Crash-consistent checkpointing (OMeGa-family systems); off by default.
+  DurabilityOptions durability;
 };
 
 }  // namespace omega::engine

@@ -95,10 +95,12 @@ std::string FaultCountersToJson(const memsim::FaultCounters& f, bool enabled,
   out += in + "\"stalls\": " + JsonU64(f.stalls) + ",\n";
   out += in + "\"media_errors\": " + JsonU64(f.media) + ",\n";
   out += in + "\"timeouts\": " + JsonU64(f.timeouts) + ",\n";
+  out += in + "\"machine_losses\": " + JsonU64(f.machine_losses) + ",\n";
   out += in + "\"injected\": " + JsonU64(f.InjectedTotal()) + ",\n";
   out += in + "\"retried\": " + JsonU64(f.retried) + ",\n";
   out += in + "\"degraded\": " + JsonU64(f.degraded) + ",\n";
   out += in + "\"surfaced\": " + JsonU64(f.surfaced) + ",\n";
+  out += in + "\"recovered\": " + JsonU64(f.recovered) + ",\n";
   out += in + "\"penalty_seconds\": " + JsonDouble(f.PenaltySeconds()) + "\n";
   out += indent + "}";
   return out;
@@ -149,6 +151,13 @@ std::string PhaseToJson(const exec::PhaseRecord& p, const std::string& indent) {
            ", \"misses\": " + JsonU64(p.plan_misses) +
            ", \"invalidations\": " + JsonU64(p.plan_invalidations) + "}";
   }
+  if (p.ckpt_entries + p.ckpt_bytes + p.persist_barriers > 0) {
+    // Checkpoint-log accounting: emitted only for the durable phases
+    // (ckpt.write / ckpt.restore / durable sync rounds).
+    out += ",\n" + in + "\"ckpt\": {\"entries\": " + JsonU64(p.ckpt_entries) +
+           ", \"bytes\": " + JsonU64(p.ckpt_bytes) +
+           ", \"persist_barriers\": " + JsonU64(p.persist_barriers) + "}";
+  }
   if (p.faults.InjectedTotal() > 0) {
     out += ",\n" + in + "\"faults\": " +
            FaultCountersToJson(p.faults, true, in);
@@ -172,6 +181,13 @@ std::string ReportToJson(const RunReport& report) {
   out += "  \"propagate_seconds\": " + JsonDouble(report.propagate_seconds) + ",\n";
   out += "  \"embed_seconds\": " + JsonDouble(report.embed_seconds) + ",\n";
   out += "  \"total_seconds\": " + JsonDouble(report.total_seconds) + ",\n";
+  if (report.ckpt_seconds > 0.0 || report.recovery_seconds > 0.0) {
+    // Durability accounting: emitted only for runs that checkpointed or
+    // recovered (never with durability off, keeping seed outputs stable).
+    out += "  \"ckpt_seconds\": " + JsonDouble(report.ckpt_seconds) + ",\n";
+    out += "  \"recovery_seconds\": " + JsonDouble(report.recovery_seconds) +
+           ",\n";
+  }
   out += "  \"remote_fraction\": " + JsonDouble(report.remote_fraction) + ",\n";
   out += "  \"fault\": " +
          FaultCountersToJson(report.faults, report.faults_enabled, "  ") +

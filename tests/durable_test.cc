@@ -1,0 +1,567 @@
+// Durability tests: the checkpoint store's header-dancing torn-write
+// detection, the snapshot layer's commit-group fallback, the replicated
+// shared log's sequencer/replay/quorum contracts, and the engine-level
+// crash matrix — a run killed at every phase boundary (and mid-checkpoint,
+// leaving a torn final entry) must restore and finish with an embedding
+// bitwise equal to an uninterrupted run, at 1, 2, and 8 threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "durable/checkpoint.h"
+#include "durable/shared_log.h"
+#include "graph/rmat.h"
+#include "memsim/fault.h"
+#include "memsim/memory_system.h"
+#include "omega/engine.h"
+#include "omega/report.h"
+
+namespace omega {
+namespace {
+
+using durable::CheckpointOptions;
+using durable::CheckpointSnapshot;
+using durable::CheckpointStore;
+using durable::ReplicatedLog;
+using durable::SharedLogOptions;
+using memsim::FaultPlan;
+using memsim::MemOp;
+using memsim::Pattern;
+using memsim::Tier;
+
+// ---------------------------------------------------------------------------
+// Checkpoint store: header dancing, torn tails, corruption.
+// ---------------------------------------------------------------------------
+
+std::string PayloadString(const durable::LogEntry& e) {
+  return std::string(e.payload.begin(), e.payload.end());
+}
+
+TEST(CheckpointStoreTest, AppendChargesBarriersAndScansInOrder) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  CheckpointStore store(ms.get(), CheckpointOptions{});
+  const std::string a = "alpha", b = "beta";
+  auto c1 = store.Append(1, a.data(), a.size());
+  ASSERT_TRUE(c1.ok()) << c1.status().ToString();
+  EXPECT_EQ(c1.value().entries, 1u);
+  EXPECT_EQ(c1.value().barriers, 2u);  // payload barrier + header barrier
+  EXPECT_GT(c1.value().seconds, 0.0);
+  ASSERT_TRUE(store.Append(2, b.data(), b.size()).ok());
+  EXPECT_EQ(ms->PersistBarriers(), 4u);
+  EXPECT_EQ(store.entry_count(), 2u);
+
+  const auto scan = store.Scan();
+  EXPECT_FALSE(scan.torn_tail);
+  ASSERT_EQ(scan.entries.size(), 2u);
+  EXPECT_EQ(scan.entries[0].type, 1u);
+  EXPECT_EQ(scan.entries[1].type, 2u);
+  EXPECT_LT(scan.entries[0].stamp, scan.entries[1].stamp);
+  EXPECT_EQ(PayloadString(scan.entries[0]), "alpha");
+  EXPECT_EQ(PayloadString(scan.entries[1]), "beta");
+}
+
+TEST(CheckpointStoreTest, TornTailDetectedTruncatedNeverReplayed) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  CheckpointStore store(ms.get(), CheckpointOptions{});
+  const std::string keep = "kept payload bytes", torn = "half-written bytes";
+  ASSERT_TRUE(store.Append(1, keep.data(), keep.size()).ok());
+  ASSERT_TRUE(store.AppendTorn(2, torn.data(), torn.size()).ok());
+
+  // The torn entry fails its checksum: the valid prefix stops before it and
+  // its bytes are never surfaced as an entry.
+  auto scan = store.Scan();
+  EXPECT_TRUE(scan.torn_tail);
+  ASSERT_EQ(scan.entries.size(), 1u);
+  EXPECT_EQ(PayloadString(scan.entries[0]), keep);
+
+  // Truncation drops exactly the torn entry and the log is appendable again.
+  EXPECT_EQ(store.TruncateToValidPrefix(), 1u);
+  const std::string next = "post-crash append";
+  ASSERT_TRUE(store.Append(3, next.data(), next.size()).ok());
+  scan = store.Scan();
+  EXPECT_FALSE(scan.torn_tail);
+  ASSERT_EQ(scan.entries.size(), 2u);
+  EXPECT_EQ(PayloadString(scan.entries[1]), next);
+}
+
+TEST(CheckpointStoreTest, CorruptChecksumStopsTheValidPrefix) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  CheckpointStore store(ms.get(), CheckpointOptions{});
+  for (uint32_t t = 1; t <= 3; ++t) {
+    const std::string payload = "entry " + std::to_string(t);
+    ASSERT_TRUE(store.Append(t, payload.data(), payload.size()).ok());
+  }
+  store.CorruptTailChecksum();
+  const auto scan = store.Scan();
+  EXPECT_TRUE(scan.torn_tail);
+  ASSERT_EQ(scan.entries.size(), 2u);  // the silently-corrupt tail is refused
+  EXPECT_EQ(store.TruncateToValidPrefix(), 1u);
+  EXPECT_FALSE(store.Scan().torn_tail);
+}
+
+TEST(CheckpointStoreTest, ChargedScanCostsAndFileRoundtrip) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  CheckpointStore store(ms.get(), CheckpointOptions{});
+  const std::string payload(4096, 'x');
+  ASSERT_TRUE(store.Append(7, payload.data(), payload.size()).ok());
+
+  durable::CkptCosts costs;
+  const auto scan = store.ChargedScan(&costs);
+  ASSERT_EQ(scan.entries.size(), 1u);
+  EXPECT_GT(costs.seconds, 0.0);
+  EXPECT_GE(costs.bytes, payload.size());
+
+  const std::string path = ::testing::TempDir() + "/ckpt_image.bin";
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+  auto ms2 = memsim::MemorySystem::CreateDefault();
+  CheckpointStore loaded(ms2.get(), CheckpointOptions{});
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  const auto scan2 = loaded.Scan();
+  ASSERT_EQ(scan2.entries.size(), 1u);
+  EXPECT_EQ(PayloadString(scan2.entries[0]), payload);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot layer: commit groups and mid-checkpoint crashes.
+// ---------------------------------------------------------------------------
+
+linalg::DenseMatrix TestMatrix(size_t rows, size_t cols, float base) {
+  linalg::DenseMatrix m(rows, cols);
+  for (size_t c = 0; c < cols; ++c) {
+    for (size_t r = 0; r < rows; ++r) m.At(r, c) = base + r * 0.25f + c;
+  }
+  return m;
+}
+
+TEST(SnapshotTest, WriteReadRoundtripBitExact) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  CheckpointStore store(ms.get(), CheckpointOptions{});
+  CheckpointSnapshot snap;
+  snap.stage = 3;
+  snap.next_term = 5;
+  snap.matrices.emplace_back("t_cur", TestMatrix(17, 4, 1.5f));
+  snap.words = {42, 0xDEADBEEFull};
+  ASSERT_TRUE(durable::WriteSnapshot(&store, snap).ok());
+
+  auto read = durable::ReadLastSnapshot(&store, nullptr);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().stage, 3u);
+  EXPECT_EQ(read.value().next_term, 5u);
+  EXPECT_EQ(read.value().words, snap.words);
+  ASSERT_EQ(read.value().matrices.size(), 1u);
+  EXPECT_EQ(read.value().matrices[0].first, "t_cur");
+  const auto& m = read.value().matrices[0].second;
+  ASSERT_EQ(m.rows(), 17u);
+  ASSERT_EQ(m.cols(), 4u);
+  EXPECT_EQ(std::memcmp(m.data(), snap.matrices[0].second.data(), m.bytes()),
+            0);
+}
+
+TEST(SnapshotTest, TornSnapshotFallsBackToPreviousCommit) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  CheckpointStore store(ms.get(), CheckpointOptions{});
+  CheckpointSnapshot first;
+  first.stage = 1;
+  first.words = {1, 2, 3};
+  ASSERT_TRUE(durable::WriteSnapshot(&store, first).ok());
+
+  CheckpointSnapshot second;
+  second.stage = 2;
+  second.words = {9, 9, 9};
+  second.matrices.emplace_back("r0", TestMatrix(8, 2, 0.0f));
+  ASSERT_TRUE(durable::WriteSnapshotTorn(&store, second).ok());
+
+  // The crashed group has no commit marker and a torn final entry: restore
+  // must fall back to the first snapshot, never replay the torn one.
+  auto read = durable::ReadLastSnapshot(&store, nullptr);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().stage, 1u);
+  EXPECT_EQ(read.value().words, first.words);
+
+  // After truncating the crash debris, a fresh snapshot wins again.
+  store.TruncateToValidPrefix();
+  CheckpointSnapshot third;
+  third.stage = 4;
+  third.words = {7, 7, 7};
+  ASSERT_TRUE(durable::WriteSnapshot(&store, third).ok());
+  read = durable::ReadLastSnapshot(&store, nullptr);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().stage, 4u);
+}
+
+TEST(SnapshotTest, TornOnlySnapshotIsNotFound) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  CheckpointStore store(ms.get(), CheckpointOptions{});
+  CheckpointSnapshot snap;
+  snap.stage = 2;
+  snap.words = {1, 2, 3};
+  ASSERT_TRUE(durable::WriteSnapshotTorn(&store, snap).ok());
+  auto read = durable::ReadLastSnapshot(&store, nullptr);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Replicated shared log: sequencer, replay idempotence, quorum.
+// ---------------------------------------------------------------------------
+
+TEST(SharedLogTest, DeterministicScheduleIsAPermutation) {
+  const auto slots = durable::DeterministicSchedule(7, 4, 8);
+  ASSERT_EQ(slots.size(), 32u);
+  std::vector<int> per_machine(4, 0);
+  for (int m : slots) per_machine[m]++;
+  for (int c : per_machine) EXPECT_EQ(c, 8);
+  EXPECT_EQ(durable::DeterministicSchedule(7, 4, 8), slots);
+  EXPECT_NE(durable::DeterministicSchedule(8, 4, 8), slots);
+}
+
+TEST(SharedLogTest, SequencerGapFreeUnderConcurrentAppends) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ReplicatedLog log(ms.get(), SharedLogOptions{});
+  const auto slots = durable::DeterministicSchedule(11, 4, 16);
+  std::vector<uint64_t> positions(slots.size());
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= slots.size()) return;
+        auto res = log.Append(slots[i], /*bytes=*/1024);
+        ASSERT_TRUE(res.ok()) << res.status().ToString();
+        positions[i] = res.value().position;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Positions are gap-free: every value in [0, N) assigned exactly once.
+  std::vector<bool> seen(slots.size(), false);
+  for (uint64_t p : positions) {
+    ASSERT_LT(p, slots.size());
+    EXPECT_FALSE(seen[p]) << "position " << p << " assigned twice";
+    seen[p] = true;
+  }
+  EXPECT_EQ(log.Tail(), slots.size());
+  // The record at each machine's position carries that machine's id.
+  const auto records = log.Records();
+  for (size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(records[positions[i]].machine, slots[i]);
+  }
+}
+
+TEST(SharedLogTest, SerialScheduleByteIdenticalAcrossRuns) {
+  const auto slots = durable::DeterministicSchedule(3, 3, 12);
+  auto run = [&](std::vector<durable::LogRecord>* records, uint64_t* digest) {
+    auto ms = memsim::MemorySystem::CreateDefault();
+    ReplicatedLog log(ms.get(), SharedLogOptions{});
+    for (size_t i = 0; i < slots.size(); ++i) {
+      ASSERT_TRUE(log.Append(slots[i], 512 + i).ok());
+    }
+    log.Replay(0, log.Tail());
+    *records = log.Records();
+    *digest = log.Digest(0);
+  };
+  std::vector<durable::LogRecord> ra, rb;
+  uint64_t da = 0, db = 0;
+  run(&ra, &da);
+  run(&rb, &db);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].position, rb[i].position);
+    EXPECT_EQ(ra[i].machine, rb[i].machine);
+    EXPECT_EQ(ra[i].bytes, rb[i].bytes);
+  }
+  EXPECT_EQ(da, db);
+  EXPECT_NE(da, 0u);
+}
+
+TEST(SharedLogTest, ReplayIsIdempotentAndPrefixComposable) {
+  auto fill = [](ReplicatedLog* log) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(log->Append(i % 3, 256 * (i + 1)).ok());
+    }
+  };
+  auto ms1 = memsim::MemorySystem::CreateDefault();
+  ReplicatedLog once(ms1.get(), SharedLogOptions{});
+  fill(&once);
+  const auto full = once.Replay(1, once.Tail());
+  EXPECT_EQ(full.applied, 10u);
+  EXPECT_GT(full.seconds, 0.0);
+  const uint64_t digest_once = once.Digest(1);
+
+  // Replaying the same prefix twice applies it once: zero new records, zero
+  // charged seconds, identical digest.
+  const auto again = once.Replay(1, once.Tail());
+  EXPECT_EQ(again.applied, 0u);
+  EXPECT_EQ(again.skipped, 10u);
+  EXPECT_EQ(again.seconds, 0.0);
+  EXPECT_EQ(once.Digest(1), digest_once);
+
+  // Replay in two stages lands on the same digest as one full replay.
+  auto ms2 = memsim::MemorySystem::CreateDefault();
+  ReplicatedLog staged(ms2.get(), SharedLogOptions{});
+  fill(&staged);
+  staged.Replay(1, 4);
+  staged.Replay(1, staged.Tail());
+  EXPECT_EQ(staged.Digest(1), digest_once);
+  EXPECT_EQ(staged.Watermark(1), 10u);
+}
+
+TEST(SharedLogTest, AdvanceCheckpointSkipsCoveredRecords) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ReplicatedLog log(ms.get(), SharedLogOptions{});
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(log.Append(0, 128).ok());
+  log.AdvanceCheckpoint(2, 5);
+  EXPECT_EQ(log.Watermark(2), 5u);
+  const auto replay = log.Replay(2, log.Tail());
+  EXPECT_EQ(replay.applied, 3u);  // only the records past the checkpoint
+  EXPECT_EQ(replay.skipped, 5u);
+
+  // Covered-then-replayed equals replayed-straight-through (same digest).
+  auto ms2 = memsim::MemorySystem::CreateDefault();
+  ReplicatedLog plain(ms2.get(), SharedLogOptions{});
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(plain.Append(0, 128).ok());
+  plain.Replay(2, plain.Tail());
+  EXPECT_EQ(log.Digest(2), plain.Digest(2));
+}
+
+FaultPlan NetTimeoutPlan(double rate, uint64_t seed = 42) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.seed = seed;
+  plan.at(Tier::kNetwork, MemOp::kWrite, Pattern::kSequential).timeout = rate;
+  return plan;
+}
+
+TEST(SharedLogTest, QuorumLossSurfacesIOError) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ms->SetFaultPlan(NetTimeoutPlan(1.0));
+  ReplicatedLog log(ms.get(), SharedLogOptions{});
+  auto res = log.Append(0, 4096);
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsIOError());
+  const auto f = ms->Faults();
+  EXPECT_GT(f.surfaced, 0u);
+  EXPECT_TRUE(f.Accounted());
+  // The failed position is consumed (a CORFU hole), keeping replay indexed.
+  EXPECT_EQ(log.Tail(), 1u);
+}
+
+TEST(SharedLogTest, PartialReplicaLossKeepsAccountingIdentity) {
+  auto run = [](memsim::FaultCounters* out) {
+    auto ms = memsim::MemorySystem::CreateDefault();
+    // 0.8 per attempt → ~0.41 per replica after bounded retries: some appends
+    // lose a replica but keep the quorum (degraded), some lose the quorum.
+    ms->SetFaultPlan(NetTimeoutPlan(0.8, /*seed=*/9));
+    ReplicatedLog log(ms.get(), SharedLogOptions{});
+    int ok_count = 0;
+    for (int i = 0; i < 64; ++i) {
+      if (log.Append(i % 4, 2048).ok()) ++ok_count;
+    }
+    EXPECT_GT(ok_count, 0);
+    EXPECT_LT(ok_count, 64);
+    *out = ms->Faults();
+  };
+  memsim::FaultCounters a, b;
+  run(&a);
+  run(&b);
+  EXPECT_GT(a.timeouts, 0u);
+  EXPECT_GT(a.degraded, 0u);  // lost replicas under a surviving quorum
+  EXPECT_TRUE(a.Accounted());
+  EXPECT_EQ(a, b);  // same seed, same fault report
+}
+
+// ---------------------------------------------------------------------------
+// Engine crash matrix: kill at every phase boundary and mid-checkpoint,
+// restore, finish, and land on bitwise-identical embeddings.
+// ---------------------------------------------------------------------------
+
+graph::Graph SmallGraph() {
+  graph::RmatParams params;
+  params.scale = 10;
+  params.num_edges = 1 << 13;
+  params.seed = 5;
+  return graph::GenerateRmat(params).value();
+}
+
+engine::EngineOptions BaseOptions(int threads) {
+  engine::EngineOptions options;
+  options.system = engine::SystemKind::kOmega;
+  options.num_threads = threads;
+  options.prone.dim = 16;
+  options.prone.oversample = 4;
+  options.prone.chebyshev_order = 4;
+  return options;
+}
+
+engine::RunReport MustRun(const graph::Graph& g, memsim::MemorySystem* ms,
+                          const engine::EngineOptions& options, int threads) {
+  ThreadPool pool(static_cast<size_t>(threads));
+  auto report = engine::RunEmbedding(
+      g, "rmat", options, exec::Context(ms, &pool, threads));
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? std::move(report).value() : engine::RunReport{};
+}
+
+class CrashMatrixTest : public ::testing::Test {
+ protected:
+  const graph::Graph g_ = SmallGraph();
+};
+
+TEST_F(CrashMatrixTest, KillRestoreFinishBitwiseIdentical) {
+  // "term.1" and "term.3" are cadence checkpoints inside the Chebyshev
+  // recurrence (checkpoint_every = 1); the others are stage boundaries.
+  const std::vector<std::string> sites = {"read", "factorize", "term.1",
+                                          "term.3", "embed"};
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    auto baseline_ms = memsim::MemorySystem::CreateDefault();
+    const engine::RunReport baseline =
+        MustRun(g_, baseline_ms.get(), BaseOptions(threads), threads);
+    ASSERT_GT(baseline.embedding.bytes(), 0u);
+
+    for (const std::string& site : sites) {
+      for (bool torn : {false, true}) {
+        SCOPED_TRACE(site + (torn ? " (torn checkpoint)" : ""));
+        auto ms = memsim::MemorySystem::CreateDefault();
+        CheckpointStore store(ms.get(), CheckpointOptions{});
+
+        engine::EngineOptions crash = BaseOptions(threads);
+        crash.durability.store = &store;
+        crash.durability.checkpoint_every = 1;
+        crash.durability.crash_after_phase = site;
+        crash.durability.crash_tear_checkpoint = torn;
+        {
+          ThreadPool pool(static_cast<size_t>(threads));
+          auto killed = engine::RunEmbedding(
+              g_, "rmat", crash, exec::Context(ms.get(), &pool, threads));
+          ASSERT_FALSE(killed.ok()) << "the kill site never fired";
+          EXPECT_TRUE(durable::IsKilledError(killed.status()))
+              << killed.status().ToString();
+        }
+
+        engine::EngineOptions resume = BaseOptions(threads);
+        resume.durability.store = &store;
+        resume.durability.checkpoint_every = 1;
+        resume.durability.restore = true;
+        const engine::RunReport resumed =
+            MustRun(g_, ms.get(), resume, threads);
+        ASSERT_EQ(resumed.embedding.bytes(), baseline.embedding.bytes());
+        EXPECT_EQ(std::memcmp(resumed.embedding.data(),
+                              baseline.embedding.data(),
+                              baseline.embedding.bytes()),
+                  0)
+            << "restored run's embedding drifted from the uninterrupted run";
+        // The restore scan is a charged PM read of the surviving image.
+        EXPECT_GT(resumed.recovery_seconds, 0.0);
+        // Resuming from the final "embed" snapshot re-writes nothing; every
+        // other resume point checkpoints the stages it still runs.
+        if (site == "embed" && !torn) {
+          EXPECT_EQ(resumed.ckpt_seconds, 0.0);
+        } else {
+          EXPECT_GT(resumed.ckpt_seconds, 0.0);
+        }
+        EXPECT_GT(resumed.total_seconds, 0.0);
+      }
+    }
+  }
+}
+
+TEST_F(CrashMatrixTest, KillBetweenCadenceCheckpointsReplaysFromLastCommit) {
+  // checkpoint_every = 2 checkpoints terms 2 and 4; the kill at term.3 has no
+  // checkpoint of its own, so restore falls back to the term-2 snapshot and
+  // recomputes the lost term.
+  const int threads = 2;
+  auto baseline_ms = memsim::MemorySystem::CreateDefault();
+  const engine::RunReport baseline =
+      MustRun(g_, baseline_ms.get(), BaseOptions(threads), threads);
+
+  auto ms = memsim::MemorySystem::CreateDefault();
+  CheckpointStore store(ms.get(), CheckpointOptions{});
+  engine::EngineOptions crash = BaseOptions(threads);
+  crash.durability.store = &store;
+  crash.durability.checkpoint_every = 2;
+  crash.durability.crash_after_phase = "term.3";
+  {
+    ThreadPool pool(threads);
+    auto killed = engine::RunEmbedding(g_, "rmat", crash,
+                                       exec::Context(ms.get(), &pool, threads));
+    ASSERT_FALSE(killed.ok());
+    EXPECT_TRUE(durable::IsKilledError(killed.status()));
+  }
+
+  engine::EngineOptions resume = BaseOptions(threads);
+  resume.durability.store = &store;
+  resume.durability.checkpoint_every = 2;
+  resume.durability.restore = true;
+  const engine::RunReport resumed = MustRun(g_, ms.get(), resume, threads);
+  ASSERT_EQ(resumed.embedding.bytes(), baseline.embedding.bytes());
+  EXPECT_EQ(std::memcmp(resumed.embedding.data(), baseline.embedding.data(),
+                        baseline.embedding.bytes()),
+            0);
+  EXPECT_GT(resumed.recovery_seconds, 0.0);
+}
+
+TEST_F(CrashMatrixTest, RestoreWithEmptyStoreRunsFromScratch) {
+  const int threads = 2;
+  auto baseline_ms = memsim::MemorySystem::CreateDefault();
+  const engine::RunReport baseline =
+      MustRun(g_, baseline_ms.get(), BaseOptions(threads), threads);
+
+  auto ms = memsim::MemorySystem::CreateDefault();
+  CheckpointStore store(ms.get(), CheckpointOptions{});
+  engine::EngineOptions resume = BaseOptions(threads);
+  resume.durability.store = &store;
+  resume.durability.checkpoint_every = 1;
+  resume.durability.restore = true;  // nothing committed: full re-run
+  const engine::RunReport resumed = MustRun(g_, ms.get(), resume, threads);
+  ASSERT_EQ(resumed.embedding.bytes(), baseline.embedding.bytes());
+  EXPECT_EQ(std::memcmp(resumed.embedding.data(), baseline.embedding.data(),
+                        baseline.embedding.bytes()),
+            0);
+}
+
+TEST_F(CrashMatrixTest, CheckpointPhasesLandInTraceAndJson) {
+  const int threads = 2;
+  auto ms = memsim::MemorySystem::CreateDefault();
+  CheckpointStore store(ms.get(), CheckpointOptions{});
+  engine::EngineOptions options = BaseOptions(threads);
+  options.durability.store = &store;
+  options.durability.checkpoint_every = 1;
+  const engine::RunReport report = MustRun(g_, ms.get(), options, threads);
+
+  bool saw_ckpt_write = false;
+  for (const auto& phase : report.phases) {
+    if (phase.name == "ckpt.write") {
+      saw_ckpt_write = true;
+      EXPECT_GT(phase.ckpt_entries, 0u);
+      EXPECT_GT(phase.ckpt_bytes, 0u);
+      EXPECT_GT(phase.persist_barriers, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_ckpt_write);
+  EXPECT_GT(report.ckpt_seconds, 0.0);
+
+  const std::string json = engine::ReportToJson(report);
+  EXPECT_NE(json.find("\"ckpt_seconds\": "), std::string::npos);
+  EXPECT_NE(json.find("\"ckpt\": {\"entries\": "), std::string::npos);
+
+  // Durability off: the conditional keys stay out of the report entirely.
+  auto plain_ms = memsim::MemorySystem::CreateDefault();
+  const engine::RunReport plain =
+      MustRun(g_, plain_ms.get(), BaseOptions(threads), threads);
+  const std::string plain_json = engine::ReportToJson(plain);
+  EXPECT_EQ(plain_json.find("\"ckpt_seconds\": "), std::string::npos);
+  EXPECT_EQ(plain_json.find("\"ckpt\": {"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omega

@@ -15,6 +15,7 @@
 #include "graph/rmat.h"
 #include "memsim/fault.h"
 #include "memsim/memory_system.h"
+#include "omega/distributed_sim.h"
 #include "omega/engine.h"
 #include "omega/report.h"
 
@@ -364,6 +365,121 @@ TEST_F(FaultEngineTest, ReportJsonCarriesFaultSection) {
       RunWith(g_, engine::SystemKind::kOmega, FaultPlan{}, 4);
   const std::string off_json = engine::ReportToJson(off);
   EXPECT_NE(off_json.find("\"enabled\": false"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Machine loss in the durable distributed path.
+// ---------------------------------------------------------------------------
+
+engine::RunReport RunDist(const graph::Graph& g, engine::SystemKind system,
+                          const FaultPlan& plan,
+                          const engine::DistParams& params) {
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ms->SetFaultPlan(plan);
+  ThreadPool pool(4);
+  engine::EngineOptions options;
+  options.system = system;
+  options.num_threads = 4;
+  options.prone.dim = 16;
+  auto report = engine::RunDistributedFamily(
+      g, "rmat", options, exec::Context(ms.get(), &pool, 4), params);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? std::move(report).value() : engine::RunReport{};
+}
+
+TEST_F(FaultEngineTest, MachineLossSameSeedByteIdentical) {
+  // flaky-net carries a machine-loss rate; the durable sync path draws it
+  // per (machine, round), and a fixed seed replays the same kill schedule.
+  auto plan = memsim::FaultPlanFromProfile("flaky-net:3").value();
+  engine::DistParams params;
+  params.checkpoint_every_rounds = 6;
+  const engine::RunReport a =
+      RunDist(g_, engine::SystemKind::kDistDgl, plan, params);
+  const engine::RunReport b =
+      RunDist(g_, engine::SystemKind::kDistDgl, plan, params);
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(std::memcmp(&a.total_seconds, &b.total_seconds, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.recovery_seconds, &b.recovery_seconds,
+                        sizeof(double)), 0);
+  EXPECT_TRUE(a.faults.Accounted());
+}
+
+TEST_F(FaultEngineTest, MachineLossRecoveredKeepsAccountingIdentity) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.kills = {{0, 1}, {2, 5}};
+  engine::DistParams params;
+  params.checkpoint_every_rounds = 4;
+  const engine::RunReport r =
+      RunDist(g_, engine::SystemKind::kDistDgl, plan, params);
+  EXPECT_EQ(r.faults.machine_losses, 2u);
+  EXPECT_EQ(r.faults.recovered, 2u);
+  EXPECT_TRUE(r.faults.Accounted());
+  EXPECT_GT(r.recovery_seconds, 0.0);
+  EXPECT_GT(r.ckpt_seconds, 0.0);
+  // The durability costs are part of the run's total.
+  EXPECT_DOUBLE_EQ(r.total_seconds,
+                   r.read_seconds + r.embed_seconds + r.ckpt_seconds +
+                       r.recovery_seconds);
+}
+
+TEST_F(FaultEngineTest, MachineLossRateInertOutsideDurablePath) {
+  // The legacy bulk sync (checkpoint_every_rounds == 0) never consults the
+  // machine-loss rate: a plan carrying one charges byte-identically.
+  FaultPlan base;
+  base.enabled = true;
+  FaultPlan lossy = base;
+  lossy.machine_loss = 1.0;
+  lossy.kills = {{0, 0}};
+  const engine::DistParams params;  // legacy sync
+  const engine::RunReport off =
+      RunDist(g_, engine::SystemKind::kDistGer, base, params);
+  const engine::RunReport on =
+      RunDist(g_, engine::SystemKind::kDistGer, lossy, params);
+  EXPECT_EQ(on.faults.machine_losses, 0u);
+  EXPECT_EQ(std::memcmp(&off.total_seconds, &on.total_seconds, sizeof(double)),
+            0);
+}
+
+TEST_F(FaultEngineTest, RecoveryTimeMonotoneInLogLengthSinceCheckpoint) {
+  // With the cadence far beyond the run (no checkpoint ever lands), a kill
+  // at round r replays r + 1 rounds of log records: recovery time must grow
+  // with the replayed suffix. DistDGL runs 24 sync rounds.
+  double prev = 0.0;
+  for (uint64_t round : {1u, 6u, 12u, 22u}) {
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.kills = {{0, round}};
+    engine::DistParams params;
+    params.checkpoint_every_rounds = 1000;
+    const engine::RunReport r =
+        RunDist(g_, engine::SystemKind::kDistDgl, plan, params);
+    EXPECT_EQ(r.faults.recovered, 1u);
+    EXPECT_GT(r.recovery_seconds, prev) << "kill round " << round;
+    prev = r.recovery_seconds;
+  }
+}
+
+TEST_F(FaultEngineTest, DurableSyncQuorumLossFailsTheRun) {
+  FaultPlan plan;
+  plan.enabled = true;
+  plan.at(Tier::kNetwork, MemOp::kWrite, Pattern::kSequential).timeout = 1.0;
+
+  auto ms = memsim::MemorySystem::CreateDefault();
+  ms->SetFaultPlan(plan);
+  ThreadPool pool(4);
+  engine::EngineOptions options;
+  options.system = engine::SystemKind::kDistGer;
+  options.num_threads = 4;
+  options.prone.dim = 16;
+  engine::DistParams params;
+  params.checkpoint_every_rounds = 2;
+  auto report = engine::RunDistributedFamily(
+      g_, "rmat", options, exec::Context(ms.get(), &pool, 4), params);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsIOError());
+  EXPECT_GT(ms->Faults().surfaced, 0u);
+  EXPECT_TRUE(ms->Faults().Accounted());
 }
 
 // ---------------------------------------------------------------------------

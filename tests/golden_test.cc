@@ -12,9 +12,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 
 #include "bench_util.h"
 #include "common/md5.h"
+#include "common/thread_pool.h"
+#include "durable/checkpoint.h"
+#include "graph/rmat.h"
+#include "memsim/memory_system.h"
+#include "omega/engine.h"
 
 namespace omega {
 namespace {
@@ -34,6 +40,54 @@ TEST(GoldenTest, Fig12OverallReportBytesPinned) {
       << "fig12 report bytes drifted; if the change is intentional, rerun "
          "./build/bench/bench_fig12_overall and update the hash here and in "
          "any seed baselines.";
+}
+
+TEST(GoldenTest, CheckpointingPreservesEmbeddingBytes) {
+  // Checkpointing charges simulated time but must not perturb the computed
+  // embedding: with a store attached (cadence 1, no crash) the output bytes
+  // are identical to the plain run's.
+  graph::RmatParams rmat;
+  rmat.scale = 10;
+  rmat.num_edges = 1 << 13;
+  rmat.seed = 5;
+  const graph::Graph g = graph::GenerateRmat(rmat).value();
+
+  engine::EngineOptions options;
+  options.system = engine::SystemKind::kOmega;
+  options.num_threads = 4;
+  options.prone.dim = 16;
+  options.prone.oversample = 4;
+  options.prone.chebyshev_order = 4;
+
+  auto run = [&](bool durable_on) {
+    auto ms = memsim::MemorySystem::CreateDefault();
+    engine::EngineOptions opts = options;
+    durable::CheckpointStore store(ms.get(), durable::CheckpointOptions{});
+    if (durable_on) {
+      opts.durability.store = &store;
+      opts.durability.checkpoint_every = 1;
+    }
+    ThreadPool pool(4);
+    auto report = engine::RunEmbedding(g, "rmat", opts,
+                                       exec::Context(ms.get(), &pool, 4));
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.ok() ? std::move(report).value() : engine::RunReport{};
+  };
+
+  const engine::RunReport plain = run(false);
+  const engine::RunReport checkpointed = run(true);
+  ASSERT_GT(plain.embedding.bytes(), 0u);
+  ASSERT_EQ(plain.embedding.bytes(), checkpointed.embedding.bytes());
+  EXPECT_EQ(std::memcmp(plain.embedding.data(), checkpointed.embedding.data(),
+                        plain.embedding.bytes()),
+            0);
+  // The durable run pays for its checkpoints; the per-stage simulated math
+  // is otherwise byte-identical.
+  EXPECT_GT(checkpointed.ckpt_seconds, 0.0);
+  EXPECT_EQ(std::memcmp(&plain.read_seconds, &checkpointed.read_seconds,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(plain.ckpt_seconds, 0.0);
 }
 
 }  // namespace

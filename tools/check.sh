@@ -18,6 +18,9 @@
 #   tools/check.sh --pim      # additionally run the PIM-offload suites
 #                             # (pim_test + fault_test under Debug+ASan +
 #                             # bench_pim_offload --smoke)
+#   tools/check.sh --durable  # additionally run the durability suites
+#                             # (durable_test + fault_test under Debug+ASan +
+#                             # bench_recovery --smoke)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,6 +32,7 @@ ASYNC=0
 SERVE=0
 DYNAMIC=0
 PIM=0
+DURABLE=0
 for arg in "$@"; do
   case "$arg" in
     --sanitize) SANITIZE=1 ;;
@@ -38,6 +42,7 @@ for arg in "$@"; do
     --serve) SERVE=1 ;;
     --dynamic) DYNAMIC=1 ;;
     --pim) PIM=1 ;;
+    --durable) DURABLE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -77,9 +82,9 @@ if [[ "$TSAN" == 1 ]]; then
   # the BufferManager's concurrent pin/unpin) are what TSan is after; the
   # full suite under TSan is prohibitively slow.
   cmake -B build-tsan -S . -DOMEGA_TSAN=ON
-  cmake --build build-tsan -j "$JOBS" --target common_test spmm_test plan_test buffer_test serve_test dynamic_test pim_test
+  cmake --build build-tsan -j "$JOBS" --target common_test spmm_test plan_test buffer_test serve_test dynamic_test pim_test durable_test
   ctest --test-dir build-tsan --output-on-failure \
-    -R '^(common_test|spmm_test|plan_test|buffer_test|serve_test|dynamic_test|pim_test)$'
+    -R '^(common_test|spmm_test|plan_test|buffer_test|serve_test|dynamic_test|pim_test|durable_test)$'
 fi
 
 if [[ "$ASYNC" == 1 ]]; then
@@ -119,6 +124,18 @@ if [[ "$PIM" == 1 ]]; then
   cmake --build build-pim -j "$JOBS" --target pim_test fault_test
   ctest --test-dir build-pim --output-on-failure -R '^(pim_test|fault_test)$'
   ./build/bench/bench_pim_offload --smoke
+fi
+
+if [[ "$DURABLE" == 1 ]]; then
+  echo "== durability: Debug+ASan crash matrix + recovery smoke =="
+  # The torn-write scan, snapshot-group fallback, and shared-log replay are
+  # byte-walking state machines best run with asserts and ASan poisoning;
+  # then smoke the cadence-vs-recovery sweep from the tier-1 build.
+  cmake -B build-durable -S . -DCMAKE_BUILD_TYPE=Debug -DOMEGA_SANITIZE=ON
+  cmake --build build-durable -j "$JOBS" --target durable_test fault_test
+  ctest --test-dir build-durable --output-on-failure \
+    -R '^(durable_test|fault_test)$'
+  ./build/bench/bench_recovery --smoke
 fi
 
 echo "OK"

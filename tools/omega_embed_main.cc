@@ -30,6 +30,14 @@
 //                           mutation file (graph_io.h grammar) or
 //                           "synthetic:<rate>[,<seed>]" — rate < 1 is a
 //                           fraction of the graph's edges, otherwise a count.
+//     --checkpoint-every <n>  crash-consistent checkpointing to the simulated
+//                           PM tier: stage boundaries always, plus every n-th
+//                           Chebyshev term (omega-family systems)
+//     --ckpt-path <path>    persist the checkpoint image host-side after the
+//                           run (pairs with --restore-from across processes)
+//     --restore-from <path> resume from a saved checkpoint image; the run
+//                           skips completed stages and replays from the last
+//                           committed snapshot
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +47,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "durable/checkpoint.h"
 #include "embed/embedding_io.h"
 #include "graph/datasets.h"
 #include "graph/graph_io.h"
@@ -73,6 +82,9 @@ struct CliOptions {
   bool cxl = false;
   bool auc = false;
   std::string mutations;
+  uint64_t checkpoint_every = 0;
+  std::string ckpt_path;
+  std::string restore_from;
 };
 
 int Usage(const char* argv0) {
@@ -83,7 +95,9 @@ int Usage(const char* argv0) {
                "[--asl-partitions n] [--pim-banks n] "
                "[--pim-placement auto|all-pim|host-only] [--cxl] [--out path] "
                "[--auc] [--trace-json path] [--fault-profile name[:seed]] "
-               "[--mutations <file|synthetic:rate[,seed]>]\n",
+               "[--mutations <file|synthetic:rate[,seed]>] "
+               "[--checkpoint-every n] [--ckpt-path path] "
+               "[--restore-from path]\n",
                argv0);
   return 2;
 }
@@ -201,6 +215,22 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--mutations=", 0) == 0) {
       cli.mutations = arg.substr(std::strlen("--mutations="));
       if (cli.mutations.empty()) return Usage(argv[0]);
+    } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+      cli.checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      cli.checkpoint_every =
+          std::strtoull(arg.c_str() + std::strlen("--checkpoint-every="),
+                        nullptr, 10);
+    } else if (arg == "--ckpt-path" && i + 1 < argc) {
+      cli.ckpt_path = argv[++i];
+    } else if (arg.rfind("--ckpt-path=", 0) == 0) {
+      cli.ckpt_path = arg.substr(std::strlen("--ckpt-path="));
+      if (cli.ckpt_path.empty()) return Usage(argv[0]);
+    } else if (arg == "--restore-from" && i + 1 < argc) {
+      cli.restore_from = argv[++i];
+    } else if (arg.rfind("--restore-from=", 0) == 0) {
+      cli.restore_from = arg.substr(std::strlen("--restore-from="));
+      if (cli.restore_from.empty()) return Usage(argv[0]);
     } else {
       return Usage(argv[0]);
     }
@@ -260,6 +290,29 @@ int main(int argc, char** argv) {
   options.features.pim_placement = pim_policy.value();
   options.evaluate_quality = cli.auc;
 
+  // Crash-consistent checkpointing: the store lives on the simulated PM
+  // tier; --ckpt-path / --restore-from persist its byte image host-side so a
+  // killed process can resume in a fresh one.
+  std::unique_ptr<durable::CheckpointStore> ckpt_store;
+  if (cli.checkpoint_every > 0 || !cli.restore_from.empty()) {
+    ckpt_store = std::make_unique<durable::CheckpointStore>(
+        ms.get(), durable::CheckpointOptions{});
+    if (!cli.restore_from.empty()) {
+      const Status st = ckpt_store->LoadFromFile(cli.restore_from);
+      if (!st.ok()) {
+        std::fprintf(stderr, "cannot load checkpoint '%s': %s\n",
+                     cli.restore_from.c_str(), st.ToString().c_str());
+        return 1;
+      }
+      options.durability.restore = true;
+      std::printf("restoring from %s (%llu entries)\n",
+                  cli.restore_from.c_str(),
+                  static_cast<unsigned long long>(ckpt_store->entry_count()));
+    }
+    options.durability.store = ckpt_store.get();
+    options.durability.checkpoint_every = cli.checkpoint_every;
+  }
+
   exec::TraceRecorder trace;
   const exec::Context ctx(ms.get(), &pool, cli.threads, &trace);
 
@@ -289,6 +342,20 @@ int main(int argc, char** argv) {
   }();
   if (!report.ok()) {
     std::fprintf(stderr, "run failed: %s\n", report.status().ToString().c_str());
+    if (ckpt_store != nullptr && !cli.ckpt_path.empty() &&
+        ckpt_store->entry_count() > 0) {
+      // Persist what the run checkpointed before failing, so a follow-up
+      // --restore-from resumes instead of starting over.
+      const Status st = ckpt_store->SaveToFile(cli.ckpt_path);
+      if (st.ok()) {
+        std::printf("checkpoint image written to %s (%llu entries)\n",
+                    cli.ckpt_path.c_str(),
+                    static_cast<unsigned long long>(ckpt_store->entry_count()));
+      } else {
+        std::fprintf(stderr, "failed to save checkpoint: %s\n",
+                     st.ToString().c_str());
+      }
+    }
     if (!cli.trace_json.empty()) {
       // Emit the failed cell so downstream tooling still sees the run.
       const engine::RunReport failed =
@@ -309,6 +376,11 @@ int main(int argc, char** argv) {
   if (r.faults_enabled) {
     std::printf("  faults    %s\n",
                 memsim::FaultCountersSummary(r.faults).c_str());
+  }
+  if (r.ckpt_seconds > 0.0 || r.recovery_seconds > 0.0) {
+    std::printf("  ckpt      %s written, %s recovering\n",
+                HumanSeconds(r.ckpt_seconds).c_str(),
+                HumanSeconds(r.recovery_seconds).c_str());
   }
   if (r.link_auc.has_value()) std::printf("  link AUC  %.3f\n", *r.link_auc);
 
@@ -379,6 +451,17 @@ int main(int argc, char** argv) {
     }
     std::printf("embedding written to %s (%zu x %zu)\n", cli.out.c_str(),
                 out_embedding.rows(), out_embedding.cols());
+  }
+  if (ckpt_store != nullptr && !cli.ckpt_path.empty()) {
+    const Status st = ckpt_store->SaveToFile(cli.ckpt_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "failed to save checkpoint: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint image written to %s (%llu entries)\n",
+                cli.ckpt_path.c_str(),
+                static_cast<unsigned long long>(ckpt_store->entry_count()));
   }
   return 0;
 }
